@@ -1,0 +1,130 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * clustering bootstrap on/off over Hybrid (AVOC's delta) — time cost of
+//!   the bootstrap round itself;
+//! * collation method (weighted mean vs mean-nearest-neighbour vs median);
+//! * soft-threshold multiplier sweep (the Sdt parameter);
+//! * candidate-count scaling (5 light sensors → 9 beacons → 33-sensor
+//!   smart-shelf scale), where the O(n²) agreement matrix starts to show.
+
+use avoc_bench::Fig6Config;
+use avoc_core::algorithms::{AvocVoter, HybridVoter, SoftDynamicVoter};
+use avoc_core::{
+    AgreementParams, Collation, HistoryUpdate, MarginMode, MemoryHistory, Round, Voter, VoterConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn round_with_outlier(n: usize) -> Round {
+    let mut values: Vec<f64> = (0..n - 1)
+        .map(|i| 18.5 + 0.01 * (i as f64 - n as f64 / 2.0))
+        .collect();
+    values.push(24.5);
+    Round::from_numbers(0, &values)
+}
+
+fn bench_bootstrap_on_off(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bootstrap");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let round = round_with_outlier(5);
+    let cfg = VoterConfig::new().with_collation(Collation::MeanNearestNeighbor);
+
+    // The bootstrap round itself (fresh voter every iteration).
+    group.bench_function("avoc_bootstrap_round", |b| {
+        b.iter(|| {
+            let mut voter = AvocVoter::new(cfg, MemoryHistory::new());
+            black_box(voter.vote(black_box(&round)).expect("vote"))
+        });
+    });
+    // Hybrid's plain-average first round, for the delta.
+    group.bench_function("hybrid_first_round", |b| {
+        b.iter(|| {
+            let mut voter = HybridVoter::new(cfg, MemoryHistory::new());
+            black_box(voter.vote(black_box(&round)).expect("vote"))
+        });
+    });
+    // Steady-state rounds for both (voter reused).
+    group.bench_function("avoc_steady_state", |b| {
+        let mut voter = AvocVoter::new(cfg, MemoryHistory::new());
+        voter.vote(&round).expect("bootstrap");
+        b.iter(|| black_box(voter.vote(black_box(&round)).expect("vote")));
+    });
+    group.bench_function("hybrid_steady_state", |b| {
+        let mut voter = HybridVoter::new(cfg, MemoryHistory::new());
+        voter.vote(&round).expect("first round");
+        b.iter(|| black_box(voter.vote(black_box(&round)).expect("vote")));
+    });
+    group.finish();
+}
+
+fn bench_collation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_collation");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let round = round_with_outlier(9);
+    for (name, collation) in [
+        ("weighted_mean", Collation::WeightedMean),
+        ("mean_nearest_neighbor", Collation::MeanNearestNeighbor),
+        ("median", Collation::Median),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = VoterConfig::new().with_collation(collation);
+            let mut voter = HybridVoter::new(cfg, MemoryHistory::new());
+            b.iter(|| black_box(voter.vote(black_box(&round)).expect("vote")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_soft_multiplier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_soft_multiplier");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let round = round_with_outlier(5);
+    for mult in [1.0, 2.0, 4.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(mult), &mult, |b, &mult| {
+            let cfg = VoterConfig::new()
+                .with_agreement(AgreementParams::new(0.05, mult, MarginMode::Relative))
+                .with_update(HistoryUpdate::new(0.1));
+            let mut voter = SoftDynamicVoter::new(cfg, MemoryHistory::new());
+            b.iter(|| black_box(voter.vote(black_box(&round)).expect("vote")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_candidate_scaling");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let cfg = Fig6Config::default();
+    for &n in &[5usize, 9, 33] {
+        let round = round_with_outlier(n);
+        for algo in ["avg", "standard", "hybrid", "avoc"] {
+            group.bench_with_input(BenchmarkId::new(algo, n), &round, |b, round| {
+                let mut voter = cfg.voter(algo);
+                b.iter(|| black_box(voter.vote(black_box(round)).expect("vote")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bootstrap_on_off,
+    bench_collation,
+    bench_soft_multiplier,
+    bench_candidate_scaling
+);
+criterion_main!(benches);

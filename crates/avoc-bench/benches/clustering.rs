@@ -1,0 +1,65 @@
+//! Clustering-step cost: the paper claims the AVOC bootstrap adds "little
+//! performance overhead" (§5). This bench quantifies the agreement
+//! clusterer against the general-purpose alternatives it approximates
+//! (DBSCAN) and the multi-dimensional generalisation candidates
+//! (k-means, X-means, mean-shift), at the paper's candidate counts
+//! (5 light sensors, 9 beacons) and at a smart-shelf-scale 100.
+
+use avoc_cluster::{AgreementClusterer, Dbscan, KMeans, MarginMode, MeanShift, Point, XMeans};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// One round of candidate values: a majority blob at ~18.5 plus one outlier.
+fn candidates(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values: Vec<f64> = (0..n - 1)
+        .map(|_| 18.5 + rng.random_range(-0.4..0.4))
+        .collect();
+    values.push(24.5);
+    values
+}
+
+fn bench_clusterers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_round");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &n in &[5usize, 9, 100] {
+        let values = candidates(n, 42);
+        let points: Vec<Point> = values.iter().map(|&v| Point::scalar(v)).collect();
+
+        group.bench_with_input(BenchmarkId::new("agreement", n), &values, |b, values| {
+            let clusterer = AgreementClusterer::new(0.05, MarginMode::Relative);
+            b.iter(|| black_box(clusterer.cluster(black_box(values))));
+        });
+        group.bench_with_input(BenchmarkId::new("dbscan", n), &points, |b, points| {
+            let dbscan = Dbscan::new(0.9, 2);
+            b.iter(|| black_box(dbscan.fit(black_box(points))));
+        });
+        group.bench_with_input(BenchmarkId::new("kmeans_k2", n), &points, |b, points| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(KMeans::new(2).fit(black_box(points), &mut rng))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("xmeans", n), &points, |b, points| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(XMeans::new(1, 4).fit(black_box(points), &mut rng))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("meanshift", n), &points, |b, points| {
+            let ms = MeanShift::new(1.0);
+            b.iter(|| black_box(ms.fit(black_box(points))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clusterers);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Per-round voting latency — the §7 implementation note ("history-aware
+//! voting round in 1 ms, stateless vote in 50 µs" on Python): one benchmark
+//! per algorithm over the paper's 5-candidate rounds, plus the full engine
+//! path with quorum/exclusion/fault policies.
+
+use avoc_bench::Fig6Config;
+use avoc_core::{Quorum, Round, VotingEngine};
+use avoc_vdx::VdxSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn rounds_for_bench(n: usize) -> Vec<Round> {
+    Fig6Config {
+        rounds: n,
+        ..Fig6Config::default()
+    }
+    .faulty_trace()
+    .iter_rounds()
+    .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let rounds = rounds_for_bench(512);
+    let cfg = Fig6Config::default();
+    let mut group = c.benchmark_group("vote_round_5_candidates");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, _) in cfg.roster() {
+        group.bench_function(name, |b| {
+            // One voter reused across iterations: steady-state cost, with
+            // history warm-up amortised identically across algorithms.
+            let mut voter = cfg.voter(name);
+            let mut i = 0usize;
+            b.iter(|| {
+                let round = &rounds[i % rounds.len()];
+                i += 1;
+                black_box(voter.vote(black_box(round)).expect("vote"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_path(c: &mut Criterion) {
+    let rounds = rounds_for_bench(512);
+    let mut group = c.benchmark_group("engine_submit");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("avoc_engine_defaults", |b| {
+        let mut engine = avoc_vdx::build_engine(&VdxSpec::avoc()).expect("valid spec");
+        let mut i = 0usize;
+        b.iter(|| {
+            let round = &rounds[i % rounds.len()];
+            i += 1;
+            black_box(engine.submit(black_box(round)).expect("submit"))
+        });
+    });
+
+    group.bench_function("avoc_engine_with_exclusion", |b| {
+        let voter = avoc_vdx::build_voter(&VdxSpec::avoc()).expect("valid spec");
+        let mut engine = VotingEngine::new(voter)
+            .with_quorum(Quorum::Majority)
+            .with_exclusion(avoc_core::Exclusion::StdDev(3.0));
+        let mut i = 0usize;
+        b.iter(|| {
+            let round = &rounds[i % rounds.len()];
+            i += 1;
+            black_box(engine.submit(black_box(round)).expect("submit"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_engine_path);
+criterion_main!(benches);

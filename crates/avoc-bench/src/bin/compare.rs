@@ -1,0 +1,126 @@
+//! The algorithm-comparison application (the paper's Fig. 5 shows an
+//! interactive GUI; this is its terminal counterpart): run any subset of
+//! algorithms side by side on a chosen scenario and inspect per-round
+//! outputs plus a summary.
+//!
+//! ```text
+//! cargo run -p avoc-bench --release --bin compare -- \
+//!     [--scenario light|light-faulty|ble] [--rounds N] [--seed S] \
+//!     [--head K] [algo ...]
+//! ```
+
+use avoc_bench::{run_voter, Fig6Config};
+use avoc_metrics::{Summary, Table};
+use avoc_sim::{BleScenario, RecordedTrace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario = "light-faulty".to_owned();
+    let mut rounds = 500usize;
+    let mut seed = 7u64;
+    let mut head = 10usize;
+    let mut algos: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => {
+                i += 1;
+                scenario = args[i].clone();
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = args[i].parse().expect("--rounds takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes a number");
+            }
+            "--head" => {
+                i += 1;
+                head = args[i].parse().expect("--head takes a number");
+            }
+            other => algos.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if algos.is_empty() {
+        algos = vec![
+            "avg".into(),
+            "standard".into(),
+            "me".into(),
+            "hybrid".into(),
+            "clustering".into(),
+            "avoc".into(),
+        ];
+    }
+
+    let cfg = Fig6Config {
+        seed,
+        rounds,
+        ..Fig6Config::default()
+    };
+    let trace: RecordedTrace = match scenario.as_str() {
+        "light" => cfg.clean_trace(),
+        "light-faulty" => cfg.faulty_trace(),
+        "ble" => BleScenario::paper_default(seed).generate().stack_a,
+        other => {
+            eprintln!("unknown scenario `{other}`; use light|light-faulty|ble");
+            std::process::exit(2);
+        }
+    };
+
+    let runs: Vec<(String, Vec<Option<f64>>)> = algos
+        .iter()
+        .map(|name| {
+            let mut voter = cfg.voter(name);
+            (name.clone(), run_voter(voter.as_mut(), &trace))
+        })
+        .collect();
+
+    // Head table: first K rounds side by side.
+    let mut headers = vec!["round".to_owned()];
+    headers.extend(runs.iter().map(|(n, _)| n.clone()));
+    let mut t = Table::new(headers);
+    for r in 0..head.min(trace.rounds()) {
+        let mut row = vec![r.to_string()];
+        for (_, series) in &runs {
+            row.push(series[r].map_or("-".to_owned(), |v| format!("{v:.3}")));
+        }
+        t.row(row);
+    }
+    println!("== {scenario}: first {head} fused outputs ==");
+    println!("{t}");
+
+    // Summary table.
+    let mut s = Table::new(vec![
+        "algorithm".into(),
+        "mean".into(),
+        "sd".into(),
+        "min".into(),
+        "max".into(),
+    ]);
+    for (name, series) in &runs {
+        match Summary::of(series) {
+            Some(sum) => {
+                s.row(vec![
+                    name.clone(),
+                    format!("{:.3}", sum.mean),
+                    format!("{:.3}", sum.std_dev),
+                    format!("{:.3}", sum.min),
+                    format!("{:.3}", sum.max),
+                ]);
+            }
+            None => {
+                s.row(vec![
+                    name.clone(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    println!("== summary over {} rounds ==", trace.rounds());
+    println!("{s}");
+}

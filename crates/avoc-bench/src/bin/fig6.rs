@@ -1,0 +1,265 @@
+//! Reproduces Figure 6 of the paper (UC-1: light sensors, error injection).
+//!
+//! ```text
+//! cargo run -p avoc-bench --release --bin fig6 -- [a|b|c|d|e|f|table|all] [--rounds N] [--seed S]
+//! ```
+//!
+//! * `a` — raw reference data (Fig. 6-a)
+//! * `b` — voting output of every variant on clean data (Fig. 6-b)
+//! * `c` — raw data with the +6 klm fault on E4 (Fig. 6-c)
+//! * `d` — voting output under the fault (Fig. 6-d)
+//! * `e` — per-algorithm output difference faulty-vs-clean (Fig. 6-e)
+//! * `f` — zoom on the first 10 rounds (Fig. 6-f)
+//! * `table` — convergence metrics and the AVOC boost ratios (§7 headline)
+
+use avoc_bench::{downsample, run_voter, Fig6Config};
+use avoc_metrics::series::max_abs;
+use avoc_metrics::{diff_series, AsciiPlot, ConvergenceReport, Summary, Table};
+use avoc_sim::RecordedTrace;
+
+const PLOT_W: usize = 100;
+const PLOT_H: usize = 16;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_owned();
+    let mut cfg = Fig6Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rounds" => {
+                i += 1;
+                cfg.rounds = args[i].parse().expect("--rounds takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed takes a number");
+            }
+            other => which = other.to_owned(),
+        }
+        i += 1;
+    }
+
+    let clean = cfg.clean_trace();
+    let faulty = cfg.faulty_trace();
+
+    match which.as_str() {
+        "a" => fig_a(&clean),
+        "b" => fig_b(&cfg, &clean),
+        "c" => fig_a_faulty(&faulty),
+        "d" => fig_d(&cfg, &faulty),
+        "e" => fig_e(&cfg, &clean, &faulty, None),
+        "f" => fig_e(&cfg, &clean, &faulty, Some(10)),
+        "table" => table(&cfg, &clean, &faulty),
+        "all" => {
+            fig_a(&clean);
+            fig_b(&cfg, &clean);
+            fig_a_faulty(&faulty);
+            fig_d(&cfg, &faulty);
+            fig_e(&cfg, &clean, &faulty, None);
+            fig_e(&cfg, &clean, &faulty, Some(10));
+            table(&cfg, &clean, &faulty);
+        }
+        other => {
+            eprintln!("unknown figure `{other}`; use a|b|c|d|e|f|table|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn sensor_glyph(i: usize) -> char {
+    ['1', '2', '3', '4', '5', '6', '7', '8', '9'][i % 9]
+}
+
+fn algo_glyph(name: &str) -> char {
+    match name {
+        "avg" => 'a',
+        "stateless" => 'w',
+        "standard" => 's',
+        "me" => 'm',
+        "sdt" => 'd',
+        "hybrid" => 'h',
+        "clustering" => 'c',
+        "avoc" => 'A',
+        _ => '?',
+    }
+}
+
+fn fig_a(clean: &RecordedTrace) {
+    let mut plot = AsciiPlot::new(
+        "Fig 6-a: raw sensor data (klm; glyph = sensor index)",
+        PLOT_W,
+        PLOT_H,
+    );
+    for s in 0..clean.modules().len() {
+        plot.series(sensor_glyph(s), downsample(&clean.series(s), PLOT_W));
+    }
+    print!("{}", plot.render());
+    for s in 0..clean.modules().len() {
+        let summary = Summary::of(&clean.series(s)).expect("non-empty");
+        println!("  {}: {}", clean.modules()[s], summary);
+    }
+    println!();
+}
+
+fn fig_a_faulty(faulty: &RecordedTrace) {
+    let mut plot = AsciiPlot::new(
+        "Fig 6-c: raw sensor data with E4 faulty (+6 klm)",
+        PLOT_W,
+        PLOT_H,
+    );
+    for s in 0..faulty.modules().len() {
+        plot.series(sensor_glyph(s), downsample(&faulty.series(s), PLOT_W));
+    }
+    print!("{}", plot.render());
+    println!();
+}
+
+/// Runs every roster algorithm over a trace, returning (name, outputs).
+fn outputs_on(cfg: &Fig6Config, trace: &RecordedTrace) -> Vec<(&'static str, Vec<Option<f64>>)> {
+    cfg.roster()
+        .into_iter()
+        .map(|(name, mut voter)| (name, run_voter(voter.as_mut(), trace)))
+        .collect()
+}
+
+fn fig_b(cfg: &Fig6Config, clean: &RecordedTrace) {
+    let runs = outputs_on(cfg, clean);
+    let mut plot = AsciiPlot::new(
+        "Fig 6-b: voting output on clean data (all variants coincide)",
+        PLOT_W,
+        PLOT_H,
+    );
+    for (name, series) in &runs {
+        plot.series(algo_glyph(name), downsample(series, PLOT_W));
+    }
+    print!("{}", plot.render());
+
+    let mut t = Table::new(vec![
+        "algorithm".into(),
+        "mean".into(),
+        "sd".into(),
+        "max |Δ vs avg|".into(),
+    ]);
+    let reference = &runs[0].1;
+    for (name, series) in &runs {
+        let s = Summary::of(series).expect("non-empty");
+        let delta = max_abs(&diff_series(series, reference)).unwrap_or(0.0);
+        t.row(vec![
+            (*name).into(),
+            format!("{:.4}", s.mean),
+            format!("{:.4}", s.std_dev),
+            format!("{delta:.4}"),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn fig_d(cfg: &Fig6Config, faulty: &RecordedTrace) {
+    let runs = outputs_on(cfg, faulty);
+    let mut plot = AsciiPlot::new("Fig 6-d: voting output under the E4 fault", PLOT_W, PLOT_H);
+    for (name, series) in &runs {
+        if matches!(
+            *name,
+            "hybrid" | "clustering" | "avoc" | "avg" | "standard" | "me"
+        ) {
+            plot.series(algo_glyph(name), downsample(series, PLOT_W));
+        }
+    }
+    print!("{}", plot.render());
+    println!();
+}
+
+fn fig_e(cfg: &Fig6Config, clean: &RecordedTrace, faulty: &RecordedTrace, zoom: Option<usize>) {
+    let clean_runs = outputs_on(cfg, clean);
+    let faulty_runs = outputs_on(cfg, faulty);
+
+    let title = match zoom {
+        Some(n) => format!("Fig 6-f: error-injection diff, first {n} rounds (bootstrap zoom)"),
+        None => "Fig 6-e: error-injection effect on voting (faulty − clean)".to_owned(),
+    };
+    let mut plot = AsciiPlot::new(title, PLOT_W, PLOT_H);
+    let mut t = Table::new(vec![
+        "algorithm".into(),
+        "mean |Δ|".into(),
+        "peak Δ".into(),
+        "final Δ".into(),
+    ]);
+    for ((name, clean_series), (_, faulty_series)) in clean_runs.iter().zip(&faulty_runs) {
+        let mut diff = diff_series(faulty_series, clean_series);
+        if let Some(n) = zoom {
+            diff.truncate(n);
+        }
+        let abs: Vec<f64> = diff.iter().flatten().map(|v| v.abs()).collect();
+        let mean_abs = abs.iter().sum::<f64>() / abs.len().max(1) as f64;
+        let peak = max_abs(&diff).unwrap_or(0.0);
+        let last = diff.iter().rev().flatten().next().copied().unwrap_or(0.0);
+        t.row(vec![
+            (*name).into(),
+            format!("{mean_abs:.4}"),
+            format!("{peak:.4}"),
+            format!("{last:.4}"),
+        ]);
+        plot.series(algo_glyph(name), downsample(&diff, PLOT_W));
+    }
+    print!("{}", plot.render());
+    println!("{t}");
+}
+
+fn table(cfg: &Fig6Config, clean: &RecordedTrace, faulty: &RecordedTrace) {
+    let clean_runs = outputs_on(cfg, clean);
+    let faulty_runs = outputs_on(cfg, faulty);
+    let epsilon = 0.15; // klm band around the clean output
+    let sustain = 8; // one second at 8 S/s
+    let window = 8; // smoothing for selection-collation jitter
+
+    let mut reports = Vec::new();
+    for ((name, clean_series), (_, faulty_series)) in clean_runs.iter().zip(&faulty_runs) {
+        reports.push(ConvergenceReport::compare_smoothed(
+            *name,
+            clean_series,
+            faulty_series,
+            epsilon,
+            sustain,
+            window,
+        ));
+    }
+
+    let avoc = reports
+        .iter()
+        .find(|r| r.algorithm == "avoc")
+        .expect("avoc in roster")
+        .clone();
+    let mut t = Table::new(vec![
+        "algorithm".into(),
+        "rounds to converge".into(),
+        "stable |Δ|".into(),
+        "peak |Δ|".into(),
+        "AVOC boost".into(),
+    ]);
+    for r in &reports {
+        let rounds = r
+            .rounds_to_converge
+            .map_or("never".to_owned(), |n| n.to_string());
+        let boost = match (avoc.rounds_to_converge, r.rounds_to_converge) {
+            (Some(a), Some(b)) => {
+                // Convergence cost in rounds is index+1 so an instant
+                // round-0 convergence is 1 round of cost, not 0.
+                format!("{:.1}x", (b + 1) as f64 / (a + 1) as f64)
+            }
+            (Some(_), None) => "inf".to_owned(),
+            _ => "-".to_owned(),
+        };
+        t.row(vec![
+            r.algorithm.clone(),
+            rounds,
+            format!("{:.4}", r.stable_deviation),
+            format!("{:.4}", r.peak_deviation),
+            boost,
+        ]);
+    }
+    println!(
+        "== §7 UC-1 convergence (ε = {epsilon} klm, {window}-round smoothing, sustained {sustain} rounds) =="
+    );
+    println!("{t}");
+}

@@ -1,0 +1,121 @@
+//! Reproduces the §7 implementation note: "the system can execute a
+//! history-aware voting round in 1 millisecond and a stateless vote in 50
+//! microseconds (datastore reads and writes being the bottleneck)".
+//!
+//! Rust absolute numbers are far lower than the paper's Python ones; the
+//! *shape* to verify is (a) history-aware rounds cost a multiple of
+//! stateless rounds, and (b) a durable datastore dominates the round cost.
+//!
+//! ```text
+//! cargo run -p avoc-bench --release --bin latency -- [--rounds N]
+//! ```
+
+use avoc_bench::Fig6Config;
+use avoc_core::algorithms::{HybridVoter, StandardVoter};
+use avoc_core::{Collation, MemoryHistory, Round, Voter};
+use avoc_metrics::Table;
+use avoc_store::{CachedHistory, FileHistory};
+use std::time::Instant;
+
+fn time_per_round<V: Voter>(mut voter: V, rounds: &[Round]) -> f64 {
+    // Warm-up pass to populate histories and caches.
+    for r in rounds.iter().take(100) {
+        let _ = voter.vote(r);
+    }
+    let start = Instant::now();
+    for r in rounds {
+        let _ = voter.vote(r);
+    }
+    start.elapsed().as_secs_f64() * 1e6 / rounds.len() as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n = 20_000usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rounds" => {
+                i += 1;
+                n = args[i].parse().expect("--rounds takes a number");
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = Fig6Config {
+        rounds: n,
+        ..Fig6Config::default()
+    };
+    let trace = cfg.clean_trace();
+    let rounds: Vec<Round> = trace.iter_rounds().collect();
+
+    let mut t = Table::new(vec![
+        "configuration".into(),
+        "µs / round".into(),
+        "vs stateless".into(),
+    ]);
+
+    let stateless = time_per_round(
+        avoc_core::algorithms::StatelessWeightedVoter::new(
+            cfg.voter_config(cfg.fast_rate, Collation::WeightedMean),
+        ),
+        &rounds,
+    );
+    let history_mem = time_per_round(
+        StandardVoter::new(
+            cfg.voter_config(cfg.fast_rate, Collation::WeightedMean),
+            MemoryHistory::new(),
+        ),
+        &rounds,
+    );
+    let hybrid_mem = time_per_round(
+        HybridVoter::new(
+            cfg.voter_config(cfg.fast_rate, Collation::MeanNearestNeighbor),
+            MemoryHistory::new(),
+        ),
+        &rounds,
+    );
+
+    let wal_path = std::env::temp_dir().join(format!("avoc-latency-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&wal_path);
+    let history_file = time_per_round(
+        StandardVoter::new(
+            cfg.voter_config(cfg.fast_rate, Collation::WeightedMean),
+            FileHistory::open(&wal_path).expect("temp file"),
+        ),
+        &rounds,
+    );
+    let _ = std::fs::remove_file(&wal_path);
+    let history_cached = time_per_round(
+        StandardVoter::new(
+            cfg.voter_config(cfg.fast_rate, Collation::WeightedMean),
+            CachedHistory::new(FileHistory::open(&wal_path).expect("temp file")),
+        ),
+        &rounds,
+    );
+    let _ = std::fs::remove_file(&wal_path);
+
+    for (name, us) in [
+        ("stateless weighted (no history)", stateless),
+        ("history-aware, in-memory store", history_mem),
+        ("hybrid, in-memory store", hybrid_mem),
+        ("history-aware, file WAL store", history_file),
+        ("history-aware, cached file store", history_cached),
+    ] {
+        t.row(vec![
+            name.into(),
+            format!("{us:.2}"),
+            format!("{:.1}x", us / stateless),
+        ]);
+    }
+    println!("== §7 implementation-note latency shape ({n} rounds, 5 candidates) ==");
+    println!("{t}");
+    println!(
+        "(paper, Python 3.9: stateless ≈ 50 µs, history-aware ≈ 1000 µs — a ~20×\n gap dominated by the datastore; compare the file-WAL row against the\n in-memory and cached rows to see the same bottleneck and its mitigation)"
+    );
+}

@@ -1,0 +1,246 @@
+//! A from-scratch DBSCAN implementation (Ester et al., KDD '96).
+//!
+//! The paper notes that AVOC's grouping logic "is similar to DBSCAN"; this
+//! module provides the real thing for multi-dimensional bootstrap scenarios
+//! and for the ablation benches that compare grouping strategies.
+
+use crate::point::Point;
+
+/// Per-point label assigned by [`Dbscan::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbscanLabel {
+    /// Point belongs to the cluster with the given id (0-based).
+    Cluster(usize),
+    /// Point is density-noise.
+    Noise,
+}
+
+impl DbscanLabel {
+    /// The cluster id, if the point is not noise.
+    pub fn cluster_id(self) -> Option<usize> {
+        match self {
+            DbscanLabel::Cluster(id) => Some(id),
+            DbscanLabel::Noise => None,
+        }
+    }
+
+    /// Whether the point was labelled noise.
+    pub fn is_noise(self) -> bool {
+        matches!(self, DbscanLabel::Noise)
+    }
+}
+
+/// Density-based spatial clustering of applications with noise.
+///
+/// # Example
+///
+/// ```
+/// use avoc_cluster::{Dbscan, Point};
+///
+/// let points: Vec<Point> = [0.0, 0.1, 0.2, 9.0, 9.1, 50.0]
+///     .iter().map(|&v| Point::scalar(v)).collect();
+/// let labels = Dbscan::new(0.5, 2).fit(&points);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[3]);
+/// assert!(labels[5].is_noise());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dbscan {
+    eps: f64,
+    min_points: usize,
+}
+
+impl Dbscan {
+    /// Creates a DBSCAN instance with neighbourhood radius `eps` and core
+    /// density `min_points` (a point is *core* when at least `min_points`
+    /// points, itself included, lie within `eps`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not finite and positive, or `min_points == 0`.
+    pub fn new(eps: f64, min_points: usize) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be positive, got {eps}"
+        );
+        assert!(min_points > 0, "min_points must be at least 1");
+        Dbscan { eps, min_points }
+    }
+
+    /// The neighbourhood radius.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The core-point density requirement.
+    pub fn min_points(&self) -> usize {
+        self.min_points
+    }
+
+    /// Clusters `points`, returning one label per input point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points do not all share the same dimensionality.
+    pub fn fit(&self, points: &[Point]) -> Vec<DbscanLabel> {
+        const UNVISITED: isize = -2;
+        const NOISE: isize = -1;
+        let n = points.len();
+        let mut labels = vec![UNVISITED; n];
+        let mut next_cluster: isize = 0;
+
+        for i in 0..n {
+            if labels[i] != UNVISITED {
+                continue;
+            }
+            let neighbours = self.region_query(points, i);
+            if neighbours.len() < self.min_points {
+                labels[i] = NOISE;
+                continue;
+            }
+            let cluster = next_cluster;
+            next_cluster += 1;
+            labels[i] = cluster;
+            // Expand cluster with a worklist.
+            let mut queue: Vec<usize> = neighbours;
+            let mut qi = 0;
+            while qi < queue.len() {
+                let p = queue[qi];
+                qi += 1;
+                if labels[p] == NOISE {
+                    labels[p] = cluster; // border point
+                }
+                if labels[p] != UNVISITED {
+                    continue;
+                }
+                labels[p] = cluster;
+                let p_neighbours = self.region_query(points, p);
+                if p_neighbours.len() >= self.min_points {
+                    queue.extend(p_neighbours);
+                }
+            }
+        }
+
+        labels
+            .into_iter()
+            .map(|l| {
+                if l < 0 {
+                    DbscanLabel::Noise
+                } else {
+                    DbscanLabel::Cluster(l as usize)
+                }
+            })
+            .collect()
+    }
+
+    /// Returns the points of the largest cluster (by member count), or `None`
+    /// when every point is noise or the input is empty.
+    pub fn largest_cluster_members(&self, points: &[Point]) -> Option<Vec<usize>> {
+        let labels = self.fit(points);
+        let max_id = labels.iter().filter_map(|l| l.cluster_id()).max()?;
+        let mut best: Option<Vec<usize>> = None;
+        for id in 0..=max_id {
+            let members: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.cluster_id() == Some(id))
+                .map(|(i, _)| i)
+                .collect();
+            if best.as_ref().is_none_or(|b| members.len() > b.len()) {
+                best = Some(members);
+            }
+        }
+        best
+    }
+
+    fn region_query(&self, points: &[Point], i: usize) -> Vec<usize> {
+        let eps_sq = self.eps * self.eps;
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| points[i].distance_sq(p) <= eps_sq)
+            .map(|(j, _)| j)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(vs: &[f64]) -> Vec<Point> {
+        vs.iter().map(|&v| Point::scalar(v)).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_no_labels() {
+        assert!(Dbscan::new(1.0, 2).fit(&[]).is_empty());
+    }
+
+    #[test]
+    fn two_blobs_and_noise() {
+        let points = pts(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2, 100.0]);
+        let labels = Dbscan::new(0.5, 2).fit(&points);
+        assert_eq!(labels[0].cluster_id(), labels[1].cluster_id());
+        assert_eq!(labels[1].cluster_id(), labels[2].cluster_id());
+        assert_eq!(labels[3].cluster_id(), labels[4].cluster_id());
+        assert_ne!(labels[0].cluster_id(), labels[3].cluster_id());
+        assert!(labels[6].is_noise());
+    }
+
+    #[test]
+    fn all_noise_when_sparse() {
+        let points = pts(&[0.0, 10.0, 20.0]);
+        let labels = Dbscan::new(1.0, 2).fit(&points);
+        assert!(labels.iter().all(|l| l.is_noise()));
+        assert!(Dbscan::new(1.0, 2)
+            .largest_cluster_members(&points)
+            .is_none());
+    }
+
+    #[test]
+    fn min_points_one_clusters_everything() {
+        let points = pts(&[0.0, 100.0]);
+        let labels = Dbscan::new(1.0, 1).fit(&points);
+        assert!(labels.iter().all(|l| !l.is_noise()));
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // 0.0 .. 0.4 chain with min_points 3: ends are border points.
+        let points = pts(&[0.0, 0.1, 0.2, 0.3, 0.4]);
+        let labels = Dbscan::new(0.15, 3).fit(&points);
+        let id = labels[2].cluster_id().expect("middle is core");
+        assert!(labels.iter().all(|l| l.cluster_id() == Some(id)));
+    }
+
+    #[test]
+    fn largest_cluster_members_picks_biggest() {
+        let points = pts(&[0.0, 0.1, 0.2, 5.0, 5.1]);
+        let members = Dbscan::new(0.3, 2)
+            .largest_cluster_members(&points)
+            .unwrap();
+        assert_eq!(members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn works_in_two_dimensions() {
+        let points = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![0.1, 0.1]),
+            Point::new(vec![5.0, 5.0]),
+            Point::new(vec![5.1, 5.0]),
+        ];
+        let labels = Dbscan::new(0.5, 2).fit(&points);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_eps_panics() {
+        let _ = Dbscan::new(0.0, 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Building block for [`crate::xmeans`] and available directly for
+//! multi-dimensional bootstrap experiments.
+
+use crate::point::{centroid, Point};
+use rand::Rng;
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Final cluster centroids (`<= k` of them if clusters emptied out).
+    pub centroids: Vec<Point>,
+    /// For each input point, the index of its centroid in `centroids`.
+    pub assignments: Vec<usize>,
+    /// Total residual sum of squared distances point→assigned centroid.
+    pub rss: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Sizes of each cluster, indexed like `centroids`.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Indices of the points assigned to cluster `id`.
+    pub fn members_of(&self, id: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == id)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Configurable k-means clusterer.
+///
+/// # Example
+///
+/// ```
+/// use avoc_cluster::{KMeans, Point};
+/// use rand::SeedableRng;
+///
+/// let points: Vec<Point> = [1.0, 1.1, 0.9, 8.0, 8.2, 7.9]
+///     .iter().map(|&v| Point::scalar(v)).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let fit = KMeans::new(2).fit(&points, &mut rng).expect("k <= n");
+/// assert_eq!(fit.cluster_sizes().iter().sum::<usize>(), 6);
+/// assert!(fit.rss < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeans {
+    k: usize,
+    max_iter: usize,
+}
+
+impl KMeans {
+    /// Creates a k-means clusterer for `k` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        KMeans { k, max_iter: 100 }
+    }
+
+    /// Sets the Lloyd-iteration cap (default 100).
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter.max(1);
+        self
+    }
+
+    /// The requested number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Fits the model. Returns `None` when there are fewer points than
+    /// clusters requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if points have mixed dimensionality.
+    pub fn fit<R: Rng + ?Sized>(&self, points: &[Point], rng: &mut R) -> Option<KMeansResult> {
+        if points.len() < self.k {
+            return None;
+        }
+        let mut centroids = self.seed_plus_plus(points, rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut iterations = 0;
+
+        for _ in 0..self.max_iter {
+            iterations += 1;
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = nearest(p, &centroids);
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids; keep an emptied cluster's previous
+            // centroid so indices stay stable.
+            for (id, c) in centroids.iter_mut().enumerate() {
+                let members: Vec<Point> = points
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| assignments[*i] == id)
+                    .map(|(_, p)| p.clone())
+                    .collect();
+                if let Some(new_c) = centroid(&members) {
+                    *c = new_c;
+                }
+            }
+            if !changed && iterations > 1 {
+                break;
+            }
+        }
+
+        let rss = points
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &a)| p.distance_sq(&centroids[a]))
+            .sum();
+        Some(KMeansResult {
+            centroids,
+            assignments,
+            rss,
+            iterations,
+        })
+    }
+
+    /// k-means++ seeding: first centre uniform, subsequent centres sampled
+    /// proportionally to squared distance from the nearest chosen centre.
+    fn seed_plus_plus<R: Rng + ?Sized>(&self, points: &[Point], rng: &mut R) -> Vec<Point> {
+        let mut centroids: Vec<Point> = Vec::with_capacity(self.k);
+        let first = rng.random_range(0..points.len());
+        centroids.push(points[first].clone());
+        while centroids.len() < self.k {
+            let d2: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| p.distance_sq(c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            if total <= 0.0 {
+                // All remaining points coincide with chosen centres; duplicate
+                // an arbitrary point to keep k centroids.
+                centroids.push(points[0].clone());
+                continue;
+            }
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            centroids.push(points[chosen].clone());
+        }
+        centroids
+    }
+}
+
+fn nearest(p: &Point, centroids: &[Point]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = p.distance_sq(c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pts(vs: &[f64]) -> Vec<Point> {
+        vs.iter().map(|&v| Point::scalar(v)).collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let points = pts(&[1.0, 1.2, 0.8, 10.0, 10.2, 9.8]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let fit = KMeans::new(2).fit(&points, &mut rng).unwrap();
+        assert_eq!(fit.assignments[0], fit.assignments[1]);
+        assert_eq!(fit.assignments[0], fit.assignments[2]);
+        assert_eq!(fit.assignments[3], fit.assignments[4]);
+        assert_ne!(fit.assignments[0], fit.assignments[3]);
+        assert!(fit.rss < 0.2, "rss = {}", fit.rss);
+    }
+
+    #[test]
+    fn too_few_points_returns_none() {
+        let points = pts(&[1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(KMeans::new(2).fit(&points, &mut rng).is_none());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_rss() {
+        let points = pts(&[1.0, 5.0, 9.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let fit = KMeans::new(3).fit(&points, &mut rng).unwrap();
+        assert!(fit.rss < 1e-12);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let points = pts(&[2.0, 4.0, 6.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let fit = KMeans::new(1).fit(&points, &mut rng).unwrap();
+        assert!((fit.centroids[0][0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let points = pts(&[3.0, 3.0, 3.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let fit = KMeans::new(2).fit(&points, &mut rng).unwrap();
+        assert!(fit.rss < 1e-12);
+        assert_eq!(fit.assignments.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let points = pts(&[1.0, 2.0, 8.0, 9.0, 15.0, 16.0]);
+        let fit_a = KMeans::new(3)
+            .fit(&points, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        let fit_b = KMeans::new(3)
+            .fit(&points, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        assert_eq!(fit_a.assignments, fit_b.assignments);
+    }
+
+    #[test]
+    fn members_of_and_sizes_agree() {
+        let points = pts(&[1.0, 1.1, 9.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let fit = KMeans::new(2).fit(&points, &mut rng).unwrap();
+        let sizes = fit.cluster_sizes();
+        for (id, &size) in sizes.iter().enumerate() {
+            assert_eq!(fit.members_of(id).len(), size);
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn two_dimensional_blobs() {
+        let points = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![0.2, -0.1]),
+            Point::new(vec![10.0, 10.0]),
+            Point::new(vec![10.1, 9.9]),
+        ];
+        let mut rng = StdRng::seed_from_u64(4);
+        let fit = KMeans::new(2).fit(&points, &mut rng).unwrap();
+        assert_eq!(fit.assignments[0], fit.assignments[1]);
+        assert_eq!(fit.assignments[2], fit.assignments[3]);
+        assert_ne!(fit.assignments[0], fit.assignments[2]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Silhouette analysis: a label-free quality score for a clustering,
+//! used by the ablation harness to compare bootstrap grouping strategies
+//! and to sanity-check bandwidth/k choices for the §5 multi-dimensional
+//! generalisation.
+
+use crate::point::Point;
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`
+/// (higher = tighter, better-separated clusters).
+///
+/// `assignments[i]` is point `i`'s cluster id. Singleton clusters
+/// contribute a coefficient of `0`, per the standard convention. Returns
+/// `None` when there are fewer than two clusters or fewer than two points
+/// — separation is undefined then.
+///
+/// # Example
+///
+/// ```
+/// use avoc_cluster::{silhouette::silhouette_score, Point};
+///
+/// let points: Vec<Point> = [0.0, 0.1, 10.0, 10.1]
+///     .iter().map(|&v| Point::scalar(v)).collect();
+/// let good = silhouette_score(&points, &[0, 0, 1, 1]).unwrap();
+/// let bad = silhouette_score(&points, &[0, 1, 0, 1]).unwrap();
+/// assert!(good > 0.9);
+/// assert!(bad < 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `points` and `assignments` differ in length.
+pub fn silhouette_score(points: &[Point], assignments: &[usize]) -> Option<f64> {
+    assert_eq!(
+        points.len(),
+        assignments.len(),
+        "points/assignments length mismatch"
+    );
+    if points.len() < 2 {
+        return None;
+    }
+    let max_id = *assignments.iter().max()?;
+    let mut sizes = vec![0usize; max_id + 1];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return None;
+    }
+
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            continue; // singleton contributes 0
+        }
+        // Mean distance to each cluster.
+        let mut sums = vec![0.0f64; max_id + 1];
+        for (j, q) in points.iter().enumerate() {
+            if i != j {
+                sums[assignments[j]] += p.distance(q);
+            }
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..=max_id)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Some(total / points.len() as f64)
+}
+
+/// Silhouette score of a one-dimensional [`crate::Clustering`] produced by
+/// the agreement clusterer, against its original values.
+///
+/// Returns `None` under the same conditions as [`silhouette_score`].
+pub fn clustering_silhouette(values: &[f64], clustering: &crate::Clustering) -> Option<f64> {
+    let points: Vec<Point> = values.iter().map(|&v| Point::scalar(v)).collect();
+    let mut assignments = vec![0usize; values.len()];
+    for (id, cluster) in clustering.clusters().iter().enumerate() {
+        for &i in cluster.members() {
+            assignments[i] = id;
+        }
+    }
+    silhouette_score(&points, &assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AgreementClusterer, MarginMode};
+
+    fn pts(vs: &[f64]) -> Vec<Point> {
+        vs.iter().map(|&v| Point::scalar(v)).collect()
+    }
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let points = pts(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
+        let s = silhouette_score(&points, &[0, 0, 0, 1, 1, 1]).unwrap();
+        assert!(s > 0.9, "score {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_poorly() {
+        let points = pts(&[0.0, 0.1, 0.2, 10.0, 10.1, 10.2]);
+        let s = silhouette_score(&points, &[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(s < 0.0, "score {s}");
+    }
+
+    #[test]
+    fn single_cluster_is_undefined() {
+        let points = pts(&[1.0, 2.0, 3.0]);
+        assert!(silhouette_score(&points, &[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn tiny_inputs_are_undefined() {
+        assert!(silhouette_score(&pts(&[1.0]), &[0]).is_none());
+        assert!(silhouette_score(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        // Two tight points + one singleton: the singleton drags the mean
+        // towards zero but not below the pair's positive score.
+        let points = pts(&[0.0, 0.1, 50.0]);
+        let s = silhouette_score(&points, &[0, 0, 1]).unwrap();
+        assert!(s > 0.5 && s < 1.0, "score {s}");
+    }
+
+    #[test]
+    fn agreement_clustering_of_voting_round_scores_well() {
+        let values = [18.0, 18.1, 17.95, 24.0, 24.2];
+        let clustering = AgreementClusterer::new(0.05, MarginMode::Relative).cluster(&values);
+        let s = clustering_silhouette(&values, &clustering).unwrap();
+        assert!(s > 0.8, "score {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = silhouette_score(&pts(&[1.0]), &[0, 1]);
+    }
+}

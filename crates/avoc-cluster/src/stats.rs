@@ -1,0 +1,143 @@
+//! Small statistics helpers used by the clustering algorithms (and exported
+//! for reuse by the rest of the workspace).
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance of a slice. Returns `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median of a slice (average of the two middle elements for even lengths).
+/// Returns `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in median input"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Some(sorted[n / 2])
+    } else {
+        Some((sorted[n / 2 - 1] + sorted[n / 2]) / 2.0)
+    }
+}
+
+/// Bayesian Information Criterion for a set of spherical-Gaussian clusters
+/// in the X-means style (Pelleg & Moore), with a *per-cluster* variance
+/// estimate — the variant used by practical X-means implementations, which is
+/// markedly more robust for greedy centroid splitting than a single shared
+/// variance.
+///
+/// `clusters[i] = (size, rss)` gives, for cluster `i`, its point count and
+/// its residual sum of squared distances to its own centroid. `dim` is the
+/// data dimensionality.
+///
+/// Larger is better. Returns `f64::NEG_INFINITY` for degenerate inputs (no
+/// points). Zero-variance clusters are handled by a variance floor.
+pub fn bic(clusters: &[(usize, f64)], dim: usize) -> f64 {
+    let k = clusters.len();
+    let n: usize = clusters.iter().map(|(s, _)| s).sum();
+    if n == 0 || k == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let n_f = n as f64;
+    let d = dim as f64;
+
+    let mut log_likelihood = 0.0;
+    for &(size, rss) in clusters {
+        if size == 0 {
+            continue;
+        }
+        let r = size as f64;
+        // Maximum-likelihood variance with a floor to dodge log(0) for
+        // perfectly tight clusters.
+        let sigma_sq = (rss / r).max(1e-12);
+        log_likelihood += r * (r.ln() - n_f.ln())
+            - (r * d / 2.0) * (2.0 * std::f64::consts::PI * sigma_sq).ln()
+            - r * d / 2.0;
+    }
+    // Free parameters: k-1 mixture weights, k*d centroid coords, k variances.
+    let params = (k as f64 - 1.0) + k as f64 * d + k as f64;
+    log_likelihood - params / 2.0 * n_f.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_basic() {
+        assert_eq!(variance(&[2.0, 2.0, 2.0]), Some(0.0));
+        assert_eq!(variance(&[1.0, 3.0]), Some(1.0));
+        assert_eq!(variance(&[]), None);
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert_eq!(std_dev(&[1.0, 3.0]), Some(1.0));
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn bic_prefers_true_structure() {
+        // Two well-separated tight blobs: splitting into 2 clusters must give
+        // a higher BIC than lumping into 1.
+        let lump_rss = 2.0 * (5.0f64.powi(2) + 4.9f64.powi(2));
+        let one = bic(&[(4, lump_rss)], 1);
+        let pair_rss = 2.0 * 0.05f64.powi(2);
+        let two = bic(&[(2, pair_rss), (2, pair_rss)], 1);
+        assert!(two > one, "two={two} one={one}");
+    }
+
+    #[test]
+    fn bic_penalises_needless_split() {
+        // One tight blob: splitting it should NOT raise BIC.
+        // 10 evenly spaced points in [0, 0.9]: rss = sum (x - 0.45)^2.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
+        let m = mean(&xs).unwrap();
+        let rss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+        let one = bic(&[(10, rss)], 1);
+        // Split into halves [0,0.4] and [0.5,0.9].
+        let half_rss: f64 = (0..5)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                (x - 0.2) * (x - 0.2)
+            })
+            .sum();
+        let two = bic(&[(5, half_rss), (5, half_rss)], 1);
+        assert!(one > two, "one={one} two={two}");
+    }
+
+    #[test]
+    fn bic_degenerate() {
+        assert_eq!(bic(&[], 1), f64::NEG_INFINITY);
+        assert!(bic(&[(3, 0.0)], 1).is_finite());
+    }
+}

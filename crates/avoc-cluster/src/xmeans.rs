@@ -1,0 +1,302 @@
+//! X-means (Pelleg & Moore, ICML '00): k-means with automatic estimation of
+//! the number of clusters via BIC-scored centroid splitting.
+//!
+//! The AVOC paper names X-means as a candidate for generalising the clustering
+//! bootstrap to multi-dimensional data (§5).
+
+use crate::kmeans::KMeans;
+use crate::point::{centroid, Point};
+use crate::stats::bic;
+use rand::Rng;
+
+/// Result of an X-means fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XMeansResult {
+    /// Final centroids; `centroids.len()` is the estimated cluster count.
+    pub centroids: Vec<Point>,
+    /// Assignment of each input point to a centroid index.
+    pub assignments: Vec<usize>,
+    /// BIC score of the final model (larger is better).
+    pub bic: f64,
+}
+
+impl XMeansResult {
+    /// The estimated number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Indices of the points in the largest cluster.
+    pub fn largest_cluster_members(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        let best = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == best)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// X-means estimator searching `k` in `[k_min, k_max]`.
+///
+/// # Example
+///
+/// ```
+/// use avoc_cluster::{Point, XMeans};
+/// use rand::SeedableRng;
+///
+/// let mut points = Vec::new();
+/// for i in 0..20 {
+///     points.push(Point::scalar(i as f64 * 0.01));        // blob at ~0
+///     points.push(Point::scalar(100.0 + i as f64 * 0.01)); // blob at ~100
+/// }
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let fit = XMeans::new(1, 6).fit(&points, &mut rng).expect("enough points");
+/// assert_eq!(fit.k(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XMeans {
+    k_min: usize,
+    k_max: usize,
+    max_iter: usize,
+}
+
+impl XMeans {
+    /// Creates an X-means estimator searching between `k_min` and `k_max`
+    /// clusters (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_min == 0` or `k_min > k_max`.
+    pub fn new(k_min: usize, k_max: usize) -> Self {
+        assert!(k_min > 0, "k_min must be at least 1");
+        assert!(k_min <= k_max, "k_min must not exceed k_max");
+        XMeans {
+            k_min,
+            k_max,
+            max_iter: 100,
+        }
+    }
+
+    /// Sets the per-k-means Lloyd-iteration cap (default 100).
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter.max(1);
+        self
+    }
+
+    /// Fits the model; `None` when there are fewer points than `k_min`.
+    pub fn fit<R: Rng + ?Sized>(&self, points: &[Point], rng: &mut R) -> Option<XMeansResult> {
+        if points.len() < self.k_min {
+            return None;
+        }
+        let dim = points[0].dim();
+        // Start with k_min clusters.
+        let base = KMeans::new(self.k_min)
+            .with_max_iter(self.max_iter)
+            .fit(points, rng)?;
+        let mut centroids = base.centroids;
+        let mut assignments = base.assignments;
+
+        // Improve-structure loop: try splitting each centroid in two; keep
+        // the split when the local BIC of the pair beats the single parent.
+        loop {
+            if centroids.len() >= self.k_max {
+                break;
+            }
+            let mut new_centroids: Vec<Point> = Vec::new();
+            let mut split_any = false;
+            for (id, c) in centroids.iter().enumerate() {
+                let member_pts: Vec<Point> = points
+                    .iter()
+                    .zip(&assignments)
+                    .filter(|(_, &a)| a == id)
+                    .map(|(p, _)| p.clone())
+                    .collect();
+                if member_pts.len() < 4
+                    || centroids.len() + (new_centroids.len().saturating_sub(id)) >= self.k_max
+                {
+                    new_centroids.push(c.clone());
+                    continue;
+                }
+                let parent_rss: f64 = member_pts.iter().map(|p| p.distance_sq(c)).sum();
+                let parent_bic = bic(&[(member_pts.len(), parent_rss)], dim);
+
+                match KMeans::new(2)
+                    .with_max_iter(self.max_iter)
+                    .fit(&member_pts, rng)
+                {
+                    Some(split) => {
+                        let sizes = split.cluster_sizes();
+                        if sizes.contains(&0) {
+                            new_centroids.push(c.clone());
+                            continue;
+                        }
+                        let per_cluster: Vec<(usize, f64)> = (0..split.centroids.len())
+                            .map(|id| {
+                                let rss = member_pts
+                                    .iter()
+                                    .zip(&split.assignments)
+                                    .filter(|(_, &a)| a == id)
+                                    .map(|(p, _)| p.distance_sq(&split.centroids[id]))
+                                    .sum();
+                                (sizes[id], rss)
+                            })
+                            .collect();
+                        let child_bic = bic(&per_cluster, dim);
+                        if child_bic > parent_bic {
+                            new_centroids.extend(split.centroids);
+                            split_any = true;
+                        } else {
+                            new_centroids.push(c.clone());
+                        }
+                    }
+                    None => new_centroids.push(c.clone()),
+                }
+            }
+            if !split_any {
+                break;
+            }
+            centroids = new_centroids.into_iter().take(self.k_max).collect();
+            // Global refinement pass with the new k.
+            if let Some(refit) = KMeans::new(centroids.len())
+                .with_max_iter(self.max_iter)
+                .fit(points, rng)
+            {
+                centroids = refit.centroids;
+                assignments = refit.assignments;
+            }
+        }
+
+        // Final assignment + global BIC.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (j, c) in centroids.iter().enumerate() {
+                let d = p.distance_sq(c);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Recompute centroids for the final assignment to keep them honest.
+        for (id, c) in centroids.iter_mut().enumerate() {
+            let members: Vec<Point> = points
+                .iter()
+                .zip(&assignments)
+                .filter(|(_, &a)| a == id)
+                .map(|(p, _)| p.clone())
+                .collect();
+            if let Some(m) = centroid(&members) {
+                *c = m;
+            }
+        }
+        let mut per_cluster = vec![(0usize, 0.0f64); centroids.len()];
+        for (p, &a) in points.iter().zip(&assignments) {
+            per_cluster[a].0 += 1;
+            per_cluster[a].1 += p.distance_sq(&centroids[a]);
+        }
+        let score = bic(&per_cluster, dim);
+        Some(XMeansResult {
+            centroids,
+            assignments,
+            bic: score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob(center: f64, n: usize, spread: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::scalar(center + spread * (i as f64 / n as f64 - 0.5)))
+            .collect()
+    }
+
+    #[test]
+    fn finds_two_blobs() {
+        let mut points = blob(0.0, 20, 0.5);
+        points.extend(blob(100.0, 20, 0.5));
+        let mut rng = StdRng::seed_from_u64(1);
+        let fit = XMeans::new(1, 8).fit(&points, &mut rng).unwrap();
+        assert_eq!(fit.k(), 2, "expected 2 clusters, got {}", fit.k());
+    }
+
+    #[test]
+    fn finds_three_blobs() {
+        let mut points = blob(0.0, 15, 0.4);
+        points.extend(blob(50.0, 15, 0.4));
+        points.extend(blob(100.0, 15, 0.4));
+        let mut rng = StdRng::seed_from_u64(2);
+        let fit = XMeans::new(1, 8).fit(&points, &mut rng).unwrap();
+        assert_eq!(fit.k(), 3, "expected 3 clusters, got {}", fit.k());
+    }
+
+    #[test]
+    fn single_tight_blob_stays_one_cluster() {
+        let points = blob(10.0, 30, 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let fit = XMeans::new(1, 8).fit(&points, &mut rng).unwrap();
+        assert_eq!(fit.k(), 1, "expected 1 cluster, got {}", fit.k());
+    }
+
+    #[test]
+    fn respects_k_max() {
+        let mut points = Vec::new();
+        for c in [0.0, 30.0, 60.0, 90.0, 120.0] {
+            points.extend(blob(c, 10, 0.2));
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let fit = XMeans::new(1, 3).fit(&points, &mut rng).unwrap();
+        assert!(fit.k() <= 3);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(XMeans::new(2, 4)
+            .fit(&[Point::scalar(1.0)], &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn largest_cluster_members_covers_majority_blob() {
+        let mut points = blob(0.0, 25, 0.3);
+        points.extend(blob(100.0, 5, 0.3));
+        let mut rng = StdRng::seed_from_u64(6);
+        let fit = XMeans::new(1, 6).fit(&points, &mut rng).unwrap();
+        let members = fit.largest_cluster_members();
+        assert!(members.len() >= 25, "members: {}", members.len());
+        assert!(members.contains(&0));
+    }
+
+    #[test]
+    fn two_dimensional_structure() {
+        let mut points = Vec::new();
+        for i in 0..15u64 {
+            // Deterministic jitter, decorrelated across the two dimensions.
+            let ox = ((i * 7) % 15) as f64 * 0.01;
+            let oy = ((i * 11) % 15) as f64 * 0.01;
+            points.push(Point::new(vec![ox, oy]));
+            points.push(Point::new(vec![50.0 + ox, 50.0 - oy]));
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let fit = XMeans::new(1, 5).fit(&points, &mut rng).unwrap();
+        assert_eq!(fit.k(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Shared plumbing for the history-aware voters.
+
+use crate::agreement::AgreementParams;
+use crate::error::VoteError;
+use crate::history::{mean_history, HistoryStore};
+use crate::round::{ModuleId, Round};
+
+/// Tolerance used when comparing a history value against the mean: a module
+/// exactly *at* the average is not "below average".
+pub(crate) const ELIMINATION_EPS: f64 = 1e-9;
+
+/// Extracts the numeric candidates of a round, failing on an entirely
+/// missing round.
+pub(crate) fn candidates(round: &Round) -> Result<Vec<(ModuleId, f64)>, VoteError> {
+    let cand = round.numeric_candidates()?;
+    if cand.is_empty() {
+        Err(VoteError::EmptyRound)
+    } else {
+        Ok(cand)
+    }
+}
+
+/// Fetches (initialising when absent) the history of each candidate module.
+pub(crate) fn fetch_histories<S: HistoryStore>(
+    store: &mut S,
+    cand: &[(ModuleId, f64)],
+) -> Vec<f64> {
+    cand.iter().map(|(m, _)| store.get_or_init(*m)).collect()
+}
+
+/// The Module-Elimination inclusion mask: a candidate participates when its
+/// history is not strictly below the average history of this round's
+/// candidates.
+pub(crate) fn elimination_mask(histories: &[f64]) -> Vec<bool> {
+    match mean_history(
+        &histories
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (ModuleId::new(i as u32), h))
+            .collect::<Vec<_>>(),
+    ) {
+        None => Vec::new(),
+        Some(mean) => histories
+            .iter()
+            .map(|&h| h >= mean - ELIMINATION_EPS)
+            .collect(),
+    }
+}
+
+/// Writes updated history records: `h ← update(h, score)` for each candidate.
+pub(crate) fn apply_updates<S: HistoryStore>(
+    store: &mut S,
+    update: crate::history::HistoryUpdate,
+    cand: &[(ModuleId, f64)],
+    histories: &[f64],
+    scores: &[f64],
+) {
+    for (((m, _), &h), &s) in cand.iter().zip(histories).zip(scores) {
+        store.set(*m, update.apply(h, s));
+    }
+}
+
+/// Fraction of total vote weight whose candidate value binary-agrees with
+/// the output — the uniform confidence measure reported in verdicts.
+pub(crate) fn weighted_confidence(
+    params: &AgreementParams,
+    cand: &[(ModuleId, f64)],
+    weights: &[f64],
+    output: f64,
+) -> f64 {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let agreeing: f64 = cand
+        .iter()
+        .zip(weights)
+        .filter(|(_, &w)| w > 0.0)
+        .map(|((_, v), &w)| w * params.binary_score(*v, output))
+        .sum();
+    agreeing / total
+}
+
+/// Modules carrying zero weight this round, i.e. the verdict's `excluded`.
+pub(crate) fn excluded_modules(cand: &[(ModuleId, f64)], weights: &[f64]) -> Vec<ModuleId> {
+    cand.iter()
+        .zip(weights)
+        .filter(|(_, &w)| w <= 0.0)
+        .map(|((m, _), _)| *m)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{HistoryUpdate, MemoryHistory};
+
+    fn m(i: u32) -> ModuleId {
+        ModuleId::new(i)
+    }
+
+    #[test]
+    fn candidates_rejects_all_missing() {
+        let round = Round::from_sparse_numbers(0, &[None, None]);
+        assert!(matches!(candidates(&round), Err(VoteError::EmptyRound)));
+    }
+
+    #[test]
+    fn elimination_mask_drops_below_average_only() {
+        // mean = 0.7; 0.4 is below, 0.7 and 1.0 are not.
+        let mask = elimination_mask(&[1.0, 0.7, 0.4]);
+        assert_eq!(mask, vec![true, true, false]);
+    }
+
+    #[test]
+    fn elimination_mask_keeps_everyone_when_flat() {
+        let mask = elimination_mask(&[0.8, 0.8, 0.8]);
+        assert_eq!(mask, vec![true, true, true]);
+        let zeros = elimination_mask(&[0.0, 0.0]);
+        assert_eq!(zeros, vec![true, true]);
+    }
+
+    #[test]
+    fn fetch_initialises_unknown_modules() {
+        let mut store = MemoryHistory::new();
+        let cand = vec![(m(0), 1.0), (m(5), 2.0)];
+        let hs = fetch_histories(&mut store, &cand);
+        assert_eq!(hs, vec![1.0, 1.0]);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn apply_updates_moves_records() {
+        let mut store = MemoryHistory::new();
+        let cand = vec![(m(0), 10.0), (m(1), 20.0)];
+        let hs = fetch_histories(&mut store, &cand);
+        apply_updates(
+            &mut store,
+            HistoryUpdate::default(),
+            &cand,
+            &hs,
+            &[1.0, 0.0],
+        );
+        assert_eq!(store.get(m(0)), Some(1.0)); // clamped at 1
+        assert!((store.get(m(1)).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_counts_agreeing_weight() {
+        let params = AgreementParams::paper_default();
+        let cand = vec![(m(0), 100.0), (m(1), 101.0), (m(2), 200.0)];
+        let conf = weighted_confidence(&params, &cand, &[1.0, 1.0, 1.0], 100.5);
+        assert!((conf - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_zero_weights() {
+        let params = AgreementParams::paper_default();
+        assert_eq!(weighted_confidence(&params, &[], &[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn excluded_modules_lists_zero_weight() {
+        let cand = vec![(m(0), 1.0), (m(1), 2.0), (m(2), 3.0)];
+        assert_eq!(excluded_modules(&cand, &[1.0, 0.0, 0.5]), vec![m(1)]);
+    }
+}

@@ -1,0 +1,682 @@
+//! The round-driving voting engine: quorum, exclusion and fault policies
+//! wrapped around a [`Voter`].
+//!
+//! The paper's UC-2 fault scenarios (§7) motivate this layer: missing
+//! values, conflicting results and ties must be handled by *parametric*
+//! policies — "voting algorithm implementations in a generic data fusion
+//! platform should be parametric". The engine implements the behaviours the
+//! paper describes: proceeding on sub-majority missingness, reverting to the
+//! last accepted result or raising an error when the majority is missing,
+//! and tie-breaking by proximity to the previous output.
+
+use crate::algorithms::{Verdict, Voter};
+use crate::error::VoteError;
+use crate::exclusion::Exclusion;
+use crate::quorum::Quorum;
+use crate::round::{Ballot, Round};
+use crate::value::Value;
+use std::collections::VecDeque;
+
+/// What the engine does when a round cannot produce a trustworthy vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FallbackAction {
+    /// Revert to the last accepted output ("the system should either revert
+    /// to the last accepted result, or raise an error"). If there is none,
+    /// the round is skipped.
+    #[default]
+    LastGood,
+    /// Surface the failure to the caller.
+    Error,
+    /// Emit no output for this round.
+    Skip,
+}
+
+/// How categorical ties are resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TieBreak {
+    /// Prefer the tied candidate equal to the previous output — the paper's
+    /// "proximity to the previous output" mechanism. Falls back to the
+    /// first candidate when no previous output matches.
+    #[default]
+    NearPrevious,
+    /// Pick the lexicographically smallest candidate (deterministic).
+    First,
+    /// Refuse to decide.
+    Error,
+}
+
+/// The engine's fault-handling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FaultPolicy {
+    /// Applied when quorum is not reached (majority-missing scenario).
+    pub on_no_quorum: FallbackAction,
+    /// Applied when the voter itself fails (empty round after exclusion,
+    /// no majority, type errors).
+    pub on_voter_error: FallbackAction,
+    /// Applied to categorical ties.
+    pub on_tie: TieBreak,
+}
+
+/// Why a round fell back or was skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultReason {
+    /// Quorum not reached.
+    NoQuorum {
+        /// Ballots present.
+        present: usize,
+        /// Ballots required.
+        required: usize,
+    },
+    /// The voter returned an error.
+    Voter(VoteError),
+}
+
+/// Outcome of submitting one round to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundResult {
+    /// The voter produced a verdict.
+    Voted(Verdict),
+    /// A tie was broken by policy; the chosen value is attached.
+    TieBroken {
+        /// The value selected by the tie-break.
+        value: Value,
+        /// The tied candidates.
+        candidates: Vec<String>,
+    },
+    /// The engine fell back to the last accepted output.
+    Fallback {
+        /// The last accepted output, re-emitted.
+        value: Value,
+        /// Why the round could not vote.
+        reason: FaultReason,
+    },
+    /// The round produced no output.
+    Skipped {
+        /// Why the round could not vote.
+        reason: FaultReason,
+    },
+}
+
+impl RoundResult {
+    /// The output value, if the round produced one.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            RoundResult::Voted(v) => Some(&v.value),
+            RoundResult::TieBroken { value, .. } => Some(value),
+            RoundResult::Fallback { value, .. } => Some(value),
+            RoundResult::Skipped { .. } => None,
+        }
+    }
+
+    /// The scalar output, when numeric.
+    pub fn number(&self) -> Option<f64> {
+        self.value().and_then(Value::as_number)
+    }
+
+    /// Whether a genuine (non-fallback) vote happened.
+    pub fn is_voted(&self) -> bool {
+        matches!(self, RoundResult::Voted(_))
+    }
+}
+
+/// One entry of the engine's diagnostic round log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// The round number.
+    pub round: u64,
+    /// The emitted value, if any.
+    pub output: Option<Value>,
+    /// Whether a genuine vote happened (vs. tie-break/fallback/skip).
+    pub voted: bool,
+    /// The verdict's confidence, for voted rounds.
+    pub confidence: Option<f64>,
+}
+
+/// Counters the engine maintains across rounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Rounds submitted.
+    pub rounds: u64,
+    /// Rounds that produced a genuine vote.
+    pub voted: u64,
+    /// Rounds resolved by tie-break.
+    pub ties_broken: u64,
+    /// Rounds that fell back to the last-good value.
+    pub fallbacks: u64,
+    /// Rounds skipped with no output.
+    pub skipped: u64,
+    /// Rounds surfaced as errors.
+    pub errors: u64,
+}
+
+/// The voting engine.
+///
+/// # Example
+///
+/// ```
+/// use avoc_core::algorithms::AvocVoter;
+/// use avoc_core::engine::VotingEngine;
+/// use avoc_core::{Quorum, Round};
+///
+/// let mut engine = VotingEngine::new(Box::new(AvocVoter::with_defaults()))
+///     .with_quorum(Quorum::Majority);
+/// let outcome = engine.submit(&Round::from_numbers(0, &[18.0, 18.1, 17.9]))?;
+/// assert!(outcome.is_voted());
+/// # Ok::<(), avoc_core::VoteError>(())
+/// ```
+pub struct VotingEngine {
+    voter: Box<dyn Voter>,
+    quorum: Quorum,
+    exclusion: Exclusion,
+    policy: FaultPolicy,
+    last_good: Option<Value>,
+    stats: EngineStats,
+    log: VecDeque<RoundRecord>,
+    log_capacity: usize,
+}
+
+impl std::fmt::Debug for VotingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VotingEngine")
+            .field("voter", &self.voter.name())
+            .field("quorum", &self.quorum)
+            .field("exclusion", &self.exclusion)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl VotingEngine {
+    /// Creates an engine around a voter with default policies
+    /// (majority quorum, no exclusion, last-good fallbacks).
+    pub fn new(voter: Box<dyn Voter>) -> Self {
+        VotingEngine {
+            voter,
+            quorum: Quorum::default(),
+            exclusion: Exclusion::default(),
+            policy: FaultPolicy::default(),
+            last_good: None,
+            stats: EngineStats::default(),
+            log: VecDeque::new(),
+            log_capacity: 0,
+        }
+    }
+
+    /// Enables the diagnostic round log, keeping the most recent
+    /// `capacity` outcomes — what the shoe-box demonstrator's display
+    /// renders, and what an operator inspects after an incident.
+    pub fn with_log_capacity(mut self, capacity: usize) -> Self {
+        self.log_capacity = capacity;
+        self.log.truncate(capacity);
+        self
+    }
+
+    /// The most recent outcomes, oldest first (empty unless enabled via
+    /// [`VotingEngine::with_log_capacity`]).
+    pub fn recent(&self) -> impl Iterator<Item = &RoundRecord> {
+        self.log.iter()
+    }
+
+    /// Sets the quorum policy.
+    pub fn with_quorum(mut self, quorum: Quorum) -> Self {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Sets the pre-vote exclusion policy.
+    pub fn with_exclusion(mut self, exclusion: Exclusion) -> Self {
+        self.exclusion = exclusion;
+        self
+    }
+
+    /// Sets the fault policy.
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The wrapped voter's name.
+    pub fn voter_name(&self) -> &'static str {
+        self.voter.name()
+    }
+
+    /// The wrapped voter's history snapshot.
+    pub fn histories(&self) -> Vec<(crate::ModuleId, f64)> {
+        self.voter.histories()
+    }
+
+    /// The last accepted output, if any.
+    pub fn last_good(&self) -> Option<&Value> {
+        self.last_good.as_ref()
+    }
+
+    /// Submits one round.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`VoteError`] only when the corresponding
+    /// policy is [`FallbackAction::Error`]; otherwise faults are absorbed
+    /// into [`RoundResult::Fallback`] / [`RoundResult::Skipped`].
+    pub fn submit(&mut self, round: &Round) -> Result<RoundResult, VoteError> {
+        let result = self.submit_inner(round);
+        if self.log_capacity > 0 {
+            let record = match &result {
+                Ok(r) => RoundRecord {
+                    round: round.round,
+                    output: r.value().cloned(),
+                    voted: r.is_voted(),
+                    confidence: match r {
+                        RoundResult::Voted(v) => Some(v.confidence),
+                        _ => None,
+                    },
+                },
+                Err(_) => RoundRecord {
+                    round: round.round,
+                    output: None,
+                    voted: false,
+                    confidence: None,
+                },
+            };
+            if self.log.len() == self.log_capacity {
+                self.log.pop_front();
+            }
+            self.log.push_back(record);
+        }
+        result
+    }
+
+    fn submit_inner(&mut self, round: &Round) -> Result<RoundResult, VoteError> {
+        self.stats.rounds += 1;
+
+        // 1. Quorum.
+        let expected = round.expected_count();
+        let present = round.present_count();
+        if !self.quorum.is_met(present, expected) {
+            let reason = FaultReason::NoQuorum {
+                present,
+                required: self.quorum.required(expected),
+            };
+            return self.absorb(
+                self.policy.on_no_quorum,
+                reason,
+                VoteError::NoQuorum {
+                    present,
+                    required: self.quorum.required(expected),
+                },
+            );
+        }
+
+        // 2. Exclusion: prune implausible numeric values before the vote.
+        let effective = self.apply_exclusion(round);
+        let round_ref = effective.as_ref().unwrap_or(round);
+
+        // 3. Vote.
+        match self.voter.vote(round_ref) {
+            Ok(verdict) => {
+                self.stats.voted += 1;
+                self.last_good = Some(verdict.value.clone());
+                Ok(RoundResult::Voted(verdict))
+            }
+            Err(VoteError::Tie { candidates }) => self.break_tie(candidates),
+            Err(err) => {
+                let reason = FaultReason::Voter(err.clone());
+                self.absorb(self.policy.on_voter_error, reason, err)
+            }
+        }
+    }
+
+    /// Turns excluded ballots into missing ones; `None` when nothing was
+    /// excluded (avoids cloning the round on the hot path).
+    fn apply_exclusion(&self, round: &Round) -> Option<Round> {
+        if self.exclusion == Exclusion::None {
+            return None;
+        }
+        let numeric: Vec<(usize, f64)> = round
+            .ballots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.value.as_ref().and_then(Value::as_number).map(|v| (i, v)))
+            .collect();
+        let values: Vec<f64> = numeric.iter().map(|(_, v)| *v).collect();
+        let excluded = self.exclusion.excluded_indices(&values);
+        if excluded.is_empty() {
+            return None;
+        }
+        let mut ballots = round.ballots.clone();
+        for &ei in &excluded {
+            let (ballot_idx, _) = numeric[ei];
+            ballots[ballot_idx] = Ballot::missing(ballots[ballot_idx].module);
+        }
+        Some(Round::new(round.round, ballots))
+    }
+
+    fn break_tie(&mut self, candidates: Vec<String>) -> Result<RoundResult, VoteError> {
+        let chosen = match self.policy.on_tie {
+            TieBreak::Error => {
+                self.stats.errors += 1;
+                return Err(VoteError::Tie { candidates });
+            }
+            TieBreak::First => {
+                let mut sorted = candidates.clone();
+                sorted.sort();
+                sorted.into_iter().next()
+            }
+            TieBreak::NearPrevious => {
+                let prev = self.last_good.as_ref().and_then(Value::as_text);
+                match prev {
+                    Some(p) if candidates.iter().any(|c| c == p) => Some(p.to_owned()),
+                    _ => candidates.first().cloned(),
+                }
+            }
+        };
+        match chosen {
+            Some(value) => {
+                self.stats.ties_broken += 1;
+                let value = Value::Text(value);
+                self.last_good = Some(value.clone());
+                Ok(RoundResult::TieBroken { value, candidates })
+            }
+            None => {
+                self.stats.errors += 1;
+                Err(VoteError::Tie { candidates })
+            }
+        }
+    }
+
+    fn absorb(
+        &mut self,
+        action: FallbackAction,
+        reason: FaultReason,
+        err: VoteError,
+    ) -> Result<RoundResult, VoteError> {
+        match action {
+            FallbackAction::Error => {
+                self.stats.errors += 1;
+                Err(err)
+            }
+            FallbackAction::Skip => {
+                self.stats.skipped += 1;
+                Ok(RoundResult::Skipped { reason })
+            }
+            FallbackAction::LastGood => match &self.last_good {
+                Some(v) => {
+                    self.stats.fallbacks += 1;
+                    Ok(RoundResult::Fallback {
+                        value: v.clone(),
+                        reason,
+                    })
+                }
+                None => {
+                    self.stats.skipped += 1;
+                    Ok(RoundResult::Skipped { reason })
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{AvocVoter, MajorityVoter};
+    use crate::round::ModuleId;
+
+    fn engine() -> VotingEngine {
+        VotingEngine::new(Box::new(AvocVoter::with_defaults()))
+    }
+
+    #[test]
+    fn votes_on_full_round() {
+        let mut e = engine();
+        let out = e
+            .submit(&Round::from_numbers(0, &[18.0, 18.1, 17.9]))
+            .unwrap();
+        assert!(out.is_voted());
+        assert_eq!(e.stats().voted, 1);
+    }
+
+    #[test]
+    fn sub_majority_missing_still_votes() {
+        let mut e = engine();
+        // 3 of 5 present: majority quorum met, vote proceeds.
+        let round =
+            Round::from_sparse_numbers(0, &[Some(18.0), None, Some(18.1), None, Some(17.9)]);
+        let out = e.submit(&round).unwrap();
+        assert!(out.is_voted());
+    }
+
+    #[test]
+    fn majority_missing_falls_back_to_last_good() {
+        let mut e = engine();
+        e.submit(&Round::from_numbers(0, &[18.0, 18.1, 17.9, 18.05, 18.2]))
+            .unwrap();
+        let starved = Round::from_sparse_numbers(1, &[Some(18.4), None, None, None, None]);
+        let out = e.submit(&starved).unwrap();
+        match out {
+            RoundResult::Fallback { value, reason } => {
+                assert!(value.as_number().is_some());
+                assert!(matches!(
+                    reason,
+                    FaultReason::NoQuorum {
+                        present: 1,
+                        required: 3
+                    }
+                ));
+            }
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        assert_eq!(e.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn majority_missing_without_history_skips() {
+        let mut e = engine();
+        let starved = Round::from_sparse_numbers(0, &[Some(18.4), None, None]);
+        let out = e.submit(&starved).unwrap();
+        assert!(matches!(out, RoundResult::Skipped { .. }));
+        assert_eq!(e.stats().skipped, 1);
+    }
+
+    #[test]
+    fn error_policy_surfaces_no_quorum() {
+        let mut e = engine().with_policy(FaultPolicy {
+            on_no_quorum: FallbackAction::Error,
+            ..Default::default()
+        });
+        let starved = Round::from_sparse_numbers(0, &[Some(1.0), None, None]);
+        let err = e.submit(&starved).unwrap_err();
+        assert!(matches!(
+            err,
+            VoteError::NoQuorum {
+                present: 1,
+                required: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn exclusion_prunes_before_vote() {
+        let mut e = engine().with_exclusion(Exclusion::Range {
+            min: 0.0,
+            max: 100.0,
+        });
+        let out = e
+            .submit(&Round::from_numbers(0, &[18.0, 18.1, 5000.0]))
+            .unwrap();
+        match out {
+            RoundResult::Voted(v) => {
+                assert!((v.number().unwrap() - 18.05).abs() < 0.1);
+            }
+            other => panic!("expected vote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exclusion_can_starve_the_voter() {
+        let mut e = engine()
+            .with_quorum(Quorum::Any)
+            .with_exclusion(Exclusion::Range { min: 0.0, max: 1.0 })
+            .with_policy(FaultPolicy {
+                on_voter_error: FallbackAction::Skip,
+                ..Default::default()
+            });
+        let out = e.submit(&Round::from_numbers(0, &[50.0, 60.0])).unwrap();
+        assert!(matches!(
+            out,
+            RoundResult::Skipped {
+                reason: FaultReason::Voter(VoteError::EmptyRound)
+            }
+        ));
+    }
+
+    #[test]
+    fn categorical_tie_broken_near_previous() {
+        let mut e =
+            VotingEngine::new(Box::new(MajorityVoter::with_defaults())).with_quorum(Quorum::Any);
+        // Establish "open" as the accepted output.
+        let r0 = Round::new(
+            0,
+            vec![
+                crate::Ballot::new(ModuleId::new(0), "open"),
+                crate::Ballot::new(ModuleId::new(1), "open"),
+                crate::Ballot::new(ModuleId::new(2), "closed"),
+            ],
+        );
+        e.submit(&r0).unwrap();
+        // 2-2 tie with fresh modules: proximity to the previous output wins.
+        let r1 = Round::new(
+            1,
+            vec![
+                crate::Ballot::new(ModuleId::new(3), "open"),
+                crate::Ballot::new(ModuleId::new(4), "open"),
+                crate::Ballot::new(ModuleId::new(5), "closed"),
+                crate::Ballot::new(ModuleId::new(6), "closed"),
+            ],
+        );
+        let out = e.submit(&r1).unwrap();
+        match out {
+            RoundResult::TieBroken { value, candidates } => {
+                assert_eq!(value.as_text(), Some("open"));
+                assert_eq!(candidates.len(), 2);
+            }
+            other => panic!("expected tie-break, got {other:?}"),
+        }
+        assert_eq!(e.stats().ties_broken, 1);
+    }
+
+    #[test]
+    fn tie_error_policy_surfaces() {
+        let mut e = VotingEngine::new(Box::new(MajorityVoter::with_defaults()))
+            .with_quorum(Quorum::Any)
+            .with_policy(FaultPolicy {
+                on_tie: TieBreak::Error,
+                ..Default::default()
+            });
+        let r = Round::new(
+            0,
+            vec![
+                crate::Ballot::new(ModuleId::new(0), "a"),
+                crate::Ballot::new(ModuleId::new(1), "b"),
+            ],
+        );
+        assert!(matches!(e.submit(&r), Err(VoteError::Tie { .. })));
+        assert_eq!(e.stats().errors, 1);
+    }
+
+    #[test]
+    fn tie_first_policy_is_deterministic() {
+        let mut e = VotingEngine::new(Box::new(MajorityVoter::with_defaults()))
+            .with_quorum(Quorum::Any)
+            .with_policy(FaultPolicy {
+                on_tie: TieBreak::First,
+                ..Default::default()
+            });
+        let r = Round::new(
+            0,
+            vec![
+                crate::Ballot::new(ModuleId::new(0), "zeta"),
+                crate::Ballot::new(ModuleId::new(1), "alpha"),
+            ],
+        );
+        let out = e.submit(&r).unwrap();
+        assert_eq!(out.value().unwrap().as_text(), Some("alpha"));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = engine();
+        e.submit(&Round::from_numbers(0, &[1.0, 1.0, 1.0])).unwrap();
+        e.submit(&Round::from_sparse_numbers(1, &[None, None, Some(1.0)]))
+            .unwrap();
+        let s = e.stats();
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.voted, 1);
+        assert_eq!(s.fallbacks, 1);
+    }
+
+    #[test]
+    fn last_good_tracks_votes() {
+        let mut e = engine();
+        assert!(e.last_good().is_none());
+        e.submit(&Round::from_numbers(0, &[2.0, 2.0, 2.0])).unwrap();
+        assert_eq!(e.last_good().and_then(Value::as_number), Some(2.0));
+    }
+}
+
+#[cfg(test)]
+mod log_tests {
+    use super::*;
+    use crate::algorithms::AvocVoter;
+
+    fn engine_with_log(capacity: usize) -> VotingEngine {
+        VotingEngine::new(Box::new(AvocVoter::with_defaults())).with_log_capacity(capacity)
+    }
+
+    #[test]
+    fn log_disabled_by_default() {
+        let mut e = VotingEngine::new(Box::new(AvocVoter::with_defaults()));
+        e.submit(&Round::from_numbers(0, &[1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(e.recent().count(), 0);
+    }
+
+    #[test]
+    fn log_records_votes_with_confidence() {
+        let mut e = engine_with_log(10);
+        e.submit(&Round::from_numbers(7, &[18.0, 18.1, 17.9]))
+            .unwrap();
+        let records: Vec<&RoundRecord> = e.recent().collect();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].round, 7);
+        assert!(records[0].voted);
+        assert!(records[0].confidence.unwrap() > 0.5);
+        assert!(records[0].output.is_some());
+    }
+
+    #[test]
+    fn log_is_bounded_and_ordered() {
+        let mut e = engine_with_log(3);
+        for r in 0..10u64 {
+            e.submit(&Round::from_numbers(r, &[1.0, 1.0, 1.0])).unwrap();
+        }
+        let rounds: Vec<u64> = e.recent().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn fallbacks_and_skips_are_logged_without_confidence() {
+        let mut e = engine_with_log(5);
+        let starved = Round::from_sparse_numbers(3, &[Some(1.0), None, None]);
+        e.submit(&starved).unwrap(); // skip: no last-good yet
+        let records: Vec<&RoundRecord> = e.recent().collect();
+        assert_eq!(records.len(), 1);
+        assert!(!records[0].voted);
+        assert!(records[0].confidence.is_none());
+        assert!(records[0].output.is_none());
+    }
+}

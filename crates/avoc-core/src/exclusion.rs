@@ -1,0 +1,169 @@
+//! Pre-vote exclusion: automatically pruning outlier values before the
+//! algorithm runs (VDX `exclusion` / `exclusion_threshold`).
+//!
+//! The paper notes that value-based exclusion "cannot be applied" to
+//! categorical values, "as there can be no mean or standard deviation
+//! calculation" — exclusion therefore only exists on the numeric path.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Exclusion policy applied to each round's numeric candidates before the
+/// voter sees them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Exclusion {
+    /// No exclusion (Listing 1: `"exclusion": "NONE"`).
+    #[default]
+    None,
+    /// Exclude candidates farther than `k` standard deviations from the
+    /// round mean.
+    StdDev(f64),
+    /// Exclude candidates outside a fixed plausible range — a physical
+    /// sanity filter (e.g. RSSI can never be positive).
+    Range {
+        /// Smallest plausible value (inclusive).
+        min: f64,
+        /// Largest plausible value (inclusive).
+        max: f64,
+    },
+}
+
+impl Exclusion {
+    /// Returns the indices of candidates to exclude.
+    ///
+    /// With fewer than three candidates, [`Exclusion::StdDev`] excludes
+    /// nothing: a standard deviation over one or two samples cannot single
+    /// out an outlier meaningfully.
+    pub fn excluded_indices(&self, values: &[f64]) -> Vec<usize> {
+        match *self {
+            Exclusion::None => Vec::new(),
+            Exclusion::StdDev(k) => {
+                if values.len() < 3 || k <= 0.0 {
+                    return Vec::new();
+                }
+                let n = values.len() as f64;
+                let mean = values.iter().sum::<f64>() / n;
+                let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                let sd = var.sqrt();
+                if sd == 0.0 {
+                    return Vec::new();
+                }
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| (v - mean).abs() > k * sd)
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+            Exclusion::Range { min, max } => values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v < min || v > max)
+                .map(|(i, _)| i)
+                .collect(),
+        }
+    }
+
+    /// Applies the policy, returning `(kept, excluded_indices)`.
+    pub fn apply(&self, values: &[f64]) -> (Vec<f64>, Vec<usize>) {
+        let excluded = self.excluded_indices(values);
+        if excluded.is_empty() {
+            return (values.to_vec(), excluded);
+        }
+        let kept = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !excluded.contains(i))
+            .map(|(_, &v)| v)
+            .collect();
+        (kept, excluded)
+    }
+}
+
+impl fmt::Display for Exclusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exclusion::None => write!(f, "none"),
+            Exclusion::StdDev(k) => write!(f, "stddev({k})"),
+            Exclusion::Range { min, max } => write!(f, "range[{min}, {max}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_excludes_nothing() {
+        assert!(Exclusion::None.excluded_indices(&[1.0, 99.0]).is_empty());
+    }
+
+    #[test]
+    fn stddev_excludes_far_outlier() {
+        let values = [18.0, 18.1, 18.2, 17.9, 40.0];
+        let out = Exclusion::StdDev(1.5).excluded_indices(&values);
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn stddev_keeps_tight_data() {
+        let values = [18.0, 18.1, 18.2];
+        assert!(Exclusion::StdDev(2.0).excluded_indices(&values).is_empty());
+    }
+
+    #[test]
+    fn stddev_needs_three_candidates() {
+        assert!(Exclusion::StdDev(1.0)
+            .excluded_indices(&[1.0, 100.0])
+            .is_empty());
+    }
+
+    #[test]
+    fn stddev_identical_values_no_exclusion() {
+        assert!(Exclusion::StdDev(1.0)
+            .excluded_indices(&[5.0, 5.0, 5.0, 5.0])
+            .is_empty());
+    }
+
+    #[test]
+    fn range_excludes_out_of_bounds() {
+        let e = Exclusion::Range {
+            min: -100.0,
+            max: 0.0,
+        };
+        let out = e.excluded_indices(&[-80.0, -101.0, 3.0, -55.0]);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn apply_returns_kept_and_excluded() {
+        let e = Exclusion::Range {
+            min: 0.0,
+            max: 10.0,
+        };
+        let (kept, excluded) = e.apply(&[5.0, 50.0, 7.0]);
+        assert_eq!(kept, vec![5.0, 7.0]);
+        assert_eq!(excluded, vec![1]);
+    }
+
+    #[test]
+    fn non_positive_k_disables_stddev() {
+        assert!(Exclusion::StdDev(0.0)
+            .excluded_indices(&[1.0, 2.0, 100.0])
+            .is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for e in [
+            Exclusion::None,
+            Exclusion::StdDev(2.0),
+            Exclusion::Range { min: 0.0, max: 1.0 },
+        ] {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Exclusion = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Historical performance records of candidate modules.
+//!
+//! Every history-aware voter (§4) maintains, per module, a trust value in
+//! `[0, 1]`: `1` for a module that has always agreed with the voted output,
+//! decaying towards `0` for notorious disagreers. The *storage* of these
+//! records is abstracted behind [`HistoryStore`] because the paper observes
+//! the datastore to be the latency bottleneck of a voting round — the
+//! `avoc-store` crate provides persistent implementations, and the ablation
+//! benches compare them.
+
+use crate::round::ModuleId;
+use std::collections::BTreeMap;
+
+/// The neutral trust value a fresh module starts with.
+pub const INITIAL_HISTORY: f64 = 1.0;
+
+/// Storage backend for per-module historical records.
+///
+/// Implementations must be deterministic: [`HistoryStore::snapshot`] returns
+/// records in ascending [`ModuleId`] order.
+pub trait HistoryStore: Send {
+    /// The record for `module`, if one exists.
+    fn get(&self, module: ModuleId) -> Option<f64>;
+
+    /// Writes the record for `module`.
+    fn set(&mut self, module: ModuleId, value: f64);
+
+    /// All records in ascending module order.
+    fn snapshot(&self) -> Vec<(ModuleId, f64)>;
+
+    /// Removes every record.
+    fn clear(&mut self);
+
+    /// The record for `module`, initialising it to [`INITIAL_HISTORY`] when
+    /// absent.
+    fn get_or_init(&mut self, module: ModuleId) -> f64 {
+        match self.get(module) {
+            Some(v) => v,
+            None => {
+                self.set(module, INITIAL_HISTORY);
+                INITIAL_HISTORY
+            }
+        }
+    }
+}
+
+/// The default, allocation-light in-memory history store.
+///
+/// # Example
+///
+/// ```
+/// use avoc_core::history::{HistoryStore, MemoryHistory, INITIAL_HISTORY};
+/// use avoc_core::ModuleId;
+///
+/// let mut h = MemoryHistory::new();
+/// assert_eq!(h.get_or_init(ModuleId::new(0)), INITIAL_HISTORY);
+/// h.set(ModuleId::new(0), 0.4);
+/// assert_eq!(h.get(ModuleId::new(0)), Some(0.4));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryHistory {
+    records: BTreeMap<ModuleId, f64>,
+}
+
+impl MemoryHistory {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store pre-seeded with records.
+    pub fn with_records(records: impl IntoIterator<Item = (ModuleId, f64)>) -> Self {
+        MemoryHistory {
+            records: records.into_iter().collect(),
+        }
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl HistoryStore for MemoryHistory {
+    fn get(&self, module: ModuleId) -> Option<f64> {
+        self.records.get(&module).copied()
+    }
+
+    fn set(&mut self, module: ModuleId, value: f64) {
+        self.records.insert(module, value.clamp(0.0, 1.0));
+    }
+
+    fn snapshot(&self) -> Vec<(ModuleId, f64)> {
+        self.records.iter().map(|(&m, &v)| (m, v)).collect()
+    }
+
+    fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+/// The reward/penalty rule that moves a module's record after each round.
+///
+/// All §4 algorithms share the same *shape* of update — move the record up
+/// when the module's value agreed with the voted output, down when it did not
+/// — differing only in whether the agreement score is binary or graded. The
+/// update is `h ← clamp₀₁(h + rate × (2·score − 1))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoryUpdate {
+    /// Step size per round (default `0.1`).
+    pub rate: f64,
+}
+
+impl HistoryUpdate {
+    /// Creates an update rule with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]`.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0 && rate <= 1.0,
+            "rate must be in (0, 1], got {rate}"
+        );
+        HistoryUpdate { rate }
+    }
+
+    /// Applies the rule: `score = 1` rewards fully, `score = 0` penalises
+    /// fully, graded scores interpolate.
+    pub fn apply(&self, history: f64, score: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&score), "score out of range: {score}");
+        (history + self.rate * (2.0 * score - 1.0)).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for HistoryUpdate {
+    fn default() -> Self {
+        HistoryUpdate { rate: 0.1 }
+    }
+}
+
+/// Mean of a history snapshot — the Module-Elimination threshold ("modules
+/// with below average historical records"). Returns `None` when empty.
+pub fn mean_history(records: &[(ModuleId, f64)]) -> Option<f64> {
+    if records.is_empty() {
+        None
+    } else {
+        Some(records.iter().map(|(_, v)| v).sum::<f64>() / records.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> ModuleId {
+        ModuleId::new(i)
+    }
+
+    #[test]
+    fn get_or_init_defaults_to_one() {
+        let mut h = MemoryHistory::new();
+        assert_eq!(h.get(m(0)), None);
+        assert_eq!(h.get_or_init(m(0)), 1.0);
+        assert_eq!(h.get(m(0)), Some(1.0));
+    }
+
+    #[test]
+    fn set_clamps_into_unit_interval() {
+        let mut h = MemoryHistory::new();
+        h.set(m(0), 1.7);
+        h.set(m(1), -0.3);
+        assert_eq!(h.get(m(0)), Some(1.0));
+        assert_eq!(h.get(m(1)), Some(0.0));
+    }
+
+    #[test]
+    fn snapshot_is_ordered() {
+        let mut h = MemoryHistory::new();
+        h.set(m(3), 0.3);
+        h.set(m(1), 0.1);
+        h.set(m(2), 0.2);
+        let snap = h.snapshot();
+        assert_eq!(snap, vec![(m(1), 0.1), (m(2), 0.2), (m(3), 0.3)]);
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let mut h = MemoryHistory::with_records([(m(0), 0.5)]);
+        assert_eq!(h.len(), 1);
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn update_rewards_and_penalises() {
+        let u = HistoryUpdate::default();
+        assert!((u.apply(0.5, 1.0) - 0.6).abs() < 1e-12);
+        assert!((u.apply(0.5, 0.0) - 0.4).abs() < 1e-12);
+        // graded score of 0.5 is neutral
+        assert!((u.apply(0.5, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_clamps_at_bounds() {
+        let u = HistoryUpdate::default();
+        assert_eq!(u.apply(1.0, 1.0), 1.0);
+        assert_eq!(u.apply(0.05, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ten_disagreements_zero_out_history() {
+        let u = HistoryUpdate::default();
+        let mut h = 1.0;
+        for _ in 0..10 {
+            h = u.apply(h, 0.0);
+        }
+        assert!(h.abs() < 1e-9, "history should reach 0, got {h}");
+    }
+
+    #[test]
+    fn mean_history_basics() {
+        assert_eq!(mean_history(&[]), None);
+        assert_eq!(mean_history(&[(m(0), 0.2), (m(1), 0.8)]), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn zero_rate_panics() {
+        let _ = HistoryUpdate::new(0.0);
+    }
+
+    #[test]
+    fn store_is_object_safe() {
+        let mut h: Box<dyn HistoryStore> = Box::new(MemoryHistory::new());
+        h.set(m(0), 0.7);
+        assert_eq!(h.get(m(0)), Some(0.7));
+    }
+}

@@ -1,0 +1,47 @@
+//! # avoc-net — the edge-voting middleware substrate
+//!
+//! The paper's UC-1 deployment (Fig. 1) wires five light sensors through a
+//! VINT hub that streams to a voting sink node; UC-2 runs an "edge voter"
+//! on a laptop. This crate reproduces that pipeline as an in-process
+//! middleware over `crossbeam` channels:
+//!
+//! * [`message`] — the length-prefixed binary wire protocol (built on
+//!   `bytes`) sensors speak to the hub;
+//! * [`hub`] — the [`hub::SensorHub`]: assembles per-module readings into
+//!   complete voting rounds, deadline-flushing partial rounds so missing
+//!   values surface as `None` ballots;
+//! * [`sink`] — the [`sink::SinkNode`]: a worker thread driving a
+//!   [`avoc_core::VotingEngine`] over incoming rounds;
+//! * [`edge`] — the [`edge::EdgeVoter`]: the full VDX-configured service —
+//!   spawn sensor feeders from a recorded trace, run hub + sink, collect
+//!   fused outputs;
+//! * [`tcp`] — the same hub over real `std::net` sockets, for deployments
+//!   that split sensors and voter across machines.
+//!
+//! # Example
+//!
+//! ```
+//! use avoc_net::edge::EdgeVoter;
+//! use avoc_sim::LightScenario;
+//! use avoc_vdx::VdxSpec;
+//!
+//! let trace = LightScenario::new(5, 50, 7).generate();
+//! let outputs = EdgeVoter::new(VdxSpec::avoc())?.run_trace(&trace);
+//! assert_eq!(outputs.len(), 50);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edge;
+pub mod hub;
+pub mod message;
+pub mod sink;
+pub mod tcp;
+
+pub use edge::EdgeVoter;
+pub use hub::{Liveness, SensorHub};
+pub use message::Message;
+pub use sink::SinkNode;
+pub use tcp::{SensorClient, TcpHub};

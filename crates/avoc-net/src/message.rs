@@ -1,0 +1,271 @@
+//! The sensor → hub wire protocol.
+//!
+//! A compact, length-prefixed binary framing (the hub runs on constrained
+//! hardware — the paper demonstrates on a Raspberry Pi 4). Each frame is
+//! `u32` big-endian payload length followed by the payload:
+//!
+//! ```text
+//! tag: u8          1 = Reading, 2 = Missing, 3 = Heartbeat, 4 = Shutdown
+//! module: u32 BE   (Reading/Missing/Heartbeat)
+//! round: u64 BE    (Reading/Missing)
+//! value: f64 bits BE (Reading only)
+//! ```
+
+use avoc_core::ModuleId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// A protocol message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Message {
+    /// A measurement for a round.
+    Reading {
+        /// Submitting module.
+        module: ModuleId,
+        /// Round number.
+        round: u64,
+        /// The measured value.
+        value: f64,
+    },
+    /// An explicit "no value this round" notification (a sensor that knows
+    /// it failed to sample; silent sensors are handled by hub deadlines).
+    Missing {
+        /// Submitting module.
+        module: ModuleId,
+        /// Round number.
+        round: u64,
+    },
+    /// Liveness signal.
+    Heartbeat {
+        /// Sending module.
+        module: ModuleId,
+    },
+    /// The sender is going away.
+    Shutdown,
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not yet hold a complete frame.
+    Incomplete,
+    /// The frame's tag byte is unknown.
+    UnknownTag(u8),
+    /// The frame length does not match its tag's layout.
+    BadLength {
+        /// Tag whose layout was violated.
+        tag: u8,
+        /// Payload length found.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Incomplete => write!(f, "incomplete frame"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::BadLength { tag, len } => {
+                write!(f, "bad frame length {len} for tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_READING: u8 = 1;
+const TAG_MISSING: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_SHUTDOWN: u8 = 4;
+
+impl Message {
+    /// Encodes the message as one length-prefixed frame.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::with_capacity(21);
+        match *self {
+            Message::Reading {
+                module,
+                round,
+                value,
+            } => {
+                payload.put_u8(TAG_READING);
+                payload.put_u32(module.index());
+                payload.put_u64(round);
+                payload.put_f64(value);
+            }
+            Message::Missing { module, round } => {
+                payload.put_u8(TAG_MISSING);
+                payload.put_u32(module.index());
+                payload.put_u64(round);
+            }
+            Message::Heartbeat { module } => {
+                payload.put_u8(TAG_HEARTBEAT);
+                payload.put_u32(module.index());
+            }
+            Message::Shutdown => payload.put_u8(TAG_SHUTDOWN),
+        }
+        let mut frame = BytesMut::with_capacity(4 + payload.len());
+        frame.put_u32(payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        frame.freeze()
+    }
+
+    /// Decodes one frame from the front of `buf`, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Incomplete`] when `buf` holds less than a full frame
+    /// (nothing is consumed); tag/layout errors consume the bad frame so a
+    /// stream can resynchronise.
+    pub fn decode(buf: &mut BytesMut) -> Result<Message, DecodeError> {
+        if buf.len() < 4 {
+            return Err(DecodeError::Incomplete);
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if buf.len() < 4 + len {
+            return Err(DecodeError::Incomplete);
+        }
+        buf.advance(4);
+        let mut payload = buf.split_to(len);
+        if payload.is_empty() {
+            return Err(DecodeError::BadLength { tag: 0, len });
+        }
+        let tag = payload.get_u8();
+        let expect = |want: usize| -> Result<(), DecodeError> {
+            if len != want {
+                Err(DecodeError::BadLength { tag, len })
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            TAG_READING => {
+                expect(1 + 4 + 8 + 8)?;
+                Ok(Message::Reading {
+                    module: ModuleId::new(payload.get_u32()),
+                    round: payload.get_u64(),
+                    value: payload.get_f64(),
+                })
+            }
+            TAG_MISSING => {
+                expect(1 + 4 + 8)?;
+                Ok(Message::Missing {
+                    module: ModuleId::new(payload.get_u32()),
+                    round: payload.get_u64(),
+                })
+            }
+            TAG_HEARTBEAT => {
+                expect(1 + 4)?;
+                Ok(Message::Heartbeat {
+                    module: ModuleId::new(payload.get_u32()),
+                })
+            }
+            TAG_SHUTDOWN => {
+                expect(1)?;
+                Ok(Message::Shutdown)
+            }
+            other => Err(DecodeError::UnknownTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let frame = msg.encode();
+        let mut buf = BytesMut::from(&frame[..]);
+        assert_eq!(Message::decode(&mut buf).unwrap(), msg);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Message::Reading {
+            module: ModuleId::new(3),
+            round: 42,
+            value: -78.25,
+        });
+        round_trip(Message::Missing {
+            module: ModuleId::new(8),
+            round: 7,
+        });
+        round_trip(Message::Heartbeat {
+            module: ModuleId::new(0),
+        });
+        round_trip(Message::Shutdown);
+    }
+
+    #[test]
+    fn incomplete_frames_do_not_consume() {
+        let frame = Message::Shutdown.encode();
+        let mut buf = BytesMut::from(&frame[..frame.len() - 1]);
+        let before = buf.len();
+        assert_eq!(Message::decode(&mut buf), Err(DecodeError::Incomplete));
+        assert_eq!(buf.len(), before);
+    }
+
+    #[test]
+    fn stream_of_frames_decodes_in_order() {
+        let mut buf = BytesMut::new();
+        let msgs = [
+            Message::Reading {
+                module: ModuleId::new(0),
+                round: 1,
+                value: 18.5,
+            },
+            Message::Heartbeat {
+                module: ModuleId::new(1),
+            },
+            Message::Shutdown,
+        ];
+        for m in &msgs {
+            buf.extend_from_slice(&m.encode());
+        }
+        for m in &msgs {
+            assert_eq!(Message::decode(&mut buf).unwrap(), *m);
+        }
+        assert_eq!(Message::decode(&mut buf), Err(DecodeError::Incomplete));
+    }
+
+    #[test]
+    fn unknown_tag_consumes_and_errors() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u8(99);
+        assert_eq!(Message::decode(&mut buf), Err(DecodeError::UnknownTag(99)));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
+    }
+
+    #[test]
+    fn bad_length_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(2); // Shutdown must be exactly 1 byte
+        buf.put_u8(TAG_SHUTDOWN);
+        buf.put_u8(0);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_SHUTDOWN,
+                len: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn nan_values_survive_the_wire() {
+        let frame = Message::Reading {
+            module: ModuleId::new(1),
+            round: 0,
+            value: f64::NAN,
+        }
+        .encode();
+        let mut buf = BytesMut::from(&frame[..]);
+        match Message::decode(&mut buf).unwrap() {
+            Message::Reading { value, .. } => assert!(value.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

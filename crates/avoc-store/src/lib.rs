@@ -1,0 +1,28 @@
+//! # avoc-store — history datastores for AVOC voting
+//!
+//! The paper's implementation notes (§7) observe that a history-aware voting
+//! round costs ~1 ms against ~50 µs stateless, "datastore reads and writes
+//! being the bottleneck". This crate provides the datastore layer behind
+//! [`avoc_core::HistoryStore`]:
+//!
+//! * [`FileHistory`] — a durable store backed by a JSON-lines write-ahead
+//!   log with explicit compaction, mirroring the paper's persistent record
+//!   keeping;
+//! * [`SharedHistory`] — a thread-safe in-memory store for the middleware
+//!   layer, where an edge voter service and a monitoring endpoint share the
+//!   records;
+//! * [`CachedHistory`] — a write-behind cache wrapping any store, showing
+//!   how the datastore bottleneck is engineered away.
+//!
+//! The `store` bench in `avoc-bench` reproduces the bottleneck comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cached;
+mod file;
+mod shared;
+
+pub use cached::CachedHistory;
+pub use file::FileHistory;
+pub use shared::SharedHistory;

@@ -1,0 +1,136 @@
+//! A thread-safe history store shared between the voting path and
+//! observers (the LCD display of the paper's shoe-box demonstrator, a
+//! metrics endpoint, …).
+
+use avoc_core::history::HistoryStore;
+use avoc_core::{MemoryHistory, ModuleId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe [`HistoryStore`].
+///
+/// All clones observe the same records. Reads take a shared lock; writes an
+/// exclusive one. The voter owns one clone on its worker thread while a
+/// monitoring thread polls [`SharedHistory::snapshot`] — exactly how the
+/// shoe-box demonstrator "shows the voting results and weight values" live.
+///
+/// # Example
+///
+/// ```
+/// use avoc_core::history::HistoryStore;
+/// use avoc_core::ModuleId;
+/// use avoc_store::SharedHistory;
+///
+/// let mut writer = SharedHistory::new();
+/// let reader = writer.clone();
+/// writer.set(ModuleId::new(0), 0.7);
+/// assert_eq!(reader.get(ModuleId::new(0)), Some(0.7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedHistory {
+    inner: Arc<RwLock<MemoryHistory>>,
+}
+
+impl SharedHistory {
+    /// Creates an empty shared store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a shared store pre-seeded with records.
+    pub fn with_records(records: impl IntoIterator<Item = (ModuleId, f64)>) -> Self {
+        SharedHistory {
+            inner: Arc::new(RwLock::new(MemoryHistory::with_records(records))),
+        }
+    }
+
+    /// Number of live clones (for diagnostics).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl HistoryStore for SharedHistory {
+    fn get(&self, module: ModuleId) -> Option<f64> {
+        self.inner.read().get(module)
+    }
+
+    fn set(&mut self, module: ModuleId, value: f64) {
+        self.inner.write().set(module, value);
+    }
+
+    fn snapshot(&self) -> Vec<(ModuleId, f64)> {
+        self.inner.read().snapshot()
+    }
+
+    fn clear(&mut self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> ModuleId {
+        ModuleId::new(i)
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let mut a = SharedHistory::new();
+        let b = a.clone();
+        a.set(m(0), 0.5);
+        assert_eq!(b.get(m(0)), Some(0.5));
+        assert_eq!(a.handle_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        let store = SharedHistory::new();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let mut s = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    s.set(m(t * 100 + i), 0.5);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.snapshot().len(), 200);
+    }
+
+    #[test]
+    fn voter_and_observer_share_records() {
+        use avoc_core::algorithms::{HybridVoter, Voter};
+        use avoc_core::{Round, VoterConfig};
+
+        let observer = SharedHistory::new();
+        let mut voter = HybridVoter::new(VoterConfig::default(), observer.clone());
+        // 21.0 sits in the round-0 average's soft disagreement band, so its
+        // record decays while the agreeing sensors keep full trust.
+        voter
+            .vote(&Round::from_numbers(0, &[18.0, 18.1, 21.0]))
+            .unwrap();
+        let snap = observer.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(snap[2].1 < snap[0].1);
+    }
+
+    #[test]
+    fn clear_is_visible_to_all_clones() {
+        let mut a = SharedHistory::with_records([(m(0), 0.5)]);
+        let b = a.clone();
+        a.clear();
+        assert!(b.snapshot().is_empty());
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedHistory>();
+    }
+}

@@ -1,0 +1,194 @@
+//! Compatibility layer for legacy VDL-style definitions (Bakken et al.,
+//! DSN '01 — reference \[8\] of the paper).
+//!
+//! VDL "defines voting as \[a\] three-step process (reaching quorum, excluding
+//! outliers and calculating results)" and predates history-based voting.
+//! VDX "supports the relevant parameters of VDL, enabling our definition to
+//! describe a superset of VDL-scoped algorithms" (§6) — this module proves
+//! the claim constructively: every [`VdlSpec`] converts losslessly into a
+//! [`VdxSpec`] (with `history: NONE` and no bootstrapping).
+
+use crate::spec::{
+    ExclusionKind, HistoryKind, QuorumKind, ValueKind, VdxCollation, VdxSpec, WeightingKind,
+};
+use serde::{Deserialize, Serialize};
+
+/// VDL's three result-calculation modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[serde(rename_all = "SCREAMING_SNAKE_CASE")]
+pub enum VdlCalculation {
+    /// Arithmetic mean of the surviving values.
+    #[default]
+    Mean,
+    /// Median of the surviving values.
+    Median,
+    /// Exact-match majority — VDL's only non-numeric mode.
+    Majority,
+}
+
+/// A legacy VDL three-step voting definition.
+///
+/// # Example
+///
+/// ```
+/// use avoc_vdx::vdl::{VdlCalculation, VdlSpec};
+///
+/// let legacy = VdlSpec {
+///     name: "triple-modular".into(),
+///     quorum_votes: 3,
+///     outlier_deviations: Some(2.0),
+///     calculation: VdlCalculation::Mean,
+/// };
+/// let vdx = legacy.to_vdx();
+/// vdx.validate()?;
+/// let voter = avoc_vdx::build_voter(&vdx)?;
+/// assert_eq!(voter.name(), "average");
+/// # Ok::<(), avoc_vdx::VdxError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VdlSpec {
+    /// Scheme label.
+    pub name: String,
+    /// Step 1 — quorum: number of votes required.
+    pub quorum_votes: usize,
+    /// Step 2 — exclusion: discard values beyond this many standard
+    /// deviations (`None` disables exclusion).
+    pub outlier_deviations: Option<f64>,
+    /// Step 3 — result calculation.
+    pub calculation: VdlCalculation,
+}
+
+impl VdlSpec {
+    /// Parses a VDL JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::VdxError::Parse`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, crate::VdxError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Converts into the equivalent VDX definition.
+    pub fn to_vdx(&self) -> VdxSpec {
+        let mut spec = VdxSpec::preset("average").expect("builtin preset");
+        spec.algorithm_name = format!("vdl:{}", self.name);
+        spec.quorum = QuorumKind::Count;
+        spec.quorum_count = Some(self.quorum_votes);
+        match self.outlier_deviations {
+            Some(k) => {
+                spec.exclusion = ExclusionKind::StdDev;
+                spec.exclusion_threshold = k;
+            }
+            None => spec.exclusion = ExclusionKind::None,
+        }
+        spec.history = HistoryKind::None;
+        spec.bootstrapping = false;
+        spec.weighting = WeightingKind::Uniform;
+        match self.calculation {
+            VdlCalculation::Mean => spec.collation = VdxCollation::WeightedMean,
+            VdlCalculation::Median => spec.collation = VdxCollation::Median,
+            VdlCalculation::Majority => {
+                spec.value_kind = ValueKind::Categorical;
+                spec.collation = VdxCollation::WeightedMajority;
+            }
+        }
+        spec
+    }
+}
+
+impl From<VdlSpec> for VdxSpec {
+    fn from(vdl: VdlSpec) -> Self {
+        vdl.to_vdx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_engine;
+    use avoc_core::{Ballot, ModuleId, Round};
+
+    fn legacy(calc: VdlCalculation, outliers: Option<f64>) -> VdlSpec {
+        VdlSpec {
+            name: "legacy".into(),
+            quorum_votes: 2,
+            outlier_deviations: outliers,
+            calculation: calc,
+        }
+    }
+
+    #[test]
+    fn every_vdl_mode_converts_and_validates() {
+        for calc in [
+            VdlCalculation::Mean,
+            VdlCalculation::Median,
+            VdlCalculation::Majority,
+        ] {
+            let vdx = legacy(calc, Some(2.0)).to_vdx();
+            // Majority mode must drop exclusion to stay valid categorically.
+            let vdx = if calc == VdlCalculation::Majority {
+                let mut v = vdx;
+                v.exclusion = ExclusionKind::None;
+                v.exclusion_threshold = 0.0;
+                v
+            } else {
+                vdx
+            };
+            vdx.validate().unwrap_or_else(|e| panic!("{calc:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn vdl_mean_behaves_like_three_step_voting() {
+        let vdx = legacy(VdlCalculation::Mean, Some(1.5)).to_vdx();
+        let mut engine = build_engine(&vdx).unwrap();
+        // Quorum of 2 met; the 40.0 outlier excluded by std-dev; mean of the
+        // rest.
+        let out = engine
+            .submit(&Round::from_numbers(0, &[10.0, 10.2, 9.8, 10.0, 40.0]))
+            .unwrap();
+        assert!((out.number().unwrap() - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn vdl_quorum_is_respected() {
+        let vdx = legacy(VdlCalculation::Mean, None).to_vdx();
+        let mut engine = build_engine(&vdx).unwrap();
+        let out = engine
+            .submit(&Round::from_sparse_numbers(0, &[Some(1.0), None, None]))
+            .unwrap();
+        assert!(!out.is_voted());
+    }
+
+    #[test]
+    fn vdl_majority_votes_on_strings() {
+        let mut vdx = legacy(VdlCalculation::Majority, None).to_vdx();
+        vdx.history = HistoryKind::None;
+        let mut engine = build_engine(&vdx).unwrap();
+        let round = Round::new(
+            0,
+            vec![
+                Ballot::new(ModuleId::new(0), "go"),
+                Ballot::new(ModuleId::new(1), "go"),
+                Ballot::new(ModuleId::new(2), "stop"),
+            ],
+        );
+        let out = engine.submit(&round).unwrap();
+        assert_eq!(out.value().unwrap().as_text(), Some("go"));
+    }
+
+    #[test]
+    fn vdl_json_round_trip() {
+        let spec = legacy(VdlCalculation::Median, Some(3.0));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = VdlSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn from_impl_matches_to_vdx() {
+        let spec = legacy(VdlCalculation::Mean, None);
+        let via_from: VdxSpec = spec.clone().into();
+        assert_eq!(via_from, spec.to_vdx());
+    }
+}

@@ -1,0 +1,92 @@
+//! UC-2, end to end: tunnel positioning with redundant BLE beacon stacks
+//! (Fig. 3/4 of the paper). A robot drives 15 m between two stacks of nine
+//! beacons; per-stack voting fuses the chaotic RSSI readings and the
+//! closest stack is inferred from the stronger fused signal — the
+//! experiment behind Fig. 7.
+//!
+//! ```text
+//! cargo run --release --example ble_tunnel [seed]
+//! ```
+
+use avoc::metrics::Table;
+use avoc::prelude::*;
+use avoc_core::MemoryHistory;
+
+/// A named fusion strategy: a label plus a voter constructor.
+type Strategy<'a> = (&'a str, Box<dyn Fn() -> Box<dyn Voter>>);
+
+fn fuse(voter_factory: impl Fn() -> Box<dyn Voter>, trace: &RecordedTrace) -> Vec<Option<f64>> {
+    let mut voter = voter_factory();
+    trace
+        .iter_rounds()
+        .map(|round| voter.vote(&round).ok().and_then(|v| v.number()))
+        .collect()
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2022);
+
+    let trace = BleScenario::paper_default(seed).generate();
+    println!(
+        "tunnel run: {} rounds, stack A {:.1}% missing, stack B {:.1}% missing",
+        trace.rounds(),
+        trace.stack_a.missing_fraction() * 100.0,
+        trace.stack_b.missing_fraction() * 100.0
+    );
+
+    let truth: Vec<bool> = (0..trace.rounds())
+        .map(|r| trace.stack_a_closer(r))
+        .collect();
+    let margin = 2.0; // dB gap below which the round is ambiguous
+
+    let strategies: Vec<Strategy> = vec![
+        (
+            "single beacon (no fusion)",
+            Box::new(|| Box::new(AverageVoter::new()) as Box<dyn Voter>),
+        ),
+        (
+            "9-beacon average",
+            Box::new(|| Box::new(AverageVoter::new()) as Box<dyn Voter>),
+        ),
+        (
+            "9-beacon AVOC (mean-NN)",
+            Box::new(|| {
+                Box::new(AvocVoter::new(
+                    VoterConfig::new().with_collation(Collation::MeanNearestNeighbor),
+                    MemoryHistory::new(),
+                )) as Box<dyn Voter>
+            }),
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "strategy".into(),
+        "correct".into(),
+        "ambiguous".into(),
+        "misclassified".into(),
+        "accuracy".into(),
+    ]);
+    for (name, factory) in &strategies {
+        let (a, b) = if name.starts_with("single") {
+            (trace.stack_a.series(0), trace.stack_b.series(0))
+        } else {
+            (fuse(factory, &trace.stack_a), fuse(factory, &trace.stack_b))
+        };
+        let report = AmbiguityReport::evaluate(&a, &b, &truth, margin);
+        table.row(vec![
+            (*name).into(),
+            report.correct.to_string(),
+            report.ambiguous.to_string(),
+            report.misclassified.to_string(),
+            format!("{:.1}%", report.accuracy() * 100.0),
+        ]);
+    }
+    println!("\nclosest-stack discrimination (margin {margin} dB):");
+    println!("{table}");
+    println!("the paper's UC-2 finding: under chaotic RSSI, redundancy + averaging");
+    println!("beats both a single beacon and mean-nearest-neighbour selection, and");
+    println!("the history method has essentially no effect.");
+}

@@ -1,0 +1,69 @@
+//! Categorical voting (§6's VDX extension): a fleet of redundant lane
+//! classifiers on a vehicle votes on a *string* decision. Value-based
+//! exclusion and clustering don't apply; history-weighted majority with
+//! tie-breaking does — including the paper's "relative majority but overall
+//! minority" conflict and its proximity-to-previous-output resolution.
+//!
+//! ```text
+//! cargo run --example categorical_fleet
+//! ```
+
+use avoc::prelude::*;
+use avoc::vdx::{ValueKind, VdxCollation};
+
+fn ballots(round: u64, decisions: &[&str]) -> Round {
+    Round::new(
+        round,
+        decisions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Ballot::new(ModuleId::new(i as u32), *d))
+            .collect(),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A categorical VDX definition: standard history, weighted majority.
+    let mut spec = VdxSpec::preset("standard").expect("builtin preset");
+    spec.algorithm_name = "lane-consensus".into();
+    spec.value_kind = ValueKind::Categorical;
+    spec.collation = VdxCollation::WeightedMajority;
+    spec.quorum = avoc::vdx::QuorumKind::Majority;
+    spec.validate()?;
+    let mut engine = build_engine(&spec)?;
+
+    let rounds = [
+        // Classifier 3 keeps disagreeing; its record decays.
+        vec!["lane-2", "lane-2", "lane-2", "lane-3"],
+        vec!["lane-2", "lane-2", "lane-2", "lane-3"],
+        vec!["lane-2", "lane-2", "lane-2", "lane-3"],
+        // A genuine 2-2 split: raw counts tie, but classifier 3's decayed
+        // record breaks it — and if the weights tie exactly, the engine
+        // falls back to the previous accepted output.
+        vec!["lane-2", "lane-3", "lane-2", "lane-3"],
+        // Everyone converges again.
+        vec!["lane-3", "lane-3", "lane-3", "lane-3"],
+    ];
+
+    for (i, decisions) in rounds.iter().enumerate() {
+        let outcome = engine.submit(&ballots(i as u64, decisions))?;
+        let decision = outcome
+            .value()
+            .and_then(Value::as_text)
+            .unwrap_or("(none)")
+            .to_owned();
+        let kind = match &outcome {
+            RoundResult::Voted(_) => "voted",
+            RoundResult::TieBroken { .. } => "tie-broken",
+            RoundResult::Fallback { .. } => "fallback",
+            RoundResult::Skipped { .. } => "skipped",
+        };
+        println!("round {i}: {decisions:?} -> {decision} ({kind})");
+    }
+
+    println!("\nclassifier records:");
+    for (module, record) in engine.histories() {
+        println!("  {module}: {record:.2}");
+    }
+    Ok(())
+}

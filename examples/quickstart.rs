@@ -1,0 +1,50 @@
+//! Quickstart: describe a voting scheme in VDX, build an engine, fuse
+//! redundant readings with a faulty sensor in the mix.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use avoc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Listing-1 definition, as a JSON document an application
+    // would ship in its configuration.
+    let json = r#"{
+        "algorithm_name": "AVOC",
+        "quorum": "UNTIL",
+        "quorum_percentage": 100,
+        "exclusion": "NONE",
+        "exclusion_threshold": 0,
+        "history": "HYBRID",
+        "params": { "error": 0.05, "soft_threshold": 2 },
+        "collation": "MEAN_NEAREST_NEIGHBOR",
+        "bootstrapping": true
+    }"#;
+    let spec = VdxSpec::from_json(json)?;
+    spec.validate()?;
+    let mut engine = build_engine(&spec)?;
+
+    // Five redundant light sensors; E4 reads +6 klm too high from the start.
+    println!("round | readings                                  | fused");
+    for round in 0..6u64 {
+        let jitter = (round as f64) * 0.01;
+        let readings = [
+            18.00 + jitter,
+            18.10 - jitter,
+            17.90 + jitter,
+            24.05, // the faulty sensor
+            18.05,
+        ];
+        let outcome = engine.submit(&Round::from_numbers(round, &readings))?;
+        let fused = outcome.number().expect("quorum met");
+        println!("{round:>5} | {readings:>7.2?} | {fused:.3}");
+    }
+
+    // The engine's voter has learned to distrust the faulty module.
+    println!("\nhistorical records after 6 rounds:");
+    for (module, record) in engine.histories() {
+        println!("  {module}: {record:.2}");
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! # avoc — history-aware data fusion for reliable IoT analytics
+//!
+//! A complete Rust implementation of the system described in *"AVOC:
+//! History-Aware Data Fusion for Reliable IoT Analytics"* (Middleware '22):
+//! history-aware software voting for redundant sensors, the AVOC clustering
+//! bootstrap, the VDX voting-definition format, an edge-voting middleware
+//! pipeline, scenario simulators for the paper's two case studies, durable
+//! history datastores, and the evaluation metrics used by the paper's
+//! experiments.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `avoc-core` | values, rounds, the voter family, the engine |
+//! | [`cluster`] | `avoc-cluster` | agreement clustering, DBSCAN, k-means, X-means, mean-shift |
+//! | [`vdx`] | `avoc-vdx` | the VDX JSON spec, validation, voter factory, VDL compatibility |
+//! | [`sim`] | `avoc-sim` | light-sensor and BLE-beacon scenario generators, fault injection |
+//! | [`store`] | `avoc-store` | durable/shared/cached history datastores |
+//! | [`net`] | `avoc-net` | wire protocol, sensor hub, sink node, edge voter service |
+//! | [`metrics`] | `avoc-metrics` | convergence, ambiguity, series ops, reports |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use avoc::prelude::*;
+//!
+//! // Describe the voting scheme in VDX (Listing 1 of the paper) ...
+//! let spec = VdxSpec::avoc();
+//! // ... build the fully-policied engine from it ...
+//! let mut engine = avoc::vdx::build_engine(&spec)?;
+//! // ... and fuse a round of redundant readings with one faulty sensor.
+//! let outcome = engine.submit(&Round::from_numbers(0, &[18.0, 18.1, 24.0, 17.9, 18.05]))?;
+//! let fused = outcome.number().expect("voted");
+//! assert!((fused - 18.0).abs() < 0.3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See the `examples/` directory for the paper's two case studies end to
+//! end, and the `avoc-bench` crate for every figure/table reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use avoc_cluster as cluster;
+pub use avoc_core as core;
+pub use avoc_metrics as metrics;
+pub use avoc_net as net;
+pub use avoc_sim as sim;
+pub use avoc_store as store;
+pub use avoc_vdx as vdx;
+
+/// The most common imports, for `use avoc::prelude::*`.
+pub mod prelude {
+    pub use avoc_core::algorithms::{
+        AverageVoter, AvocVoter, ClusteringOnlyVoter, HybridVoter, MajorityVoter,
+        ModuleEliminationVoter, SoftDynamicVoter, StandardVoter, StatelessWeightedVoter, Verdict,
+        Voter,
+    };
+    pub use avoc_core::{
+        AgreementParams, Ballot, Collation, Exclusion, FaultPolicy, ModuleId, Quorum, Round,
+        RoundResult, Value, VoteError, VoterConfig, VotingEngine,
+    };
+    pub use avoc_metrics::{AmbiguityReport, ConvergenceReport};
+    pub use avoc_net::EdgeVoter;
+    pub use avoc_sim::{BleScenario, FaultInjector, FaultKind, LightScenario, RecordedTrace};
+    pub use avoc_vdx::{build_engine, build_voter, VdxSpec};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_wires_the_whole_stack() {
+        let trace = LightScenario::new(5, 10, 1).generate();
+        let spec = VdxSpec::avoc();
+        let outputs = EdgeVoter::new(spec).expect("valid spec").run_trace(&trace);
+        assert_eq!(outputs.len(), 10);
+    }
+}

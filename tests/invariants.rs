@@ -1,0 +1,235 @@
+//! Property-based invariants over the core data structures, via proptest.
+
+use avoc::cluster::{AgreementClusterer, MarginMode};
+use avoc::core::value::levenshtein;
+use avoc::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: one round of 2..=9 finite candidate values in a plausible
+/// sensor range.
+fn candidate_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 2..=9)
+}
+
+/// Strategy: a short trace of rounds (same width).
+fn trace_values() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..=6, 1usize..=20).prop_flat_map(|(width, rounds)| {
+        prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, width..=width),
+            rounds..=rounds,
+        )
+    })
+}
+
+fn all_voters() -> Vec<Box<dyn Voter>> {
+    let mnn = VoterConfig::new().with_collation(Collation::MeanNearestNeighbor);
+    vec![
+        Box::new(AverageVoter::new()),
+        Box::new(StatelessWeightedVoter::new(VoterConfig::new())),
+        Box::new(StandardVoter::with_defaults()),
+        Box::new(ModuleEliminationVoter::with_defaults()),
+        Box::new(SoftDynamicVoter::with_defaults()),
+        Box::new(HybridVoter::with_defaults()),
+        Box::new(ClusteringOnlyVoter::new(VoterConfig::new())),
+        Box::new(AvocVoter::new(mnn, avoc::core::MemoryHistory::new())),
+    ]
+}
+
+proptest! {
+    /// Every numeric voter's output lies within the candidate hull, its
+    /// weights are non-negative, and its confidence is a fraction.
+    #[test]
+    fn verdicts_stay_inside_the_candidate_hull(rounds in trace_values()) {
+        for mut voter in all_voters() {
+            for (i, values) in rounds.iter().enumerate() {
+                let round = Round::from_numbers(i as u64, values);
+                let verdict = voter.vote(&round).expect("full numeric round");
+                let out = verdict.number().expect("numeric output");
+                let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(out >= lo - 1e-9 && out <= hi + 1e-9,
+                    "{}: output {out} outside [{lo}, {hi}]", voter.name());
+                prop_assert!(verdict.weights.iter().all(|(_, w)| *w >= 0.0));
+                prop_assert!((0.0..=1.0).contains(&verdict.confidence));
+            }
+        }
+    }
+
+    /// Histories remain in [0, 1] no matter what data arrives.
+    #[test]
+    fn histories_stay_in_unit_interval(rounds in trace_values()) {
+        for mut voter in all_voters() {
+            for (i, values) in rounds.iter().enumerate() {
+                let _ = voter.vote(&Round::from_numbers(i as u64, values));
+                for (_, h) in voter.histories() {
+                    prop_assert!((0.0..=1.0).contains(&h),
+                        "{}: history {h} out of range", voter.name());
+                }
+            }
+        }
+    }
+
+    /// Agreement scores are symmetric, bounded, and the soft score
+    /// dominates the binary score.
+    #[test]
+    fn agreement_scores_behave(a in -1e6f64..1e6, b in -1e6f64..1e6,
+                               error in 0.0f64..0.5, mult in 1.0f64..5.0) {
+        let p = AgreementParams::new(error, mult, avoc::core::MarginMode::Relative);
+        let soft_ab = p.soft_score(a, b);
+        let soft_ba = p.soft_score(b, a);
+        let bin = p.binary_score(a, b);
+        prop_assert!((soft_ab - soft_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&soft_ab));
+        prop_assert!(soft_ab >= bin);
+        prop_assert_eq!(p.binary_score(a, a), 1.0);
+    }
+
+    /// The agreement clusterer partitions the input: every index appears in
+    /// exactly one cluster, and the clusters are size-sorted.
+    #[test]
+    fn clusterer_partitions_input(values in candidate_values(),
+                                  threshold in 0.0f64..0.5) {
+        let clustering = AgreementClusterer::new(threshold, MarginMode::Relative)
+            .cluster(&values);
+        let mut seen = vec![0usize; values.len()];
+        for c in clustering.clusters() {
+            for &i in c.members() {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1), "not a partition: {seen:?}");
+        let sizes: Vec<usize> = clustering.clusters().iter().map(|c| c.len()).collect();
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Collation: the weighted mean is inside the hull of positive-weight
+    /// candidates; mean-NN returns one of them; the median is a candidate.
+    #[test]
+    fn collation_respects_candidates(values in candidate_values()) {
+        use avoc::core::collation::collate;
+        let weights: Vec<f64> = (0..values.len())
+            .map(|i| if i % 3 == 0 { 0.0 } else { 1.0 + i as f64 })
+            .collect();
+        let kept: Vec<f64> = values.iter().zip(&weights)
+            .filter(|(_, &w)| w > 0.0).map(|(&v, _)| v).collect();
+        if kept.is_empty() {
+            prop_assert_eq!(collate(Collation::WeightedMean, &values, &weights), None);
+            return Ok(());
+        }
+        let lo = kept.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = kept.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = collate(Collation::WeightedMean, &values, &weights).unwrap();
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        let mnn = collate(Collation::MeanNearestNeighbor, &values, &weights).unwrap();
+        prop_assert!(kept.contains(&mnn));
+        let med = collate(Collation::Median, &values, &weights).unwrap();
+        prop_assert!(kept.contains(&med));
+    }
+
+    /// Quorum is monotone in the number of present ballots.
+    #[test]
+    fn quorum_is_monotone(expected in 1usize..20, frac in 0.0f64..1.0) {
+        for q in [Quorum::Any, Quorum::Majority, Quorum::Fraction(frac),
+                  Quorum::Count(expected / 2 + 1)] {
+            let mut met = false;
+            for present in 0..=expected {
+                let now = q.is_met(present, expected);
+                prop_assert!(!met || now, "{q:?} lost quorum at {present}/{expected}");
+                met = now;
+            }
+        }
+    }
+
+    /// Levenshtein: identity, symmetry and the length lower bound.
+    #[test]
+    fn levenshtein_properties(a in "[a-z]{0,8}", b in "[a-z]{0,8}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        let diff = a.chars().count().abs_diff(b.chars().count());
+        prop_assert!(levenshtein(&a, &b) >= diff);
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+    }
+
+    /// The wire codec round-trips any finite reading.
+    #[test]
+    fn message_codec_round_trips(module in 0u32..1000, round in 0u64..1_000_000,
+                                 value in -1e9f64..1e9) {
+        use avoc::net::Message;
+        let msg = Message::Reading {
+            module: ModuleId::new(module),
+            round,
+            value,
+        };
+        let mut buf = bytes::BytesMut::from(&msg.encode()[..]);
+        prop_assert_eq!(Message::decode(&mut buf).unwrap(), msg);
+        prop_assert!(buf.is_empty());
+    }
+
+    /// The engine absorbs arbitrary missing patterns without panicking, and
+    /// every voted output is in the candidate hull.
+    #[test]
+    fn engine_handles_arbitrary_missingness(
+        pattern in prop::collection::vec(prop::option::of(-50.0f64..50.0), 1..=9),
+        rounds in 1usize..10,
+    ) {
+        let mut engine = build_engine(&VdxSpec::avoc()).unwrap();
+        for r in 0..rounds {
+            let round = Round::from_sparse_numbers(r as u64, &pattern);
+            match engine.submit(&round) {
+                Ok(result) => {
+                    if let Some(out) = result.number() {
+                        let present: Vec<f64> = pattern.iter().flatten().copied().collect();
+                        if !present.is_empty() && result.is_voted() {
+                            let lo = present.iter().cloned().fold(f64::INFINITY, f64::min);
+                            let hi = present.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                            prop_assert!(out >= lo - 1e-9 && out <= hi + 1e-9);
+                        }
+                    }
+                }
+                Err(e) => prop_assert!(false, "engine surfaced {e}"),
+            }
+        }
+    }
+
+    /// VDX documents survive a JSON round trip: every enum/flag exactly,
+    /// every float to within 1 ulp (the float parser of the vendored JSON
+    /// build is not guaranteed bit-exact).
+    #[test]
+    fn vdx_round_trips(preset in prop::sample::select(vec![
+        "average", "stateless", "standard", "me", "sdt", "hybrid", "cov", "avoc",
+    ]), error in 0.001f64..0.5, soft in 1.0f64..4.0, rate in 0.001f64..1.0) {
+        let mut spec = VdxSpec::preset(preset).unwrap();
+        spec.params.error = error;
+        spec.params.soft_threshold = soft;
+        spec.params.learning_rate = rate;
+        let json = spec.to_json();
+        let back = VdxSpec::from_json(&json).unwrap();
+        let close = |a: f64, b: f64| (a - b).abs() <= f64::EPSILON * a.abs().max(b.abs());
+        prop_assert!(close(back.params.error, spec.params.error));
+        prop_assert!(close(back.params.soft_threshold, spec.params.soft_threshold));
+        prop_assert!(close(back.params.learning_rate, spec.params.learning_rate));
+        let mut normalised = back.clone();
+        normalised.params = spec.params;
+        prop_assert_eq!(normalised, spec);
+    }
+
+    /// Fault injection only ever touches the targeted module.
+    #[test]
+    fn fault_injection_is_scoped(module in 0usize..4, offset in -10.0f64..10.0,
+                                 seed in 0u64..100) {
+        let clean = LightScenario::new(4, 30, seed).generate();
+        let faulty = FaultInjector::new(module, FaultKind::Offset(offset))
+            .apply(&clean, seed);
+        for r in 0..clean.rounds() {
+            for m in 0..4 {
+                let c = clean.row(r)[m].unwrap();
+                let f = faulty.row(r)[m].unwrap();
+                if m == module {
+                    prop_assert!((f - c - offset).abs() < 1e-9);
+                } else {
+                    prop_assert_eq!(c, f);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based invariants for the middleware: the codec never panics on
+//! arbitrary bytes, and the hub's round stream is well-formed under any
+//! interleaving of sensor messages.
+
+use avoc::net::{Message, SensorHub};
+use avoc::prelude::*;
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+proptest! {
+    /// Feeding arbitrary garbage to the decoder never panics, and always
+    /// either consumes something or reports an incomplete frame.
+    #[test]
+    fn decoder_survives_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = BytesMut::from(&data[..]);
+        for _ in 0..data.len() + 1 {
+            let before = buf.len();
+            match Message::decode(&mut buf) {
+                Ok(_) => prop_assert!(buf.len() < before),
+                Err(avoc::net::message::DecodeError::Incomplete) => break,
+                Err(_) => prop_assert!(buf.len() < before, "error frames must be consumed"),
+            }
+        }
+    }
+
+    /// A decoder fed valid frames split at arbitrary boundaries recovers
+    /// every message exactly once.
+    #[test]
+    fn decoder_reassembles_split_frames(
+        values in prop::collection::vec(-100.0f64..100.0, 1..20),
+        split in 1usize..7,
+    ) {
+        let msgs: Vec<Message> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Message::Reading {
+                module: ModuleId::new((i % 3) as u32),
+                round: i as u64,
+                value: v,
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&m.encode());
+        }
+
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(split) {
+            buf.extend_from_slice(chunk);
+            loop {
+                match Message::decode(&mut buf) {
+                    Ok(m) => decoded.push(m),
+                    Err(avoc::net::message::DecodeError::Incomplete) => break,
+                    Err(e) => prop_assert!(false, "unexpected decode error {e}"),
+                }
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// However sensor messages interleave, the hub emits each round id at
+    /// most once, in strictly increasing order, with the full expected
+    /// ballot width.
+    #[test]
+    fn hub_rounds_are_well_formed(
+        order in prop::collection::vec((0u32..4, 0u64..6), 0..60),
+    ) {
+        let expected: Vec<ModuleId> = (0..4).map(ModuleId::new).collect();
+        let mut hub = SensorHub::new(expected).with_lag_tolerance(2);
+        let mut emitted: Vec<u64> = Vec::new();
+        for (module, round) in order {
+            for r in hub.accept(Message::Reading {
+                module: ModuleId::new(module),
+                round,
+                value: module as f64,
+            }) {
+                prop_assert_eq!(r.expected_count(), 4);
+                emitted.push(r.round);
+            }
+        }
+        for r in hub.flush_all() {
+            prop_assert_eq!(r.expected_count(), 4);
+            emitted.push(r.round);
+        }
+        prop_assert!(emitted.windows(2).all(|w| w[0] < w[1]),
+            "rounds must be strictly increasing: {emitted:?}");
+    }
+
+    /// A full-pipeline run over randomly gappy traces produces exactly one
+    /// output per round, whatever the gaps.
+    #[test]
+    fn pipeline_emits_one_output_per_round(
+        gaps in prop::collection::vec(prop::collection::vec(any::<bool>(), 4..=4), 5..15),
+    ) {
+        let values: Vec<Vec<Option<f64>>> = gaps
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(m, &present)| present.then_some(18.0 + m as f64 * 0.01))
+                    .collect()
+            })
+            .collect();
+        let trace = RecordedTrace::new(
+            (0..4).map(|i| format!("S{i}")).collect(),
+            values,
+            8.0,
+        );
+        let mut spec = VdxSpec::avoc();
+        spec.quorum = avoc::vdx::QuorumKind::Any;
+        let outputs = EdgeVoter::new(spec).unwrap().run_trace(&trace);
+        prop_assert_eq!(outputs.len(), trace.rounds());
+        let rounds: Vec<u64> = outputs.iter().map(|o| o.round).collect();
+        prop_assert!(rounds.windows(2).all(|w| w[0] < w[1]));
+    }
+}

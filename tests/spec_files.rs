@@ -1,0 +1,97 @@
+//! Every VDX document shipped under `specs/` must parse, validate and
+//! build a working voter — the contract a deployed voter service relies
+//! on.
+
+use avoc::prelude::*;
+use std::path::PathBuf;
+
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("specs")
+}
+
+#[test]
+fn every_shipped_spec_parses_validates_and_builds() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir(specs_dir()).expect("specs/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let spec = VdxSpec::from_file(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        spec.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let engine = build_engine(&spec).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        drop(engine);
+        checked += 1;
+    }
+    assert!(
+        checked >= 5,
+        "expected the shipped spec set, found {checked}"
+    );
+}
+
+#[test]
+fn shipped_avoc_spec_is_the_paper_listing() {
+    let spec = VdxSpec::from_file(specs_dir().join("avoc.json")).unwrap();
+    assert_eq!(spec, VdxSpec::avoc());
+}
+
+#[test]
+fn shipped_specs_run_their_scenarios() {
+    // smart-building.json fuses the light testbed.
+    let spec = VdxSpec::from_file(specs_dir().join("smart-building.json")).unwrap();
+    let mut engine = build_engine(&spec).unwrap();
+    let trace = LightScenario::new(5, 20, 3).generate();
+    for round in trace.iter_rounds() {
+        assert!(engine.submit(&round).unwrap().number().is_some());
+    }
+
+    // ble-tunnel.json fuses a beacon stack, tolerating missing values.
+    let spec = VdxSpec::from_file(specs_dir().join("ble-tunnel.json")).unwrap();
+    let mut engine = build_engine(&spec).unwrap();
+    let ble = BleScenario::new(9, 40, 3).generate();
+    let mut fused = 0;
+    for round in ble.stack_a.iter_rounds() {
+        if engine.submit(&round).unwrap().number().is_some() {
+            fused += 1;
+        }
+    }
+    assert!(fused > 30, "most rounds must fuse, got {fused}/40");
+
+    // categorical-majority.json votes on strings.
+    let spec = VdxSpec::from_file(specs_dir().join("categorical-majority.json")).unwrap();
+    let mut engine = build_engine(&spec).unwrap();
+    let round = Round::new(
+        0,
+        vec![
+            Ballot::new(ModuleId::new(0), "closed"),
+            Ballot::new(ModuleId::new(1), "closed"),
+            Ballot::new(ModuleId::new(2), "open"),
+        ],
+    );
+    let out = engine.submit(&round).unwrap();
+    assert_eq!(out.value().unwrap().as_text(), Some("closed"));
+
+    // vector-position.json votes per dimension.
+    let spec = VdxSpec::from_file(specs_dir().join("vector-position.json")).unwrap();
+    let mut engine = build_engine(&spec).unwrap();
+    let round = Round::new(
+        0,
+        vec![
+            Ballot::new(ModuleId::new(0), vec![1.0, 5.0]),
+            Ballot::new(ModuleId::new(1), vec![1.1, 5.1]),
+            Ballot::new(ModuleId::new(2), vec![0.9, 4.9]),
+        ],
+    );
+    let out = engine.submit(&round).unwrap();
+    assert_eq!(
+        out.value().and_then(|v| v.as_vector().map(<[f64]>::len)),
+        Some(2)
+    );
+}
+
+#[test]
+fn from_file_reports_missing_files_cleanly() {
+    let err = VdxSpec::from_file(specs_dir().join("no-such-spec.json")).unwrap_err();
+    assert!(err.to_string().contains("no-such-spec.json"));
+}
