@@ -1,0 +1,74 @@
+//! Daemon throughput: sustained voting rounds through `avoc-serve` at 1, 4
+//! and 16 concurrent sessions over the in-process transport (no sockets, so
+//! the numbers isolate the service path: shard routing, mailboxes, session
+//! lookup, engine submit, result emission).
+//!
+//! One iteration feeds a complete 3-module round to every open session and
+//! waits for every fused result, so rounds/sec = iterations/sec × sessions.
+
+use avoc_core::ModuleId;
+use avoc_net::{Message, SpecSource};
+use avoc_serve::{ServeConfig, SpecRegistry, VoterService};
+use avoc_vdx::VdxSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbeam::channel::{self, Receiver};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const MODULES: u32 = 3;
+
+fn open_sessions(service: &VoterService, n: u64) -> Vec<Receiver<Message>> {
+    (0..n)
+        .map(|session| {
+            let (tx, rx) = channel::bounded(64);
+            service
+                .open_session(session, MODULES, &SpecSource::Named("avoc".into()), tx)
+                .expect("open session");
+            rx
+        })
+        .collect()
+}
+
+fn bench_concurrent_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_round_all_sessions");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &sessions in &[1u64, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sessions),
+            &sessions,
+            |b, &sessions| {
+                let mut registry = SpecRegistry::new();
+                registry.insert("avoc", VdxSpec::avoc());
+                let service = VoterService::start(ServeConfig::default(), Arc::new(registry));
+                let sinks = open_sessions(&service, sessions);
+                let mut round = 0u64;
+                b.iter(|| {
+                    for session in 0..sessions {
+                        for m in 0..MODULES {
+                            service
+                                .feed(session, ModuleId::new(m), round, 20.0 + 0.1 * f64::from(m))
+                                .expect("feed");
+                        }
+                    }
+                    // Waiting for every result makes the iteration measure
+                    // fused throughput, not enqueue throughput.
+                    for rx in &sinks {
+                        black_box(rx.recv().expect("result"));
+                    }
+                    round += 1;
+                });
+                // Drop drains the service (joins the shard workers).
+                drop(sinks);
+                drop(service);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_sessions);
+criterion_main!(benches);

@@ -15,6 +15,19 @@ use avoc_sim::RecordedTrace;
 use avoc_vdx::{build_engine, VdxError, VdxSpec};
 use crossbeam::channel;
 
+/// Capacity of the feeder → hub frame channel. Trace replays are bursty —
+/// every feeder pushes as fast as it can — so the channel is bounded to
+/// backpressure feeders once the hub falls behind, instead of buffering an
+/// entire trace (frames are ~25 bytes; 256 frames ≈ one lag window for the
+/// widest simulated deployments).
+const WIRE_CHANNEL_CAPACITY: usize = 256;
+
+/// Capacity of the hub → sink and sink → collector round channels. Rounds
+/// are produced at most once per `expected.len()` frames, so a much smaller
+/// buffer than [`WIRE_CHANNEL_CAPACITY`] already decouples voting latency
+/// spikes from round assembly without unbounded growth.
+const ROUND_CHANNEL_CAPACITY: usize = 64;
+
 /// A VDX-configured edge voting service.
 ///
 /// # Example
@@ -80,7 +93,7 @@ impl EdgeVoter {
             }));
         }
 
-        let (out_tx, out_rx) = crossbeam::channel::unbounded();
+        let (out_tx, out_rx) = crossbeam::channel::bounded(ROUND_CHANNEL_CAPACITY);
         let sink = SinkNode::spawn(engine, round_rx, out_tx);
         let mut outputs: Vec<SinkOutput> = out_rx.iter().collect();
         for f in feeders {
@@ -106,7 +119,7 @@ impl EdgeVoter {
             .collect();
 
         // Sensor feeders → hub thread.
-        let (wire_tx, wire_rx) = channel::unbounded::<Vec<u8>>();
+        let (wire_tx, wire_rx) = channel::bounded::<Vec<u8>>(WIRE_CHANNEL_CAPACITY);
         let mut feeders = Vec::new();
         for (idx, &module) in modules.iter().enumerate() {
             let series = trace.series(idx);
@@ -133,7 +146,7 @@ impl EdgeVoter {
         drop(wire_tx);
 
         // Hub thread: decode frames, assemble rounds.
-        let (round_tx, round_rx) = channel::unbounded();
+        let (round_tx, round_rx) = channel::bounded(ROUND_CHANNEL_CAPACITY);
         let hub_modules = modules.clone();
         let rounds_total = trace.rounds();
         let hub_handle = std::thread::spawn(move || {
@@ -166,7 +179,7 @@ impl EdgeVoter {
         });
 
         // Sink node.
-        let (out_tx, out_rx) = channel::unbounded();
+        let (out_tx, out_rx) = channel::bounded(ROUND_CHANNEL_CAPACITY);
         let sink = SinkNode::spawn(engine, round_rx, out_tx);
 
         let mut outputs: Vec<SinkOutput> = out_rx.iter().collect();

@@ -155,6 +155,9 @@ impl SensorHub {
                 Vec::new()
             }
             Message::Shutdown => self.flush_all(),
+            // Session-scoped control frames (tags 5–9) are daemon traffic;
+            // a single-tenant hub has no session table and ignores them.
+            _ => Vec::new(),
         }
     }
 

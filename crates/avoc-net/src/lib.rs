@@ -42,6 +42,6 @@ pub mod tcp;
 
 pub use edge::EdgeVoter;
 pub use hub::{Liveness, SensorHub};
-pub use message::Message;
+pub use message::{Message, SpecSource};
 pub use sink::SinkNode;
 pub use tcp::{SensorClient, TcpHub};

@@ -10,13 +10,33 @@
 //! round: u64 BE    (Reading/Missing)
 //! value: f64 bits BE (Reading only)
 //! ```
+//!
+//! Tags 5–9 extend the substrate for the `avoc-serve` voter daemon, which
+//! multiplexes many voting sessions over one connection. Control frames
+//! carry a `session: u64` and, for [`Message::OpenSession`], a VDX document
+//! reference. Strings are encoded as `u32` BE length + UTF-8 bytes:
+//!
+//! ```text
+//! tag: u8          5 = OpenSession, 6 = CloseSession, 7 = SessionReading,
+//!                  8 = SessionResult, 9 = Error
+//! session: u64 BE  (all control frames)
+//! ```
 
 use avoc_core::ModuleId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
+/// Where a voting session's VDX document comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecSource {
+    /// A spec registered under a name in the server's registry.
+    Named(String),
+    /// A full VDX JSON document shipped inline at session open.
+    Inline(String),
+}
+
 /// A protocol message.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// A measurement for a round.
     Reading {
@@ -42,6 +62,50 @@ pub enum Message {
     },
     /// The sender is going away.
     Shutdown,
+    /// Opens a voting session on an `avoc-serve` daemon.
+    OpenSession {
+        /// Client-chosen session identifier (unique per daemon).
+        session: u64,
+        /// How many modules feed this session's rounds.
+        modules: u32,
+        /// The VDX document governing the session.
+        spec: SpecSource,
+    },
+    /// Closes a session, flushing any partially assembled rounds.
+    CloseSession {
+        /// Session to close.
+        session: u64,
+    },
+    /// A measurement addressed to one session of a multi-tenant daemon.
+    SessionReading {
+        /// Target session.
+        session: u64,
+        /// Submitting module.
+        module: ModuleId,
+        /// Round number.
+        round: u64,
+        /// The measured value.
+        value: f64,
+    },
+    /// One fused round emitted by a session.
+    SessionResult {
+        /// Originating session.
+        session: u64,
+        /// Round number.
+        round: u64,
+        /// Fused value (`None` when the round was skipped).
+        value: Option<f64>,
+        /// Whether a genuine vote produced the value (`false` for
+        /// tie-breaks and last-good fallbacks).
+        voted: bool,
+    },
+    /// A service-side failure scoped to one session.
+    Error {
+        /// Affected session.
+        session: u64,
+        /// Human-readable cause.
+        message: String,
+    },
 }
 
 /// Decoding errors.
@@ -78,12 +142,38 @@ const TAG_READING: u8 = 1;
 const TAG_MISSING: u8 = 2;
 const TAG_HEARTBEAT: u8 = 3;
 const TAG_SHUTDOWN: u8 = 4;
+const TAG_OPEN_SESSION: u8 = 5;
+const TAG_CLOSE_SESSION: u8 = 6;
+const TAG_SESSION_READING: u8 = 7;
+const TAG_SESSION_RESULT: u8 = 8;
+const TAG_ERROR: u8 = 9;
+
+/// Spec-source discriminants inside an `OpenSession` payload.
+const SPEC_NAMED: u8 = 0;
+const SPEC_INLINE: u8 = 1;
+
+fn put_string(payload: &mut BytesMut, s: &str) {
+    payload.put_u32(s.len() as u32);
+    payload.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(payload: &mut BytesMut, tag: u8, len: usize) -> Result<String, DecodeError> {
+    if payload.len() < 4 {
+        return Err(DecodeError::BadLength { tag, len });
+    }
+    let n = payload.get_u32() as usize;
+    if payload.len() < n {
+        return Err(DecodeError::BadLength { tag, len });
+    }
+    let raw = payload.split_to(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadLength { tag, len })
+}
 
 impl Message {
     /// Encodes the message as one length-prefixed frame.
     pub fn encode(&self) -> Bytes {
-        let mut payload = BytesMut::with_capacity(21);
-        match *self {
+        let mut payload = BytesMut::with_capacity(29);
+        match self {
             Message::Reading {
                 module,
                 round,
@@ -91,19 +181,77 @@ impl Message {
             } => {
                 payload.put_u8(TAG_READING);
                 payload.put_u32(module.index());
-                payload.put_u64(round);
-                payload.put_f64(value);
+                payload.put_u64(*round);
+                payload.put_f64(*value);
             }
             Message::Missing { module, round } => {
                 payload.put_u8(TAG_MISSING);
                 payload.put_u32(module.index());
-                payload.put_u64(round);
+                payload.put_u64(*round);
             }
             Message::Heartbeat { module } => {
                 payload.put_u8(TAG_HEARTBEAT);
                 payload.put_u32(module.index());
             }
             Message::Shutdown => payload.put_u8(TAG_SHUTDOWN),
+            Message::OpenSession {
+                session,
+                modules,
+                spec,
+            } => {
+                payload.put_u8(TAG_OPEN_SESSION);
+                payload.put_u64(*session);
+                payload.put_u32(*modules);
+                match spec {
+                    SpecSource::Named(name) => {
+                        payload.put_u8(SPEC_NAMED);
+                        put_string(&mut payload, name);
+                    }
+                    SpecSource::Inline(vdx) => {
+                        payload.put_u8(SPEC_INLINE);
+                        put_string(&mut payload, vdx);
+                    }
+                }
+            }
+            Message::CloseSession { session } => {
+                payload.put_u8(TAG_CLOSE_SESSION);
+                payload.put_u64(*session);
+            }
+            Message::SessionReading {
+                session,
+                module,
+                round,
+                value,
+            } => {
+                payload.put_u8(TAG_SESSION_READING);
+                payload.put_u64(*session);
+                payload.put_u32(module.index());
+                payload.put_u64(*round);
+                payload.put_f64(*value);
+            }
+            Message::SessionResult {
+                session,
+                round,
+                value,
+                voted,
+            } => {
+                payload.put_u8(TAG_SESSION_RESULT);
+                payload.put_u64(*session);
+                payload.put_u64(*round);
+                match value {
+                    Some(v) => {
+                        payload.put_u8(1);
+                        payload.put_f64(*v);
+                    }
+                    None => payload.put_u8(0),
+                }
+                payload.put_u8(u8::from(*voted));
+            }
+            Message::Error { session, message } => {
+                payload.put_u8(TAG_ERROR);
+                payload.put_u64(*session);
+                put_string(&mut payload, message);
+            }
         }
         let mut frame = BytesMut::with_capacity(4 + payload.len());
         frame.put_u32(payload.len() as u32);
@@ -165,6 +313,79 @@ impl Message {
                 expect(1)?;
                 Ok(Message::Shutdown)
             }
+            TAG_OPEN_SESSION => {
+                // Variable length: session + modules + discriminant + string.
+                if len < 1 + 8 + 4 + 1 + 4 {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let session = payload.get_u64();
+                let modules = payload.get_u32();
+                let kind = payload.get_u8();
+                let text = get_string(&mut payload, tag, len)?;
+                let spec = match kind {
+                    SPEC_NAMED => SpecSource::Named(text),
+                    SPEC_INLINE => SpecSource::Inline(text),
+                    _ => return Err(DecodeError::BadLength { tag, len }),
+                };
+                if !payload.is_empty() {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                Ok(Message::OpenSession {
+                    session,
+                    modules,
+                    spec,
+                })
+            }
+            TAG_CLOSE_SESSION => {
+                expect(1 + 8)?;
+                Ok(Message::CloseSession {
+                    session: payload.get_u64(),
+                })
+            }
+            TAG_SESSION_READING => {
+                expect(1 + 8 + 4 + 8 + 8)?;
+                Ok(Message::SessionReading {
+                    session: payload.get_u64(),
+                    module: ModuleId::new(payload.get_u32()),
+                    round: payload.get_u64(),
+                    value: payload.get_f64(),
+                })
+            }
+            TAG_SESSION_RESULT => {
+                expect(1 + 8 + 8 + 1 + 8 + 1).or_else(|_| expect(1 + 8 + 8 + 1 + 1))?;
+                let session = payload.get_u64();
+                let round = payload.get_u64();
+                let value = match payload.get_u8() {
+                    0 => None,
+                    1 => {
+                        if payload.len() < 8 {
+                            return Err(DecodeError::BadLength { tag, len });
+                        }
+                        Some(payload.get_f64())
+                    }
+                    _ => return Err(DecodeError::BadLength { tag, len }),
+                };
+                if payload.len() != 1 {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                Ok(Message::SessionResult {
+                    session,
+                    round,
+                    value,
+                    voted: payload.get_u8() != 0,
+                })
+            }
+            TAG_ERROR => {
+                if len < 1 + 8 + 4 {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let session = payload.get_u64();
+                let message = get_string(&mut payload, tag, len)?;
+                if !payload.is_empty() {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                Ok(Message::Error { session, message })
+            }
             other => Err(DecodeError::UnknownTag(other)),
         }
     }
@@ -196,6 +417,68 @@ mod tests {
             module: ModuleId::new(0),
         });
         round_trip(Message::Shutdown);
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        round_trip(Message::OpenSession {
+            session: 9,
+            modules: 5,
+            spec: SpecSource::Named("avoc".into()),
+        });
+        round_trip(Message::OpenSession {
+            session: u64::MAX,
+            modules: 0,
+            spec: SpecSource::Inline("{\"algorithm_name\": \"AVOC\"}".into()),
+        });
+        round_trip(Message::CloseSession { session: 3 });
+        round_trip(Message::SessionReading {
+            session: 12,
+            module: ModuleId::new(2),
+            round: 400,
+            value: -17.5,
+        });
+        round_trip(Message::SessionResult {
+            session: 12,
+            round: 400,
+            value: Some(18.25),
+            voted: true,
+        });
+        round_trip(Message::SessionResult {
+            session: 1,
+            round: 0,
+            value: None,
+            voted: false,
+        });
+        round_trip(Message::Error {
+            session: 7,
+            message: "unknown spec `nope`".into(),
+        });
+        round_trip(Message::Error {
+            session: 0,
+            message: String::new(),
+        });
+    }
+
+    #[test]
+    fn truncated_open_session_is_rejected_not_panicked() {
+        let frame = Message::OpenSession {
+            session: 1,
+            modules: 3,
+            spec: SpecSource::Named("avoc".into()),
+        }
+        .encode();
+        // Rewrite the outer length to chop the name off mid-string: the
+        // decoder must surface BadLength, consuming the frame.
+        let cut = frame.len() - 2;
+        let mut buf = BytesMut::from(&frame[..cut]);
+        let payload_len = (cut - 4) as u32;
+        buf[0..4].copy_from_slice(&payload_len.to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength { tag: 5, .. })
+        ));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
     }
 
     #[test]

@@ -16,6 +16,17 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
 
+/// Capacity of the reader → hub message channel. Bounded so a hub that
+/// stalls (slow consumer of the round channel) pushes backpressure onto the
+/// per-connection reader threads — and through TCP flow control onto the
+/// sensors themselves — rather than buffering unbounded frames in memory.
+const MSG_CHANNEL_CAPACITY: usize = 256;
+
+/// Capacity of the hub → caller round channel; one entry per fully
+/// assembled round, so a small buffer suffices (see
+/// [`MSG_CHANNEL_CAPACITY`] for the backpressure rationale).
+const ROUND_CHANNEL_CAPACITY: usize = 64;
+
 /// A sensor-side connection streaming readings to a [`TcpHub`].
 ///
 /// # Example
@@ -109,7 +120,7 @@ impl TcpHub {
     ) -> io::Result<(TcpHub, Receiver<Round>)> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let (round_tx, round_rx) = channel::unbounded();
+        let (round_tx, round_rx) = channel::bounded(ROUND_CHANNEL_CAPACITY);
         let handle = std::thread::spawn(move || run_hub(listener, expected, connections, round_tx));
         Ok((TcpHub { local_addr, handle }, round_rx))
     }
@@ -136,7 +147,7 @@ fn run_hub(
     round_tx: Sender<Round>,
 ) -> HubStats {
     // Reader threads decode frames into one message channel.
-    let (msg_tx, msg_rx) = channel::unbounded::<Result<Message, ()>>();
+    let (msg_tx, msg_rx) = channel::bounded::<Result<Message, ()>>(MSG_CHANNEL_CAPACITY);
     let mut readers = Vec::new();
     for _ in 0..connections {
         let Ok((stream, _)) = listener.accept() else {

@@ -1,0 +1,130 @@
+//! A small synchronous client for the [`crate::TcpServer`] daemon.
+
+use avoc_core::ModuleId;
+use avoc_net::message::DecodeError;
+use avoc_net::{Message, SpecSource};
+use bytes::BytesMut;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A tenant-side connection to a running voter daemon.
+///
+/// One client may multiplex any number of sessions over its connection;
+/// results arrive interleaved and carry their session id. The client is
+/// deliberately synchronous — a tenant that wants pipelining sends readings
+/// and calls [`ServeClient::recv`] from separate clones of the stream, or
+/// simply counts on one result per completed round.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
+impl ServeClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient {
+            stream,
+            buf: BytesMut::with_capacity(4096),
+        })
+    }
+
+    /// Opens a session governed by `spec`; admission errors arrive as
+    /// [`Message::Error`] frames on this connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn open_session(&mut self, session: u64, modules: u32, spec: SpecSource) -> io::Result<()> {
+        self.send(&Message::OpenSession {
+            session,
+            modules,
+            spec,
+        })
+    }
+
+    /// Streams one reading into a session's round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send_reading(
+        &mut self,
+        session: u64,
+        module: ModuleId,
+        round: u64,
+        value: f64,
+    ) -> io::Result<()> {
+        self.send(&Message::SessionReading {
+            session,
+            module,
+            round,
+            value,
+        })
+    }
+
+    /// Closes a session, flushing its partially assembled rounds (their
+    /// results still arrive on this connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn close_session(&mut self, session: u64) -> io::Result<()> {
+        self.send(&Message::CloseSession { session })
+    }
+
+    /// Sends one raw frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send(&mut self, msg: &Message) -> io::Result<()> {
+        self.stream.write_all(&msg.encode())
+    }
+
+    /// Blocks until the next server frame (a [`Message::SessionResult`] or
+    /// [`Message::Error`]) arrives.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the server closes the connection; `InvalidData`
+    /// on an undecodable frame; other I/O errors as raised.
+    pub fn recv(&mut self) -> io::Result<Message> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match Message::decode(&mut self.buf) {
+                Ok(msg) => return Ok(msg),
+                Err(DecodeError::Incomplete) => {}
+                Err(e) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("undecodable frame: {e:?}"),
+                    ))
+                }
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Receives exactly `n` frames (convenience for "one result per round").
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::recv`].
+    pub fn recv_n(&mut self, n: usize) -> io::Result<Vec<Message>> {
+        (0..n).map(|_| self.recv()).collect()
+    }
+}

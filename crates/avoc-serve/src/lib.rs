@@ -1,0 +1,84 @@
+//! `avoc-serve`: a sharded, multi-tenant VDX voter service daemon.
+//!
+//! The paper's vision (§8) is a *voter service* on an edge node that any
+//! deployment can hand a VDX document to. [`avoc_net::EdgeVoter`] realises
+//! that for a single tenant and a single recorded trace; this crate turns it
+//! into a long-running daemon that multiplexes many concurrent **voting
+//! sessions** — each with its own VDX spec, module set, fusion engine and
+//! history — over the `avoc-net` wire substrate.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                 ┌─────────────────────────────────────────────┐
+//!  TCP clients ──▶│ TcpServer: decode control frames (tags 5–9) │
+//!                 └──────────────┬──────────────────────────────┘
+//!                                │ route by hash(session id)
+//!                 ┌──────────────▼──────────────┐
+//!                 │ shard 0 .. shard N-1        │  bounded mailboxes
+//!                 │  each: HashMap<id, Session> │  (Block | DropOldest |
+//!                 │  Session = SensorHub        │   Reject backpressure)
+//!                 │          + VotingEngine     │
+//!                 └──────────────┬──────────────┘
+//!                                │ SessionResult / Error frames
+//!                 ┌──────────────▼──────────────┐
+//!                 │ per-connection writer       │──▶ back to the client
+//!                 └─────────────────────────────┘
+//! ```
+//!
+//! * [`SpecRegistry`] — named VDX documents loaded from a `specs/`
+//!   directory, plus inline VDX accepted at session open
+//!   ([`avoc_net::SpecSource`]).
+//! * [`VoterService`] — the sharded executor: sessions are pinned to one of
+//!   N worker threads by session-id hash, so each session's rounds are fused
+//!   in order without locks around engine state.
+//! * [`ServeConfig`] — mailbox capacity and [`Backpressure`] policy, session
+//!   capacity and [`AdmissionPolicy`], idle-tick eviction.
+//! * [`ServiceCounters`] — sessions opened/evicted/rejected, rounds fused,
+//!   fallbacks, per-shard queue-depth high-water marks and fuse-latency
+//!   min/mean/p99, snapshotable while running and dumped on drain.
+//! * [`TcpServer`] / [`ServeClient`] — the socket front-end and a small
+//!   blocking client for it.
+//!
+//! # Example (in-process)
+//!
+//! ```
+//! use avoc_net::SpecSource;
+//! use avoc_serve::{ServeConfig, SpecRegistry, VoterService};
+//! use avoc_core::ModuleId;
+//! use std::sync::Arc;
+//!
+//! let mut registry = SpecRegistry::new();
+//! registry.insert("avoc", avoc_vdx::VdxSpec::avoc());
+//! let service = VoterService::start(ServeConfig::default(), Arc::new(registry));
+//!
+//! let (sink, results) = crossbeam::channel::unbounded();
+//! service
+//!     .open_session(7, 3, &SpecSource::Named("avoc".into()), sink)
+//!     .unwrap();
+//! for (module, value) in [(0, 18.0), (1, 18.2), (2, 17.9)] {
+//!     service.feed(7, ModuleId::new(module), 0, value).unwrap();
+//! }
+//! service.close_session(7).unwrap();
+//! let snapshot = service.drain();
+//! assert_eq!(snapshot.rounds_fused, 1);
+//! assert!(results.try_recv().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod metrics;
+mod registry;
+mod server;
+mod service;
+mod session;
+mod shard;
+
+pub use client::ServeClient;
+pub use metrics::{CountersSnapshot, LatencySummary, ServiceCounters};
+pub use registry::SpecRegistry;
+pub use server::TcpServer;
+pub use service::{AdmissionPolicy, ServeConfig, ServeError, VoterService};
+pub use shard::Backpressure;

@@ -1,0 +1,225 @@
+//! Service counters: cheap to record, snapshotable while the daemon runs.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// How many fuse-latency samples the reservoir keeps. Old samples are
+/// overwritten ring-style, so the p99 reflects recent behaviour rather than
+/// the whole process lifetime.
+const LATENCY_RESERVOIR: usize = 4096;
+
+/// Live counters shared by every shard and connection of one daemon.
+///
+/// All hot-path fields are atomics; only the latency reservoir takes a lock,
+/// and only for a push into a fixed ring.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    sessions_opened: AtomicU64,
+    sessions_evicted: AtomicU64,
+    sessions_rejected: AtomicU64,
+    rounds_fused: AtomicU64,
+    fallbacks: AtomicU64,
+    readings_dropped: AtomicU64,
+    shard_queue_high_water: Vec<AtomicUsize>,
+    latency: Mutex<LatencyReservoir>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyReservoir {
+    /// Ring of recent per-fuse latencies in nanoseconds.
+    samples: Vec<u64>,
+    /// Next ring slot.
+    head: usize,
+    /// Total samples ever recorded.
+    count: u64,
+    /// Sum over all samples ever recorded (for the lifetime mean).
+    sum_ns: u128,
+    /// Lifetime minimum.
+    min_ns: u64,
+}
+
+impl ServiceCounters {
+    /// Counters for a daemon with `shards` workers.
+    pub fn new(shards: usize) -> Self {
+        ServiceCounters {
+            shard_queue_high_water: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            ..ServiceCounters::default()
+        }
+    }
+
+    pub(crate) fn session_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn session_evicted(&self) {
+        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn session_rejected(&self) {
+        self.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reading_dropped(&self) {
+        self.readings_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fused round and its latency.
+    pub(crate) fn round_fused(&self, latency_ns: u64) {
+        self.rounds_fused.fetch_add(1, Ordering::Relaxed);
+        let mut res = self.latency.lock();
+        if res.samples.len() < LATENCY_RESERVOIR {
+            res.samples.push(latency_ns);
+        } else {
+            let head = res.head;
+            res.samples[head] = latency_ns;
+        }
+        res.head = (res.head + 1) % LATENCY_RESERVOIR;
+        res.count += 1;
+        res.sum_ns += u128::from(latency_ns);
+        res.min_ns = if res.count == 1 {
+            latency_ns
+        } else {
+            res.min_ns.min(latency_ns)
+        };
+    }
+
+    /// Raises a shard's queue-depth high-water mark to `depth` if higher.
+    pub(crate) fn note_queue_depth(&self, shard: usize, depth: usize) {
+        if let Some(hw) = self.shard_queue_high_water.get(shard) {
+            hw.fetch_max(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough copy of every counter (individual loads are
+    /// relaxed; the snapshot is for operators, not invariants).
+    pub fn snapshot(&self) -> CountersSnapshot {
+        let latency = {
+            let res = self.latency.lock();
+            if res.count == 0 {
+                None
+            } else {
+                let mut recent: Vec<u64> = res.samples.clone();
+                recent.sort_unstable();
+                // Nearest-rank percentile: ceil(0.99 * n) as a 1-based rank.
+                let p99_idx = (recent.len() * 99).div_ceil(100).saturating_sub(1);
+                Some(LatencySummary {
+                    samples: res.count,
+                    min_us: res.min_ns as f64 / 1e3,
+                    mean_us: (res.sum_ns as f64 / res.count as f64) / 1e3,
+                    p99_us: recent[p99_idx] as f64 / 1e3,
+                })
+            }
+        };
+        CountersSnapshot {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            sessions_rejected: self.sessions_rejected.load(Ordering::Relaxed),
+            rounds_fused: self.rounds_fused.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            readings_dropped: self.readings_dropped.load(Ordering::Relaxed),
+            shard_queue_high_water: self
+                .shard_queue_high_water
+                .iter()
+                .map(|hw| hw.load(Ordering::Relaxed))
+                .collect(),
+            fuse_latency: latency,
+        }
+    }
+}
+
+/// Fuse-latency statistics over the recent reservoir.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Total fuses recorded over the daemon's lifetime.
+    pub samples: u64,
+    /// Lifetime minimum, microseconds.
+    pub min_us: f64,
+    /// Lifetime mean, microseconds.
+    pub mean_us: f64,
+    /// 99th percentile of the recent reservoir, microseconds.
+    pub p99_us: f64,
+}
+
+/// A point-in-time copy of [`ServiceCounters`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CountersSnapshot {
+    /// Sessions successfully opened.
+    pub sessions_opened: u64,
+    /// Sessions evicted (idle-timeout or capacity eviction).
+    pub sessions_evicted: u64,
+    /// Session opens refused by admission control.
+    pub sessions_rejected: u64,
+    /// Rounds fused across all sessions.
+    pub rounds_fused: u64,
+    /// Fused rounds that resolved by falling back to a last-good value.
+    pub fallbacks: u64,
+    /// Readings dropped by `DropOldest`/`Reject` backpressure.
+    pub readings_dropped: u64,
+    /// Per-shard mailbox depth high-water marks.
+    pub shard_queue_high_water: Vec<usize>,
+    /// Fuse-latency summary; `None` before the first fused round.
+    pub fuse_latency: Option<LatencySummary>,
+}
+
+impl CountersSnapshot {
+    /// Renders the snapshot as pretty JSON (the drain-time dump format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("counters are always serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_tracks_min_mean_p99() {
+        let c = ServiceCounters::new(2);
+        for ns in [1_000u64, 2_000, 3_000, 4_000, 100_000] {
+            c.round_fused(ns);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.rounds_fused, 5);
+        let lat = snap.fuse_latency.unwrap();
+        assert_eq!(lat.samples, 5);
+        assert!((lat.min_us - 1.0).abs() < 1e-9);
+        assert!((lat.mean_us - 22.0).abs() < 1e-9);
+        assert!((lat.p99_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_high_water_is_monotone() {
+        let c = ServiceCounters::new(2);
+        c.note_queue_depth(0, 5);
+        c.note_queue_depth(0, 3);
+        c.note_queue_depth(1, 7);
+        c.note_queue_depth(9, 100); // out-of-range shard is ignored
+        assert_eq!(c.snapshot().shard_queue_high_water, vec![5, 7]);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let c = ServiceCounters::new(1);
+        c.session_opened();
+        c.round_fused(5_000);
+        let json = c.snapshot().to_json();
+        assert!(json.contains("\"sessions_opened\": 1"));
+        assert!(json.contains("\"fuse_latency\""));
+    }
+
+    #[test]
+    fn reservoir_wraps_without_losing_lifetime_stats() {
+        let c = ServiceCounters::new(1);
+        for i in 0..(LATENCY_RESERVOIR as u64 + 100) {
+            c.round_fused(1_000 + i);
+        }
+        let lat = c.snapshot().fuse_latency.unwrap();
+        assert_eq!(lat.samples, LATENCY_RESERVOIR as u64 + 100);
+        assert!((lat.min_us - 1.0).abs() < 1e-9);
+    }
+}

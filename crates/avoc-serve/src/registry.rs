@@ -1,0 +1,152 @@
+//! Named VDX documents the daemon can open sessions against.
+
+use avoc_net::SpecSource;
+use avoc_vdx::VdxSpec;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use crate::service::ServeError;
+
+/// A registry of named, pre-validated VDX documents.
+///
+/// Tenants usually open sessions against a spec the operator shipped with
+/// the daemon ([`SpecSource::Named`]); ad-hoc tenants may instead send a
+/// full document inline ([`SpecSource::Inline`]), which is parsed and
+/// validated per open.
+#[derive(Debug, Default)]
+pub struct SpecRegistry {
+    specs: RwLock<HashMap<String, VdxSpec>>,
+}
+
+impl SpecRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SpecRegistry::default()
+    }
+
+    /// Loads every `*.json` document in `dir`, registered under its file
+    /// stem (`specs/ble-tunnel.json` → `"ble-tunnel"`). Invalid documents
+    /// are rejected eagerly so a bad spec fails daemon startup, not a
+    /// session open at 3am.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the directory walk, or `InvalidData` wrapping the
+    /// first spec that fails to parse or validate.
+    pub fn load_dir(&self, dir: impl AsRef<Path>) -> io::Result<usize> {
+        let mut loaded = 0;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let spec = VdxSpec::from_file(&path)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            spec.validate()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            self.specs.write().insert(stem.to_string(), spec);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Registers (or replaces) a named spec.
+    pub fn insert(&mut self, name: impl Into<String>, spec: VdxSpec) {
+        self.specs.write().insert(name.into(), spec);
+    }
+
+    /// Looks up a named spec.
+    pub fn get(&self, name: &str) -> Option<VdxSpec> {
+        self.specs.read().get(name).cloned()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.specs.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered specs.
+    pub fn len(&self) -> usize {
+        self.specs.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.read().is_empty()
+    }
+
+    /// Resolves a session-open spec reference to a validated document.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSpec`] for unregistered names;
+    /// [`ServeError::Vdx`] when an inline document fails to parse or
+    /// validate.
+    pub fn resolve(&self, source: &SpecSource) -> Result<VdxSpec, ServeError> {
+        match source {
+            SpecSource::Named(name) => self
+                .get(name)
+                .ok_or_else(|| ServeError::UnknownSpec(name.clone())),
+            SpecSource::Inline(doc) => {
+                let spec = VdxSpec::from_json(doc).map_err(ServeError::Vdx)?;
+                spec.validate().map_err(ServeError::Vdx)?;
+                Ok(spec)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_and_inline_resolution() {
+        let mut reg = SpecRegistry::new();
+        reg.insert("avoc", VdxSpec::avoc());
+        assert!(reg.resolve(&SpecSource::Named("avoc".into())).is_ok());
+        assert!(matches!(
+            reg.resolve(&SpecSource::Named("nope".into())),
+            Err(ServeError::UnknownSpec(_))
+        ));
+
+        let inline = VdxSpec::avoc().to_json();
+        assert!(reg.resolve(&SpecSource::Inline(inline)).is_ok());
+        assert!(matches!(
+            reg.resolve(&SpecSource::Inline("{not json".into())),
+            Err(ServeError::Vdx(_))
+        ));
+    }
+
+    #[test]
+    fn load_dir_registers_file_stems() {
+        let dir = std::env::temp_dir().join("avoc-serve-registry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("demo.json"), VdxSpec::avoc().to_json()).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let reg = SpecRegistry::new();
+        assert_eq!(reg.load_dir(&dir).unwrap(), 1);
+        assert_eq!(reg.names(), vec!["demo".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_rejects_invalid_documents() {
+        let dir = std::env::temp_dir().join("avoc-serve-registry-bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.json"), "{\"not\": \"a spec\"}").unwrap();
+        let reg = SpecRegistry::new();
+        assert!(reg.load_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

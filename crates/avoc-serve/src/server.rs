@@ -1,0 +1,223 @@
+//! TCP front-end: control frames in, session results out.
+
+use avoc_net::message::DecodeError;
+use avoc_net::Message;
+use bytes::BytesMut;
+use crossbeam::channel::{self, Sender};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::CountersSnapshot;
+use crate::service::{ServeError, VoterService};
+
+/// Capacity of each connection's outbound result channel. Bounded so one
+/// tenant reading results slowly stalls its own shard sends (and thus its
+/// own sessions) rather than growing daemon memory.
+const OUT_CHANNEL_CAPACITY: usize = 256;
+
+/// How often a blocked connection reader wakes to check for shutdown.
+const READ_POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// The daemon's socket front-end: accepts tenant connections and speaks the
+/// session control frames (tags 5–9) of [`avoc_net::message`] over the
+/// length-prefixed codec.
+///
+/// Each connection may multiplex any number of sessions; results and
+/// session-scoped errors are written back on the connection that opened the
+/// session. Sessions a connection leaves open when it disconnects are
+/// closed (flushing in-flight rounds) on its behalf.
+#[derive(Debug)]
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    service: Arc<VoterService>,
+    running: Arc<AtomicBool>,
+    accept_join: JoinHandle<()>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting tenants
+    /// against `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start(addr: &str, service: Arc<VoterService>) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let accept_join = {
+            let service = Arc::clone(&service);
+            let running = Arc::clone(&running);
+            std::thread::Builder::new()
+                .name("avoc-serve-accept".into())
+                .spawn(move || accept_loop(listener, service, running))
+                .expect("spawn accept loop")
+        };
+        Ok(TcpServer {
+            local_addr,
+            service,
+            running,
+            accept_join,
+        })
+    }
+
+    /// The address tenants should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service this front-end drives (for live [`VoterService::counters`]
+    /// snapshots while serving).
+    pub fn service(&self) -> &VoterService {
+        &self.service
+    }
+
+    /// Graceful shutdown: stops accepting, waits for connection threads,
+    /// drains every session (flushing in-flight rounds to whichever sinks
+    /// still listen) and returns the final counters.
+    pub fn shutdown(self) -> CountersSnapshot {
+        self.running.store(false, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept_join.join();
+        self.service.drain()
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: Arc<VoterService>, running: Arc<AtomicBool>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while running.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        if !running.load(Ordering::SeqCst) {
+            break; // the shutdown wake-up connection
+        }
+        let service = Arc::clone(&service);
+        let running = Arc::clone(&running);
+        conns.push(std::thread::spawn(move || {
+            serve_connection(stream, service, running);
+        }));
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+}
+
+/// One tenant connection: a reader loop (this thread) feeding the service,
+/// and a writer thread streaming the connection's result channel back out.
+fn serve_connection(stream: TcpStream, service: Arc<VoterService>, running: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    // Periodic timeouts let the reader notice shutdown between frames.
+    let _ = stream.set_read_timeout(Some(READ_POLL_INTERVAL));
+    let (out_tx, out_rx) = channel::bounded::<Message>(OUT_CHANNEL_CAPACITY);
+    let writer = {
+        let stream = stream.try_clone();
+        std::thread::spawn(move || {
+            let Ok(mut stream) = stream else { return };
+            // Exits when every sender is gone: the reader's handle drops at
+            // connection end and the shards' sink clones drop as their
+            // sessions close.
+            for msg in out_rx.iter() {
+                if stream.write_all(&msg.encode()).is_err() {
+                    break; // tenant gone; drain remaining sends as no-ops
+                }
+            }
+        })
+    };
+
+    let opened = read_frames(stream, &service, &running, &out_tx);
+
+    // Close sessions the tenant left open so their in-flight rounds flush
+    // and the shards drop their sink clones (releasing the writer).
+    for session in opened {
+        let _ = service.close_session(session);
+    }
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+/// Decodes frames until the tenant disconnects, shutdown begins, or a
+/// `Shutdown` frame arrives. Returns the ids of sessions still open.
+fn read_frames(
+    mut stream: TcpStream,
+    service: &VoterService,
+    running: &AtomicBool,
+    out_tx: &Sender<Message>,
+) -> Vec<u64> {
+    let mut buf = BytesMut::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let mut opened: Vec<u64> = Vec::new();
+    'conn: while running.load(Ordering::SeqCst) {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick: re-check `running`
+            }
+            Err(_) => break,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        loop {
+            let msg = match Message::decode(&mut buf) {
+                Ok(msg) => msg,
+                Err(DecodeError::Incomplete) => break,
+                Err(_) => continue, // undecodable frame already consumed
+            };
+            match msg {
+                Message::OpenSession {
+                    session,
+                    modules,
+                    spec,
+                } => match service.open_session(session, modules, &spec, out_tx.clone()) {
+                    Ok(()) => opened.push(session),
+                    Err(e) => send_error(out_tx, session, &e),
+                },
+                Message::SessionReading {
+                    session,
+                    module,
+                    round,
+                    value,
+                } => match service.feed(session, module, round, value) {
+                    Ok(()) | Err(ServeError::MailboxFull) => {
+                        // `Reject` drops are counted by the service; the
+                        // tenant learns about systematic loss from the
+                        // counters, not per-reading error frames.
+                    }
+                    Err(e) => {
+                        send_error(out_tx, session, &e);
+                        break 'conn;
+                    }
+                },
+                Message::CloseSession { session } => {
+                    opened.retain(|&s| s != session);
+                    if service.close_session(session).is_err() {
+                        break 'conn;
+                    }
+                }
+                Message::Shutdown => break 'conn,
+                // Legacy single-tenant frames and server-to-client frames
+                // carry no session routing; a daemon connection ignores them.
+                Message::Reading { .. }
+                | Message::Missing { .. }
+                | Message::Heartbeat { .. }
+                | Message::SessionResult { .. }
+                | Message::Error { .. } => {}
+            }
+        }
+    }
+    opened
+}
+
+fn send_error(out_tx: &Sender<Message>, session: u64, e: &ServeError) {
+    let _ = out_tx.send(Message::Error {
+        session,
+        message: e.to_string(),
+    });
+}

@@ -1,0 +1,466 @@
+//! The sharded voter service: session routing, admission, backpressure.
+
+use avoc_core::ModuleId;
+use avoc_net::{Message, SpecSource};
+use avoc_vdx::VdxError;
+use crossbeam::channel::{self, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::metrics::{CountersSnapshot, ServiceCounters};
+use crate::registry::SpecRegistry;
+use crate::shard::{Backpressure, ShardCommand, ShardWorker};
+
+/// What the service does when a session open arrives at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse the open; the tenant receives an [`Message::Error`] frame.
+    #[default]
+    Reject,
+    /// Evict the idlest session on the target shard to make room. Capacity
+    /// is a global count but eviction is shard-local (sessions are pinned),
+    /// so a shard whose sessions are all busy still rejects — the policy
+    /// trades strict global LRU for lock-free session ownership.
+    EvictIdle,
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. `0` means `std::thread::available_parallelism()`.
+    pub shards: usize,
+    /// Bounded capacity of each shard's mailbox.
+    pub mailbox_capacity: usize,
+    /// What readings do when a mailbox is full.
+    pub backpressure: Backpressure,
+    /// Maximum concurrently open sessions across all shards.
+    pub max_sessions: usize,
+    /// What session opens do at capacity.
+    pub admission: AdmissionPolicy,
+    /// Readings a session may go without (in per-shard ticks) before idle
+    /// eviction reaps it.
+    pub idle_ticks: u64,
+    /// Round-assembly lag tolerance handed to each session's hub.
+    pub lag_tolerance: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 0,
+            mailbox_capacity: 1024,
+            backpressure: Backpressure::Block,
+            max_sessions: 1024,
+            admission: AdmissionPolicy::Reject,
+            idle_ticks: 4096,
+            lag_tolerance: 8,
+        }
+    }
+}
+
+/// Service-level failures surfaced to producers.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The named spec is not in the registry.
+    UnknownSpec(String),
+    /// An inline spec failed to parse or validate.
+    Vdx(VdxError),
+    /// `Reject` backpressure refused a reading (mailbox full).
+    MailboxFull,
+    /// The service has drained; no further work is accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownSpec(name) => write!(f, "unknown spec `{name}`"),
+            ServeError::Vdx(e) => write!(f, "invalid VDX document: {e}"),
+            ServeError::MailboxFull => write!(f, "shard mailbox full: reading rejected"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Vdx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The sharded, multi-tenant voter service (the daemon core; [`crate::TcpServer`]
+/// is its socket front-end and benchmarks drive it in-process).
+pub struct VoterService {
+    shard_txs: Vec<Sender<ShardCommand>>,
+    // (manual Debug below: mailboxes and queued commands aren't printable)
+    joins: Mutex<Vec<JoinHandle<()>>>,
+    counters: Arc<ServiceCounters>,
+    active: Arc<AtomicUsize>,
+    registry: Arc<SpecRegistry>,
+    backpressure: Backpressure,
+    admission: AdmissionPolicy,
+}
+
+impl fmt::Debug for VoterService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VoterService")
+            .field("shards", &self.shard_txs.len())
+            .field("active_sessions", &self.active.load(Ordering::Relaxed))
+            .field("backpressure", &self.backpressure)
+            .field("admission", &self.admission)
+            .finish_non_exhaustive()
+    }
+}
+
+impl VoterService {
+    /// Spawns the shard workers and returns the running service.
+    pub fn start(config: ServeConfig, registry: Arc<SpecRegistry>) -> Self {
+        let shards = if config.shards == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.shards
+        };
+        let counters = Arc::new(ServiceCounters::new(shards));
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut joins = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, rx) = channel::bounded(config.mailbox_capacity);
+            let worker = ShardWorker {
+                index,
+                rx,
+                counters: Arc::clone(&counters),
+                active: Arc::clone(&active),
+                max_sessions: config.max_sessions,
+                idle_ticks: config.idle_ticks,
+                lag_tolerance: config.lag_tolerance,
+            };
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("avoc-serve-shard-{index}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker"),
+            );
+            shard_txs.push(tx);
+        }
+        VoterService {
+            shard_txs,
+            joins: Mutex::new(joins),
+            counters,
+            active,
+            registry,
+            backpressure: config.backpressure,
+            admission: config.admission,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.shard_txs.len()
+    }
+
+    /// Sessions currently open.
+    pub fn active_sessions(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// The registry sessions resolve named specs against.
+    pub fn registry(&self) -> &SpecRegistry {
+        &self.registry
+    }
+
+    /// Session-id → shard pinning (splitmix64 finalizer for dispersion:
+    /// tenants often use small consecutive ids).
+    fn shard_for(&self, session: u64) -> usize {
+        let mut z = session.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize % self.shard_txs.len()
+    }
+
+    /// Opens a session: resolves the spec (named or inline), then installs
+    /// it on the session's shard. Results and session-scoped errors flow to
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Spec resolution errors synchronously ([`ServeError::UnknownSpec`],
+    /// [`ServeError::Vdx`]); admission failures arrive on `sink` as
+    /// [`Message::Error`] frames (the decision belongs to the shard).
+    pub fn open_session(
+        &self,
+        session: u64,
+        modules: u32,
+        spec: &SpecSource,
+        sink: Sender<Message>,
+    ) -> Result<(), ServeError> {
+        let resolved = self.registry.resolve(spec)?;
+        let shard = self.shard_for(session);
+        let cmd = ShardCommand::Open {
+            session,
+            modules,
+            spec: Box::new(resolved),
+            sink,
+            evict_if_full: self.admission == AdmissionPolicy::EvictIdle,
+        };
+        // Control frames always block: admission must not be load-shed.
+        self.shard_txs[shard]
+            .send(cmd)
+            .map_err(|_| ServeError::ShuttingDown)?;
+        self.note_depth(shard);
+        Ok(())
+    }
+
+    /// Routes one reading to its session's shard under the configured
+    /// backpressure policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::MailboxFull`] under `Reject` when the mailbox is full;
+    /// [`ServeError::ShuttingDown`] after [`VoterService::drain`].
+    pub fn feed(
+        &self,
+        session: u64,
+        module: ModuleId,
+        round: u64,
+        value: f64,
+    ) -> Result<(), ServeError> {
+        let shard = self.shard_for(session);
+        let cmd = ShardCommand::Reading {
+            session,
+            module,
+            round,
+            value,
+        };
+        let tx = &self.shard_txs[shard];
+        let outcome = match self.backpressure {
+            Backpressure::Block => tx.send(cmd).map_err(|_| ServeError::ShuttingDown),
+            Backpressure::DropOldest => {
+                // Only readings may be shed. An eviction can surface a
+                // queued control command (Open/Close/Drain); re-queue it at
+                // the tail and keep shedding until a reading pops out.
+                let mut evicted = tx.force_send(cmd).map_err(|_| ServeError::ShuttingDown)?;
+                while let Some(old) = evicted {
+                    if matches!(old, ShardCommand::Reading { .. }) {
+                        self.counters.reading_dropped();
+                        break;
+                    }
+                    evicted = tx.force_send(old).map_err(|_| ServeError::ShuttingDown)?;
+                }
+                Ok(())
+            }
+            Backpressure::Reject => match tx.try_send(cmd) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(_)) => {
+                    self.counters.reading_dropped();
+                    Err(ServeError::MailboxFull)
+                }
+                Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            },
+        };
+        self.note_depth(shard);
+        outcome
+    }
+
+    /// Closes a session, flushing partially assembled rounds to its sink.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after [`VoterService::drain`].
+    pub fn close_session(&self, session: u64) -> Result<(), ServeError> {
+        let shard = self.shard_for(session);
+        self.shard_txs[shard]
+            .send(ShardCommand::Close { session })
+            .map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// A live counters snapshot.
+    pub fn counters(&self) -> CountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Graceful drain: every shard flushes every session's in-flight rounds
+    /// to its sink, workers exit, and the final counters are returned.
+    /// Subsequent `open`/`feed`/`close` calls fail with
+    /// [`ServeError::ShuttingDown`].
+    pub fn drain(&self) -> CountersSnapshot {
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardCommand::Drain);
+        }
+        let joins: Vec<JoinHandle<()>> = std::mem::take(&mut *self.joins.lock());
+        for j in joins {
+            let _ = j.join();
+        }
+        self.counters.snapshot()
+    }
+
+    fn note_depth(&self, shard: usize) {
+        self.counters
+            .note_queue_depth(shard, self.shard_txs[shard].len());
+    }
+}
+
+impl Drop for VoterService {
+    fn drop(&mut self) {
+        // Idempotent: drain() already emptied `joins` if it ran.
+        if !self.joins.lock().is_empty() {
+            self.drain();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avoc_vdx::VdxSpec;
+    use crossbeam::channel;
+
+    fn registry() -> Arc<SpecRegistry> {
+        let mut r = SpecRegistry::new();
+        r.insert("avoc", VdxSpec::avoc());
+        Arc::new(r)
+    }
+
+    fn config(shards: usize) -> ServeConfig {
+        ServeConfig {
+            shards,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_feed_close_round_trips_results() {
+        let service = VoterService::start(config(2), registry());
+        let (sink, results) = channel::unbounded();
+        service
+            .open_session(1, 3, &SpecSource::Named("avoc".into()), sink)
+            .unwrap();
+        for round in 0..5u64 {
+            for m in 0..3u32 {
+                service
+                    .feed(1, ModuleId::new(m), round, 20.0 + f64::from(m) * 0.1)
+                    .unwrap();
+            }
+        }
+        service.close_session(1).unwrap();
+        let snap = service.drain();
+        assert_eq!(snap.rounds_fused, 5);
+        assert_eq!(snap.sessions_opened, 1);
+        let got: Vec<Message> = results.try_iter().collect();
+        // (post-drain, try_iter sees everything the session emitted)
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn unknown_spec_fails_synchronously() {
+        let service = VoterService::start(config(1), registry());
+        let (sink, _results) = channel::unbounded();
+        assert!(matches!(
+            service.open_session(1, 3, &SpecSource::Named("nope".into()), sink),
+            Err(ServeError::UnknownSpec(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_reject_sends_error_frame() {
+        let cfg = ServeConfig {
+            shards: 1,
+            max_sessions: 1,
+            admission: AdmissionPolicy::Reject,
+            ..ServeConfig::default()
+        };
+        let service = VoterService::start(cfg, registry());
+        let (sink_a, _results_a) = channel::unbounded();
+        let (sink_b, results_b) = channel::unbounded();
+        service
+            .open_session(1, 2, &SpecSource::Named("avoc".into()), sink_a)
+            .unwrap();
+        service
+            .open_session(2, 2, &SpecSource::Named("avoc".into()), sink_b)
+            .unwrap();
+        let snap = service.drain();
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.sessions_rejected, 1);
+        assert!(matches!(
+            results_b.try_recv().unwrap(),
+            Message::Error { session: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn capacity_evict_idle_reaps_and_admits() {
+        let cfg = ServeConfig {
+            shards: 1,
+            max_sessions: 1,
+            admission: AdmissionPolicy::EvictIdle,
+            ..ServeConfig::default()
+        };
+        let service = VoterService::start(cfg, registry());
+        let (sink_a, results_a) = channel::unbounded();
+        let (sink_b, results_b) = channel::unbounded();
+        service
+            .open_session(1, 2, &SpecSource::Named("avoc".into()), sink_a)
+            .unwrap();
+        service
+            .open_session(2, 2, &SpecSource::Named("avoc".into()), sink_b)
+            .unwrap();
+        // Session 2 must be usable after session 1 was evicted.
+        service.feed(2, ModuleId::new(0), 0, 1.0).unwrap();
+        service.feed(2, ModuleId::new(1), 0, 1.2).unwrap();
+        let snap = service.drain();
+        assert_eq!(snap.sessions_opened, 2);
+        assert_eq!(snap.sessions_evicted, 1);
+        assert!(matches!(
+            results_a.try_recv().unwrap(),
+            Message::Error { session: 1, .. }
+        ));
+        assert!(matches!(
+            results_b.try_recv().unwrap(),
+            Message::SessionResult { session: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn drain_flushes_inflight_rounds() {
+        let service = VoterService::start(config(2), registry());
+        let (sink, results) = channel::unbounded();
+        service
+            .open_session(9, 3, &SpecSource::Named("avoc".into()), sink)
+            .unwrap();
+        // Two of three modules reported: the round is in-flight.
+        service.feed(9, ModuleId::new(0), 0, 5.0).unwrap();
+        service.feed(9, ModuleId::new(1), 0, 5.1).unwrap();
+        let snap = service.drain();
+        assert_eq!(snap.rounds_fused, 1, "drain must flush the partial round");
+        assert!(matches!(
+            results.try_recv().unwrap(),
+            Message::SessionResult {
+                session: 9,
+                round: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            service.feed(9, ModuleId::new(2), 0, 5.2),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn sessions_pin_to_stable_shards() {
+        let service = VoterService::start(config(4), registry());
+        for id in 0..64u64 {
+            assert_eq!(service.shard_for(id), service.shard_for(id));
+        }
+        // The finalizer should not send every consecutive id to one shard.
+        let hits: std::collections::HashSet<usize> =
+            (0..64u64).map(|id| service.shard_for(id)).collect();
+        assert!(hits.len() > 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! One tenant's voting session: round assembly + fusion + result emission.
+
+use avoc_core::{ModuleId, Round, RoundResult, VotingEngine};
+use avoc_net::{Message, SensorHub};
+use avoc_vdx::{build_engine, VdxSpec};
+use crossbeam::channel::Sender;
+use std::time::Instant;
+
+use crate::metrics::ServiceCounters;
+use crate::service::ServeError;
+
+/// A live session owned by exactly one shard worker (so the engine's
+/// history mutates without locks, and rounds fuse in submission order).
+pub(crate) struct Session {
+    id: u64,
+    hub: SensorHub,
+    engine: VotingEngine,
+    sink: Sender<Message>,
+    /// Shard tick of the last reading; drives idle eviction.
+    pub(crate) last_active_tick: u64,
+}
+
+impl Session {
+    /// Builds the session's engine from its (already validated) spec.
+    pub(crate) fn open(
+        id: u64,
+        modules: u32,
+        spec: &VdxSpec,
+        lag_tolerance: u64,
+        sink: Sender<Message>,
+        tick: u64,
+    ) -> Result<Self, ServeError> {
+        let expected: Vec<ModuleId> = (0..modules).map(ModuleId::new).collect();
+        let engine = build_engine(spec).map_err(ServeError::Vdx)?;
+        Ok(Session {
+            id,
+            hub: SensorHub::new(expected).with_lag_tolerance(lag_tolerance),
+            engine,
+            sink,
+            last_active_tick: tick,
+        })
+    }
+
+    /// Feeds one reading; fuses and emits any rounds that became complete.
+    pub(crate) fn feed(
+        &mut self,
+        module: ModuleId,
+        round: u64,
+        value: f64,
+        tick: u64,
+        counters: &ServiceCounters,
+    ) {
+        self.last_active_tick = tick;
+        let ready = self.hub.accept(Message::Reading {
+            module,
+            round,
+            value,
+        });
+        for r in ready {
+            self.fuse(&r, counters);
+        }
+    }
+
+    /// Flushes partially assembled rounds through the engine (close/evict/
+    /// drain path), emitting their results.
+    pub(crate) fn flush(&mut self, counters: &ServiceCounters) {
+        for r in self.hub.flush_all() {
+            self.fuse(&r, counters);
+        }
+    }
+
+    fn fuse(&mut self, round: &Round, counters: &ServiceCounters) {
+        let started = Instant::now();
+        let outcome = self.engine.submit(round);
+        let latency = started.elapsed().as_nanos() as u64;
+        let reply = match outcome {
+            Ok(result) => {
+                counters.round_fused(latency);
+                if matches!(result, RoundResult::Fallback { .. }) {
+                    counters.fallback();
+                }
+                Message::SessionResult {
+                    session: self.id,
+                    round: round.round,
+                    // Numeric sessions carry the fused value on the wire;
+                    // vector/text verdicts are reported as voted-but-opaque
+                    // (the result frame is fixed-width by design).
+                    value: result.number(),
+                    voted: result.is_voted(),
+                }
+            }
+            Err(e) => Message::Error {
+                session: self.id,
+                message: format!("round {}: {e}", round.round),
+            },
+        };
+        // A disconnected sink means the tenant went away; the session will
+        // be reaped by idle eviction, so drops are deliberate here.
+        let _ = self.sink.send(reply);
+    }
+
+    /// Notifies the tenant that the service evicted this session.
+    pub(crate) fn notify_evicted(&self, reason: &str) {
+        let _ = self.sink.send(Message::Error {
+            session: self.id,
+            message: format!("session evicted: {reason}"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+
+    #[test]
+    fn session_fuses_complete_rounds_and_flushes_partials() {
+        let counters = ServiceCounters::new(1);
+        let (tx, rx) = channel::unbounded();
+        let mut s = Session::open(5, 3, &VdxSpec::avoc(), 8, tx, 0).unwrap();
+
+        for (m, v) in [(0, 20.0), (1, 20.2), (2, 19.9)] {
+            s.feed(ModuleId::new(m), 0, v, 1, &counters);
+        }
+        match rx.try_recv().unwrap() {
+            Message::SessionResult {
+                session,
+                round,
+                value,
+                voted,
+            } => {
+                assert_eq!(session, 5);
+                assert_eq!(round, 0);
+                assert!(voted);
+                let v = value.unwrap();
+                assert!((19.9..=20.2).contains(&v));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A partial round sits in the hub until flushed.
+        s.feed(ModuleId::new(0), 1, 21.0, 2, &counters);
+        assert!(rx.try_recv().is_err());
+        s.flush(&counters);
+        assert!(matches!(
+            rx.try_recv().unwrap(),
+            Message::SessionResult { round: 1, .. }
+        ));
+        assert_eq!(counters.snapshot().rounds_fused, 2);
+    }
+}

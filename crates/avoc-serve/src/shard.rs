@@ -1,0 +1,237 @@
+//! Shard workers: session-pinned executors behind bounded mailboxes.
+
+use avoc_core::ModuleId;
+use avoc_net::Message;
+use avoc_vdx::VdxSpec;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::metrics::ServiceCounters;
+use crate::session::Session;
+
+/// What a shard does when its bounded mailbox is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// The producer blocks until the shard catches up. Nothing is lost;
+    /// latency propagates upstream (through TCP flow control, to sensors).
+    #[default]
+    Block,
+    /// The oldest queued reading is dropped to admit the new one: freshest
+    /// data wins, bounded staleness. Drops are counted.
+    DropOldest,
+    /// The new reading is refused and the producer told; queued work is
+    /// never discarded. Drops are counted.
+    Reject,
+}
+
+/// Work routed to a shard. Sessions are pinned: every command for a session
+/// id lands on the same shard, so session state needs no synchronisation.
+pub(crate) enum ShardCommand {
+    /// Install a session (spec already resolved and validated).
+    Open {
+        /// Session identifier.
+        session: u64,
+        /// Modules feeding each round.
+        modules: u32,
+        /// The governing spec (boxed: specs are large, commands are queued).
+        spec: Box<VdxSpec>,
+        /// Where the session's results go.
+        sink: Sender<Message>,
+        /// Evict this shard's idlest session if the service is at capacity.
+        evict_if_full: bool,
+    },
+    /// One measurement for a session's round.
+    Reading {
+        /// Target session.
+        session: u64,
+        /// Submitting module.
+        module: ModuleId,
+        /// Round number.
+        round: u64,
+        /// Measured value.
+        value: f64,
+    },
+    /// Flush and remove a session.
+    Close {
+        /// Session to close.
+        session: u64,
+    },
+    /// Flush every session and exit the worker loop.
+    Drain,
+}
+
+/// Per-shard worker state.
+pub(crate) struct ShardWorker {
+    pub(crate) index: usize,
+    pub(crate) rx: Receiver<ShardCommand>,
+    pub(crate) counters: Arc<ServiceCounters>,
+    /// Global live-session count (shared across shards for admission).
+    pub(crate) active: Arc<AtomicUsize>,
+    /// Global capacity the `active` count is checked against.
+    pub(crate) max_sessions: usize,
+    /// Readings a session may go without before an eviction sweep reaps it,
+    /// measured in shard ticks (one tick per processed reading).
+    pub(crate) idle_ticks: u64,
+    /// Hub lag tolerance for each session's round assembly.
+    pub(crate) lag_tolerance: u64,
+}
+
+/// How often (in ticks) the worker sweeps for idle sessions.
+const SWEEP_INTERVAL: u64 = 64;
+
+impl ShardWorker {
+    /// The worker loop: drains the mailbox until `Drain` (flushing all
+    /// sessions) or until every sender disconnects.
+    pub(crate) fn run(self) {
+        let mut sessions: HashMap<u64, Session> = HashMap::new();
+        let mut tick: u64 = 0;
+        while let Ok(cmd) = self.rx.recv() {
+            // Consumer-side depth sample: catches backlog the producer-side
+            // samples miss when senders go quiet while the queue is deep.
+            self.counters.note_queue_depth(self.index, self.rx.len());
+            match cmd {
+                ShardCommand::Open {
+                    session,
+                    modules,
+                    spec,
+                    sink,
+                    evict_if_full,
+                } => {
+                    self.admit(
+                        &mut sessions,
+                        session,
+                        modules,
+                        &spec,
+                        sink,
+                        evict_if_full,
+                        tick,
+                    );
+                }
+                ShardCommand::Reading {
+                    session,
+                    module,
+                    round,
+                    value,
+                } => {
+                    tick += 1;
+                    if let Some(s) = sessions.get_mut(&session) {
+                        s.feed(module, round, value, tick, &self.counters);
+                    } else {
+                        // Unknown session: late (evicted), misrouted, or
+                        // reordered ahead of its re-queued Open under
+                        // `DropOldest`. Counted as a drop, but no error
+                        // frame — per-reading errors would amplify a flood.
+                        self.counters.reading_dropped();
+                    }
+                    if tick.is_multiple_of(SWEEP_INTERVAL) {
+                        self.sweep(&mut sessions, tick);
+                    }
+                }
+                ShardCommand::Close { session } => {
+                    if let Some(mut s) = sessions.remove(&session) {
+                        s.flush(&self.counters);
+                        self.active.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                ShardCommand::Drain => break,
+            }
+        }
+        // Graceful drain: every in-flight round is fused and reported
+        // before the worker exits.
+        for (_, mut s) in sessions.drain() {
+            s.flush(&self.counters);
+            self.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        sessions: &mut HashMap<u64, Session>,
+        session: u64,
+        modules: u32,
+        spec: &VdxSpec,
+        sink: Sender<Message>,
+        evict_if_full: bool,
+        tick: u64,
+    ) {
+        if sessions.contains_key(&session) {
+            let _ = sink.send(Message::Error {
+                session,
+                message: "session id already open".into(),
+            });
+            self.counters.session_rejected();
+            return;
+        }
+        if self.active.load(Ordering::Relaxed) >= self.max_sessions {
+            // `EvictIdle` admission: reap this shard's idlest session to
+            // make room. (Capacity is global but eviction is shard-local;
+            // see `AdmissionPolicy::EvictIdle` for the trade-off.)
+            let evicted = evict_if_full && self.evict_idlest(sessions);
+            if !evicted {
+                let _ = sink.send(Message::Error {
+                    session,
+                    message: "service at session capacity".into(),
+                });
+                self.counters.session_rejected();
+                return;
+            }
+        }
+        match Session::open(
+            session,
+            modules,
+            spec,
+            self.lag_tolerance,
+            sink.clone(),
+            tick,
+        ) {
+            Ok(s) => {
+                sessions.insert(session, s);
+                self.active.fetch_add(1, Ordering::Relaxed);
+                self.counters.session_opened();
+            }
+            Err(e) => {
+                let _ = sink.send(Message::Error {
+                    session,
+                    message: e.to_string(),
+                });
+                self.counters.session_rejected();
+            }
+        }
+    }
+
+    /// Evicts the least-recently-active session, flushing it first.
+    fn evict_idlest(&self, sessions: &mut HashMap<u64, Session>) -> bool {
+        let Some(&victim) = sessions
+            .iter()
+            .min_by_key(|(_, s)| s.last_active_tick)
+            .map(|(id, _)| id)
+        else {
+            return false;
+        };
+        let mut s = sessions.remove(&victim).expect("victim key just found");
+        s.flush(&self.counters);
+        s.notify_evicted("capacity reclaimed for a new session");
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.counters.session_evicted();
+        true
+    }
+
+    /// Reaps sessions that have not seen a reading for `idle_ticks`.
+    fn sweep(&self, sessions: &mut HashMap<u64, Session>, tick: u64) {
+        let idle: Vec<u64> = sessions
+            .iter()
+            .filter(|(_, s)| tick.saturating_sub(s.last_active_tick) > self.idle_ticks)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in idle {
+            let mut s = sessions.remove(&id).expect("idle key just found");
+            s.flush(&self.counters);
+            s.notify_evicted("idle timeout");
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            self.counters.session_evicted();
+        }
+    }
+}

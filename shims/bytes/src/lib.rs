@@ -1,0 +1,304 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Implements the subset the wire codec relies on: [`BytesMut`] as a growable
+//! front-consumable byte buffer, [`Bytes`] as an immutable view, and the
+//! big-endian accessors of [`Buf`]/[`BufMut`]. The representation is a plain
+//! `Vec<u8>` with a start cursor — `advance`/`split_to` are O(1) until the
+//! buffer is next compacted on write.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor operations over a byte buffer.
+pub trait Buf {
+    /// Remaining readable bytes.
+    fn remaining(&self) -> usize;
+    /// Readable contents.
+    fn chunk(&self) -> &[u8];
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Reads a `u8`.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+/// Write-side operations over a byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// A growable byte buffer that is cheaply consumable from the front.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+            start: 0,
+        }
+    }
+
+    /// Readable length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether nothing is readable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Appends bytes to the back.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        // Compact lazily on write so the cursor never grows unboundedly.
+        if self.start > 4096 && self.start > self.len() {
+            self.compact();
+        }
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `n` readable bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.data[self.start..self.start + n].to_vec();
+        self.start += n;
+        BytesMut {
+            data: head,
+            start: 0,
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        self.compact();
+        Bytes(self.data)
+    }
+
+    /// Copies the readable bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.data[start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"{}\"", self.escape_ascii())
+    }
+}
+
+/// An immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Builds from a static slice.
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes(src.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"{}\"", self.0.escape_ascii())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_big_endian() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u32(0xdead_beef);
+        b.put_u64(42);
+        b.put_f64(-1.5);
+        assert_eq!(b.len(), 21);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 0xdead_beef);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.get_f64(), -1.5);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_and_advance() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4, 5][..]);
+        b.advance(1);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[2, 3]);
+        assert_eq!(&b[..], &[4, 5]);
+        assert_eq!(b.freeze().to_vec(), vec![4, 5]);
+    }
+
+    #[test]
+    fn extend_after_advance_keeps_order() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3]);
+        b.advance(2);
+        b.extend_from_slice(&[4]);
+        assert_eq!(&b[..], &[3, 4]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the benchmark-definition surface the workspace uses —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — over a simple
+//! wall-clock loop: warm up briefly, then time batches for the group's
+//! `measurement_time` and report the mean per-iteration latency. No
+//! statistics, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Runs the timed loop inside a benchmark body.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Mean per-iteration duration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`: short warm-up, then batched measurement until the
+    /// configured measurement time elapses.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: prime caches and estimate per-iteration cost.
+        let warmup_deadline = Instant::now() + self.measurement_time.min(Duration::from_millis(50));
+        let mut warmup_iters: u64 = 0;
+        let warmup_start = Instant::now();
+        while Instant::now() < warmup_deadline || warmup_iters == 0 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Measure in batches of ~1ms to amortise the clock reads.
+        let batch = ((0.001 / est.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let deadline = Instant::now() + self.measurement_time;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while Instant::now() < deadline || iters == 0 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.elapsed_per_iter = total.as_secs_f64() / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn run_one(label: &str, measurement_time: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        measurement_time,
+        elapsed_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed_per_iter;
+    let throughput = if per_iter > 0.0 { 1.0 / per_iter } else { 0.0 };
+    println!(
+        "{label:<50} {:>12}/iter {:>14.0} iter/s ({} iters)",
+        format_duration(per_iter),
+        throughput,
+        b.iters
+    );
+}
+
+/// A named set of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim's loop is time-bounded, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity with `WallTime` measurements.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets how long each benchmark in the group is measured.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares a benchmark under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Declares a parameterised benchmark under this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op beyond API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short default so the full suite stays runnable in CI.
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Declares a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, self.measurement_time, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_latency() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,312 @@
+//! The self-describing data model shared by the serde shims.
+//!
+//! [`Content`] is what `serde_json` re-exports as its `Value` type, so the
+//! inspection API (`as_object`, indexing, comparisons) lives here.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A self-describing value: the shim's entire data model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Content {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object (insertion-ordered).
+    Map(Map),
+}
+
+/// An insertion-ordered string-keyed map (the object representation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Content)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts (or replaces) an entry, preserving first-insertion order.
+    pub fn insert(&mut self, key: String, value: Content) -> Option<Content> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Content)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Content> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl From<Vec<(String, Content)>> for Map {
+    fn from(entries: Vec<(String, Content)>) -> Self {
+        Map { entries }
+    }
+}
+
+impl FromIterator<(String, Content)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Content)>>(iter: I) -> Self {
+        Map {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Content);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Content)>,
+        fn(&'a (String, Content)) -> (&'a String, &'a Content),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// Builds an object from entries (used by the derive expansion).
+    pub fn obj(entries: Vec<(String, Content)>) -> Content {
+        Content::Map(Map::from(entries))
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::I64(v) => Some(v),
+            Content::F64(v)
+                if v.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&v) =>
+            {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object, if this is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl Index<&str> for Content {
+    type Output = Content;
+
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, idx: usize) -> &Content {
+        self.as_array().and_then(|v| v.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Content> for str {
+    fn eq(&self, other: &Content) -> bool {
+        other.as_str() == Some(self)
+    }
+}
+
+impl PartialEq<Content> for &str {
+    fn eq(&self, other: &Content) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<String> for Content {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<f64> for Content {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Content {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Content {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl fmt::Display for Content {
+    /// Compact JSON rendering (the printer itself lives in `serde_json`,
+    /// but `Display` here keeps error messages readable).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Content::Null => write!(f, "null"),
+            Content::Bool(b) => write!(f, "{b}"),
+            Content::U64(v) => write!(f, "{v}"),
+            Content::I64(v) => write!(f, "{v}"),
+            Content::F64(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Content::Str(s) => write!(f, "{s:?}"),
+            Content::Seq(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Content::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{k:?}:{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Deserialization: rebuilding a value from [`Content`].
+
+use crate::content::Content;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+/// A deserialization failure: a plain message, optionally wrapped with the
+/// field path it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Wraps the error with the field it occurred at.
+    pub fn at_field(self, field: &str) -> Self {
+        Error {
+            msg: format!("field `{field}`: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types rebuildable from the self-describing [`Content`] model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] when `content` does not have the expected shape.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Field-lookup helper used by the derive expansion: attaches the field name
+/// to any error.
+///
+/// # Errors
+///
+/// Propagates [`Deserialize::from_content`] failures, annotated.
+pub fn from_content_field<T: Deserialize>(content: &Content, field: &str) -> Result<T, Error> {
+    T::from_content(content).map_err(|e| e.at_field(field))
+}
+
+/// Missing-field helper used by the derive expansion: `Option<T>` fields
+/// absorb a missing field as `None` (by deserializing `null`); everything
+/// else reports the absence.
+///
+/// # Errors
+///
+/// [`Error`] naming the missing field for non-optional types.
+pub fn missing_field<T: Deserialize>(field: &str) -> Result<T, Error> {
+    T::from_content(&Content::Null).map_err(|_| Error::custom(format!("missing field `{field}`")))
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected a boolean, got {content}")))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected a number, got {content}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v = content.as_u64().ok_or_else(|| {
+                    Error::custom(format!("expected a non-negative integer, got {content}"))
+                })?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v = content.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected an integer, got {content}"))
+                })?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected a string, got {content}")))
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let s = String::from_content(content)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        if content.is_null() {
+            Ok(None)
+        } else {
+            T::from_content(content).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected an array, got {content}")))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let items = content
+            .as_array()
+            .filter(|v| v.len() == 2)
+            .ok_or_else(|| Error::custom("expected a 2-element array"))?;
+        Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+    }
+}
+
+/// JSON object keys are strings; map key types rebuild from them.
+pub trait FromKey: Sized {
+    /// Parses a key.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] when the key does not parse.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl FromKey for String {
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! from_key_int {
+    ($($t:ty),*) => {$(
+        impl FromKey for $t {
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse()
+                    .map_err(|_| Error::custom(format!("bad integer object key `{key}`")))
+            }
+        }
+    )*};
+}
+
+from_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: FromKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected an object, got {content}")))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: FromKey + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected an object, got {content}")))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        if content.is_null() {
+            Ok(())
+        } else {
+            Err(Error::custom("expected null"))
+        }
+    }
+}

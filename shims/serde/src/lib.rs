@@ -1,0 +1,24 @@
+//! Offline shim for `serde`.
+//!
+//! The real serde is a zero-copy visitor framework; this shim replaces it
+//! with a much smaller *value-reflection* model that is sufficient for the
+//! workspace: [`Serialize`] renders a type into the self-describing
+//! [`content::Content`] tree, [`Deserialize`] rebuilds a type from one, and
+//! the `serde_derive` shim generates both impls for structs and enums
+//! (honouring the `#[serde(...)]` attributes this workspace uses:
+//! `default`, `default = "path"`, `rename_all`, `untagged`, `tag`,
+//! `deny_unknown_fields`). The only data format in the workspace is JSON,
+//! whose reader/printer lives in the `serde_json` shim.
+
+#![forbid(unsafe_code)]
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+// The derive macros live in the macro namespace, the traits in the type
+// namespace — both are importable as `serde::{Serialize, Deserialize}`,
+// exactly like the real crate.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,736 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates impls of the shim serde's value-reflection traits
+//! (`serde::Serialize` / `serde::Deserialize`) for structs and enums. The
+//! item is parsed directly from the raw `TokenStream` (no `syn`/`quote`
+//! available offline) and the impls are emitted as formatted source text.
+//!
+//! Supported shapes: named-field structs, tuple structs, unit structs, and
+//! enums with unit / newtype / tuple / named-field variants. Supported
+//! attributes: container `rename_all`, `untagged`, `tag = "..."`,
+//! `deny_unknown_fields`; field `default`, `default = "path"`,
+//! `rename = "..."`. Generic types are not supported (the workspace derives
+//! only on concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    untagged: bool,
+    tag: Option<String>,
+    deny_unknown_fields: bool,
+}
+
+#[derive(Default, Debug, Clone)]
+struct FieldAttrs {
+    /// `None`: required; `Some(None)`: `Default::default()`;
+    /// `Some(Some(path))`: call `path()`.
+    default: Option<Option<String>>,
+    rename: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes `#[...]` attributes, folding any `#[serde(...)]` args via
+    /// `on_serde_arg`.
+    fn take_attrs(&mut self, mut on_serde_arg: impl FnMut(&str, Option<String>)) {
+        while self.peek_punct('#') {
+            self.next(); // '#'
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if !inner.peek_ident("serde") {
+                continue; // doc comment, #[default], other derives' helpers…
+            }
+            inner.next();
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                other => panic!("serde_derive shim: malformed #[serde]: {other:?}"),
+            };
+            let mut args = Cursor::new(args.stream());
+            while !args.at_end() {
+                let key = args.expect_ident();
+                let mut value = None;
+                if args.peek_punct('=') {
+                    args.next();
+                    match args.next() {
+                        Some(TokenTree::Literal(l)) => {
+                            let raw = l.to_string();
+                            value = Some(raw.trim_matches('"').to_string());
+                        }
+                        other => panic!("serde_derive shim: expected literal after `=`: {other:?}"),
+                    }
+                }
+                on_serde_arg(&key, value);
+                if args.peek_punct(',') {
+                    args.next();
+                }
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in …)`.
+    fn skip_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Consumes a type (or expression) up to a top-level `,`, tracking
+    /// angle-bracket depth so `BTreeMap<K, V>` survives.
+    fn skip_to_field_end(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn container_attrs(args: &mut ContainerAttrs, key: &str, value: Option<String>) {
+    match key {
+        "rename_all" => args.rename_all = value,
+        "untagged" => args.untagged = true,
+        "tag" => args.tag = value,
+        "deny_unknown_fields" => args.deny_unknown_fields = true,
+        other => panic!("serde_derive shim: unsupported container attribute `{other}`"),
+    }
+}
+
+fn field_attrs(args: &mut FieldAttrs, key: &str, value: Option<String>) {
+    match key {
+        "default" => args.default = Some(value),
+        "rename" => args.rename = value,
+        other => panic!("serde_derive shim: unsupported field attribute `{other}`"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let mut attrs = ContainerAttrs::default();
+    cur.take_attrs(|k, v| container_attrs(&mut attrs, k, v));
+    cur.skip_visibility();
+
+    let kind = cur.expect_ident();
+    let name = cur.expect_ident();
+    if cur.peek_punct('<') {
+        panic!("serde_derive shim: generic types are not supported (deriving on `{name}`)");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde_derive shim: malformed struct body: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+
+    Item { name, attrs, shape }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let mut attrs = FieldAttrs::default();
+        cur.take_attrs(|k, v| field_attrs(&mut attrs, k, v));
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`: {other:?}"),
+        }
+        cur.skip_to_field_end();
+        if cur.peek_punct(',') {
+            cur.next();
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    if cur.at_end() {
+        return 0;
+    }
+    let mut count = 1;
+    loop {
+        // Visibility + attrs may precede each tuple field.
+        cur.take_attrs(|_, _| {});
+        cur.skip_visibility();
+        cur.skip_to_field_end();
+        if cur.peek_punct(',') {
+            cur.next();
+            if cur.at_end() {
+                break; // trailing comma
+            }
+            count += 1;
+        } else {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.take_attrs(|_, _| {}); // #[default], docs — no serde variant attrs used
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident();
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                if n == 1 {
+                    VariantShape::Newtype
+                } else {
+                    VariantShape::Tuple(n)
+                }
+            }
+            _ => VariantShape::Unit,
+        };
+        if cur.peek_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------------
+
+fn camel_to_snake(s: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn apply_rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => name.to_string(),
+        Some("SCREAMING_SNAKE_CASE") => camel_to_snake(name).to_ascii_uppercase(),
+        Some("snake_case") => camel_to_snake(name),
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some("UPPERCASE") => name.to_ascii_uppercase(),
+        Some("camelCase") => {
+            let mut cs = name.chars();
+            match cs.next() {
+                Some(c) => c.to_ascii_lowercase().to_string() + cs.as_str(),
+                None => String::new(),
+            }
+        }
+        Some(other) => panic!("serde_derive shim: unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn field_key(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+// ---------------------------------------------------------------------------
+// Serialize generation
+// ---------------------------------------------------------------------------
+
+const CONTENT: &str = "::serde::content::Content";
+
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), ::serde::Serialize::to_content({}{}))",
+                field_key(f),
+                access,
+                f.name
+            )
+        })
+        .collect();
+    format!("{CONTENT}::obj(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => format!("{CONTENT}::Null"),
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("{CONTENT}::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => ser_named_fields(fields, "&self."),
+        Shape::Enum(variants) => {
+            let rule = item.attrs.rename_all.as_deref();
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let key = apply_rename(vname, rule);
+                    match (&v.shape, &item.attrs) {
+                        // untagged: payload only
+                        (VariantShape::Unit, a) if a.untagged => {
+                            format!("{name}::{vname} => {CONTENT}::Null,")
+                        }
+                        (VariantShape::Newtype, a) if a.untagged => format!(
+                            "{name}::{vname}(__f0) => ::serde::Serialize::to_content(__f0),"
+                        ),
+                        (VariantShape::Named(fields), a) if a.untagged => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {},",
+                                binds.join(", "),
+                                ser_named_fields(fields, "")
+                            )
+                        }
+                        // internally tagged
+                        (VariantShape::Unit, a) if a.tag.is_some() => {
+                            let tag = a.tag.as_deref().unwrap();
+                            format!(
+                                "{name}::{vname} => {CONTENT}::obj(vec![({tag:?}.to_string(), \
+                                 {CONTENT}::Str({key:?}.to_string()))]),"
+                            )
+                        }
+                        (VariantShape::Named(fields), a) if a.tag.is_some() => {
+                            let tag = a.tag.as_deref().unwrap();
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let entries: Vec<String> = std::iter::once(format!(
+                                "({tag:?}.to_string(), {CONTENT}::Str({key:?}.to_string()))"
+                            ))
+                            .chain(fields.iter().map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_content({}))",
+                                    field_key(f),
+                                    f.name
+                                )
+                            }))
+                            .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {CONTENT}::obj(vec![{}]),",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                        // externally tagged (default)
+                        (VariantShape::Unit, _) => {
+                            format!("{name}::{vname} => {CONTENT}::Str({key:?}.to_string()),")
+                        }
+                        (VariantShape::Newtype, _) => format!(
+                            "{name}::{vname}(__f0) => {CONTENT}::obj(vec![({key:?}.to_string(), \
+                             ::serde::Serialize::to_content(__f0))]),"
+                        ),
+                        (VariantShape::Tuple(n), _) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {CONTENT}::obj(vec![({key:?}.to_string(), \
+                                 {CONTENT}::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        (VariantShape::Named(fields), _) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {CONTENT}::obj(vec![({key:?}.to_string(), {})]),",
+                                binds.join(", "),
+                                ser_named_fields(fields, "")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> {CONTENT} {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize generation
+// ---------------------------------------------------------------------------
+
+/// `__m.get("key")`-based extraction of one named field.
+fn de_field_expr(f: &Field) -> String {
+    let key = field_key(f);
+    let absent = match &f.attrs.default {
+        None => format!("::serde::de::missing_field({key:?})?"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "match __m.get({key:?}) {{ \
+             Some(__v) => ::serde::de::from_content_field(__v, {key:?})?, \
+             None => {absent} \
+         }}"
+    )
+}
+
+fn de_named_ctor(path: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{}: {}", f.name, de_field_expr(f)))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn deny_unknown_check(fields: &[Field], extra_key: Option<&str>) -> String {
+    let mut keys: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{:?}", field_key(f)))
+        .collect();
+    if let Some(k) = extra_key {
+        keys.push(format!("{k:?}"));
+    }
+    format!(
+        "for (__k, _) in __m.iter() {{ \
+             match __k.as_str() {{ {} => {{}}, __other => return \
+             Err(::serde::de::Error::custom(format!(\"unknown field `{{__other}}`\"))) }} \
+         }}",
+        if keys.is_empty() {
+            "\"\"".to_string()
+        } else {
+            keys.join(" | ")
+        }
+    )
+}
+
+fn expect_obj(name: &str) -> String {
+    format!(
+        "let __m = __c.as_object().ok_or_else(|| \
+         ::serde::de::Error::custom(format!(\"expected an object for {name}, got {{__c}}\")))?;"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => format!("{{ let _ = __c; Ok({name}) }}"),
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::de::Deserialize::from_content(__c)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __s = __c.as_array().filter(|__v| __v.len() == {n}).ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected a {n}-element array\"))?; \
+                 Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let deny = if item.attrs.deny_unknown_fields {
+                deny_unknown_check(fields, None)
+            } else {
+                String::new()
+            };
+            format!(
+                "{{ {} {deny} Ok({}) }}",
+                expect_obj(name),
+                de_named_ctor(name, fields)
+            )
+        }
+        Shape::Enum(variants) => gen_deserialize_enum(item, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &{CONTENT}) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rule = item.attrs.rename_all.as_deref();
+
+    if item.attrs.untagged {
+        // Try each variant in declaration order; first success wins.
+        let attempts: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                let vname = &v.name;
+                let attempt_body = match &v.shape {
+                    VariantShape::Unit => format!(
+                        "if __c.is_null() {{ Ok({name}::{vname}) }} else {{ \
+                         Err(::serde::de::Error::custom(\"not null\")) }}"
+                    ),
+                    VariantShape::Newtype => {
+                        format!("Ok({name}::{vname}(::serde::de::Deserialize::from_content(__c)?))")
+                    }
+                    VariantShape::Named(fields) => format!(
+                        "{{ {} Ok({}) }}",
+                        expect_obj(name),
+                        de_named_ctor(&format!("{name}::{vname}"), fields)
+                    ),
+                    VariantShape::Tuple(_) => {
+                        panic!("serde_derive shim: untagged tuple variants unsupported")
+                    }
+                };
+                format!(
+                    "{{ let __try = (|| -> ::std::result::Result<{name}, ::serde::de::Error> {{ \
+                     {attempt_body} }})(); if let Ok(__v) = __try {{ return Ok(__v); }} }}"
+                )
+            })
+            .collect();
+        return format!(
+            "{{ {} Err(::serde::de::Error::custom(format!(\"no untagged variant of {name} \
+             matched {{__c}}\"))) }}",
+            attempts.join("\n")
+        );
+    }
+
+    if let Some(tag) = item.attrs.tag.as_deref() {
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                let vname = &v.name;
+                let key = apply_rename(vname, rule);
+                match &v.shape {
+                    VariantShape::Unit => format!("{key:?} => Ok({name}::{vname}),"),
+                    VariantShape::Named(fields) => format!(
+                        "{key:?} => Ok({}),",
+                        de_named_ctor(&format!("{name}::{vname}"), fields)
+                    ),
+                    _ => panic!(
+                        "serde_derive shim: internally tagged enums support unit and \
+                         struct variants only"
+                    ),
+                }
+            })
+            .collect();
+        return format!(
+            "{{ {} let __tag = __m.get({tag:?}).and_then(|__v| __v.as_str()).ok_or_else(|| \
+             ::serde::de::Error::custom(\"missing or non-string tag `{tag}`\"))?; \
+             match __tag {{ {} __other => Err(::serde::de::Error::custom(format!(\"unknown \
+             variant `{{__other}}`\"))) }} }}",
+            expect_obj(name),
+            arms.join("\n")
+        );
+    }
+
+    // Externally tagged (default representation).
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => return Ok({name}::{}),",
+                apply_rename(&v.name, rule),
+                v.name
+            )
+        })
+        .collect();
+    let keyed_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            let key = apply_rename(vname, rule);
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Newtype => Some(format!(
+                    "{key:?} => return \
+                     Ok({name}::{vname}(::serde::de::from_content_field(__v, {key:?})?)),"
+                )),
+                VariantShape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::de::Deserialize::from_content(&__s[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{key:?} => {{ let __s = __v.as_array().filter(|__a| __a.len() == {n}) \
+                         .ok_or_else(|| ::serde::de::Error::custom(\"expected a {n}-element \
+                         array\"))?; return Ok({name}::{vname}({})); }}",
+                        items.join(", ")
+                    ))
+                }
+                VariantShape::Named(fields) => Some(format!(
+                    "{key:?} => {{ let __m = __v.as_object().ok_or_else(|| \
+                     ::serde::de::Error::custom(\"expected an object variant payload\"))?; \
+                     return Ok({}); }}",
+                    de_named_ctor(&format!("{name}::{vname}"), fields)
+                )),
+            }
+        })
+        .collect();
+    format!(
+        "{{ \
+         if let Some(__s) = __c.as_str() {{ \
+             match __s {{ {} _ => {{}} }} \
+         }} \
+         if let Some(__m) = __c.as_object() {{ \
+             if __m.len() == 1 {{ \
+                 if let Some((__k, __v)) = __m.iter().next() {{ \
+                     match __k.as_str() {{ {} _ => {{}} }} \
+                 }} \
+             }} \
+         }} \
+         Err(::serde::de::Error::custom(format!(\"unknown {name} variant: {{__c}}\"))) }}",
+        unit_arms.join("\n"),
+        keyed_arms.join("\n")
+    )
+}

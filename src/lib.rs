@@ -18,6 +18,7 @@
 //! | [`sim`] | `avoc-sim` | light-sensor and BLE-beacon scenario generators, fault injection |
 //! | [`store`] | `avoc-store` | durable/shared/cached history datastores |
 //! | [`net`] | `avoc-net` | wire protocol, sensor hub, sink node, edge voter service |
+//! | [`serve`] | `avoc-serve` | sharded multi-tenant voter daemon, TCP server + client |
 //! | [`metrics`] | `avoc-metrics` | convergence, ambiguity, series ops, reports |
 //!
 //! # Quickstart
@@ -46,6 +47,7 @@ pub use avoc_cluster as cluster;
 pub use avoc_core as core;
 pub use avoc_metrics as metrics;
 pub use avoc_net as net;
+pub use avoc_serve as serve;
 pub use avoc_sim as sim;
 pub use avoc_store as store;
 pub use avoc_vdx as vdx;
@@ -62,7 +64,8 @@ pub mod prelude {
         RoundResult, Value, VoteError, VoterConfig, VotingEngine,
     };
     pub use avoc_metrics::{AmbiguityReport, ConvergenceReport};
-    pub use avoc_net::EdgeVoter;
+    pub use avoc_net::{EdgeVoter, SpecSource};
+    pub use avoc_serve::{ServeClient, ServeConfig, SpecRegistry, TcpServer, VoterService};
     pub use avoc_sim::{BleScenario, FaultInjector, FaultKind, LightScenario, RecordedTrace};
     pub use avoc_vdx::{build_engine, build_voter, VdxSpec};
 }

@@ -2,7 +2,7 @@
 //! arbitrary bytes, and the hub's round stream is well-formed under any
 //! interleaving of sensor messages.
 
-use avoc::net::{Message, SensorHub};
+use avoc::net::{Message, SensorHub, SpecSource};
 use avoc::prelude::*;
 use bytes::BytesMut;
 use proptest::prelude::*;
@@ -85,6 +85,96 @@ proptest! {
         }
         prop_assert!(emitted.windows(2).all(|w| w[0] < w[1]),
             "rounds must be strictly increasing: {emitted:?}");
+    }
+
+    /// Every session-control frame (tags 5–9) survives an encode/decode
+    /// round trip byte-exactly, including empty and non-trivial strings.
+    #[test]
+    fn control_frames_round_trip(
+        kind in 0u8..5,
+        session in any::<u64>(),
+        modules in any::<u32>(),
+        round in any::<u64>(),
+        value in -1.0e9f64..1.0e9,
+        text in "[a-zA-Z0-9 _/.-]{0,40}",
+        named in any::<bool>(),
+        has_value in any::<bool>(),
+        voted in any::<bool>(),
+    ) {
+        let msg = match kind {
+            0 => Message::OpenSession {
+                session,
+                modules,
+                spec: if named {
+                    SpecSource::Named(text)
+                } else {
+                    SpecSource::Inline(text)
+                },
+            },
+            1 => Message::CloseSession { session },
+            2 => Message::SessionReading {
+                session,
+                module: ModuleId::new(modules),
+                round,
+                value,
+            },
+            3 => Message::SessionResult {
+                session,
+                round,
+                value: has_value.then_some(value),
+                voted,
+            },
+            _ => Message::Error { session, message: text },
+        };
+        let mut buf = BytesMut::from(&msg.encode()[..]);
+        let decoded = Message::decode(&mut buf);
+        prop_assert_eq!(decoded.ok(), Some(msg));
+        prop_assert!(buf.is_empty(), "a frame decodes to exactly one message");
+    }
+
+    /// Control frames interleaved with legacy reading frames reassemble
+    /// from arbitrary split points just like a homogeneous stream.
+    #[test]
+    fn mixed_frame_streams_reassemble(
+        sessions in prop::collection::vec(any::<u64>(), 1..12),
+        split in 1usize..9,
+    ) {
+        let msgs: Vec<Message> = sessions
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &s)| {
+                vec![
+                    Message::SessionReading {
+                        session: s,
+                        module: ModuleId::new(i as u32),
+                        round: i as u64,
+                        value: i as f64,
+                    },
+                    Message::Reading {
+                        module: ModuleId::new(i as u32),
+                        round: i as u64,
+                        value: -(i as f64),
+                    },
+                ]
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&m.encode());
+        }
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(split) {
+            buf.extend_from_slice(chunk);
+            loop {
+                match Message::decode(&mut buf) {
+                    Ok(m) => decoded.push(m),
+                    Err(avoc::net::message::DecodeError::Incomplete) => break,
+                    Err(e) => prop_assert!(false, "unexpected decode error {e}"),
+                }
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
     }
 
     /// A full-pipeline run over randomly gappy traces produces exactly one

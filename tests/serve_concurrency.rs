@@ -1,0 +1,213 @@
+//! Integration tests for the `avoc-serve` daemon: many concurrent tenants
+//! with distinct VDX specs over real TCP, session isolation, and bounded
+//! mailbox backpressure.
+
+use avoc::net::SpecSource;
+use avoc::serve::{Backpressure, ServeClient, ServeConfig, SpecRegistry, TcpServer, VoterService};
+use avoc::{core::ModuleId, net::Message};
+use crossbeam::channel;
+use std::sync::Arc;
+
+const SESSIONS: u64 = 16;
+const ROUNDS: u64 = 12;
+const MODULES: u32 = 3;
+
+/// The spec each session votes under and a value band disjoint from every
+/// other session's (within its spec's exclusion range), so cross-session
+/// leakage of readings or history would shift a fused value out of band.
+fn tenant_plan(session: u64) -> (&'static str, f64) {
+    match session % 3 {
+        0 => ("avoc", 20.0 + session as f64),
+        1 => ("smart-building", 30.0 + session as f64),
+        _ => ("ble-tunnel", -100.0 + session as f64),
+    }
+}
+
+fn shipped_registry() -> Arc<SpecRegistry> {
+    let reg = SpecRegistry::new();
+    let loaded = reg.load_dir("specs").expect("specs/ loads");
+    assert!(loaded >= 3, "expected the shipped spec directory");
+    Arc::new(reg)
+}
+
+#[test]
+fn sixteen_tenants_with_distinct_specs_stay_isolated_over_tcp() {
+    let service = Arc::new(VoterService::start(
+        ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        },
+        shipped_registry(),
+    ));
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+    let addr = server.local_addr();
+
+    let tenants: Vec<_> = (0..SESSIONS)
+        .map(|session| {
+            std::thread::spawn(move || {
+                let (spec, base) = tenant_plan(session);
+                let mut client = ServeClient::connect(addr).expect("connect");
+                client
+                    .open_session(session, MODULES, SpecSource::Named(spec.into()))
+                    .expect("open");
+                for round in 0..ROUNDS {
+                    for m in 0..MODULES {
+                        client
+                            .send_reading(
+                                session,
+                                ModuleId::new(m),
+                                round,
+                                base + 0.1 * f64::from(m),
+                            )
+                            .expect("send");
+                    }
+                }
+                client.close_session(session).expect("close");
+                client.recv_n(ROUNDS as usize).expect("results")
+            })
+        })
+        .collect();
+
+    for (session, tenant) in tenants.into_iter().enumerate() {
+        let session = session as u64;
+        let (_, base) = tenant_plan(session);
+        let results = tenant.join().expect("tenant thread");
+        let mut rounds_seen = Vec::new();
+        for msg in results {
+            match msg {
+                Message::SessionResult {
+                    session: s,
+                    round,
+                    value,
+                    ..
+                } => {
+                    assert_eq!(s, session, "results must route to their own session");
+                    rounds_seen.push(round);
+                    let v = value.expect("numeric result");
+                    assert!(
+                        (v - base).abs() < 0.5,
+                        "session {session} got {v}, outside its own band around {base}: \
+                         readings or history leaked across sessions"
+                    );
+                }
+                other => panic!("session {session} got unexpected frame {other:?}"),
+            }
+        }
+        let expected: Vec<u64> = (0..ROUNDS).collect();
+        assert_eq!(rounds_seen, expected, "one in-order result per round");
+    }
+
+    let snap = server.shutdown();
+    assert_eq!(snap.sessions_opened, SESSIONS);
+    assert_eq!(snap.sessions_rejected, 0);
+    assert_eq!(snap.sessions_evicted, 0);
+    assert_eq!(snap.rounds_fused, SESSIONS * ROUNDS);
+    assert_eq!(snap.readings_dropped, 0);
+    assert_eq!(snap.shard_queue_high_water.len(), 4);
+    let lat = snap.fuse_latency.expect("latency recorded");
+    assert_eq!(lat.samples, SESSIONS * ROUNDS);
+    assert!(lat.min_us <= lat.mean_us && lat.mean_us <= lat.p99_us * 1.001);
+}
+
+#[test]
+fn unknown_spec_is_answered_with_an_error_frame() {
+    let service = Arc::new(VoterService::start(
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+        shipped_registry(),
+    ));
+    let server = TcpServer::start("127.0.0.1:0", service).expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    client
+        .open_session(42, 3, SpecSource::Named("no-such-spec".into()))
+        .expect("send");
+    match client.recv().expect("reply") {
+        Message::Error { session, message } => {
+            assert_eq!(session, 42);
+            assert!(message.contains("no-such-spec"), "got: {message}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.sessions_opened, 0);
+}
+
+/// `Reject` backpressure: with the shard wedged (its session's sink is a
+/// full bounded channel nobody reads), the mailbox fills and further
+/// readings are refused — and counted — instead of buffered without bound.
+#[test]
+fn reject_backpressure_refuses_readings_when_a_mailbox_fills() {
+    let mut reg = SpecRegistry::new();
+    reg.insert("avoc", avoc::vdx::VdxSpec::avoc());
+    let service = VoterService::start(
+        ServeConfig {
+            shards: 1,
+            mailbox_capacity: 4,
+            backpressure: Backpressure::Reject,
+            ..ServeConfig::default()
+        },
+        Arc::new(reg),
+    );
+    // A single-module session: every reading completes a round and emits a
+    // result. The sink holds one result, then blocks the shard worker.
+    let (sink, results) = channel::bounded::<Message>(1);
+    service
+        .open_session(1, 1, &SpecSource::Named("avoc".into()), sink)
+        .expect("open");
+
+    let mut rejected = 0u64;
+    for round in 0..200u64 {
+        if service.feed(1, ModuleId::new(0), round, 20.0).is_err() {
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a 4-slot mailbox must reject under a wedged shard"
+    );
+
+    // Unwedge: dropping the receiver turns the shard's sink sends into
+    // no-ops, letting it drain the mailbox and exit cleanly.
+    drop(results);
+    let snap = service.drain();
+    assert_eq!(snap.readings_dropped, rejected);
+    assert!(snap.shard_queue_high_water[0] >= 3);
+}
+
+/// `DropOldest` backpressure: the producer never blocks or errors; the
+/// oldest queued readings are discarded and counted.
+#[test]
+fn drop_oldest_backpressure_sheds_stale_readings() {
+    let mut reg = SpecRegistry::new();
+    reg.insert("avoc", avoc::vdx::VdxSpec::avoc());
+    let service = VoterService::start(
+        ServeConfig {
+            shards: 1,
+            mailbox_capacity: 4,
+            backpressure: Backpressure::DropOldest,
+            ..ServeConfig::default()
+        },
+        Arc::new(reg),
+    );
+    let (sink, results) = channel::bounded::<Message>(1);
+    service
+        .open_session(1, 1, &SpecSource::Named("avoc".into()), sink)
+        .expect("open");
+    for round in 0..200u64 {
+        service
+            .feed(1, ModuleId::new(0), round, 20.0)
+            .expect("DropOldest never refuses");
+    }
+    drop(results);
+    let snap = service.drain();
+    // Shedding must never hit the queued `Open` control command.
+    assert_eq!(snap.sessions_opened, 1);
+    assert!(
+        snap.readings_dropped > 0,
+        "old readings must have been shed"
+    );
+    // Everything not shed was fused (one round per surviving reading).
+    assert_eq!(snap.rounds_fused + snap.readings_dropped, 200);
+}
