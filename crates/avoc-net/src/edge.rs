@@ -166,6 +166,11 @@ impl EdgeVoter {
                             }
                         }
                         Err(crate::message::DecodeError::Incomplete) => break,
+                        Err(crate::message::DecodeError::FrameTooLarge { .. }) => {
+                            // Unreachable with our own encoder upstream, but
+                            // a capped frame cannot be resynced past: stop.
+                            return hub;
+                        }
                         Err(_) => continue, // resynchronised past a bad frame
                     }
                 }

@@ -2,7 +2,8 @@
 //!
 //! A compact, length-prefixed binary framing (the hub runs on constrained
 //! hardware — the paper demonstrates on a Raspberry Pi 4). Each frame is
-//! `u32` big-endian payload length followed by the payload:
+//! `u32` big-endian payload length (capped at [`MAX_FRAME_LEN`]) followed by
+//! the payload:
 //!
 //! ```text
 //! tag: u8          1 = Reading, 2 = Missing, 3 = Heartbeat, 4 = Shutdown
@@ -108,6 +109,13 @@ pub enum Message {
     },
 }
 
+/// Hard cap on a frame's payload length (1 MiB). Only [`Message::OpenSession`]
+/// and [`Message::Error`] carry variable payloads, and VDX documents are a
+/// few KiB — any larger length prefix is hostile or corrupt. Without a cap,
+/// an 8-byte header claiming a multi-GiB frame would make a reader buffer
+/// without bound waiting for bytes that never arrive.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
 /// Decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -122,6 +130,13 @@ pub enum DecodeError {
         /// Payload length found.
         len: usize,
     },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`]. Unlike the other errors
+    /// the frame is *not* consumed (its bytes may never arrive), so there is
+    /// no resynchronising past it: readers must drop the stream.
+    FrameTooLarge {
+        /// Claimed payload length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -131,6 +146,12 @@ impl fmt::Display for DecodeError {
             DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             DecodeError::BadLength { tag, len } => {
                 write!(f, "bad frame length {len} for tag {tag}")
+            }
+            DecodeError::FrameTooLarge { len } => {
+                write!(
+                    f,
+                    "frame length {len} exceeds the {MAX_FRAME_LEN}-byte maximum"
+                )
             }
         }
     }
@@ -253,6 +274,10 @@ impl Message {
                 put_string(&mut payload, message);
             }
         }
+        debug_assert!(
+            payload.len() <= MAX_FRAME_LEN,
+            "encoded frame exceeds MAX_FRAME_LEN and would be undecodable"
+        );
         let mut frame = BytesMut::with_capacity(4 + payload.len());
         frame.put_u32(payload.len() as u32);
         frame.extend_from_slice(&payload);
@@ -265,12 +290,18 @@ impl Message {
     ///
     /// [`DecodeError::Incomplete`] when `buf` holds less than a full frame
     /// (nothing is consumed); tag/layout errors consume the bad frame so a
-    /// stream can resynchronise.
+    /// stream can resynchronise. [`DecodeError::FrameTooLarge`] — a length
+    /// prefix beyond [`MAX_FRAME_LEN`] — consumes nothing and is fatal to
+    /// the stream: the caller must stop reading rather than buffer toward a
+    /// hostile multi-GiB frame.
     pub fn decode(buf: &mut BytesMut) -> Result<Message, DecodeError> {
         if buf.len() < 4 {
             return Err(DecodeError::Incomplete);
         }
         let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(DecodeError::FrameTooLarge { len });
+        }
         if buf.len() < 4 + len {
             return Err(DecodeError::Incomplete);
         }
@@ -535,6 +566,35 @@ mod tests {
                 len: 2
             })
         ));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_buffering() {
+        // An 8-byte header claiming a ~4 GiB frame must fail immediately,
+        // not leave the reader accumulating bytes toward it.
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        buf.put_u8(TAG_OPEN_SESSION);
+        let before = buf.len();
+        assert_eq!(
+            Message::decode(&mut buf),
+            Err(DecodeError::FrameTooLarge {
+                len: u32::MAX as usize
+            })
+        );
+        assert_eq!(before, buf.len(), "nothing to resync past: stream is dead");
+
+        // One byte over the cap fails; exactly at the cap merely waits for
+        // the rest of the frame.
+        let mut over = BytesMut::new();
+        over.put_u32(MAX_FRAME_LEN as u32 + 1);
+        assert!(matches!(
+            Message::decode(&mut over),
+            Err(DecodeError::FrameTooLarge { .. })
+        ));
+        let mut at_cap = BytesMut::new();
+        at_cap.put_u32(MAX_FRAME_LEN as u32);
+        assert_eq!(Message::decode(&mut at_cap), Err(DecodeError::Incomplete));
     }
 
     #[test]

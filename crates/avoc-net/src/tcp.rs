@@ -203,6 +203,12 @@ fn read_connection(mut stream: TcpStream, tx: Sender<Result<Message, ()>>) {
                             }
                         }
                         Err(DecodeError::Incomplete) => break,
+                        Err(DecodeError::FrameTooLarge { .. }) => {
+                            // Hostile length prefix: nothing to resync past,
+                            // so drop the connection instead of buffering.
+                            let _ = tx.send(Err(()));
+                            return;
+                        }
                         Err(_) => {
                             let _ = tx.send(Err(()));
                         }

@@ -15,10 +15,10 @@
 //!                 └──────────────┬──────────────────────────────┘
 //!                                │ route by hash(session id)
 //!                 ┌──────────────▼──────────────┐
-//!                 │ shard 0 .. shard N-1        │  bounded mailboxes
-//!                 │  each: HashMap<id, Session> │  (Block | DropOldest |
-//!                 │  Session = SensorHub        │   Reject backpressure)
-//!                 │          + VotingEngine     │
+//!                 │ shard 0 .. shard N-1        │  bounded mailboxes: a
+//!                 │  each: HashMap<id, Session> │  control lane (never shed)
+//!                 │  Session = SensorHub        │  + a data lane (Block |
+//!                 │          + VotingEngine     │  DropOldest | Reject)
 //!                 └──────────────┬──────────────┘
 //!                                │ SessionResult / Error frames
 //!                 ┌──────────────▼──────────────┐
@@ -35,8 +35,10 @@
 //! * [`ServeConfig`] — mailbox capacity and [`Backpressure`] policy, session
 //!   capacity and [`AdmissionPolicy`], idle-tick eviction.
 //! * [`ServiceCounters`] — sessions opened/evicted/rejected, rounds fused,
-//!   fallbacks, per-shard queue-depth high-water marks and fuse-latency
-//!   min/mean/p99, snapshotable while running and dumped on drain.
+//!   fallbacks, readings/results dropped, per-shard queue-depth high-water
+//!   marks and fuse-latency min/mean/p99, snapshotable while running and
+//!   dumped on drain. Shards never block on a tenant's result sink: a slow
+//!   tenant loses its own overflow (counted) instead of stalling the fleet.
 //! * [`TcpServer`] / [`ServeClient`] — the socket front-end and a small
 //!   blocking client for it.
 //!

@@ -21,6 +21,7 @@ pub struct ServiceCounters {
     rounds_fused: AtomicU64,
     fallbacks: AtomicU64,
     readings_dropped: AtomicU64,
+    results_dropped: AtomicU64,
     shard_queue_high_water: Vec<AtomicUsize>,
     latency: Mutex<LatencyReservoir>,
 }
@@ -66,6 +67,10 @@ impl ServiceCounters {
 
     pub(crate) fn reading_dropped(&self) {
         self.readings_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn result_dropped(&self) {
+        self.results_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one fused round and its latency.
@@ -122,6 +127,7 @@ impl ServiceCounters {
             rounds_fused: self.rounds_fused.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             readings_dropped: self.readings_dropped.load(Ordering::Relaxed),
+            results_dropped: self.results_dropped.load(Ordering::Relaxed),
             shard_queue_high_water: self
                 .shard_queue_high_water
                 .iter()
@@ -160,6 +166,10 @@ pub struct CountersSnapshot {
     pub fallbacks: u64,
     /// Readings dropped by `DropOldest`/`Reject` backpressure.
     pub readings_dropped: u64,
+    /// Result/error frames dropped because a tenant's sink was full or
+    /// gone: shards never block on a slow tenant, so its overflow is shed
+    /// here and the tenant learns about the loss from this counter.
+    pub results_dropped: u64,
     /// Per-shard mailbox depth high-water marks.
     pub shard_queue_high_water: Vec<usize>,
     /// Fuse-latency summary; `None` before the first fused round.

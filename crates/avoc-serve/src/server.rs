@@ -14,13 +14,21 @@ use std::time::Duration;
 use crate::metrics::CountersSnapshot;
 use crate::service::{ServeError, VoterService};
 
-/// Capacity of each connection's outbound result channel. Bounded so one
-/// tenant reading results slowly stalls its own shard sends (and thus its
-/// own sessions) rather than growing daemon memory.
+/// Capacity of each connection's outbound result channel. Bounded so a
+/// tenant reading results slowly cannot grow daemon memory; shards never
+/// block on it — once it fills, the tenant's overflow is dropped and
+/// counted (`results_dropped`), so its slowness stays its own problem.
 const OUT_CHANNEL_CAPACITY: usize = 256;
 
 /// How often a blocked connection reader wakes to check for shutdown.
 const READ_POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Per-write deadline on a connection's result stream. A tenant that stops
+/// reading but keeps its socket open would otherwise pin its writer thread
+/// in `write_all` forever (hanging graceful shutdown's thread joins); on
+/// expiry the writer exits, the out channel disconnects, and shard-side
+/// sends to this tenant fail fast.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The daemon's socket front-end: accepts tenant connections and speaks the
 /// session control frames (tags 5–9) of [`avoc_net::message`] over the
@@ -119,12 +127,13 @@ fn serve_connection(stream: TcpStream, service: Arc<VoterService>, running: Arc<
         let stream = stream.try_clone();
         std::thread::spawn(move || {
             let Ok(mut stream) = stream else { return };
+            let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
             // Exits when every sender is gone: the reader's handle drops at
             // connection end and the shards' sink clones drop as their
             // sessions close.
             for msg in out_rx.iter() {
                 if stream.write_all(&msg.encode()).is_err() {
-                    break; // tenant gone; drain remaining sends as no-ops
+                    break; // tenant gone or stalled past the write deadline
                 }
             }
         })
@@ -168,6 +177,10 @@ fn read_frames(
             let msg = match Message::decode(&mut buf) {
                 Ok(msg) => msg,
                 Err(DecodeError::Incomplete) => break,
+                // A hostile length prefix is never consumed and would have
+                // this daemon buffer toward a multi-GiB frame: drop the
+                // connection instead.
+                Err(DecodeError::FrameTooLarge { .. }) => break 'conn,
                 Err(_) => continue, // undecodable frame already consumed
             };
             match msg {

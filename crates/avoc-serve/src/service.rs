@@ -3,7 +3,7 @@
 use avoc_core::ModuleId;
 use avoc_net::{Message, SpecSource};
 use avoc_vdx::VdxError;
-use crossbeam::channel::{self, Sender, TrySendError};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,9 +32,11 @@ pub enum AdmissionPolicy {
 pub struct ServeConfig {
     /// Worker threads. `0` means `std::thread::available_parallelism()`.
     pub shards: usize,
-    /// Bounded capacity of each shard's mailbox.
+    /// Bounded capacity of each shard's mailboxes (the data mailbox
+    /// carrying readings, and the control mailbox carrying session
+    /// lifecycle commands).
     pub mailbox_capacity: usize,
-    /// What readings do when a mailbox is full.
+    /// What readings do when a data mailbox is full.
     pub backpressure: Backpressure,
     /// Maximum concurrently open sessions across all shards.
     pub max_sessions: usize,
@@ -94,10 +96,24 @@ impl std::error::Error for ServeError {
     }
 }
 
+/// One shard's producer endpoints. Lifecycle commands and readings travel
+/// on separate bounded channels so a full data mailbox can never displace,
+/// reorder, or shed an `Open`/`Close`/`Drain`.
+struct ShardLink {
+    ctrl: Sender<ShardCommand>,
+    data: Sender<ShardCommand>,
+}
+
 /// The sharded, multi-tenant voter service (the daemon core; [`crate::TcpServer`]
 /// is its socket front-end and benchmarks drive it in-process).
 pub struct VoterService {
-    shard_txs: Vec<Sender<ShardCommand>>,
+    links: Vec<ShardLink>,
+    /// Shed-side clones of each shard's data receiver: `DropOldest` pops
+    /// the oldest queued reading here when a mailbox is full (readings
+    /// only — control has its own channel). Cleared on drain, which also
+    /// disconnects the data channels so late `feed`s fail fast instead of
+    /// queueing into (or blocking on) a mailbox nobody reads.
+    sheds: Mutex<Vec<Receiver<ShardCommand>>>,
     // (manual Debug below: mailboxes and queued commands aren't printable)
     joins: Mutex<Vec<JoinHandle<()>>>,
     counters: Arc<ServiceCounters>,
@@ -110,7 +126,7 @@ pub struct VoterService {
 impl fmt::Debug for VoterService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("VoterService")
-            .field("shards", &self.shard_txs.len())
+            .field("shards", &self.links.len())
             .field("active_sessions", &self.active.load(Ordering::Relaxed))
             .field("backpressure", &self.backpressure)
             .field("admission", &self.admission)
@@ -128,13 +144,16 @@ impl VoterService {
         };
         let counters = Arc::new(ServiceCounters::new(shards));
         let active = Arc::new(AtomicUsize::new(0));
-        let mut shard_txs = Vec::with_capacity(shards);
+        let mut links = Vec::with_capacity(shards);
+        let mut sheds = Vec::with_capacity(shards);
         let mut joins = Vec::with_capacity(shards);
         for index in 0..shards {
-            let (tx, rx) = channel::bounded(config.mailbox_capacity);
+            let (ctrl_tx, ctrl_rx) = channel::bounded(config.mailbox_capacity);
+            let (data_tx, data_rx) = channel::bounded(config.mailbox_capacity);
             let worker = ShardWorker {
                 index,
-                rx,
+                ctrl_rx,
+                data_rx: data_rx.clone(),
                 counters: Arc::clone(&counters),
                 active: Arc::clone(&active),
                 max_sessions: config.max_sessions,
@@ -147,10 +166,15 @@ impl VoterService {
                     .spawn(move || worker.run())
                     .expect("spawn shard worker"),
             );
-            shard_txs.push(tx);
+            links.push(ShardLink {
+                ctrl: ctrl_tx,
+                data: data_tx,
+            });
+            sheds.push(data_rx);
         }
         VoterService {
-            shard_txs,
+            links,
+            sheds: Mutex::new(sheds),
             joins: Mutex::new(joins),
             counters,
             active,
@@ -162,7 +186,7 @@ impl VoterService {
 
     /// Number of shard workers.
     pub fn shards(&self) -> usize {
-        self.shard_txs.len()
+        self.links.len()
     }
 
     /// Sessions currently open.
@@ -181,7 +205,7 @@ impl VoterService {
         let mut z = session.wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        (z ^ (z >> 31)) as usize % self.shard_txs.len()
+        (z ^ (z >> 31)) as usize % self.links.len()
     }
 
     /// Opens a session: resolves the spec (named or inline), then installs
@@ -209,8 +233,11 @@ impl VoterService {
             sink,
             evict_if_full: self.admission == AdmissionPolicy::EvictIdle,
         };
-        // Control frames always block: admission must not be load-shed.
-        self.shard_txs[shard]
+        // Control frames always block: admission must not be load-shed, and
+        // the worker drains control with priority (and never blocks on a
+        // tenant sink), so the send cannot wedge behind a data flood.
+        self.links[shard]
+            .ctrl
             .send(cmd)
             .map_err(|_| ServeError::ShuttingDown)?;
         self.note_depth(shard);
@@ -238,23 +265,10 @@ impl VoterService {
             round,
             value,
         };
-        let tx = &self.shard_txs[shard];
+        let tx = &self.links[shard].data;
         let outcome = match self.backpressure {
             Backpressure::Block => tx.send(cmd).map_err(|_| ServeError::ShuttingDown),
-            Backpressure::DropOldest => {
-                // Only readings may be shed. An eviction can surface a
-                // queued control command (Open/Close/Drain); re-queue it at
-                // the tail and keep shedding until a reading pops out.
-                let mut evicted = tx.force_send(cmd).map_err(|_| ServeError::ShuttingDown)?;
-                while let Some(old) = evicted {
-                    if matches!(old, ShardCommand::Reading { .. }) {
-                        self.counters.reading_dropped();
-                        break;
-                    }
-                    evicted = tx.force_send(old).map_err(|_| ServeError::ShuttingDown)?;
-                }
-                Ok(())
-            }
+            Backpressure::DropOldest => self.feed_drop_oldest(shard, cmd),
             Backpressure::Reject => match tx.try_send(cmd) {
                 Ok(()) => Ok(()),
                 Err(TrySendError::Full(_)) => {
@@ -268,6 +282,32 @@ impl VoterService {
         outcome
     }
 
+    /// `DropOldest` with stock channel primitives: on `Full`, pop the
+    /// oldest queued reading from the shed-side receiver clone and retry.
+    /// The data mailbox carries only readings, so shedding can never
+    /// displace a control command.
+    fn feed_drop_oldest(&self, shard: usize, mut cmd: ShardCommand) -> Result<(), ServeError> {
+        loop {
+            match self.links[shard].data.try_send(cmd) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+                Err(TrySendError::Full(back)) => {
+                    cmd = back;
+                    let sheds = self.sheds.lock();
+                    let Some(rx) = sheds.get(shard) else {
+                        return Err(ServeError::ShuttingDown); // drained
+                    };
+                    // The worker may empty the queue between the failed
+                    // send and this pop; an empty pop just means space
+                    // opened up, so only an actual eviction is counted.
+                    if rx.try_recv().is_ok() {
+                        self.counters.reading_dropped();
+                    }
+                }
+            }
+        }
+    }
+
     /// Closes a session, flushing partially assembled rounds to its sink.
     ///
     /// # Errors
@@ -275,7 +315,8 @@ impl VoterService {
     /// [`ServeError::ShuttingDown`] after [`VoterService::drain`].
     pub fn close_session(&self, session: u64) -> Result<(), ServeError> {
         let shard = self.shard_for(session);
-        self.shard_txs[shard]
+        self.links[shard]
+            .ctrl
             .send(ShardCommand::Close { session })
             .map_err(|_| ServeError::ShuttingDown)
     }
@@ -290,19 +331,24 @@ impl VoterService {
     /// Subsequent `open`/`feed`/`close` calls fail with
     /// [`ServeError::ShuttingDown`].
     pub fn drain(&self) -> CountersSnapshot {
-        for tx in &self.shard_txs {
-            let _ = tx.send(ShardCommand::Drain);
+        for link in &self.links {
+            let _ = link.ctrl.send(ShardCommand::Drain);
         }
         let joins: Vec<JoinHandle<()>> = std::mem::take(&mut *self.joins.lock());
         for j in joins {
             let _ = j.join();
         }
+        // The workers' data receivers are gone; dropping the shed clones
+        // disconnects the data channels so a `feed` racing this drain (or
+        // arriving after it) errors instead of queueing — or, under
+        // `Block`, sleeping — forever on a mailbox nobody reads.
+        self.sheds.lock().clear();
         self.counters.snapshot()
     }
 
     fn note_depth(&self, shard: usize) {
         self.counters
-            .note_queue_depth(shard, self.shard_txs[shard].len());
+            .note_queue_depth(shard, self.links[shard].data.len());
     }
 }
 
@@ -390,6 +436,43 @@ mod tests {
         assert!(matches!(
             results_b.try_recv().unwrap(),
             Message::Error { session: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn capacity_is_global_across_shards() {
+        let cfg = ServeConfig {
+            shards: 2,
+            max_sessions: 1,
+            ..ServeConfig::default()
+        };
+        let service = VoterService::start(cfg, registry());
+        let a = 0u64;
+        let b = (1..64u64)
+            .find(|&id| service.shard_for(id) != service.shard_for(a))
+            .expect("the finalizer spreads 64 ids over 2 shards");
+        let (sink_a, results_a) = channel::unbounded();
+        let (sink_b, results_b) = channel::unbounded();
+        service
+            .open_session(a, 1, &SpecSource::Named("avoc".into()), sink_a)
+            .unwrap();
+        // Fuse one round and wait for its result, proving shard A has
+        // installed the session (and claimed the only slot) before B's
+        // open races for it on the other worker.
+        service.feed(a, ModuleId::new(0), 0, 1.0).unwrap();
+        assert!(matches!(
+            results_a.recv().unwrap(),
+            Message::SessionResult { session: 0, .. }
+        ));
+        service
+            .open_session(b, 1, &SpecSource::Named("avoc".into()), sink_b)
+            .unwrap();
+        let snap = service.drain();
+        assert_eq!(snap.sessions_opened, 1, "the cap binds across shards");
+        assert_eq!(snap.sessions_rejected, 1);
+        assert!(matches!(
+            results_b.try_recv().unwrap(),
+            Message::Error { session, .. } if session == b
         ));
     }
 

@@ -94,17 +94,25 @@ impl Session {
                 message: format!("round {}: {e}", round.round),
             },
         };
-        // A disconnected sink means the tenant went away; the session will
-        // be reaped by idle eviction, so drops are deliberate here.
-        let _ = self.sink.send(reply);
+        // Never block the shard on a tenant's sink: a full sink means the
+        // tenant reads results too slowly, a disconnected one that it went
+        // away. Blocking here would wedge every other session pinned to
+        // this shard (and hang graceful drain), so the frame is dropped and
+        // counted — the tenant learns about loss from `results_dropped`.
+        if self.sink.try_send(reply).is_err() {
+            counters.result_dropped();
+        }
     }
 
     /// Notifies the tenant that the service evicted this session.
-    pub(crate) fn notify_evicted(&self, reason: &str) {
-        let _ = self.sink.send(Message::Error {
+    pub(crate) fn notify_evicted(&self, reason: &str, counters: &ServiceCounters) {
+        let notice = Message::Error {
             session: self.id,
             message: format!("session evicted: {reason}"),
-        });
+        };
+        if self.sink.try_send(notice).is_err() {
+            counters.result_dropped();
+        }
     }
 }
 
@@ -147,5 +155,25 @@ mod tests {
             Message::SessionResult { round: 1, .. }
         ));
         assert_eq!(counters.snapshot().rounds_fused, 2);
+    }
+
+    #[test]
+    fn wedged_sink_sheds_results_instead_of_blocking() {
+        let counters = ServiceCounters::new(1);
+        // Capacity-1 sink that nobody reads: wedged after the first result.
+        let (tx, rx) = channel::bounded(1);
+        let mut s = Session::open(1, 1, &VdxSpec::avoc(), 8, tx, 0).unwrap();
+        // Single-module rounds: each feed fuses and emits one result. A
+        // blocking sink send would deadlock this loop on the second round.
+        for round in 0..5u64 {
+            s.feed(ModuleId::new(0), round, 20.0, round + 1, &counters);
+        }
+        let snap = counters.snapshot();
+        assert_eq!(snap.rounds_fused, 5);
+        assert_eq!(snap.results_dropped, 4, "overflow is shed and counted");
+        assert!(matches!(
+            rx.try_recv().unwrap(),
+            Message::SessionResult { round: 0, .. }
+        ));
     }
 }

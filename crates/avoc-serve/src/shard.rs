@@ -3,15 +3,16 @@
 use avoc_core::ModuleId;
 use avoc_net::Message;
 use avoc_vdx::VdxSpec;
-use crossbeam::channel::{Receiver, Sender};
-use std::collections::HashMap;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::metrics::ServiceCounters;
 use crate::session::Session;
 
-/// What a shard does when its bounded mailbox is full.
+/// What a shard does when its bounded data mailbox is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backpressure {
     /// The producer blocks until the shard catches up. Nothing is lost;
@@ -28,6 +29,11 @@ pub enum Backpressure {
 
 /// Work routed to a shard. Sessions are pinned: every command for a session
 /// id lands on the same shard, so session state needs no synchronisation.
+///
+/// Commands travel on two channels per shard: lifecycle commands (`Open`,
+/// `Close`, `Drain`) on a control mailbox the worker always drains first,
+/// and `Reading`s on the backpressured data mailbox — so a flood of data
+/// can never displace, reorder, or shed a control command.
 pub(crate) enum ShardCommand {
     /// Install a session (spec already resolved and validated).
     Open {
@@ -65,7 +71,10 @@ pub(crate) enum ShardCommand {
 /// Per-shard worker state.
 pub(crate) struct ShardWorker {
     pub(crate) index: usize,
-    pub(crate) rx: Receiver<ShardCommand>,
+    /// Control mailbox: `Open`/`Close`/`Drain`, drained before data.
+    pub(crate) ctrl_rx: Receiver<ShardCommand>,
+    /// Data mailbox: `Reading`s under the configured backpressure policy.
+    pub(crate) data_rx: Receiver<ShardCommand>,
     pub(crate) counters: Arc<ServiceCounters>,
     /// Global live-session count (shared across shards for admission).
     pub(crate) active: Arc<AtomicUsize>,
@@ -81,103 +90,209 @@ pub(crate) struct ShardWorker {
 /// How often (in ticks) the worker sweeps for idle sessions.
 const SWEEP_INTERVAL: u64 = 64;
 
+/// How long the worker blocks on an empty data mailbox before re-checking
+/// control. Under load control is drained before every reading, so this only
+/// bounds control latency on an otherwise idle shard.
+const CONTROL_POLL: Duration = Duration::from_millis(5);
+
+/// The mutable state one worker owns: its sessions, its logical clock,
+/// control commands put aside while hunting for a pending `Open` (see
+/// [`ShardWorker::reading`]), and whether a `Drain` has told it to stop.
+struct ShardState {
+    sessions: HashMap<u64, Session>,
+    tick: u64,
+    deferred: VecDeque<ShardCommand>,
+    stop: bool,
+}
+
 impl ShardWorker {
-    /// The worker loop: drains the mailbox until `Drain` (flushing all
-    /// sessions) or until every sender disconnects.
+    /// The worker loop: control commands first, then readings, until `Drain`
+    /// (flushing all sessions) or until every sender disconnects.
+    ///
+    /// The loop never blocks on anything a tenant controls — session sinks
+    /// are fed with `try_send` — so one stalled tenant cannot wedge the
+    /// other sessions pinned here, and `Drain` is always reachable.
     pub(crate) fn run(self) {
-        let mut sessions: HashMap<u64, Session> = HashMap::new();
-        let mut tick: u64 = 0;
-        while let Ok(cmd) = self.rx.recv() {
-            // Consumer-side depth sample: catches backlog the producer-side
-            // samples miss when senders go quiet while the queue is deep.
-            self.counters.note_queue_depth(self.index, self.rx.len());
-            match cmd {
-                ShardCommand::Open {
-                    session,
-                    modules,
-                    spec,
-                    sink,
-                    evict_if_full,
-                } => {
-                    self.admit(
-                        &mut sessions,
-                        session,
-                        modules,
-                        &spec,
-                        sink,
-                        evict_if_full,
-                        tick,
-                    );
+        let mut st = ShardState {
+            sessions: HashMap::new(),
+            tick: 0,
+            deferred: VecDeque::new(),
+            stop: false,
+        };
+        let mut ctrl_alive = true;
+        while !st.stop {
+            // Control first: commands deferred by `reading`'s Open hunt,
+            // then the control mailbox — a deep data backlog must never
+            // delay or reorder Open/Close/Drain.
+            while !st.stop {
+                let Some(cmd) = st.deferred.pop_front() else {
+                    break;
+                };
+                self.control(cmd, &mut st);
+            }
+            while ctrl_alive && !st.stop {
+                match self.ctrl_rx.try_recv() {
+                    Ok(cmd) => self.control(cmd, &mut st),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => ctrl_alive = false,
                 }
-                ShardCommand::Reading {
-                    session,
-                    module,
-                    round,
-                    value,
-                } => {
-                    tick += 1;
-                    if let Some(s) = sessions.get_mut(&session) {
-                        s.feed(module, round, value, tick, &self.counters);
-                    } else {
-                        // Unknown session: late (evicted), misrouted, or
-                        // reordered ahead of its re-queued Open under
-                        // `DropOldest`. Counted as a drop, but no error
-                        // frame — per-reading errors would amplify a flood.
-                        self.counters.reading_dropped();
+            }
+            if st.stop {
+                break;
+            }
+            // Then at most one reading, keeping control responsive under
+            // sustained data load.
+            match self.data_rx.recv_timeout(CONTROL_POLL) {
+                Ok(cmd) => {
+                    // Consumer-side depth sample: catches backlog the
+                    // producer-side samples miss when senders go quiet
+                    // while the queue is deep.
+                    self.counters
+                        .note_queue_depth(self.index, self.data_rx.len());
+                    self.reading(cmd, &mut st);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    if !ctrl_alive {
+                        break; // every producer is gone
                     }
-                    if tick.is_multiple_of(SWEEP_INTERVAL) {
-                        self.sweep(&mut sessions, tick);
+                    // Data producers are gone; only control can arrive now.
+                    match self.ctrl_rx.recv() {
+                        Ok(cmd) => self.control(cmd, &mut st),
+                        Err(_) => break,
                     }
                 }
-                ShardCommand::Close { session } => {
-                    if let Some(mut s) = sessions.remove(&session) {
-                        s.flush(&self.counters);
-                        self.active.fetch_sub(1, Ordering::Relaxed);
-                    }
-                }
-                ShardCommand::Drain => break,
             }
         }
         // Graceful drain: every in-flight round is fused and reported
         // before the worker exits.
-        for (_, mut s) in sessions.drain() {
+        for (_, mut s) in st.sessions.drain() {
             s.flush(&self.counters);
             self.active.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
+    fn control(&self, cmd: ShardCommand, st: &mut ShardState) {
+        match cmd {
+            ShardCommand::Open {
+                session,
+                modules,
+                spec,
+                sink,
+                evict_if_full,
+            } => self.admit(st, session, modules, &spec, sink, evict_if_full),
+            ShardCommand::Close { session } => {
+                // Readings the tenant sent before this Close are still in
+                // the data mailbox; process them first so prioritising
+                // control does not orphan them.
+                self.drain_data_backlog(st);
+                if let Some(mut s) = st.sessions.remove(&session) {
+                    s.flush(&self.counters);
+                    self.active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            ShardCommand::Drain => {
+                self.drain_data_backlog(st);
+                st.stop = true;
+            }
+            // Readings are routed to the data mailbox; tolerate a stray one
+            // here rather than crash the worker.
+            cmd @ ShardCommand::Reading { .. } => self.reading(cmd, st),
+        }
+    }
+
+    /// Processes the readings already queued when a `Close`/`Drain`
+    /// arrived, bounded by the queue length at entry (items enqueued while
+    /// draining wait their turn).
+    fn drain_data_backlog(&self, st: &mut ShardState) {
+        for _ in 0..self.data_rx.len() {
+            match self.data_rx.try_recv() {
+                Ok(cmd) => self.reading(cmd, st),
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn reading(&self, cmd: ShardCommand, st: &mut ShardState) {
+        let ShardCommand::Reading {
+            session,
+            module,
+            round,
+            value,
+        } = cmd
+        else {
+            // Control commands never reach the data mailbox.
+            return;
+        };
+        st.tick += 1;
+        if !st.sessions.contains_key(&session) {
+            // The session's Open is always enqueued before its readings,
+            // but on the control channel — it may not have been processed
+            // yet. Hunt for it: install Opens on the way, but *defer*
+            // anything else until after this reading — executing a Close
+            // here would drain the data backlog past the reading in hand,
+            // reordering that tenant's rounds. An Open whose id has a
+            // deferred Close ahead of it (close-then-reopen) is deferred
+            // too, preserving their relative order.
+            while !st.sessions.contains_key(&session) {
+                match self.ctrl_rx.try_recv() {
+                    Ok(cmd) => {
+                        let install_now = match &cmd {
+                            ShardCommand::Open { session: id, .. } => !st.deferred.iter().any(
+                                |d| matches!(d, ShardCommand::Close { session: s } if s == id),
+                            ),
+                            _ => false,
+                        };
+                        if install_now {
+                            self.control(cmd, st);
+                        } else {
+                            st.deferred.push_back(cmd);
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        if let Some(s) = st.sessions.get_mut(&session) {
+            s.feed(module, round, value, st.tick, &self.counters);
+        } else {
+            // Genuinely unknown session: late (evicted, or sent after
+            // Close) or misrouted. Counted as a drop, but no error frame —
+            // per-reading errors would amplify a flood.
+            self.counters.reading_dropped();
+        }
+        if st.tick.is_multiple_of(SWEEP_INTERVAL) {
+            self.sweep(st);
+        }
+    }
+
     fn admit(
         &self,
-        sessions: &mut HashMap<u64, Session>,
+        st: &mut ShardState,
         session: u64,
         modules: u32,
         spec: &VdxSpec,
         sink: Sender<Message>,
         evict_if_full: bool,
-        tick: u64,
     ) {
-        if sessions.contains_key(&session) {
-            let _ = sink.send(Message::Error {
-                session,
-                message: "session id already open".into(),
-            });
-            self.counters.session_rejected();
+        if st.sessions.contains_key(&session) {
+            self.refuse(&sink, session, "session id already open");
             return;
         }
-        if self.active.load(Ordering::Relaxed) >= self.max_sessions {
-            // `EvictIdle` admission: reap this shard's idlest session to
-            // make room. (Capacity is global but eviction is shard-local;
-            // see `AdmissionPolicy::EvictIdle` for the trade-off.)
-            let evicted = evict_if_full && self.evict_idlest(sessions);
-            if !evicted {
-                let _ = sink.send(Message::Error {
-                    session,
-                    message: "service at session capacity".into(),
-                });
-                self.counters.session_rejected();
-                return;
-            }
+        // Reserve a slot against the global cap before building the
+        // session: a load-then-add would let concurrent opens on different
+        // shards both pass the check and overshoot `max_sessions`.
+        let mut reserved = self.try_reserve_slot();
+        if !reserved && evict_if_full && self.evict_idlest(&mut st.sessions) {
+            // `EvictIdle` admission: the shard's idlest session was reaped,
+            // but the freed slot is contended globally — a concurrent open
+            // on another shard may still win it. (Capacity is global while
+            // eviction is shard-local; see `AdmissionPolicy::EvictIdle`.)
+            reserved = self.try_reserve_slot();
+        }
+        if !reserved {
+            self.refuse(&sink, session, "service at session capacity");
+            return;
         }
         match Session::open(
             session,
@@ -185,21 +300,49 @@ impl ShardWorker {
             spec,
             self.lag_tolerance,
             sink.clone(),
-            tick,
+            st.tick,
         ) {
             Ok(s) => {
-                sessions.insert(session, s);
-                self.active.fetch_add(1, Ordering::Relaxed);
+                st.sessions.insert(session, s);
                 self.counters.session_opened();
             }
             Err(e) => {
-                let _ = sink.send(Message::Error {
-                    session,
-                    message: e.to_string(),
-                });
-                self.counters.session_rejected();
+                // Roll the reserved slot back.
+                self.active.fetch_sub(1, Ordering::Relaxed);
+                self.refuse(&sink, session, &e.to_string());
             }
         }
+    }
+
+    /// Atomically claims one of the `max_sessions` global slots.
+    fn try_reserve_slot(&self) -> bool {
+        let mut seen = self.active.load(Ordering::Relaxed);
+        loop {
+            if seen >= self.max_sessions {
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                seen,
+                seen + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => seen = now,
+            }
+        }
+    }
+
+    /// Refuses an open, telling the tenant (without blocking on its sink).
+    fn refuse(&self, sink: &Sender<Message>, session: u64, message: &str) {
+        let notice = Message::Error {
+            session,
+            message: message.into(),
+        };
+        if sink.try_send(notice).is_err() {
+            self.counters.result_dropped();
+        }
+        self.counters.session_rejected();
     }
 
     /// Evicts the least-recently-active session, flushing it first.
@@ -213,23 +356,24 @@ impl ShardWorker {
         };
         let mut s = sessions.remove(&victim).expect("victim key just found");
         s.flush(&self.counters);
-        s.notify_evicted("capacity reclaimed for a new session");
+        s.notify_evicted("capacity reclaimed for a new session", &self.counters);
         self.active.fetch_sub(1, Ordering::Relaxed);
         self.counters.session_evicted();
         true
     }
 
     /// Reaps sessions that have not seen a reading for `idle_ticks`.
-    fn sweep(&self, sessions: &mut HashMap<u64, Session>, tick: u64) {
-        let idle: Vec<u64> = sessions
+    fn sweep(&self, st: &mut ShardState) {
+        let idle: Vec<u64> = st
+            .sessions
             .iter()
-            .filter(|(_, s)| tick.saturating_sub(s.last_active_tick) > self.idle_ticks)
+            .filter(|(_, s)| st.tick.saturating_sub(s.last_active_tick) > self.idle_ticks)
             .map(|(&id, _)| id)
             .collect();
         for id in idle {
-            let mut s = sessions.remove(&id).expect("idle key just found");
+            let mut s = st.sessions.remove(&id).expect("idle key just found");
             s.flush(&self.counters);
-            s.notify_evicted("idle timeout");
+            s.notify_evicted("idle timeout", &self.counters);
             self.active.fetch_sub(1, Ordering::Relaxed);
             self.counters.session_evicted();
         }

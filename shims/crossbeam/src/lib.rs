@@ -2,10 +2,10 @@
 //!
 //! Provides [`channel`]: multi-producer multi-consumer channels with the
 //! `crossbeam-channel` API surface this workspace uses — `unbounded`,
-//! `bounded`, blocking/non-blocking/timed sends and receives, and iterator
-//! draining — implemented over `Mutex` + `Condvar`. One extension beyond the
-//! real crate: [`channel::Sender::force_send`], which a bounded channel uses
-//! to implement drop-oldest backpressure.
+//! `bounded`, blocking/non-blocking/timed sends and receives, receiver
+//! cloning, and iterator draining — implemented over `Mutex` + `Condvar`.
+//! The surface is a strict subset of the real crate's, so swapping the
+//! vendored shim back for `crossbeam-channel` stays a drop-in change.
 
 #![forbid(unsafe_code)]
 
@@ -165,28 +165,6 @@ pub mod channel {
             drop(st);
             self.inner.not_empty.notify_one();
             Ok(())
-        }
-
-        /// Shim extension: queues the message, evicting the oldest queued
-        /// message when the channel is full. Returns the evicted message, if
-        /// any.
-        ///
-        /// # Errors
-        ///
-        /// [`SendError`] carrying the message back when disconnected.
-        pub fn force_send(&self, msg: T) -> Result<Option<T>, SendError<T>> {
-            let mut st = self.inner.state.lock().unwrap();
-            if st.receivers == 0 {
-                return Err(SendError(msg));
-            }
-            let evicted = match self.inner.cap {
-                Some(cap) if st.queue.len() >= cap => st.queue.pop_front(),
-                _ => None,
-            };
-            st.queue.push_back(msg);
-            drop(st);
-            self.inner.not_empty.notify_one();
-            Ok(evicted)
         }
 
         /// Queued message count.
@@ -439,12 +417,21 @@ mod tests {
     }
 
     #[test]
-    fn force_send_evicts_oldest() {
+    fn cloned_receiver_drains_the_same_queue() {
+        // Drop-oldest backpressure in avoc-serve sheds via a receiver
+        // clone: a pop through either handle frees a slot for try_send.
         let (tx, rx) = channel::bounded(2);
-        tx.send(1).unwrap();
-        tx.send(2).unwrap();
-        assert_eq!(tx.force_send(3).unwrap(), Some(1));
+        let shed = rx.clone();
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Full(3))
+        ));
+        assert_eq!(shed.try_recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
         drop(tx);
+        drop(shed);
         assert_eq!(rx.iter().collect::<Vec<_>>(), vec![2, 3]);
     }
 

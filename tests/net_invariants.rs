@@ -9,7 +9,9 @@ use proptest::prelude::*;
 
 proptest! {
     /// Feeding arbitrary garbage to the decoder never panics, and always
-    /// either consumes something or reports an incomplete frame.
+    /// either consumes something, reports an incomplete frame, or declares
+    /// the stream dead on an oversized length prefix (which is never
+    /// consumed — there is nothing to resync past).
     #[test]
     fn decoder_survives_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..256)) {
         let mut buf = BytesMut::from(&data[..]);
@@ -18,6 +20,11 @@ proptest! {
             match Message::decode(&mut buf) {
                 Ok(_) => prop_assert!(buf.len() < before),
                 Err(avoc::net::message::DecodeError::Incomplete) => break,
+                Err(avoc::net::message::DecodeError::FrameTooLarge { len }) => {
+                    prop_assert!(len > avoc::net::message::MAX_FRAME_LEN);
+                    prop_assert_eq!(buf.len(), before, "oversized frames are not consumed");
+                    break;
+                }
                 Err(_) => prop_assert!(buf.len() < before, "error frames must be consumed"),
             }
         }

@@ -103,6 +103,7 @@ fn sixteen_tenants_with_distinct_specs_stay_isolated_over_tcp() {
     assert_eq!(snap.sessions_evicted, 0);
     assert_eq!(snap.rounds_fused, SESSIONS * ROUNDS);
     assert_eq!(snap.readings_dropped, 0);
+    assert_eq!(snap.results_dropped, 0, "every tenant read all its results");
     assert_eq!(snap.shard_queue_high_water.len(), 4);
     let lat = snap.fuse_latency.expect("latency recorded");
     assert_eq!(lat.samples, SESSIONS * ROUNDS);
@@ -134,9 +135,66 @@ fn unknown_spec_is_answered_with_an_error_frame() {
     assert_eq!(snap.sessions_opened, 0);
 }
 
-/// `Reject` backpressure: with the shard wedged (its session's sink is a
-/// full bounded channel nobody reads), the mailbox fills and further
-/// readings are refused — and counted — instead of buffered without bound.
+/// Regression for the cross-tenant wedge: a tenant whose result sink is
+/// full and never read must not stall the shard worker. Other sessions
+/// pinned to the same shard keep fusing, the wedged tenant's overflow is
+/// dropped and counted, and drain still completes.
+#[test]
+fn wedged_tenant_sink_does_not_stall_other_sessions_on_its_shard() {
+    let mut reg = SpecRegistry::new();
+    reg.insert("avoc", avoc::vdx::VdxSpec::avoc());
+    // One shard, `Block` backpressure: everything below shares one worker.
+    let service = VoterService::start(
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+        Arc::new(reg),
+    );
+    // Tenant A: capacity-1 sink that is never read — wedged from its first
+    // result on. Single-module sessions fuse one result per reading, so a
+    // worker that blocked on A's sink would deadlock this feed loop as
+    // soon as the mailbox filled behind it.
+    let (sink_a, results_a) = channel::bounded::<Message>(1);
+    service
+        .open_session(1, 1, &SpecSource::Named("avoc".into()), sink_a)
+        .expect("open A");
+    for round in 0..2000u64 {
+        service
+            .feed(1, ModuleId::new(0), round, 20.0)
+            .expect("feed A");
+    }
+    // Tenant B shares the only shard and must still get every result.
+    let (sink_b, results_b) = channel::unbounded::<Message>();
+    service
+        .open_session(2, 1, &SpecSource::Named("avoc".into()), sink_b)
+        .expect("open B");
+    for round in 0..10u64 {
+        service
+            .feed(2, ModuleId::new(0), round, 30.0)
+            .expect("feed B");
+    }
+    service.close_session(2).expect("close B");
+    let snap = service.drain();
+    let b_results: Vec<Message> = results_b.try_iter().collect();
+    assert_eq!(b_results.len(), 10, "B must fuse despite A's wedged sink");
+    assert!(b_results
+        .iter()
+        .all(|m| matches!(m, Message::SessionResult { session: 2, .. })));
+    assert_eq!(
+        snap.rounds_fused, 2010,
+        "every reading of both tenants fused"
+    );
+    assert_eq!(
+        snap.results_dropped, 1999,
+        "all of A's results past its first are shed and counted"
+    );
+    assert_eq!(results_a.try_iter().count(), 1);
+}
+
+/// `Reject` backpressure: a producer that outruns the shard worker (a tiny
+/// 4-slot mailbox against a full fuse per reading on the consumer side)
+/// has readings refused — and counted — instead of buffered without bound.
 #[test]
 fn reject_backpressure_refuses_readings_when_a_mailbox_fills() {
     let mut reg = SpecRegistry::new();
@@ -150,29 +208,29 @@ fn reject_backpressure_refuses_readings_when_a_mailbox_fills() {
         },
         Arc::new(reg),
     );
-    // A single-module session: every reading completes a round and emits a
-    // result. The sink holds one result, then blocks the shard worker.
-    let (sink, results) = channel::bounded::<Message>(1);
+    let (sink, results) = channel::unbounded::<Message>();
     service
         .open_session(1, 1, &SpecSource::Named("avoc".into()), sink)
         .expect("open");
 
+    // Enqueueing a reading is far cheaper than fusing one, so a tight feed
+    // loop keeps the 4-slot mailbox pinned at capacity.
     let mut rejected = 0u64;
-    for round in 0..200u64 {
+    for round in 0..2000u64 {
         if service.feed(1, ModuleId::new(0), round, 20.0).is_err() {
             rejected += 1;
         }
     }
     assert!(
         rejected > 0,
-        "a 4-slot mailbox must reject under a wedged shard"
+        "a 4-slot mailbox must reject when the producer outruns the worker"
     );
 
-    // Unwedge: dropping the receiver turns the shard's sink sends into
-    // no-ops, letting it drain the mailbox and exit cleanly.
-    drop(results);
     let snap = service.drain();
     assert_eq!(snap.readings_dropped, rejected);
+    // Everything admitted was fused (one round per surviving reading).
+    assert_eq!(snap.rounds_fused + rejected, 2000);
+    assert_eq!(results.try_iter().count() as u64, snap.rounds_fused);
     assert!(snap.shard_queue_high_water[0] >= 3);
 }
 
@@ -191,23 +249,24 @@ fn drop_oldest_backpressure_sheds_stale_readings() {
         },
         Arc::new(reg),
     );
-    let (sink, results) = channel::bounded::<Message>(1);
+    let (sink, results) = channel::unbounded::<Message>();
     service
         .open_session(1, 1, &SpecSource::Named("avoc".into()), sink)
         .expect("open");
-    for round in 0..200u64 {
+    for round in 0..2000u64 {
         service
             .feed(1, ModuleId::new(0), round, 20.0)
             .expect("DropOldest never refuses");
     }
-    drop(results);
     let snap = service.drain();
-    // Shedding must never hit the queued `Open` control command.
+    // Shedding pops only from the data mailbox; the `Open` lives on the
+    // control channel and can never be displaced by a reading flood.
     assert_eq!(snap.sessions_opened, 1);
     assert!(
         snap.readings_dropped > 0,
         "old readings must have been shed"
     );
     // Everything not shed was fused (one round per surviving reading).
-    assert_eq!(snap.rounds_fused + snap.readings_dropped, 200);
+    assert_eq!(snap.rounds_fused + snap.readings_dropped, 2000);
+    assert_eq!(results.try_iter().count() as u64, snap.rounds_fused);
 }
