@@ -1,0 +1,152 @@
+//! The fusion hot path under Criterion: rounds/sec through a single engine
+//! (`submit_ref`, no per-round copies) and through the serve path at 1 and
+//! 16 sessions fed with batched frames.
+//!
+//! A counting global allocator rides along; each benchmark prints its
+//! measured allocations per fused round after timing, so a regression that
+//! reintroduces per-round heap traffic is visible right next to the
+//! latency it costs. Steady-state `submit_ref` should report 0.
+
+use avoc_core::{ModuleId, Round};
+use avoc_net::{BatchReading, Message, SpecSource};
+use avoc_serve::{ServeConfig, SpecRegistry, VoterService};
+use avoc_vdx::{build_engine, VdxSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbeam::channel::{self, Receiver};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const MODULES: u32 = 3;
+
+/// The steady-state engine path alone: prebuilt rounds, `submit_ref`, no
+/// result copies. This is the loop the scratch buffers exist for.
+fn bench_engine_submit_ref(c: &mut Criterion) {
+    let cfg = avoc_bench::Fig6Config::smoke();
+    let rounds: Vec<Round> = cfg.faulty_trace().iter_rounds().collect();
+    let mut engine = build_engine(&VdxSpec::avoc()).expect("avoc spec builds");
+    for r in &rounds {
+        let _ = engine.submit_ref(r); // warm-up: bootstrap + capacity growth
+    }
+
+    let mut group = c.benchmark_group("hotpath");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let mut i = 0usize;
+    let mut fused = 0u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    group.bench_function("engine_submit_ref", |b| {
+        b.iter(|| {
+            let r = &rounds[i % rounds.len()];
+            i += 1;
+            fused += 1;
+            black_box(engine.submit_ref(black_box(r)).is_ok());
+        });
+    });
+    let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    eprintln!(
+        "engine_submit_ref: {allocated} allocations over {fused} fused rounds \
+         ({:.4} alloc/round)",
+        allocated as f64 / fused as f64
+    );
+    group.finish();
+}
+
+fn open_sessions(service: &VoterService, n: u64) -> Vec<Receiver<Message>> {
+    (0..n)
+        .map(|session| {
+            let (tx, rx) = channel::bounded(64);
+            service
+                .open_session(session, MODULES, &SpecSource::Named("avoc".into()), tx)
+                .expect("open session");
+            rx
+        })
+        .collect()
+}
+
+/// The serve path fed through `feed_batch`: one frame's worth of readings
+/// per session per iteration instead of one dispatch per reading.
+fn bench_serve_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_serve_batched");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &sessions in &[1u64, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sessions),
+            &sessions,
+            |b, &sessions| {
+                let mut registry = SpecRegistry::new();
+                registry.insert("avoc", VdxSpec::avoc());
+                let service = VoterService::start(ServeConfig::default(), Arc::new(registry));
+                let sinks = open_sessions(&service, sessions);
+                let mut round = 0u64;
+                let mut batch = Vec::with_capacity(MODULES as usize);
+                let mut fused = 0u64;
+                let before = ALLOCATIONS.load(Ordering::Relaxed);
+                b.iter(|| {
+                    batch.clear();
+                    for m in 0..MODULES {
+                        batch.push(BatchReading {
+                            module: ModuleId::new(m),
+                            round,
+                            value: 20.0 + 0.1 * f64::from(m),
+                        });
+                    }
+                    for session in 0..sessions {
+                        service.feed_batch(session, &batch).expect("feed_batch");
+                    }
+                    // Waiting for every result makes the iteration measure
+                    // fused throughput, not enqueue throughput.
+                    for rx in &sinks {
+                        black_box(rx.recv().expect("result"));
+                    }
+                    round += 1;
+                    fused += sessions;
+                });
+                let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+                eprintln!(
+                    "serve_batched/{sessions}: {allocated} allocations over {fused} fused \
+                     rounds ({:.2} alloc/round, includes mailbox + result frames)",
+                    allocated as f64 / fused as f64
+                );
+                drop(sinks);
+                drop(service);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_submit_ref, bench_serve_batched);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! The fusion hot-path benchmark behind `BENCH_fusion.json`:
+//!
+//! 1. **Roster replay** — the Fig. 6 roster over the 10 000-round faulty
+//!    trace, serial vs `std::thread::scope` parallel, verifying the two are
+//!    bit-identical before timing is trusted. The speedup column is
+//!    wall-clock and therefore bounded by the host's core count (reported
+//!    alongside it); on a single-core host it degenerates to ~1×.
+//! 2. **Steady-state fuse** — one AVOC engine driven through prebuilt
+//!    rounds via `submit_ref`, reporting p50/p99 fuse latency and, through
+//!    a counting global allocator, heap allocations per fused round (the
+//!    zero the scratch-buffer work is accountable to).
+//!
+//! ```text
+//! cargo run -p avoc-bench --release --bin bench_fusion -- [--quick] [--out PATH]
+//! ```
+
+use avoc_bench::replay::{replay_parallel, replay_serial, replays_bit_identical};
+use avoc_bench::Fig6Config;
+use avoc_core::Round;
+use avoc_vdx::{build_engine, VdxSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation (alloc, alloc_zeroed, realloc) so the
+/// steady-state loop can assert it performs none. Lives in the binary: the
+/// workspace libraries forbid `unsafe`, and only the measurement harness
+/// needs an allocator hook.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+struct ReplayNumbers {
+    rounds_fused: u64,
+    serial_secs: f64,
+    parallel_secs: f64,
+    bit_identical: bool,
+}
+
+fn replay_numbers(cfg: &Fig6Config) -> ReplayNumbers {
+    let trace = cfg.faulty_trace();
+    let roster = cfg.roster().len() as u64;
+
+    let start = Instant::now();
+    let serial = replay_serial(cfg, &trace);
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = replay_parallel(cfg, &trace);
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    ReplayNumbers {
+        rounds_fused: roster * trace.rounds() as u64,
+        serial_secs,
+        parallel_secs,
+        bit_identical: replays_bit_identical(&serial, &parallel),
+    }
+}
+
+struct HotPathNumbers {
+    rounds: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    allocations: u64,
+}
+
+/// Drives one AVOC engine over prebuilt rounds and measures the fuse loop
+/// alone: rounds are materialised and the latency buffer reserved *before*
+/// the allocation snapshot, so the only allocator traffic the window can
+/// see is the engine's own.
+fn hot_path_numbers(cfg: &Fig6Config) -> HotPathNumbers {
+    let trace = cfg.faulty_trace();
+    let rounds: Vec<Round> = trace.iter_rounds().collect();
+    let mut engine = build_engine(&VdxSpec::avoc()).expect("avoc spec builds");
+
+    // Warm-up: bootstrap fires, scratch buffers and the dense history reach
+    // their steady-state capacity.
+    let warmup = rounds.len().min(256);
+    for r in &rounds[..warmup] {
+        let _ = engine.submit_ref(r);
+    }
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(rounds.len());
+    let before = allocations();
+    for r in &rounds {
+        let t = Instant::now();
+        let _ = engine.submit_ref(r);
+        latencies.push(t.elapsed().as_nanos() as u64);
+    }
+    let allocated = allocations() - before;
+
+    latencies.sort_unstable();
+    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    HotPathNumbers {
+        rounds: rounds.len() as u64,
+        p50_ns: pick(0.50),
+        p99_ns: pick(0.99),
+        allocations: allocated,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_fusion.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out takes a path").clone();
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = if quick {
+        Fig6Config {
+            rounds: 1_000,
+            ..Fig6Config::default()
+        }
+    } else {
+        Fig6Config::default()
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("replaying the roster over {} rounds ...", cfg.rounds);
+    let replay = replay_numbers(&cfg);
+    if !replay.bit_identical {
+        eprintln!("FATAL: parallel replay diverged from serial");
+        std::process::exit(1);
+    }
+    eprintln!("measuring the steady-state fuse path ...");
+    let hot = hot_path_numbers(&cfg);
+
+    let serial_rps = replay.rounds_fused as f64 / replay.serial_secs;
+    let parallel_rps = replay.rounds_fused as f64 / replay.parallel_secs;
+    let speedup = replay.serial_secs / replay.parallel_secs;
+    let allocs_per_round = hot.allocations as f64 / hot.rounds as f64;
+
+    let json = format!(
+        "{{\n  \"config\": {{\"rounds\": {rounds}, \"quick\": {quick}, \"cores\": {cores}}},\n  \
+         \"replay\": {{\n    \"rounds_fused\": {fused},\n    \"serial_rounds_per_sec\": {srps:.1},\n    \
+         \"parallel_rounds_per_sec\": {prps:.1},\n    \"parallel_speedup\": {speedup:.2},\n    \
+         \"bit_identical\": true\n  }},\n  \
+         \"hot_path\": {{\n    \"rounds\": {hrounds},\n    \"fuse_p50_ns\": {p50},\n    \
+         \"fuse_p99_ns\": {p99},\n    \"allocations\": {allocs},\n    \
+         \"allocations_per_round\": {apr}\n  }}\n}}\n",
+        rounds = cfg.rounds,
+        fused = replay.rounds_fused,
+        srps = serial_rps,
+        prps = parallel_rps,
+        hrounds = hot.rounds,
+        p50 = hot.p50_ns,
+        p99 = hot.p99_ns,
+        allocs = hot.allocations,
+        apr = allocs_per_round,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_fusion.json");
+    print!("{json}");
+    eprintln!(
+        "serial {serial_rps:.0} rounds/s, parallel {parallel_rps:.0} rounds/s \
+         ({speedup:.2}x on {cores} core(s)); \
+         fuse p50 {p50} ns p99 {p99} ns, {apr} alloc/round -> {out}",
+        p50 = hot.p50_ns,
+        p99 = hot.p99_ns,
+        apr = allocs_per_round,
+    );
+    if allocs_per_round > 0.0 {
+        eprintln!("WARNING: steady-state fuse path allocated");
+        std::process::exit(1);
+    }
+}

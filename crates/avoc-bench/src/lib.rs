@@ -27,6 +27,8 @@ use avoc_core::{
 };
 use avoc_sim::{FaultInjector, FaultKind, LightScenario, RecordedTrace};
 
+pub mod replay;
+
 /// Configuration of the UC-1 (Fig. 6) experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig6Config {

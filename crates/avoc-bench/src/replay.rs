@@ -1,0 +1,124 @@
+//! Roster replay: run every Fig. 6 algorithm over one trace, serially or
+//! fanned out across threads.
+//!
+//! The parallel runner exists for wall-clock, not for different answers:
+//! each algorithm's replay is an independent deterministic computation (the
+//! trace is generated once from the experiment seed and shared read-only,
+//! and every voter is constructed fresh inside its worker), so the parallel
+//! output is bit-identical to the serial one — a property the test suite
+//! pins down and `bench_fusion` re-verifies on every run.
+
+use crate::{run_voter, Fig6Config};
+use avoc_sim::RecordedTrace;
+
+/// One algorithm's replay over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayResult {
+    /// Roster name of the algorithm (`avg`, `standard`, … `avoc`).
+    pub name: &'static str,
+    /// Per-round outputs; `None` where the voter errored.
+    pub outputs: Vec<Option<f64>>,
+}
+
+/// The roster names, in roster order (the order both runners report in).
+pub fn roster_names(cfg: &Fig6Config) -> Vec<&'static str> {
+    cfg.roster().into_iter().map(|(n, _)| n).collect()
+}
+
+/// Replays every roster algorithm over `trace`, one after another.
+pub fn replay_serial(cfg: &Fig6Config, trace: &RecordedTrace) -> Vec<ReplayResult> {
+    cfg.roster()
+        .into_iter()
+        .map(|(name, mut voter)| ReplayResult {
+            name,
+            outputs: run_voter(voter.as_mut(), trace),
+        })
+        .collect()
+}
+
+/// Replays every roster algorithm over `trace` on scoped threads, one
+/// worker per algorithm, returning results in roster order.
+///
+/// Each worker builds its own voter from `cfg` (fresh history, same
+/// configuration the serial runner uses) and reads the shared trace, so the
+/// outputs are bit-identical to [`replay_serial`] — threads change when the
+/// work happens, never what it computes.
+pub fn replay_parallel(cfg: &Fig6Config, trace: &RecordedTrace) -> Vec<ReplayResult> {
+    let names = roster_names(cfg);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = names
+            .iter()
+            .map(|&name| {
+                scope.spawn(move || ReplayResult {
+                    name,
+                    outputs: run_voter(cfg.voter(name).as_mut(), trace),
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay worker"))
+            .collect()
+    })
+}
+
+/// `true` when two replays agree bit-for-bit: same roster order, and every
+/// output pair has identical f64 bits (`NaN`s compare equal to themselves,
+/// `0.0` and `-0.0` do not — stricter than `==`).
+pub fn replays_bit_identical(a: &[ReplayResult], b: &[ReplayResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.name == y.name
+                && x.outputs.len() == y.outputs.len()
+                && x.outputs.iter().zip(&y.outputs).all(|(p, q)| match (p, q) {
+                    (Some(u), Some(v)) => u.to_bits() == v.to_bits(),
+                    (None, None) => true,
+                    _ => false,
+                })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_replay_is_bit_identical_to_serial() {
+        let cfg = Fig6Config::smoke();
+        for trace in [cfg.clean_trace(), cfg.faulty_trace()] {
+            let serial = replay_serial(&cfg, &trace);
+            let parallel = replay_parallel(&cfg, &trace);
+            assert!(
+                replays_bit_identical(&serial, &parallel),
+                "thread-scoped replay must not change a single bit"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_covers_the_whole_roster_and_trace() {
+        let cfg = Fig6Config::smoke();
+        let trace = cfg.clean_trace();
+        let results = replay_serial(&cfg, &trace);
+        assert_eq!(
+            results.iter().map(|r| r.name).collect::<Vec<_>>(),
+            roster_names(&cfg)
+        );
+        assert!(results.iter().all(|r| r.outputs.len() == trace.rounds()));
+    }
+
+    #[test]
+    fn bit_identity_check_is_strict() {
+        let a = vec![ReplayResult {
+            name: "avg",
+            outputs: vec![Some(0.0)],
+        }];
+        let mut b = a.clone();
+        assert!(replays_bit_identical(&a, &b));
+        b[0].outputs[0] = Some(-0.0);
+        assert!(
+            !replays_bit_identical(&a, &b),
+            "-0.0 differs from 0.0 bitwise"
+        );
+    }
+}

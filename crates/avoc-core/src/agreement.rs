@@ -105,34 +105,61 @@ impl Default for AgreementParams {
 ///
 /// Row `i`, column `j` holds the score between candidates `i` and `j`; the
 /// diagonal is `1.0`. Used by the Hybrid voter's agreement-based weights.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AgreementMatrix {
     n: usize,
     scores: Vec<f64>,
 }
 
 impl AgreementMatrix {
+    /// An empty matrix, ready to be filled in place by
+    /// [`AgreementMatrix::soft_in_place`] / [`AgreementMatrix::binary_in_place`].
+    pub fn empty() -> Self {
+        AgreementMatrix {
+            n: 0,
+            scores: Vec::new(),
+        }
+    }
+
     /// Computes the soft-score matrix for `values`.
     pub fn soft(params: &AgreementParams, values: &[f64]) -> Self {
-        Self::build(values, |a, b| params.soft_score(a, b))
+        let mut m = Self::empty();
+        m.soft_in_place(params, values);
+        m
     }
 
     /// Computes the binary-score matrix for `values`.
     pub fn binary(params: &AgreementParams, values: &[f64]) -> Self {
-        Self::build(values, |a, b| params.binary_score(a, b))
+        let mut m = Self::empty();
+        m.binary_in_place(params, values);
+        m
     }
 
-    fn build(values: &[f64], score: impl Fn(f64, f64) -> f64) -> Self {
+    /// Recomputes this matrix as the soft-score matrix for `values`, reusing
+    /// the existing buffer — the hot-path variant of [`AgreementMatrix::soft`]
+    /// that only allocates while the candidate count is still growing.
+    pub fn soft_in_place(&mut self, params: &AgreementParams, values: &[f64]) {
+        self.fill(values, |a, b| params.soft_score(a, b));
+    }
+
+    /// Recomputes this matrix as the binary-score matrix for `values`,
+    /// reusing the existing buffer.
+    pub fn binary_in_place(&mut self, params: &AgreementParams, values: &[f64]) {
+        self.fill(values, |a, b| params.binary_score(a, b));
+    }
+
+    fn fill(&mut self, values: &[f64], score: impl Fn(f64, f64) -> f64) {
         let n = values.len();
-        let mut scores = vec![1.0; n * n];
+        self.n = n;
+        self.scores.clear();
+        self.scores.resize(n * n, 1.0);
         for i in 0..n {
             for j in (i + 1)..n {
                 let s = score(values[i], values[j]);
-                scores[i * n + j] = s;
-                scores[j * n + i] = s;
+                self.scores[i * n + j] = s;
+                self.scores[j * n + i] = s;
             }
         }
-        AgreementMatrix { n, scores }
     }
 
     /// Number of candidates.
@@ -268,6 +295,23 @@ mod tests {
         let p = AgreementParams::paper_default();
         let m = AgreementMatrix::soft(&p, &[]);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn in_place_rebuild_matches_fresh_build() {
+        let p = AgreementParams::paper_default();
+        let mut reused = AgreementMatrix::empty();
+        // Shrinking then growing must fully overwrite stale scores.
+        for values in [
+            &[18.0, 18.1, 25.0, 18.2][..],
+            &[1.0, 2.0][..],
+            &[18.0, 18.05, 18.1][..],
+        ] {
+            reused.soft_in_place(&p, values);
+            assert_eq!(reused, AgreementMatrix::soft(&p, values));
+            reused.binary_in_place(&p, values);
+            assert_eq!(reused, AgreementMatrix::binary(&p, values));
+        }
     }
 
     #[test]

@@ -3,9 +3,7 @@
 //! to "on the first round until a historical record is established or when
 //! the weights become 0".
 
-use super::common;
 use super::{Verdict, Voter};
-use crate::collation::{collate, Collation};
 use crate::error::VoteError;
 use crate::round::Round;
 
@@ -40,29 +38,51 @@ impl Voter for AverageVoter {
     }
 
     fn vote(&mut self, round: &Round) -> Result<Verdict, VoteError> {
-        let cand = common::candidates(round)?;
-        let weights = vec![1.0; cand.len()];
-        let values: Vec<f64> = cand.iter().map(|(_, v)| *v).collect();
-        let output =
-            collate(Collation::WeightedMean, &values, &weights).expect("uniform positive weights");
+        let mut out = Verdict::empty();
+        self.vote_into(round, &mut out)?;
+        Ok(out)
+    }
+
+    fn vote_into(&mut self, round: &Round, out: &mut Verdict) -> Result<(), VoteError> {
+        // Single streaming pass instead of collecting candidate vectors:
+        // the plain average needs no per-candidate state at all.
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for b in &round.ballots {
+            if let Some(v) = &b.value {
+                match v.as_number() {
+                    Some(x) => {
+                        sum += x;
+                        n += 1;
+                    }
+                    None => {
+                        return Err(VoteError::TypeMismatch {
+                            expected: "number",
+                            got: v.kind(),
+                        })
+                    }
+                }
+            }
+        }
+        if n == 0 {
+            return Err(VoteError::EmptyRound);
+        }
+        let output = sum / n as f64;
         // Confidence: with uniform weights this is the fraction of candidates
         // within the default agreement band of the mean.
-        let confidence = common::weighted_confidence(
-            &crate::agreement::AgreementParams::paper_default(),
-            &cand,
-            &weights,
-            output,
-        );
-        Ok(Verdict {
-            value: output.into(),
-            weights: cand
-                .iter()
-                .map(|(m, _)| (*m, 1.0 / cand.len() as f64))
-                .collect(),
-            excluded: Vec::new(),
-            confidence,
-            bootstrapped: false,
-        })
+        let params = crate::agreement::AgreementParams::paper_default();
+        let agreeing = round
+            .present_numbers()
+            .filter(|&(_, v)| params.binary_score(v, output) > 0.0)
+            .count();
+        out.value = output.into();
+        out.weights.clear();
+        out.weights
+            .extend(round.present_numbers().map(|(m, _)| (m, 1.0 / n as f64)));
+        out.excluded.clear();
+        out.confidence = agreeing as f64 / n as f64;
+        out.bootstrapped = false;
+        Ok(())
     }
 }
 

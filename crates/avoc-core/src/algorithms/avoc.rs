@@ -74,14 +74,16 @@ impl<S: HistoryStore> AvocVoter<S> {
     /// paper's "all records are 1") or every record has collapsed to `0`
     /// (a system failure or extreme data spike).
     pub fn bootstrap_pending(&self, round: &Round) -> bool {
-        let snapshot = self.inner.histories();
-        let lookup = |m: ModuleId| snapshot.iter().find(|(mm, _)| *mm == m).map(|(_, h)| *h);
+        // One keyed store lookup per ballot — not a linear scan over a
+        // freshly allocated snapshot, which made this check O(n²) and put
+        // an allocation in front of every single vote.
+        let store = self.inner.store();
         let mut any = false;
         let mut all_new = true;
         let mut all_zero = true;
         for ballot in &round.ballots {
             any = true;
-            match lookup(ballot.module) {
+            match store.get(ballot.module) {
                 None => all_zero = false, // unrecorded ≠ collapsed
                 Some(h) => {
                     all_new = false;
@@ -101,13 +103,20 @@ impl<S: HistoryStore + Send> Voter for AvocVoter<S> {
     }
 
     fn vote(&mut self, round: &Round) -> Result<Verdict, VoteError> {
+        let mut out = Verdict::empty();
+        self.vote_into(round, &mut out)?;
+        Ok(out)
+    }
+
+    fn vote_into(&mut self, round: &Round, out: &mut Verdict) -> Result<(), VoteError> {
         if !self.bootstrap_pending(round) {
-            let verdict = self.inner.vote_inner(round)?;
-            self.last_output = verdict.number();
-            return Ok(verdict);
+            self.inner.vote_inner_into(round, out)?;
+            self.last_output = out.number();
+            return Ok(());
         }
 
-        // Clustering bootstrap round.
+        // Clustering bootstrap round — fires once per (re)start, so its
+        // allocations are off the steady-state hot path.
         let cand = common::candidates(round)?;
         let values: Vec<f64> = cand.iter().map(|(_, v)| *v).collect();
         let verdict = cluster_vote(self.inner.config(), &cand, &values, self.last_output)?;
@@ -127,7 +136,8 @@ impl<S: HistoryStore + Send> Voter for AvocVoter<S> {
         }
 
         self.last_output = verdict.number();
-        Ok(verdict)
+        *out = verdict;
+        Ok(())
     }
 
     fn histories(&self) -> Vec<(ModuleId, f64)> {
@@ -277,5 +287,43 @@ mod tests {
         let v = AvocVoter::with_defaults();
         assert_eq!(v.name(), "avoc");
         assert!(v.is_stateful());
+    }
+
+    #[test]
+    fn bootstrap_pending_scales_to_many_modules() {
+        // Regression for the O(n²) snapshot scan: with hundreds of modules
+        // the keyed lookup must stay correct for all three regimes (fresh,
+        // mixed, collapsed).
+        let n = 512u32;
+        let values: Vec<f64> = (0..n).map(|i| 18.0 + (i % 7) as f64 * 0.01).collect();
+        let round = Round::from_numbers(0, &values);
+
+        let mut fresh = AvocVoter::with_defaults();
+        assert!(fresh.bootstrap_pending(&round), "fresh set must bootstrap");
+        fresh.vote(&round).unwrap();
+        assert!(
+            !fresh.bootstrap_pending(&Round::new(1, round.ballots.clone())),
+            "seeded records must stop bootstrapping"
+        );
+
+        let collapsed = AvocVoter::new(
+            VoterConfig::default().with_collation(Collation::MeanNearestNeighbor),
+            MemoryHistory::with_records((0..n).map(|i| (m(i), 0.0))),
+        );
+        assert!(
+            collapsed.bootstrap_pending(&round),
+            "all-zero records must bootstrap"
+        );
+
+        let mut mixed_records: Vec<(ModuleId, f64)> = (0..n).map(|i| (m(i), 0.0)).collect();
+        mixed_records[300].1 = 0.7;
+        let mixed = AvocVoter::new(
+            VoterConfig::default().with_collation(Collation::MeanNearestNeighbor),
+            MemoryHistory::with_records(mixed_records),
+        );
+        assert!(
+            !mixed.bootstrap_pending(&round),
+            "one live record must veto the bootstrap"
+        );
     }
 }

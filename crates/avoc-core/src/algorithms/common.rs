@@ -1,22 +1,57 @@
 //! Shared plumbing for the history-aware voters.
 
-use crate::agreement::AgreementParams;
+use super::Verdict;
+use crate::agreement::{AgreementMatrix, AgreementParams};
 use crate::error::VoteError;
-use crate::history::{mean_history, HistoryStore};
+use crate::history::HistoryStore;
 use crate::round::{ModuleId, Round};
+use crate::value::Value;
 
 /// Tolerance used when comparing a history value against the mean: a module
 /// exactly *at* the average is not "below average".
 pub(crate) const ELIMINATION_EPS: f64 = 1e-9;
 
+/// Reusable per-voter scratch buffers for the fusion hot path.
+///
+/// Every buffer is cleared and refilled each round; once the candidate count
+/// stops growing, no call that writes only into a `Scratch` touches the
+/// allocator again.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Scratch {
+    /// Numeric candidates of the current round.
+    pub cand: Vec<(ModuleId, f64)>,
+    /// Candidate values, aligned with `cand`.
+    pub values: Vec<f64>,
+    /// Per-candidate history records, aligned with `cand`.
+    pub histories: Vec<f64>,
+    /// Module-Elimination inclusion mask, aligned with `cand`.
+    pub mask: Vec<bool>,
+    /// Per-candidate vote weights, aligned with `cand`.
+    pub weights: Vec<f64>,
+    /// Per-candidate agreement scores driving history updates.
+    pub scores: Vec<f64>,
+    /// Pairwise agreement matrix, rebuilt in place each round.
+    pub matrix: AgreementMatrix,
+}
+
 /// Extracts the numeric candidates of a round, failing on an entirely
 /// missing round.
 pub(crate) fn candidates(round: &Round) -> Result<Vec<(ModuleId, f64)>, VoteError> {
-    let cand = round.numeric_candidates()?;
-    if cand.is_empty() {
+    let mut cand = Vec::new();
+    candidates_into(round, &mut cand)?;
+    Ok(cand)
+}
+
+/// [`candidates`] into a reusable buffer (cleared first).
+pub(crate) fn candidates_into(
+    round: &Round,
+    out: &mut Vec<(ModuleId, f64)>,
+) -> Result<(), VoteError> {
+    round.numeric_candidates_into(out)?;
+    if out.is_empty() {
         Err(VoteError::EmptyRound)
     } else {
-        Ok(cand)
+        Ok(())
     }
 }
 
@@ -28,23 +63,35 @@ pub(crate) fn fetch_histories<S: HistoryStore>(
     cand.iter().map(|(m, _)| store.get_or_init(*m)).collect()
 }
 
-/// The Module-Elimination inclusion mask: a candidate participates when its
-/// history is not strictly below the average history of this round's
-/// candidates.
+/// [`fetch_histories`] into a reusable buffer (cleared first).
+pub(crate) fn fetch_histories_into<S: HistoryStore>(
+    store: &mut S,
+    cand: &[(ModuleId, f64)],
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend(cand.iter().map(|(m, _)| store.get_or_init(*m)));
+}
+
+/// The Module-Elimination inclusion mask, allocating flavour (test-only —
+/// the voters go through [`elimination_mask_into`]).
+#[cfg(test)]
 pub(crate) fn elimination_mask(histories: &[f64]) -> Vec<bool> {
-    match mean_history(
-        &histories
-            .iter()
-            .enumerate()
-            .map(|(i, &h)| (ModuleId::new(i as u32), h))
-            .collect::<Vec<_>>(),
-    ) {
-        None => Vec::new(),
-        Some(mean) => histories
-            .iter()
-            .map(|&h| h >= mean - ELIMINATION_EPS)
-            .collect(),
+    let mut mask = Vec::new();
+    elimination_mask_into(histories, &mut mask);
+    mask
+}
+
+/// The Module-Elimination inclusion mask into a reusable buffer (cleared
+/// first): a candidate participates when its history is not strictly below
+/// the average history of this round's candidates.
+pub(crate) fn elimination_mask_into(histories: &[f64], out: &mut Vec<bool>) {
+    out.clear();
+    if histories.is_empty() {
+        return;
     }
+    let mean = histories.iter().sum::<f64>() / histories.len() as f64;
+    out.extend(histories.iter().map(|&h| h >= mean - ELIMINATION_EPS));
 }
 
 /// Writes updated history records: `h ← update(h, score)` for each candidate.
@@ -88,6 +135,31 @@ pub(crate) fn excluded_modules(cand: &[(ModuleId, f64)], weights: &[f64]) -> Vec
         .filter(|(_, &w)| w <= 0.0)
         .map(|((m, _), _)| *m)
         .collect()
+}
+
+/// Writes a numeric verdict into `out`, reusing its `weights`/`excluded`
+/// buffers — the common tail of every scratch-based [`super::Voter::vote_into`].
+pub(crate) fn fill_verdict(
+    out: &mut Verdict,
+    cand: &[(ModuleId, f64)],
+    weights: &[f64],
+    output: f64,
+    confidence: f64,
+    bootstrapped: bool,
+) {
+    out.value = Value::Number(output);
+    out.weights.clear();
+    out.weights
+        .extend(cand.iter().zip(weights).map(|((m, _), &w)| (*m, w)));
+    out.excluded.clear();
+    out.excluded.extend(
+        cand.iter()
+            .zip(weights)
+            .filter(|(_, &w)| w <= 0.0)
+            .map(|((m, _), _)| *m),
+    );
+    out.confidence = confidence;
+    out.bootstrapped = bootstrapped;
 }
 
 #[cfg(test)]

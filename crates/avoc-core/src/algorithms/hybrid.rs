@@ -11,7 +11,6 @@
 
 use super::common;
 use super::{Verdict, Voter, VoterConfig};
-use crate::agreement::AgreementMatrix;
 use crate::collation::{collate, Collation};
 use crate::error::VoteError;
 use crate::history::{HistoryStore, MemoryHistory};
@@ -35,6 +34,7 @@ use crate::round::{ModuleId, Round};
 pub struct HybridVoter<S: HistoryStore = MemoryHistory> {
     config: VoterConfig,
     store: S,
+    scratch: common::Scratch,
 }
 
 impl HybridVoter<MemoryHistory> {
@@ -51,7 +51,11 @@ impl HybridVoter<MemoryHistory> {
 impl<S: HistoryStore> HybridVoter<S> {
     /// Creates a Hybrid voter over the given history store.
     pub fn new(config: VoterConfig, store: S) -> Self {
-        HybridVoter { config, store }
+        HybridVoter {
+            config,
+            store,
+            scratch: common::Scratch::default(),
+        }
     }
 
     /// The voter's configuration.
@@ -70,48 +74,69 @@ impl<S: HistoryStore> HybridVoter<S> {
         &mut self.store
     }
 
-    /// Runs one Hybrid round. Shared with [`super::AvocVoter`], which layers
-    /// the clustering bootstrap on top.
-    pub(crate) fn vote_inner(&mut self, round: &Round) -> Result<Verdict, VoteError>
+    /// Runs one Hybrid round into `out`, reusing the voter's scratch
+    /// buffers. Shared with [`super::AvocVoter`], which layers the
+    /// clustering bootstrap on top.
+    pub(crate) fn vote_inner_into(
+        &mut self,
+        round: &Round,
+        out: &mut Verdict,
+    ) -> Result<(), VoteError>
     where
         S: Send,
     {
-        let cand = common::candidates(round)?;
-        let values: Vec<f64> = cand.iter().map(|(_, v)| *v).collect();
+        common::candidates_into(round, &mut self.scratch.cand)?;
+        self.scratch.values.clear();
+        self.scratch
+            .values
+            .extend(self.scratch.cand.iter().map(|(_, v)| *v));
+        let n = self.scratch.values.len();
 
         // §5: "history-based algorithms typically fall back to standard
         // average (or a similar unweighted approach) on the first round
         // until a historical record is established" — no stored record for
         // any candidate means no evidence exists to weight or eliminate by.
         // This is the startup spike AVOC's clustering bootstrap removes.
-        let flat_at_initial = cand.iter().all(|(m, _)| self.store.get(*m).is_none());
-        let histories = common::fetch_histories(&mut self.store, &cand);
+        let store = &self.store;
+        let flat_at_initial = self
+            .scratch
+            .cand
+            .iter()
+            .all(|(m, _)| store.get(*m).is_none());
+        common::fetch_histories_into(
+            &mut self.store,
+            &self.scratch.cand,
+            &mut self.scratch.histories,
+        );
 
-        let weights: Vec<f64> = if flat_at_initial {
-            vec![1.0; values.len()]
+        self.scratch.weights.clear();
+        if flat_at_initial {
+            self.scratch.weights.resize(n, 1.0);
         } else {
             // ME step: below-average records are eliminated from the round.
-            let mask = common::elimination_mask(&histories);
+            common::elimination_mask_into(&self.scratch.histories, &mut self.scratch.mask);
 
             // Agreement-based weights among the survivors.
-            let matrix = AgreementMatrix::soft(&self.config.agreement, &values);
-            let mut weights: Vec<f64> = (0..values.len())
-                .map(|i| {
-                    if mask[i] {
-                        matrix.peer_support_among(i, &mask)
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
+            self.scratch
+                .matrix
+                .soft_in_place(&self.config.agreement, &self.scratch.values);
+            for i in 0..n {
+                let w = if self.scratch.mask[i] {
+                    self.scratch
+                        .matrix
+                        .peer_support_among(i, &self.scratch.mask)
+                } else {
+                    0.0
+                };
+                self.scratch.weights.push(w);
+            }
             // A single surviving candidate has no peers to agree with.
-            if mask.iter().filter(|&&k| k).count() == 1 {
-                if let Some(i) = mask.iter().position(|&k| k) {
-                    weights[i] = 1.0;
+            if self.scratch.mask.iter().filter(|&&k| k).count() == 1 {
+                if let Some(i) = self.scratch.mask.iter().position(|&k| k) {
+                    self.scratch.weights[i] = 1.0;
                 }
             }
-            weights
-        };
+        }
 
         // The flat-history fallback is literally the "standard average":
         // the configured collation only applies once records exist.
@@ -120,39 +145,45 @@ impl<S: HistoryStore> HybridVoter<S> {
         } else {
             self.config.collation
         };
-        let output = match collate(collation, &values, &weights) {
+        let output = match collate(collation, &self.scratch.values, &self.scratch.weights) {
             Some(v) => v,
             // Everyone eliminated or in total disagreement: plain mean.
-            None => values.iter().sum::<f64>() / values.len() as f64,
+            None => self.scratch.values.iter().sum::<f64>() / n as f64,
         };
 
         // Graded agreement with the output drives the records (Sdt step) —
         // for every module, eliminated ones included, so they can recover.
-        let scores: Vec<f64> = values
-            .iter()
-            .map(|&v| self.config.agreement.soft_score(v, output))
-            .collect();
+        self.scratch.scores.clear();
+        let agreement = self.config.agreement;
+        self.scratch.scores.extend(
+            self.scratch
+                .values
+                .iter()
+                .map(|&v| agreement.soft_score(v, output)),
+        );
         common::apply_updates(
             &mut self.store,
             self.config.update,
-            &cand,
-            &histories,
-            &scores,
+            &self.scratch.cand,
+            &self.scratch.histories,
+            &self.scratch.scores,
         );
 
-        let confidence =
-            common::weighted_confidence(&self.config.agreement, &cand, &weights, output);
-        Ok(Verdict {
-            value: output.into(),
-            excluded: common::excluded_modules(&cand, &weights),
-            weights: cand
-                .iter()
-                .zip(&weights)
-                .map(|((m, _), &w)| (*m, w))
-                .collect(),
+        let confidence = common::weighted_confidence(
+            &self.config.agreement,
+            &self.scratch.cand,
+            &self.scratch.weights,
+            output,
+        );
+        common::fill_verdict(
+            out,
+            &self.scratch.cand,
+            &self.scratch.weights,
+            output,
             confidence,
-            bootstrapped: false,
-        })
+            false,
+        );
+        Ok(())
     }
 }
 
@@ -162,7 +193,13 @@ impl<S: HistoryStore + Send> Voter for HybridVoter<S> {
     }
 
     fn vote(&mut self, round: &Round) -> Result<Verdict, VoteError> {
-        self.vote_inner(round)
+        let mut out = Verdict::empty();
+        self.vote_inner_into(round, &mut out)?;
+        Ok(out)
+    }
+
+    fn vote_into(&mut self, round: &Round, out: &mut Verdict) -> Result<(), VoteError> {
+        self.vote_inner_into(round, out)
     }
 
     fn histories(&self) -> Vec<(ModuleId, f64)> {

@@ -101,6 +101,18 @@ pub struct Verdict {
 }
 
 impl Verdict {
+    /// A placeholder verdict whose buffers are empty (and unallocated),
+    /// meant to be filled in place via [`Voter::vote_into`].
+    pub fn empty() -> Self {
+        Verdict {
+            value: Value::Number(f64::NAN),
+            weights: Vec::new(),
+            excluded: Vec::new(),
+            confidence: 0.0,
+            bootstrapped: false,
+        }
+    }
+
     /// The scalar output, when the vote was numeric.
     pub fn number(&self) -> Option<f64> {
         self.value.as_number()
@@ -127,6 +139,22 @@ pub trait Voter: Send {
     /// job.
     fn vote(&mut self, round: &Round) -> Result<Verdict, VoteError>;
 
+    /// Fuses one round *into* a caller-owned verdict, reusing its buffers.
+    ///
+    /// This is the allocation-free hot path: voters with per-instance
+    /// scratch buffers override it so a steady-state round performs no heap
+    /// allocation at all. The default delegates to [`Voter::vote`].
+    ///
+    /// On error, `out` is unspecified (it may hold a stale verdict).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Voter::vote`].
+    fn vote_into(&mut self, round: &Round, out: &mut Verdict) -> Result<(), VoteError> {
+        *out = self.vote(round)?;
+        Ok(())
+    }
+
     /// Current historical records, ascending by module. Empty for stateless
     /// voters.
     fn histories(&self) -> Vec<(ModuleId, f64)> {
@@ -150,6 +178,9 @@ impl Voter for Box<dyn Voter> {
     }
     fn vote(&mut self, round: &Round) -> Result<Verdict, VoteError> {
         (**self).vote(round)
+    }
+    fn vote_into(&mut self, round: &Round, out: &mut Verdict) -> Result<(), VoteError> {
+        (**self).vote_into(round, out)
     }
     fn histories(&self) -> Vec<(ModuleId, f64)> {
         (**self).histories()

@@ -33,6 +33,7 @@ use crate::round::{ModuleId, Round};
 pub struct ModuleEliminationVoter<S: HistoryStore = MemoryHistory> {
     config: VoterConfig,
     store: S,
+    scratch: common::Scratch,
 }
 
 impl ModuleEliminationVoter<MemoryHistory> {
@@ -45,7 +46,11 @@ impl ModuleEliminationVoter<MemoryHistory> {
 impl<S: HistoryStore> ModuleEliminationVoter<S> {
     /// Creates an ME voter over the given history store.
     pub fn new(config: VoterConfig, store: S) -> Self {
-        ModuleEliminationVoter { config, store }
+        ModuleEliminationVoter {
+            config,
+            store,
+            scratch: common::Scratch::default(),
+        }
     }
 
     /// The voter's configuration.
@@ -60,50 +65,76 @@ impl<S: HistoryStore + Send> Voter for ModuleEliminationVoter<S> {
     }
 
     fn vote(&mut self, round: &Round) -> Result<Verdict, VoteError> {
-        let cand = common::candidates(round)?;
-        let values: Vec<f64> = cand.iter().map(|(_, v)| *v).collect();
-        let histories = common::fetch_histories(&mut self.store, &cand);
+        let mut out = Verdict::empty();
+        self.vote_into(round, &mut out)?;
+        Ok(out)
+    }
+
+    fn vote_into(&mut self, round: &Round, out: &mut Verdict) -> Result<(), VoteError> {
+        common::candidates_into(round, &mut self.scratch.cand)?;
+        self.scratch.values.clear();
+        self.scratch
+            .values
+            .extend(self.scratch.cand.iter().map(|(_, v)| *v));
+        common::fetch_histories_into(
+            &mut self.store,
+            &self.scratch.cand,
+            &mut self.scratch.histories,
+        );
 
         // Below-average records are zero-weighted for this round.
-        let mask = common::elimination_mask(&histories);
-        let weights: Vec<f64> = histories
-            .iter()
-            .zip(&mask)
-            .map(|(&h, &keep)| if keep { h } else { 0.0 })
-            .collect();
+        common::elimination_mask_into(&self.scratch.histories, &mut self.scratch.mask);
+        self.scratch.weights.clear();
+        self.scratch.weights.extend(
+            self.scratch
+                .histories
+                .iter()
+                .zip(&self.scratch.mask)
+                .map(|(&h, &keep)| if keep { h } else { 0.0 }),
+        );
 
-        let output = match collate(self.config.collation, &values, &weights) {
+        let output = match collate(
+            self.config.collation,
+            &self.scratch.values,
+            &self.scratch.weights,
+        ) {
             Some(v) => v,
-            None => values.iter().sum::<f64>() / values.len() as f64,
+            None => self.scratch.values.iter().sum::<f64>() / self.scratch.values.len() as f64,
         };
 
         // Every module's record updates — including eliminated ones, so they
         // can rehabilitate by submitting agreeing values.
-        let scores: Vec<f64> = values
-            .iter()
-            .map(|&v| self.config.agreement.binary_score(v, output))
-            .collect();
+        self.scratch.scores.clear();
+        let agreement = self.config.agreement;
+        self.scratch.scores.extend(
+            self.scratch
+                .values
+                .iter()
+                .map(|&v| agreement.binary_score(v, output)),
+        );
         common::apply_updates(
             &mut self.store,
             self.config.update,
-            &cand,
-            &histories,
-            &scores,
+            &self.scratch.cand,
+            &self.scratch.histories,
+            &self.scratch.scores,
         );
 
-        let confidence =
-            common::weighted_confidence(&self.config.agreement, &cand, &weights, output);
-        Ok(Verdict {
-            value: output.into(),
-            excluded: common::excluded_modules(&cand, &weights),
-            weights: cand
-                .iter()
-                .zip(&weights)
-                .map(|((m, _), &w)| (*m, w))
-                .collect(),
+        let confidence = common::weighted_confidence(
+            &self.config.agreement,
+            &self.scratch.cand,
+            &self.scratch.weights,
+            output,
+        );
+        common::fill_verdict(
+            out,
+            &self.scratch.cand,
+            &self.scratch.weights,
+            output,
             confidence,
-            bootstrapped: false,
-        })
+            false,
+        );
+        Ok(())
     }
 
     fn histories(&self) -> Vec<(ModuleId, f64)> {

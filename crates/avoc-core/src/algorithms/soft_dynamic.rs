@@ -31,6 +31,7 @@ use crate::round::{ModuleId, Round};
 pub struct SoftDynamicVoter<S: HistoryStore = MemoryHistory> {
     config: VoterConfig,
     store: S,
+    scratch: common::Scratch,
 }
 
 impl SoftDynamicVoter<MemoryHistory> {
@@ -44,7 +45,11 @@ impl SoftDynamicVoter<MemoryHistory> {
 impl<S: HistoryStore> SoftDynamicVoter<S> {
     /// Creates an Sdt voter over the given history store.
     pub fn new(config: VoterConfig, store: S) -> Self {
-        SoftDynamicVoter { config, store }
+        SoftDynamicVoter {
+            config,
+            store,
+            scratch: common::Scratch::default(),
+        }
     }
 
     /// The voter's configuration.
@@ -59,42 +64,65 @@ impl<S: HistoryStore + Send> Voter for SoftDynamicVoter<S> {
     }
 
     fn vote(&mut self, round: &Round) -> Result<Verdict, VoteError> {
-        let cand = common::candidates(round)?;
-        let values: Vec<f64> = cand.iter().map(|(_, v)| *v).collect();
-        let histories = common::fetch_histories(&mut self.store, &cand);
+        let mut out = Verdict::empty();
+        self.vote_into(round, &mut out)?;
+        Ok(out)
+    }
 
-        let weights: Vec<f64> = histories.clone();
-        let output = match collate(self.config.collation, &values, &weights) {
+    fn vote_into(&mut self, round: &Round, out: &mut Verdict) -> Result<(), VoteError> {
+        common::candidates_into(round, &mut self.scratch.cand)?;
+        self.scratch.values.clear();
+        self.scratch
+            .values
+            .extend(self.scratch.cand.iter().map(|(_, v)| *v));
+        common::fetch_histories_into(
+            &mut self.store,
+            &self.scratch.cand,
+            &mut self.scratch.histories,
+        );
+
+        // The weights are the history records themselves.
+        let output = match collate(
+            self.config.collation,
+            &self.scratch.values,
+            &self.scratch.histories,
+        ) {
             Some(v) => v,
-            None => values.iter().sum::<f64>() / values.len() as f64,
+            None => self.scratch.values.iter().sum::<f64>() / self.scratch.values.len() as f64,
         };
 
         // Graded agreement drives the record update.
-        let scores: Vec<f64> = values
-            .iter()
-            .map(|&v| self.config.agreement.soft_score(v, output))
-            .collect();
+        self.scratch.scores.clear();
+        let agreement = self.config.agreement;
+        self.scratch.scores.extend(
+            self.scratch
+                .values
+                .iter()
+                .map(|&v| agreement.soft_score(v, output)),
+        );
         common::apply_updates(
             &mut self.store,
             self.config.update,
-            &cand,
-            &histories,
-            &scores,
+            &self.scratch.cand,
+            &self.scratch.histories,
+            &self.scratch.scores,
         );
 
-        let confidence =
-            common::weighted_confidence(&self.config.agreement, &cand, &weights, output);
-        Ok(Verdict {
-            value: output.into(),
-            excluded: common::excluded_modules(&cand, &weights),
-            weights: cand
-                .iter()
-                .zip(&weights)
-                .map(|((m, _), &w)| (*m, w))
-                .collect(),
+        let confidence = common::weighted_confidence(
+            &self.config.agreement,
+            &self.scratch.cand,
+            &self.scratch.histories,
+            output,
+        );
+        common::fill_verdict(
+            out,
+            &self.scratch.cand,
+            &self.scratch.histories,
+            output,
             confidence,
-            bootstrapped: false,
-        })
+            false,
+        );
+        Ok(())
     }
 
     fn histories(&self) -> Vec<(ModuleId, f64)> {

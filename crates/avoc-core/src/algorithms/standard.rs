@@ -38,6 +38,7 @@ use crate::round::{ModuleId, Round};
 pub struct StandardVoter<S: HistoryStore = MemoryHistory> {
     config: VoterConfig,
     store: S,
+    scratch: common::Scratch,
 }
 
 impl StandardVoter<MemoryHistory> {
@@ -51,7 +52,11 @@ impl StandardVoter<MemoryHistory> {
 impl<S: HistoryStore> StandardVoter<S> {
     /// Creates a standard voter over the given history store.
     pub fn new(config: VoterConfig, store: S) -> Self {
-        StandardVoter { config, store }
+        StandardVoter {
+            config,
+            store,
+            scratch: common::Scratch::default(),
+        }
     }
 
     /// The voter's configuration.
@@ -71,45 +76,69 @@ impl<S: HistoryStore + Send> Voter for StandardVoter<S> {
     }
 
     fn vote(&mut self, round: &Round) -> Result<Verdict, VoteError> {
-        let cand = common::candidates(round)?;
-        let values: Vec<f64> = cand.iter().map(|(_, v)| *v).collect();
-        let histories = common::fetch_histories(&mut self.store, &cand);
+        let mut out = Verdict::empty();
+        self.vote_into(round, &mut out)?;
+        Ok(out)
+    }
+
+    fn vote_into(&mut self, round: &Round, out: &mut Verdict) -> Result<(), VoteError> {
+        common::candidates_into(round, &mut self.scratch.cand)?;
+        self.scratch.values.clear();
+        self.scratch
+            .values
+            .extend(self.scratch.cand.iter().map(|(_, v)| *v));
+        common::fetch_histories_into(
+            &mut self.store,
+            &self.scratch.cand,
+            &mut self.scratch.histories,
+        );
 
         // History-weighted vote; all-zero history falls back to the plain
         // average (§5: "history-based algorithms typically fall back to
-        // standard average ... when the weights become 0").
-        let weights: Vec<f64> = histories.clone();
-        let output = match collate(self.config.collation, &values, &weights) {
+        // standard average ... when the weights become 0"). The weights
+        // *are* the history records, so the history buffer doubles as the
+        // weight slice.
+        let output = match collate(
+            self.config.collation,
+            &self.scratch.values,
+            &self.scratch.histories,
+        ) {
             Some(v) => v,
-            None => values.iter().sum::<f64>() / values.len() as f64,
+            None => self.scratch.values.iter().sum::<f64>() / self.scratch.values.len() as f64,
         };
 
         // Binary agreement drives the record update.
-        let scores: Vec<f64> = values
-            .iter()
-            .map(|&v| self.config.agreement.binary_score(v, output))
-            .collect();
+        self.scratch.scores.clear();
+        let agreement = self.config.agreement;
+        self.scratch.scores.extend(
+            self.scratch
+                .values
+                .iter()
+                .map(|&v| agreement.binary_score(v, output)),
+        );
         common::apply_updates(
             &mut self.store,
             self.config.update,
-            &cand,
-            &histories,
-            &scores,
+            &self.scratch.cand,
+            &self.scratch.histories,
+            &self.scratch.scores,
         );
 
-        let confidence =
-            common::weighted_confidence(&self.config.agreement, &cand, &weights, output);
-        Ok(Verdict {
-            value: output.into(),
-            excluded: common::excluded_modules(&cand, &weights),
-            weights: cand
-                .iter()
-                .zip(&weights)
-                .map(|((m, _), &w)| (*m, w))
-                .collect(),
+        let confidence = common::weighted_confidence(
+            &self.config.agreement,
+            &self.scratch.cand,
+            &self.scratch.histories,
+            output,
+        );
+        common::fill_verdict(
+            out,
+            &self.scratch.cand,
+            &self.scratch.histories,
+            output,
             confidence,
-            bootstrapped: false,
-        })
+            false,
+        );
+        Ok(())
     }
 
     fn histories(&self) -> Vec<(ModuleId, f64)> {

@@ -5,7 +5,6 @@
 
 use super::common;
 use super::{Verdict, Voter, VoterConfig};
-use crate::agreement::AgreementMatrix;
 use crate::collation::collate;
 use crate::error::VoteError;
 use crate::round::Round;
@@ -31,12 +30,16 @@ use crate::round::Round;
 #[derive(Debug, Clone, Default)]
 pub struct StatelessWeightedVoter {
     config: VoterConfig,
+    scratch: common::Scratch,
 }
 
 impl StatelessWeightedVoter {
     /// Creates a stateless weighted voter.
     pub fn new(config: VoterConfig) -> Self {
-        StatelessWeightedVoter { config }
+        StatelessWeightedVoter {
+            config,
+            scratch: common::Scratch::default(),
+        }
     }
 
     /// The voter's configuration.
@@ -51,34 +54,56 @@ impl Voter for StatelessWeightedVoter {
     }
 
     fn vote(&mut self, round: &Round) -> Result<Verdict, VoteError> {
-        let cand = common::candidates(round)?;
-        let values: Vec<f64> = cand.iter().map(|(_, v)| *v).collect();
-        let matrix = AgreementMatrix::soft(&self.config.agreement, &values);
-        let mut weights: Vec<f64> = (0..values.len()).map(|i| matrix.peer_support(i)).collect();
+        let mut out = Verdict::empty();
+        self.vote_into(round, &mut out)?;
+        Ok(out)
+    }
+
+    fn vote_into(&mut self, round: &Round, out: &mut Verdict) -> Result<(), VoteError> {
+        common::candidates_into(round, &mut self.scratch.cand)?;
+        self.scratch.values.clear();
+        self.scratch
+            .values
+            .extend(self.scratch.cand.iter().map(|(_, v)| *v));
+        self.scratch
+            .matrix
+            .soft_in_place(&self.config.agreement, &self.scratch.values);
+        self.scratch.weights.clear();
+        for i in 0..self.scratch.values.len() {
+            self.scratch
+                .weights
+                .push(self.scratch.matrix.peer_support(i));
+        }
         // A lone candidate has no peers: give it unit weight rather than
         // failing the round.
-        if values.len() == 1 {
-            weights[0] = 1.0;
+        if self.scratch.values.len() == 1 {
+            self.scratch.weights[0] = 1.0;
         }
-        let output = match collate(self.config.collation, &values, &weights) {
+        let output = match collate(
+            self.config.collation,
+            &self.scratch.values,
+            &self.scratch.weights,
+        ) {
             Some(v) => v,
             // Total disagreement: every candidate is its own island. Fall
             // back to the plain mean, mirroring the paper's zero-weight rule.
-            None => values.iter().sum::<f64>() / values.len() as f64,
+            None => self.scratch.values.iter().sum::<f64>() / self.scratch.values.len() as f64,
         };
-        let confidence =
-            common::weighted_confidence(&self.config.agreement, &cand, &weights, output);
-        Ok(Verdict {
-            value: output.into(),
-            excluded: common::excluded_modules(&cand, &weights),
-            weights: cand
-                .iter()
-                .zip(&weights)
-                .map(|((m, _), &w)| (*m, w))
-                .collect(),
+        let confidence = common::weighted_confidence(
+            &self.config.agreement,
+            &self.scratch.cand,
+            &self.scratch.weights,
+            output,
+        );
+        common::fill_verdict(
+            out,
+            &self.scratch.cand,
+            &self.scratch.weights,
+            output,
             confidence,
-            bootstrapped: false,
-        })
+            false,
+        );
+        Ok(())
     }
 }
 

@@ -173,6 +173,36 @@ pub struct VotingEngine {
     stats: EngineStats,
     log: VecDeque<RoundRecord>,
     log_capacity: usize,
+    /// Reusable outcome slot: consecutive voted rounds rewrite the same
+    /// verdict buffers instead of allocating a fresh `RoundResult`.
+    outcome: RoundResult,
+    scratch: EngineScratch,
+}
+
+/// Reusable engine-level scratch for the exclusion pre-pass.
+#[derive(Debug)]
+struct EngineScratch {
+    /// `(ballot index, value)` for the round's numeric ballots.
+    numeric: Vec<(usize, f64)>,
+    /// The numeric values alone, fed to the exclusion policy.
+    values: Vec<f64>,
+    /// Indices (into `numeric`) the policy excluded.
+    excluded: Vec<usize>,
+    /// In-place copy of the round with excluded ballots blanked — replaces
+    /// the `ballots.clone()` the old path paid whenever anything was
+    /// excluded.
+    round: Round,
+}
+
+impl Default for EngineScratch {
+    fn default() -> Self {
+        EngineScratch {
+            numeric: Vec::new(),
+            values: Vec::new(),
+            excluded: Vec::new(),
+            round: Round::new(0, Vec::new()),
+        }
+    }
 }
 
 impl std::fmt::Debug for VotingEngine {
@@ -200,6 +230,10 @@ impl VotingEngine {
             stats: EngineStats::default(),
             log: VecDeque::new(),
             log_capacity: 0,
+            outcome: RoundResult::Skipped {
+                reason: FaultReason::Voter(VoteError::EmptyRound),
+            },
+            scratch: EngineScratch::default(),
         }
     }
 
@@ -264,14 +298,29 @@ impl VotingEngine {
     /// policy is [`FallbackAction::Error`]; otherwise faults are absorbed
     /// into [`RoundResult::Fallback`] / [`RoundResult::Skipped`].
     pub fn submit(&mut self, round: &Round) -> Result<RoundResult, VoteError> {
+        self.submit_ref(round).cloned()
+    }
+
+    /// Submits one round, returning a reference to the engine's reusable
+    /// outcome slot — the allocation-free flavour of [`VotingEngine::submit`].
+    ///
+    /// In steady state (consecutive voted numeric rounds, voter scratch
+    /// warmed up, round log disabled) this performs zero heap allocations:
+    /// the verdict inside the slot is rewritten in place each round.
+    /// The returned reference is valid until the next submission.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`VotingEngine::submit`].
+    pub fn submit_ref(&mut self, round: &Round) -> Result<&RoundResult, VoteError> {
         let result = self.submit_inner(round);
         if self.log_capacity > 0 {
             let record = match &result {
-                Ok(r) => RoundRecord {
+                Ok(()) => RoundRecord {
                     round: round.round,
-                    output: r.value().cloned(),
-                    voted: r.is_voted(),
-                    confidence: match r {
+                    output: self.outcome.value().cloned(),
+                    voted: self.outcome.is_voted(),
+                    confidence: match &self.outcome {
                         RoundResult::Voted(v) => Some(v.confidence),
                         _ => None,
                     },
@@ -288,10 +337,10 @@ impl VotingEngine {
             }
             self.log.push_back(record);
         }
-        result
+        result.map(|()| &self.outcome)
     }
 
-    fn submit_inner(&mut self, round: &Round) -> Result<RoundResult, VoteError> {
+    fn submit_inner(&mut self, round: &Round) -> Result<(), VoteError> {
         self.stats.rounds += 1;
 
         // 1. Quorum.
@@ -313,15 +362,34 @@ impl VotingEngine {
         }
 
         // 2. Exclusion: prune implausible numeric values before the vote.
-        let effective = self.apply_exclusion(round);
-        let round_ref = effective.as_ref().unwrap_or(round);
+        //    When anything was excluded, the pruned round lives in
+        //    `self.scratch.round` (rebuilt in place, not cloned).
+        let pruned = self.apply_exclusion(round);
 
-        // 3. Vote.
-        match self.voter.vote(round_ref) {
-            Ok(verdict) => {
+        // 3. Vote, rewriting the verdict kept inside the outcome slot. When
+        //    the previous round also voted, its buffers are recycled.
+        let verdict = match &mut self.outcome {
+            RoundResult::Voted(v) => v,
+            slot => {
+                *slot = RoundResult::Voted(Verdict::empty());
+                match slot {
+                    RoundResult::Voted(v) => v,
+                    _ => unreachable!("slot was just set to Voted"),
+                }
+            }
+        };
+        let vote_result = if pruned {
+            self.voter.vote_into(&self.scratch.round, verdict)
+        } else {
+            self.voter.vote_into(round, verdict)
+        };
+        match vote_result {
+            Ok(()) => {
                 self.stats.voted += 1;
-                self.last_good = Some(verdict.value.clone());
-                Ok(RoundResult::Voted(verdict))
+                if let RoundResult::Voted(v) = &self.outcome {
+                    self.last_good = Some(v.value.clone());
+                }
+                Ok(())
             }
             Err(VoteError::Tie { candidates }) => self.break_tie(candidates),
             Err(err) => {
@@ -331,32 +399,44 @@ impl VotingEngine {
         }
     }
 
-    /// Turns excluded ballots into missing ones; `None` when nothing was
-    /// excluded (avoids cloning the round on the hot path).
-    fn apply_exclusion(&self, round: &Round) -> Option<Round> {
+    /// Turns excluded ballots into missing ones inside `self.scratch.round`;
+    /// `false` when nothing was excluded (the caller votes on the original
+    /// round). Early-outs without touching the allocator when exclusion is
+    /// disabled, when the round carries no numeric ballots, or when the
+    /// policy excludes nothing.
+    fn apply_exclusion(&mut self, round: &Round) -> bool {
         if self.exclusion == Exclusion::None {
-            return None;
+            return false;
         }
-        let numeric: Vec<(usize, f64)> = round
-            .ballots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, b)| b.value.as_ref().and_then(Value::as_number).map(|v| (i, v)))
-            .collect();
-        let values: Vec<f64> = numeric.iter().map(|(_, v)| *v).collect();
-        let excluded = self.exclusion.excluded_indices(&values);
-        if excluded.is_empty() {
-            return None;
+        let s = &mut self.scratch;
+        s.numeric.clear();
+        s.values.clear();
+        for (i, b) in round.ballots.iter().enumerate() {
+            if let Some(v) = b.value.as_ref().and_then(Value::as_number) {
+                s.numeric.push((i, v));
+                s.values.push(v);
+            }
         }
-        let mut ballots = round.ballots.clone();
-        for &ei in &excluded {
-            let (ballot_idx, _) = numeric[ei];
-            ballots[ballot_idx] = Ballot::missing(ballots[ballot_idx].module);
+        if s.values.is_empty() {
+            // No numeric ballots: nothing a numeric exclusion policy could
+            // prune, so skip the policy entirely.
+            return false;
         }
-        Some(Round::new(round.round, ballots))
+        self.exclusion.excluded_into(&s.values, &mut s.excluded);
+        if s.excluded.is_empty() {
+            return false;
+        }
+        s.round.round = round.round;
+        s.round.ballots.clone_from(&round.ballots);
+        for &ei in &s.excluded {
+            let (ballot_idx, _) = s.numeric[ei];
+            let module = s.round.ballots[ballot_idx].module;
+            s.round.ballots[ballot_idx] = Ballot::missing(module);
+        }
+        true
     }
 
-    fn break_tie(&mut self, candidates: Vec<String>) -> Result<RoundResult, VoteError> {
+    fn break_tie(&mut self, candidates: Vec<String>) -> Result<(), VoteError> {
         let chosen = match self.policy.on_tie {
             TieBreak::Error => {
                 self.stats.errors += 1;
@@ -380,7 +460,8 @@ impl VotingEngine {
                 self.stats.ties_broken += 1;
                 let value = Value::Text(value);
                 self.last_good = Some(value.clone());
-                Ok(RoundResult::TieBroken { value, candidates })
+                self.outcome = RoundResult::TieBroken { value, candidates };
+                Ok(())
             }
             None => {
                 self.stats.errors += 1;
@@ -394,7 +475,7 @@ impl VotingEngine {
         action: FallbackAction,
         reason: FaultReason,
         err: VoteError,
-    ) -> Result<RoundResult, VoteError> {
+    ) -> Result<(), VoteError> {
         match action {
             FallbackAction::Error => {
                 self.stats.errors += 1;
@@ -402,19 +483,19 @@ impl VotingEngine {
             }
             FallbackAction::Skip => {
                 self.stats.skipped += 1;
-                Ok(RoundResult::Skipped { reason })
+                self.outcome = RoundResult::Skipped { reason };
+                Ok(())
             }
-            FallbackAction::LastGood => match &self.last_good {
-                Some(v) => {
+            FallbackAction::LastGood => match self.last_good.clone() {
+                Some(value) => {
                     self.stats.fallbacks += 1;
-                    Ok(RoundResult::Fallback {
-                        value: v.clone(),
-                        reason,
-                    })
+                    self.outcome = RoundResult::Fallback { value, reason };
+                    Ok(())
                 }
                 None => {
                     self.stats.skipped += 1;
-                    Ok(RoundResult::Skipped { reason })
+                    self.outcome = RoundResult::Skipped { reason };
+                    Ok(())
                 }
             },
         }
@@ -626,6 +707,58 @@ mod tests {
         assert!(e.last_good().is_none());
         e.submit(&Round::from_numbers(0, &[2.0, 2.0, 2.0])).unwrap();
         assert_eq!(e.last_good().and_then(Value::as_number), Some(2.0));
+    }
+
+    #[test]
+    fn exclusion_none_short_circuits_without_pruning() {
+        // Exclusion::None must never reach the scratch round: the verdict is
+        // identical to a no-exclusion engine, outlier included.
+        let mut plain = VotingEngine::new(Box::new(MajorityVoter::with_defaults()));
+        let mut none = VotingEngine::new(Box::new(MajorityVoter::with_defaults()))
+            .with_exclusion(Exclusion::None);
+        let round = Round::from_numbers(0, &[18.0, 18.0, 99.0]);
+        let a = plain.submit(&round).unwrap();
+        let b = none.submit(&round).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn non_numeric_rounds_skip_exclusion_scan() {
+        // A text-only round has no numeric ballots: the numeric exclusion
+        // policy must early-out and leave the round untouched rather than
+        // erroring or blanking anything.
+        let mut e = VotingEngine::new(Box::new(MajorityVoter::with_defaults()))
+            .with_exclusion(Exclusion::StdDev(1.0));
+        let round = Round::new(
+            0,
+            vec![
+                crate::round::Ballot::new(ModuleId::new(0), "on"),
+                crate::round::Ballot::new(ModuleId::new(1), "on"),
+                crate::round::Ballot::new(ModuleId::new(2), "off"),
+            ],
+        );
+        let out = e.submit(&round).unwrap();
+        assert_eq!(out.value().and_then(Value::as_text), Some("on"));
+    }
+
+    #[test]
+    fn submit_ref_matches_submit() {
+        // The borrowing hot path and the cloning wrapper must agree round by
+        // round, including exclusion-pruned and fallback rounds.
+        let mut a = engine().with_exclusion(Exclusion::StdDev(1.0));
+        let mut b = engine().with_exclusion(Exclusion::StdDev(1.0));
+        let rounds = [
+            Round::from_numbers(0, &[18.0, 18.1, 17.9, 24.0]),
+            Round::from_numbers(1, &[18.0, 18.1, 17.9, 24.0]),
+            Round::from_sparse_numbers(2, &[Some(18.0), None, None, None]),
+            Round::from_numbers(3, &[18.0, 18.1, 18.05, 17.95]),
+        ];
+        for round in &rounds {
+            let owned = a.submit(round).unwrap();
+            let borrowed = b.submit_ref(round).unwrap();
+            assert_eq!(format!("{owned:?}"), format!("{borrowed:?}"));
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 }
 

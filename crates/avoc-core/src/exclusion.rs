@@ -35,32 +35,43 @@ impl Exclusion {
     /// nothing: a standard deviation over one or two samples cannot single
     /// out an outlier meaningfully.
     pub fn excluded_indices(&self, values: &[f64]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.excluded_into(values, &mut out);
+        out
+    }
+
+    /// Like [`Exclusion::excluded_indices`], but writes into `out` (cleared
+    /// first) so the engine's hot path can reuse one buffer across rounds.
+    pub fn excluded_into(&self, values: &[f64], out: &mut Vec<usize>) {
+        out.clear();
         match *self {
-            Exclusion::None => Vec::new(),
+            Exclusion::None => {}
             Exclusion::StdDev(k) => {
                 if values.len() < 3 || k <= 0.0 {
-                    return Vec::new();
+                    return;
                 }
                 let n = values.len() as f64;
                 let mean = values.iter().sum::<f64>() / n;
                 let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
                 let sd = var.sqrt();
                 if sd == 0.0 {
-                    return Vec::new();
+                    return;
                 }
+                out.extend(
+                    values
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &v)| (v - mean).abs() > k * sd)
+                        .map(|(i, _)| i),
+                );
+            }
+            Exclusion::Range { min, max } => out.extend(
                 values
                     .iter()
                     .enumerate()
-                    .filter(|(_, &v)| (v - mean).abs() > k * sd)
-                    .map(|(i, _)| i)
-                    .collect()
-            }
-            Exclusion::Range { min, max } => values
-                .iter()
-                .enumerate()
-                .filter(|(_, &v)| v < min || v > max)
-                .map(|(i, _)| i)
-                .collect(),
+                    .filter(|(_, &v)| v < min || v > max)
+                    .map(|(i, _)| i),
+            ),
         }
     }
 

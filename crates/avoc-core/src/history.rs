@@ -9,7 +9,7 @@
 //! benches compare them.
 
 use crate::round::ModuleId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The neutral trust value a fresh module starts with.
 pub const INITIAL_HISTORY: f64 = 1.0;
@@ -27,6 +27,26 @@ pub trait HistoryStore: Send {
 
     /// All records in ascending module order.
     fn snapshot(&self) -> Vec<(ModuleId, f64)>;
+
+    /// Writes all records, ascending by module, into `out` (cleared first).
+    ///
+    /// The default delegates to [`HistoryStore::snapshot`]; allocation-aware
+    /// stores override this to reuse `out`'s capacity so the voting hot path
+    /// never allocates a fresh snapshot per round.
+    fn snapshot_into(&self, out: &mut Vec<(ModuleId, f64)>) {
+        out.clear();
+        out.extend(self.snapshot());
+    }
+
+    /// Visits every record in ascending module order without allocating.
+    ///
+    /// The default delegates to [`HistoryStore::snapshot`]; in-memory stores
+    /// override it to iterate their records directly.
+    fn for_each_record(&self, f: &mut dyn FnMut(ModuleId, f64)) {
+        for (m, v) in self.snapshot() {
+            f(m, v);
+        }
+    }
 
     /// Removes every record.
     fn clear(&mut self);
@@ -99,8 +119,128 @@ impl HistoryStore for MemoryHistory {
         self.records.iter().map(|(&m, &v)| (m, v)).collect()
     }
 
+    fn snapshot_into(&self, out: &mut Vec<(ModuleId, f64)>) {
+        out.clear();
+        out.extend(self.records.iter().map(|(&m, &v)| (m, v)));
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(ModuleId, f64)) {
+        for (&m, &v) in &self.records {
+            f(m, v);
+        }
+    }
+
     fn clear(&mut self) {
         self.records.clear();
+    }
+}
+
+/// A dense, `Vec`-backed history store for the fusion hot path.
+///
+/// Module ids are interned to slots on first sight; after that, `get`/`set`
+/// are O(1) slot accesses that never touch the allocator, unlike the
+/// `BTreeMap`-backed [`MemoryHistory`]. A sorted module→slot index is
+/// maintained incrementally (insertion cost is paid once per *new* module,
+/// not per round), keeping [`HistoryStore::snapshot`]'s ascending-order
+/// contract.
+///
+/// # Example
+///
+/// ```
+/// use avoc_core::history::{DenseHistory, HistoryStore};
+/// use avoc_core::ModuleId;
+///
+/// let mut h = DenseHistory::new();
+/// h.set(ModuleId::new(7), 0.4);
+/// h.set(ModuleId::new(2), 0.9);
+/// assert_eq!(h.get(ModuleId::new(7)), Some(0.4));
+/// let snap = h.snapshot();
+/// assert_eq!(snap[0].0, ModuleId::new(2)); // ascending module order
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DenseHistory {
+    /// Trust value per slot, indexed by interned slot id.
+    slots: Vec<f64>,
+    /// `(module, slot)` pairs kept sorted ascending by module.
+    by_module: Vec<(ModuleId, usize)>,
+    /// Module → slot interning table.
+    index: HashMap<ModuleId, usize>,
+}
+
+impl DenseHistory {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store pre-seeded with records.
+    pub fn with_records(records: impl IntoIterator<Item = (ModuleId, f64)>) -> Self {
+        let mut h = DenseHistory::new();
+        for (m, v) in records {
+            h.set(m, v);
+        }
+        h
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl HistoryStore for DenseHistory {
+    fn get(&self, module: ModuleId) -> Option<f64> {
+        self.index.get(&module).map(|&slot| self.slots[slot])
+    }
+
+    fn set(&mut self, module: ModuleId, value: f64) {
+        let value = value.clamp(0.0, 1.0);
+        match self.index.get(&module) {
+            Some(&slot) => self.slots[slot] = value,
+            None => {
+                let slot = self.slots.len();
+                self.slots.push(value);
+                let pos = self
+                    .by_module
+                    .binary_search_by_key(&module, |&(m, _)| m)
+                    .unwrap_err();
+                self.by_module.insert(pos, (module, slot));
+                self.index.insert(module, slot);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Vec<(ModuleId, f64)> {
+        self.by_module
+            .iter()
+            .map(|&(m, slot)| (m, self.slots[slot]))
+            .collect()
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<(ModuleId, f64)>) {
+        out.clear();
+        out.extend(
+            self.by_module
+                .iter()
+                .map(|&(m, slot)| (m, self.slots[slot])),
+        );
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(ModuleId, f64)) {
+        for &(m, slot) in &self.by_module {
+            f(m, self.slots[slot]);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.by_module.clear();
+        self.index.clear();
     }
 }
 
@@ -238,6 +378,80 @@ mod tests {
     #[test]
     fn store_is_object_safe() {
         let mut h: Box<dyn HistoryStore> = Box::new(MemoryHistory::new());
+        h.set(m(0), 0.7);
+        assert_eq!(h.get(m(0)), Some(0.7));
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffer() {
+        let mut h = MemoryHistory::new();
+        h.set(m(2), 0.2);
+        h.set(m(1), 0.1);
+        let mut buf = Vec::with_capacity(8);
+        h.snapshot_into(&mut buf);
+        assert_eq!(buf, vec![(m(1), 0.1), (m(2), 0.2)]);
+        // A second call replaces, not appends.
+        h.snapshot_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn for_each_record_visits_in_order() {
+        let mut h = MemoryHistory::new();
+        h.set(m(3), 0.3);
+        h.set(m(0), 0.0);
+        let mut seen = Vec::new();
+        h.for_each_record(&mut |module, v| seen.push((module, v)));
+        assert_eq!(seen, vec![(m(0), 0.0), (m(3), 0.3)]);
+    }
+
+    #[test]
+    fn dense_history_matches_memory_semantics() {
+        let mut dense = DenseHistory::new();
+        let mut mem = MemoryHistory::new();
+        // Interleaved, out-of-order, with overwrites and clamping.
+        for &(id, v) in &[
+            (9u32, 0.5),
+            (2, 1.7),
+            (5, -0.3),
+            (2, 0.4),
+            (0, 0.9),
+            (9, 0.1),
+        ] {
+            dense.set(m(id), v);
+            mem.set(m(id), v);
+        }
+        assert_eq!(dense.snapshot(), mem.snapshot());
+        assert_eq!(dense.len(), mem.len());
+        for id in 0..10 {
+            assert_eq!(dense.get(m(id)), mem.get(m(id)));
+        }
+    }
+
+    #[test]
+    fn dense_history_snapshot_into_is_ordered() {
+        let mut h = DenseHistory::with_records([(m(8), 0.8), (m(1), 0.1), (m(4), 0.4)]);
+        let mut buf = Vec::new();
+        h.snapshot_into(&mut buf);
+        assert_eq!(buf, vec![(m(1), 0.1), (m(4), 0.4), (m(8), 0.8)]);
+        h.clear();
+        assert!(h.is_empty());
+        h.snapshot_into(&mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn dense_history_get_or_init_defaults() {
+        let mut h = DenseHistory::new();
+        assert_eq!(h.get_or_init(m(3)), INITIAL_HISTORY);
+        assert_eq!(h.get(m(3)), Some(INITIAL_HISTORY));
+    }
+
+    #[test]
+    fn dense_history_is_object_safe_and_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DenseHistory>();
+        let mut h: Box<dyn HistoryStore> = Box::new(DenseHistory::new());
         h.set(m(0), 0.7);
         assert_eq!(h.get(m(0)), Some(0.7));
     }

@@ -56,7 +56,7 @@ pub use collation::Collation;
 pub use engine::{FallbackAction, FaultPolicy, RoundRecord, RoundResult, TieBreak, VotingEngine};
 pub use error::VoteError;
 pub use exclusion::Exclusion;
-pub use history::{HistoryStore, HistoryUpdate, MemoryHistory};
+pub use history::{DenseHistory, HistoryStore, HistoryUpdate, MemoryHistory};
 pub use quorum::Quorum;
 pub use round::{Ballot, ModuleId, Round};
 pub use value::Value;

@@ -169,6 +169,22 @@ impl Round {
     /// non-scalar value.
     pub fn numeric_candidates(&self) -> Result<Vec<(ModuleId, f64)>, crate::VoteError> {
         let mut out = Vec::with_capacity(self.ballots.len());
+        self.numeric_candidates_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Round::numeric_candidates`], but writes into `out` (cleared
+    /// first) so per-round scratch buffers can be reused without allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::VoteError::TypeMismatch`] when a present ballot holds a
+    /// non-scalar value; `out` is left holding the candidates seen so far.
+    pub fn numeric_candidates_into(
+        &self,
+        out: &mut Vec<(ModuleId, f64)>,
+    ) -> Result<(), crate::VoteError> {
+        out.clear();
         for b in &self.ballots {
             if let Some(v) = &b.value {
                 match v.as_number() {
@@ -182,7 +198,7 @@ impl Round {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Extracts the categorical candidates for a majority vote, erroring on

@@ -42,6 +42,6 @@ pub mod tcp;
 
 pub use edge::EdgeVoter;
 pub use hub::{Liveness, SensorHub};
-pub use message::{Message, SpecSource};
+pub use message::{BatchReading, Message, SpecSource, MAX_BATCH_READINGS};
 pub use sink::SinkNode;
 pub use tcp::{SensorClient, TcpHub};

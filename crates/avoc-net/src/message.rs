@@ -22,6 +22,24 @@
 //!                  8 = SessionResult, 9 = Error
 //! session: u64 BE  (all control frames)
 //! ```
+//!
+//! Tag 10 is the batched ingestion frame, [`Message::FeedBatch`]: many
+//! readings for one session in a single frame, amortising the per-frame
+//! header and the per-reading dispatch on both ends:
+//!
+//! ```text
+//! tag: u8          10 = FeedBatch
+//! session: u64 BE
+//! count: u32 BE    1 ..= MAX_BATCH_READINGS
+//! count × { module: u32 BE, round: u64 BE, value: f64 bits BE }
+//! ```
+//!
+//! The payload length must be exactly `13 + 20 × count` bytes — a count
+//! that disagrees with the frame length (truncated readings, or an
+//! oversized count fishing for a huge allocation) rejects the frame, and
+//! `count = 0` is rejected too (a batch carries at least one reading).
+//! [`MAX_BATCH_READINGS`] is the largest count that fits under
+//! [`MAX_FRAME_LEN`].
 
 use avoc_core::ModuleId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -34,6 +52,18 @@ pub enum SpecSource {
     Named(String),
     /// A full VDX JSON document shipped inline at session open.
     Inline(String),
+}
+
+/// One reading inside a [`Message::FeedBatch`] frame (20 bytes on the wire:
+/// module `u32`, round `u64`, value `f64`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchReading {
+    /// Submitting module.
+    pub module: ModuleId,
+    /// Round number.
+    pub round: u64,
+    /// The measured value.
+    pub value: f64,
 }
 
 /// A protocol message.
@@ -107,6 +137,16 @@ pub enum Message {
         /// Human-readable cause.
         message: String,
     },
+    /// Many readings for one session in a single frame (tag 10). Batches
+    /// amortise framing and dispatch; each reading still counts
+    /// individually against the receiver's backpressure budget.
+    FeedBatch {
+        /// Target session.
+        session: u64,
+        /// The batched readings, in submission order. Never empty; at most
+        /// [`MAX_BATCH_READINGS`] per frame.
+        readings: Vec<BatchReading>,
+    },
 }
 
 /// Hard cap on a frame's payload length (1 MiB). Only [`Message::OpenSession`]
@@ -115,6 +155,17 @@ pub enum Message {
 /// an 8-byte header claiming a multi-GiB frame would make a reader buffer
 /// without bound waiting for bytes that never arrive.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Fixed header of a [`Message::FeedBatch`] payload: tag + session + count.
+const BATCH_HEADER_LEN: usize = 1 + 8 + 4;
+
+/// Wire size of one [`BatchReading`]: module + round + value.
+const BATCH_READING_LEN: usize = 4 + 8 + 8;
+
+/// The most readings one [`Message::FeedBatch`] frame can carry while its
+/// payload stays under [`MAX_FRAME_LEN`]. Senders with more readings than
+/// this must split them across frames (see `ServeClient::send_batch`).
+pub const MAX_BATCH_READINGS: usize = (MAX_FRAME_LEN - BATCH_HEADER_LEN) / BATCH_READING_LEN;
 
 /// Decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,6 +219,7 @@ const TAG_CLOSE_SESSION: u8 = 6;
 const TAG_SESSION_READING: u8 = 7;
 const TAG_SESSION_RESULT: u8 = 8;
 const TAG_ERROR: u8 = 9;
+const TAG_FEED_BATCH: u8 = 10;
 
 /// Spec-source discriminants inside an `OpenSession` payload.
 const SPEC_NAMED: u8 = 0;
@@ -272,6 +324,20 @@ impl Message {
                 payload.put_u8(TAG_ERROR);
                 payload.put_u64(*session);
                 put_string(&mut payload, message);
+            }
+            Message::FeedBatch { session, readings } => {
+                debug_assert!(
+                    !readings.is_empty() && readings.len() <= MAX_BATCH_READINGS,
+                    "FeedBatch must carry 1..=MAX_BATCH_READINGS readings"
+                );
+                payload.put_u8(TAG_FEED_BATCH);
+                payload.put_u64(*session);
+                payload.put_u32(readings.len() as u32);
+                for r in readings {
+                    payload.put_u32(r.module.index());
+                    payload.put_u64(r.round);
+                    payload.put_f64(r.value);
+                }
             }
         }
         debug_assert!(
@@ -416,6 +482,29 @@ impl Message {
                     return Err(DecodeError::BadLength { tag, len });
                 }
                 Ok(Message::Error { session, message })
+            }
+            TAG_FEED_BATCH => {
+                if len < BATCH_HEADER_LEN {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let session = payload.get_u64();
+                let count = payload.get_u32() as usize;
+                // The count must agree byte-for-byte with the frame length:
+                // this rejects truncated batches and hostile counts (which
+                // would otherwise size a huge Vec) in one comparison. Empty
+                // batches are no-op spam and rejected too.
+                if count == 0 || len != BATCH_HEADER_LEN + count * BATCH_READING_LEN {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let mut readings = Vec::with_capacity(count);
+                for _ in 0..count {
+                    readings.push(BatchReading {
+                        module: ModuleId::new(payload.get_u32()),
+                        round: payload.get_u64(),
+                        value: payload.get_f64(),
+                    });
+                }
+                Ok(Message::FeedBatch { session, readings })
             }
             other => Err(DecodeError::UnknownTag(other)),
         }
@@ -595,6 +684,117 @@ mod tests {
         let mut at_cap = BytesMut::new();
         at_cap.put_u32(MAX_FRAME_LEN as u32);
         assert_eq!(Message::decode(&mut at_cap), Err(DecodeError::Incomplete));
+    }
+
+    #[test]
+    fn feed_batch_round_trips() {
+        round_trip(Message::FeedBatch {
+            session: 12,
+            readings: vec![
+                BatchReading {
+                    module: ModuleId::new(0),
+                    round: 7,
+                    value: 18.5,
+                },
+                BatchReading {
+                    module: ModuleId::new(1),
+                    round: 7,
+                    value: -0.25,
+                },
+                BatchReading {
+                    module: ModuleId::new(u32::MAX),
+                    round: u64::MAX,
+                    value: f64::MIN_POSITIVE,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn largest_batch_fits_under_the_frame_cap() {
+        let readings = vec![
+            BatchReading {
+                module: ModuleId::new(1),
+                round: 2,
+                value: 3.0,
+            };
+            MAX_BATCH_READINGS
+        ];
+        let msg = Message::FeedBatch {
+            session: 1,
+            readings,
+        };
+        let frame = msg.encode();
+        assert!(frame.len() - 4 <= MAX_FRAME_LEN);
+        let mut buf = BytesMut::from(&frame[..]);
+        assert_eq!(Message::decode(&mut buf).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(13); // header only, count = 0
+        buf.put_u8(TAG_FEED_BATCH);
+        buf.put_u64(1);
+        buf.put_u32(0);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_FEED_BATCH,
+                ..
+            })
+        ));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
+    }
+
+    #[test]
+    fn batch_count_must_match_frame_length() {
+        // A count claiming more readings than the frame carries (the
+        // allocation-fishing shape) is rejected without over-reading.
+        let mut hostile = BytesMut::new();
+        hostile.put_u32(13 + 20); // room for one reading ...
+        hostile.put_u8(TAG_FEED_BATCH);
+        hostile.put_u64(9);
+        hostile.put_u32(50_000); // ... claiming fifty thousand
+        hostile.put_u32(0);
+        hostile.put_u64(0);
+        hostile.put_f64(1.0);
+        assert!(matches!(
+            Message::decode(&mut hostile),
+            Err(DecodeError::BadLength {
+                tag: TAG_FEED_BATCH,
+                ..
+            })
+        ));
+
+        // A truncated batch (length cut mid-reading) is rejected too.
+        let frame = Message::FeedBatch {
+            session: 2,
+            readings: vec![
+                BatchReading {
+                    module: ModuleId::new(0),
+                    round: 0,
+                    value: 1.0,
+                },
+                BatchReading {
+                    module: ModuleId::new(1),
+                    round: 0,
+                    value: 2.0,
+                },
+            ],
+        }
+        .encode();
+        let cut = frame.len() - 6;
+        let mut buf = BytesMut::from(&frame[..cut]);
+        buf[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_FEED_BATCH,
+                ..
+            })
+        ));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
     }
 
     #[test]

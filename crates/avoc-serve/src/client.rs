@@ -2,7 +2,7 @@
 
 use avoc_core::ModuleId;
 use avoc_net::message::DecodeError;
-use avoc_net::{Message, SpecSource};
+use avoc_net::{BatchReading, Message, SpecSource, MAX_BATCH_READINGS};
 use bytes::BytesMut;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -67,6 +67,23 @@ impl ServeClient {
             round,
             value,
         })
+    }
+
+    /// Streams many readings into a session in batched frames, splitting
+    /// at [`MAX_BATCH_READINGS`] so every frame stays under the protocol's
+    /// size cap. An empty slice sends nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn send_batch(&mut self, session: u64, readings: &[BatchReading]) -> io::Result<()> {
+        for chunk in readings.chunks(MAX_BATCH_READINGS) {
+            self.send(&Message::FeedBatch {
+                session,
+                readings: chunk.to_vec(),
+            })?;
+        }
+        Ok(())
     }
 
     /// Closes a session, flushing its partially assembled rounds (their

@@ -208,6 +208,19 @@ fn read_frames(
                         break 'conn;
                     }
                 },
+                Message::FeedBatch { session, readings } => {
+                    match service.feed_batch(session, &readings) {
+                        Ok(()) | Err(ServeError::MailboxFull) => {
+                            // As with single readings: `Reject` drops are
+                            // counted per reading by the service, not
+                            // reported per frame.
+                        }
+                        Err(e) => {
+                            send_error(out_tx, session, &e);
+                            break 'conn;
+                        }
+                    }
+                }
                 Message::CloseSession { session } => {
                     opened.retain(|&s| s != session);
                     if service.close_session(session).is_err() {

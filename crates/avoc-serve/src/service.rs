@@ -259,14 +259,70 @@ impl VoterService {
         value: f64,
     ) -> Result<(), ServeError> {
         let shard = self.shard_for(session);
-        let cmd = ShardCommand::Reading {
-            session,
-            module,
-            round,
-            value,
-        };
+        let outcome = self.route_reading(
+            shard,
+            ShardCommand::Reading {
+                session,
+                module,
+                round,
+                value,
+            },
+        );
+        self.note_depth(shard);
+        outcome
+    }
+
+    /// Routes a batch of readings to one session's shard, amortising the
+    /// shard lookup and depth sampling across the batch while every reading
+    /// still counts *individually* against the backpressure budget: each one
+    /// occupies its own mailbox slot, and each shed or refused reading is
+    /// counted on its own.
+    ///
+    /// Under `Reject`, later readings are still attempted after an earlier
+    /// one is refused (the worker drains concurrently, so space may open up
+    /// mid-batch); the first refusal is reported after the batch finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::MailboxFull`] under `Reject` when at least one reading
+    /// was refused; [`ServeError::ShuttingDown`] (immediately) after
+    /// [`VoterService::drain`].
+    pub fn feed_batch(
+        &self,
+        session: u64,
+        readings: &[avoc_net::BatchReading],
+    ) -> Result<(), ServeError> {
+        let shard = self.shard_for(session);
+        let mut outcome = Ok(());
+        for r in readings {
+            let cmd = ShardCommand::Reading {
+                session,
+                module: r.module,
+                round: r.round,
+                value: r.value,
+            };
+            match self.route_reading(shard, cmd) {
+                Ok(()) => {}
+                Err(ServeError::MailboxFull) => {
+                    // Per-reading refusal, already counted; keep going.
+                    if outcome.is_ok() {
+                        outcome = Err(ServeError::MailboxFull);
+                    }
+                }
+                Err(e) => {
+                    self.note_depth(shard);
+                    return Err(e);
+                }
+            }
+        }
+        self.note_depth(shard);
+        outcome
+    }
+
+    /// One reading → one shard mailbox slot under the backpressure policy.
+    fn route_reading(&self, shard: usize, cmd: ShardCommand) -> Result<(), ServeError> {
         let tx = &self.links[shard].data;
-        let outcome = match self.backpressure {
+        match self.backpressure {
             Backpressure::Block => tx.send(cmd).map_err(|_| ServeError::ShuttingDown),
             Backpressure::DropOldest => self.feed_drop_oldest(shard, cmd),
             Backpressure::Reject => match tx.try_send(cmd) {
@@ -277,9 +333,7 @@ impl VoterService {
                 }
                 Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
             },
-        };
-        self.note_depth(shard);
-        outcome
+        }
     }
 
     /// `DropOldest` with stock channel primitives: on `Full`, pop the

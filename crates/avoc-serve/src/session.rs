@@ -71,7 +71,9 @@ impl Session {
 
     fn fuse(&mut self, round: &Round, counters: &ServiceCounters) {
         let started = Instant::now();
-        let outcome = self.engine.submit(round);
+        // `submit_ref` keeps the verdict in the engine's reusable slot: the
+        // serve hot path copies only the scalar it puts on the wire.
+        let outcome = self.engine.submit_ref(round);
         let latency = started.elapsed().as_nanos() as u64;
         let reply = match outcome {
             Ok(result) => {

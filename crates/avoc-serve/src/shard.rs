@@ -91,9 +91,16 @@ pub(crate) struct ShardWorker {
 const SWEEP_INTERVAL: u64 = 64;
 
 /// How long the worker blocks on an empty data mailbox before re-checking
-/// control. Under load control is drained before every reading, so this only
+/// control. Under load control is drained before every burst, so this only
 /// bounds control latency on an otherwise idle shard.
 const CONTROL_POLL: Duration = Duration::from_millis(5);
+
+/// How many queued readings one wakeup may process before control is
+/// re-checked. Draining a burst amortises the blocking receive (and its
+/// timeout bookkeeping) across many readings when the mailbox runs deep —
+/// batched producers fill it faster than one-command wakeups can empty it —
+/// while keeping worst-case control latency to one burst of fuses.
+const DATA_BURST: usize = 64;
 
 /// The mutable state one worker owns: its sessions, its logical clock,
 /// control commands put aside while hunting for a pending `Open` (see
@@ -140,8 +147,9 @@ impl ShardWorker {
             if st.stop {
                 break;
             }
-            // Then at most one reading, keeping control responsive under
-            // sustained data load.
+            // Then up to a burst of readings, keeping control responsive
+            // under sustained data load without paying a timed wait per
+            // reading.
             match self.data_rx.recv_timeout(CONTROL_POLL) {
                 Ok(cmd) => {
                     // Consumer-side depth sample: catches backlog the
@@ -150,6 +158,12 @@ impl ShardWorker {
                     self.counters
                         .note_queue_depth(self.index, self.data_rx.len());
                     self.reading(cmd, &mut st);
+                    for _ in 1..DATA_BURST {
+                        match self.data_rx.try_recv() {
+                            Ok(cmd) => self.reading(cmd, &mut st),
+                            Err(_) => break,
+                        }
+                    }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
@@ -165,10 +179,12 @@ impl ShardWorker {
             }
         }
         // Graceful drain: every in-flight round is fused and reported
-        // before the worker exits.
+        // before the worker exits. The global slots stay claimed: releasing
+        // them here would let an `Open` still queued on a slower shard win a
+        // slot freed by shutdown and be admitted past `max_sessions` — the
+        // count dies with the service, so leaking it is harmless.
         for (_, mut s) in st.sessions.drain() {
             s.flush(&self.counters);
-            self.active.fetch_sub(1, Ordering::Relaxed);
         }
     }
 

@@ -14,8 +14,8 @@ use avoc_core::algorithms::{
 };
 use avoc_core::multidim::PerDimensionVoter;
 use avoc_core::{
-    AgreementParams, Collation, Exclusion, FallbackAction, FaultPolicy, HistoryUpdate,
-    MemoryHistory, Quorum, TieBreak, Voter, VoterConfig, VotingEngine,
+    AgreementParams, Collation, DenseHistory, Exclusion, FallbackAction, FaultPolicy,
+    HistoryUpdate, MemoryHistory, Quorum, TieBreak, Voter, VoterConfig, VotingEngine,
 };
 
 fn voter_config(spec: &VdxSpec) -> VoterConfig {
@@ -45,15 +45,18 @@ fn numeric_voter(spec: &VdxSpec) -> Box<dyn Voter> {
             WeightingKind::Uniform => Box::new(AverageVoter::new()),
             WeightingKind::Agreement => Box::new(StatelessWeightedVoter::new(cfg)),
         },
-        (HistoryKind::Standard, _) => Box::new(StandardVoter::new(cfg, MemoryHistory::new())),
+        // Built voters get the dense (slot-interned) store: engine-driven
+        // sessions hit the history on every round, and `DenseHistory` keeps
+        // that lookup O(1) and its snapshots allocation-free.
+        (HistoryKind::Standard, _) => Box::new(StandardVoter::new(cfg, DenseHistory::new())),
         (HistoryKind::ModuleElimination, _) => {
-            Box::new(ModuleEliminationVoter::new(cfg, MemoryHistory::new()))
+            Box::new(ModuleEliminationVoter::new(cfg, DenseHistory::new()))
         }
         (HistoryKind::SoftDynamicThreshold, _) => {
-            Box::new(SoftDynamicVoter::new(cfg, MemoryHistory::new()))
+            Box::new(SoftDynamicVoter::new(cfg, DenseHistory::new()))
         }
-        (HistoryKind::Hybrid, true) => Box::new(AvocVoter::new(cfg, MemoryHistory::new())),
-        (HistoryKind::Hybrid, false) => Box::new(HybridVoter::new(cfg, MemoryHistory::new())),
+        (HistoryKind::Hybrid, true) => Box::new(AvocVoter::new(cfg, DenseHistory::new())),
+        (HistoryKind::Hybrid, false) => Box::new(HybridVoter::new(cfg, DenseHistory::new())),
     }
 }
 

@@ -2,9 +2,9 @@
 //! arbitrary bytes, and the hub's round stream is well-formed under any
 //! interleaving of sensor messages.
 
-use avoc::net::{Message, SensorHub, SpecSource};
+use avoc::net::{BatchReading, Message, SensorHub, SpecSource, MAX_BATCH_READINGS};
 use avoc::prelude::*;
-use bytes::BytesMut;
+use bytes::{BufMut, BytesMut};
 use proptest::prelude::*;
 
 proptest! {
@@ -184,6 +184,76 @@ proptest! {
         prop_assert_eq!(decoded, msgs);
     }
 
+    /// Arbitrary non-empty batches round-trip byte-exactly through the
+    /// tag-10 codec, preserving reading order.
+    #[test]
+    fn feed_batch_round_trips(
+        session in any::<u64>(),
+        triples in prop::collection::vec(
+            (any::<u32>(), any::<u64>(), -1.0e12f64..1.0e12),
+            1..200,
+        ),
+    ) {
+        let readings: Vec<BatchReading> = triples
+            .iter()
+            .map(|&(m, r, v)| BatchReading {
+                module: ModuleId::new(m),
+                round: r,
+                value: v,
+            })
+            .collect();
+        let msg = Message::FeedBatch { session, readings };
+        let mut buf = BytesMut::from(&msg.encode()[..]);
+        let decoded = Message::decode(&mut buf);
+        prop_assert_eq!(decoded.ok(), Some(msg));
+        prop_assert!(buf.is_empty(), "a frame decodes to exactly one message");
+    }
+
+    /// A batch frame whose count disagrees with its length — lying high
+    /// (allocation fishing), lying low, or truncated mid-reading — is
+    /// rejected and fully consumed so the stream can resynchronise.
+    #[test]
+    fn hostile_batch_counts_are_rejected(
+        session in any::<u64>(),
+        actual in 1u32..30,
+        claimed in 0u32..200_000,
+        chop in 1usize..19,
+    ) {
+        // (no prop_assume in the vendored shim: dodge the honest count)
+        let claimed = if claimed == actual { claimed + 1 } else { claimed };
+        let mut payload = BytesMut::new();
+        payload.put_u8(10);
+        payload.put_u64(session);
+        payload.put_u32(claimed);
+        for i in 0..actual {
+            payload.put_u32(i);
+            payload.put_u64(u64::from(i));
+            payload.put_f64(f64::from(i));
+        }
+        let mut frame = BytesMut::new();
+        frame.put_u32(payload.len() as u32);
+        frame.extend_from_slice(&payload);
+
+        let mut buf = frame.clone();
+        prop_assert!(matches!(
+            Message::decode(&mut buf),
+            Err(avoc::net::message::DecodeError::BadLength { tag: 10, .. })
+        ));
+        prop_assert!(buf.is_empty(), "bad frames are consumed for resync");
+
+        // Truncation: cut the honest frame mid-reading and fix the prefix.
+        let mut honest = frame;
+        honest[4 + 9..4 + 13].copy_from_slice(&actual.to_be_bytes());
+        let cut = honest.len() - chop;
+        let mut truncated = BytesMut::from(&honest[..cut]);
+        truncated[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        prop_assert!(matches!(
+            Message::decode(&mut truncated),
+            Err(avoc::net::message::DecodeError::BadLength { tag: 10, .. })
+        ));
+        prop_assert!(truncated.is_empty(), "bad frames are consumed for resync");
+    }
+
     /// A full-pipeline run over randomly gappy traces produces exactly one
     /// output per round, whatever the gaps.
     #[test]
@@ -211,4 +281,41 @@ proptest! {
         let rounds: Vec<u64> = outputs.iter().map(|o| o.round).collect();
         prop_assert!(rounds.windows(2).all(|w| w[0] < w[1]));
     }
+}
+
+/// A zero-reading batch is protocol spam: rejected (consuming the frame),
+/// never decoded into an empty message.
+#[test]
+fn zero_reading_batch_is_rejected() {
+    let mut buf = BytesMut::new();
+    buf.put_u32(13);
+    buf.put_u8(10);
+    buf.put_u64(77);
+    buf.put_u32(0);
+    assert!(matches!(
+        Message::decode(&mut buf),
+        Err(avoc::net::message::DecodeError::BadLength { tag: 10, .. })
+    ));
+    assert!(buf.is_empty());
+}
+
+/// The advertised maximum batch is exactly the largest that fits under the
+/// frame cap: one reading more would not fit.
+#[test]
+fn max_batch_is_tight_against_frame_cap() {
+    let reading = BatchReading {
+        module: ModuleId::new(0),
+        round: 0,
+        value: 0.0,
+    };
+    let frame = Message::FeedBatch {
+        session: 1,
+        readings: vec![reading; MAX_BATCH_READINGS],
+    }
+    .encode();
+    let payload = frame.len() - 4;
+    assert!(payload <= avoc::net::message::MAX_FRAME_LEN);
+    assert!(payload + 20 > avoc::net::message::MAX_FRAME_LEN);
+    let mut buf = BytesMut::from(&frame[..]);
+    assert!(Message::decode(&mut buf).is_ok());
 }
