@@ -149,6 +149,15 @@ impl<S: HistoryStore + Send> Voter for AvocVoter<S> {
         self.last_output = None;
     }
 
+    fn seed_history(&mut self, records: &[(ModuleId, f64)]) {
+        // Warm records suppress the clustering bootstrap by construction:
+        // `bootstrap_pending` is derived purely from store flatness, so a
+        // seeded non-flat store resumes Hybrid voting directly (the whole
+        // point of restoring a checkpoint). `last_output` is only consulted
+        // inside a bootstrap round, so it needs no restoration here.
+        self.inner.seed_history(records);
+    }
+
     fn is_stateful(&self) -> bool {
         true
     }

@@ -210,6 +210,12 @@ impl<S: HistoryStore + Send> Voter for HybridVoter<S> {
         self.store.clear();
     }
 
+    fn seed_history(&mut self, records: &[(ModuleId, f64)]) {
+        for &(m, v) in records {
+            self.store.set(m, v);
+        }
+    }
+
     fn is_stateful(&self) -> bool {
         true
     }

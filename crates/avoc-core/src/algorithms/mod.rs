@@ -164,6 +164,16 @@ pub trait Voter: Send {
     /// Clears accumulated history.
     fn reset(&mut self) {}
 
+    /// Installs historical records wholesale — the warm-restart path: a
+    /// service restoring a checkpointed session seeds the voter with the
+    /// records it had before the crash, so the history-aware weighting
+    /// resumes instead of re-entering the all-records-flat reset window the
+    /// paper warns about. Values are clamped to `[0, 1]` by the underlying
+    /// store. Stateless voters ignore the call (the default).
+    fn seed_history(&mut self, records: &[(ModuleId, f64)]) {
+        let _ = records;
+    }
+
     /// Whether this voter maintains per-module history.
     fn is_stateful(&self) -> bool {
         false
@@ -187,6 +197,9 @@ impl Voter for Box<dyn Voter> {
     }
     fn reset(&mut self) {
         (**self).reset()
+    }
+    fn seed_history(&mut self, records: &[(ModuleId, f64)]) {
+        (**self).seed_history(records)
     }
     fn is_stateful(&self) -> bool {
         (**self).is_stateful()

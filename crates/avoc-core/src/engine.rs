@@ -285,6 +285,15 @@ impl VotingEngine {
         self.voter.histories()
     }
 
+    /// Seeds the wrapped voter's historical records — the warm-restart path
+    /// for a service restoring a checkpointed engine (see
+    /// [`crate::algorithms::Voter::seed_history`]). `last_good` is *not*
+    /// restored: fallback rounds immediately after a restart behave as on a
+    /// fresh engine until the first vote lands.
+    pub fn seed_histories(&mut self, records: &[(crate::ModuleId, f64)]) {
+        self.voter.seed_history(records);
+    }
+
     /// The last accepted output, if any.
     pub fn last_good(&self) -> Option<&Value> {
         self.last_good.as_ref()

@@ -97,6 +97,20 @@ impl SensorHub {
         self
     }
 
+    /// Marks every round at or below `round` as already emitted, so late
+    /// copies of them are counted as stragglers and dropped. This is the
+    /// resume path: a session restored from a checkpoint that covers rounds
+    /// `..=round` pre-seeds the floor, and a reconnecting client that
+    /// replays its unacked readings cannot double-fuse a round the previous
+    /// incarnation already emitted.
+    pub fn with_completed_through(mut self, round: Option<u64>) -> Self {
+        self.completed_through = match (self.completed_through, round) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+
     /// The module set this hub expects.
     pub fn expected(&self) -> &[ModuleId] {
         &self.expected
@@ -260,6 +274,27 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].round, 0);
         assert_eq!(done[0].present_count(), 3);
+    }
+
+    #[test]
+    fn completed_through_floor_drops_replayed_rounds() {
+        let mut hub = SensorHub::new(vec![m(0), m(1), m(2)]).with_completed_through(Some(4));
+        // A replayed reading for an already-checkpointed round is a
+        // straggler, not the seed of a duplicate round.
+        assert!(hub.accept(reading(0, 3, 1.0)).is_empty());
+        assert!(hub.accept(reading(1, 4, 1.0)).is_empty());
+        assert_eq!(hub.straggler_count(), 2);
+        // The first un-checkpointed round fuses normally.
+        hub.accept(reading(0, 5, 1.0));
+        hub.accept(reading(1, 5, 2.0));
+        let done = hub.accept(reading(2, 5, 3.0));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].round, 5);
+        // `None` leaves an existing floor untouched.
+        let hub = SensorHub::new(vec![m(0)])
+            .with_completed_through(Some(7))
+            .with_completed_through(None);
+        assert_eq!(hub.completed_through, Some(7));
     }
 
     #[test]

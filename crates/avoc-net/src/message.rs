@@ -40,6 +40,32 @@
 //! `count = 0` is rejected too (a batch carries at least one reading).
 //! [`MAX_BATCH_READINGS`] is the largest count that fits under
 //! [`MAX_FRAME_LEN`].
+//!
+//! Tags 11–12 are the crash-recovery handshake. [`Message::ResumeSession`]
+//! is the idempotent open: it carries a client-chosen resume token and the
+//! highest round the client has seen a result for, so a reconnect
+//! re-attaches to a live (or checkpointed) session instead of resetting its
+//! history. [`Message::Resumed`] answers with the server's fused-round
+//! frontier, telling the client which buffered readings still need replay:
+//!
+//! ```text
+//! tag: u8          11 = ResumeSession
+//! session: u64 BE
+//! modules: u32 BE
+//! token: u64 BE
+//! acked flag: u8   0 = nothing acked, 1 = last_acked follows
+//! [last_acked: u64 BE]
+//! spec: u8 discriminant + u32 BE length + UTF-8 bytes
+//!
+//! tag: u8          12 = Resumed
+//! session: u64 BE
+//! high flag: u8    0 = fresh session, 1 = high_round follows
+//! [high_round: u64 BE]
+//! warm: u8         1 = history restored (live or checkpoint), 0 = fresh
+//! ```
+//!
+//! Both are hardened like `FeedBatch`: flag bytes other than 0/1, missing
+//! optional fields, or trailing bytes reject the frame.
 
 use avoc_core::ModuleId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -147,6 +173,38 @@ pub enum Message {
         /// [`MAX_BATCH_READINGS`] per frame.
         readings: Vec<BatchReading>,
     },
+    /// Idempotent session open / re-attach (tag 11). A fresh open creates
+    /// the session; a reconnect after a connection (or daemon) failure
+    /// re-attaches to the live session or restores it from a checkpoint,
+    /// provided `token` matches the one the session was created with.
+    ResumeSession {
+        /// Session identifier.
+        session: u64,
+        /// How many modules feed this session's rounds.
+        modules: u32,
+        /// The VDX document governing the session (used when the session
+        /// must be created or rebuilt).
+        spec: SpecSource,
+        /// Client-chosen resume token; proves this client owns the session.
+        token: u64,
+        /// Highest round the client has received a [`Message::SessionResult`]
+        /// for (`None` before the first result). The server re-emits any
+        /// retained results above this.
+        last_acked: Option<u64>,
+    },
+    /// Server acknowledgement of a [`Message::ResumeSession`] (tag 12).
+    Resumed {
+        /// The session that was attached, restored, or created.
+        session: u64,
+        /// The server's fused-round frontier: rounds at or below this are
+        /// already fused and must *not* be replayed as readings (`None`
+        /// for a fresh session — replay everything).
+        high_round: Option<u64>,
+        /// Whether the session kept warm history (live re-attach or
+        /// checkpoint restore); `false` means it was built fresh and the
+        /// voter will bootstrap.
+        warm: bool,
+    },
 }
 
 /// Hard cap on a frame's payload length (1 MiB). Only [`Message::OpenSession`]
@@ -220,6 +278,8 @@ const TAG_SESSION_READING: u8 = 7;
 const TAG_SESSION_RESULT: u8 = 8;
 const TAG_ERROR: u8 = 9;
 const TAG_FEED_BATCH: u8 = 10;
+const TAG_RESUME_SESSION: u8 = 11;
+const TAG_RESUMED: u8 = 12;
 
 /// Spec-source discriminants inside an `OpenSession` payload.
 const SPEC_NAMED: u8 = 0;
@@ -338,6 +398,51 @@ impl Message {
                     payload.put_u64(r.round);
                     payload.put_f64(r.value);
                 }
+            }
+            Message::ResumeSession {
+                session,
+                modules,
+                spec,
+                token,
+                last_acked,
+            } => {
+                payload.put_u8(TAG_RESUME_SESSION);
+                payload.put_u64(*session);
+                payload.put_u32(*modules);
+                payload.put_u64(*token);
+                match last_acked {
+                    Some(r) => {
+                        payload.put_u8(1);
+                        payload.put_u64(*r);
+                    }
+                    None => payload.put_u8(0),
+                }
+                match spec {
+                    SpecSource::Named(name) => {
+                        payload.put_u8(SPEC_NAMED);
+                        put_string(&mut payload, name);
+                    }
+                    SpecSource::Inline(vdx) => {
+                        payload.put_u8(SPEC_INLINE);
+                        put_string(&mut payload, vdx);
+                    }
+                }
+            }
+            Message::Resumed {
+                session,
+                high_round,
+                warm,
+            } => {
+                payload.put_u8(TAG_RESUMED);
+                payload.put_u64(*session);
+                match high_round {
+                    Some(r) => {
+                        payload.put_u8(1);
+                        payload.put_u64(*r);
+                    }
+                    None => payload.put_u8(0),
+                }
+                payload.put_u8(u8::from(*warm));
             }
         }
         debug_assert!(
@@ -505,6 +610,75 @@ impl Message {
                     });
                 }
                 Ok(Message::FeedBatch { session, readings })
+            }
+            TAG_RESUME_SESSION => {
+                // Variable length: session + modules + token + acked flag
+                // (+ acked round) + spec discriminant + string.
+                if len < 1 + 8 + 4 + 8 + 1 + 1 + 4 {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let session = payload.get_u64();
+                let modules = payload.get_u32();
+                let token = payload.get_u64();
+                let last_acked = match payload.get_u8() {
+                    0 => None,
+                    1 => {
+                        if payload.len() < 8 {
+                            return Err(DecodeError::BadLength { tag, len });
+                        }
+                        Some(payload.get_u64())
+                    }
+                    _ => return Err(DecodeError::BadLength { tag, len }),
+                };
+                if payload.is_empty() {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let kind = payload.get_u8();
+                let text = get_string(&mut payload, tag, len)?;
+                let spec = match kind {
+                    SPEC_NAMED => SpecSource::Named(text),
+                    SPEC_INLINE => SpecSource::Inline(text),
+                    _ => return Err(DecodeError::BadLength { tag, len }),
+                };
+                if !payload.is_empty() {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                Ok(Message::ResumeSession {
+                    session,
+                    modules,
+                    spec,
+                    token,
+                    last_acked,
+                })
+            }
+            TAG_RESUMED => {
+                expect(1 + 8 + 1 + 8 + 1).or_else(|_| expect(1 + 8 + 1 + 1))?;
+                let session = payload.get_u64();
+                let high_round = match payload.get_u8() {
+                    0 => None,
+                    1 => {
+                        if payload.len() < 8 {
+                            return Err(DecodeError::BadLength { tag, len });
+                        }
+                        Some(payload.get_u64())
+                    }
+                    _ => return Err(DecodeError::BadLength { tag, len }),
+                };
+                if payload.len() != 1 {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let warm = match payload.get_u8() {
+                    0 => false,
+                    1 => true,
+                    // Like the optional-field flags: anything else is a
+                    // malformed frame, not a creative boolean.
+                    _ => return Err(DecodeError::BadLength { tag, len }),
+                };
+                Ok(Message::Resumed {
+                    session,
+                    high_round,
+                    warm,
+                })
             }
             other => Err(DecodeError::UnknownTag(other)),
         }
@@ -795,6 +969,159 @@ mod tests {
             })
         ));
         assert!(buf.is_empty(), "bad frame must be consumed for resync");
+    }
+
+    #[test]
+    fn resume_frames_round_trip() {
+        round_trip(Message::ResumeSession {
+            session: 42,
+            modules: 5,
+            spec: SpecSource::Named("avoc".into()),
+            token: u64::MAX,
+            last_acked: Some(17),
+        });
+        round_trip(Message::ResumeSession {
+            session: 0,
+            modules: 0,
+            spec: SpecSource::Inline("{\"algorithm_name\": \"AVOC\"}".into()),
+            token: 0,
+            last_acked: None,
+        });
+        round_trip(Message::Resumed {
+            session: 42,
+            high_round: Some(u64::MAX),
+            warm: true,
+        });
+        round_trip(Message::Resumed {
+            session: 1,
+            high_round: None,
+            warm: false,
+        });
+    }
+
+    #[test]
+    fn resume_session_bad_flag_and_truncation_are_rejected() {
+        // Flag bytes other than 0/1 reject the frame.
+        let frame = Message::ResumeSession {
+            session: 1,
+            modules: 2,
+            spec: SpecSource::Named("avoc".into()),
+            token: 9,
+            last_acked: None,
+        }
+        .encode();
+        let mut buf = BytesMut::from(&frame[..]);
+        buf[4 + 1 + 8 + 4 + 8] = 2; // the acked flag
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESUME_SESSION,
+                ..
+            })
+        ));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
+
+        // A frame whose length cuts the spec name off mid-string.
+        let cut = frame.len() - 2;
+        let mut buf = BytesMut::from(&frame[..cut]);
+        buf[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESUME_SESSION,
+                ..
+            })
+        ));
+        assert!(buf.is_empty());
+
+        // A claimed acked round with no bytes behind it (flag says 1 but
+        // the length only covers the no-acked layout).
+        let mut hostile = BytesMut::new();
+        hostile.put_u32(27);
+        hostile.put_u8(TAG_RESUME_SESSION);
+        hostile.put_u64(1); // session
+        hostile.put_u32(1); // modules
+        hostile.put_u64(2); // token
+        hostile.put_u8(1); // "an acked round follows" ...
+        hostile.put_u8(SPEC_NAMED); // ... but the spec starts instead
+        hostile.put_u32(0);
+        assert!(matches!(
+            Message::decode(&mut hostile),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESUME_SESSION,
+                ..
+            })
+        ));
+        assert!(hostile.is_empty());
+    }
+
+    #[test]
+    fn resume_session_trailing_bytes_are_rejected() {
+        let frame = Message::ResumeSession {
+            session: 3,
+            modules: 1,
+            spec: SpecSource::Named("a".into()),
+            token: 4,
+            last_acked: Some(0),
+        }
+        .encode();
+        // Re-encode with two stray bytes inside the declared length.
+        let mut buf = BytesMut::new();
+        buf.put_u32((frame.len() - 4 + 2) as u32);
+        buf.extend_from_slice(&frame[4..]);
+        buf.put_u8(0xAA);
+        buf.put_u8(0xBB);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESUME_SESSION,
+                ..
+            })
+        ));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn resumed_bad_layouts_are_rejected() {
+        // Wrong overall length.
+        let mut buf = BytesMut::new();
+        buf.put_u32(10);
+        buf.put_u8(TAG_RESUMED);
+        buf.put_u64(1);
+        buf.put_u8(0);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESUMED,
+                ..
+            })
+        ));
+        // Flag byte 2 with the long layout.
+        let frame = Message::Resumed {
+            session: 1,
+            high_round: Some(3),
+            warm: true,
+        }
+        .encode();
+        let mut buf = BytesMut::from(&frame[..]);
+        buf[4 + 1 + 8] = 2;
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESUMED,
+                ..
+            })
+        ));
+        // Flag 0 (no round) inside the long layout leaves trailing bytes.
+        let mut buf = BytesMut::from(&frame[..]);
+        buf[4 + 1 + 8] = 0;
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESUMED,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -1,11 +1,88 @@
-//! A small synchronous client for the [`crate::TcpServer`] daemon.
+//! Clients for the [`crate::TcpServer`] daemon: a small synchronous
+//! [`ServeClient`], and a [`ResilientClient`] wrapper that survives daemon
+//! crashes via deadline-bounded I/O, capped-backoff retries and idempotent
+//! session resume.
 
 use avoc_core::ModuleId;
 use avoc_net::message::DecodeError;
 use avoc_net::{BatchReading, Message, SpecSource, MAX_BATCH_READINGS};
 use bytes::BytesMut;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Connection deadlines for daemon clients.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// How long a connect attempt may take before failing (default 10 s).
+    pub connect_timeout: Duration,
+    /// Read deadline on the result stream (default 30 s): a server that
+    /// goes silent longer than this surfaces as an I/O error instead of a
+    /// forever-blocked `recv`, which is what lets [`ResilientClient`]
+    /// notice a dead daemon and reconnect.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter, governing how a
+/// [`ResilientClient`] re-dials a daemon that refused or dropped it.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (connect + send/recv retries). At least
+    /// 1; the default is 5.
+    pub max_attempts: u32,
+    /// Delay before the first retry (default 50 ms); doubles per attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the backoff (default 2 s).
+    pub max_delay: Duration,
+    /// Seeds the jitter stream: same seed, same delays — chaos tests stay
+    /// reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1-based): `base · 2^(a-1)`
+    /// capped at `max_delay`, minus up to a quarter of deterministic jitter
+    /// so a fleet of clients does not re-dial in lockstep.
+    pub fn delay_for(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_delay);
+        let ms = exp.as_millis() as u64;
+        let jitter = splitmix64(rng) % (ms / 4 + 1);
+        Duration::from_millis(ms - jitter)
+    }
+}
 
 /// A tenant-side connection to a running voter daemon.
 ///
@@ -21,14 +98,26 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connects to a daemon.
+    /// Connects to a daemon with default [`ClientConfig`] deadlines.
     ///
     /// # Errors
     ///
-    /// Propagates connection errors.
+    /// Propagates connection errors (including the connect timeout).
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects with explicit deadlines: the connect is bounded by
+    /// `config.connect_timeout` and every subsequent read by
+    /// `config.read_timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors (including the connect timeout).
+    pub fn connect_with(addr: SocketAddr, config: &ClientConfig) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(config.read_timeout))?;
         Ok(ServeClient {
             stream,
             buf: BytesMut::with_capacity(4096),
@@ -46,6 +135,30 @@ impl ServeClient {
             session,
             modules,
             spec,
+        })
+    }
+
+    /// Idempotent open/re-attach: the daemon re-attaches a live session
+    /// whose `token` matches, restores it from a checkpoint, or opens it
+    /// fresh — answering with [`Message::Resumed`] either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn resume_session(
+        &mut self,
+        session: u64,
+        modules: u32,
+        spec: SpecSource,
+        token: u64,
+        last_acked: Option<u64>,
+    ) -> io::Result<()> {
+        self.send(&Message::ResumeSession {
+            session,
+            modules,
+            spec,
+            token,
+            last_acked,
         })
     }
 
@@ -105,13 +218,14 @@ impl ServeClient {
         self.stream.write_all(&msg.encode())
     }
 
-    /// Blocks until the next server frame (a [`Message::SessionResult`] or
-    /// [`Message::Error`]) arrives.
+    /// Blocks until the next server frame (a [`Message::SessionResult`],
+    /// [`Message::Resumed`] or [`Message::Error`]) arrives.
     ///
     /// # Errors
     ///
     /// `UnexpectedEof` when the server closes the connection; `InvalidData`
-    /// on an undecodable frame; other I/O errors as raised.
+    /// on an undecodable frame; `WouldBlock`/`TimedOut` past the configured
+    /// read deadline; other I/O errors as raised.
     pub fn recv(&mut self) -> io::Result<Message> {
         let mut chunk = [0u8; 4096];
         loop {
@@ -143,5 +257,370 @@ impl ServeClient {
     /// As [`ServeClient::recv`].
     pub fn recv_n(&mut self, n: usize) -> io::Result<Vec<Message>> {
         (0..n).map(|_| self.recv()).collect()
+    }
+}
+
+/// What one resilient session remembers between reconnects.
+#[derive(Debug)]
+struct SessionState {
+    token: u64,
+    modules: u32,
+    spec: SpecSource,
+    /// Highest round whose result this client has received.
+    last_acked: Option<u64>,
+    /// Readings for rounds past `last_acked`, replayed after a reconnect.
+    unacked: VecDeque<BatchReading>,
+}
+
+/// Client-side resilience counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Connections re-established after a failure.
+    pub reconnects: u64,
+    /// Unacked readings replayed across all reconnects.
+    pub replayed_readings: u64,
+    /// Results dropped client-side because their round was already acked
+    /// (the server re-emitted past the ack floor after a resume).
+    pub duplicate_results_dropped: u64,
+}
+
+/// A [`ServeClient`] that survives daemon restarts.
+///
+/// Every send and receive runs under the [`RetryPolicy`]: on an I/O error
+/// the client reconnects (bounded by the [`ClientConfig`] deadlines),
+/// replays a [`Message::ResumeSession`] for every registered session with
+/// its token and ack floor, re-sends the readings the server never
+/// acknowledged, and drops any results the server re-emits for rounds this
+/// client already saw — so the stream of results the caller observes has
+/// no duplicated and no lost rounds, whatever the connection did.
+///
+/// # Example
+///
+/// ```no_run
+/// use avoc_serve::{ClientConfig, ResilientClient, RetryPolicy};
+/// use avoc_net::SpecSource;
+/// use avoc_core::ModuleId;
+///
+/// let mut client = ResilientClient::new(
+///     "127.0.0.1:7777".parse().unwrap(),
+///     ClientConfig::default(),
+///     RetryPolicy::default(),
+/// );
+/// client.open_session(1, 3, SpecSource::Named("avoc".into()), 0xfeed)?;
+/// client.send_reading(1, ModuleId::new(0), 0, 21.5)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    retry: RetryPolicy,
+    conn: Option<ServeClient>,
+    sessions: HashMap<u64, SessionState>,
+    /// Frames that arrived while waiting for resume acknowledgements.
+    pending: VecDeque<Message>,
+    /// Latest `Resumed` observed per session: `(high_round, warm)`.
+    resume_info: HashMap<u64, (Option<u64>, bool)>,
+    rng: u64,
+    ever_connected: bool,
+    stats: ClientStats,
+}
+
+impl ResilientClient {
+    /// Creates a client; the connection is established lazily on first use.
+    pub fn new(addr: SocketAddr, config: ClientConfig, retry: RetryPolicy) -> Self {
+        let rng = retry.jitter_seed;
+        ResilientClient {
+            addr,
+            config,
+            retry,
+            conn: None,
+            sessions: HashMap::new(),
+            pending: VecDeque::new(),
+            resume_info: HashMap::new(),
+            rng,
+            ever_connected: false,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Points the client at a new daemon address (e.g. a restarted daemon
+    /// on a fresh port); the next operation reconnects and resumes there.
+    pub fn redirect(&mut self, addr: SocketAddr) {
+        self.addr = addr;
+        self.conn = None;
+    }
+
+    /// Client-side resilience counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The latest [`Message::Resumed`] seen for `session`, as
+    /// `(high_round, warm)`.
+    pub fn last_resume(&self, session: u64) -> Option<(Option<u64>, bool)> {
+        self.resume_info.get(&session).copied()
+    }
+
+    /// Registers and opens a session idempotently: the open is a
+    /// [`Message::ResumeSession`] carrying `token`, so re-running it after
+    /// a crash (or racing a reconnect) re-attaches instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors after retries are exhausted.
+    pub fn open_session(
+        &mut self,
+        session: u64,
+        modules: u32,
+        spec: SpecSource,
+        token: u64,
+    ) -> io::Result<()> {
+        self.sessions.insert(
+            session,
+            SessionState {
+                token,
+                modules,
+                spec,
+                last_acked: None,
+                unacked: VecDeque::new(),
+            },
+        );
+        // The resume handshake in `ensure_conn` performs the actual open —
+        // and every later reconnect re-performs it for free.
+        self.with_io(|_c| Ok(()))
+    }
+
+    /// Streams one reading, remembering it until its round's result is
+    /// acknowledged (so a reconnect can replay it).
+    ///
+    /// # Errors
+    ///
+    /// Connection errors after retries are exhausted.
+    pub fn send_reading(
+        &mut self,
+        session: u64,
+        module: ModuleId,
+        round: u64,
+        value: f64,
+    ) -> io::Result<()> {
+        let reading = BatchReading {
+            module,
+            round,
+            value,
+        };
+        if let Some(s) = self.sessions.get_mut(&session) {
+            s.unacked.push_back(reading);
+        }
+        self.with_io(move |c| c.send_reading(session, module, round, value))
+    }
+
+    /// Streams a batch of readings (same replay guarantees as
+    /// [`ResilientClient::send_reading`]).
+    ///
+    /// # Errors
+    ///
+    /// Connection errors after retries are exhausted.
+    pub fn send_batch(&mut self, session: u64, readings: &[BatchReading]) -> io::Result<()> {
+        if let Some(s) = self.sessions.get_mut(&session) {
+            s.unacked.extend(readings.iter().copied());
+        }
+        let owned = readings.to_vec();
+        self.with_io(move |c| c.send_batch(session, &owned))
+    }
+
+    /// Closes a session and forgets its resume state.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors after retries are exhausted.
+    pub fn close_session(&mut self, session: u64) -> io::Result<()> {
+        let res = self.with_io(move |c| c.close_session(session));
+        self.sessions.remove(&session);
+        res
+    }
+
+    /// The next result or error frame, deduplicated: results for rounds at
+    /// or below a session's ack floor (server re-emissions after a resume)
+    /// are dropped, and `Resumed` frames are absorbed into
+    /// [`ResilientClient::last_resume`].
+    ///
+    /// # Errors
+    ///
+    /// Connection errors after retries are exhausted.
+    pub fn recv(&mut self) -> io::Result<Message> {
+        loop {
+            let msg = match self.pending.pop_front() {
+                Some(m) => m,
+                None => self.with_io(|c| c.recv())?,
+            };
+            match msg {
+                Message::Resumed {
+                    session,
+                    high_round,
+                    warm,
+                } => {
+                    self.resume_info.insert(session, (high_round, warm));
+                }
+                Message::SessionResult { session, round, .. } => {
+                    if let Some(s) = self.sessions.get_mut(&session) {
+                        if s.last_acked.is_some_and(|a| round <= a) {
+                            self.stats.duplicate_results_dropped += 1;
+                            continue;
+                        }
+                        s.last_acked = Some(s.last_acked.map_or(round, |a| a.max(round)));
+                        // The round fused: its readings are done for.
+                        s.unacked.retain(|r| r.round > round);
+                    }
+                    return Ok(msg);
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Receives exactly `n` deduplicated result/error frames.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResilientClient::recv`].
+    pub fn recv_n(&mut self, n: usize) -> io::Result<Vec<Message>> {
+        (0..n).map(|_| self.recv()).collect()
+    }
+
+    /// Runs `op` against a live connection, reconnecting (with resume and
+    /// replay) under the retry policy when it fails.
+    fn with_io<T>(
+        &mut self,
+        mut op: impl FnMut(&mut ServeClient) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            let res = match self.ensure_conn() {
+                Ok(()) => op(self.conn.as_mut().expect("connection just ensured")),
+                Err(e) => Err(e),
+            };
+            match res {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    self.conn = None;
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.retry.delay_for(attempt, &mut self.rng));
+                }
+            }
+        }
+    }
+
+    /// Connects if needed and runs the resume handshake: one
+    /// `ResumeSession` per registered session, one `Resumed` (or `Error`)
+    /// awaited per session, then a replay of every unacknowledged reading.
+    /// Frames that interleave with the handshake are queued for `recv`.
+    fn ensure_conn(&mut self) -> io::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut client = ServeClient::connect_with(self.addr, &self.config)?;
+        if self.ever_connected {
+            self.stats.reconnects += 1;
+        }
+        self.ever_connected = true;
+        for (&id, s) in &self.sessions {
+            client.resume_session(id, s.modules, s.spec.clone(), s.token, s.last_acked)?;
+        }
+        let mut awaiting: Vec<u64> = self.sessions.keys().copied().collect();
+        while !awaiting.is_empty() {
+            match client.recv()? {
+                Message::Resumed {
+                    session,
+                    high_round,
+                    warm,
+                } => {
+                    awaiting.retain(|&s| s != session);
+                    self.resume_info.insert(session, (high_round, warm));
+                }
+                Message::Error { session, .. } if awaiting.contains(&session) => {
+                    // Resume refused (token mismatch / capacity): surface
+                    // the error frame to the caller rather than retrying a
+                    // handshake that will keep failing.
+                    awaiting.retain(|&s| s != session);
+                    self.pending.push_back(Message::Error {
+                        session,
+                        message: "resume refused".into(),
+                    });
+                }
+                other => self.pending.push_back(other),
+            }
+        }
+        for (&id, s) in &self.sessions {
+            if s.unacked.is_empty() {
+                continue;
+            }
+            let readings: Vec<BatchReading> = s.unacked.iter().copied().collect();
+            client.send_batch(id, &readings)?;
+            self.stats.replayed_readings += readings.len() as u64;
+        }
+        self.conn = Some(client);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delays_are_capped_and_deterministic() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(400),
+            jitter_seed: 7,
+        };
+        let mut rng_a = policy.jitter_seed;
+        let mut rng_b = policy.jitter_seed;
+        for attempt in 1..=8 {
+            let a = policy.delay_for(attempt, &mut rng_a);
+            let b = policy.delay_for(attempt, &mut rng_b);
+            assert_eq!(a, b, "same seed, same schedule");
+            assert!(a <= policy.max_delay, "attempt {attempt} exceeds the cap");
+        }
+        // The un-jittered curve doubles then saturates: attempt 3 onward is
+        // drawn from the capped 400 ms bucket, so it can never exceed it,
+        // and attempt 1 stays within base.
+        let mut rng = policy.jitter_seed;
+        assert!(policy.delay_for(1, &mut rng) <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn read_deadline_bounds_a_silent_server() {
+        // A listener that accepts and then says nothing: without the read
+        // deadline, `recv` would block forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let config = ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_millis(100),
+        };
+        let mut client = ServeClient::connect_with(addr, &config).unwrap();
+        let started = std::time::Instant::now();
+        let err = client
+            .recv()
+            .expect_err("silent server must time the read out");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind: {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "read did not respect its deadline"
+        );
+        drop(hold.join());
     }
 }

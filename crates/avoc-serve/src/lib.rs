@@ -72,14 +72,16 @@
 
 mod client;
 mod metrics;
+mod persist;
 mod registry;
 mod server;
 mod service;
 mod session;
 mod shard;
 
-pub use client::ServeClient;
+pub use client::{ClientConfig, ClientStats, ResilientClient, RetryPolicy, ServeClient};
 pub use metrics::{CountersSnapshot, LatencySummary, ServiceCounters};
+pub use persist::Persistence;
 pub use registry::SpecRegistry;
 pub use server::TcpServer;
 pub use service::{AdmissionPolicy, ServeConfig, ServeError, VoterService};

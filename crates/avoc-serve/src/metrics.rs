@@ -22,6 +22,11 @@ pub struct ServiceCounters {
     fallbacks: AtomicU64,
     readings_dropped: AtomicU64,
     results_dropped: AtomicU64,
+    recoveries: AtomicU64,
+    resumed_sessions: AtomicU64,
+    retries: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    wal_replay_ns: AtomicU64,
     shard_queue_high_water: Vec<AtomicUsize>,
     latency: Mutex<LatencyReservoir>,
 }
@@ -71,6 +76,26 @@ impl ServiceCounters {
 
     pub(crate) fn result_dropped(&self) {
         self.results_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn session_resumed(&self) {
+        self.resumed_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn checkpoint_bytes_add(&self, bytes: u64) {
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn wal_replay_ns_add(&self, ns: u64) {
+        self.wal_replay_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Records one fused round and its latency.
@@ -128,6 +153,11 @@ impl ServiceCounters {
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             readings_dropped: self.readings_dropped.load(Ordering::Relaxed),
             results_dropped: self.results_dropped.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            resumed_sessions: self.resumed_sessions.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            wal_replay_ms: self.wal_replay_ns.load(Ordering::Relaxed) as f64 / 1e6,
             shard_queue_high_water: self
                 .shard_queue_high_water
                 .iter()
@@ -170,6 +200,17 @@ pub struct CountersSnapshot {
     /// gone: shards never block on a slow tenant, so its overflow is shed
     /// here and the tenant learns about the loss from this counter.
     pub results_dropped: u64,
+    /// Sessions rebuilt from a WAL checkpoint (eager recovery at daemon
+    /// start, or lazily when a resume found no live session).
+    pub recoveries: u64,
+    /// Sessions successfully re-attached or restored for a resuming client.
+    pub resumed_sessions: u64,
+    /// Client resume requests received (each is one retry of a session).
+    pub retries: u64,
+    /// Bytes written by session checkpoints (WAL appends + meta rewrites).
+    pub checkpoint_bytes: u64,
+    /// Total time spent replaying session WALs, milliseconds.
+    pub wal_replay_ms: f64,
     /// Per-shard mailbox depth high-water marks.
     pub shard_queue_high_water: Vec<usize>,
     /// Fuse-latency summary; `None` before the first fused round.
@@ -220,6 +261,28 @@ mod tests {
         let json = c.snapshot().to_json();
         assert!(json.contains("\"sessions_opened\": 1"));
         assert!(json.contains("\"fuse_latency\""));
+        assert!(json.contains("\"recoveries\""));
+        assert!(json.contains("\"checkpoint_bytes\""));
+    }
+
+    #[test]
+    fn recovery_counters_accumulate() {
+        let c = ServiceCounters::new(1);
+        c.recovery();
+        c.session_resumed();
+        c.session_resumed();
+        c.retry();
+        c.retry();
+        c.retry();
+        c.checkpoint_bytes_add(100);
+        c.checkpoint_bytes_add(28);
+        c.wal_replay_ns_add(2_500_000);
+        let snap = c.snapshot();
+        assert_eq!(snap.recoveries, 1);
+        assert_eq!(snap.resumed_sessions, 2);
+        assert_eq!(snap.retries, 3);
+        assert_eq!(snap.checkpoint_bytes, 128);
+        assert!((snap.wal_replay_ms - 2.5).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Durable session state: per-session WAL + metadata checkpoints.
+//!
+//! With persistence enabled, every session owns two files in the state
+//! directory:
+//!
+//! * `session-<id:016x>.wal` — an [`avoc_store::FileHistory`] append-only
+//!   log of the engine's history records, written write-behind through
+//!   [`avoc_store::CachedHistory`];
+//! * `session-<id:016x>.meta` — a small atomically-replaced (tmp + rename)
+//!   metadata file carrying the resume token, module count, governing spec,
+//!   high-water round and the unacked-results ring.
+//!
+//! A checkpoint writes the WAL first, then the meta: a crash between the two
+//! leaves a meta that understates `high_round` against a WAL that is at
+//! least as new — recovery then re-fuses at most the rounds the client
+//! replays past the stale floor, never loses history. The meta format is
+//! hand-rolled `key=value` lines (not JSON) so `u64` resume tokens survive
+//! byte-exact — the vendored JSON shim may route integers through `f64`.
+//!
+//! Corruption anywhere — unreadable meta, mid-file WAL damage — makes
+//! [`SessionStore::load`] return `None`, and the caller falls back to a
+//! fresh session whose AVOC engine re-bootstraps from live data, exactly as
+//! if persistence were off. A torn WAL *tail* (the expected artefact of a
+//! crash mid-append) is tolerated and truncated by `FileHistory` itself.
+
+use avoc_core::history::HistoryStore;
+use avoc_core::ModuleId;
+use avoc_net::SpecSource;
+use avoc_store::{CachedHistory, Durability, FileHistory};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Crash-safety configuration for [`crate::VoterService`].
+#[derive(Debug, Clone)]
+pub struct Persistence {
+    /// Where session WALs and metadata live. `None` disables persistence
+    /// entirely (the default): sessions are memory-only and a restart
+    /// re-bootstraps from live data.
+    pub state_dir: Option<PathBuf>,
+    /// `true` fsyncs every WAL append ([`Durability::Fsync`]); the default
+    /// flushes to the OS and lets the kernel schedule the write — a daemon
+    /// crash loses nothing, a machine crash may lose the tail (which
+    /// recovery then truncates).
+    pub fsync: bool,
+    /// Checkpoint cadence in fused rounds. `1` (the default) checkpoints
+    /// after every round, making a hard kill bit-identically recoverable;
+    /// larger values amortise the meta rewrite and accept losing up to
+    /// `checkpoint_every - 1` rounds of history on a crash.
+    pub checkpoint_every: u64,
+}
+
+impl Default for Persistence {
+    fn default() -> Self {
+        Persistence {
+            state_dir: None,
+            fsync: false,
+            checkpoint_every: 1,
+        }
+    }
+}
+
+impl Persistence {
+    /// Whether sessions should be persisted at all.
+    pub fn enabled(&self) -> bool {
+        self.state_dir.is_some()
+    }
+
+    pub(crate) fn durability(&self) -> Durability {
+        if self.fsync {
+            Durability::Fsync
+        } else {
+            Durability::Flush
+        }
+    }
+}
+
+/// One re-emittable session result: `(round, value, voted)`.
+pub(crate) type StoredResult = (u64, Option<f64>, bool);
+
+/// The decoded contents of a session's meta file.
+#[derive(Debug, Clone)]
+pub(crate) struct MetaState {
+    pub(crate) token: u64,
+    pub(crate) modules: u32,
+    pub(crate) resumable: bool,
+    pub(crate) spec: SpecSource,
+    pub(crate) high_round: Option<u64>,
+    pub(crate) results: Vec<StoredResult>,
+}
+
+/// A session's durable state: its history WAL (write-behind cached) plus
+/// the meta checkpoint writer.
+pub(crate) struct SessionStore {
+    history: CachedHistory<FileHistory>,
+    wal_path: PathBuf,
+    meta_path: PathBuf,
+    token: u64,
+    modules: u32,
+    resumable: bool,
+    spec: SpecSource,
+    /// `bytes_logged()` at the previous checkpoint, for the delta counter.
+    logged_floor: u64,
+}
+
+impl std::fmt::Debug for SessionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionStore")
+            .field("wal", &self.wal_path)
+            .field("meta", &self.meta_path)
+            .finish_non_exhaustive()
+    }
+}
+
+fn wal_path(dir: &Path, session: u64) -> PathBuf {
+    dir.join(format!("session-{session:016x}.wal"))
+}
+
+fn meta_path(dir: &Path, session: u64) -> PathBuf {
+    dir.join(format!("session-{session:016x}.meta"))
+}
+
+/// Session ids that have a meta file in `dir` (the recovery scan).
+pub(crate) fn list_sessions(dir: &Path) -> Vec<u64> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut ids: Vec<u64> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name();
+            let name = name.to_str()?;
+            let hex = name.strip_prefix("session-")?.strip_suffix(".meta")?;
+            u64::from_str_radix(hex, 16).ok()
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Reads and decodes a session's meta file; `None` if missing or corrupt.
+pub(crate) fn read_meta(dir: &Path, session: u64) -> Option<MetaState> {
+    let text = std::fs::read_to_string(meta_path(dir, session)).ok()?;
+    parse_meta(&text)
+}
+
+fn parse_meta(text: &str) -> Option<MetaState> {
+    let mut lines = text.lines();
+    if lines.next()? != "avoc-session-meta v1" {
+        return None;
+    }
+    let token = lines.next()?.strip_prefix("token=")?.parse().ok()?;
+    let modules = lines.next()?.strip_prefix("modules=")?.parse().ok()?;
+    let resumable = match lines.next()?.strip_prefix("resumable=")? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let high_round = match lines.next()?.strip_prefix("high_round=")? {
+        "none" => None,
+        n => Some(n.parse().ok()?),
+    };
+    let count: usize = lines.next()?.strip_prefix("results=")?.parse().ok()?;
+    let mut results = Vec::with_capacity(count.min(RESULT_RING));
+    for _ in 0..count {
+        let line = lines.next()?;
+        let mut parts = line.strip_prefix("r ")?.split(' ');
+        let round = parts.next()?.parse().ok()?;
+        let value = match parts.next()? {
+            "none" => None,
+            v => Some(v.parse().ok()?),
+        };
+        let voted = match parts.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        results.push((round, value, voted));
+    }
+    let spec = match lines.next()? {
+        "spec=named" => SpecSource::Named(lines.collect::<Vec<_>>().join("\n")),
+        "spec=inline" => SpecSource::Inline(lines.collect::<Vec<_>>().join("\n")),
+        _ => return None,
+    };
+    Some(MetaState {
+        token,
+        modules,
+        resumable,
+        spec,
+        high_round,
+        results,
+    })
+}
+
+fn render_meta(
+    token: u64,
+    modules: u32,
+    resumable: bool,
+    spec: &SpecSource,
+    high_round: Option<u64>,
+    results: &VecDeque<StoredResult>,
+) -> String {
+    let mut out = String::from("avoc-session-meta v1\n");
+    out.push_str(&format!("token={token}\n"));
+    out.push_str(&format!("modules={modules}\n"));
+    out.push_str(&format!("resumable={}\n", u8::from(resumable)));
+    match high_round {
+        Some(r) => out.push_str(&format!("high_round={r}\n")),
+        None => out.push_str("high_round=none\n"),
+    }
+    out.push_str(&format!("results={}\n", results.len()));
+    for &(round, value, voted) in results {
+        match value {
+            // `{:?}` is Rust's shortest round-trip float form; `parse`
+            // restores the exact bits, which bit-identical resume needs.
+            Some(v) => out.push_str(&format!("r {round} {v:?} {}\n", u8::from(voted))),
+            None => out.push_str(&format!("r {round} none {}\n", u8::from(voted))),
+        }
+    }
+    let (kind, text) = match spec {
+        SpecSource::Named(n) => ("named", n.as_str()),
+        SpecSource::Inline(v) => ("inline", v.as_str()),
+    };
+    out.push_str(&format!("spec={kind}\n"));
+    out.push_str(text);
+    out
+}
+
+/// How many recent results a session retains for re-emission on resume.
+/// A client more than this many rounds behind its own acks loses the
+/// overwritten tail (counted via `results_dropped` at emission time, as any
+/// slow tenant's overflow is).
+pub(crate) const RESULT_RING: usize = 256;
+
+impl SessionStore {
+    /// Creates fresh durable state for a new session, removing any stale
+    /// files a previous occupant of this id left behind.
+    pub(crate) fn create(
+        dir: &Path,
+        session: u64,
+        token: u64,
+        modules: u32,
+        resumable: bool,
+        spec: SpecSource,
+        durability: Durability,
+    ) -> io::Result<SessionStore> {
+        std::fs::create_dir_all(dir)?;
+        let wal = wal_path(dir, session);
+        let meta = meta_path(dir, session);
+        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_file(&meta);
+        let history = CachedHistory::new(FileHistory::open_with(&wal, durability)?);
+        let store = SessionStore {
+            history,
+            wal_path: wal,
+            meta_path: meta,
+            token,
+            modules,
+            resumable,
+            spec,
+            logged_floor: 0,
+        };
+        store.write_meta(None, &VecDeque::new())?;
+        Ok(store)
+    }
+
+    /// Loads a session's durable state. `None` when the checkpoint is
+    /// missing or corrupt — the caller falls back to a fresh session (AVOC
+    /// re-bootstraps). A torn WAL tail is repaired by `FileHistory` and does
+    /// not fail the load.
+    pub(crate) fn load(
+        dir: &Path,
+        session: u64,
+        durability: Durability,
+    ) -> Option<(SessionStore, MetaState)> {
+        let meta = read_meta(dir, session)?;
+        let wal = wal_path(dir, session);
+        let file = FileHistory::open_with(&wal, durability).ok()?;
+        let logged_floor = file.bytes_logged();
+        let store = SessionStore {
+            history: CachedHistory::new(file),
+            wal_path: wal,
+            meta_path: meta_path(dir, session),
+            token: meta.token,
+            modules: meta.modules,
+            resumable: meta.resumable,
+            spec: meta.spec.clone(),
+            logged_floor,
+        };
+        Some((store, meta))
+    }
+
+    /// The history records to seed a restored engine with.
+    pub(crate) fn seed_records(&self) -> Vec<(ModuleId, f64)> {
+        self.history.snapshot()
+    }
+
+    /// Stages the engine's current history into the write-behind cache,
+    /// writing only records that actually changed since the last note.
+    pub(crate) fn note_history(&mut self, records: &[(ModuleId, f64)]) {
+        for &(m, v) in records {
+            if self.history.get(m) != Some(v) {
+                self.history.set(m, v);
+            }
+        }
+    }
+
+    /// Checkpoints: WAL first (append + flush), then the meta file via
+    /// tmp + rename. Returns the bytes written by this checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates meta-file I/O errors (WAL append errors are absorbed by
+    /// the store and surface as missing history at next load).
+    pub(crate) fn checkpoint(
+        &mut self,
+        high_round: Option<u64>,
+        results: &VecDeque<StoredResult>,
+    ) -> io::Result<u64> {
+        self.history.flush();
+        let logged = self.history.backing().bytes_logged();
+        let wal_delta = logged.saturating_sub(self.logged_floor);
+        self.logged_floor = logged;
+        let meta_bytes = self.write_meta(high_round, results)?;
+        Ok(wal_delta + meta_bytes)
+    }
+
+    fn write_meta(
+        &self,
+        high_round: Option<u64>,
+        results: &VecDeque<StoredResult>,
+    ) -> io::Result<u64> {
+        let text = render_meta(
+            self.token,
+            self.modules,
+            self.resumable,
+            &self.spec,
+            high_round,
+            results,
+        );
+        let tmp = self.meta_path.with_extension("meta.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &self.meta_path)?;
+        Ok(text.len() as u64)
+    }
+
+    /// Abandons staged-but-unflushed history — the hard-kill path. The
+    /// files keep whatever the last completed checkpoint wrote.
+    pub(crate) fn discard(&mut self) {
+        self.history.discard_pending();
+    }
+
+    /// Deletes the session's durable state (explicit close: the tenant is
+    /// done, nothing to resume).
+    pub(crate) fn remove(mut self) {
+        self.history.discard_pending();
+        let _ = std::fs::remove_file(&self.wal_path);
+        let _ = std::fs::remove_file(&self.meta_path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("avoc-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoint_round_trips_meta_and_history() {
+        let dir = tmpdir("roundtrip");
+        let spec = SpecSource::Inline("{\"algorithm_name\": \"AVOC\"}".into());
+        let mut store = SessionStore::create(
+            &dir,
+            0x2a,
+            u64::MAX,
+            3,
+            true,
+            spec.clone(),
+            Durability::Flush,
+        )
+        .unwrap();
+        store.note_history(&[(ModuleId::new(0), 0.75), (ModuleId::new(1), 1.0)]);
+        let mut ring = VecDeque::new();
+        ring.push_back((4u64, Some(19.700000000000003f64), true));
+        ring.push_back((5u64, None, false));
+        let bytes = store.checkpoint(Some(5), &ring).unwrap();
+        assert!(bytes > 0);
+        drop(store);
+
+        let (loaded, meta) = SessionStore::load(&dir, 0x2a, Durability::Flush).unwrap();
+        assert_eq!(meta.token, u64::MAX, "token must survive byte-exact");
+        assert_eq!(meta.modules, 3);
+        assert!(meta.resumable);
+        assert_eq!(meta.spec, spec);
+        assert_eq!(meta.high_round, Some(5));
+        // The awkward float round-trips exactly (bit-identity requirement).
+        assert_eq!(
+            meta.results,
+            vec![(4, Some(19.700000000000003), true), (5, None, false)]
+        );
+        assert_eq!(
+            loaded.seed_records(),
+            vec![(ModuleId::new(0), 0.75), (ModuleId::new(1), 1.0)]
+        );
+        assert_eq!(list_sessions(&dir), vec![0x2a]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_meta_or_wal_loads_as_none() {
+        let dir = tmpdir("corrupt");
+        let spec = SpecSource::Named("avoc".into());
+        let mut store = SessionStore::create(&dir, 7, 1, 2, true, spec, Durability::Flush).unwrap();
+        store.note_history(&[(ModuleId::new(0), 0.5)]);
+        store.checkpoint(Some(0), &VecDeque::new()).unwrap();
+        drop(store);
+
+        // Scribble over the meta: the load must degrade to None, not error.
+        std::fs::write(dir.join("session-0000000000000007.meta"), "garbage").unwrap();
+        assert!(SessionStore::load(&dir, 7, Durability::Flush).is_none());
+        // Missing entirely behaves the same.
+        assert!(SessionStore::load(&dir, 99, Durability::Flush).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn discard_drops_staged_history_and_remove_deletes_files() {
+        let dir = tmpdir("discard");
+        let spec = SpecSource::Named("avoc".into());
+        let mut store =
+            SessionStore::create(&dir, 3, 9, 1, false, spec, Durability::Fsync).unwrap();
+        store.note_history(&[(ModuleId::new(0), 0.4)]);
+        store.checkpoint(Some(0), &VecDeque::new()).unwrap();
+        store.note_history(&[(ModuleId::new(0), 0.9)]);
+        store.discard(); // hard kill: the 0.9 write never lands
+        drop(store);
+        let (loaded, meta) = SessionStore::load(&dir, 3, Durability::Flush).unwrap();
+        assert!(!meta.resumable);
+        assert_eq!(loaded.seed_records(), vec![(ModuleId::new(0), 0.4)]);
+        loaded.remove();
+        assert!(list_sessions(&dir).is_empty());
+        assert!(SessionStore::load(&dir, 3, Durability::Flush).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -31,13 +31,15 @@ const READ_POLL_INTERVAL: Duration = Duration::from_millis(250);
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The daemon's socket front-end: accepts tenant connections and speaks the
-/// session control frames (tags 5–9) of [`avoc_net::message`] over the
-/// length-prefixed codec.
+/// session control frames (tags 5–9, plus the tag-11 resume handshake) of
+/// [`avoc_net::message`] over the length-prefixed codec.
 ///
 /// Each connection may multiplex any number of sessions; results and
 /// session-scoped errors are written back on the connection that opened the
-/// session. Sessions a connection leaves open when it disconnects are
-/// closed (flushing in-flight rounds) on its behalf.
+/// session. Sessions a connection opened with the legacy `OpenSession` are
+/// closed (flushing in-flight rounds) when it disconnects; sessions it
+/// attached via `ResumeSession` *linger* so the client can reconnect and
+/// re-attach — the idle sweep reaps them if it never does.
 #[derive(Debug)]
 pub struct TcpServer {
     local_addr: SocketAddr,
@@ -94,6 +96,17 @@ impl TcpServer {
         let _ = self.accept_join.join();
         self.service.drain()
     }
+
+    /// Hard kill — the crash-simulation counterpart of
+    /// [`TcpServer::shutdown`]: stops accepting and aborts the service
+    /// ([`VoterService::kill`]) without flushing sessions, leaving durable
+    /// state at the last completed checkpoint.
+    pub fn abort(self) -> CountersSnapshot {
+        self.running.store(false, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept_join.join();
+        self.service.kill()
+    }
 }
 
 fn accept_loop(listener: TcpListener, service: Arc<VoterService>, running: Arc<AtomicBool>) {
@@ -139,28 +152,37 @@ fn serve_connection(stream: TcpStream, service: Arc<VoterService>, running: Arc<
         })
     };
 
-    let opened = read_frames(stream, &service, &running, &out_tx);
+    let (opened, resumed) = read_frames(stream, &service, &running, &out_tx);
 
     // Close sessions the tenant left open so their in-flight rounds flush
     // and the shards drop their sink clones (releasing the writer).
     for session in opened {
         let _ = service.close_session(session);
     }
+    // Resumed sessions linger for a re-attach instead — but they must stop
+    // holding this connection's result channel, or the writer below (and
+    // shutdown's thread joins behind it) would block for as long as the
+    // session lives.
+    for session in resumed {
+        let _ = service.detach_session(session, &out_tx);
+    }
     drop(out_tx);
     let _ = writer.join();
 }
 
 /// Decodes frames until the tenant disconnects, shutdown begins, or a
-/// `Shutdown` frame arrives. Returns the ids of sessions still open.
+/// `Shutdown` frame arrives. Returns the ids of sessions still open:
+/// legacy-opened ones (to close) and resumed ones (to detach).
 fn read_frames(
     mut stream: TcpStream,
     service: &VoterService,
     running: &AtomicBool,
     out_tx: &Sender<Message>,
-) -> Vec<u64> {
+) -> (Vec<u64>, Vec<u64>) {
     let mut buf = BytesMut::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     let mut opened: Vec<u64> = Vec::new();
+    let mut resumed: Vec<u64> = Vec::new();
     'conn: while running.load(Ordering::SeqCst) {
         let n = match stream.read(&mut chunk) {
             Ok(0) => break,
@@ -192,6 +214,33 @@ fn read_frames(
                     Ok(()) => opened.push(session),
                     Err(e) => send_error(out_tx, session, &e),
                 },
+                Message::ResumeSession {
+                    session,
+                    modules,
+                    spec,
+                    token,
+                    last_acked,
+                } => {
+                    // Deliberately NOT added to `opened`: a resumed session
+                    // lingers across disconnects so its client can come back
+                    // and re-attach (the idle sweep reaps abandoned ones).
+                    // It is only *detached* from this connection at teardown.
+                    match service.resume_session(
+                        session,
+                        modules,
+                        &spec,
+                        token,
+                        last_acked,
+                        out_tx.clone(),
+                    ) {
+                        Ok(()) => {
+                            if !resumed.contains(&session) {
+                                resumed.push(session);
+                            }
+                        }
+                        Err(e) => send_error(out_tx, session, &e),
+                    }
+                }
                 Message::SessionReading {
                     session,
                     module,
@@ -223,6 +272,7 @@ fn read_frames(
                 }
                 Message::CloseSession { session } => {
                     opened.retain(|&s| s != session);
+                    resumed.retain(|&s| s != session);
                     if service.close_session(session).is_err() {
                         break 'conn;
                     }
@@ -234,11 +284,12 @@ fn read_frames(
                 | Message::Missing { .. }
                 | Message::Heartbeat { .. }
                 | Message::SessionResult { .. }
+                | Message::Resumed { .. }
                 | Message::Error { .. } => {}
             }
         }
     }
-    opened
+    (opened, resumed)
 }
 
 fn send_error(out_tx: &Sender<Message>, session: u64, e: &ServeError) {

@@ -11,8 +11,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::metrics::{CountersSnapshot, ServiceCounters};
+use crate::persist::{self, Persistence};
 use crate::registry::SpecRegistry;
-use crate::shard::{Backpressure, ShardCommand, ShardWorker};
+use crate::shard::{Backpressure, OpenReq, ShardCommand, ShardWorker};
 
 /// What the service does when a session open arrives at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +48,9 @@ pub struct ServeConfig {
     pub idle_ticks: u64,
     /// Round-assembly lag tolerance handed to each session's hub.
     pub lag_tolerance: u64,
+    /// Crash-safety configuration: state directory, fsync mode and
+    /// checkpoint cadence. Off by default.
+    pub persistence: Persistence,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +63,7 @@ impl Default for ServeConfig {
             admission: AdmissionPolicy::Reject,
             idle_ticks: 4096,
             lag_tolerance: 8,
+            persistence: Persistence::default(),
         }
     }
 }
@@ -121,6 +126,7 @@ pub struct VoterService {
     registry: Arc<SpecRegistry>,
     backpressure: Backpressure,
     admission: AdmissionPolicy,
+    persistence: Persistence,
 }
 
 impl fmt::Debug for VoterService {
@@ -159,6 +165,7 @@ impl VoterService {
                 max_sessions: config.max_sessions,
                 idle_ticks: config.idle_ticks,
                 lag_tolerance: config.lag_tolerance,
+                persistence: config.persistence.clone(),
             };
             joins.push(
                 std::thread::Builder::new()
@@ -181,6 +188,7 @@ impl VoterService {
             registry,
             backpressure: config.backpressure,
             admission: config.admission,
+            persistence: config.persistence,
         }
     }
 
@@ -226,13 +234,16 @@ impl VoterService {
     ) -> Result<(), ServeError> {
         let resolved = self.registry.resolve(spec)?;
         let shard = self.shard_for(session);
-        let cmd = ShardCommand::Open {
+        let cmd = ShardCommand::Open(OpenReq {
             session,
             modules,
             spec: Box::new(resolved),
+            spec_source: spec.clone(),
+            token: 0,
+            resumable: false,
             sink,
             evict_if_full: self.admission == AdmissionPolicy::EvictIdle,
-        };
+        });
         // Control frames always block: admission must not be load-shed, and
         // the worker drains control with priority (and never blocks on a
         // tenant sink), so the send cannot wedge behind a data flood.
@@ -242,6 +253,117 @@ impl VoterService {
             .map_err(|_| ServeError::ShuttingDown)?;
         self.note_depth(shard);
         Ok(())
+    }
+
+    /// Idempotent session open/re-attach — the crash-recovery entry point.
+    ///
+    /// If the session is live and `token` matches, the caller's `sink`
+    /// replaces the old one and results past `last_acked` are re-emitted.
+    /// If a durable checkpoint exists under a matching token, the session
+    /// is rebuilt warm from it. Otherwise a fresh session is installed and
+    /// the AVOC engine bootstraps from live data. In every case the shard
+    /// answers with a [`Message::Resumed`] frame on `sink` (or a
+    /// [`Message::Error`] on token mismatch or capacity refusal).
+    ///
+    /// # Errors
+    ///
+    /// Spec resolution errors synchronously; everything else arrives on
+    /// `sink`.
+    pub fn resume_session(
+        &self,
+        session: u64,
+        modules: u32,
+        spec: &SpecSource,
+        token: u64,
+        last_acked: Option<u64>,
+        sink: Sender<Message>,
+    ) -> Result<(), ServeError> {
+        let resolved = self.registry.resolve(spec)?;
+        let shard = self.shard_for(session);
+        let cmd = ShardCommand::Resume {
+            req: OpenReq {
+                session,
+                modules,
+                spec: Box::new(resolved),
+                spec_source: spec.clone(),
+                token,
+                resumable: true,
+                sink,
+                evict_if_full: self.admission == AdmissionPolicy::EvictIdle,
+            },
+            last_acked,
+            eager: false,
+        };
+        self.links[shard]
+            .ctrl
+            .send(cmd)
+            .map_err(|_| ServeError::ShuttingDown)?;
+        self.note_depth(shard);
+        Ok(())
+    }
+
+    /// Releases a lingering session's hold on a dead connection's result
+    /// channel (see [`ShardCommand::Detach`]): the session stays alive for
+    /// a future `ResumeSession`, but stops pinning the connection's writer.
+    /// A no-op if the session has already re-attached to a different sink.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after [`VoterService::drain`].
+    pub fn detach_session(&self, session: u64, sink: &Sender<Message>) -> Result<(), ServeError> {
+        let shard = self.shard_for(session);
+        self.links[shard]
+            .ctrl
+            .send(ShardCommand::Detach {
+                session,
+                sink: sink.clone(),
+            })
+            .map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Eagerly rebuilds every session checkpointed in the state directory —
+    /// the daemon-restart path: the `SpecRegistry` re-resolves each
+    /// session's persisted spec and the shards restore warm history from
+    /// the WALs. Sessions whose spec no longer resolves (or whose meta is
+    /// corrupt) are skipped; a later client resume gets the fresh-fallback
+    /// bootstrap for those instead of an error.
+    ///
+    /// Returns how many recovery commands were dispatched. Until a client
+    /// re-attaches, recovered sessions emit to `sink`.
+    pub fn recover_sessions(&self, sink: Sender<Message>) -> usize {
+        let Some(dir) = self.persistence.state_dir.clone() else {
+            return 0;
+        };
+        let mut dispatched = 0;
+        for id in persist::list_sessions(&dir) {
+            let Some(meta) = persist::read_meta(&dir, id) else {
+                continue;
+            };
+            let Ok(resolved) = self.registry.resolve(&meta.spec) else {
+                continue;
+            };
+            let shard = self.shard_for(id);
+            let cmd = ShardCommand::Resume {
+                req: OpenReq {
+                    session: id,
+                    modules: meta.modules,
+                    spec: Box::new(resolved),
+                    spec_source: meta.spec.clone(),
+                    token: meta.token,
+                    resumable: meta.resumable,
+                    sink: sink.clone(),
+                    evict_if_full: self.admission == AdmissionPolicy::EvictIdle,
+                },
+                // Nothing to re-emit to the daemon's own sink; the client's
+                // eventual resume replays against its real ack floor.
+                last_acked: meta.high_round,
+                eager: true,
+            };
+            if self.links[shard].ctrl.send(cmd).is_ok() {
+                dispatched += 1;
+            }
+        }
+        dispatched
     }
 
     /// Routes one reading to its session's shard under the configured
@@ -396,6 +518,23 @@ impl VoterService {
         // disconnects the data channels so a `feed` racing this drain (or
         // arriving after it) errors instead of queueing — or, under
         // `Block`, sleeping — forever on a mailbox nobody reads.
+        self.sheds.lock().clear();
+        self.counters.snapshot()
+    }
+
+    /// Hard kill — the crash-simulation counterpart of
+    /// [`VoterService::drain`]: shards drop their sessions *without*
+    /// flushing in-flight rounds or writing final checkpoints, so durable
+    /// state is left exactly as the last completed checkpoint wrote it.
+    /// Integration tests restart daemons through this to prove recovery.
+    pub fn kill(&self) -> CountersSnapshot {
+        for link in &self.links {
+            let _ = link.ctrl.send(ShardCommand::Abort);
+        }
+        let joins: Vec<JoinHandle<()>> = std::mem::take(&mut *self.joins.lock());
+        for j in joins {
+            let _ = j.join();
+        }
         self.sheds.lock().clear();
         self.counters.snapshot()
     }

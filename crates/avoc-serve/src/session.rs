@@ -1,13 +1,31 @@
-//! One tenant's voting session: round assembly + fusion + result emission.
+//! One tenant's voting session: round assembly + fusion + result emission,
+//! with optional durable checkpoints and resume support.
 
 use avoc_core::{ModuleId, Round, RoundResult, VotingEngine};
 use avoc_net::{Message, SensorHub};
 use avoc_vdx::{build_engine, VdxSpec};
 use crossbeam::channel::Sender;
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use crate::metrics::ServiceCounters;
+use crate::persist::{MetaState, SessionStore, StoredResult, RESULT_RING};
 use crate::service::ServeError;
+
+/// The per-session knobs a shard hands to `open`/`restore` (bundled so the
+/// constructors stay readable as resume grows the parameter list).
+pub(crate) struct SessionConfig {
+    pub(crate) id: u64,
+    pub(crate) modules: u32,
+    pub(crate) lag_tolerance: u64,
+    pub(crate) tick: u64,
+    /// Client-chosen resume token; `0` for legacy opens.
+    pub(crate) token: u64,
+    /// Whether a live `ResumeSession` may re-attach to this session.
+    pub(crate) resumable: bool,
+    /// Checkpoint cadence in fused rounds (clamped to at least 1).
+    pub(crate) checkpoint_every: u64,
+}
 
 /// A live session owned by exactly one shard worker (so the engine's
 /// history mutates without locks, and rounds fuse in submission order).
@@ -18,27 +36,71 @@ pub(crate) struct Session {
     sink: Sender<Message>,
     /// Shard tick of the last reading; drives idle eviction.
     pub(crate) last_active_tick: u64,
+    token: u64,
+    resumable: bool,
+    /// Highest round ever fused (`None` before the first).
+    high_round: Option<u64>,
+    /// Recent results, re-emitted past the client's ack floor on resume.
+    results: VecDeque<StoredResult>,
+    persist: Option<SessionStore>,
+    checkpoint_every: u64,
+    rounds_since_ckpt: u64,
 }
 
 impl Session {
     /// Builds the session's engine from its (already validated) spec.
     pub(crate) fn open(
-        id: u64,
-        modules: u32,
+        cfg: &SessionConfig,
         spec: &VdxSpec,
-        lag_tolerance: u64,
         sink: Sender<Message>,
-        tick: u64,
+        persist: Option<SessionStore>,
     ) -> Result<Self, ServeError> {
-        let expected: Vec<ModuleId> = (0..modules).map(ModuleId::new).collect();
+        let expected: Vec<ModuleId> = (0..cfg.modules).map(ModuleId::new).collect();
         let engine = build_engine(spec).map_err(ServeError::Vdx)?;
         Ok(Session {
-            id,
-            hub: SensorHub::new(expected).with_lag_tolerance(lag_tolerance),
+            id: cfg.id,
+            hub: SensorHub::new(expected).with_lag_tolerance(cfg.lag_tolerance),
             engine,
             sink,
-            last_active_tick: tick,
+            last_active_tick: cfg.tick,
+            token: cfg.token,
+            resumable: cfg.resumable,
+            high_round: None,
+            results: VecDeque::new(),
+            persist,
+            checkpoint_every: cfg.checkpoint_every.max(1),
+            rounds_since_ckpt: 0,
         })
+    }
+
+    /// Rebuilds a session from its durable checkpoint: the engine is seeded
+    /// with the WAL's history records (so AVOC's clustering bootstrap stays
+    /// dormant — the store is warm, not flat) and the hub's completed-round
+    /// floor is pre-set to `high_round`, so readings a resuming client
+    /// replays for already-fused rounds are dropped as stragglers instead of
+    /// fusing twice.
+    pub(crate) fn restore(
+        cfg: &SessionConfig,
+        spec: &VdxSpec,
+        sink: Sender<Message>,
+        store: SessionStore,
+        meta: &MetaState,
+    ) -> Result<Self, ServeError> {
+        let mut s = Session::open(cfg, spec, sink, None)?;
+        s.engine.seed_histories(&store.seed_records());
+        s.hub = s.hub.with_completed_through(meta.high_round);
+        s.high_round = meta.high_round;
+        s.results = meta.results.iter().copied().collect();
+        s.persist = Some(store);
+        Ok(s)
+    }
+
+    pub(crate) fn token(&self) -> u64 {
+        self.token
+    }
+
+    pub(crate) fn resumable(&self) -> bool {
+        self.resumable
     }
 
     /// Feeds one reading; fuses and emits any rounds that became complete.
@@ -62,10 +124,103 @@ impl Session {
     }
 
     /// Flushes partially assembled rounds through the engine (close/evict/
-    /// drain path), emitting their results.
+    /// drain path), emitting their results, then writes a final checkpoint
+    /// so the durable state is as warm as the session was.
     pub(crate) fn flush(&mut self, counters: &ServiceCounters) {
         for r in self.hub.flush_all() {
             self.fuse(&r, counters);
+        }
+        self.checkpoint(counters);
+    }
+
+    /// Writes a checkpoint now: WAL first, then the meta file. Errors leave
+    /// the previous checkpoint in place — recovery degrades, never corrupts.
+    pub(crate) fn checkpoint(&mut self, counters: &ServiceCounters) {
+        let Some(store) = self.persist.as_mut() else {
+            return;
+        };
+        store.note_history(&self.engine.histories());
+        if let Ok(bytes) = store.checkpoint(self.high_round, &self.results) {
+            counters.checkpoint_bytes_add(bytes);
+        }
+        self.rounds_since_ckpt = 0;
+    }
+
+    /// The hard-kill path: abandon staged-but-unflushed durable writes and
+    /// drop the session without flushing, so on-disk state is exactly what
+    /// the last completed checkpoint wrote — as a crash would leave it.
+    pub(crate) fn abort(mut self) {
+        if let Some(store) = self.persist.as_mut() {
+            store.discard();
+        }
+    }
+
+    /// Deletes the session's durable state (explicit close: done for good).
+    pub(crate) fn remove_store(&mut self) {
+        if let Some(store) = self.persist.take() {
+            store.remove();
+        }
+    }
+
+    /// Whether `sink` is the channel this session currently emits to.
+    pub(crate) fn sink_is(&self, sink: &Sender<Message>) -> bool {
+        self.sink.same_channel(sink)
+    }
+
+    /// Drops the session's hold on a disconnected client's result channel,
+    /// replacing it with a dead sink. The session lingers for a future
+    /// re-attach (its ring retains the results a resume will replay); until
+    /// then, emissions are counted as dropped. Without this, a lingering
+    /// session would pin its dead connection's writer thread (and socket)
+    /// for as long as it lives.
+    pub(crate) fn detach(&mut self) {
+        let (dead, _) = crossbeam::channel::bounded(1);
+        self.sink = dead;
+    }
+
+    /// Re-attaches a resuming client: swap in its sink, acknowledge with
+    /// [`Message::Resumed`], then re-emit every result past its ack floor.
+    pub(crate) fn reattach(
+        &mut self,
+        sink: Sender<Message>,
+        last_acked: Option<u64>,
+        tick: u64,
+        counters: &ServiceCounters,
+    ) {
+        self.sink = sink;
+        self.last_active_tick = tick;
+        self.announce_resumed(true, counters);
+        self.replay_results(last_acked, counters);
+    }
+
+    /// Sends the resume acknowledgement frame.
+    pub(crate) fn announce_resumed(&self, warm: bool, counters: &ServiceCounters) {
+        let msg = Message::Resumed {
+            session: self.id,
+            high_round: self.high_round,
+            warm,
+        };
+        if self.sink.try_send(msg).is_err() {
+            counters.result_dropped();
+        }
+    }
+
+    /// Re-emits ring results the client has not acknowledged (rounds in
+    /// `(last_acked, high_round]`); `None` replays the whole ring.
+    pub(crate) fn replay_results(&self, last_acked: Option<u64>, counters: &ServiceCounters) {
+        for &(round, value, voted) in &self.results {
+            if last_acked.is_some_and(|a| round <= a) {
+                continue;
+            }
+            let msg = Message::SessionResult {
+                session: self.id,
+                round,
+                value,
+                voted,
+            };
+            if self.sink.try_send(msg).is_err() {
+                counters.result_dropped();
+            }
         }
     }
 
@@ -81,14 +236,25 @@ impl Session {
                 if matches!(result, RoundResult::Fallback { .. }) {
                     counters.fallback();
                 }
+                // Numeric sessions carry the fused value on the wire;
+                // vector/text verdicts are reported as voted-but-opaque
+                // (the result frame is fixed-width by design).
+                let value = result.number();
+                let voted = result.is_voted();
+                self.high_round = Some(self.high_round.map_or(round.round, |h| h.max(round.round)));
+                if self.results.len() == RESULT_RING {
+                    self.results.pop_front();
+                }
+                self.results.push_back((round.round, value, voted));
+                self.rounds_since_ckpt += 1;
+                if self.persist.is_some() && self.rounds_since_ckpt >= self.checkpoint_every {
+                    self.checkpoint(counters);
+                }
                 Message::SessionResult {
                     session: self.id,
                     round: round.round,
-                    // Numeric sessions carry the fused value on the wire;
-                    // vector/text verdicts are reported as voted-but-opaque
-                    // (the result frame is fixed-width by design).
-                    value: result.number(),
-                    voted: result.is_voted(),
+                    value,
+                    voted,
                 }
             }
             Err(e) => Message::Error {
@@ -123,11 +289,23 @@ mod tests {
     use super::*;
     use crossbeam::channel;
 
+    fn cfg(id: u64, modules: u32) -> SessionConfig {
+        SessionConfig {
+            id,
+            modules,
+            lag_tolerance: 8,
+            tick: 0,
+            token: 0,
+            resumable: false,
+            checkpoint_every: 1,
+        }
+    }
+
     #[test]
     fn session_fuses_complete_rounds_and_flushes_partials() {
         let counters = ServiceCounters::new(1);
         let (tx, rx) = channel::unbounded();
-        let mut s = Session::open(5, 3, &VdxSpec::avoc(), 8, tx, 0).unwrap();
+        let mut s = Session::open(&cfg(5, 3), &VdxSpec::avoc(), tx, None).unwrap();
 
         for (m, v) in [(0, 20.0), (1, 20.2), (2, 19.9)] {
             s.feed(ModuleId::new(m), 0, v, 1, &counters);
@@ -164,7 +342,7 @@ mod tests {
         let counters = ServiceCounters::new(1);
         // Capacity-1 sink that nobody reads: wedged after the first result.
         let (tx, rx) = channel::bounded(1);
-        let mut s = Session::open(1, 1, &VdxSpec::avoc(), 8, tx, 0).unwrap();
+        let mut s = Session::open(&cfg(1, 1), &VdxSpec::avoc(), tx, None).unwrap();
         // Single-module rounds: each feed fuses and emits one result. A
         // blocking sink send would deadlock this loop on the second round.
         for round in 0..5u64 {
@@ -177,5 +355,54 @@ mod tests {
             rx.try_recv().unwrap(),
             Message::SessionResult { round: 0, .. }
         ));
+    }
+
+    #[test]
+    fn reattach_replays_only_unacked_results() {
+        let counters = ServiceCounters::new(1);
+        let (tx, _rx) = channel::unbounded();
+        let mut s = Session::open(
+            &SessionConfig {
+                resumable: true,
+                token: 42,
+                ..cfg(9, 1)
+            },
+            &VdxSpec::avoc(),
+            tx,
+            None,
+        )
+        .unwrap();
+        for round in 0..4u64 {
+            s.feed(
+                ModuleId::new(0),
+                round,
+                10.0 + round as f64,
+                round + 1,
+                &counters,
+            );
+        }
+        assert_eq!(s.token(), 42);
+        assert!(s.resumable());
+
+        // A new client attaches having acked round 1: it must see Resumed
+        // first, then results 2 and 3 only.
+        let (tx2, rx2) = channel::unbounded();
+        s.reattach(tx2, Some(1), 10, &counters);
+        assert!(matches!(
+            rx2.try_recv().unwrap(),
+            Message::Resumed {
+                session: 9,
+                high_round: Some(3),
+                warm: true,
+            }
+        ));
+        let replayed: Vec<u64> = rx2
+            .try_iter()
+            .map(|m| match m {
+                Message::SessionResult { round, .. } => round,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(replayed, vec![2, 3]);
     }
 }

@@ -1,16 +1,17 @@
 //! Shard workers: session-pinned executors behind bounded mailboxes.
 
 use avoc_core::ModuleId;
-use avoc_net::Message;
+use avoc_net::{Message, SpecSource};
 use avoc_vdx::VdxSpec;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::metrics::ServiceCounters;
-use crate::session::Session;
+use crate::persist::{Persistence, SessionStore};
+use crate::session::{Session, SessionConfig};
 
 /// What a shard does when its bounded data mailbox is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,26 +28,50 @@ pub enum Backpressure {
     Reject,
 }
 
+/// Everything a shard needs to install a session (shared by `Open` and
+/// `Resume`, which differ only in how they treat pre-existing state).
+pub(crate) struct OpenReq {
+    /// Session identifier.
+    pub(crate) session: u64,
+    /// Modules feeding each round.
+    pub(crate) modules: u32,
+    /// The governing spec (boxed: specs are large, commands are queued).
+    pub(crate) spec: Box<VdxSpec>,
+    /// How the tenant named the spec — persisted so recovery can re-resolve
+    /// it without the tenant.
+    pub(crate) spec_source: SpecSource,
+    /// Client-chosen resume token (`0` for legacy opens).
+    pub(crate) token: u64,
+    /// Whether a live `ResumeSession` may later re-attach.
+    pub(crate) resumable: bool,
+    /// Where the session's results go.
+    pub(crate) sink: Sender<Message>,
+    /// Evict this shard's idlest session if the service is at capacity.
+    pub(crate) evict_if_full: bool,
+}
+
 /// Work routed to a shard. Sessions are pinned: every command for a session
 /// id lands on the same shard, so session state needs no synchronisation.
 ///
 /// Commands travel on two channels per shard: lifecycle commands (`Open`,
-/// `Close`, `Drain`) on a control mailbox the worker always drains first,
-/// and `Reading`s on the backpressured data mailbox — so a flood of data
-/// can never displace, reorder, or shed a control command.
+/// `Resume`, `Close`, `Drain`, `Abort`) on a control mailbox the worker
+/// always drains first, and `Reading`s on the backpressured data mailbox —
+/// so a flood of data can never displace, reorder, or shed a control
+/// command.
 pub(crate) enum ShardCommand {
     /// Install a session (spec already resolved and validated).
-    Open {
-        /// Session identifier.
-        session: u64,
-        /// Modules feeding each round.
-        modules: u32,
-        /// The governing spec (boxed: specs are large, commands are queued).
-        spec: Box<VdxSpec>,
-        /// Where the session's results go.
-        sink: Sender<Message>,
-        /// Evict this shard's idlest session if the service is at capacity.
-        evict_if_full: bool,
+    Open(OpenReq),
+    /// Idempotent re-open: re-attach to a live session whose token matches,
+    /// restore from a durable checkpoint, or fall back to a fresh session.
+    Resume {
+        /// The session to install or re-attach.
+        req: OpenReq,
+        /// Highest round the client has acknowledged; results past it are
+        /// re-emitted from the session's ring.
+        last_acked: Option<u64>,
+        /// Daemon-internal recovery scan (not a client retry): counted as a
+        /// recovery only, and never as a resume or retry.
+        eager: bool,
     },
     /// One measurement for a session's round.
     Reading {
@@ -59,19 +84,36 @@ pub(crate) enum ShardCommand {
         /// Measured value.
         value: f64,
     },
-    /// Flush and remove a session.
+    /// Flush and remove a session (its durable state is deleted: an
+    /// explicit close means the tenant is done for good).
     Close {
         /// Session to close.
         session: u64,
     },
-    /// Flush every session and exit the worker loop.
+    /// A connection died without closing this resumable session: release
+    /// its sink (so the connection's writer can exit) but keep the session
+    /// lingering for a re-attach. Ignored unless the session still emits to
+    /// `sink` — a client that already re-attached elsewhere must not have
+    /// its fresh sink torn away by its old connection's teardown.
+    Detach {
+        /// The lingering session.
+        session: u64,
+        /// The dead connection's outbound channel.
+        sink: Sender<Message>,
+    },
+    /// Flush every session (final checkpoints included) and exit the worker
+    /// loop.
     Drain,
+    /// Hard kill: drop every session *without* flushing, leaving durable
+    /// state exactly as the last completed checkpoint wrote it — the
+    /// crash-simulation path integration tests restart daemons through.
+    Abort,
 }
 
 /// Per-shard worker state.
 pub(crate) struct ShardWorker {
     pub(crate) index: usize,
-    /// Control mailbox: `Open`/`Close`/`Drain`, drained before data.
+    /// Control mailbox: lifecycle commands, drained before data.
     pub(crate) ctrl_rx: Receiver<ShardCommand>,
     /// Data mailbox: `Reading`s under the configured backpressure policy.
     pub(crate) data_rx: Receiver<ShardCommand>,
@@ -85,6 +127,8 @@ pub(crate) struct ShardWorker {
     pub(crate) idle_ticks: u64,
     /// Hub lag tolerance for each session's round assembly.
     pub(crate) lag_tolerance: u64,
+    /// Crash-safety configuration (state dir, fsync, checkpoint cadence).
+    pub(crate) persistence: Persistence,
 }
 
 /// How often (in ticks) the worker sweeps for idle sessions.
@@ -104,7 +148,8 @@ const DATA_BURST: usize = 64;
 
 /// The mutable state one worker owns: its sessions, its logical clock,
 /// control commands put aside while hunting for a pending `Open` (see
-/// [`ShardWorker::reading`]), and whether a `Drain` has told it to stop.
+/// [`ShardWorker::reading`]), and whether a `Drain`/`Abort` has told it to
+/// stop.
 struct ShardState {
     sessions: HashMap<u64, Session>,
     tick: u64,
@@ -114,7 +159,8 @@ struct ShardState {
 
 impl ShardWorker {
     /// The worker loop: control commands first, then readings, until `Drain`
-    /// (flushing all sessions) or until every sender disconnects.
+    /// (flushing all sessions) or `Abort` (flushing none), or until every
+    /// sender disconnects.
     ///
     /// The loop never blocks on anything a tenant controls — session sinks
     /// are fed with `try_send` — so one stalled tenant cannot wedge the
@@ -179,7 +225,8 @@ impl ShardWorker {
             }
         }
         // Graceful drain: every in-flight round is fused and reported
-        // before the worker exits. The global slots stay claimed: releasing
+        // before the worker exits (an `Abort` already emptied the map, so
+        // nothing flushes there). The global slots stay claimed: releasing
         // them here would let an `Open` still queued on a slower shard win a
         // slot freed by shutdown and be admitted past `max_sessions` — the
         // count dies with the service, so leaking it is harmless.
@@ -190,13 +237,14 @@ impl ShardWorker {
 
     fn control(&self, cmd: ShardCommand, st: &mut ShardState) {
         match cmd {
-            ShardCommand::Open {
-                session,
-                modules,
-                spec,
-                sink,
-                evict_if_full,
-            } => self.admit(st, session, modules, &spec, sink, evict_if_full),
+            ShardCommand::Open(req) => {
+                self.admit(st, req, false);
+            }
+            ShardCommand::Resume {
+                req,
+                last_acked,
+                eager,
+            } => self.resume(st, req, last_acked, eager),
             ShardCommand::Close { session } => {
                 // Readings the tenant sent before this Close are still in
                 // the data mailbox; process them first so prioritising
@@ -204,11 +252,28 @@ impl ShardWorker {
                 self.drain_data_backlog(st);
                 if let Some(mut s) = st.sessions.remove(&session) {
                     s.flush(&self.counters);
+                    s.remove_store();
                     self.active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            ShardCommand::Detach { session, sink } => {
+                if let Some(s) = st.sessions.get_mut(&session) {
+                    if s.sink_is(&sink) {
+                        s.detach();
+                    }
                 }
             }
             ShardCommand::Drain => {
                 self.drain_data_backlog(st);
+                st.stop = true;
+            }
+            ShardCommand::Abort => {
+                // Crash semantics: no backlog drain, no flush, no final
+                // checkpoint — sessions die mid-thought and durable state
+                // stays at the last completed checkpoint.
+                for (_, s) in st.sessions.drain() {
+                    s.abort();
+                }
                 st.stop = true;
             }
             // Readings are routed to the data mailbox; tolerate a stray one
@@ -242,23 +307,28 @@ impl ShardWorker {
         };
         st.tick += 1;
         if !st.sessions.contains_key(&session) {
-            // The session's Open is always enqueued before its readings,
-            // but on the control channel — it may not have been processed
-            // yet. Hunt for it: install Opens on the way, but *defer*
-            // anything else until after this reading — executing a Close
-            // here would drain the data backlog past the reading in hand,
-            // reordering that tenant's rounds. An Open whose id has a
+            // The session's Open/Resume is always enqueued before its
+            // readings, but on the control channel — it may not have been
+            // processed yet. Hunt for it: install Opens on the way, but
+            // *defer* anything else until after this reading — executing a
+            // Close here would drain the data backlog past the reading in
+            // hand, reordering that tenant's rounds. An Open whose id has a
             // deferred Close ahead of it (close-then-reopen) is deferred
             // too, preserving their relative order.
             while !st.sessions.contains_key(&session) {
                 match self.ctrl_rx.try_recv() {
                     Ok(cmd) => {
-                        let install_now = match &cmd {
-                            ShardCommand::Open { session: id, .. } => !st.deferred.iter().any(
-                                |d| matches!(d, ShardCommand::Close { session: s } if s == id),
-                            ),
-                            _ => false,
+                        let open_id = match &cmd {
+                            ShardCommand::Open(req) | ShardCommand::Resume { req, .. } => {
+                                Some(req.session)
+                            }
+                            _ => None,
                         };
+                        let install_now = open_id.is_some_and(|id| {
+                            !st.deferred.iter().any(
+                                |d| matches!(d, ShardCommand::Close { session: s } if *s == id),
+                            )
+                        });
                         if install_now {
                             self.control(cmd, st);
                         } else {
@@ -282,52 +352,160 @@ impl ShardWorker {
         }
     }
 
-    fn admit(
-        &self,
-        st: &mut ShardState,
-        session: u64,
-        modules: u32,
-        spec: &VdxSpec,
-        sink: Sender<Message>,
-        evict_if_full: bool,
-    ) {
-        if st.sessions.contains_key(&session) {
-            self.refuse(&sink, session, "session id already open");
-            return;
+    /// Installs a fresh session. With `announce`, acknowledges with a cold
+    /// [`Message::Resumed`] (the resume-fallback path). Returns whether the
+    /// session was admitted.
+    fn admit(&self, st: &mut ShardState, req: OpenReq, announce: bool) -> bool {
+        if st.sessions.contains_key(&req.session) {
+            self.refuse(&req.sink, req.session, "session id already open");
+            return false;
         }
-        // Reserve a slot against the global cap before building the
-        // session: a load-then-add would let concurrent opens on different
-        // shards both pass the check and overshoot `max_sessions`.
-        let mut reserved = self.try_reserve_slot();
-        if !reserved && evict_if_full && self.evict_idlest(&mut st.sessions) {
-            // `EvictIdle` admission: the shard's idlest session was reaped,
-            // but the freed slot is contended globally — a concurrent open
-            // on another shard may still win it. (Capacity is global while
-            // eviction is shard-local; see `AdmissionPolicy::EvictIdle`.)
-            reserved = self.try_reserve_slot();
+        if !self.reserve_or_evict(st, req.evict_if_full) {
+            self.refuse(&req.sink, req.session, "service at session capacity");
+            return false;
         }
-        if !reserved {
-            self.refuse(&sink, session, "service at session capacity");
-            return;
-        }
-        match Session::open(
-            session,
-            modules,
-            spec,
-            self.lag_tolerance,
-            sink.clone(),
-            st.tick,
-        ) {
-            Ok(s) => {
-                st.sessions.insert(session, s);
+        let cfg = SessionConfig {
+            id: req.session,
+            modules: req.modules,
+            lag_tolerance: self.lag_tolerance,
+            tick: st.tick,
+            token: req.token,
+            resumable: req.resumable,
+            checkpoint_every: self.persistence.checkpoint_every,
+        };
+        let store = self.make_store(&req);
+        match Session::open(&cfg, &req.spec, req.sink.clone(), store) {
+            Ok(mut s) => {
+                // A durable session's first checkpoint is its registration:
+                // a crash before the first fused round still recovers it.
+                s.checkpoint(&self.counters);
+                if announce {
+                    s.announce_resumed(false, &self.counters);
+                }
+                st.sessions.insert(req.session, s);
                 self.counters.session_opened();
+                true
             }
             Err(e) => {
                 // Roll the reserved slot back.
                 self.active.fetch_sub(1, Ordering::Relaxed);
-                self.refuse(&sink, session, &e.to_string());
+                self.refuse(&req.sink, req.session, &e.to_string());
+                false
             }
         }
+    }
+
+    /// The resume path: live re-attach, checkpoint restore, or fresh
+    /// fallback — in that order.
+    fn resume(&self, st: &mut ShardState, req: OpenReq, last_acked: Option<u64>, eager: bool) {
+        if !eager {
+            self.counters.retry();
+        }
+        // 1. Live session: re-attach if the token proves ownership.
+        if let Some(s) = st.sessions.get_mut(&req.session) {
+            if s.resumable() && s.token() == req.token {
+                s.reattach(req.sink, last_acked, st.tick, &self.counters);
+                self.counters.session_resumed();
+            } else {
+                self.refuse(&req.sink, req.session, "resume token mismatch");
+            }
+            return;
+        }
+        // 2. Durable checkpoint: rebuild the session warm.
+        if let Some(dir) = self.persistence.state_dir.clone() {
+            let started = Instant::now();
+            let loaded = SessionStore::load(&dir, req.session, self.persistence.durability());
+            if let Some((store, meta)) = loaded {
+                self.counters
+                    .wal_replay_ns_add(started.elapsed().as_nanos() as u64);
+                if meta.token != req.token {
+                    // Someone else's durable state: refuse rather than
+                    // silently clobber it with a fresh session.
+                    self.refuse(&req.sink, req.session, "resume token mismatch");
+                    return;
+                }
+                // A non-resumable checkpoint (legacy open) may still be
+                // recovered by the daemon's own startup scan.
+                if meta.resumable || eager {
+                    if !self.reserve_or_evict(st, req.evict_if_full) {
+                        self.refuse(&req.sink, req.session, "service at session capacity");
+                        return;
+                    }
+                    let cfg = SessionConfig {
+                        id: req.session,
+                        modules: meta.modules,
+                        lag_tolerance: self.lag_tolerance,
+                        tick: st.tick,
+                        token: meta.token,
+                        resumable: meta.resumable,
+                        checkpoint_every: self.persistence.checkpoint_every,
+                    };
+                    match Session::restore(&cfg, &req.spec, req.sink.clone(), store, &meta) {
+                        Ok(s) => {
+                            s.announce_resumed(true, &self.counters);
+                            s.replay_results(last_acked, &self.counters);
+                            st.sessions.insert(req.session, s);
+                            self.counters.recovery();
+                            if !eager {
+                                self.counters.session_resumed();
+                            }
+                        }
+                        Err(e) => {
+                            self.active.fetch_sub(1, Ordering::Relaxed);
+                            self.refuse(&req.sink, req.session, &e.to_string());
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        // 3. No live session, no usable checkpoint: fresh fallback. The
+        // AVOC engine re-bootstraps from live data — the paper's cold-start
+        // path, now the *last* resort instead of the only behaviour.
+        self.admit(
+            st,
+            OpenReq {
+                resumable: true,
+                ..req
+            },
+            true,
+        );
+    }
+
+    /// Creates the session's durable store, or `None` when persistence is
+    /// off — or when creation fails, in which case the session degrades to
+    /// memory-only rather than being refused.
+    fn make_store(&self, req: &OpenReq) -> Option<SessionStore> {
+        let dir = self.persistence.state_dir.as_deref()?;
+        SessionStore::create(
+            dir,
+            req.session,
+            req.token,
+            req.modules,
+            req.resumable,
+            req.spec_source.clone(),
+            self.persistence.durability(),
+        )
+        .ok()
+    }
+
+    /// Claims a global session slot, evicting this shard's idlest session
+    /// first when allowed and necessary.
+    fn reserve_or_evict(&self, st: &mut ShardState, evict_if_full: bool) -> bool {
+        // Reserve a slot against the global cap before building the
+        // session: a load-then-add would let concurrent opens on different
+        // shards both pass the check and overshoot `max_sessions`.
+        if self.try_reserve_slot() {
+            return true;
+        }
+        if evict_if_full && self.evict_idlest(&mut st.sessions) {
+            // `EvictIdle` admission: the shard's idlest session was reaped,
+            // but the freed slot is contended globally — a concurrent open
+            // on another shard may still win it. (Capacity is global while
+            // eviction is shard-local; see `AdmissionPolicy::EvictIdle`.)
+            return self.try_reserve_slot();
+        }
+        false
     }
 
     /// Atomically claims one of the `max_sessions` global slots.
@@ -361,7 +539,9 @@ impl ShardWorker {
         self.counters.session_rejected();
     }
 
-    /// Evicts the least-recently-active session, flushing it first.
+    /// Evicts the least-recently-active session, flushing it first. Its
+    /// durable checkpoint is *kept*: eviction reclaims memory, and a later
+    /// resume can still restore the session warm from disk.
     fn evict_idlest(&self, sessions: &mut HashMap<u64, Session>) -> bool {
         let Some(&victim) = sessions
             .iter()
@@ -378,7 +558,8 @@ impl ShardWorker {
         true
     }
 
-    /// Reaps sessions that have not seen a reading for `idle_ticks`.
+    /// Reaps sessions that have not seen a reading for `idle_ticks` (their
+    /// checkpoints stay on disk, so resumable sessions remain resumable).
     fn sweep(&self, st: &mut ShardState) {
         let idle: Vec<u64> = st
             .sessions

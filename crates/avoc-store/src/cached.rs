@@ -69,6 +69,16 @@ impl<S: HistoryStore> CachedHistory<S> {
         self.dirty.clear();
     }
 
+    /// Abandons pending writes (and a pending clear) without touching the
+    /// backing store: the cache and backing intentionally diverge. This is
+    /// the crash-simulation path — a service hard-killing its sessions must
+    /// *not* let the flushing `Drop` checkpoint state the "crash" should
+    /// have lost.
+    pub fn discard_pending(&mut self) {
+        self.dirty.clear();
+        self.cleared = false;
+    }
+
     /// Borrows the backing store (read-only).
     pub fn backing(&self) -> &S {
         self.backing
@@ -184,6 +194,26 @@ mod tests {
             cached.set(m(9), 0.8);
         } // drop → flush
         assert_eq!(shared.get(m(9)), Some(0.8));
+    }
+
+    #[test]
+    fn discard_pending_keeps_backing_untouched() {
+        let mut backing = MemoryHistory::new();
+        backing.set(m(0), 0.5);
+        let mut cached = CachedHistory::new(backing);
+        cached.set(m(0), 0.9);
+        cached.set(m(1), 0.1);
+        cached.discard_pending();
+        assert_eq!(cached.pending_writes(), 0);
+        drop(cached); // Drop's flush must now be a no-op.
+                      // (Backing moved into cached; re-check via a fresh wrap pattern.)
+        let mut backing = MemoryHistory::new();
+        backing.set(m(0), 0.5);
+        let mut cached = CachedHistory::new(backing);
+        cached.clear();
+        cached.discard_pending();
+        cached.flush();
+        assert_eq!(cached.backing().get(m(0)), Some(0.5));
     }
 
     #[test]

@@ -5,8 +5,22 @@ use avoc_core::ModuleId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+
+/// How hard [`FileHistory`] pushes each append toward the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Flush the userspace buffer per write (the default): an application
+    /// crash loses nothing, an OS crash may lose the tail of the log.
+    #[default]
+    Flush,
+    /// Additionally `fsync` (`File::sync_data`) per write: an OS crash or
+    /// power loss loses nothing either. Orders of magnitude slower — the
+    /// paper's "datastore writes are the bottleneck" observation, dialled
+    /// to eleven; pair with a write-behind [`crate::CachedHistory`].
+    Fsync,
+}
 
 /// One logged operation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,51 +67,131 @@ pub struct FileHistory {
     records: BTreeMap<ModuleId, f64>,
     /// Log lines since the last compaction.
     dirty_entries: usize,
+    durability: Durability,
+    /// Whether `open` found (and truncated away) a torn final line.
+    recovered_torn_tail: bool,
+    /// Bytes appended to the log by this handle (compactions excluded) —
+    /// a checkpoint-cost signal for the service layer.
+    bytes_logged: u64,
 }
 
 impl FileHistory {
-    /// Opens (or creates) a log file and replays it.
+    /// Opens (or creates) a log file and replays it, with
+    /// [`Durability::Flush`] semantics.
+    ///
+    /// A *torn final line* — exactly what a crash mid-append leaves behind —
+    /// is tolerated: the tail is truncated away and replay keeps everything
+    /// before it (the state minus at most the last entry). A malformed line
+    /// with valid entries *after* it is genuine corruption, not a torn
+    /// append, and still fails hard.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors; a malformed log line yields
-    /// [`io::ErrorKind::InvalidData`].
+    /// Propagates I/O errors; a malformed log line anywhere but the tail
+    /// yields [`io::ErrorKind::InvalidData`].
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with(path, Durability::Flush)
+    }
+
+    /// Opens (or creates) a log file with an explicit [`Durability`] mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileHistory::open`].
+    pub fn open_with(path: impl AsRef<Path>, durability: Durability) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut records = BTreeMap::new();
         let mut dirty_entries = 0;
+        let mut recovered_torn_tail = false;
+        // A crash can also land between an entry's bytes and its trailing
+        // newline: the last line then parses fine but lacks `\n`. The entry
+        // is good, but appending behind it would glue the next entry onto
+        // the same line — silent corruption discovered only at the open
+        // after next. Repair it by appending the missing newline below.
+        let mut missing_final_newline = false;
         match File::open(&path) {
             Ok(f) => {
-                for line in BufReader::new(f).lines() {
-                    let line = line?;
+                let mut reader = BufReader::new(f);
+                let mut line = String::new();
+                // Bytes of fully replayed lines — the truncation point if
+                // the line after them turns out to be torn.
+                let mut good_bytes: u64 = 0;
+                loop {
+                    line.clear();
+                    let n = reader.read_line(&mut line)?;
+                    if n == 0 {
+                        break;
+                    }
                     if line.trim().is_empty() {
+                        good_bytes += n as u64;
                         continue;
                     }
-                    let entry: LogEntry = serde_json::from_str(&line).map_err(|e| {
-                        io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("corrupt history log line: {e}"),
-                        )
-                    })?;
-                    dirty_entries += 1;
-                    match entry {
-                        LogEntry::Set { module, value } => {
-                            records.insert(ModuleId::new(module), value);
+                    match serde_json::from_str::<LogEntry>(line.trim()) {
+                        Ok(entry) => {
+                            good_bytes += n as u64;
+                            dirty_entries += 1;
+                            missing_final_newline = !line.ends_with('\n');
+                            match entry {
+                                LogEntry::Set { module, value } => {
+                                    records.insert(ModuleId::new(module), value);
+                                }
+                                LogEntry::Clear => records.clear(),
+                            }
                         }
-                        LogEntry::Clear => records.clear(),
+                        Err(e) => {
+                            // Torn tail or mid-file corruption? A crash
+                            // mid-append cannot be followed by more data, so
+                            // any payload after the bad line means the log
+                            // was damaged, not torn.
+                            let mut rest = Vec::new();
+                            reader.read_to_end(&mut rest)?;
+                            if rest.iter().any(|b| !b.is_ascii_whitespace()) {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("corrupt history log line: {e}"),
+                                ));
+                            }
+                            OpenOptions::new()
+                                .write(true)
+                                .open(&path)?
+                                .set_len(good_bytes)?;
+                            recovered_torn_tail = true;
+                            break;
+                        }
                     }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
-        let writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
+        let mut writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
+        if missing_final_newline {
+            // Terminate the crash-severed final line so future appends start
+            // on their own line. Repair, not logging: excluded from
+            // `bytes_logged` and from the torn-tail flag (nothing was lost).
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
         Ok(FileHistory {
             path,
             writer,
             records,
             dirty_entries,
+            durability,
+            recovered_torn_tail,
+            bytes_logged: 0,
         })
+    }
+
+    /// Whether `open` truncated a torn final line left by a crash
+    /// mid-append.
+    pub fn recovered_torn_tail(&self) -> bool {
+        self.recovered_torn_tail
+    }
+
+    /// Bytes appended through this handle (a checkpoint-cost signal).
+    pub fn bytes_logged(&self) -> u64 {
+        self.bytes_logged
     }
 
     /// The log file path.
@@ -146,10 +240,18 @@ impl FileHistory {
         // A failed append must not corrupt in-memory state; the paper's
         // scenario tolerates best-effort persistence, so log write errors
         // are deferred to the next explicit `compact`/`flush` call site.
-        if serde_json::to_writer(&mut self.writer, entry).is_ok() {
+        let line = match serde_json::to_string(entry) {
+            Ok(line) => line,
+            Err(_) => return,
+        };
+        if self.writer.write_all(line.as_bytes()).is_ok() {
             let _ = self.writer.write_all(b"\n");
             let _ = self.writer.flush();
+            if self.durability == Durability::Fsync {
+                let _ = self.writer.get_ref().sync_data();
+            }
             self.dirty_entries += 1;
+            self.bytes_logged += line.len() as u64 + 1;
         }
     }
 }
@@ -279,11 +381,114 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_log_is_invalid_data() {
+    fn corrupt_mid_file_is_invalid_data() {
         let path = tmp_path("corrupt");
-        std::fs::write(&path, "{not json\n").unwrap();
+        // A bad line *followed by valid data* is damage, not a torn append.
+        std::fs::write(
+            &path,
+            "{not json\n{\"op\":\"set\",\"module\":0,\"value\":0.5}\n",
+        )
+        .unwrap();
         let err = FileHistory::open(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_tolerated() {
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            s.set(m(0), 0.25);
+            s.set(m(1), 0.75);
+        }
+        // Crash mid-append: a partial log line with no data after it.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"op\":\"set\",\"mod").unwrap();
+        drop(f);
+        let torn_len = std::fs::metadata(&path).unwrap().len();
+
+        let s = FileHistory::open(&path).unwrap();
+        assert!(s.recovered_torn_tail());
+        assert_eq!(s.get(m(0)), Some(0.25));
+        assert_eq!(s.get(m(1)), Some(0.75));
+        // The tail was physically truncated, so the next append produces a
+        // clean log again.
+        assert!(std::fs::metadata(&path).unwrap().len() < torn_len);
+        drop(s);
+        let s = FileHistory::open(&path).unwrap();
+        assert!(!s.recovered_torn_tail());
+        assert_eq!(s.snapshot().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_append_after_recovery_round_trips() {
+        let path = tmp_path("torn-append");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            s.set(m(3), 0.5);
+        }
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"op\":\"cl").unwrap();
+        drop(f);
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            assert!(s.recovered_torn_tail());
+            s.set(m(4), 0.9);
+        }
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(3)), Some(0.5));
+        assert_eq!(s.get(m(4)), Some(0.9));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn severed_final_newline_is_repaired_so_appends_stay_parseable() {
+        let path = tmp_path("severed-newline");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            s.set(m(0), 0.25);
+            s.set(m(1), 0.75);
+        }
+        // Crash between the entry bytes and the trailing newline: the final
+        // line is complete JSON but unterminated.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            // Nothing was lost, so this is not a torn tail.
+            assert!(!s.recovered_torn_tail());
+            assert_eq!(s.get(m(1)), Some(0.75));
+            // Without the newline repair this append would glue onto the
+            // unterminated line and poison the log for the next open.
+            s.set(m(2), 0.5);
+        }
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(0)), Some(0.25));
+        assert_eq!(s.get(m(1)), Some(0.75));
+        assert_eq!(s.get(m(2)), Some(0.5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsync_mode_round_trips_and_counts_bytes() {
+        let path = tmp_path("fsync");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileHistory::open_with(&path, Durability::Fsync).unwrap();
+            s.set(m(0), 0.5);
+            s.set(m(1), 0.25);
+            assert!(s.bytes_logged() > 0);
+            assert_eq!(s.bytes_logged(), std::fs::metadata(&path).unwrap().len());
+        }
+        let s = FileHistory::open_with(&path, Durability::Fsync).unwrap();
+        assert_eq!(s.get(m(0)), Some(0.5));
+        assert_eq!(s.get(m(1)), Some(0.25));
+        assert_eq!(s.bytes_logged(), 0, "a fresh handle starts its own count");
         std::fs::remove_file(&path).unwrap();
     }
 

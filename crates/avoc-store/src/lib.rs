@@ -24,5 +24,5 @@ mod file;
 mod shared;
 
 pub use cached::CachedHistory;
-pub use file::FileHistory;
+pub use file::{Durability, FileHistory};
 pub use shared::SharedHistory;

@@ -167,6 +167,12 @@ pub mod channel {
             Ok(())
         }
 
+        /// Whether `self` and `other` are handles to the same channel
+        /// (mirrors `crossbeam-channel`'s `Sender::same_channel`).
+        pub fn same_channel(&self, other: &Sender<T>) -> bool {
+            Arc::ptr_eq(&self.inner, &other.inner)
+        }
+
         /// Queued message count.
         pub fn len(&self) -> usize {
             self.inner.state.lock().unwrap().queue.len()

@@ -65,7 +65,10 @@ pub mod prelude {
     };
     pub use avoc_metrics::{AmbiguityReport, ConvergenceReport};
     pub use avoc_net::{EdgeVoter, SpecSource};
-    pub use avoc_serve::{ServeClient, ServeConfig, SpecRegistry, TcpServer, VoterService};
+    pub use avoc_serve::{
+        ClientConfig, Persistence, ResilientClient, RetryPolicy, ServeClient, ServeConfig,
+        SpecRegistry, TcpServer, VoterService,
+    };
     pub use avoc_sim::{BleScenario, FaultInjector, FaultKind, LightScenario, RecordedTrace};
     pub use avoc_vdx::{build_engine, build_voter, VdxSpec};
 }

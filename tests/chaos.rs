@@ -1,0 +1,204 @@
+//! Deterministic fault injection: a seeded chaos proxy sits between the
+//! resilient client and a live daemon, severing / dribbling / stalling /
+//! corrupting the byte stream, and the fused outputs must still match an
+//! uninterrupted direct run exactly — no lost rounds, no duplicates, no
+//! panics, no leaked session slots.
+
+use avoc::net::chaos::{ChaosConfig, ChaosProxy, Fault};
+use avoc::net::{Message, SpecSource};
+use avoc::prelude::*;
+use avoc::serve::{
+    ClientConfig, ResilientClient, RetryPolicy, ServeConfig, SpecRegistry, TcpServer, VoterService,
+};
+use std::sync::Arc;
+
+const SESSION: u64 = 21;
+const MODULES: u32 = 3;
+const TOKEN: u64 = 0xFA57;
+
+/// Wire-layout constants the fault offsets below are computed from: the
+/// first connection carries a 35-byte resume handshake (`Named("avoc")`,
+/// nothing acked) followed by 33-byte `SessionReading` frames.
+const HANDSHAKE_BYTES: u64 = 35;
+const READING_FRAME_BYTES: u64 = 33;
+
+fn start_daemon() -> TcpServer {
+    let mut registry = SpecRegistry::new();
+    registry.insert("avoc", VdxSpec::avoc());
+    let service = Arc::new(VoterService::start(
+        ServeConfig::default(),
+        Arc::new(registry),
+    ));
+    TcpServer::start("127.0.0.1:0", service).expect("bind daemon")
+}
+
+fn reading(module: u32, round: u64) -> f64 {
+    18.0 + f64::from(module) * 0.1 + (round % 5) as f64 * 0.05
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !cond() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting: {what}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Fused outputs as `(round, value bits, voted)`.
+type Outputs = Vec<(u64, Option<u64>, bool)>;
+
+/// Runs the fixed scenario — `rounds` lockstep rounds of three readings —
+/// through `faults` (empty = direct connection) and returns the fused
+/// outputs plus the client's resilience stats and the connection count the
+/// proxy saw.
+fn run_scenario(faults: Vec<Fault>, rounds: u64) -> (Outputs, avoc::serve::ClientStats, usize) {
+    let server = start_daemon();
+    let proxy = if faults.is_empty() {
+        None
+    } else {
+        Some(
+            ChaosProxy::start(server.local_addr(), ChaosConfig { seed: 7, faults })
+                .expect("start proxy"),
+        )
+    };
+    let addr = proxy
+        .as_ref()
+        .map_or(server.local_addr(), ChaosProxy::local_addr);
+
+    let mut client = ResilientClient::new(
+        addr,
+        ClientConfig {
+            read_timeout: std::time::Duration::from_secs(5),
+            ..ClientConfig::default()
+        },
+        RetryPolicy {
+            base_delay: std::time::Duration::from_millis(5),
+            jitter_seed: 3,
+            ..RetryPolicy::default()
+        },
+    );
+    client
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+
+    let mut out = Vec::new();
+    for round in 0..rounds {
+        for m in 0..MODULES {
+            client
+                .send_reading(SESSION, ModuleId::new(m), round, reading(m, round))
+                .expect("send reading");
+        }
+        match client.recv().expect("recv result") {
+            Message::SessionResult {
+                session,
+                round,
+                value,
+                voted,
+            } => {
+                assert_eq!(session, SESSION);
+                out.push((round, value.map(f64::to_bits), voted));
+            }
+            other => panic!("expected a result frame, got {other:?}"),
+        }
+    }
+
+    assert_eq!(server.service().active_sessions(), 1);
+    client.close_session(SESSION).expect("close");
+    wait_until("close releases the session slot", || {
+        server.service().active_sessions() == 0
+    });
+    let stats = client.stats();
+    drop(client);
+    server.shutdown();
+    let conns = proxy.as_ref().map_or(1, ChaosProxy::connections);
+    if let Some(p) = proxy {
+        p.stop();
+    }
+    (out, stats, conns)
+}
+
+fn assert_rounds_exactly_once(results: &[(u64, Option<u64>, bool)], rounds: u64) {
+    let seen: Vec<u64> = results.iter().map(|r| r.0).collect();
+    assert_eq!(
+        seen,
+        (0..rounds).collect::<Vec<_>>(),
+        "every round exactly once, in order"
+    );
+}
+
+/// A connection reset mid-stream: the client reconnects, re-attaches to the
+/// live session (warm), replays its unacknowledged readings, and the final
+/// outputs are bit-identical to a run with no proxy at all. Run twice to
+/// pin determinism.
+#[test]
+fn reset_mid_stream_loses_nothing() {
+    const ROUNDS: u64 = 8;
+    let (clean, clean_stats, _) = run_scenario(Vec::new(), ROUNDS);
+    assert_rounds_exactly_once(&clean, ROUNDS);
+    assert_eq!(clean_stats.reconnects, 0);
+
+    // Sever the first connection mid-round-2; the replacement is clean.
+    let cut = HANDSHAKE_BYTES + 8 * READING_FRAME_BYTES + 1;
+    let faults = vec![Fault::Reset { after_bytes: cut }, Fault::None];
+    let (a, stats_a, conns_a) = run_scenario(faults.clone(), ROUNDS);
+    let (b, stats_b, conns_b) = run_scenario(faults, ROUNDS);
+
+    assert_eq!(a, clean, "a reset must not change a single output bit");
+    assert_eq!(a, b, "chaos runs with one seed are deterministic");
+    assert_eq!((stats_a.reconnects, stats_b.reconnects), (1, 1));
+    assert_eq!((conns_a, conns_b), (2, 2));
+}
+
+/// Every frame dribbled in 1–3 byte chunks: nothing is lost, nothing
+/// reconnects, outputs are bit-identical to the direct run.
+#[test]
+fn chopped_writes_deliver_everything() {
+    const ROUNDS: u64 = 6;
+    let (clean, ..) = run_scenario(Vec::new(), ROUNDS);
+    let (chopped, stats, conns) = run_scenario(vec![Fault::Chop { max_chunk: 3 }], ROUNDS);
+    assert_eq!(chopped, clean);
+    assert_rounds_exactly_once(&chopped, ROUNDS);
+    assert_eq!(stats.reconnects, 0, "chopping alone must not drop the link");
+    assert_eq!(conns, 1);
+}
+
+/// A mid-stream stall shorter than the client's read deadline: traffic
+/// resumes by itself, no reconnect, identical outputs.
+#[test]
+fn stall_below_the_read_deadline_recovers_in_place() {
+    const ROUNDS: u64 = 6;
+    let (clean, ..) = run_scenario(Vec::new(), ROUNDS);
+    let (stalled, stats, conns) = run_scenario(
+        vec![Fault::Stall {
+            after_bytes: HANDSHAKE_BYTES + 4 * READING_FRAME_BYTES + 7,
+            millis: 300,
+        }],
+        ROUNDS,
+    );
+    assert_eq!(stalled, clean);
+    assert_eq!(stats.reconnects, 0);
+    assert_eq!(conns, 1);
+}
+
+/// One flipped bit in a length prefix: the server must refuse the insane
+/// frame and drop the connection (never allocate toward it), and the client
+/// heals by resuming — outputs still bit-identical.
+#[test]
+fn corrupted_length_prefix_is_contained() {
+    const ROUNDS: u64 = 6;
+    let (clean, ..) = run_scenario(Vec::new(), ROUNDS);
+    // First byte of the length prefix of round 2, module 0's reading frame:
+    // 0x00 becomes 0x01, inflating the claimed length to ~16 MiB.
+    let at_byte = HANDSHAKE_BYTES + 6 * READING_FRAME_BYTES;
+    let faults = vec![Fault::Corrupt { at_byte }, Fault::None];
+    let (a, stats_a, conns_a) = run_scenario(faults.clone(), ROUNDS);
+    let (b, ..) = run_scenario(faults, ROUNDS);
+
+    assert_eq!(a, clean, "corruption must be contained, not fused");
+    assert_eq!(a, b, "corruption runs are deterministic");
+    assert_eq!(stats_a.reconnects, 1);
+    assert_eq!(conns_a, 2);
+}

@@ -1,0 +1,266 @@
+//! Crash-safety end to end: kill a persistent daemon mid-scenario, restart
+//! it on a fresh port over the same state directory, and prove the client's
+//! resumed stream of fused outputs is bit-identical to an uninterrupted
+//! run. Also: eager boot-time recovery, and graceful degradation when the
+//! checkpoint is corrupt or persistence is off (the paper's cold bootstrap
+//! becomes the fallback, never an error).
+
+use avoc::net::{Message, SpecSource};
+use avoc::prelude::*;
+use avoc::serve::{
+    ClientConfig, Persistence, ResilientClient, RetryPolicy, ServeConfig, SpecRegistry, TcpServer,
+    VoterService,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const SESSION: u64 = 7;
+const MODULES: u32 = 3;
+const TOKEN: u64 = 0xC0FFEE;
+
+fn registry() -> Arc<SpecRegistry> {
+    let mut registry = SpecRegistry::new();
+    registry.insert("avoc", VdxSpec::avoc());
+    Arc::new(registry)
+}
+
+fn start_daemon(state_dir: Option<&Path>) -> TcpServer {
+    let config = ServeConfig {
+        persistence: Persistence {
+            state_dir: state_dir.map(Path::to_path_buf),
+            ..Persistence::default()
+        },
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(VoterService::start(config, registry()));
+    TcpServer::start("127.0.0.1:0", service).expect("bind daemon")
+}
+
+fn client_for(server: &TcpServer) -> ResilientClient {
+    ResilientClient::new(
+        server.local_addr(),
+        ClientConfig::default(),
+        RetryPolicy {
+            jitter_seed: 11,
+            ..RetryPolicy::default()
+        },
+    )
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("avoc-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Shard commands are processed asynchronously; poll until the observable
+/// effect lands (or fail after a generous deadline).
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !cond() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting: {what}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Deterministic in-band readings: tight triads around 18 so every round
+/// fuses and votes without ever needing the (unpersisted) fallback value.
+fn reading(module: u32, round: u64) -> f64 {
+    18.0 + f64::from(module) * 0.1 + (round % 5) as f64 * 0.05
+}
+
+fn feed_round(client: &mut ResilientClient, round: u64) {
+    for m in 0..MODULES {
+        client
+            .send_reading(SESSION, ModuleId::new(m), round, reading(m, round))
+            .expect("send reading");
+    }
+}
+
+/// Feeds `rounds` in lockstep (send a full round, receive its result) and
+/// returns the fused outputs as `(round, value bits, voted)`.
+fn run_rounds(
+    client: &mut ResilientClient,
+    rounds: std::ops::Range<u64>,
+) -> Vec<(u64, Option<u64>, bool)> {
+    let mut out = Vec::new();
+    for r in rounds {
+        feed_round(client, r);
+        out.push(expect_result(client));
+    }
+    out
+}
+
+fn expect_result(client: &mut ResilientClient) -> (u64, Option<u64>, bool) {
+    match client.recv().expect("recv result") {
+        Message::SessionResult {
+            session,
+            round,
+            value,
+            voted,
+        } => {
+            assert_eq!(session, SESSION);
+            // Compare bit patterns: "identical" means identical.
+            (round, value.map(f64::to_bits), voted)
+        }
+        other => panic!("expected a result frame, got {other:?}"),
+    }
+}
+
+/// The headline acceptance test: a hard kill mid-scenario — even mid-round —
+/// followed by a restart on a different port resumes the session warm and
+/// produces exactly the outputs of an uninterrupted run.
+#[test]
+fn restart_mid_scenario_is_bit_identical_to_an_uninterrupted_run() {
+    // Uninterrupted reference run, persistence off.
+    let baseline_server = start_daemon(None);
+    let mut baseline = client_for(&baseline_server);
+    baseline
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    let expected = run_rounds(&mut baseline, 0..12);
+    baseline.close_session(SESSION).expect("close");
+    baseline_server.shutdown();
+
+    // Crash run: same readings, but the daemon dies mid-round-5.
+    let dir = state_dir("bitident");
+    let server_a = start_daemon(Some(&dir));
+    let mut client = client_for(&server_a);
+    client
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    let mut got = run_rounds(&mut client, 0..5);
+    // Two of round 5's three readings make it out before the crash.
+    for m in 0..2 {
+        client
+            .send_reading(SESSION, ModuleId::new(m), 5, reading(m, 5))
+            .expect("send reading");
+    }
+    server_a.abort(); // hard kill: no flush, state = last checkpoint
+
+    let server_b = start_daemon(Some(&dir));
+    client.redirect(server_b.local_addr());
+    // The missing third reading triggers reconnect + checkpoint restore +
+    // replay of the two unacked readings, completing round 5.
+    client
+        .send_reading(SESSION, ModuleId::new(2), 5, reading(2, 5))
+        .expect("send reading");
+    got.push(expect_result(&mut client));
+    got.extend(run_rounds(&mut client, 6..12));
+
+    assert_eq!(got, expected, "resumed outputs must be bit-identical");
+    assert_eq!(
+        client.last_resume(SESSION),
+        Some((Some(4), true)),
+        "the restore must be warm with the pre-crash fused frontier"
+    );
+    assert!(client.stats().reconnects >= 1);
+
+    let counters = server_b.service().counters();
+    assert_eq!(counters.recoveries, 1, "one session rebuilt from its WAL");
+    assert_eq!(counters.resumed_sessions, 1);
+    assert!(
+        counters.retries >= 1,
+        "the client's resume frame is counted"
+    );
+    assert!(counters.checkpoint_bytes > 0);
+
+    client.close_session(SESSION).expect("close");
+    wait_until("close releases the session slot", || {
+        server_b.service().active_sessions() == 0
+    });
+    server_b.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Boot-time recovery: a restarted daemon rebuilds checkpointed sessions
+/// before any client shows up, and a returning client then re-attaches to
+/// the live (already warm) session.
+#[test]
+fn eager_recovery_rebuilds_sessions_at_boot() {
+    let dir = state_dir("eager");
+    let server_a = start_daemon(Some(&dir));
+    let mut client = client_for(&server_a);
+    client
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    let first = run_rounds(&mut client, 0..4);
+    server_a.abort();
+
+    let server_b = start_daemon(Some(&dir));
+    let (sink, _results) = crossbeam::channel::unbounded();
+    let recovered = server_b.service().recover_sessions(sink);
+    assert_eq!(recovered, 1);
+    // Recovery commands are processed asynchronously by the shards.
+    wait_until("eager recovery installs the session", || {
+        server_b.service().active_sessions() == 1
+    });
+    let counters = server_b.service().counters();
+    assert_eq!(counters.recoveries, 1);
+    assert_eq!(
+        counters.resumed_sessions, 0,
+        "daemon-internal recovery is not a client resume"
+    );
+    assert!(counters.wal_replay_ms >= 0.0);
+
+    client.redirect(server_b.local_addr());
+    let rest = run_rounds(&mut client, 4..8);
+    assert_eq!(
+        client.last_resume(SESSION),
+        Some((Some(3), true)),
+        "re-attach to the eagerly recovered session must be warm"
+    );
+    assert_eq!(first.len() + rest.len(), 8);
+    let rounds: Vec<u64> = first.iter().chain(&rest).map(|r| r.0).collect();
+    assert_eq!(rounds, (0..8).collect::<Vec<_>>());
+
+    client.close_session(SESSION).expect("close");
+    wait_until("close releases the session slot", || {
+        server_b.service().active_sessions() == 0
+    });
+    server_b.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt checkpoint is not an outage: resume falls back to a fresh
+/// session (the paper's AVOC bootstrap), reported as `warm: false`, with no
+/// error frames and no recovery counted.
+#[test]
+fn corrupt_checkpoint_falls_back_to_fresh_bootstrap() {
+    let dir = state_dir("corrupt");
+    let server_a = start_daemon(Some(&dir));
+    let mut client = client_for(&server_a);
+    client
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    run_rounds(&mut client, 0..3);
+    server_a.abort();
+
+    // Stomp every checkpoint artefact in the state dir.
+    for entry in std::fs::read_dir(&dir).expect("state dir exists") {
+        let path = entry.expect("dir entry").path();
+        std::fs::write(&path, b"\x00garbage\xff not a checkpoint").expect("corrupt file");
+    }
+
+    let server_b = start_daemon(Some(&dir));
+    client.redirect(server_b.local_addr());
+    let resumed = run_rounds(&mut client, 3..6);
+    assert_eq!(resumed.len(), 3);
+    assert_eq!(
+        resumed.iter().map(|r| r.0).collect::<Vec<_>>(),
+        vec![3, 4, 5]
+    );
+    assert_eq!(
+        client.last_resume(SESSION),
+        Some((None, false)),
+        "a corrupt checkpoint must yield a fresh (cold) session"
+    );
+    assert_eq!(server_b.service().counters().recoveries, 0);
+
+    client.close_session(SESSION).expect("close");
+    server_b.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -254,6 +254,102 @@ proptest! {
         prop_assert!(truncated.is_empty(), "bad frames are consumed for resync");
     }
 
+    /// The crash-recovery handshake (tags 11–12) round-trips byte-exactly
+    /// for every combination of optional fields.
+    #[test]
+    fn resume_handshake_frames_round_trip(
+        session in any::<u64>(),
+        modules in any::<u32>(),
+        token in any::<u64>(),
+        acked in prop::option::of(any::<u64>()),
+        high in prop::option::of(any::<u64>()),
+        warm in any::<bool>(),
+        named in any::<bool>(),
+        text in "[a-zA-Z0-9 _/.-]{0,40}",
+    ) {
+        let resume = Message::ResumeSession {
+            session,
+            modules,
+            spec: if named {
+                SpecSource::Named(text.clone())
+            } else {
+                SpecSource::Inline(text)
+            },
+            token,
+            last_acked: acked,
+        };
+        let resumed = Message::Resumed { session, high_round: high, warm };
+        for msg in [resume, resumed] {
+            let mut buf = BytesMut::from(&msg.encode()[..]);
+            let decoded = Message::decode(&mut buf);
+            prop_assert_eq!(decoded.ok(), Some(msg));
+            prop_assert!(buf.is_empty(), "a frame decodes to exactly one message");
+        }
+    }
+
+    /// Hostile mutations of a resume-handshake frame — a flag byte outside
+    /// {0, 1}, or a truncation anywhere inside the payload with the length
+    /// prefix rewritten to match — are rejected with the frame consumed, so
+    /// the stream resynchronises. A decoder that accepts a frame must
+    /// re-encode it to exactly the bytes it read (canonical acceptance):
+    /// nothing hostile sneaks through by reinterpretation.
+    #[test]
+    fn hostile_resume_frames_are_rejected_or_canonical(
+        session in any::<u64>(),
+        token in any::<u64>(),
+        acked in prop::option::of(any::<u64>()),
+        high in prop::option::of(any::<u64>()),
+        bad_flag in 2u8..=255,
+        cut_back in 1usize..24,
+    ) {
+        let frames = [
+            Message::ResumeSession {
+                session,
+                modules: 3,
+                spec: SpecSource::Named("avoc".into()),
+                token,
+                last_acked: acked,
+            }
+            .encode(),
+            Message::Resumed { session, high_round: high, warm: true }.encode(),
+        ];
+        for frame in frames {
+            // The optional-field flag sits right after session (+ modules +
+            // token for tag 11); poison it.
+            let flag_at = match frame[4] {
+                11 => 4 + 1 + 8 + 4 + 8,
+                _ => 4 + 1 + 8,
+            };
+            let mut poisoned = BytesMut::from(&frame[..]);
+            poisoned[flag_at] = bad_flag;
+            prop_assert!(matches!(
+                Message::decode(&mut poisoned),
+                Err(avoc::net::message::DecodeError::BadLength { .. })
+            ));
+            prop_assert!(poisoned.is_empty(), "bad frames are consumed for resync");
+
+            // Truncate anywhere inside the payload, rewriting the length
+            // prefix so the decoder sees a "complete" (but short) frame.
+            let cut = (frame.len() - cut_back % (frame.len() - 4)).max(5);
+            let mut truncated = BytesMut::from(&frame[..cut]);
+            truncated[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+            let before = truncated.clone();
+            match Message::decode(&mut truncated) {
+                Ok(m) => prop_assert_eq!(
+                    &m.encode()[..],
+                    &before[..],
+                    "accepted frames must be canonical"
+                ),
+                Err(avoc::net::message::DecodeError::Incomplete
+                    | avoc::net::message::DecodeError::FrameTooLarge { .. }) => {
+                    prop_assert!(false, "rewritten prefix cannot be incomplete or oversized")
+                }
+                Err(_) => {}
+            }
+            prop_assert!(truncated.is_empty(), "the frame is consumed either way");
+        }
+    }
+
     /// A full-pipeline run over randomly gappy traces produces exactly one
     /// output per round, whatever the gaps.
     #[test]
