@@ -1,0 +1,320 @@
+//! The wire-path benchmark behind `BENCH_serve.json`: drives the voter
+//! daemon over loopback TCP with 1, 4 and 16 concurrent sessions and
+//! measures the three numbers the zero-allocation wire path is accountable
+//! for:
+//!
+//! * **readings/sec** — end-to-end throughput, feed to verdict;
+//! * **allocations per reading on the client feed path** — through a
+//!   counting global allocator with a thread-local ledger, sampled around
+//!   `send_batch` alone so decode/receive traffic is not charged to it.
+//!   Must be zero in steady state; the binary exits non-zero otherwise;
+//! * **syscalls per 1 000 readings** — client `write(2)` calls plus server
+//!   writer flushes, against the analytic per-frame baseline (one write per
+//!   reading frame, one per result frame) the coalescing replaced.
+//!
+//! ```text
+//! cargo run -p avoc-bench --release --bin bench_serve -- [--quick] [--out PATH]
+//! ```
+
+use avoc_core::ModuleId;
+use avoc_net::{BatchReading, Message, SpecSource};
+use avoc_serve::{
+    CountersSnapshot, ServeClient, ServeConfig, SpecRegistry, TcpServer, VoterService,
+};
+use avoc_vdx::VdxSpec;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Counts every heap allocation into a per-thread ledger so each client
+/// thread can meter its own feed path without seeing its neighbours'
+/// traffic. Lives in the binary: the workspace libraries forbid `unsafe`,
+/// and only the measurement harness needs an allocator hook.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    // try_with: allocations during TLS teardown must not panic the hook.
+    let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn tl_allocations() -> u64 {
+    TL_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Modules per session: every round needs all four before it fuses.
+const MODULES: u32 = 4;
+/// Rounds shipped per `send_batch` call during the measured phase.
+const CHUNK_ROUNDS: u64 = 128;
+/// Warm-up chunks per session: scratch buffers, session history and the
+/// socket path all reach steady-state capacity before the meter starts.
+const WARMUP_CHUNKS: u64 = 2;
+
+/// What one client thread saw during its measured phase.
+struct ClientNumbers {
+    readings: u64,
+    feed_allocations: u64,
+    writes: u64,
+    frames_sent: u64,
+    bytes_sent: u64,
+}
+
+/// Builds the chunk's readings in place — no allocation once `buf` holds
+/// `CHUNK_ROUNDS * MODULES` entries — ships them, and drains the verdicts.
+/// Only the build-and-send window is charged to `feed_allocations`.
+fn run_chunk(
+    client: &mut ServeClient,
+    session: u64,
+    buf: &mut [BatchReading],
+    first_round: u64,
+    feed_allocations: &mut u64,
+) {
+    let before = tl_allocations();
+    for (i, slot) in buf.iter_mut().enumerate() {
+        let round = first_round + i as u64 / MODULES as u64;
+        let module = (i % MODULES as usize) as u32;
+        slot.module = ModuleId::new(module);
+        slot.round = round;
+        slot.value = 20.0 + 0.05 * module as f64 + 0.001 * (round % 64) as f64;
+    }
+    client.send_batch(session, buf).expect("send_batch");
+    *feed_allocations += tl_allocations() - before;
+
+    let mut verdicts = 0;
+    while verdicts < CHUNK_ROUNDS {
+        match client.recv().expect("recv") {
+            Message::SessionResult { .. } => verdicts += 1,
+            Message::Error { message, .. } => panic!("daemon error: {message}"),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+}
+
+fn client_thread(
+    addr: std::net::SocketAddr,
+    session: u64,
+    chunks: u64,
+    start: &Barrier,
+) -> ClientNumbers {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .open_session(session, MODULES, SpecSource::Named("avoc".into()))
+        .expect("open_session");
+    let mut buf = vec![
+        BatchReading {
+            module: ModuleId::new(0),
+            round: 0,
+            value: 0.0,
+        };
+        (CHUNK_ROUNDS * MODULES as u64) as usize
+    ];
+
+    let mut warm_sink = 0u64;
+    for c in 0..WARMUP_CHUNKS {
+        run_chunk(
+            &mut client,
+            session,
+            &mut buf,
+            c * CHUNK_ROUNDS,
+            &mut warm_sink,
+        );
+    }
+    let warm_stats = client.io_stats();
+
+    start.wait();
+    let mut feed_allocations = 0u64;
+    let mut readings = 0u64;
+    for c in WARMUP_CHUNKS..WARMUP_CHUNKS + chunks {
+        run_chunk(
+            &mut client,
+            session,
+            &mut buf,
+            c * CHUNK_ROUNDS,
+            &mut feed_allocations,
+        );
+        readings += CHUNK_ROUNDS * MODULES as u64;
+    }
+    let stats = client.io_stats();
+    client.close_session(session).expect("close_session");
+    ClientNumbers {
+        readings,
+        feed_allocations,
+        writes: stats.writes - warm_stats.writes,
+        frames_sent: stats.frames_sent - warm_stats.frames_sent,
+        bytes_sent: stats.bytes_sent - warm_stats.bytes_sent,
+    }
+}
+
+struct RunNumbers {
+    readings: u64,
+    elapsed_secs: f64,
+    feed_allocations: u64,
+    client_writes: u64,
+    client_frames: u64,
+    client_bytes: u64,
+    snapshot: CountersSnapshot,
+}
+
+fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
+    let mut registry = SpecRegistry::new();
+    registry.insert("avoc", VdxSpec::avoc());
+    // Idle eviction is off: with 16 ping-pong clients on a few shards a
+    // session legitimately sits quiet for thousands of shard wakeups while
+    // its client drains verdicts, and the bench measures the wire path,
+    // not the reaper.
+    let service = Arc::new(VoterService::start(
+        ServeConfig {
+            idle_ticks: u64::MAX,
+            ..ServeConfig::default()
+        },
+        Arc::new(registry),
+    ));
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+    let addr = server.local_addr();
+
+    let start = Barrier::new(sessions as usize + 1);
+    let (clients, elapsed) = std::thread::scope(|scope| {
+        let start = &start;
+        let handles: Vec<_> = (0..sessions)
+            .map(|id| scope.spawn(move || client_thread(addr, id, chunks, start)))
+            .collect();
+        start.wait();
+        let t = Instant::now();
+        let clients: Vec<ClientNumbers> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        (clients, t.elapsed())
+    });
+    let snapshot = server.shutdown();
+
+    RunNumbers {
+        readings: clients.iter().map(|c| c.readings).sum(),
+        elapsed_secs: elapsed.as_secs_f64(),
+        feed_allocations: clients.iter().map(|c| c.feed_allocations).sum(),
+        client_writes: clients.iter().map(|c| c.writes).sum(),
+        client_frames: clients.iter().map(|c| c.frames_sent).sum(),
+        client_bytes: clients.iter().map(|c| c.bytes_sent).sum(),
+        snapshot,
+    }
+}
+
+/// One write per reading frame on the way in, one per result frame on the
+/// way out: the syscall bill of the wire path this benchmark replaced.
+fn baseline_syscalls_per_1k() -> f64 {
+    (1.0 + 1.0 / MODULES as f64) * 1000.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_serve.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out takes a path").clone();
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let chunks: u64 = if quick { 12 } else { 64 };
+    let baseline = baseline_syscalls_per_1k();
+
+    let mut runs = Vec::new();
+    let mut regressed = false;
+    for sessions in [1u64, 4, 16] {
+        eprintln!(
+            "driving {sessions} session(s) x {} rounds ...",
+            chunks * CHUNK_ROUNDS
+        );
+        let run = run_sessions(sessions, chunks);
+        let rps = run.readings as f64 / run.elapsed_secs;
+        let allocs_per_reading = run.feed_allocations as f64 / run.readings as f64;
+        let syscalls = run.client_writes + run.snapshot.writer_flushes;
+        let syscalls_per_1k = syscalls as f64 * 1000.0 / run.readings as f64;
+        let coalescing = baseline / syscalls_per_1k;
+        eprintln!(
+            "  {rps:.0} readings/s, {allocs_per_reading} alloc/reading on the feed path, \
+             {syscalls_per_1k:.1} syscalls/1k readings ({coalescing:.1}x under baseline)"
+        );
+        if allocs_per_reading > 0.0 {
+            eprintln!("REGRESSION: client feed path allocated in steady state");
+            regressed = true;
+        }
+        runs.push(format!(
+            "    {{\n      \"sessions\": {sessions},\n      \"readings\": {readings},\n      \
+             \"readings_per_sec\": {rps:.1},\n      \"feed_allocations\": {fa},\n      \
+             \"allocs_per_reading\": {apr},\n      \"client_writes\": {cw},\n      \
+             \"client_frames_sent\": {cf},\n      \"client_bytes_sent\": {cb},\n      \
+             \"server_writer_flushes\": {wf},\n      \"server_frames_sent\": {sf},\n      \
+             \"server_result_batches\": {rb},\n      \"server_bytes_sent\": {sb},\n      \
+             \"results_dropped\": {rd},\n      \"syscalls_per_1k_readings\": {spk:.1},\n      \
+             \"coalescing_vs_baseline\": {coal:.1}\n    }}",
+            readings = run.readings,
+            fa = run.feed_allocations,
+            apr = allocs_per_reading,
+            cw = run.client_writes,
+            cf = run.client_frames,
+            cb = run.client_bytes,
+            wf = run.snapshot.writer_flushes,
+            sf = run.snapshot.frames_sent,
+            rb = run.snapshot.result_batches,
+            sb = run.snapshot.bytes_sent,
+            rd = run.snapshot.results_dropped,
+            spk = syscalls_per_1k,
+            coal = coalescing,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"config\": {{\"rounds_per_session\": {rounds}, \"modules\": {MODULES}, \
+         \"chunk_rounds\": {CHUNK_ROUNDS}, \"quick\": {quick}}},\n  \
+         \"baseline\": {{\n    \"syscalls_per_1k_readings\": {baseline:.1},\n    \
+         \"note\": \"analytic per-frame wire path: one write(2) per reading frame plus one \
+         per result frame at {MODULES} modules/round\"\n  }},\n  \"runs\": [\n{runs}\n  ]\n}}\n",
+        rounds = chunks * CHUNK_ROUNDS,
+        runs = runs.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    eprintln!("-> {out}");
+    if regressed {
+        std::process::exit(1);
+    }
+}

@@ -213,7 +213,11 @@ fn accept_loop(
 /// Server→client: verbatim forwarding; EOF or error on either side severs
 /// the other so its pump exits too.
 fn pump_clean(mut from: TcpStream, mut to: TcpStream) {
-    let mut buf = [0u8; 4096];
+    // One buffer for the lifetime of the pump, allocated up front — the
+    // forwarding loop itself never touches the allocator. The 4096-byte
+    // read granularity is part of the deterministic fault schedule; keep
+    // it in sync with the chop arithmetic below.
+    let mut buf = vec![0u8; 4096];
     loop {
         match from.read(&mut buf) {
             Ok(0) | Err(_) => break,
@@ -233,7 +237,10 @@ fn pump_faulted(mut from: TcpStream, mut to: TcpStream, fault: Fault, seed: u64)
     let mut rng = seed;
     let mut forwarded: u64 = 0;
     let mut stalled = false;
-    let mut buf = [0u8; 1024];
+    // As in `pump_clean`: one reused buffer per pump thread, and the
+    // 1024-byte read granularity is load-bearing for determinism (fault
+    // offsets are computed against these read boundaries).
+    let mut buf = vec![0u8; 1024];
     loop {
         let n = match from.read(&mut buf) {
             Ok(0) | Err(_) => break,

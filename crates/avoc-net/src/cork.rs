@@ -1,0 +1,314 @@
+//! Syscall-coalescing egress: the corked writer.
+//!
+//! Every sender in the pipeline used to issue one `write_all` per frame —
+//! at daemon scale the serve path is bound by those syscalls, not by
+//! fusion. [`CorkedWriter`] restores the batching the kernel can't do for
+//! us: frames are encoded (allocation-free, via
+//! [`Message::encode_into`]) into one reusable buffer and the whole
+//! backlog is flushed with as few `write` calls as the socket accepts.
+//!
+//! The policy is adaptive, chosen by the *caller's* queue state rather
+//! than a timer: when the outbound queue is empty the sender flushes
+//! immediately (an interactive single frame keeps its latency), and under
+//! load it corks frames until [`CorkedWriter::is_corked_full`] trips or
+//! the queue drains — so coalescing only ever happens when there is a
+//! backlog to coalesce. No frame waits on a clock tick.
+
+use crate::message::Message;
+use bytes::{Buf, BytesMut};
+use std::io::{self, Write};
+
+/// Default cork threshold: flush once this many bytes are pending even if
+/// the outbound queue still has frames. 64 KiB comfortably exceeds a
+/// loopback send buffer slice while bounding sender-side memory per
+/// connection.
+pub const DEFAULT_CORK_LIMIT: usize = 64 * 1024;
+
+/// Cumulative I/O counters for one [`CorkedWriter`] — the instrumentation
+/// `bench_serve` and the service counters read to report frames per flush
+/// and syscalls per reading.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Frames pushed (encoded into the cork buffer).
+    pub frames: u64,
+    /// Completed flushes that moved at least one byte.
+    pub flushes: u64,
+    /// `write` syscalls issued (a flush needs more than one only when the
+    /// socket accepts a short write).
+    pub writes: u64,
+    /// Payload bytes handed to the socket.
+    pub bytes: u64,
+}
+
+/// A per-connection corked writer: encode many frames, write once.
+///
+/// [`push`](CorkedWriter::push) never touches the socket;
+/// [`flush`](CorkedWriter::flush) drains everything pending. A failed
+/// flush keeps the unwritten suffix buffered (the written prefix is
+/// consumed), so callers with transient errors can retry without
+/// duplicating bytes on the wire.
+#[derive(Debug)]
+pub struct CorkedWriter<W: Write> {
+    inner: W,
+    buf: BytesMut,
+    cork_limit: usize,
+    stats: WriterStats,
+}
+
+impl<W: Write> CorkedWriter<W> {
+    /// Wraps `inner` with the [`DEFAULT_CORK_LIMIT`].
+    pub fn new(inner: W) -> Self {
+        CorkedWriter::with_cork_limit(inner, DEFAULT_CORK_LIMIT)
+    }
+
+    /// Wraps `inner`, flushing whenever more than `cork_limit` bytes are
+    /// pending.
+    pub fn with_cork_limit(inner: W, cork_limit: usize) -> Self {
+        CorkedWriter {
+            inner,
+            buf: BytesMut::with_capacity(cork_limit.min(DEFAULT_CORK_LIMIT)),
+            cork_limit,
+            stats: WriterStats::default(),
+        }
+    }
+
+    /// Encodes one frame into the cork buffer. No I/O happens here.
+    pub fn push(&mut self, msg: &Message) {
+        msg.encode_into(&mut self.buf);
+        self.stats.frames += 1;
+    }
+
+    /// Whether the pending bytes have reached the cork threshold — the
+    /// sender should flush before pushing more.
+    pub fn is_corked_full(&self) -> bool {
+        self.buf.len() >= self.cork_limit
+    }
+
+    /// Whether any encoded bytes await a flush.
+    pub fn has_pending(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes currently corked.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> WriterStats {
+        self.stats
+    }
+
+    /// The wrapped writer (e.g. to set socket deadlines).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped writer.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+
+    /// Writes every pending byte to the socket, issuing as few `write`
+    /// calls as it accepts. A no-op (no syscall) when nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first write error. The written prefix is consumed
+    /// from the buffer before returning, so a retrying caller resumes at
+    /// the exact unwritten byte; `Ok(0)` surfaces as
+    /// [`io::ErrorKind::WriteZero`].
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        while !self.buf.is_empty() {
+            match self.inner.write(&self.buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.stats.writes += 1;
+                    self.stats.bytes += n as u64;
+                    self.buf.advance(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // Fully drained: reset the cursor so the allocation is reused
+        // instead of compacted on the next push.
+        self.buf.clear();
+        self.stats.flushes += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avoc_core::ModuleId;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    fn sample_frames() -> Vec<Message> {
+        vec![
+            Message::Reading {
+                module: ModuleId::new(1),
+                round: 7,
+                value: 18.5,
+            },
+            Message::SessionResult {
+                session: 3,
+                round: 9,
+                value: None,
+                voted: false,
+            },
+            Message::Error {
+                session: 4,
+                message: "boom".into(),
+            },
+            Message::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn coalesced_bytes_match_per_frame_encoding() {
+        let mut w = CorkedWriter::new(Vec::new());
+        let mut expected = Vec::new();
+        for msg in sample_frames() {
+            w.push(&msg);
+            expected.extend_from_slice(&msg.encode());
+        }
+        assert!(w.has_pending());
+        w.flush().unwrap();
+        assert!(!w.has_pending());
+        assert_eq!(w.get_ref().as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn stats_count_frames_flushes_and_writes() {
+        let mut w = CorkedWriter::new(Vec::new());
+        w.flush().unwrap(); // empty flush: no syscall, no counter
+        assert_eq!(w.stats(), WriterStats::default());
+        for msg in sample_frames() {
+            w.push(&msg);
+        }
+        let pending = w.pending_bytes() as u64;
+        w.flush().unwrap();
+        let stats = w.stats();
+        assert_eq!(stats.frames, 4);
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.writes, 1, "Vec accepts everything in one write");
+        assert_eq!(stats.bytes, pending);
+    }
+
+    /// A writer that accepts at most `cap` bytes per call and fails on the
+    /// calls whose index is in `fail_on`, for exercising short writes and
+    /// retry-after-error.
+    struct Choppy {
+        out: Vec<u8>,
+        cap: usize,
+        calls: usize,
+        fail_on: Vec<usize>,
+    }
+
+    impl Write for Choppy {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            let call = self.calls;
+            self.calls += 1;
+            if self.fail_on.contains(&call) {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "wedged"));
+            }
+            let n = data.len().min(self.cap);
+            self.out.extend_from_slice(&data[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_writes_drain_fully_in_one_flush() {
+        let mut w = CorkedWriter::new(Choppy {
+            out: Vec::new(),
+            cap: 7,
+            calls: 0,
+            fail_on: vec![],
+        });
+        let mut expected = Vec::new();
+        for msg in sample_frames() {
+            w.push(&msg);
+            expected.extend_from_slice(&msg.encode());
+        }
+        w.flush().unwrap();
+        assert_eq!(w.get_ref().out, expected);
+        let stats = w.stats();
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.writes as usize, expected.len().div_ceil(7));
+    }
+
+    #[test]
+    fn failed_flush_keeps_the_unwritten_suffix_for_retry() {
+        let mut w = CorkedWriter::new(Choppy {
+            out: Vec::new(),
+            cap: 5,
+            calls: 0,
+            fail_on: vec![2],
+        });
+        let mut expected = Vec::new();
+        for msg in sample_frames() {
+            w.push(&msg);
+            expected.extend_from_slice(&msg.encode());
+        }
+        let err = w.flush().expect_err("third write is wedged");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(w.has_pending(), "unwritten suffix stays buffered");
+        assert_eq!(w.get_ref().out, expected[..10].to_vec());
+        // The retry resumes at byte 10 — nothing duplicated on the wire.
+        w.flush().unwrap();
+        assert_eq!(w.get_ref().out, expected);
+        assert_eq!(w.stats().flushes, 1, "only the completed flush counts");
+    }
+
+    #[test]
+    fn wedged_peer_surfaces_the_socket_write_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        // Accept but never read, so kernel buffers eventually fill.
+        let (_peer, _) = listener.accept().unwrap();
+        stream
+            .set_write_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+
+        let mut w = CorkedWriter::new(stream);
+        let big = Message::Error {
+            session: 1,
+            message: "x".repeat(64 * 1024),
+        };
+        // ~16 MiB corked: far beyond any default socket buffer.
+        for _ in 0..256 {
+            w.push(&big);
+        }
+        let start = Instant::now();
+        let err = w.flush().expect_err("peer never reads");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind {:?}",
+            err.kind()
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline must fire long before a blocking write would return"
+        );
+        assert!(w.has_pending(), "the wedged suffix stays buffered");
+    }
+}

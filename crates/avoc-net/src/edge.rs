@@ -15,12 +15,18 @@ use avoc_sim::RecordedTrace;
 use avoc_vdx::{build_engine, VdxError, VdxSpec};
 use crossbeam::channel;
 
-/// Capacity of the feeder → hub frame channel. Trace replays are bursty —
+/// Capacity of the feeder → hub wire channel. Trace replays are bursty —
 /// every feeder pushes as fast as it can — so the channel is bounded to
 /// backpressure feeders once the hub falls behind, instead of buffering an
-/// entire trace (frames are ~25 bytes; 256 frames ≈ one lag window for the
-/// widest simulated deployments).
+/// entire trace. Entries are multi-frame chunks of up to
+/// [`FEEDER_CHUNK_BYTES`], so 256 slots still bound memory to ~1 MiB.
 const WIRE_CHANNEL_CAPACITY: usize = 256;
+
+/// Feeders encode frames allocation-free into a reused scratch buffer and
+/// ship it once this many bytes accumulate (~160 frames), so the
+/// per-reading cost is one `Vec` per chunk instead of two allocations per
+/// frame.
+const FEEDER_CHUNK_BYTES: usize = 4096;
 
 /// Capacity of the hub → sink and sink → collector round channels. Rounds
 /// are produced at most once per `expected.len()` frames, so a much smaller
@@ -125,6 +131,9 @@ impl EdgeVoter {
             let series = trace.series(idx);
             let tx = wire_tx.clone();
             feeders.push(std::thread::spawn(move || {
+                // One reused scratch per feeder thread: frames append
+                // in place and whole chunks cross the channel.
+                let mut scratch = bytes::BytesMut::with_capacity(FEEDER_CHUNK_BYTES + 64);
                 for (round, value) in series.into_iter().enumerate() {
                     let msg = match value {
                         Some(v) => Message::Reading {
@@ -137,9 +146,16 @@ impl EdgeVoter {
                             round: round as u64,
                         },
                     };
-                    if tx.send(msg.encode().to_vec()).is_err() {
-                        return;
+                    msg.encode_into(&mut scratch);
+                    if scratch.len() >= FEEDER_CHUNK_BYTES {
+                        if tx.send(scratch.to_vec()).is_err() {
+                            return;
+                        }
+                        scratch.clear();
                     }
+                }
+                if !scratch.is_empty() {
+                    let _ = tx.send(scratch.to_vec());
                 }
             }));
         }

@@ -7,6 +7,9 @@
 //!
 //! * [`message`] — the length-prefixed binary wire protocol (built on
 //!   `bytes`) sensors speak to the hub;
+//! * [`cork`] — the [`cork::CorkedWriter`]: allocation-free frame
+//!   encoding into a reusable buffer, flushed with one `write` per
+//!   wakeup instead of one per frame;
 //! * [`hub`] — the [`hub::SensorHub`]: assembles per-module readings into
 //!   complete voting rounds, deadline-flushing partial rounds so missing
 //!   values surface as `None` ballots;
@@ -35,14 +38,18 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cork;
 pub mod edge;
 pub mod hub;
 pub mod message;
 pub mod sink;
 pub mod tcp;
 
+pub use cork::{CorkedWriter, WriterStats};
 pub use edge::EdgeVoter;
 pub use hub::{Liveness, SensorHub};
-pub use message::{BatchReading, Message, SpecSource, MAX_BATCH_READINGS};
+pub use message::{
+    BatchReading, BatchResult, Message, SpecSource, MAX_BATCH_READINGS, MAX_BATCH_RESULTS,
+};
 pub use sink::SinkNode;
 pub use tcp::{SensorClient, TcpHub};

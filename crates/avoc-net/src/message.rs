@@ -66,6 +66,26 @@
 //!
 //! Both are hardened like `FeedBatch`: flag bytes other than 0/1, missing
 //! optional fields, or trailing bytes reject the frame.
+//!
+//! Tag 13 is the egress mirror of `FeedBatch`: [`Message::ResultBatch`]
+//! carries many fused rounds for one session in a single frame, so a burst
+//! of readings that fuses thousands of rounds ships its verdicts without a
+//! per-round frame header or syscall:
+//!
+//! ```text
+//! tag: u8          13 = ResultBatch
+//! session: u64 BE
+//! count: u32 BE    1 ..= MAX_BATCH_RESULTS
+//! count × { round: u64 BE, flags: u8, value: f64 bits BE }
+//! ```
+//!
+//! `flags` bit 0 = a fused value is present, bit 1 = a genuine vote
+//! produced it; any other bit rejects the frame. When bit 0 is clear the
+//! value field must be all-zero bits, so every accepted frame re-encodes
+//! byte-identically (the canonical-acceptance invariant the resume replay
+//! path relies on). Count-vs-length hardening matches `FeedBatch`: the
+//! payload must be exactly `13 + 17 × count` bytes and `count = 0` is
+//! rejected.
 
 use avoc_core::ModuleId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -90,6 +110,20 @@ pub struct BatchReading {
     pub round: u64,
     /// The measured value.
     pub value: f64,
+}
+
+/// One fused round inside a [`Message::ResultBatch`] frame (17 bytes on
+/// the wire: round `u64`, flags `u8`, value `f64` bits — zeroed when the
+/// round was skipped so the encoding stays canonical).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchResult {
+    /// Round number.
+    pub round: u64,
+    /// Fused value (`None` when the round was skipped).
+    pub value: Option<f64>,
+    /// Whether a genuine vote produced the value (`false` for tie-breaks
+    /// and last-good fallbacks).
+    pub voted: bool,
 }
 
 /// A protocol message.
@@ -205,6 +239,17 @@ pub enum Message {
         /// voter will bootstrap.
         warm: bool,
     },
+    /// Many fused rounds for one session in a single frame (tag 13) — the
+    /// egress mirror of [`Message::FeedBatch`]. Shard workers accumulate a
+    /// burst's verdicts and ship them together, amortising framing and the
+    /// per-result write on the result path.
+    ResultBatch {
+        /// Originating session.
+        session: u64,
+        /// The fused rounds, in fuse order. Never empty; at most
+        /// [`MAX_BATCH_RESULTS`] per frame.
+        results: Vec<BatchResult>,
+    },
 }
 
 /// Hard cap on a frame's payload length (1 MiB). Only [`Message::OpenSession`]
@@ -224,6 +269,18 @@ const BATCH_READING_LEN: usize = 4 + 8 + 8;
 /// payload stays under [`MAX_FRAME_LEN`]. Senders with more readings than
 /// this must split them across frames (see `ServeClient::send_batch`).
 pub const MAX_BATCH_READINGS: usize = (MAX_FRAME_LEN - BATCH_HEADER_LEN) / BATCH_READING_LEN;
+
+/// Fixed header of a [`Message::ResultBatch`] payload: tag + session + count.
+const RESULT_HEADER_LEN: usize = 1 + 8 + 4;
+
+/// Wire size of one [`BatchResult`]: round + flags + value bits.
+const RESULT_ENTRY_LEN: usize = 8 + 1 + 8;
+
+/// The most results one [`Message::ResultBatch`] frame can carry while its
+/// payload stays under [`MAX_FRAME_LEN`]. Senders with more fused rounds
+/// than this per burst must split them across frames (see
+/// `avoc-serve`'s session result flush).
+pub const MAX_BATCH_RESULTS: usize = (MAX_FRAME_LEN - RESULT_HEADER_LEN) / RESULT_ENTRY_LEN;
 
 /// Decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -280,6 +337,7 @@ const TAG_ERROR: u8 = 9;
 const TAG_FEED_BATCH: u8 = 10;
 const TAG_RESUME_SESSION: u8 = 11;
 const TAG_RESUMED: u8 = 12;
+const TAG_RESULT_BATCH: u8 = 13;
 
 /// Spec-source discriminants inside an `OpenSession` payload.
 const SPEC_NAMED: u8 = 0;
@@ -304,51 +362,68 @@ fn get_string(payload: &mut BytesMut, tag: u8, len: usize) -> Result<String, Dec
 
 impl Message {
     /// Encodes the message as one length-prefixed frame.
+    ///
+    /// Thin allocating wrapper over [`Message::encode_into`]. Hot paths
+    /// hold a per-connection scratch [`BytesMut`] and call `encode_into`
+    /// directly so steady-state sends never touch the allocator.
     pub fn encode(&self) -> Bytes {
-        let mut payload = BytesMut::with_capacity(29);
+        let mut frame = BytesMut::with_capacity(33);
+        self.encode_into(&mut frame);
+        frame.freeze()
+    }
+
+    /// Appends the message as one length-prefixed frame to `frame`,
+    /// reusing its allocation. Byte-for-byte identical to
+    /// [`Message::encode`] (pinned by proptest for every tag): the payload
+    /// is written in place behind a four-byte length placeholder that is
+    /// patched once the payload size is known, so no intermediate payload
+    /// buffer ever exists.
+    pub fn encode_into(&self, frame: &mut BytesMut) {
+        let pos = frame.len();
+        frame.put_u32(0); // length placeholder, patched below
         match self {
             Message::Reading {
                 module,
                 round,
                 value,
             } => {
-                payload.put_u8(TAG_READING);
-                payload.put_u32(module.index());
-                payload.put_u64(*round);
-                payload.put_f64(*value);
+                frame.put_u8(TAG_READING);
+                frame.put_u32(module.index());
+                frame.put_u64(*round);
+                frame.put_f64(*value);
             }
             Message::Missing { module, round } => {
-                payload.put_u8(TAG_MISSING);
-                payload.put_u32(module.index());
-                payload.put_u64(*round);
+                frame.put_u8(TAG_MISSING);
+                frame.put_u32(module.index());
+                frame.put_u64(*round);
             }
             Message::Heartbeat { module } => {
-                payload.put_u8(TAG_HEARTBEAT);
-                payload.put_u32(module.index());
+                frame.put_u8(TAG_HEARTBEAT);
+                frame.put_u32(module.index());
             }
-            Message::Shutdown => payload.put_u8(TAG_SHUTDOWN),
+            Message::Shutdown => frame.put_u8(TAG_SHUTDOWN),
             Message::OpenSession {
                 session,
                 modules,
                 spec,
             } => {
-                payload.put_u8(TAG_OPEN_SESSION);
-                payload.put_u64(*session);
-                payload.put_u32(*modules);
+                frame.put_u8(TAG_OPEN_SESSION);
+                frame.put_u64(*session);
+                frame.put_u32(*modules);
                 match spec {
                     SpecSource::Named(name) => {
-                        payload.put_u8(SPEC_NAMED);
-                        put_string(&mut payload, name);
+                        frame.put_u8(SPEC_NAMED);
+                        put_string(frame, name);
                     }
                     SpecSource::Inline(vdx) => {
-                        payload.put_u8(SPEC_INLINE);
-                        put_string(&mut payload, vdx);
+                        frame.put_u8(SPEC_INLINE);
+                        put_string(frame, vdx);
                     }
                 }
             }
             Message::CloseSession { session } => {
-                payload.put_u8(TAG_CLOSE_SESSION);
-                payload.put_u64(*session);
+                frame.put_u8(TAG_CLOSE_SESSION);
+                frame.put_u64(*session);
             }
             Message::SessionReading {
                 session,
@@ -356,11 +431,11 @@ impl Message {
                 round,
                 value,
             } => {
-                payload.put_u8(TAG_SESSION_READING);
-                payload.put_u64(*session);
-                payload.put_u32(module.index());
-                payload.put_u64(*round);
-                payload.put_f64(*value);
+                frame.put_u8(TAG_SESSION_READING);
+                frame.put_u64(*session);
+                frame.put_u32(module.index());
+                frame.put_u64(*round);
+                frame.put_f64(*value);
             }
             Message::SessionResult {
                 session,
@@ -368,36 +443,25 @@ impl Message {
                 value,
                 voted,
             } => {
-                payload.put_u8(TAG_SESSION_RESULT);
-                payload.put_u64(*session);
-                payload.put_u64(*round);
+                frame.put_u8(TAG_SESSION_RESULT);
+                frame.put_u64(*session);
+                frame.put_u64(*round);
                 match value {
                     Some(v) => {
-                        payload.put_u8(1);
-                        payload.put_f64(*v);
+                        frame.put_u8(1);
+                        frame.put_f64(*v);
                     }
-                    None => payload.put_u8(0),
+                    None => frame.put_u8(0),
                 }
-                payload.put_u8(u8::from(*voted));
+                frame.put_u8(u8::from(*voted));
             }
             Message::Error { session, message } => {
-                payload.put_u8(TAG_ERROR);
-                payload.put_u64(*session);
-                put_string(&mut payload, message);
+                frame.put_u8(TAG_ERROR);
+                frame.put_u64(*session);
+                put_string(frame, message);
             }
             Message::FeedBatch { session, readings } => {
-                debug_assert!(
-                    !readings.is_empty() && readings.len() <= MAX_BATCH_READINGS,
-                    "FeedBatch must carry 1..=MAX_BATCH_READINGS readings"
-                );
-                payload.put_u8(TAG_FEED_BATCH);
-                payload.put_u64(*session);
-                payload.put_u32(readings.len() as u32);
-                for r in readings {
-                    payload.put_u32(r.module.index());
-                    payload.put_u64(r.round);
-                    payload.put_f64(r.value);
-                }
+                Message::put_feed_batch(*session, readings, frame);
             }
             Message::ResumeSession {
                 session,
@@ -406,25 +470,25 @@ impl Message {
                 token,
                 last_acked,
             } => {
-                payload.put_u8(TAG_RESUME_SESSION);
-                payload.put_u64(*session);
-                payload.put_u32(*modules);
-                payload.put_u64(*token);
+                frame.put_u8(TAG_RESUME_SESSION);
+                frame.put_u64(*session);
+                frame.put_u32(*modules);
+                frame.put_u64(*token);
                 match last_acked {
                     Some(r) => {
-                        payload.put_u8(1);
-                        payload.put_u64(*r);
+                        frame.put_u8(1);
+                        frame.put_u64(*r);
                     }
-                    None => payload.put_u8(0),
+                    None => frame.put_u8(0),
                 }
                 match spec {
                     SpecSource::Named(name) => {
-                        payload.put_u8(SPEC_NAMED);
-                        put_string(&mut payload, name);
+                        frame.put_u8(SPEC_NAMED);
+                        put_string(frame, name);
                     }
                     SpecSource::Inline(vdx) => {
-                        payload.put_u8(SPEC_INLINE);
-                        put_string(&mut payload, vdx);
+                        frame.put_u8(SPEC_INLINE);
+                        put_string(frame, vdx);
                     }
                 }
             }
@@ -433,26 +497,82 @@ impl Message {
                 high_round,
                 warm,
             } => {
-                payload.put_u8(TAG_RESUMED);
-                payload.put_u64(*session);
+                frame.put_u8(TAG_RESUMED);
+                frame.put_u64(*session);
                 match high_round {
                     Some(r) => {
-                        payload.put_u8(1);
-                        payload.put_u64(*r);
+                        frame.put_u8(1);
+                        frame.put_u64(*r);
                     }
-                    None => payload.put_u8(0),
+                    None => frame.put_u8(0),
                 }
-                payload.put_u8(u8::from(*warm));
+                frame.put_u8(u8::from(*warm));
+            }
+            Message::ResultBatch { session, results } => {
+                debug_assert!(
+                    !results.is_empty() && results.len() <= MAX_BATCH_RESULTS,
+                    "ResultBatch must carry 1..=MAX_BATCH_RESULTS results"
+                );
+                frame.put_u8(TAG_RESULT_BATCH);
+                frame.put_u64(*session);
+                frame.put_u32(results.len() as u32);
+                for r in results {
+                    frame.put_u64(r.round);
+                    let mut flags = 0u8;
+                    if r.value.is_some() {
+                        flags |= 1;
+                    }
+                    if r.voted {
+                        flags |= 2;
+                    }
+                    frame.put_u8(flags);
+                    // Skipped rounds carry +0.0 (all-zero bits) so the
+                    // encoding stays canonical: decode rejects anything else.
+                    frame.put_f64(r.value.unwrap_or(0.0));
+                }
             }
         }
+        Message::patch_len(frame, pos);
+    }
+
+    /// Appends a [`Message::FeedBatch`] frame built from a borrowed slice —
+    /// byte-identical to `Message::FeedBatch { session, readings:
+    /// readings.to_vec() }.encode_into(frame)` without materialising the
+    /// `Vec`. The batch feed path encodes its chunks through this so
+    /// steady-state sends never allocate.
+    pub fn encode_feed_batch_into(session: u64, readings: &[BatchReading], frame: &mut BytesMut) {
+        let pos = frame.len();
+        frame.put_u32(0); // length placeholder, patched below
+        Message::put_feed_batch(session, readings, frame);
+        Message::patch_len(frame, pos);
+    }
+
+    /// Writes a FeedBatch payload (no length prefix) — shared by the enum
+    /// arm and the slice-based encoder so the two stay byte-identical.
+    fn put_feed_batch(session: u64, readings: &[BatchReading], frame: &mut BytesMut) {
         debug_assert!(
-            payload.len() <= MAX_FRAME_LEN,
+            !readings.is_empty() && readings.len() <= MAX_BATCH_READINGS,
+            "FeedBatch must carry 1..=MAX_BATCH_READINGS readings"
+        );
+        frame.put_u8(TAG_FEED_BATCH);
+        frame.put_u64(session);
+        frame.put_u32(readings.len() as u32);
+        for r in readings {
+            frame.put_u32(r.module.index());
+            frame.put_u64(r.round);
+            frame.put_f64(r.value);
+        }
+    }
+
+    /// Patches the four-byte length placeholder written at `pos` (an offset
+    /// into the readable region) with the payload length that follows it.
+    fn patch_len(frame: &mut BytesMut, pos: usize) {
+        let payload_len = frame.len() - pos - 4;
+        debug_assert!(
+            payload_len <= MAX_FRAME_LEN,
             "encoded frame exceeds MAX_FRAME_LEN and would be undecodable"
         );
-        let mut frame = BytesMut::with_capacity(4 + payload.len());
-        frame.put_u32(payload.len() as u32);
-        frame.extend_from_slice(&payload);
-        frame.freeze()
+        frame[pos..pos + 4].copy_from_slice(&(payload_len as u32).to_be_bytes());
     }
 
     /// Decodes one frame from the front of `buf`, consuming it.
@@ -679,6 +799,45 @@ impl Message {
                     high_round,
                     warm,
                 })
+            }
+            TAG_RESULT_BATCH => {
+                if len < RESULT_HEADER_LEN {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let session = payload.get_u64();
+                let count = payload.get_u32() as usize;
+                // Count-vs-length hardening as for FeedBatch: a lying count
+                // (truncated entries, or an oversized count fishing for a
+                // huge Vec) and empty batches reject the frame.
+                if count == 0 || len != RESULT_HEADER_LEN + count * RESULT_ENTRY_LEN {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let mut results = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let round = payload.get_u64();
+                    let flags = payload.get_u8();
+                    if flags > 3 {
+                        return Err(DecodeError::BadLength { tag, len });
+                    }
+                    let bits = payload.get_u64();
+                    let value = if flags & 1 != 0 {
+                        Some(f64::from_bits(bits))
+                    } else if bits != 0 {
+                        // A skipped round must carry all-zero value bits:
+                        // accepting arbitrary filler would break the
+                        // canonical re-encode invariant resume replay
+                        // comparisons rely on.
+                        return Err(DecodeError::BadLength { tag, len });
+                    } else {
+                        None
+                    };
+                    results.push(BatchResult {
+                        round,
+                        value,
+                        voted: flags & 2 != 0,
+                    });
+                }
+                Ok(Message::ResultBatch { session, results })
             }
             other => Err(DecodeError::UnknownTag(other)),
         }
@@ -1122,6 +1281,208 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn result_batch_round_trips() {
+        round_trip(Message::ResultBatch {
+            session: 12,
+            results: vec![
+                BatchResult {
+                    round: 7,
+                    value: Some(18.5),
+                    voted: true,
+                },
+                BatchResult {
+                    round: 8,
+                    value: None,
+                    voted: false,
+                },
+                BatchResult {
+                    round: u64::MAX,
+                    value: Some(f64::MIN_POSITIVE),
+                    voted: false,
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn largest_result_batch_fits_under_the_frame_cap() {
+        let results = vec![
+            BatchResult {
+                round: 3,
+                value: Some(1.5),
+                voted: true,
+            };
+            MAX_BATCH_RESULTS
+        ];
+        let msg = Message::ResultBatch {
+            session: 1,
+            results,
+        };
+        let frame = msg.encode();
+        assert!(frame.len() - 4 <= MAX_FRAME_LEN);
+        let mut buf = BytesMut::from(&frame[..]);
+        assert_eq!(Message::decode(&mut buf).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_result_batch_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(13); // header only, count = 0
+        buf.put_u8(TAG_RESULT_BATCH);
+        buf.put_u64(1);
+        buf.put_u32(0);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESULT_BATCH,
+                ..
+            })
+        ));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
+    }
+
+    #[test]
+    fn result_batch_count_must_match_frame_length() {
+        // A hostile count claiming more results than the frame carries.
+        let mut hostile = BytesMut::new();
+        hostile.put_u32(13 + 17); // room for one result ...
+        hostile.put_u8(TAG_RESULT_BATCH);
+        hostile.put_u64(9);
+        hostile.put_u32(50_000); // ... claiming fifty thousand
+        hostile.put_u64(0);
+        hostile.put_u8(1);
+        hostile.put_f64(1.0);
+        assert!(matches!(
+            Message::decode(&mut hostile),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESULT_BATCH,
+                ..
+            })
+        ));
+        assert!(hostile.is_empty());
+
+        // Truncation mid-entry is rejected too.
+        let frame = Message::ResultBatch {
+            session: 2,
+            results: vec![
+                BatchResult {
+                    round: 0,
+                    value: Some(1.0),
+                    voted: true,
+                },
+                BatchResult {
+                    round: 1,
+                    value: Some(2.0),
+                    voted: true,
+                },
+            ],
+        }
+        .encode();
+        let cut = frame.len() - 5;
+        let mut buf = BytesMut::from(&frame[..cut]);
+        buf[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESULT_BATCH,
+                ..
+            })
+        ));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
+    }
+
+    #[test]
+    fn result_batch_rejects_bad_flags_and_noncanonical_filler() {
+        let frame = Message::ResultBatch {
+            session: 1,
+            results: vec![BatchResult {
+                round: 5,
+                value: None,
+                voted: true,
+            }],
+        }
+        .encode();
+        // Flag bits beyond 0/1 reject the frame.
+        let mut buf = BytesMut::from(&frame[..]);
+        buf[4 + 13 + 8] = 4;
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESULT_BATCH,
+                ..
+            })
+        ));
+        assert!(buf.is_empty());
+
+        // A skipped round with nonzero value bits is non-canonical filler.
+        let mut buf = BytesMut::from(&frame[..]);
+        buf[4 + 13 + 8 + 1 + 7] = 1; // last byte of the value field
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_RESULT_BATCH,
+                ..
+            })
+        ));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_appends() {
+        // encode_into on a dirty buffer appends a frame byte-identical to
+        // encode(), leaving the existing bytes alone.
+        let msgs = [
+            Message::Shutdown,
+            Message::SessionResult {
+                session: 3,
+                round: 9,
+                value: Some(-2.5),
+                voted: true,
+            },
+            Message::ResultBatch {
+                session: 4,
+                results: vec![BatchResult {
+                    round: 1,
+                    value: None,
+                    voted: false,
+                }],
+            },
+        ];
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"prefix");
+        let mut expected = b"prefix".to_vec();
+        for m in &msgs {
+            m.encode_into(&mut buf);
+            expected.extend_from_slice(&m.encode());
+        }
+        assert_eq!(&buf[..], &expected[..]);
+    }
+
+    #[test]
+    fn encode_feed_batch_into_matches_the_enum_arm() {
+        let readings = vec![
+            BatchReading {
+                module: ModuleId::new(0),
+                round: 7,
+                value: 18.5,
+            },
+            BatchReading {
+                module: ModuleId::new(3),
+                round: 8,
+                value: -0.25,
+            },
+        ];
+        let mut via_slice = BytesMut::new();
+        Message::encode_feed_batch_into(5, &readings, &mut via_slice);
+        let via_enum = Message::FeedBatch {
+            session: 5,
+            readings,
+        }
+        .encode();
+        assert_eq!(&via_slice[..], &via_enum[..]);
     }
 
     #[test]

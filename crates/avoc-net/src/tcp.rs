@@ -7,12 +7,13 @@
 //! stream length-prefixed frames; [`TcpHub`] accepts, decodes, assembles
 //! rounds and hands them to whatever sink the caller wires up.
 
+use crate::cork::{CorkedWriter, WriterStats};
 use crate::hub::SensorHub;
 use crate::message::{DecodeError, Message};
 use avoc_core::{ModuleId, Round};
 use bytes::BytesMut;
 use crossbeam::channel::{self, Receiver, Sender};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
 
@@ -34,7 +35,7 @@ const ROUND_CHANNEL_CAPACITY: usize = 64;
 /// See [`TcpHub`] for an end-to-end example.
 #[derive(Debug)]
 pub struct SensorClient {
-    stream: TcpStream,
+    writer: CorkedWriter<TcpStream>,
 }
 
 impl SensorClient {
@@ -46,20 +47,26 @@ impl SensorClient {
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(SensorClient { stream })
+        Ok(SensorClient {
+            writer: CorkedWriter::new(stream),
+        })
     }
 
-    /// Sends one message.
+    /// Sends one message (encoded allocation-free and flushed
+    /// immediately — a lone frame keeps its latency).
     ///
     /// # Errors
     ///
     /// Propagates write errors.
     pub fn send(&mut self, msg: &Message) -> io::Result<()> {
-        self.stream.write_all(&msg.encode())
+        self.writer.push(msg);
+        self.writer.flush()
     }
 
     /// Streams one module's series, one reading per round; `None` entries
-    /// are sent as explicit [`Message::Missing`] notifications.
+    /// are sent as explicit [`Message::Missing`] notifications. The whole
+    /// series is corked and shipped with a handful of `write` calls
+    /// instead of one per reading.
     ///
     /// # Errors
     ///
@@ -77,9 +84,18 @@ impl SensorClient {
                     round: round as u64,
                 },
             };
-            self.send(&msg)?;
+            self.writer.push(&msg);
+            if self.writer.is_corked_full() {
+                self.writer.flush()?;
+            }
         }
-        Ok(())
+        self.writer.flush()
+    }
+
+    /// I/O counters for this connection (frames, flushes, `write` calls,
+    /// bytes).
+    pub fn io_stats(&self) -> WriterStats {
+        self.writer.stats()
     }
 }
 

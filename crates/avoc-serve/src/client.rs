@@ -4,9 +4,10 @@
 //! session resume.
 
 use avoc_core::ModuleId;
+use avoc_net::cork::DEFAULT_CORK_LIMIT;
 use avoc_net::message::DecodeError;
 use avoc_net::{BatchReading, Message, SpecSource, MAX_BATCH_READINGS};
-use bytes::BytesMut;
+use bytes::{Buf, BytesMut};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -95,6 +96,25 @@ impl RetryPolicy {
 pub struct ServeClient {
     stream: TcpStream,
     buf: BytesMut,
+    /// Reused outbound scratch: frames encode into it in place, so the
+    /// steady-state send path performs no allocations.
+    scratch: BytesMut,
+    /// Results unpacked from a [`Message::ResultBatch`] but not yet handed
+    /// to the caller ([`ServeClient::recv`] yields them one at a time).
+    inbox: VecDeque<Message>,
+    stats: ClientIoStats,
+}
+
+/// Wire-level I/O counters for one [`ServeClient`] connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientIoStats {
+    /// Frames encoded into the outbound scratch buffer.
+    pub frames_sent: u64,
+    /// `write` syscalls issued (coalesced sends make this much smaller
+    /// than `frames_sent`).
+    pub writes: u64,
+    /// Bytes written to the socket.
+    pub bytes_sent: u64,
 }
 
 impl ServeClient {
@@ -121,7 +141,15 @@ impl ServeClient {
         Ok(ServeClient {
             stream,
             buf: BytesMut::with_capacity(4096),
+            scratch: BytesMut::with_capacity(4096),
+            inbox: VecDeque::new(),
+            stats: ClientIoStats::default(),
         })
+    }
+
+    /// Wire-level I/O counters for this connection.
+    pub fn io_stats(&self) -> ClientIoStats {
+        self.stats
     }
 
     /// Opens a session governed by `spec`; admission errors arrive as
@@ -190,13 +218,17 @@ impl ServeClient {
     ///
     /// Propagates write errors.
     pub fn send_batch(&mut self, session: u64, readings: &[BatchReading]) -> io::Result<()> {
+        // Frames encode straight from the slice (no per-chunk `Vec`) and
+        // cork in the scratch buffer, so a large batch leaves in a few
+        // `write` calls instead of one per frame.
         for chunk in readings.chunks(MAX_BATCH_READINGS) {
-            self.send(&Message::FeedBatch {
-                session,
-                readings: chunk.to_vec(),
-            })?;
+            Message::encode_feed_batch_into(session, chunk, &mut self.scratch);
+            self.stats.frames_sent += 1;
+            if self.scratch.len() >= DEFAULT_CORK_LIMIT {
+                self.flush_scratch()?;
+            }
         }
-        Ok(())
+        self.flush_scratch()
     }
 
     /// Closes a session, flushing its partially assembled rounds (their
@@ -209,13 +241,44 @@ impl ServeClient {
         self.send(&Message::CloseSession { session })
     }
 
-    /// Sends one raw frame.
+    /// Sends one raw frame (encoded allocation-free into the reused
+    /// scratch buffer).
     ///
     /// # Errors
     ///
     /// Propagates write errors.
     pub fn send(&mut self, msg: &Message) -> io::Result<()> {
-        self.stream.write_all(&msg.encode())
+        msg.encode_into(&mut self.scratch);
+        self.stats.frames_sent += 1;
+        self.flush_scratch()
+    }
+
+    /// Writes the scratch buffer out, counting each `write`. On error the
+    /// scratch is cleared — a partial frame must never prefix the next
+    /// send on a connection the caller decides to keep using.
+    fn flush_scratch(&mut self) -> io::Result<()> {
+        while !self.scratch.is_empty() {
+            match self.stream.write(&self.scratch) {
+                Ok(0) => {
+                    self.scratch.clear();
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted no bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.stats.writes += 1;
+                    self.stats.bytes_sent += n as u64;
+                    self.scratch.advance(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.scratch.clear();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Blocks until the next server frame (a [`Message::SessionResult`],
@@ -227,9 +290,34 @@ impl ServeClient {
     /// on an undecodable frame; `WouldBlock`/`TimedOut` past the configured
     /// read deadline; other I/O errors as raised.
     pub fn recv(&mut self) -> io::Result<Message> {
+        if let Some(msg) = self.inbox.pop_front() {
+            return Ok(msg);
+        }
         let mut chunk = [0u8; 4096];
         loop {
             match Message::decode(&mut self.buf) {
+                Ok(Message::ResultBatch { session, results }) => {
+                    // Unpack into per-round frames so callers see the same
+                    // stream whether the daemon batched or not (which is
+                    // what keeps resume replay and ack-floor dedup
+                    // framing-agnostic).
+                    let mut iter = results.into_iter();
+                    let first = iter.next().expect("decoded batches are non-empty");
+                    for r in iter {
+                        self.inbox.push_back(Message::SessionResult {
+                            session,
+                            round: r.round,
+                            value: r.value,
+                            voted: r.voted,
+                        });
+                    }
+                    return Ok(Message::SessionResult {
+                        session,
+                        round: first.round,
+                        value: first.value,
+                        voted: first.voted,
+                    });
+                }
                 Ok(msg) => return Ok(msg),
                 Err(DecodeError::Incomplete) => {}
                 Err(e) => {
@@ -425,8 +513,7 @@ impl ResilientClient {
         if let Some(s) = self.sessions.get_mut(&session) {
             s.unacked.extend(readings.iter().copied());
         }
-        let owned = readings.to_vec();
-        self.with_io(move |c| c.send_batch(session, &owned))
+        self.with_io(move |c| c.send_batch(session, readings))
     }
 
     /// Closes a session and forgets its resume state.

@@ -79,7 +79,9 @@ mod service;
 mod session;
 mod shard;
 
-pub use client::{ClientConfig, ClientStats, ResilientClient, RetryPolicy, ServeClient};
+pub use client::{
+    ClientConfig, ClientIoStats, ClientStats, ResilientClient, RetryPolicy, ServeClient,
+};
 pub use metrics::{CountersSnapshot, LatencySummary, ServiceCounters};
 pub use persist::Persistence;
 pub use registry::SpecRegistry;

@@ -1,10 +1,10 @@
 //! TCP front-end: control frames in, session results out.
 
 use avoc_net::message::DecodeError;
-use avoc_net::Message;
+use avoc_net::{CorkedWriter, Message, WriterStats};
 use bytes::BytesMut;
 use crossbeam::channel::{self, Sender};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -138,14 +138,38 @@ fn serve_connection(stream: TcpStream, service: Arc<VoterService>, running: Arc<
     let (out_tx, out_rx) = channel::bounded::<Message>(OUT_CHANNEL_CAPACITY);
     let writer = {
         let stream = stream.try_clone();
+        let counters = service.counters_arc();
         std::thread::spawn(move || {
-            let Ok(mut stream) = stream else { return };
+            let Ok(stream) = stream else { return };
             let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
             // Exits when every sender is gone: the reader's handle drops at
             // connection end and the shards' sink clones drop as their
             // sessions close.
+            //
+            // Adaptive corking: each wakeup drains whatever is already
+            // queued into the cork buffer and ships it with one flush — a
+            // lone frame still leaves immediately (no added latency), while
+            // a backlog coalesces into a single `write`. The socket's
+            // per-write deadline applies to the coalesced flush exactly as
+            // it did to per-frame writes: a wedged tenant stalls the flush,
+            // the deadline expires, and the writer exits.
+            let mut writer = CorkedWriter::new(stream);
+            let mut last = WriterStats::default();
             for msg in out_rx.iter() {
-                if stream.write_all(&msg.encode()).is_err() {
+                writer.push(&msg);
+                while !writer.is_corked_full() {
+                    match out_rx.try_recv() {
+                        Ok(msg) => writer.push(&msg),
+                        Err(_) => break,
+                    }
+                }
+                let flushed = writer.flush();
+                let now = writer.stats();
+                counters.frames_sent_add(now.frames - last.frames);
+                counters.bytes_sent_add(now.bytes - last.bytes);
+                counters.writer_flushes_add(now.flushes - last.flushes);
+                last = now;
+                if flushed.is_err() {
                     break; // tenant gone or stalled past the write deadline
                 }
             }
@@ -179,6 +203,7 @@ fn read_frames(
     running: &AtomicBool,
     out_tx: &Sender<Message>,
 ) -> (Vec<u64>, Vec<u64>) {
+    let counters = service.counters_arc();
     let mut buf = BytesMut::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     let mut opened: Vec<u64> = Vec::new();
@@ -186,7 +211,10 @@ fn read_frames(
     'conn: while running.load(Ordering::SeqCst) {
         let n = match stream.read(&mut chunk) {
             Ok(0) => break,
-            Ok(n) => n,
+            Ok(n) => {
+                counters.bytes_received_add(n as u64);
+                n
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
@@ -284,6 +312,7 @@ fn read_frames(
                 | Message::Missing { .. }
                 | Message::Heartbeat { .. }
                 | Message::SessionResult { .. }
+                | Message::ResultBatch { .. }
                 | Message::Resumed { .. }
                 | Message::Error { .. } => {}
             }

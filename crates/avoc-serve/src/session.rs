@@ -2,7 +2,7 @@
 //! with optional durable checkpoints and resume support.
 
 use avoc_core::{ModuleId, Round, RoundResult, VotingEngine};
-use avoc_net::{Message, SensorHub};
+use avoc_net::{BatchResult, Message, SensorHub, MAX_BATCH_RESULTS};
 use avoc_vdx::{build_engine, VdxSpec};
 use crossbeam::channel::Sender;
 use std::collections::VecDeque;
@@ -42,6 +42,11 @@ pub(crate) struct Session {
     high_round: Option<u64>,
     /// Recent results, re-emitted past the client's ack floor on resume.
     results: VecDeque<StoredResult>,
+    /// Results fused since the last flush, awaiting emission. Shipped as
+    /// one [`Message::ResultBatch`] per burst (or a plain
+    /// [`Message::SessionResult`] when only one round fused), so the
+    /// result path pays one frame per burst instead of one per round.
+    pending: Vec<StoredResult>,
     persist: Option<SessionStore>,
     checkpoint_every: u64,
     rounds_since_ckpt: u64,
@@ -67,6 +72,7 @@ impl Session {
             resumable: cfg.resumable,
             high_round: None,
             results: VecDeque::new(),
+            pending: Vec::new(),
             persist,
             checkpoint_every: cfg.checkpoint_every.max(1),
             rounds_since_ckpt: 0,
@@ -124,13 +130,65 @@ impl Session {
     }
 
     /// Flushes partially assembled rounds through the engine (close/evict/
-    /// drain path), emitting their results, then writes a final checkpoint
-    /// so the durable state is as warm as the session was.
+    /// drain path), emits every pending result, then writes a final
+    /// checkpoint so the durable state is as warm as the session was.
     pub(crate) fn flush(&mut self, counters: &ServiceCounters) {
         for r in self.hub.flush_all() {
             self.fuse(&r, counters);
         }
+        self.flush_results(counters);
         self.checkpoint(counters);
+    }
+
+    /// Ships everything fused since the last flush. The shard worker calls
+    /// this once per wakeup, so a burst's verdicts leave as one
+    /// [`Message::ResultBatch`] frame; a lone result goes as a plain
+    /// [`Message::SessionResult`] (interactive traffic keeps its shape and
+    /// latency).
+    pub(crate) fn flush_results(&mut self, counters: &ServiceCounters) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.emit_results(&self.pending, counters);
+        self.pending.clear();
+    }
+
+    /// Ships `items` to the sink in fuse order, batching everything beyond
+    /// a single result into [`Message::ResultBatch`] chunks. Shed frames
+    /// count once per result they carried, so `results_dropped` keeps
+    /// counting rounds, not frames.
+    fn emit_results(&self, items: &[StoredResult], counters: &ServiceCounters) {
+        if let &[(round, value, voted)] = items {
+            let msg = Message::SessionResult {
+                session: self.id,
+                round,
+                value,
+                voted,
+            };
+            if self.sink.try_send(msg).is_err() {
+                counters.result_dropped();
+            }
+            return;
+        }
+        for chunk in items.chunks(MAX_BATCH_RESULTS) {
+            let results = chunk
+                .iter()
+                .map(|&(round, value, voted)| BatchResult {
+                    round,
+                    value,
+                    voted,
+                })
+                .collect();
+            let msg = Message::ResultBatch {
+                session: self.id,
+                results,
+            };
+            if self.sink.try_send(msg).is_err() {
+                counters.results_dropped_add(chunk.len() as u64);
+            } else {
+                counters.result_batch();
+            }
+        }
     }
 
     /// Writes a checkpoint now: WAL first, then the meta file. Errors leave
@@ -173,7 +231,10 @@ impl Session {
     /// then, emissions are counted as dropped. Without this, a lingering
     /// session would pin its dead connection's writer thread (and socket)
     /// for as long as it lives.
-    pub(crate) fn detach(&mut self) {
+    pub(crate) fn detach(&mut self, counters: &ServiceCounters) {
+        // Complete the dying connection's stream first: pending results
+        // belong to the old sink (shed-and-counted if it is already gone).
+        self.flush_results(counters);
         let (dead, _) = crossbeam::channel::bounded(1);
         self.sink = dead;
     }
@@ -187,6 +248,10 @@ impl Session {
         tick: u64,
         counters: &ServiceCounters,
     ) {
+        // Pending results complete the *old* stream; the ring already
+        // holds them, so the replay below re-covers the new sink and the
+        // client's ack-floor dedup absorbs any overlap.
+        self.flush_results(counters);
         self.sink = sink;
         self.last_active_tick = tick;
         self.announce_resumed(true, counters);
@@ -206,22 +271,17 @@ impl Session {
     }
 
     /// Re-emits ring results the client has not acknowledged (rounds in
-    /// `(last_acked, high_round]`); `None` replays the whole ring.
+    /// `(last_acked, high_round]`); `None` replays the whole ring. The
+    /// replay ships through the same batched path as live results, so a
+    /// resumed stream is framed like an uninterrupted one.
     pub(crate) fn replay_results(&self, last_acked: Option<u64>, counters: &ServiceCounters) {
-        for &(round, value, voted) in &self.results {
-            if last_acked.is_some_and(|a| round <= a) {
-                continue;
-            }
-            let msg = Message::SessionResult {
-                session: self.id,
-                round,
-                value,
-                voted,
-            };
-            if self.sink.try_send(msg).is_err() {
-                counters.result_dropped();
-            }
-        }
+        let unacked: Vec<StoredResult> = self
+            .results
+            .iter()
+            .copied()
+            .filter(|&(round, _, _)| last_acked.is_none_or(|a| round > a))
+            .collect();
+        self.emit_results(&unacked, counters);
     }
 
     fn fuse(&mut self, round: &Round, counters: &ServiceCounters) {
@@ -230,7 +290,7 @@ impl Session {
         // serve hot path copies only the scalar it puts on the wire.
         let outcome = self.engine.submit_ref(round);
         let latency = started.elapsed().as_nanos() as u64;
-        let reply = match outcome {
+        match outcome {
             Ok(result) => {
                 counters.round_fused(latency);
                 if matches!(result, RoundResult::Fallback { .. }) {
@@ -246,29 +306,32 @@ impl Session {
                     self.results.pop_front();
                 }
                 self.results.push_back((round.round, value, voted));
+                // Accumulated, not sent: the shard flushes pending results
+                // once per wakeup, so a burst leaves as one frame. The
+                // emission itself stays `try_send` (never block the shard
+                // on a tenant's sink — a full sink means the tenant reads
+                // too slowly, a disconnected one that it went away; either
+                // would wedge every session pinned to this shard and hang
+                // graceful drain), with losses counted in
+                // `results_dropped`.
+                self.pending.push((round.round, value, voted));
                 self.rounds_since_ckpt += 1;
                 if self.persist.is_some() && self.rounds_since_ckpt >= self.checkpoint_every {
                     self.checkpoint(counters);
                 }
-                Message::SessionResult {
+            }
+            Err(e) => {
+                // Ship everything fused before the failure first, so the
+                // tenant sees emissions in fuse order.
+                self.flush_results(counters);
+                let reply = Message::Error {
                     session: self.id,
-                    round: round.round,
-                    value,
-                    voted,
+                    message: format!("round {}: {e}", round.round),
+                };
+                if self.sink.try_send(reply).is_err() {
+                    counters.result_dropped();
                 }
             }
-            Err(e) => Message::Error {
-                session: self.id,
-                message: format!("round {}: {e}", round.round),
-            },
-        };
-        // Never block the shard on a tenant's sink: a full sink means the
-        // tenant reads results too slowly, a disconnected one that it went
-        // away. Blocking here would wedge every other session pinned to
-        // this shard (and hang graceful drain), so the frame is dropped and
-        // counted — the tenant learns about loss from `results_dropped`.
-        if self.sink.try_send(reply).is_err() {
-            counters.result_dropped();
         }
     }
 
@@ -310,6 +373,10 @@ mod tests {
         for (m, v) in [(0, 20.0), (1, 20.2), (2, 19.9)] {
             s.feed(ModuleId::new(m), 0, v, 1, &counters);
         }
+        // Results accumulate until the shard's per-wakeup flush; a lone
+        // fused round then leaves as a plain SessionResult frame.
+        assert!(rx.try_recv().is_err());
+        s.flush_results(&counters);
         match rx.try_recv().unwrap() {
             Message::SessionResult {
                 session,
@@ -340,21 +407,33 @@ mod tests {
     #[test]
     fn wedged_sink_sheds_results_instead_of_blocking() {
         let counters = ServiceCounters::new(1);
-        // Capacity-1 sink that nobody reads: wedged after the first result.
+        // Capacity-1 sink that nobody reads: wedged after the first flush.
         let (tx, rx) = channel::bounded(1);
         let mut s = Session::open(&cfg(1, 1), &VdxSpec::avoc(), tx, None).unwrap();
-        // Single-module rounds: each feed fuses and emits one result. A
-        // blocking sink send would deadlock this loop on the second round.
+        // Single-module rounds: each feed fuses one result. A blocking sink
+        // send on flush would deadlock the second burst below.
         for round in 0..5u64 {
             s.feed(ModuleId::new(0), round, 20.0, round + 1, &counters);
         }
+        s.flush_results(&counters); // batch takes the single sink slot
+        for round in 5..10u64 {
+            s.feed(ModuleId::new(0), round, 20.0, round + 1, &counters);
+        }
+        s.flush_results(&counters); // wedged: this batch is shed
         let snap = counters.snapshot();
-        assert_eq!(snap.rounds_fused, 5);
-        assert_eq!(snap.results_dropped, 4, "overflow is shed and counted");
-        assert!(matches!(
-            rx.try_recv().unwrap(),
-            Message::SessionResult { round: 0, .. }
-        ));
+        assert_eq!(snap.rounds_fused, 10);
+        assert_eq!(
+            snap.results_dropped, 5,
+            "a shed batch counts every result it carried"
+        );
+        match rx.try_recv().unwrap() {
+            Message::ResultBatch { session, results } => {
+                assert_eq!(session, 1);
+                let rounds: Vec<u64> = results.iter().map(|r| r.round).collect();
+                assert_eq!(rounds, vec![0, 1, 2, 3, 4]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -385,7 +464,7 @@ mod tests {
         assert!(s.resumable());
 
         // A new client attaches having acked round 1: it must see Resumed
-        // first, then results 2 and 3 only.
+        // first, then results 2 and 3 only (batched, like a live burst).
         let (tx2, rx2) = channel::unbounded();
         s.reattach(tx2, Some(1), 10, &counters);
         assert!(matches!(
@@ -398,8 +477,9 @@ mod tests {
         ));
         let replayed: Vec<u64> = rx2
             .try_iter()
-            .map(|m| match m {
-                Message::SessionResult { round, .. } => round,
+            .flat_map(|m| match m {
+                Message::SessionResult { round, .. } => vec![round],
+                Message::ResultBatch { results, .. } => results.iter().map(|r| r.round).collect(),
                 other => panic!("unexpected {other:?}"),
             })
             .collect();

@@ -154,6 +154,9 @@ struct ShardState {
     sessions: HashMap<u64, Session>,
     tick: u64,
     deferred: VecDeque<ShardCommand>,
+    /// Sessions that fused results this wakeup; their pending verdicts are
+    /// flushed (batched into one frame each) once per loop iteration.
+    touched: Vec<u64>,
     stop: bool,
 }
 
@@ -170,6 +173,7 @@ impl ShardWorker {
             sessions: HashMap::new(),
             tick: 0,
             deferred: VecDeque::new(),
+            touched: Vec::new(),
             stop: false,
         };
         let mut ctrl_alive = true;
@@ -217,12 +221,19 @@ impl ShardWorker {
                         break; // every producer is gone
                     }
                     // Data producers are gone; only control can arrive now.
+                    // Ship what the last burst fused before blocking — the
+                    // wait is unbounded.
+                    self.flush_touched(&mut st);
                     match self.ctrl_rx.recv() {
                         Ok(cmd) => self.control(cmd, &mut st),
                         Err(_) => break,
                     }
                 }
             }
+            // End of wakeup: everything this iteration fused leaves now, so
+            // a burst's verdicts coalesce into one frame per session while
+            // an interactive round still ships before the next sleep.
+            self.flush_touched(&mut st);
         }
         // Graceful drain: every in-flight round is fused and reported
         // before the worker exits (an `Abort` already emptied the map, so
@@ -259,7 +270,7 @@ impl ShardWorker {
             ShardCommand::Detach { session, sink } => {
                 if let Some(s) = st.sessions.get_mut(&session) {
                     if s.sink_is(&sink) {
-                        s.detach();
+                        s.detach(&self.counters);
                     }
                 }
             }
@@ -279,6 +290,17 @@ impl ShardWorker {
             // Readings are routed to the data mailbox; tolerate a stray one
             // here rather than crash the worker.
             cmd @ ShardCommand::Reading { .. } => self.reading(cmd, st),
+        }
+    }
+
+    /// Ships every touched session's pending results. Sessions that left
+    /// the map since fusing (closed, evicted, swept) already flushed on
+    /// their way out, so a stale id here is simply skipped.
+    fn flush_touched(&self, st: &mut ShardState) {
+        for id in st.touched.drain(..) {
+            if let Some(s) = st.sessions.get_mut(&id) {
+                s.flush_results(&self.counters);
+            }
         }
     }
 
@@ -341,6 +363,9 @@ impl ShardWorker {
         }
         if let Some(s) = st.sessions.get_mut(&session) {
             s.feed(module, round, value, st.tick, &self.counters);
+            if !st.touched.contains(&session) {
+                st.touched.push(session);
+            }
         } else {
             // Genuinely unknown session: late (evicted, or sent after
             // Close) or misrouted. Counted as a drop, but no error frame —

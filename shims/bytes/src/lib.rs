@@ -122,6 +122,14 @@ impl BytesMut {
         self.data.extend_from_slice(src);
     }
 
+    /// Empties the buffer, keeping its allocation (the scratch-buffer
+    /// reset: a hot loop can encode into the same backing storage without
+    /// returning to the allocator).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.start = 0;
+    }
+
     /// Splits off and returns the first `n` readable bytes.
     ///
     /// # Panics

@@ -2,7 +2,10 @@
 //! arbitrary bytes, and the hub's round stream is well-formed under any
 //! interleaving of sensor messages.
 
-use avoc::net::{BatchReading, Message, SensorHub, SpecSource, MAX_BATCH_READINGS};
+use avoc::net::{
+    BatchReading, BatchResult, Message, SensorHub, SpecSource, MAX_BATCH_READINGS,
+    MAX_BATCH_RESULTS,
+};
 use avoc::prelude::*;
 use bytes::{BufMut, BytesMut};
 use proptest::prelude::*;
@@ -350,6 +353,149 @@ proptest! {
         }
     }
 
+    /// The allocation-free encoder is byte-identical to the allocating one
+    /// for EVERY frame tag (1–13), including when frames append to a buffer
+    /// already holding unrelated bytes — the per-connection scratch-reuse
+    /// contract the whole wire path now leans on.
+    #[test]
+    fn encode_into_matches_encode_for_every_tag(
+        session in any::<u64>(),
+        modules in any::<u32>(),
+        round in any::<u64>(),
+        value in -1.0e9f64..1.0e9,
+        text in "[a-zA-Z0-9 _/.-]{0,24}",
+        acked in prop::option::of(any::<u64>()),
+        high in prop::option::of(any::<u64>()),
+        flag in any::<bool>(),
+        prefix in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let module = ModuleId::new(modules);
+        let msgs = vec![
+            Message::Reading { module, round, value },
+            Message::Missing { module, round },
+            Message::Heartbeat { module },
+            Message::Shutdown,
+            Message::OpenSession {
+                session,
+                modules,
+                spec: SpecSource::Named(text.clone()),
+            },
+            Message::CloseSession { session },
+            Message::SessionReading { session, module, round, value },
+            Message::SessionResult {
+                session,
+                round,
+                value: flag.then_some(value),
+                voted: flag,
+            },
+            Message::Error { session, message: text.clone() },
+            Message::FeedBatch {
+                session,
+                readings: vec![BatchReading { module, round, value }; 3],
+            },
+            Message::ResumeSession {
+                session,
+                modules,
+                spec: SpecSource::Inline(text),
+                token: round,
+                last_acked: acked,
+            },
+            Message::Resumed { session, high_round: high, warm: flag },
+            Message::ResultBatch {
+                session,
+                results: vec![
+                    BatchResult { round, value: flag.then_some(value), voted: flag };
+                    2
+                ],
+            },
+        ];
+        let mut frame = BytesMut::new();
+        frame.extend_from_slice(&prefix);
+        let mut expected: Vec<u8> = prefix.clone();
+        for m in &msgs {
+            m.encode_into(&mut frame);
+            expected.extend_from_slice(&m.encode());
+        }
+        prop_assert_eq!(&frame[..], &expected[..]);
+        // The appended stream decodes back to the same messages.
+        let mut buf = BytesMut::from(&frame[prefix.len()..]);
+        let mut decoded = Vec::new();
+        while !buf.is_empty() {
+            match Message::decode(&mut buf) {
+                Ok(m) => decoded.push(m),
+                Err(e) => prop_assert!(false, "unexpected decode error {e}"),
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// Arbitrary non-empty result batches round-trip byte-exactly through
+    /// the tag-13 codec, preserving verdict order and the value/voted
+    /// combinations.
+    #[test]
+    fn result_batch_frames_round_trip(
+        session in any::<u64>(),
+        triples in prop::collection::vec(
+            (any::<u64>(), prop::option::of(-1.0e12f64..1.0e12), any::<bool>()),
+            1..200,
+        ),
+    ) {
+        let results: Vec<BatchResult> = triples
+            .iter()
+            .map(|&(round, value, voted)| BatchResult { round, value, voted })
+            .collect();
+        let msg = Message::ResultBatch { session, results };
+        let mut buf = BytesMut::from(&msg.encode()[..]);
+        let decoded = Message::decode(&mut buf);
+        prop_assert_eq!(decoded.ok(), Some(msg));
+        prop_assert!(buf.is_empty(), "a frame decodes to exactly one message");
+    }
+
+    /// A result-batch frame whose count disagrees with its length — lying
+    /// high, lying low, or truncated mid-entry — is rejected and fully
+    /// consumed so the stream can resynchronise.
+    #[test]
+    fn hostile_result_batch_counts_are_rejected(
+        session in any::<u64>(),
+        actual in 1u32..30,
+        claimed in 0u32..200_000,
+        chop in 1usize..17,
+    ) {
+        // (no prop_assume in the vendored shim: dodge the honest count)
+        let claimed = if claimed == actual { claimed + 1 } else { claimed };
+        let mut payload = BytesMut::new();
+        payload.put_u8(13);
+        payload.put_u64(session);
+        payload.put_u32(claimed);
+        for i in 0..actual {
+            payload.put_u64(u64::from(i));
+            payload.put_u8(u8::from(i % 2 == 0)); // has_value flag
+            payload.put_f64(if i % 2 == 0 { f64::from(i) } else { 0.0 });
+        }
+        let mut frame = BytesMut::new();
+        frame.put_u32(payload.len() as u32);
+        frame.extend_from_slice(&payload);
+
+        let mut buf = frame.clone();
+        prop_assert!(matches!(
+            Message::decode(&mut buf),
+            Err(avoc::net::message::DecodeError::BadLength { tag: 13, .. })
+        ));
+        prop_assert!(buf.is_empty(), "bad frames are consumed for resync");
+
+        // Truncation: cut the honest frame mid-entry and fix the prefix.
+        let mut honest = frame;
+        honest[4 + 9..4 + 13].copy_from_slice(&actual.to_be_bytes());
+        let cut = honest.len() - chop;
+        let mut truncated = BytesMut::from(&honest[..cut]);
+        truncated[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        prop_assert!(matches!(
+            Message::decode(&mut truncated),
+            Err(avoc::net::message::DecodeError::BadLength { tag: 13, .. })
+        ));
+        prop_assert!(truncated.is_empty(), "bad frames are consumed for resync");
+    }
+
     /// A full-pipeline run over randomly gappy traces produces exactly one
     /// output per round, whatever the gaps.
     #[test]
@@ -393,6 +539,27 @@ fn zero_reading_batch_is_rejected() {
         Err(avoc::net::message::DecodeError::BadLength { tag: 10, .. })
     ));
     assert!(buf.is_empty());
+}
+
+/// The advertised maximum result batch is exactly the largest that fits
+/// under the frame cap: one 17-byte entry more would not fit.
+#[test]
+fn max_result_batch_is_tight_against_frame_cap() {
+    let result = BatchResult {
+        round: 0,
+        value: Some(0.0),
+        voted: true,
+    };
+    let frame = Message::ResultBatch {
+        session: 1,
+        results: vec![result; MAX_BATCH_RESULTS],
+    }
+    .encode();
+    let payload = frame.len() - 4;
+    assert!(payload <= avoc::net::message::MAX_FRAME_LEN);
+    assert!(payload + 17 > avoc::net::message::MAX_FRAME_LEN);
+    let mut buf = BytesMut::from(&frame[..]);
+    assert!(Message::decode(&mut buf).is_ok());
 }
 
 /// The advertised maximum batch is exactly the largest that fits under the
