@@ -6,9 +6,13 @@
 //!    wall-clock and therefore bounded by the host's core count (reported
 //!    alongside it); on a single-core host it degenerates to ~1×.
 //! 2. **Steady-state fuse** — one AVOC engine driven through prebuilt
-//!    rounds via `submit_ref`, reporting p50/p99 fuse latency and, through
-//!    a counting global allocator, heap allocations per fused round (the
-//!    zero the scratch-buffer work is accountable to).
+//!    rounds via `submit_ref`, recording per-round fuse latency into an
+//!    [`avoc_obs::Histogram`] (the same log-linear type the daemon's
+//!    `/metrics` endpoint exposes, so the checked-in JSON and a live
+//!    scrape share one schema) and, through a counting global allocator,
+//!    heap allocations per fused round (the zero the scratch-buffer work
+//!    is accountable to). Histogram recording happens *inside* the
+//!    metered window: it is part of the zero-allocation claim.
 //!
 //! ```text
 //! cargo run -p avoc-bench --release --bin bench_fusion -- [--quick] [--out PATH]
@@ -17,6 +21,7 @@
 use avoc_bench::replay::{replay_parallel, replay_serial, replays_bit_identical};
 use avoc_bench::Fig6Config;
 use avoc_core::Round;
+use avoc_obs::{Histogram, HistogramSnapshot};
 use avoc_vdx::{build_engine, VdxSpec};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,15 +89,16 @@ fn replay_numbers(cfg: &Fig6Config) -> ReplayNumbers {
 
 struct HotPathNumbers {
     rounds: u64,
-    p50_ns: u64,
-    p99_ns: u64,
+    latency: HistogramSnapshot,
     allocations: u64,
 }
 
 /// Drives one AVOC engine over prebuilt rounds and measures the fuse loop
-/// alone: rounds are materialised and the latency buffer reserved *before*
-/// the allocation snapshot, so the only allocator traffic the window can
-/// see is the engine's own.
+/// alone: rounds are materialised and the latency histogram allocated
+/// *before* the allocation snapshot, so the only allocator traffic the
+/// window can see is the engine's own — and the histogram's own `record`,
+/// which must be allocation-free for the daemon's always-on per-round
+/// recording to hold up.
 fn hot_path_numbers(cfg: &Fig6Config) -> HotPathNumbers {
     let trace = cfg.faulty_trace();
     let rounds: Vec<Round> = trace.iter_rounds().collect();
@@ -105,21 +111,18 @@ fn hot_path_numbers(cfg: &Fig6Config) -> HotPathNumbers {
         let _ = engine.submit_ref(r);
     }
 
-    let mut latencies: Vec<u64> = Vec::with_capacity(rounds.len());
+    let latency = Histogram::latency_ns();
     let before = allocations();
     for r in &rounds {
         let t = Instant::now();
         let _ = engine.submit_ref(r);
-        latencies.push(t.elapsed().as_nanos() as u64);
+        latency.record(t.elapsed().as_nanos() as u64);
     }
     let allocated = allocations() - before;
 
-    latencies.sort_unstable();
-    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
     HotPathNumbers {
         rounds: rounds.len() as u64,
-        p50_ns: pick(0.50),
-        p99_ns: pick(0.99),
+        latency: latency.snapshot(),
         allocations: allocated,
     }
 }
@@ -167,6 +170,8 @@ fn main() {
     let parallel_rps = replay.rounds_fused as f64 / replay.parallel_secs;
     let speedup = replay.serial_secs / replay.parallel_secs;
     let allocs_per_round = hot.allocations as f64 / hot.rounds as f64;
+    let p50 = hot.latency.quantile(0.50);
+    let p99 = hot.latency.quantile(0.99);
 
     let json = format!(
         "{{\n  \"config\": {{\"rounds\": {rounds}, \"quick\": {quick}, \"cores\": {cores}}},\n  \
@@ -174,15 +179,15 @@ fn main() {
          \"parallel_rounds_per_sec\": {prps:.1},\n    \"parallel_speedup\": {speedup:.2},\n    \
          \"bit_identical\": true\n  }},\n  \
          \"hot_path\": {{\n    \"rounds\": {hrounds},\n    \"fuse_p50_ns\": {p50},\n    \
-         \"fuse_p99_ns\": {p99},\n    \"allocations\": {allocs},\n    \
+         \"fuse_p99_ns\": {p99},\n    \"fuse_latency_ns\": {hist},\n    \
+         \"allocations\": {allocs},\n    \
          \"allocations_per_round\": {apr}\n  }}\n}}\n",
         rounds = cfg.rounds,
         fused = replay.rounds_fused,
         srps = serial_rps,
         prps = parallel_rps,
         hrounds = hot.rounds,
-        p50 = hot.p50_ns,
-        p99 = hot.p99_ns,
+        hist = hot.latency.to_json(),
         allocs = hot.allocations,
         apr = allocs_per_round,
     );
@@ -192,8 +197,6 @@ fn main() {
         "serial {serial_rps:.0} rounds/s, parallel {parallel_rps:.0} rounds/s \
          ({speedup:.2}x on {cores} core(s)); \
          fuse p50 {p50} ns p99 {p99} ns, {apr} alloc/round -> {out}",
-        p50 = hot.p50_ns,
-        p99 = hot.p99_ns,
         apr = allocs_per_round,
     );
     if allocs_per_round > 0.0 {

@@ -12,6 +12,14 @@
 //!   writer flushes, against the analytic per-frame baseline (one write per
 //!   reading frame, one per result frame) the coalescing replaced.
 //!
+//! The daemon runs with its full observability surface on: the admin HTTP
+//! endpoint is bound and pipeline tracing samples one round in 64, so the
+//! zero-allocation claim covers the instrumented daemon, not a stripped
+//! one. Every run is scraped live — `/healthz` and `/metrics` mid-replay,
+//! then `/metrics?format=json` once the clients drain — and the per-tenant
+//! `avoc_session_fuse_latency_ns` histogram counts must sum to the rounds
+//! the drain snapshot says were fused, or the binary exits non-zero.
+//!
 //! ```text
 //! cargo run -p avoc-bench --release --bin bench_serve -- [--quick] [--out PATH]
 //! ```
@@ -182,6 +190,37 @@ struct RunNumbers {
     client_frames: u64,
     client_bytes: u64,
     snapshot: CountersSnapshot,
+    /// Tenants seen on the end-of-run scrape (one
+    /// `avoc_session_fuse_latency_ns` series each).
+    scrape_sessions: u64,
+    /// Sum of those series' counts — must equal `snapshot.rounds_fused`.
+    scrape_fuse_count: u64,
+    /// The global `avoc_fuse_latency_ns` histogram exactly as the live
+    /// scrape rendered it (the schema shared with `BENCH_fusion.json`).
+    fuse_latency_json: String,
+}
+
+/// What the live `/metrics?format=json` scrape reported about fuse latency.
+fn scrape_fuse_histograms(admin: std::net::SocketAddr) -> (u64, u64, String) {
+    let (status, body) =
+        avoc_obs::http::get(&admin.to_string(), "/metrics?format=json").expect("scrape metrics");
+    assert_eq!(status, 200, "metrics scrape failed: {body}");
+    let doc: serde_json::Value = serde_json::from_str(&body).expect("scrape is valid JSON");
+    let hists = doc["histograms"]
+        .as_object()
+        .expect("scrape has a histograms object");
+    let mut tenants = 0u64;
+    let mut count_sum = 0u64;
+    let mut global = String::from("{}");
+    for (key, value) in hists {
+        if key.starts_with("avoc_session_fuse_latency_ns{") {
+            tenants += 1;
+            count_sum += value["count"].as_u64().unwrap_or(0);
+        } else if key == "avoc_fuse_latency_ns" {
+            global = value.to_string();
+        }
+    }
+    (tenants, count_sum, global)
 }
 
 fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
@@ -190,16 +229,20 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
     // Idle eviction is off: with 16 ping-pong clients on a few shards a
     // session legitimately sits quiet for thousands of shard wakeups while
     // its client drains verdicts, and the bench measures the wire path,
-    // not the reaper.
+    // not the reaper. Observability is fully on — admin endpoint bound,
+    // tracing at 1-in-64 — so the numbers describe the instrumented daemon.
     let service = Arc::new(VoterService::start(
         ServeConfig {
             idle_ticks: u64::MAX,
+            admin_addr: Some("127.0.0.1:0".into()),
+            trace_sample: 64,
             ..ServeConfig::default()
         },
         Arc::new(registry),
     ));
     let server = TcpServer::start("127.0.0.1:0", Arc::clone(&service)).expect("bind");
     let addr = server.local_addr();
+    let admin = server.admin_addr().expect("admin endpoint is configured");
 
     let start = Barrier::new(sessions as usize + 1);
     let (clients, elapsed) = std::thread::scope(|scope| {
@@ -209,12 +252,26 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
             .collect();
         start.wait();
         let t = Instant::now();
+        // Live mid-replay scrape: the endpoint must answer while every
+        // session is under load, and the fuse counter must already move.
+        let (status, _) = avoc_obs::http::get(&admin.to_string(), "/healthz").expect("healthz");
+        assert_eq!(status, 200, "daemon unhealthy mid-replay");
+        let (status, text) =
+            avoc_obs::http::get(&admin.to_string(), "/metrics").expect("scrape metrics");
+        assert_eq!(status, 200);
+        assert!(
+            text.contains("avoc_rounds_fused_total"),
+            "mid-replay scrape is missing the fuse counter"
+        );
         let clients: Vec<ClientNumbers> = handles
             .into_iter()
             .map(|h| h.join().expect("client thread"))
             .collect();
         (clients, t.elapsed())
     });
+    // All verdicts are in, so every tenant's histogram holds its final
+    // count; scrape before shutdown while the endpoint is still live.
+    let (scrape_sessions, scrape_fuse_count, fuse_latency_json) = scrape_fuse_histograms(admin);
     let snapshot = server.shutdown();
 
     RunNumbers {
@@ -225,6 +282,9 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
         client_frames: clients.iter().map(|c| c.frames_sent).sum(),
         client_bytes: clients.iter().map(|c| c.bytes_sent).sum(),
         snapshot,
+        scrape_sessions,
+        scrape_fuse_count,
+        fuse_latency_json,
     }
 }
 
@@ -277,6 +337,14 @@ fn main() {
             eprintln!("REGRESSION: client feed path allocated in steady state");
             regressed = true;
         }
+        if run.scrape_sessions != sessions || run.scrape_fuse_count != run.snapshot.rounds_fused {
+            eprintln!(
+                "REGRESSION: live scrape saw {} tenant histogram(s) summing to {} rounds, \
+                 daemon fused {} across {sessions} session(s)",
+                run.scrape_sessions, run.scrape_fuse_count, run.snapshot.rounds_fused
+            );
+            regressed = true;
+        }
         runs.push(format!(
             "    {{\n      \"sessions\": {sessions},\n      \"readings\": {readings},\n      \
              \"readings_per_sec\": {rps:.1},\n      \"feed_allocations\": {fa},\n      \
@@ -285,7 +353,9 @@ fn main() {
              \"server_writer_flushes\": {wf},\n      \"server_frames_sent\": {sf},\n      \
              \"server_result_batches\": {rb},\n      \"server_bytes_sent\": {sb},\n      \
              \"results_dropped\": {rd},\n      \"syscalls_per_1k_readings\": {spk:.1},\n      \
-             \"coalescing_vs_baseline\": {coal:.1}\n    }}",
+             \"coalescing_vs_baseline\": {coal:.1},\n      \
+             \"scrape_sessions\": {ss},\n      \"scrape_fuse_count\": {sfc},\n      \
+             \"fuse_latency_ns\": {flj}\n    }}",
             readings = run.readings,
             fa = run.feed_allocations,
             apr = allocs_per_reading,
@@ -299,6 +369,9 @@ fn main() {
             rd = run.snapshot.results_dropped,
             spk = syscalls_per_1k,
             coal = coalescing,
+            ss = run.scrape_sessions,
+            sfc = run.scrape_fuse_count,
+            flj = run.fuse_latency_json,
         ));
     }
 

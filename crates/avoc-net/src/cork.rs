@@ -15,6 +15,7 @@
 //! backlog to coalesce. No frame waits on a clock tick.
 
 use crate::message::Message;
+use avoc_obs::{Counter, Registry};
 use bytes::{Buf, BytesMut};
 use std::io::{self, Write};
 
@@ -40,6 +41,48 @@ pub struct WriterStats {
     pub bytes: u64,
 }
 
+/// Live registry handles mirroring [`WriterStats`], so corked-writer I/O
+/// shows up on a scrape while the connection is still alive. Counters are
+/// relaxed atomics: attaching metrics adds no locks or allocations to the
+/// push/flush paths.
+#[derive(Debug, Clone)]
+pub struct CorkMetrics {
+    frames: Counter,
+    flushes: Counter,
+    writes: Counter,
+    bytes: Counter,
+}
+
+impl CorkMetrics {
+    /// Registers (or finds) the four writer counters under the standard
+    /// `avoc_net_*` names with `labels` (idempotent, so every connection of
+    /// one daemon shares the same cells).
+    pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> Self {
+        CorkMetrics {
+            frames: registry.counter_with(
+                "avoc_net_frames_sent_total",
+                "Frames encoded into cork buffers.",
+                labels,
+            ),
+            flushes: registry.counter_with(
+                "avoc_net_writer_flushes_total",
+                "Completed corked-writer flushes.",
+                labels,
+            ),
+            writes: registry.counter_with(
+                "avoc_net_writer_writes_total",
+                "write(2) calls issued by corked writers.",
+                labels,
+            ),
+            bytes: registry.counter_with(
+                "avoc_net_bytes_sent_total",
+                "Payload bytes handed to sockets by corked writers.",
+                labels,
+            ),
+        }
+    }
+}
+
 /// A per-connection corked writer: encode many frames, write once.
 ///
 /// [`push`](CorkedWriter::push) never touches the socket;
@@ -53,6 +96,7 @@ pub struct CorkedWriter<W: Write> {
     buf: BytesMut,
     cork_limit: usize,
     stats: WriterStats,
+    metrics: Option<CorkMetrics>,
 }
 
 impl<W: Write> CorkedWriter<W> {
@@ -69,13 +113,23 @@ impl<W: Write> CorkedWriter<W> {
             buf: BytesMut::with_capacity(cork_limit.min(DEFAULT_CORK_LIMIT)),
             cork_limit,
             stats: WriterStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Mirrors this writer's counters into live registry cells (in addition
+    /// to the local [`WriterStats`]).
+    pub fn set_metrics(&mut self, metrics: CorkMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Encodes one frame into the cork buffer. No I/O happens here.
     pub fn push(&mut self, msg: &Message) {
         msg.encode_into(&mut self.buf);
         self.stats.frames += 1;
+        if let Some(m) = &self.metrics {
+            m.frames.inc();
+        }
     }
 
     /// Whether the pending bytes have reached the cork threshold — the
@@ -133,6 +187,10 @@ impl<W: Write> CorkedWriter<W> {
                 Ok(n) => {
                     self.stats.writes += 1;
                     self.stats.bytes += n as u64;
+                    if let Some(m) = &self.metrics {
+                        m.writes.inc();
+                        m.bytes.add(n as u64);
+                    }
                     self.buf.advance(n);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -143,6 +201,9 @@ impl<W: Write> CorkedWriter<W> {
         // instead of compacted on the next push.
         self.buf.clear();
         self.stats.flushes += 1;
+        if let Some(m) = &self.metrics {
+            m.flushes.inc();
+        }
         Ok(())
     }
 }
@@ -204,6 +265,40 @@ mod tests {
         assert_eq!(stats.flushes, 1);
         assert_eq!(stats.writes, 1, "Vec accepts everything in one write");
         assert_eq!(stats.bytes, pending);
+    }
+
+    #[test]
+    fn registry_metrics_mirror_local_stats() {
+        let registry = Registry::new();
+        let mut w = CorkedWriter::new(Vec::new());
+        w.set_metrics(CorkMetrics::register(&registry, &[("shard", "0")]));
+        for msg in sample_frames() {
+            w.push(&msg);
+        }
+        w.flush().unwrap();
+        let stats = w.stats();
+        let text = registry.render_prometheus();
+        assert!(text.contains(&format!(
+            "avoc_net_frames_sent_total{{shard=\"0\"}} {}",
+            stats.frames
+        )));
+        assert!(text.contains(&format!(
+            "avoc_net_writer_flushes_total{{shard=\"0\"}} {}",
+            stats.flushes
+        )));
+        assert!(text.contains(&format!(
+            "avoc_net_bytes_sent_total{{shard=\"0\"}} {}",
+            stats.bytes
+        )));
+        // A second writer with the same labels lands on the same cells.
+        let mut w2 = CorkedWriter::new(Vec::new());
+        w2.set_metrics(CorkMetrics::register(&registry, &[("shard", "0")]));
+        w2.push(&Message::Shutdown);
+        w2.flush().unwrap();
+        assert!(registry.render_prometheus().contains(&format!(
+            "avoc_net_frames_sent_total{{shard=\"0\"}} {}",
+            stats.frames + 1
+        )));
     }
 
     /// A writer that accepts at most `cap` bytes per call and fails on the

@@ -86,6 +86,18 @@
 //! path relies on). Count-vs-length hardening matches `FeedBatch`: the
 //! payload must be exactly `13 + 17 × count` bytes and `count = 0` is
 //! rejected.
+//!
+//! Tags 14–15 are the in-band observability pair. [`Message::StatsRequest`]
+//! asks the daemon for its live counters; [`Message::StatsReply`] answers
+//! with the `CountersSnapshot` JSON — the same document the daemon dumps at
+//! drain time and serves at `/stats` — so operators can read counters over
+//! an existing session connection without the admin endpoint enabled:
+//!
+//! ```text
+//! tag: u8          14 = StatsRequest (tag only)
+//! tag: u8          15 = StatsReply
+//! json: u32 BE length + UTF-8 bytes
+//! ```
 
 use avoc_core::ModuleId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -250,6 +262,15 @@ pub enum Message {
         /// [`MAX_BATCH_RESULTS`] per frame.
         results: Vec<BatchResult>,
     },
+    /// Asks the daemon for its live service counters (tag 14). Answered
+    /// with a [`Message::StatsReply`]; any client connection may send it.
+    StatsRequest,
+    /// The daemon's live counters as a JSON document (tag 15) — the same
+    /// `CountersSnapshot` schema the daemon dumps at drain time.
+    StatsReply {
+        /// The rendered snapshot JSON.
+        json: String,
+    },
 }
 
 /// Hard cap on a frame's payload length (1 MiB). Only [`Message::OpenSession`]
@@ -338,6 +359,8 @@ const TAG_FEED_BATCH: u8 = 10;
 const TAG_RESUME_SESSION: u8 = 11;
 const TAG_RESUMED: u8 = 12;
 const TAG_RESULT_BATCH: u8 = 13;
+const TAG_STATS_REQUEST: u8 = 14;
+const TAG_STATS_REPLY: u8 = 15;
 
 /// Spec-source discriminants inside an `OpenSession` payload.
 const SPEC_NAMED: u8 = 0;
@@ -530,6 +553,11 @@ impl Message {
                     // encoding stays canonical: decode rejects anything else.
                     frame.put_f64(r.value.unwrap_or(0.0));
                 }
+            }
+            Message::StatsRequest => frame.put_u8(TAG_STATS_REQUEST),
+            Message::StatsReply { json } => {
+                frame.put_u8(TAG_STATS_REPLY);
+                put_string(frame, json);
             }
         }
         Message::patch_len(frame, pos);
@@ -838,6 +866,20 @@ impl Message {
                     });
                 }
                 Ok(Message::ResultBatch { session, results })
+            }
+            TAG_STATS_REQUEST => {
+                expect(1)?;
+                Ok(Message::StatsRequest)
+            }
+            TAG_STATS_REPLY => {
+                if len < 1 + 4 {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let json = get_string(&mut payload, tag, len)?;
+                if !payload.is_empty() {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                Ok(Message::StatsReply { json })
             }
             other => Err(DecodeError::UnknownTag(other)),
         }
@@ -1483,6 +1525,64 @@ mod tests {
         }
         .encode();
         assert_eq!(&via_slice[..], &via_enum[..]);
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        round_trip(Message::StatsRequest);
+        round_trip(Message::StatsReply {
+            json: "{\"rounds_fused\": 42}".into(),
+        });
+        round_trip(Message::StatsReply {
+            json: String::new(),
+        });
+    }
+
+    #[test]
+    fn stats_reply_rejects_truncation_and_trailing_bytes() {
+        let frame = Message::StatsReply {
+            json: "{\"ok\": true}".into(),
+        }
+        .encode();
+        // Length cut mid-string.
+        let cut = frame.len() - 3;
+        let mut buf = BytesMut::from(&frame[..cut]);
+        buf[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_STATS_REPLY,
+                ..
+            })
+        ));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
+
+        // Stray bytes after the string inside the declared length.
+        let mut buf = BytesMut::new();
+        buf.put_u32((frame.len() - 4 + 1) as u32);
+        buf.extend_from_slice(&frame[4..]);
+        buf.put_u8(0xCC);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_STATS_REPLY,
+                ..
+            })
+        ));
+        assert!(buf.is_empty());
+
+        // StatsRequest carries nothing but its tag.
+        let mut buf = BytesMut::new();
+        buf.put_u32(2);
+        buf.put_u8(TAG_STATS_REQUEST);
+        buf.put_u8(0);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_STATS_REQUEST,
+                ..
+            })
+        ));
     }
 
     #[test]

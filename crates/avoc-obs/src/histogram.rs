@@ -1,0 +1,287 @@
+//! Log-linear histograms with atomic buckets.
+//!
+//! A [`Histogram`] is a set of upper-inclusive bucket bounds (`le`, in
+//! Prometheus terms) plus an implicit `+Inf` overflow bucket. Recording is
+//! a binary search and three relaxed atomic adds — no locks, no
+//! allocations — so the serve hot path can record every fused round, not a
+//! sample of them. The default bound set is **log-linear**: nine linear
+//! steps per power-of-ten decade, which keeps relative quantile error
+//! under ~11% across six orders of magnitude with 90 buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable histogram handle. Clones are cheap (`Arc` inside) and all
+/// clones record into the same cells.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+#[derive(Debug)]
+struct Core {
+    /// Upper-inclusive bucket bounds, strictly increasing.
+    bounds: Arc<[u64]>,
+    /// Per-bucket counts; `buckets[bounds.len()]` is the `+Inf` overflow.
+    buckets: Box<[AtomicU64]>,
+    /// Sum of every recorded value.
+    sum: AtomicU64,
+    /// Smallest recorded value (`u64::MAX` while empty).
+    min: AtomicU64,
+    /// Largest recorded value.
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over explicit upper-inclusive bounds. Bounds are sorted
+    /// and deduplicated; an empty slice yields a single `+Inf` bucket.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(Core {
+                bounds: sorted.into(),
+                buckets,
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The default latency scale: log-linear bounds `{1..9} × 10^k` for
+    /// `k = 0..=9`, i.e. 1 ns to 9 s in 90 buckets plus `+Inf`.
+    pub fn latency_ns() -> Self {
+        let mut bounds = Vec::with_capacity(90);
+        let mut decade: u64 = 1;
+        for _ in 0..=9 {
+            for step in 1..=9u64 {
+                bounds.push(step * decade);
+            }
+            decade *= 10;
+        }
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// Whether two handles record into the same cells.
+    pub fn same_histogram(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+
+    /// Records one observation. Lock-free and allocation-free.
+    pub fn record(&self, value: u64) {
+        let idx = self.core.bounds.partition_point(|&b| b < value);
+        self.core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(value, Ordering::Relaxed);
+        self.core.min.fetch_min(value, Ordering::Relaxed);
+        self.core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total observations so far (the sum of every bucket, so it always
+    /// equals the rendered `+Inf` cumulative bucket).
+    pub fn count(&self) -> u64 {
+        self.core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A point-in-time copy of the cells.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            bounds: Arc::clone(&self.core.bounds),
+            counts,
+            count,
+            sum: self.core.sum.load(Ordering::Relaxed),
+            min: self.core.min.load(Ordering::Relaxed),
+            max: self.core.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: per-bucket counts (not
+/// cumulative), totals, and extrema.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Upper-inclusive bucket bounds (the Prometheus `le` values, `+Inf`
+    /// excluded).
+    pub bounds: Arc<[u64]>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the `+Inf` overflow.
+    pub counts: Vec<u64>,
+    /// Total observations (always the sum of `counts`).
+    pub count: u64,
+    /// Sum of every recorded value.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest recorded value (0 while empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of all recorded values (0.0 while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`, linearly interpolated inside the
+    /// containing bucket and clamped to the observed `[min, max]` so the
+    /// estimate never leaves the recorded range. Returns 0 while empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // +Inf bucket: the observed maximum is the only finite
+                    // upper edge available.
+                    self.max.max(lower)
+                };
+                let into = (rank - cum) as f64 / c as f64;
+                let est = lower as f64 + into * (upper - lower) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Renders the snapshot as one JSON object — the schema shared by the
+    /// checked-in `BENCH_*.json` files and the daemon's scrape endpoint:
+    /// `count`, `sum`, `min`/`max`/`mean`, `p50`/`p90`/`p99`, and the
+    /// non-empty buckets as `{"le": bound, "count": n}` (the overflow
+    /// bucket's `le` is the string `"+Inf"`).
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !buckets.is_empty() {
+                buckets.push_str(", ");
+            }
+            if i < self.bounds.len() {
+                buckets.push_str(&format!("{{\"le\": {}, \"count\": {c}}}", self.bounds[i]));
+            } else {
+                buckets.push_str(&format!("{{\"le\": \"+Inf\", \"count\": {c}}}"));
+            }
+        }
+        let min = if self.count == 0 { 0 } else { self.min };
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {min}, \"max\": {}, \"mean\": {:.1}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{buckets}]}}",
+            self.count,
+            self.sum,
+            self.max,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_upper_inclusive_buckets() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![2, 2, 2], "le=10, le=100, +Inf");
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1 + 10 + 11 + 100 + 101 + 5_000);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 5_000);
+    }
+
+    #[test]
+    fn latency_scale_is_strictly_increasing_and_log_linear() {
+        let h = Histogram::latency_ns();
+        let snap = h.snapshot();
+        assert_eq!(snap.bounds.len(), 90);
+        assert!(snap.bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(snap.bounds[0], 1);
+        assert_eq!(snap.bounds[89], 9_000_000_000);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_stay_in_range() {
+        let h = Histogram::latency_ns();
+        for v in 1..=1000u64 {
+            h.record(v * 100); // 100 ns .. 100 µs, uniform
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.50);
+        let p99 = snap.quantile(0.99);
+        assert!((40_000..=60_000).contains(&p50), "p50 {p50} far from 50 µs");
+        assert!(
+            (90_000..=100_000).contains(&p99),
+            "p99 {p99} far from 99 µs"
+        );
+        assert!(snap.quantile(0.0) >= snap.min);
+        assert!(snap.quantile(1.0) <= snap.max);
+    }
+
+    #[test]
+    fn empty_histogram_renders_without_panicking() {
+        let snap = Histogram::latency_ns().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.quantile(0.99), 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"count\": 0"));
+        assert!(json.contains("\"buckets\": []"));
+    }
+
+    #[test]
+    fn json_reports_overflow_bucket_as_inf() {
+        let h = Histogram::with_bounds(&[10]);
+        h.record(5);
+        h.record(50);
+        let json = h.snapshot().to_json();
+        assert!(json.contains("{\"le\": 10, \"count\": 1}"));
+        assert!(json.contains("{\"le\": \"+Inf\", \"count\": 1}"));
+    }
+
+    #[test]
+    fn clones_share_cells() {
+        let a = Histogram::with_bounds(&[10]);
+        let b = a.clone();
+        a.record(1);
+        b.record(2);
+        assert!(a.same_histogram(&b));
+        assert_eq!(a.snapshot().count, 2);
+    }
+}

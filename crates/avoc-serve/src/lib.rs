@@ -41,6 +41,10 @@
 //!   tenant loses its own overflow (counted) instead of stalling the fleet.
 //! * [`TcpServer`] / [`ServeClient`] — the socket front-end and a small
 //!   blocking client for it.
+//! * [`AdminServer`] — an optional plain-HTTP observability endpoint
+//!   (`/metrics`, `/healthz`, `/stats`, `/sessions`, `/trace`) built on
+//!   [`avoc_obs`]'s registry and span ring; enabled via
+//!   [`ServeConfig::admin_addr`], off by default.
 //!
 //! # Example (in-process)
 //!
@@ -70,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admin;
 mod client;
 mod metrics;
 mod persist;
@@ -79,6 +84,7 @@ mod service;
 mod session;
 mod shard;
 
+pub use admin::AdminServer;
 pub use client::{
     ClientConfig, ClientIoStats, ClientStats, ResilientClient, RetryPolicy, ServeClient,
 };

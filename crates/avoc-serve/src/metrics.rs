@@ -1,8 +1,18 @@
 //! Service counters: cheap to record, snapshotable while the daemon runs.
+//!
+//! The counters live on an [`avoc_obs::Registry`], so the same cells feed
+//! three surfaces at once: the drain-time [`CountersSnapshot`] dump (whose
+//! JSON shape predates the registry and is kept byte-compatible), the
+//! Prometheus/JSON exposition behind the admin endpoint, and the per-tenant
+//! fuse-latency histograms (`avoc_session_fuse_latency_ns{session="..."}`)
+//! the scrape path serves. Recording stays lock-free — handles are relaxed
+//! atomics — and only the legacy latency reservoir takes a lock, for a push
+//! into a fixed ring.
 
+use avoc_obs::{Counter, Gauge, Histogram, Registry, TraceRing};
 use parking_lot::Mutex;
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::HashMap;
 
 /// How many fuse-latency samples the reservoir keeps. Old samples are
 /// overwritten ring-style, so the p99 reflects recent behaviour rather than
@@ -11,29 +21,53 @@ const LATENCY_RESERVOIR: usize = 4096;
 
 /// Live counters shared by every shard and connection of one daemon.
 ///
-/// All hot-path fields are atomics; only the latency reservoir takes a lock,
-/// and only for a push into a fixed ring.
-#[derive(Debug, Default)]
+/// All hot-path fields are registry handles (relaxed atomics); only the
+/// latency reservoir and the session directory take locks, and never on the
+/// per-reading path.
+#[derive(Debug)]
 pub struct ServiceCounters {
-    sessions_opened: AtomicU64,
-    sessions_evicted: AtomicU64,
-    sessions_rejected: AtomicU64,
-    rounds_fused: AtomicU64,
-    fallbacks: AtomicU64,
-    readings_dropped: AtomicU64,
-    results_dropped: AtomicU64,
-    result_batches: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    frames_sent: AtomicU64,
-    writer_flushes: AtomicU64,
-    recoveries: AtomicU64,
-    resumed_sessions: AtomicU64,
-    retries: AtomicU64,
-    checkpoint_bytes: AtomicU64,
-    wal_replay_ns: AtomicU64,
-    shard_queue_high_water: Vec<AtomicUsize>,
+    registry: Registry,
+    trace: TraceRing,
+    sessions_opened: Counter,
+    sessions_evicted: Counter,
+    sessions_rejected: Counter,
+    rounds_fused: Counter,
+    fallbacks: Counter,
+    readings_dropped: Counter,
+    results_dropped: Counter,
+    result_batches: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    frames_sent: Counter,
+    writer_flushes: Counter,
+    recoveries: Counter,
+    resumed_sessions: Counter,
+    retries: Counter,
+    checkpoint_bytes: Counter,
+    wal_replay_ns: Counter,
+    /// Per-shard mailbox-depth high-water marks
+    /// (`avoc_shard_queue_high_water{shard="i"}`).
+    shard_queue_high_water: Vec<Gauge>,
+    /// Service-wide fuse latency on the log-linear nanosecond scale.
+    fuse_latency_ns: Histogram,
+    /// Checkpoint (WAL + meta write) latency.
+    checkpoint_latency_ns: Histogram,
+    /// WAL replay latency per recovered session.
+    wal_replay_latency_ns: Histogram,
     latency: Mutex<LatencyReservoir>,
+    /// Live sessions, for the admin `/sessions` view. Touched only at
+    /// session open/resume/close — never per reading.
+    directory: Mutex<HashMap<u64, SessionEntry>>,
+}
+
+/// What the directory remembers about one live session.
+#[derive(Debug, Clone)]
+struct SessionEntry {
+    shard: usize,
+    resumable: bool,
+    /// The session's registered fuse histogram; its `count()` is the
+    /// session's fused-round total.
+    fuse: Histogram,
 }
 
 #[derive(Debug, Default)]
@@ -51,87 +85,252 @@ struct LatencyReservoir {
 }
 
 impl ServiceCounters {
-    /// Counters for a daemon with `shards` workers.
+    /// Counters for a daemon with `shards` workers (tracing disabled).
     pub fn new(shards: usize) -> Self {
+        ServiceCounters::with_observability(shards, 0, 0)
+    }
+
+    /// Counters plus a trace ring holding `trace_capacity` spans, sampling
+    /// one round in `trace_every` (`0` disables tracing).
+    pub fn with_observability(shards: usize, trace_capacity: usize, trace_every: u64) -> Self {
+        let registry = Registry::new();
+        let c = |name: &str, help: &str| registry.counter(name, help);
         ServiceCounters {
-            shard_queue_high_water: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
-            ..ServiceCounters::default()
+            sessions_opened: c(
+                "avoc_sessions_opened_total",
+                "Sessions successfully opened.",
+            ),
+            sessions_evicted: c(
+                "avoc_sessions_evicted_total",
+                "Sessions evicted (idle timeout or capacity).",
+            ),
+            sessions_rejected: c(
+                "avoc_sessions_rejected_total",
+                "Session opens refused by admission control.",
+            ),
+            rounds_fused: c(
+                "avoc_rounds_fused_total",
+                "Rounds fused across all sessions.",
+            ),
+            fallbacks: c(
+                "avoc_fallbacks_total",
+                "Fused rounds resolved by falling back to a last-good value.",
+            ),
+            readings_dropped: c(
+                "avoc_readings_dropped_total",
+                "Readings dropped by backpressure or unknown-session routing.",
+            ),
+            results_dropped: c(
+                "avoc_results_dropped_total",
+                "Results shed because a tenant sink was full or gone.",
+            ),
+            result_batches: c(
+                "avoc_result_batches_total",
+                "Batched result frames shipped.",
+            ),
+            bytes_sent: c("avoc_bytes_sent_total", "Bytes written to tenant sockets."),
+            bytes_received: c(
+                "avoc_bytes_received_total",
+                "Bytes read from tenant sockets.",
+            ),
+            frames_sent: c(
+                "avoc_frames_sent_total",
+                "Frames encoded into outbound writer buffers.",
+            ),
+            writer_flushes: c("avoc_writer_flushes_total", "Coalesced writer flushes."),
+            recoveries: c(
+                "avoc_recoveries_total",
+                "Sessions rebuilt from a WAL checkpoint.",
+            ),
+            resumed_sessions: c(
+                "avoc_resumed_sessions_total",
+                "Sessions re-attached or restored for a resuming client.",
+            ),
+            retries: c("avoc_retries_total", "Client resume requests received."),
+            checkpoint_bytes: c(
+                "avoc_checkpoint_bytes_total",
+                "Bytes written by session checkpoints.",
+            ),
+            wal_replay_ns: c(
+                "avoc_wal_replay_ns_total",
+                "Total nanoseconds spent replaying session WALs.",
+            ),
+            shard_queue_high_water: (0..shards)
+                .map(|i| {
+                    registry.gauge_with(
+                        "avoc_shard_queue_high_water",
+                        "Per-shard data-mailbox depth high-water mark.",
+                        &[("shard", &i.to_string())],
+                    )
+                })
+                .collect(),
+            fuse_latency_ns: registry.latency_histogram_with(
+                "avoc_fuse_latency_ns",
+                "Per-round fusion latency, nanoseconds.",
+                &[],
+            ),
+            checkpoint_latency_ns: registry.latency_histogram_with(
+                "avoc_checkpoint_latency_ns",
+                "Session checkpoint (WAL + meta) latency, nanoseconds.",
+                &[],
+            ),
+            wal_replay_latency_ns: registry.latency_histogram_with(
+                "avoc_wal_replay_latency_ns",
+                "Per-session WAL replay latency on recovery, nanoseconds.",
+                &[],
+            ),
+            latency: Mutex::new(LatencyReservoir::default()),
+            directory: Mutex::new(HashMap::new()),
+            trace: TraceRing::new(trace_capacity, trace_every),
+            registry,
         }
     }
 
+    /// The registry behind these counters — the admin endpoint's scrape
+    /// surface, and the hook for other subsystems (writer corking, chaos
+    /// proxies) to register their own metrics alongside the service's.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The daemon's trace ring (disabled unless configured).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Registers a session in the admin directory and returns its
+    /// per-tenant fuse-latency histogram
+    /// (`avoc_session_fuse_latency_ns{session="<id>"}`). Idempotent: a
+    /// resume lands on the same cells, so the series survives reconnects.
+    /// Registered series are kept for the process lifetime even after the
+    /// session closes — a scrape's per-tenant counts always sum to the
+    /// rounds the daemon fused.
+    pub(crate) fn register_session(&self, id: u64, shard: usize, resumable: bool) -> Histogram {
+        let fuse = self.registry.latency_histogram_with(
+            "avoc_session_fuse_latency_ns",
+            "Per-tenant fusion latency, nanoseconds.",
+            &[("session", &id.to_string())],
+        );
+        self.directory.lock().insert(
+            id,
+            SessionEntry {
+                shard,
+                resumable,
+                fuse: fuse.clone(),
+            },
+        );
+        fuse
+    }
+
+    /// Removes a session from the admin directory (its registered series
+    /// stay — see [`ServiceCounters::register_session`]).
+    pub(crate) fn deregister_session(&self, id: u64) {
+        self.directory.lock().remove(&id);
+    }
+
+    /// The admin `/sessions` view: one JSON object per live session, sorted
+    /// by id, with its shard pin, resumability and fused-round count.
+    pub fn sessions_json(&self) -> String {
+        let dir = self.directory.lock();
+        let mut entries: Vec<(u64, SessionEntry)> =
+            dir.iter().map(|(&id, e)| (id, e.clone())).collect();
+        drop(dir);
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|(id, e)| {
+                format!(
+                    "{{\"session\": {id}, \"shard\": {}, \"resumable\": {}, \
+                     \"rounds_fused\": {}}}",
+                    e.shard,
+                    e.resumable,
+                    e.fuse.count()
+                )
+            })
+            .collect();
+        format!("[{}]\n", rows.join(", "))
+    }
+
     pub(crate) fn session_opened(&self) {
-        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.sessions_opened.inc();
     }
 
     pub(crate) fn session_evicted(&self) {
-        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+        self.sessions_evicted.inc();
     }
 
     pub(crate) fn session_rejected(&self) {
-        self.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+        self.sessions_rejected.inc();
     }
 
     pub(crate) fn fallback(&self) {
-        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.fallbacks.inc();
     }
 
     pub(crate) fn reading_dropped(&self) {
-        self.readings_dropped.fetch_add(1, Ordering::Relaxed);
+        self.readings_dropped.inc();
     }
 
     pub(crate) fn result_dropped(&self) {
-        self.results_dropped.fetch_add(1, Ordering::Relaxed);
+        self.results_dropped.inc();
     }
 
     /// Counts every result a shed batch frame carried, so
     /// `results_dropped` keeps counting rounds, not frames.
     pub(crate) fn results_dropped_add(&self, n: u64) {
-        self.results_dropped.fetch_add(n, Ordering::Relaxed);
+        self.results_dropped.add(n);
     }
 
     pub(crate) fn result_batch(&self) {
-        self.result_batches.fetch_add(1, Ordering::Relaxed);
+        self.result_batches.inc();
     }
 
     pub(crate) fn bytes_sent_add(&self, n: u64) {
-        self.bytes_sent.fetch_add(n, Ordering::Relaxed);
+        self.bytes_sent.add(n);
     }
 
     pub(crate) fn bytes_received_add(&self, n: u64) {
-        self.bytes_received.fetch_add(n, Ordering::Relaxed);
+        self.bytes_received.add(n);
     }
 
     pub(crate) fn frames_sent_add(&self, n: u64) {
-        self.frames_sent.fetch_add(n, Ordering::Relaxed);
+        self.frames_sent.add(n);
     }
 
     pub(crate) fn writer_flushes_add(&self, n: u64) {
-        self.writer_flushes.fetch_add(n, Ordering::Relaxed);
+        self.writer_flushes.add(n);
     }
 
     pub(crate) fn recovery(&self) {
-        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.recoveries.inc();
     }
 
     pub(crate) fn session_resumed(&self) {
-        self.resumed_sessions.fetch_add(1, Ordering::Relaxed);
+        self.resumed_sessions.inc();
     }
 
     pub(crate) fn retry(&self) {
-        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.retries.inc();
     }
 
     pub(crate) fn checkpoint_bytes_add(&self, bytes: u64) {
-        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.checkpoint_bytes.add(bytes);
+    }
+
+    /// Records one checkpoint's write latency.
+    pub(crate) fn checkpoint_latency_record(&self, ns: u64) {
+        self.checkpoint_latency_ns.record(ns);
     }
 
     pub(crate) fn wal_replay_ns_add(&self, ns: u64) {
-        self.wal_replay_ns.fetch_add(ns, Ordering::Relaxed);
+        self.wal_replay_ns.add(ns);
+        self.wal_replay_latency_ns.record(ns);
     }
 
     /// Records one fused round and its latency.
     pub(crate) fn round_fused(&self, latency_ns: u64) {
-        self.rounds_fused.fetch_add(1, Ordering::Relaxed);
+        self.rounds_fused.inc();
+        self.fuse_latency_ns.record(latency_ns);
         let mut res = self.latency.lock();
         if res.samples.len() < LATENCY_RESERVOIR {
             res.samples.push(latency_ns);
@@ -152,7 +351,7 @@ impl ServiceCounters {
     /// Raises a shard's queue-depth high-water mark to `depth` if higher.
     pub(crate) fn note_queue_depth(&self, shard: usize, depth: usize) {
         if let Some(hw) = self.shard_queue_high_water.get(shard) {
-            hw.fetch_max(depth, Ordering::Relaxed);
+            hw.set_max(depth as i64);
         }
     }
 
@@ -177,27 +376,27 @@ impl ServiceCounters {
             }
         };
         CountersSnapshot {
-            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
-            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
-            sessions_rejected: self.sessions_rejected.load(Ordering::Relaxed),
-            rounds_fused: self.rounds_fused.load(Ordering::Relaxed),
-            fallbacks: self.fallbacks.load(Ordering::Relaxed),
-            readings_dropped: self.readings_dropped.load(Ordering::Relaxed),
-            results_dropped: self.results_dropped.load(Ordering::Relaxed),
-            result_batches: self.result_batches.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: self.bytes_received.load(Ordering::Relaxed),
-            frames_sent: self.frames_sent.load(Ordering::Relaxed),
-            writer_flushes: self.writer_flushes.load(Ordering::Relaxed),
-            recoveries: self.recoveries.load(Ordering::Relaxed),
-            resumed_sessions: self.resumed_sessions.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
-            wal_replay_ms: self.wal_replay_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            sessions_opened: self.sessions_opened.get(),
+            sessions_evicted: self.sessions_evicted.get(),
+            sessions_rejected: self.sessions_rejected.get(),
+            rounds_fused: self.rounds_fused.get(),
+            fallbacks: self.fallbacks.get(),
+            readings_dropped: self.readings_dropped.get(),
+            results_dropped: self.results_dropped.get(),
+            result_batches: self.result_batches.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
+            frames_sent: self.frames_sent.get(),
+            writer_flushes: self.writer_flushes.get(),
+            recoveries: self.recoveries.get(),
+            resumed_sessions: self.resumed_sessions.get(),
+            retries: self.retries.get(),
+            checkpoint_bytes: self.checkpoint_bytes.get(),
+            wal_replay_ms: self.wal_replay_ns.get() as f64 / 1e6,
             shard_queue_high_water: self
                 .shard_queue_high_water
                 .iter()
-                .map(|hw| hw.load(Ordering::Relaxed))
+                .map(|hw| hw.get().max(0) as usize)
                 .collect(),
             fuse_latency: latency,
         }
@@ -365,5 +564,40 @@ mod tests {
         let lat = c.snapshot().fuse_latency.unwrap();
         assert_eq!(lat.samples, LATENCY_RESERVOIR as u64 + 100);
         assert!((lat.min_us - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_surface_on_the_registry_scrape() {
+        let c = ServiceCounters::new(1);
+        c.session_opened();
+        c.round_fused(2_000);
+        c.note_queue_depth(0, 9);
+        let text = c.registry().render_prometheus();
+        assert!(text.contains("avoc_sessions_opened_total 1"));
+        assert!(text.contains("avoc_rounds_fused_total 1"));
+        assert!(text.contains("avoc_shard_queue_high_water{shard=\"0\"} 9"));
+        assert!(text.contains("avoc_fuse_latency_ns_count 1"));
+    }
+
+    #[test]
+    fn session_directory_tracks_live_sessions_and_their_rounds() {
+        let c = ServiceCounters::new(1);
+        let h = c.register_session(7, 0, true);
+        h.record(1_000);
+        h.record(2_000);
+        c.register_session(3, 0, false);
+        let json = c.sessions_json();
+        // Sorted by id; rounds come from the histogram count.
+        let i3 = json.find("\"session\": 3").expect("session 3 listed");
+        let i7 = json.find("\"session\": 7").expect("session 7 listed");
+        assert!(i3 < i7);
+        assert!(
+            json.contains("\"session\": 7, \"shard\": 0, \"resumable\": true, \"rounds_fused\": 2")
+        );
+        c.deregister_session(7);
+        assert!(!c.sessions_json().contains("\"session\": 7"));
+        // The registered series outlives the directory entry.
+        let text = c.registry().render_prometheus();
+        assert!(text.contains("avoc_session_fuse_latency_ns_count{session=\"7\"} 2"));
     }
 }

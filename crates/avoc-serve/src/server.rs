@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::admin::AdminServer;
 use crate::metrics::CountersSnapshot;
 use crate::service::{ServeError, VoterService};
 
@@ -46,6 +47,9 @@ pub struct TcpServer {
     service: Arc<VoterService>,
     running: Arc<AtomicBool>,
     accept_join: JoinHandle<()>,
+    /// The observability endpoint, when the service was configured with an
+    /// admin address.
+    admin: Option<AdminServer>,
 }
 
 impl TcpServer {
@@ -59,6 +63,13 @@ impl TcpServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let running = Arc::new(AtomicBool::new(true));
+        // The observability plane rides along when configured: a bind
+        // failure there fails the whole start rather than silently serving
+        // without metrics.
+        let admin = match service.admin_addr_config() {
+            Some(admin_addr) => Some(AdminServer::start(admin_addr, Arc::clone(&service))?),
+            None => None,
+        };
         let accept_join = {
             let service = Arc::clone(&service);
             let running = Arc::clone(&running);
@@ -72,12 +83,19 @@ impl TcpServer {
             service,
             running,
             accept_join,
+            admin,
         })
     }
 
     /// The address tenants should connect to.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The admin endpoint's bound address, when one was configured via
+    /// [`crate::ServeConfig::admin_addr`].
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(AdminServer::local_addr)
     }
 
     /// The service this front-end drives (for live [`VoterService::counters`]
@@ -94,6 +112,9 @@ impl TcpServer {
         // Unblock the accept() call with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         let _ = self.accept_join.join();
+        if let Some(admin) = self.admin {
+            admin.stop();
+        }
         self.service.drain()
     }
 
@@ -105,6 +126,9 @@ impl TcpServer {
         self.running.store(false, Ordering::SeqCst);
         let _ = TcpStream::connect(self.local_addr);
         let _ = self.accept_join.join();
+        if let Some(admin) = self.admin {
+            admin.stop();
+        }
         self.service.kill()
     }
 }
@@ -305,6 +329,17 @@ fn read_frames(
                         break 'conn;
                     }
                 }
+                Message::StatsRequest => {
+                    // On-demand counters: the same JSON a drain dumps and
+                    // the admin `/stats` route serves, answered on this
+                    // connection's result stream.
+                    let reply = Message::StatsReply {
+                        json: service.counters().to_json(),
+                    };
+                    if out_tx.send(reply).is_err() {
+                        break 'conn;
+                    }
+                }
                 Message::Shutdown => break 'conn,
                 // Legacy single-tenant frames and server-to-client frames
                 // carry no session routing; a daemon connection ignores them.
@@ -314,6 +349,7 @@ fn read_frames(
                 | Message::SessionResult { .. }
                 | Message::ResultBatch { .. }
                 | Message::Resumed { .. }
+                | Message::StatsReply { .. }
                 | Message::Error { .. } => {}
             }
         }

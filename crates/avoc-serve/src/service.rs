@@ -51,6 +51,15 @@ pub struct ServeConfig {
     /// Crash-safety configuration: state directory, fsync mode and
     /// checkpoint cadence. Off by default.
     pub persistence: Persistence,
+    /// Bind address for the plain-HTTP admin endpoint (`/metrics`,
+    /// `/healthz`, `/stats`, `/sessions`, `/trace`) — e.g.
+    /// `"127.0.0.1:0"`. `None` (the default) serves no admin socket.
+    pub admin_addr: Option<String>,
+    /// Per-round trace sampling cadence: one round in `trace_sample` leaves
+    /// spans in the trace ring. `0` (the default) disables tracing.
+    pub trace_sample: u64,
+    /// Capacity of the span trace ring (ignored while tracing is off).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +73,9 @@ impl Default for ServeConfig {
             idle_ticks: 4096,
             lag_tolerance: 8,
             persistence: Persistence::default(),
+            admin_addr: None,
+            trace_sample: 0,
+            trace_capacity: 4096,
         }
     }
 }
@@ -127,6 +139,7 @@ pub struct VoterService {
     backpressure: Backpressure,
     admission: AdmissionPolicy,
     persistence: Persistence,
+    admin_addr: Option<String>,
 }
 
 impl fmt::Debug for VoterService {
@@ -148,7 +161,11 @@ impl VoterService {
         } else {
             config.shards
         };
-        let counters = Arc::new(ServiceCounters::new(shards));
+        let counters = Arc::new(ServiceCounters::with_observability(
+            shards,
+            config.trace_capacity,
+            config.trace_sample,
+        ));
         let active = Arc::new(AtomicUsize::new(0));
         let mut links = Vec::with_capacity(shards);
         let mut sheds = Vec::with_capacity(shards);
@@ -189,6 +206,7 @@ impl VoterService {
             backpressure: config.backpressure,
             admission: config.admission,
             persistence: config.persistence,
+            admin_addr: config.admin_addr,
         }
     }
 
@@ -381,6 +399,7 @@ impl VoterService {
         value: f64,
     ) -> Result<(), ServeError> {
         let shard = self.shard_for(session);
+        let queued_ns = self.trace_stamp();
         let outcome = self.route_reading(
             shard,
             ShardCommand::Reading {
@@ -388,8 +407,12 @@ impl VoterService {
                 module,
                 round,
                 value,
+                queued_ns,
             },
         );
+        if queued_ns != 0 {
+            self.record_ingest(session, round, queued_ns);
+        }
         self.note_depth(shard);
         outcome
     }
@@ -417,13 +440,19 @@ impl VoterService {
         let shard = self.shard_for(session);
         let mut outcome = Ok(());
         for r in readings {
+            let queued_ns = self.trace_stamp();
             let cmd = ShardCommand::Reading {
                 session,
                 module: r.module,
                 round: r.round,
                 value: r.value,
+                queued_ns,
             };
-            match self.route_reading(shard, cmd) {
+            let routed = self.route_reading(shard, cmd);
+            if queued_ns != 0 {
+                self.record_ingest(session, r.round, queued_ns);
+            }
+            match routed {
                 Ok(()) => {}
                 Err(ServeError::MailboxFull) => {
                     // Per-reading refusal, already counted; keep going.
@@ -497,9 +526,58 @@ impl VoterService {
             .map_err(|_| ServeError::ShuttingDown)
     }
 
+    /// The trace sampling decision for one reading: a [`avoc_obs::now_ns`]
+    /// stamp when the round is sampled, `0` otherwise (a disabled ring
+    /// costs one branch). The stamp rides the [`ShardCommand::Reading`] to
+    /// the shard, which turns it into a queue span.
+    fn trace_stamp(&self) -> u64 {
+        if self.counters.trace().sample() {
+            avoc_obs::now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Records the ingest span for a sampled reading: the time spent
+    /// routing it into its shard mailbox (including any backpressure wait).
+    fn record_ingest(&self, session: u64, round: u64, start_ns: u64) {
+        self.counters.trace().record(avoc_obs::Span {
+            session,
+            round,
+            stage: avoc_obs::Stage::Ingest,
+            start_ns,
+            dur_ns: avoc_obs::now_ns().saturating_sub(start_ns),
+        });
+    }
+
     /// A live counters snapshot.
     pub fn counters(&self) -> CountersSnapshot {
         self.counters.snapshot()
+    }
+
+    /// The metric registry behind this service's counters — the admin
+    /// endpoint's scrape surface. Other subsystems (e.g. chaos proxies in a
+    /// test rig) may register their own metrics on it to share one scrape.
+    pub fn obs_registry(&self) -> &avoc_obs::Registry {
+        self.counters.registry()
+    }
+
+    /// The service's span trace ring (disabled unless
+    /// [`ServeConfig::trace_sample`] is non-zero).
+    pub fn trace(&self) -> &avoc_obs::TraceRing {
+        self.counters.trace()
+    }
+
+    /// The admin `/sessions` view: live sessions with their shard pin,
+    /// resumability and fused-round counts, as a JSON array.
+    pub fn sessions_json(&self) -> String {
+        self.counters.sessions_json()
+    }
+
+    /// The admin bind address configured at start (`None` = no admin
+    /// endpoint).
+    pub(crate) fn admin_addr_config(&self) -> Option<&str> {
+        self.admin_addr.as_deref()
     }
 
     /// The live counter registry itself — connection I/O threads record

@@ -50,6 +50,14 @@ pub(crate) struct Session {
     persist: Option<SessionStore>,
     checkpoint_every: u64,
     rounds_since_ckpt: u64,
+    /// The session's registered per-tenant fuse-latency histogram
+    /// (`avoc_session_fuse_latency_ns{session="<id>"}`). Installed by the
+    /// shard right after open/restore; absent only for sessions built
+    /// outside a shard (unit tests).
+    fuse_hist: Option<avoc_obs::Histogram>,
+    /// Whether any round fused since the last flush was trace-sampled (the
+    /// flush then leaves one flush span covering the burst).
+    pending_sampled: bool,
 }
 
 impl Session {
@@ -76,7 +84,16 @@ impl Session {
             persist,
             checkpoint_every: cfg.checkpoint_every.max(1),
             rounds_since_ckpt: 0,
+            fuse_hist: None,
+            pending_sampled: false,
         })
+    }
+
+    /// Installs the session's per-tenant fuse-latency histogram (a handle
+    /// into the service registry). Every fused round records into it —
+    /// unsampled, so a scrape's per-tenant counts sum to rounds fused.
+    pub(crate) fn set_fuse_histogram(&mut self, hist: avoc_obs::Histogram) {
+        self.fuse_hist = Some(hist);
     }
 
     /// Rebuilds a session from its durable checkpoint: the engine is seeded
@@ -110,12 +127,15 @@ impl Session {
     }
 
     /// Feeds one reading; fuses and emits any rounds that became complete.
+    /// `sampled` marks a trace-sampled reading: rounds it completes leave
+    /// fuse (and later flush) spans in the service trace ring.
     pub(crate) fn feed(
         &mut self,
         module: ModuleId,
         round: u64,
         value: f64,
         tick: u64,
+        sampled: bool,
         counters: &ServiceCounters,
     ) {
         self.last_active_tick = tick;
@@ -125,7 +145,7 @@ impl Session {
             value,
         });
         for r in ready {
-            self.fuse(&r, counters);
+            self.fuse(&r, sampled, counters);
         }
     }
 
@@ -134,7 +154,7 @@ impl Session {
     /// checkpoint so the durable state is as warm as the session was.
     pub(crate) fn flush(&mut self, counters: &ServiceCounters) {
         for r in self.hub.flush_all() {
-            self.fuse(&r, counters);
+            self.fuse(&r, false, counters);
         }
         self.flush_results(counters);
         self.checkpoint(counters);
@@ -149,7 +169,25 @@ impl Session {
         if self.pending.is_empty() {
             return;
         }
+        let trace_start = if self.pending_sampled {
+            avoc_obs::now_ns()
+        } else {
+            0
+        };
         self.emit_results(&self.pending, counters);
+        if self.pending_sampled {
+            // One flush span covers the whole burst; its round is the last
+            // one flushed.
+            let round = self.pending.last().map_or(0, |&(r, _, _)| r);
+            counters.trace().record(avoc_obs::Span {
+                session: self.id,
+                round,
+                stage: avoc_obs::Stage::Flush,
+                start_ns: trace_start,
+                dur_ns: avoc_obs::now_ns().saturating_sub(trace_start),
+            });
+            self.pending_sampled = false;
+        }
         self.pending.clear();
     }
 
@@ -197,9 +235,11 @@ impl Session {
         let Some(store) = self.persist.as_mut() else {
             return;
         };
+        let started = Instant::now();
         store.note_history(&self.engine.histories());
         if let Ok(bytes) = store.checkpoint(self.high_round, &self.results) {
             counters.checkpoint_bytes_add(bytes);
+            counters.checkpoint_latency_record(started.elapsed().as_nanos() as u64);
         }
         self.rounds_since_ckpt = 0;
     }
@@ -284,7 +324,7 @@ impl Session {
         self.emit_results(&unacked, counters);
     }
 
-    fn fuse(&mut self, round: &Round, counters: &ServiceCounters) {
+    fn fuse(&mut self, round: &Round, sampled: bool, counters: &ServiceCounters) {
         let started = Instant::now();
         // `submit_ref` keeps the verdict in the engine's reusable slot: the
         // serve hot path copies only the scalar it puts on the wire.
@@ -293,6 +333,19 @@ impl Session {
         match outcome {
             Ok(result) => {
                 counters.round_fused(latency);
+                if let Some(h) = &self.fuse_hist {
+                    h.record(latency);
+                }
+                if sampled {
+                    counters.trace().record(avoc_obs::Span {
+                        session: self.id,
+                        round: round.round,
+                        stage: avoc_obs::Stage::Fuse,
+                        start_ns: avoc_obs::now_ns().saturating_sub(latency),
+                        dur_ns: latency,
+                    });
+                    self.pending_sampled = true;
+                }
                 if matches!(result, RoundResult::Fallback { .. }) {
                     counters.fallback();
                 }
@@ -371,7 +424,7 @@ mod tests {
         let mut s = Session::open(&cfg(5, 3), &VdxSpec::avoc(), tx, None).unwrap();
 
         for (m, v) in [(0, 20.0), (1, 20.2), (2, 19.9)] {
-            s.feed(ModuleId::new(m), 0, v, 1, &counters);
+            s.feed(ModuleId::new(m), 0, v, 1, false, &counters);
         }
         // Results accumulate until the shard's per-wakeup flush; a lone
         // fused round then leaves as a plain SessionResult frame.
@@ -394,7 +447,7 @@ mod tests {
         }
 
         // A partial round sits in the hub until flushed.
-        s.feed(ModuleId::new(0), 1, 21.0, 2, &counters);
+        s.feed(ModuleId::new(0), 1, 21.0, 2, false, &counters);
         assert!(rx.try_recv().is_err());
         s.flush(&counters);
         assert!(matches!(
@@ -413,11 +466,11 @@ mod tests {
         // Single-module rounds: each feed fuses one result. A blocking sink
         // send on flush would deadlock the second burst below.
         for round in 0..5u64 {
-            s.feed(ModuleId::new(0), round, 20.0, round + 1, &counters);
+            s.feed(ModuleId::new(0), round, 20.0, round + 1, false, &counters);
         }
         s.flush_results(&counters); // batch takes the single sink slot
         for round in 5..10u64 {
-            s.feed(ModuleId::new(0), round, 20.0, round + 1, &counters);
+            s.feed(ModuleId::new(0), round, 20.0, round + 1, false, &counters);
         }
         s.flush_results(&counters); // wedged: this batch is shed
         let snap = counters.snapshot();
@@ -457,6 +510,7 @@ mod tests {
                 round,
                 10.0 + round as f64,
                 round + 1,
+                false,
                 &counters,
             );
         }

@@ -83,6 +83,10 @@ pub(crate) enum ShardCommand {
         round: u64,
         /// Measured value.
         value: f64,
+        /// Trace stamp: [`avoc_obs::now_ns`] at enqueue when this reading
+        /// was sampled for tracing, `0` (the overwhelmingly common case)
+        /// when not. The worker turns a non-zero stamp into a queue span.
+        queued_ns: u64,
     },
     /// Flush and remove a session (its durable state is deleted: an
     /// explicit close means the tenant is done for good).
@@ -241,8 +245,9 @@ impl ShardWorker {
         // them here would let an `Open` still queued on a slower shard win a
         // slot freed by shutdown and be admitted past `max_sessions` — the
         // count dies with the service, so leaking it is harmless.
-        for (_, mut s) in st.sessions.drain() {
+        for (id, mut s) in st.sessions.drain() {
             s.flush(&self.counters);
+            self.counters.deregister_session(id);
         }
     }
 
@@ -264,6 +269,7 @@ impl ShardWorker {
                 if let Some(mut s) = st.sessions.remove(&session) {
                     s.flush(&self.counters);
                     s.remove_store();
+                    self.counters.deregister_session(session);
                     self.active.fetch_sub(1, Ordering::Relaxed);
                 }
             }
@@ -282,8 +288,9 @@ impl ShardWorker {
                 // Crash semantics: no backlog drain, no flush, no final
                 // checkpoint — sessions die mid-thought and durable state
                 // stays at the last completed checkpoint.
-                for (_, s) in st.sessions.drain() {
+                for (id, s) in st.sessions.drain() {
                     s.abort();
+                    self.counters.deregister_session(id);
                 }
                 st.stop = true;
             }
@@ -322,11 +329,22 @@ impl ShardWorker {
             module,
             round,
             value,
+            queued_ns,
         } = cmd
         else {
             // Control commands never reach the data mailbox.
             return;
         };
+        if queued_ns != 0 {
+            // Sampled reading: its mailbox wait becomes a queue span.
+            self.counters.trace().record(avoc_obs::Span {
+                session,
+                round,
+                stage: avoc_obs::Stage::Queue,
+                start_ns: queued_ns,
+                dur_ns: avoc_obs::now_ns().saturating_sub(queued_ns),
+            });
+        }
         st.tick += 1;
         if !st.sessions.contains_key(&session) {
             // The session's Open/Resume is always enqueued before its
@@ -362,7 +380,14 @@ impl ShardWorker {
             }
         }
         if let Some(s) = st.sessions.get_mut(&session) {
-            s.feed(module, round, value, st.tick, &self.counters);
+            s.feed(
+                module,
+                round,
+                value,
+                st.tick,
+                queued_ns != 0,
+                &self.counters,
+            );
             if !st.touched.contains(&session) {
                 st.touched.push(session);
             }
@@ -401,6 +426,11 @@ impl ShardWorker {
         let store = self.make_store(&req);
         match Session::open(&cfg, &req.spec, req.sink.clone(), store) {
             Ok(mut s) => {
+                s.set_fuse_histogram(self.counters.register_session(
+                    req.session,
+                    self.index,
+                    req.resumable,
+                ));
                 // A durable session's first checkpoint is its registration:
                 // a crash before the first fused round still recovers it.
                 s.checkpoint(&self.counters);
@@ -466,7 +496,12 @@ impl ShardWorker {
                         checkpoint_every: self.persistence.checkpoint_every,
                     };
                     match Session::restore(&cfg, &req.spec, req.sink.clone(), store, &meta) {
-                        Ok(s) => {
+                        Ok(mut s) => {
+                            s.set_fuse_histogram(self.counters.register_session(
+                                req.session,
+                                self.index,
+                                meta.resumable,
+                            ));
                             s.announce_resumed(true, &self.counters);
                             s.replay_results(last_acked, &self.counters);
                             st.sessions.insert(req.session, s);
@@ -578,6 +613,7 @@ impl ShardWorker {
         let mut s = sessions.remove(&victim).expect("victim key just found");
         s.flush(&self.counters);
         s.notify_evicted("capacity reclaimed for a new session", &self.counters);
+        self.counters.deregister_session(victim);
         self.active.fetch_sub(1, Ordering::Relaxed);
         self.counters.session_evicted();
         true
@@ -596,6 +632,7 @@ impl ShardWorker {
             let mut s = st.sessions.remove(&id).expect("idle key just found");
             s.flush(&self.counters);
             s.notify_evicted("idle timeout", &self.counters);
+            self.counters.deregister_session(id);
             self.active.fetch_sub(1, Ordering::Relaxed);
             self.counters.session_evicted();
         }

@@ -1,7 +1,9 @@
 //! Two tenants, one daemon: a smart-building light session and a BLE tunnel
 //! session run concurrently against `avoc-serve`, each governed by its own
-//! VDX document from `specs/`, multiplexed over real TCP. The daemon's
-//! counters are dumped after the graceful drain.
+//! VDX document from `specs/`, multiplexed over real TCP. The admin
+//! observability endpoint is on (scrape it while the example runs), a live
+//! `/metrics` excerpt is printed once the tenants drain, and the daemon's
+//! counters are dumped after the graceful shutdown.
 //!
 //! ```text
 //! cargo run --release --example voter_service [rounds]
@@ -60,8 +62,14 @@ fn main() -> std::io::Result<()> {
     // can open sessions against.
     let registry = SpecRegistry::new();
     let loaded = registry.load_dir("specs")?;
+    // Observability on: the admin HTTP endpoint binds an ephemeral port
+    // and one round in eight leaves spans in the trace ring.
     let service = Arc::new(VoterService::start(
-        ServeConfig::default(),
+        ServeConfig {
+            admin_addr: Some("127.0.0.1:0".into()),
+            trace_sample: 8,
+            ..ServeConfig::default()
+        },
         Arc::new(registry),
     ));
     println!(
@@ -71,6 +79,8 @@ fn main() -> std::io::Result<()> {
     );
     let server = TcpServer::start("127.0.0.1:0", Arc::clone(&service))?;
     let addr = server.local_addr();
+    let admin = server.admin_addr().expect("admin endpoint configured");
+    println!("scrape me: curl http://{admin}/metrics  (also /healthz /stats /sessions /trace)");
 
     // Tenant 1 — UC-1: five light sensors in the smart building.
     let light = LightScenario::new(5, rounds, 42).generate();
@@ -98,6 +108,18 @@ fn main() -> std::io::Result<()> {
             by_round(&light_out, i),
             by_round(&ble_out, i)
         );
+    }
+
+    // A live scrape before shutdown: the fuse counters and latency
+    // histogram the daemon would hand Prometheus.
+    let (_, metrics) = avoc::obs::http::get(&admin.to_string(), "/metrics")?;
+    println!("\nlive /metrics excerpt:");
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("avoc_rounds_fused_total")
+            || l.starts_with("avoc_fuse_latency_ns_count")
+            || l.starts_with("avoc_fuse_latency_ns_sum")
+    }) {
+        println!("  {line}");
     }
 
     let counters = server.shutdown();

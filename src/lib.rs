@@ -19,6 +19,7 @@
 //! | [`store`] | `avoc-store` | durable/shared/cached history datastores |
 //! | [`net`] | `avoc-net` | wire protocol, sensor hub, sink node, edge voter service |
 //! | [`serve`] | `avoc-serve` | sharded multi-tenant voter daemon, TCP server + client |
+//! | [`obs`] | `avoc-obs` | metric registry, latency histograms, trace ring, scrape HTTP |
 //! | [`metrics`] | `avoc-metrics` | convergence, ambiguity, series ops, reports |
 //!
 //! # Quickstart
@@ -47,6 +48,7 @@ pub use avoc_cluster as cluster;
 pub use avoc_core as core;
 pub use avoc_metrics as metrics;
 pub use avoc_net as net;
+pub use avoc_obs as obs;
 pub use avoc_serve as serve;
 pub use avoc_sim as sim;
 pub use avoc_store as store;

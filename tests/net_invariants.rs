@@ -354,7 +354,7 @@ proptest! {
     }
 
     /// The allocation-free encoder is byte-identical to the allocating one
-    /// for EVERY frame tag (1–13), including when frames append to a buffer
+    /// for EVERY frame tag (1–15), including when frames append to a buffer
     /// already holding unrelated bytes — the per-connection scratch-reuse
     /// contract the whole wire path now leans on.
     #[test]
@@ -408,6 +408,8 @@ proptest! {
                     2
                 ],
             },
+            Message::StatsRequest,
+            Message::StatsReply { json: format!("{{\"rounds_fused\": {round}}}") },
         ];
         let mut frame = BytesMut::new();
         frame.extend_from_slice(&prefix);
