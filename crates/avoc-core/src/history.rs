@@ -25,6 +25,17 @@ pub trait HistoryStore: Send {
     /// Writes the record for `module`.
     fn set(&mut self, module: ModuleId, value: f64);
 
+    /// Writes a batch of records.
+    ///
+    /// The default forwards to [`HistoryStore::set`] per record; stores
+    /// whose writes carry per-call durability costs (a flushed or fsynced
+    /// log) override this to issue one physical write for the whole batch.
+    fn set_batch(&mut self, records: &[(ModuleId, f64)]) {
+        for &(m, v) in records {
+            self.set(m, v);
+        }
+    }
+
     /// All records in ascending module order.
     fn snapshot(&self) -> Vec<(ModuleId, f64)>;
 

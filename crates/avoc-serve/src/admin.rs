@@ -14,6 +14,8 @@
 //! * `/stats` — the legacy [`crate::CountersSnapshot`] JSON dump (same
 //!   bytes a drain returns and a wire `StatsRequest` frame fetches).
 //! * `/sessions` — live sessions: id, shard pin, resumability, rounds fused.
+//! * `/segments` — the segment tier: live segment files (seq, generation,
+//!   bytes, rows) and lifetime compaction statistics.
 //! * `/trace` — sampled pipeline spans, oldest first; `?session=<id>`
 //!   filters to one tenant.
 //!
@@ -162,6 +164,7 @@ fn route(req: &avoc_obs::http::Request<'_>, service: &VoterService) -> (u16, &'s
         }
         "/stats" => (200, JSON, service.counters().to_json()),
         "/sessions" => (200, JSON, service.sessions_json()),
+        "/segments" => (200, JSON, service.segments_json()),
         "/trace" => {
             let session = req
                 .query_param("session")

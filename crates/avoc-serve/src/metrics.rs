@@ -45,6 +45,13 @@ pub struct ServiceCounters {
     retries: Counter,
     checkpoint_bytes: Counter,
     wal_replay_ns: Counter,
+    segment_load_ns: Counter,
+    torn_tail_recoveries: Counter,
+    compactions: Counter,
+    segment_rounds_folded: Counter,
+    segment_bytes_written: Counter,
+    /// Live segment files in the tier (set from each compaction report).
+    segments_live: Gauge,
     /// Per-shard mailbox-depth high-water marks
     /// (`avoc_shard_queue_high_water{shard="i"}`).
     shard_queue_high_water: Vec<Gauge>,
@@ -54,6 +61,11 @@ pub struct ServiceCounters {
     checkpoint_latency_ns: Histogram,
     /// WAL replay latency per recovered session.
     wal_replay_latency_ns: Histogram,
+    /// Segment-tier cold-resume latency per recovered session (the fast
+    /// path that competes with `wal_replay_latency_ns`).
+    segment_load_latency_ns: Histogram,
+    /// One compaction pass (fold + merge) end to end.
+    compaction_latency_ns: Histogram,
     latency: Mutex<LatencyReservoir>,
     /// Live sessions, for the admin `/sessions` view. Touched only at
     /// session open/resume/close — never per reading.
@@ -155,6 +167,31 @@ impl ServiceCounters {
                 "avoc_wal_replay_ns_total",
                 "Total nanoseconds spent replaying session WALs.",
             ),
+            segment_load_ns: c(
+                "avoc_segment_load_ns_total",
+                "Total nanoseconds spent cold-resuming sessions from segments.",
+            ),
+            torn_tail_recoveries: c(
+                "avoc_torn_tail_recoveries_total",
+                "WAL opens that truncated a torn final line.",
+            ),
+            compactions: c(
+                "avoc_compactions_total",
+                "Segment-tier compaction passes completed.",
+            ),
+            segment_rounds_folded: c(
+                "avoc_segment_rounds_folded_total",
+                "History rows folded out of WALs into segments.",
+            ),
+            segment_bytes_written: c(
+                "avoc_segment_bytes_written_total",
+                "Bytes of segment files written by compaction.",
+            ),
+            segments_live: registry.gauge_with(
+                "avoc_segments_live",
+                "Segment files currently live in the tier.",
+                &[],
+            ),
             shard_queue_high_water: (0..shards)
                 .map(|i| {
                     registry.gauge_with(
@@ -177,6 +214,16 @@ impl ServiceCounters {
             wal_replay_latency_ns: registry.latency_histogram_with(
                 "avoc_wal_replay_latency_ns",
                 "Per-session WAL replay latency on recovery, nanoseconds.",
+                &[],
+            ),
+            segment_load_latency_ns: registry.latency_histogram_with(
+                "avoc_segment_load_latency_ns",
+                "Per-session segment cold-resume latency, nanoseconds.",
+                &[],
+            ),
+            compaction_latency_ns: registry.latency_histogram_with(
+                "avoc_compaction_latency_ns",
+                "Compaction pass (fold + merge) latency, nanoseconds.",
                 &[],
             ),
             latency: Mutex::new(LatencyReservoir::default()),
@@ -327,6 +374,34 @@ impl ServiceCounters {
         self.wal_replay_latency_ns.record(ns);
     }
 
+    /// Records one session recovery that seeded from the segment tier
+    /// (no WAL to replay) — the counterpart of [`Self::wal_replay_ns_add`].
+    pub(crate) fn segment_load_ns_add(&self, ns: u64) {
+        self.segment_load_ns.add(ns);
+        self.segment_load_latency_ns.record(ns);
+    }
+
+    /// Counts a WAL open that had to truncate a torn final line.
+    pub(crate) fn torn_tail_recovered(&self) {
+        self.torn_tail_recoveries.inc();
+    }
+
+    /// Records one compaction pass: how much it folded, what it wrote, how
+    /// long it took, and how many segments the tier holds afterwards.
+    pub(crate) fn compaction_recorded(
+        &self,
+        rows_folded: u64,
+        bytes_written: u64,
+        latency_ns: u64,
+        segments_live: u64,
+    ) {
+        self.compactions.inc();
+        self.segment_rounds_folded.add(rows_folded);
+        self.segment_bytes_written.add(bytes_written);
+        self.compaction_latency_ns.record(latency_ns);
+        self.segments_live.set(segments_live as i64);
+    }
+
     /// Records one fused round and its latency.
     pub(crate) fn round_fused(&self, latency_ns: u64) {
         self.rounds_fused.inc();
@@ -393,6 +468,11 @@ impl ServiceCounters {
             retries: self.retries.get(),
             checkpoint_bytes: self.checkpoint_bytes.get(),
             wal_replay_ms: self.wal_replay_ns.get() as f64 / 1e6,
+            segment_load_ms: self.segment_load_ns.get() as f64 / 1e6,
+            torn_tail_recoveries: self.torn_tail_recoveries.get(),
+            compactions: self.compactions.get(),
+            segment_rounds_folded: self.segment_rounds_folded.get(),
+            segment_bytes_written: self.segment_bytes_written.get(),
             shard_queue_high_water: self
                 .shard_queue_high_water
                 .iter()
@@ -458,6 +538,18 @@ pub struct CountersSnapshot {
     pub checkpoint_bytes: u64,
     /// Total time spent replaying session WALs, milliseconds.
     pub wal_replay_ms: f64,
+    /// Total time spent cold-resuming sessions from the segment tier,
+    /// milliseconds — the number `wal_replay_ms` is benchmarked against.
+    pub segment_load_ms: f64,
+    /// WAL opens that truncated a torn final line (crash artefacts
+    /// recovered, not errors).
+    pub torn_tail_recoveries: u64,
+    /// Segment-tier compaction passes completed.
+    pub compactions: u64,
+    /// History rows folded out of session WALs into segments.
+    pub segment_rounds_folded: u64,
+    /// Bytes of segment files written by compaction.
+    pub segment_bytes_written: u64,
     /// Per-shard mailbox depth high-water marks.
     pub shard_queue_high_water: Vec<usize>,
     /// Fuse-latency summary; `None` before the first fused round.
@@ -553,6 +645,25 @@ mod tests {
         assert_eq!(snap.retries, 3);
         assert_eq!(snap.checkpoint_bytes, 128);
         assert!((snap.wal_replay_ms - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_tier_counters_accumulate() {
+        let c = ServiceCounters::new(1);
+        c.segment_load_ns_add(1_500_000);
+        c.torn_tail_recovered();
+        c.compaction_recorded(120, 4096, 3_000_000, 2);
+        c.compaction_recorded(30, 1024, 1_000_000, 1);
+        let snap = c.snapshot();
+        assert!((snap.segment_load_ms - 1.5).abs() < 1e-9);
+        assert_eq!(snap.torn_tail_recoveries, 1);
+        assert_eq!(snap.compactions, 2);
+        assert_eq!(snap.segment_rounds_folded, 150);
+        assert_eq!(snap.segment_bytes_written, 5120);
+        let text = c.registry().render_prometheus();
+        assert!(text.contains("avoc_segments_live 1"));
+        assert!(text.contains("avoc_compaction_latency_ns_count 2"));
+        assert!(text.contains("avoc_segment_load_latency_ns_count 1"));
     }
 
     #[test]

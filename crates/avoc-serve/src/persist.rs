@@ -26,10 +26,13 @@
 use avoc_core::history::HistoryStore;
 use avoc_core::ModuleId;
 use avoc_net::SpecSource;
-use avoc_store::{CachedHistory, Durability, FileHistory};
+use avoc_store::{
+    session_wal_path, CachedHistory, Durability, FileHistory, TieredPin, TieredStore, VerdictRecord,
+};
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Crash-safety configuration for [`crate::VoterService`].
 #[derive(Debug, Clone)]
@@ -48,6 +51,11 @@ pub struct Persistence {
     /// larger values amortise the meta rewrite and accept losing up to
     /// `checkpoint_every - 1` rounds of history on a crash.
     pub checkpoint_every: u64,
+    /// Background compaction interval in milliseconds. `0` (the default)
+    /// disables the compactor thread; the segment tier still opens, so
+    /// previously folded segments remain readable and
+    /// `VoterService::compact_now` works on demand.
+    pub compact_interval_ms: u64,
 }
 
 impl Default for Persistence {
@@ -56,6 +64,7 @@ impl Default for Persistence {
             state_dir: None,
             fsync: false,
             checkpoint_every: 1,
+            compact_interval_ms: 0,
         }
     }
 }
@@ -89,10 +98,22 @@ pub(crate) struct MetaState {
     pub(crate) results: Vec<StoredResult>,
 }
 
+/// What a [`SessionStore::load`] had to do — the resume-cost attribution
+/// the metrics layer splits `wal_replay_ms` / `segment_load_ms` on.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LoadInfo {
+    /// The seed state came from the segment tier alone (the WAL had been
+    /// retired by a fold) — the fast path this PR exists to prove.
+    pub(crate) from_segments: bool,
+    /// `FileHistory` truncated a torn final line during replay.
+    pub(crate) torn_tail: bool,
+}
+
 /// A session's durable state: its history WAL (write-behind cached) plus
-/// the meta checkpoint writer.
+/// the meta checkpoint writer, pinned into the segment tier while alive.
 pub(crate) struct SessionStore {
     history: CachedHistory<FileHistory>,
+    session: u64,
     wal_path: PathBuf,
     meta_path: PathBuf,
     token: u64,
@@ -101,6 +122,13 @@ pub(crate) struct SessionStore {
     spec: SpecSource,
     /// `bytes_logged()` at the previous checkpoint, for the delta counter.
     logged_floor: u64,
+    /// Highest verdict round already durable (WAL or segment) — verdicts at
+    /// or below it are not re-logged.
+    verdict_floor: Option<u64>,
+    /// The segment tier, for forget-on-remove. `None` when tiering is off.
+    tiered: Option<Arc<TieredStore>>,
+    /// Holds the compactor off this session while it is live.
+    _pin: Option<TieredPin>,
 }
 
 impl std::fmt::Debug for SessionStore {
@@ -113,7 +141,9 @@ impl std::fmt::Debug for SessionStore {
 }
 
 fn wal_path(dir: &Path, session: u64) -> PathBuf {
-    dir.join(format!("session-{session:016x}.wal"))
+    // The name is shared with the segment compactor, which scans for these
+    // files — one definition, owned by avoc-store.
+    session_wal_path(dir, session)
 }
 
 fn meta_path(dir: &Path, session: u64) -> PathBuf {
@@ -237,7 +267,9 @@ pub(crate) const RESULT_RING: usize = 256;
 
 impl SessionStore {
     /// Creates fresh durable state for a new session, removing any stale
-    /// files a previous occupant of this id left behind.
+    /// files a previous occupant of this id left behind and *forgetting*
+    /// its folded segment rows so the old life cannot bleed into the new.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn create(
         dir: &Path,
         session: u64,
@@ -246,8 +278,15 @@ impl SessionStore {
         resumable: bool,
         spec: SpecSource,
         durability: Durability,
+        tiered: Option<&Arc<TieredStore>>,
     ) -> io::Result<SessionStore> {
         std::fs::create_dir_all(dir)?;
+        // Pin first: a fold in flight for this id finishes before we touch
+        // its files, and none can start while the session lives.
+        let pin = tiered.map(|t| t.pin(session));
+        if let Some(t) = tiered {
+            t.forget_session(session)?;
+        }
         let wal = wal_path(dir, session);
         let meta = meta_path(dir, session);
         let _ = std::fs::remove_file(&wal);
@@ -255,6 +294,7 @@ impl SessionStore {
         let history = CachedHistory::new(FileHistory::open_with(&wal, durability)?);
         let store = SessionStore {
             history,
+            session,
             wal_path: wal,
             meta_path: meta,
             token,
@@ -262,6 +302,9 @@ impl SessionStore {
             resumable,
             spec,
             logged_floor: 0,
+            verdict_floor: None,
+            tiered: tiered.map(Arc::clone),
+            _pin: pin,
         };
         store.write_meta(None, &VecDeque::new())?;
         Ok(store)
@@ -271,17 +314,55 @@ impl SessionStore {
     /// missing or corrupt — the caller falls back to a fresh session (AVOC
     /// re-bootstraps). A torn WAL tail is repaired by `FileHistory` and does
     /// not fail the load.
+    ///
+    /// Resume precedence for the history seed: the WAL overlays the segment
+    /// tier (a WAL record is always at least as new as a folded one), and a
+    /// fresh session is the fallback when neither tier knows the id. When
+    /// the WAL has been retired by a complete fold, the seed comes from the
+    /// segment tier alone — the cheap path [`LoadInfo::from_segments`]
+    /// reports and `bench_store` measures.
     pub(crate) fn load(
         dir: &Path,
         session: u64,
         durability: Durability,
-    ) -> Option<(SessionStore, MetaState)> {
+        tiered: Option<&Arc<TieredStore>>,
+    ) -> Option<(SessionStore, MetaState, LoadInfo)> {
+        // Pin before reading anything: an in-flight fold of this session
+        // completes (or is skipped) before we open its files.
+        let pin = tiered.map(|t| t.pin(session));
         let meta = read_meta(dir, session)?;
         let wal = wal_path(dir, session);
+        let wal_existed = wal.exists();
         let file = FileHistory::open_with(&wal, durability).ok()?;
+        let mut info = LoadInfo {
+            from_segments: false,
+            torn_tail: file.recovered_torn_tail(),
+        };
+        let summary = match tiered {
+            Some(t) => t.session_summary(session).ok().flatten(),
+            None => None,
+        };
         let logged_floor = file.bytes_logged();
+        let verdict_floor = file
+            .max_verdict_round()
+            .max(summary.as_ref().and_then(|s| s.max_verdict_round));
+        // Merge tiers: segment latest state underneath, WAL records on top.
+        // A WAL `clear` wipes everything before it — including segments.
+        let history = match &summary {
+            Some(s) if !file.saw_clear() => {
+                info.from_segments = !wal_existed;
+                let mut merged: std::collections::BTreeMap<ModuleId, f64> =
+                    s.latest.iter().copied().collect();
+                for (m, v) in file.snapshot() {
+                    merged.insert(m, v);
+                }
+                CachedHistory::with_seed(file, merged)
+            }
+            _ => CachedHistory::new(file),
+        };
         let store = SessionStore {
-            history: CachedHistory::new(file),
+            history,
+            session,
             wal_path: wal,
             meta_path: meta_path(dir, session),
             token: meta.token,
@@ -289,8 +370,11 @@ impl SessionStore {
             resumable: meta.resumable,
             spec: meta.spec.clone(),
             logged_floor,
+            verdict_floor,
+            tiered: tiered.map(Arc::clone),
+            _pin: pin,
         };
-        Some((store, meta))
+        Some((store, meta, info))
     }
 
     /// The history records to seed a restored engine with.
@@ -308,8 +392,14 @@ impl SessionStore {
         }
     }
 
-    /// Checkpoints: WAL first (append + flush), then the meta file via
-    /// tmp + rename. Returns the bytes written by this checkpoint.
+    /// Checkpoints: WAL first (one batched append + flush for the dirty
+    /// records, then verdict rows and a `commit` round stamp in a second
+    /// single write), then the meta file via tmp + rename. Returns the
+    /// bytes written by this checkpoint.
+    ///
+    /// The `commit` stamp is what makes the WAL foldable: the compactor
+    /// folds only round-stamped entries, so a crash between the record
+    /// flush and the stamp leaves an in-flight tail the fold simply skips.
     ///
     /// # Errors
     ///
@@ -321,6 +411,26 @@ impl SessionStore {
         results: &VecDeque<StoredResult>,
     ) -> io::Result<u64> {
         self.history.flush();
+        let backing = self.history.backing_mut();
+        let fresh: Vec<VerdictRecord> = results
+            .iter()
+            .filter(|(round, ..)| self.verdict_floor.is_none_or(|f| *round > f))
+            .map(|&(round, value, voted)| VerdictRecord {
+                round,
+                value,
+                voted,
+            })
+            .collect();
+        let commit = match high_round {
+            Some(r) if backing.committed_round() != Some(r) => Some(r),
+            _ => None,
+        };
+        if !fresh.is_empty() || commit.is_some() {
+            if let Some(v) = fresh.last() {
+                self.verdict_floor = self.verdict_floor.max(Some(v.round));
+            }
+            backing.append_markers(&fresh, commit);
+        }
         let logged = self.history.backing().bytes_logged();
         let wal_delta = logged.saturating_sub(self.logged_floor);
         self.logged_floor = logged;
@@ -358,11 +468,14 @@ impl SessionStore {
     }
 
     /// Deletes the session's durable state (explicit close: the tenant is
-    /// done, nothing to resume).
+    /// done, nothing to resume), including its folded segment rows.
     pub(crate) fn remove(mut self) {
         self.history.discard_pending();
         let _ = std::fs::remove_file(&self.wal_path);
         let _ = std::fs::remove_file(&self.meta_path);
+        if let Some(t) = &self.tiered {
+            let _ = t.forget_session(self.session);
+        }
     }
 }
 
@@ -389,6 +502,7 @@ mod tests {
             true,
             spec.clone(),
             Durability::Flush,
+            None,
         )
         .unwrap();
         store.note_history(&[(ModuleId::new(0), 0.75), (ModuleId::new(1), 1.0)]);
@@ -399,7 +513,7 @@ mod tests {
         assert!(bytes > 0);
         drop(store);
 
-        let (loaded, meta) = SessionStore::load(&dir, 0x2a, Durability::Flush).unwrap();
+        let (loaded, meta, _) = SessionStore::load(&dir, 0x2a, Durability::Flush, None).unwrap();
         assert_eq!(meta.token, u64::MAX, "token must survive byte-exact");
         assert_eq!(meta.modules, 3);
         assert!(meta.resumable);
@@ -422,16 +536,17 @@ mod tests {
     fn corrupt_meta_or_wal_loads_as_none() {
         let dir = tmpdir("corrupt");
         let spec = SpecSource::Named("avoc".into());
-        let mut store = SessionStore::create(&dir, 7, 1, 2, true, spec, Durability::Flush).unwrap();
+        let mut store =
+            SessionStore::create(&dir, 7, 1, 2, true, spec, Durability::Flush, None).unwrap();
         store.note_history(&[(ModuleId::new(0), 0.5)]);
         store.checkpoint(Some(0), &VecDeque::new()).unwrap();
         drop(store);
 
         // Scribble over the meta: the load must degrade to None, not error.
         std::fs::write(dir.join("session-0000000000000007.meta"), "garbage").unwrap();
-        assert!(SessionStore::load(&dir, 7, Durability::Flush).is_none());
+        assert!(SessionStore::load(&dir, 7, Durability::Flush, None).is_none());
         // Missing entirely behaves the same.
-        assert!(SessionStore::load(&dir, 99, Durability::Flush).is_none());
+        assert!(SessionStore::load(&dir, 99, Durability::Flush, None).is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -440,18 +555,18 @@ mod tests {
         let dir = tmpdir("discard");
         let spec = SpecSource::Named("avoc".into());
         let mut store =
-            SessionStore::create(&dir, 3, 9, 1, false, spec, Durability::Fsync).unwrap();
+            SessionStore::create(&dir, 3, 9, 1, false, spec, Durability::Fsync, None).unwrap();
         store.note_history(&[(ModuleId::new(0), 0.4)]);
         store.checkpoint(Some(0), &VecDeque::new()).unwrap();
         store.note_history(&[(ModuleId::new(0), 0.9)]);
         store.discard(); // hard kill: the 0.9 write never lands
         drop(store);
-        let (loaded, meta) = SessionStore::load(&dir, 3, Durability::Flush).unwrap();
+        let (loaded, meta, _) = SessionStore::load(&dir, 3, Durability::Flush, None).unwrap();
         assert!(!meta.resumable);
         assert_eq!(loaded.seed_records(), vec![(ModuleId::new(0), 0.4)]);
         loaded.remove();
         assert!(list_sessions(&dir).is_empty());
-        assert!(SessionStore::load(&dir, 3, Durability::Flush).is_none());
+        assert!(SessionStore::load(&dir, 3, Durability::Flush, None).is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

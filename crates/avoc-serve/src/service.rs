@@ -2,13 +2,15 @@
 
 use avoc_core::ModuleId;
 use avoc_net::{Message, SpecSource};
+use avoc_store::{CompactionReport, TieredStore};
 use avoc_vdx::VdxError;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::metrics::{CountersSnapshot, ServiceCounters};
 use crate::persist::{self, Persistence};
@@ -140,6 +142,13 @@ pub struct VoterService {
     admission: AdmissionPolicy,
     persistence: Persistence,
     admin_addr: Option<String>,
+    /// The segment tier behind the state directory (shared with every shard
+    /// and the compactor thread). `None` when persistence is off or the
+    /// tier failed to open — sessions then run WAL-only, exactly as before.
+    tiered: Option<Arc<TieredStore>>,
+    /// Tells the compactor thread to exit.
+    compactor_stop: Arc<AtomicBool>,
+    compactor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl fmt::Debug for VoterService {
@@ -167,6 +176,13 @@ impl VoterService {
             config.trace_sample,
         ));
         let active = Arc::new(AtomicUsize::new(0));
+        // Open the segment tier before the shards: workers pin sessions
+        // into it at open/resume. A tier that fails to open degrades the
+        // daemon to WAL-only persistence instead of refusing to start.
+        let tiered = config.persistence.state_dir.as_deref().and_then(|dir| {
+            std::fs::create_dir_all(dir).ok()?;
+            TieredStore::open(dir).ok().map(Arc::new)
+        });
         let mut links = Vec::with_capacity(shards);
         let mut sheds = Vec::with_capacity(shards);
         let mut joins = Vec::with_capacity(shards);
@@ -183,6 +199,7 @@ impl VoterService {
                 idle_ticks: config.idle_ticks,
                 lag_tolerance: config.lag_tolerance,
                 persistence: config.persistence.clone(),
+                tiered: tiered.clone(),
             };
             joins.push(
                 std::thread::Builder::new()
@@ -196,6 +213,37 @@ impl VoterService {
             });
             sheds.push(data_rx);
         }
+        let compactor_stop = Arc::new(AtomicBool::new(false));
+        let compactor = match (&tiered, config.persistence.compact_interval_ms) {
+            (Some(t), interval_ms) if interval_ms > 0 => {
+                let tier = Arc::clone(t);
+                let stop = Arc::clone(&compactor_stop);
+                let counters = Arc::clone(&counters);
+                let interval = Duration::from_millis(interval_ms);
+                Some(
+                    std::thread::Builder::new()
+                        .name("avoc-serve-compactor".into())
+                        .spawn(move || {
+                            while !stop.load(Ordering::Relaxed) {
+                                // Sleep in short slices so shutdown never
+                                // waits out a long interval.
+                                let mut slept = Duration::ZERO;
+                                while slept < interval && !stop.load(Ordering::Relaxed) {
+                                    let step = (interval - slept).min(Duration::from_millis(20));
+                                    std::thread::sleep(step);
+                                    slept += step;
+                                }
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                compaction_pass(&tier, &counters);
+                            }
+                        })
+                        .expect("spawn compactor"),
+                )
+            }
+            _ => None,
+        };
         VoterService {
             links,
             sheds: Mutex::new(sheds),
@@ -207,6 +255,9 @@ impl VoterService {
             admission: config.admission,
             persistence: config.persistence,
             admin_addr: config.admin_addr,
+            tiered,
+            compactor_stop,
+            compactor: Mutex::new(compactor),
         }
     }
 
@@ -574,6 +625,31 @@ impl VoterService {
         self.counters.sessions_json()
     }
 
+    /// The admin `/segments` view: the segment tier's live segments and
+    /// lifetime fold statistics. `{"enabled": false}` when persistence (or
+    /// the tier) is off.
+    pub fn segments_json(&self) -> String {
+        match &self.tiered {
+            Some(t) => t.segments_json(),
+            None => "{\"enabled\": false}\n".to_string(),
+        }
+    }
+
+    /// The segment tier behind the state directory, for time-travel reads
+    /// ([`TieredStore::history_at`]) and fleet scans
+    /// ([`TieredStore::outvoted_in`]). `None` when persistence is off.
+    pub fn tiered_store(&self) -> Option<&Arc<TieredStore>> {
+        self.tiered.as_ref()
+    }
+
+    /// Runs one compaction pass (fold cold WALs, merge small segments) on
+    /// the caller's thread, regardless of the background interval. Returns
+    /// `None` when the tier is off or the pass failed mid-way (a failed
+    /// pass never loses data — unfolded WALs are simply retried next time).
+    pub fn compact_now(&self) -> Option<CompactionReport> {
+        compaction_pass(self.tiered.as_ref()?, &self.counters)
+    }
+
     /// The admin bind address configured at start (`None` = no admin
     /// endpoint).
     pub(crate) fn admin_addr_config(&self) -> Option<&str> {
@@ -591,6 +667,7 @@ impl VoterService {
     /// Subsequent `open`/`feed`/`close` calls fail with
     /// [`ServeError::ShuttingDown`].
     pub fn drain(&self) -> CountersSnapshot {
+        self.stop_compactor();
         for link in &self.links {
             let _ = link.ctrl.send(ShardCommand::Drain);
         }
@@ -612,6 +689,7 @@ impl VoterService {
     /// state is left exactly as the last completed checkpoint wrote it.
     /// Integration tests restart daemons through this to prove recovery.
     pub fn kill(&self) -> CountersSnapshot {
+        self.stop_compactor();
         for link in &self.links {
             let _ = link.ctrl.send(ShardCommand::Abort);
         }
@@ -623,10 +701,32 @@ impl VoterService {
         self.counters.snapshot()
     }
 
+    /// Joins the background compactor (idempotent; a no-op when none runs).
+    /// An in-flight pass finishes — folds are short and crash-safe anyway.
+    fn stop_compactor(&self) {
+        self.compactor_stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.compactor.lock().take() {
+            let _ = j.join();
+        }
+    }
+
     fn note_depth(&self, shard: usize) {
         self.counters
             .note_queue_depth(shard, self.links[shard].data.len());
     }
+}
+
+/// One compaction pass with its metrics: fold + merge, timed, counted.
+fn compaction_pass(tier: &TieredStore, counters: &ServiceCounters) -> Option<CompactionReport> {
+    let started = Instant::now();
+    let report = tier.compact().ok()?;
+    counters.compaction_recorded(
+        report.history_rows + report.verdict_rows,
+        report.bytes_written,
+        started.elapsed().as_nanos() as u64,
+        tier.segment_count() as u64,
+    );
+    Some(report)
 }
 
 impl Drop for VoterService {

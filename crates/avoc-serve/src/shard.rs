@@ -9,6 +9,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use avoc_store::TieredStore;
+
 use crate::metrics::ServiceCounters;
 use crate::persist::{Persistence, SessionStore};
 use crate::session::{Session, SessionConfig};
@@ -133,6 +135,9 @@ pub(crate) struct ShardWorker {
     pub(crate) lag_tolerance: u64,
     /// Crash-safety configuration (state dir, fsync, checkpoint cadence).
     pub(crate) persistence: Persistence,
+    /// The segment tier behind the state dir, shared with the compactor
+    /// thread. `None` when persistence is off or the tier failed to open.
+    pub(crate) tiered: Option<Arc<TieredStore>>,
 }
 
 /// How often (in ticks) the worker sweeps for idle sessions.
@@ -469,10 +474,25 @@ impl ShardWorker {
         // 2. Durable checkpoint: rebuild the session warm.
         if let Some(dir) = self.persistence.state_dir.clone() {
             let started = Instant::now();
-            let loaded = SessionStore::load(&dir, req.session, self.persistence.durability());
-            if let Some((store, meta)) = loaded {
-                self.counters
-                    .wal_replay_ns_add(started.elapsed().as_nanos() as u64);
+            let loaded = SessionStore::load(
+                &dir,
+                req.session,
+                self.persistence.durability(),
+                self.tiered.as_ref(),
+            );
+            if let Some((store, meta, info)) = loaded {
+                // Attribute the resume cost to the tier that served it: a
+                // WAL replay and a pure segment load are the two sides of
+                // the bench this store exists to win.
+                let elapsed = started.elapsed().as_nanos() as u64;
+                if info.from_segments {
+                    self.counters.segment_load_ns_add(elapsed);
+                } else {
+                    self.counters.wal_replay_ns_add(elapsed);
+                }
+                if info.torn_tail {
+                    self.counters.torn_tail_recovered();
+                }
                 if meta.token != req.token {
                     // Someone else's durable state: refuse rather than
                     // silently clobber it with a fresh session.
@@ -545,6 +565,7 @@ impl ShardWorker {
             req.resumable,
             req.spec_source.clone(),
             self.persistence.durability(),
+            self.tiered.as_ref(),
         )
         .ok()
     }

@@ -49,12 +49,33 @@ impl<S: HistoryStore> CachedHistory<S> {
         }
     }
 
+    /// Wraps a backing store but seeds the cache from `seed` instead of the
+    /// backing snapshot, marking nothing dirty.
+    ///
+    /// This is the tiered-resume constructor: `seed` is the merged
+    /// segment + WAL state, while the (possibly fresh) backing WAL holds
+    /// only the overlay. Records already durable in a segment are *not*
+    /// re-logged — only future divergence is.
+    pub fn with_seed(backing: S, seed: impl IntoIterator<Item = (ModuleId, f64)>) -> Self {
+        CachedHistory {
+            backing: Some(backing),
+            cache: seed.into_iter().collect(),
+            dirty: BTreeMap::new(),
+            cleared: false,
+        }
+    }
+
     /// Number of writes not yet flushed to the backing store.
     pub fn pending_writes(&self) -> usize {
         self.dirty.len() + usize::from(self.cleared)
     }
 
-    /// Pushes pending writes to the backing store.
+    /// Pushes pending writes to the backing store as one
+    /// [`HistoryStore::set_batch`] call.
+    ///
+    /// Against a [`crate::FileHistory`] backend that is one buffered write +
+    /// one flush (+ one fsync) for the whole batch instead of one per dirty
+    /// record — the CorkedWriter discipline applied to the checkpoint path.
     pub fn flush(&mut self) {
         let Some(backing) = self.backing.as_mut() else {
             return;
@@ -63,10 +84,11 @@ impl<S: HistoryStore> CachedHistory<S> {
             backing.clear();
             self.cleared = false;
         }
-        for (&m, &v) in &self.dirty {
-            backing.set(m, v);
+        if !self.dirty.is_empty() {
+            let batch: Vec<(ModuleId, f64)> = self.dirty.iter().map(|(&m, &v)| (m, v)).collect();
+            backing.set_batch(&batch);
+            self.dirty.clear();
         }
-        self.dirty.clear();
     }
 
     /// Abandons pending writes (and a pending clear) without touching the
@@ -83,6 +105,14 @@ impl<S: HistoryStore> CachedHistory<S> {
     pub fn backing(&self) -> &S {
         self.backing
             .as_ref()
+            .expect("backing present until into_inner")
+    }
+
+    /// Borrows the backing store mutably — for out-of-band writes such as
+    /// WAL round markers that bypass the record cache.
+    pub fn backing_mut(&mut self) -> &mut S {
+        self.backing
+            .as_mut()
             .expect("backing present until into_inner")
     }
 
@@ -214,6 +244,65 @@ mod tests {
         cached.discard_pending();
         cached.flush();
         assert_eq!(cached.backing().get(m(0)), Some(0.5));
+    }
+
+    /// A backing store that counts physical write calls, to pin the batch
+    /// discipline: a flush of N dirty records must be one `set_batch`, not
+    /// N `set`s.
+    #[derive(Debug, Default)]
+    struct CountingStore {
+        records: BTreeMap<ModuleId, f64>,
+        set_calls: usize,
+        batch_calls: usize,
+    }
+
+    impl HistoryStore for CountingStore {
+        fn get(&self, module: ModuleId) -> Option<f64> {
+            self.records.get(&module).copied()
+        }
+        fn set(&mut self, module: ModuleId, value: f64) {
+            self.set_calls += 1;
+            self.records.insert(module, value);
+        }
+        fn set_batch(&mut self, records: &[(ModuleId, f64)]) {
+            self.batch_calls += 1;
+            self.records.extend(records.iter().copied());
+        }
+        fn snapshot(&self) -> Vec<(ModuleId, f64)> {
+            self.records.iter().map(|(&m, &v)| (m, v)).collect()
+        }
+        fn clear(&mut self) {
+            self.records.clear();
+        }
+    }
+
+    #[test]
+    fn flush_batches_consecutive_appends_into_one_write() {
+        let mut cached = CachedHistory::new(CountingStore::default());
+        for i in 0..32 {
+            cached.set(m(i), i as f64 / 32.0);
+        }
+        cached.flush();
+        assert_eq!(cached.backing().batch_calls, 1);
+        assert_eq!(cached.backing().set_calls, 0);
+        assert_eq!(cached.backing().records.len(), 32);
+        // An empty flush issues no write at all.
+        cached.flush();
+        assert_eq!(cached.backing().batch_calls, 1);
+    }
+
+    #[test]
+    fn with_seed_overrides_backing_snapshot_and_marks_nothing_dirty() {
+        let mut backing = MemoryHistory::new();
+        backing.set(m(0), 0.5);
+        let cached = CachedHistory::with_seed(backing, vec![(m(0), 0.25), (m(7), 0.75)]);
+        assert_eq!(cached.get(m(0)), Some(0.25));
+        assert_eq!(cached.get(m(7)), Some(0.75));
+        assert_eq!(cached.pending_writes(), 0);
+        // Drop flushes nothing: the backing keeps its own record.
+        let backing = cached.into_inner();
+        assert_eq!(backing.get(m(0)), Some(0.5));
+        assert_eq!(backing.get(m(7)), None);
     }
 
     #[test]

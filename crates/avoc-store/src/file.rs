@@ -22,10 +22,11 @@ pub enum Durability {
     Fsync,
 }
 
-/// One logged operation.
+/// One logged operation (WAL format v2 — v1 logs contain only `set`/`clear`
+/// and replay unchanged).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "op", rename_all = "snake_case")]
-enum LogEntry {
+pub(crate) enum WalEntry {
     /// Record write.
     Set {
         /// Module index.
@@ -35,6 +36,106 @@ enum LogEntry {
     },
     /// Store cleared.
     Clear,
+    /// Round stamp: every `set`/`clear` logged since the previous `commit`
+    /// describes state as of `round`. The segment compactor folds only
+    /// stamped entries — an unstamped tail is an in-flight checkpoint.
+    Commit {
+        /// The fused round the preceding entries belong to.
+        round: u64,
+    },
+    /// A fused verdict at `round` — the output stream row, logged so
+    /// time-travel reads can replay verdicts as well as trust state.
+    Verdict {
+        /// Fused round index.
+        round: u64,
+        /// Fused value (`None` when the round produced no quorum).
+        value: Option<f64>,
+        /// Whether a quorum voted.
+        voted: bool,
+    },
+}
+
+/// A fused verdict row as stamped into the WAL and folded into segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictRecord {
+    /// Fused round index.
+    pub round: u64,
+    /// Fused value (`None` when the round produced no quorum).
+    pub value: Option<f64>,
+    /// Whether a quorum voted.
+    pub voted: bool,
+}
+
+/// Result of a checked WAL scan: every well-formed entry in file order plus
+/// what the tail looked like. This is the one decoder shared by replay,
+/// torn-tail repair and the segment compactor — the same bytes can never
+/// parse two ways.
+#[derive(Debug)]
+pub(crate) struct WalScan {
+    /// Entries decoded from fully intact lines, in file order.
+    pub(crate) entries: Vec<WalEntry>,
+    /// Bytes of fully replayed lines — the truncation point when the line
+    /// after them is torn.
+    pub(crate) good_bytes: u64,
+    /// A torn (unparseable, nothing after it) final line was found.
+    pub(crate) torn_tail: bool,
+    /// The final line parsed but lacks its trailing newline.
+    pub(crate) missing_final_newline: bool,
+}
+
+/// Scans a WAL file without modifying it. Missing file ⇒ `Ok(None)`.
+///
+/// A torn final line is tolerated and reported; a malformed line with valid
+/// entries after it is genuine corruption and fails with
+/// [`io::ErrorKind::InvalidData`].
+pub(crate) fn scan_wal(path: &Path) -> io::Result<Option<WalScan>> {
+    let f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut reader = BufReader::new(f);
+    let mut line = String::new();
+    let mut scan = WalScan {
+        entries: Vec::new(),
+        good_bytes: 0,
+        torn_tail: false,
+        missing_final_newline: false,
+    };
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        if line.trim().is_empty() {
+            scan.good_bytes += n as u64;
+            continue;
+        }
+        match serde_json::from_str::<WalEntry>(line.trim()) {
+            Ok(entry) => {
+                scan.good_bytes += n as u64;
+                scan.missing_final_newline = !line.ends_with('\n');
+                scan.entries.push(entry);
+            }
+            Err(e) => {
+                // Torn tail or mid-file corruption? A crash mid-append
+                // cannot be followed by more data, so any payload after the
+                // bad line means the log was damaged, not torn.
+                let mut rest = Vec::new();
+                reader.read_to_end(&mut rest)?;
+                if rest.iter().any(|b| !b.is_ascii_whitespace()) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt history log line: {e}"),
+                    ));
+                }
+                scan.torn_tail = true;
+                break;
+            }
+        }
+    }
+    Ok(Some(scan))
 }
 
 /// A durable [`HistoryStore`] backed by a JSON-lines write-ahead log.
@@ -73,6 +174,14 @@ pub struct FileHistory {
     /// Bytes appended to the log by this handle (compactions excluded) —
     /// a checkpoint-cost signal for the service layer.
     bytes_logged: u64,
+    /// Whether any `clear` entry was replayed — when true the records map
+    /// already reflects the wipe and earlier tiers (segments) must not be
+    /// merged underneath it.
+    saw_clear: bool,
+    /// Highest `commit` round stamp seen or appended.
+    max_commit_round: Option<u64>,
+    /// Highest `verdict` round seen or appended.
+    max_verdict_round: Option<u64>,
 }
 
 impl FileHistory {
@@ -109,60 +218,36 @@ impl FileHistory {
         // the same line — silent corruption discovered only at the open
         // after next. Repair it by appending the missing newline below.
         let mut missing_final_newline = false;
-        match File::open(&path) {
-            Ok(f) => {
-                let mut reader = BufReader::new(f);
-                let mut line = String::new();
-                // Bytes of fully replayed lines — the truncation point if
-                // the line after them turns out to be torn.
-                let mut good_bytes: u64 = 0;
-                loop {
-                    line.clear();
-                    let n = reader.read_line(&mut line)?;
-                    if n == 0 {
-                        break;
+        let mut saw_clear = false;
+        let mut max_commit_round = None;
+        let mut max_verdict_round = None;
+        if let Some(scan) = scan_wal(&path)? {
+            if scan.torn_tail {
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(scan.good_bytes)?;
+                recovered_torn_tail = true;
+            }
+            missing_final_newline = scan.missing_final_newline;
+            dirty_entries = scan.entries.len();
+            for entry in scan.entries {
+                match entry {
+                    WalEntry::Set { module, value } => {
+                        records.insert(ModuleId::new(module), value);
                     }
-                    if line.trim().is_empty() {
-                        good_bytes += n as u64;
-                        continue;
+                    WalEntry::Clear => {
+                        records.clear();
+                        saw_clear = true;
                     }
-                    match serde_json::from_str::<LogEntry>(line.trim()) {
-                        Ok(entry) => {
-                            good_bytes += n as u64;
-                            dirty_entries += 1;
-                            missing_final_newline = !line.ends_with('\n');
-                            match entry {
-                                LogEntry::Set { module, value } => {
-                                    records.insert(ModuleId::new(module), value);
-                                }
-                                LogEntry::Clear => records.clear(),
-                            }
-                        }
-                        Err(e) => {
-                            // Torn tail or mid-file corruption? A crash
-                            // mid-append cannot be followed by more data, so
-                            // any payload after the bad line means the log
-                            // was damaged, not torn.
-                            let mut rest = Vec::new();
-                            reader.read_to_end(&mut rest)?;
-                            if rest.iter().any(|b| !b.is_ascii_whitespace()) {
-                                return Err(io::Error::new(
-                                    io::ErrorKind::InvalidData,
-                                    format!("corrupt history log line: {e}"),
-                                ));
-                            }
-                            OpenOptions::new()
-                                .write(true)
-                                .open(&path)?
-                                .set_len(good_bytes)?;
-                            recovered_torn_tail = true;
-                            break;
-                        }
+                    WalEntry::Commit { round } => {
+                        max_commit_round = max_commit_round.max(Some(round));
+                    }
+                    WalEntry::Verdict { round, .. } => {
+                        max_verdict_round = max_verdict_round.max(Some(round));
                     }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
         }
         let mut writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
         if missing_final_newline {
@@ -180,6 +265,9 @@ impl FileHistory {
             durability,
             recovered_torn_tail,
             bytes_logged: 0,
+            saw_clear,
+            max_commit_round,
+            max_verdict_round,
         })
     }
 
@@ -187,6 +275,64 @@ impl FileHistory {
     /// mid-append.
     pub fn recovered_torn_tail(&self) -> bool {
         self.recovered_torn_tail
+    }
+
+    /// Whether replay encountered a `clear`: the records already reflect the
+    /// wipe, so older tiers (segments) must not be merged underneath them.
+    pub fn saw_clear(&self) -> bool {
+        self.saw_clear
+    }
+
+    /// Highest round stamped by a `commit` entry (replayed or appended) —
+    /// everything logged before it is fold-eligible.
+    pub fn committed_round(&self) -> Option<u64> {
+        self.max_commit_round
+    }
+
+    /// Highest round carrying a logged `verdict` (replayed or appended).
+    pub fn max_verdict_round(&self) -> Option<u64> {
+        self.max_verdict_round
+    }
+
+    /// Appends verdict rows and an optional `commit` round stamp as one
+    /// buffered write (then one flush / fsync) — the round-marker analogue
+    /// of [`HistoryStore::set_batch`]. Best-effort like every append: write
+    /// errors surface at the next explicit I/O call site.
+    pub fn append_markers(&mut self, verdicts: &[VerdictRecord], commit: Option<u64>) {
+        let mut batch = String::new();
+        let mut entries = 0usize;
+        for v in verdicts {
+            let entry = WalEntry::Verdict {
+                round: v.round,
+                value: v.value,
+                voted: v.voted,
+            };
+            if let Ok(line) = serde_json::to_string(&entry) {
+                batch.push_str(&line);
+                batch.push('\n');
+                entries += 1;
+                self.max_verdict_round = self.max_verdict_round.max(Some(v.round));
+            }
+        }
+        if let Some(round) = commit {
+            if let Ok(line) = serde_json::to_string(&WalEntry::Commit { round }) {
+                batch.push_str(&line);
+                batch.push('\n');
+                entries += 1;
+                self.max_commit_round = self.max_commit_round.max(Some(round));
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        if self.writer.write_all(batch.as_bytes()).is_ok() {
+            let _ = self.writer.flush();
+            if self.durability == Durability::Fsync {
+                let _ = self.writer.get_ref().sync_data();
+            }
+            self.dirty_entries += entries;
+            self.bytes_logged += batch.len() as u64;
+        }
     }
 
     /// Bytes appended through this handle (a checkpoint-cost signal).
@@ -205,7 +351,10 @@ impl FileHistory {
         self.dirty_entries
     }
 
-    /// Rewrites the log to exactly one `set` line per live record.
+    /// Rewrites the log to exactly one `set` line per live record, plus a
+    /// final `commit` stamp preserving the round watermark. Verdict rows are
+    /// dropped — round-preserving compaction is the segment fold's job
+    /// (see the `tiered` module); this rewrite is for standalone stores.
     ///
     /// # Errors
     ///
@@ -213,15 +362,21 @@ impl FileHistory {
     /// rewrite goes through a temporary file + rename).
     pub fn compact(&mut self) -> io::Result<()> {
         let tmp = self.path.with_extension("compact-tmp");
+        let mut lines = self.records.len();
         {
             let mut w = BufWriter::new(File::create(&tmp)?);
             for (&m, &v) in &self.records {
-                let entry = LogEntry::Set {
+                let entry = WalEntry::Set {
                     module: m.index(),
                     value: v,
                 };
                 serde_json::to_writer(&mut w, &entry)?;
                 w.write_all(b"\n")?;
+            }
+            if let Some(round) = self.max_commit_round {
+                serde_json::to_writer(&mut w, &WalEntry::Commit { round })?;
+                w.write_all(b"\n")?;
+                lines += 1;
             }
             w.flush()?;
         }
@@ -232,11 +387,15 @@ impl FileHistory {
                 .append(true)
                 .open(&self.path)?,
         );
-        self.dirty_entries = self.records.len();
+        self.dirty_entries = lines;
+        // The rewrite holds only live records: any replayed `clear` is now
+        // physically gone from the log.
+        self.saw_clear = false;
+        self.max_verdict_round = None;
         Ok(())
     }
 
-    fn append(&mut self, entry: &LogEntry) {
+    fn append(&mut self, entry: &WalEntry) {
         // A failed append must not corrupt in-memory state; the paper's
         // scenario tolerates best-effort persistence, so log write errors
         // are deferred to the next explicit `compact`/`flush` call site.
@@ -264,10 +423,43 @@ impl HistoryStore for FileHistory {
     fn set(&mut self, module: ModuleId, value: f64) {
         let value = value.clamp(0.0, 1.0);
         self.records.insert(module, value);
-        self.append(&LogEntry::Set {
+        self.append(&WalEntry::Set {
             module: module.index(),
             value,
         });
+    }
+
+    fn set_batch(&mut self, records: &[(ModuleId, f64)]) {
+        // One buffered write + one flush (+ one fsync) for the whole batch —
+        // the CorkedWriter discipline applied to the WAL. With per-write
+        // `Fsync` durability this is the difference between N platter waits
+        // and one.
+        let mut batch = String::new();
+        let mut entries = 0usize;
+        for &(module, value) in records {
+            let value = value.clamp(0.0, 1.0);
+            self.records.insert(module, value);
+            let entry = WalEntry::Set {
+                module: module.index(),
+                value,
+            };
+            if let Ok(line) = serde_json::to_string(&entry) {
+                batch.push_str(&line);
+                batch.push('\n');
+                entries += 1;
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        if self.writer.write_all(batch.as_bytes()).is_ok() {
+            let _ = self.writer.flush();
+            if self.durability == Durability::Fsync {
+                let _ = self.writer.get_ref().sync_data();
+            }
+            self.dirty_entries += entries;
+            self.bytes_logged += batch.len() as u64;
+        }
     }
 
     fn snapshot(&self) -> Vec<(ModuleId, f64)> {
@@ -276,7 +468,8 @@ impl HistoryStore for FileHistory {
 
     fn clear(&mut self) {
         self.records.clear();
-        self.append(&LogEntry::Clear);
+        self.saw_clear = true;
+        self.append(&WalEntry::Clear);
     }
 
     fn get_or_init(&mut self, module: ModuleId) -> f64 {
@@ -502,6 +695,88 @@ mod tests {
         }
         let s = FileHistory::open(&path).unwrap();
         assert_eq!(s.get(m(4)), Some(INITIAL_HISTORY));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn round_markers_survive_reopen_and_one_write() {
+        let path = tmp_path("markers");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            s.set_batch(&[(m(0), 0.5), (m(1), 0.75)]);
+            let before = s.bytes_logged();
+            s.append_markers(
+                &[
+                    VerdictRecord {
+                        round: 3,
+                        value: Some(19.25),
+                        voted: true,
+                    },
+                    VerdictRecord {
+                        round: 4,
+                        value: None,
+                        voted: false,
+                    },
+                ],
+                Some(4),
+            );
+            assert!(s.bytes_logged() > before);
+            assert_eq!(s.committed_round(), Some(4));
+            assert_eq!(s.max_verdict_round(), Some(4));
+        }
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.committed_round(), Some(4));
+        assert_eq!(s.max_verdict_round(), Some(4));
+        assert_eq!(s.get(m(0)), Some(0.5));
+        assert_eq!(s.get(m(1)), Some(0.75));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_logs_without_markers_still_replay() {
+        let path = tmp_path("v1-compat");
+        std::fs::write(
+            &path,
+            "{\"op\":\"set\",\"module\":0,\"value\":0.5}\n{\"op\":\"clear\"}\n{\"op\":\"set\",\"module\":1,\"value\":0.25}\n",
+        )
+        .unwrap();
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(0)), None);
+        assert_eq!(s.get(m(1)), Some(0.25));
+        assert!(s.saw_clear());
+        assert_eq!(s.committed_round(), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_preserves_commit_watermark() {
+        let path = tmp_path("compact-commit");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileHistory::open(&path).unwrap();
+            s.set(m(0), 0.5);
+            s.append_markers(&[], Some(9));
+            s.compact().unwrap();
+            assert_eq!(s.committed_round(), Some(9));
+        }
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.committed_round(), Some(9));
+        assert_eq!(s.get(m(0)), Some(0.5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn set_batch_is_one_physical_write() {
+        let path = tmp_path("set-batch");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileHistory::open(&path).unwrap();
+        s.set_batch(&[(m(0), 0.1), (m(1), 0.2), (m(2), 0.3)]);
+        assert_eq!(s.log_len(), 3);
+        assert_eq!(s.bytes_logged(), std::fs::metadata(&path).unwrap().len());
+        drop(s);
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.snapshot().len(), 3);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -12,17 +12,30 @@
 //!   layer, where an edge voter service and a monitoring endpoint share the
 //!   records;
 //! * [`CachedHistory`] — a write-behind cache wrapping any store, showing
-//!   how the datastore bottleneck is engineered away.
+//!   how the datastore bottleneck is engineered away;
+//! * [`TieredStore`] — the cold tier: immutable columnar segments
+//!   ([`SegmentFile`]) that a background compactor folds session WALs into,
+//!   with time-travel reads ([`TieredStore::history_at`]) and fleet-level
+//!   scans ([`TieredStore::outvoted_in`]) over both tiers.
 //!
-//! The `store` bench in `avoc-bench` reproduces the bottleneck comparison.
+//! The `store` bench in `avoc-bench` reproduces the bottleneck comparison;
+//! `bench_store` pits segment cold-resume against WAL replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cached;
+pub mod codec;
 mod file;
+pub mod segment;
 mod shared;
+mod tiered;
 
 pub use cached::CachedHistory;
-pub use file::{Durability, FileHistory};
+pub use file::{Durability, FileHistory, VerdictRecord};
+pub use segment::{SegmentFile, SessionRows};
 pub use shared::SharedHistory;
+pub use tiered::{
+    session_wal_path, CompactionReport, CrashPoint, OutvotedRow, SessionSummary, TierStats,
+    TieredPin, TieredStore,
+};

@@ -1,0 +1,1296 @@
+//! The tiered history store: session WALs (hot) folded into immutable
+//! columnar segments (cold) by a background compactor, with time-travel
+//! reads over both tiers.
+//!
+//! ## Commit protocol
+//!
+//! A fold is WAL-first, manifest-second:
+//!
+//! 1. the new segment is written to a temporary file, fsynced and renamed
+//!    into place — a crash here leaves an *orphan* the next open deletes
+//!    (the WAL still holds every round);
+//! 2. the `MANIFEST` is atomically replaced to list the new segment — the
+//!    publish point;
+//! 3. only a WAL whose every entry is now round-stamped *and* folded is
+//!    deleted — a crash between 2 and 3 leaves WAL and segment overlapping,
+//!    which is harmless: WAL records are absolute values and verdicts
+//!    deduplicate by round, so replaying both tiers is idempotent.
+//!
+//! No step loses a round; no step double-counts one. The kill-mid-compaction
+//! chaos test drives a hard stop at both crash points and asserts the
+//! resumed stream is bit-identical.
+//!
+//! ## Visibility
+//!
+//! Live sessions are *pinned* (see [`TieredStore::pin`]): the compactor
+//! skips pinned sessions, and pinning waits out an in-flight fold of the
+//! same session, so the hot path never races the fold. A re-created session
+//! id is *forgotten* first: segments older than the forget floor become
+//! invisible for that session and are physically dropped at the next merge.
+
+use crate::file::{scan_wal, VerdictRecord, WalEntry};
+use crate::segment::{write_segment, BlockEntry, Direction, HistoryRow, SegmentFile, SessionRows};
+use avoc_core::{DenseHistory, ModuleId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How many same-generation segments trigger a merge into the next
+/// generation.
+pub const MERGE_FANIN: usize = 4;
+
+/// Session WAL path shared with the serve layer (`session-<id:016x>.wal`).
+pub fn session_wal_path(dir: &Path, session: u64) -> PathBuf {
+    dir.join(format!("session-{session:016x}.wal"))
+}
+
+fn segment_file_name(seq: u64, gen: u32) -> String {
+    format!("seg-{seq:08}-g{gen}.avseg")
+}
+
+fn parse_segment_name(name: &str) -> Option<(u64, u32)> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".avseg")?;
+    let (seq, gen) = rest.split_once("-g")?;
+    Some((seq.parse().ok()?, gen.parse().ok()?))
+}
+
+/// Crash-injection points for the fold protocol — the in-process analogue
+/// of `kill -9` at each step, used by the chaos tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashPoint {
+    /// Run to completion.
+    #[default]
+    None,
+    /// Die after the segment file is durable but before the manifest lists
+    /// it: the segment is an orphan, the WAL is intact.
+    AfterSegmentWrite,
+    /// Die after the manifest commit but before the folded WAL is retired:
+    /// both tiers overlap.
+    AfterManifest,
+}
+
+/// One fold/merge pass's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Sessions whose WAL was folded.
+    pub folded_sessions: usize,
+    /// History rows written into segments.
+    pub history_rows: u64,
+    /// Verdict rows written into segments.
+    pub verdict_rows: u64,
+    /// Segment bytes written (folds + merges).
+    pub bytes_written: u64,
+    /// Segment files created.
+    pub segments_written: usize,
+    /// Generation merges performed.
+    pub merges: usize,
+    /// Fully folded WALs deleted.
+    pub wals_retired: usize,
+}
+
+impl CompactionReport {
+    /// Whether the pass did anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.segments_written == 0 && self.merges == 0 && self.wals_retired == 0
+    }
+}
+
+/// Lifetime counters for the tier, surfaced via `/segments`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Fold passes that wrote a segment.
+    pub compactions: u64,
+    /// Generation merges.
+    pub merges: u64,
+    /// History rows folded.
+    pub history_rows: u64,
+    /// Verdict rows folded.
+    pub verdict_rows: u64,
+    /// Total segment bytes written.
+    pub bytes_written: u64,
+    /// WALs retired after a complete fold.
+    pub wals_retired: u64,
+}
+
+/// What the segment tier knows about one session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionSummary {
+    /// Latest per-module trust reconstructed from segments only, ascending
+    /// module order.
+    pub latest: Vec<(ModuleId, f64)>,
+    /// Highest history round folded.
+    pub folded_through: Option<u64>,
+    /// Highest verdict round folded.
+    pub max_verdict_round: Option<u64>,
+    /// Blocks contributing to this session.
+    pub blocks: usize,
+}
+
+/// A fleet-scan hit: `module` lost trust at `round` of `session`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutvotedRow {
+    /// Session id.
+    pub session: u64,
+    /// Fused round.
+    pub round: u64,
+    /// The outvoted module.
+    pub module: u32,
+    /// Its trust after the penalty.
+    pub trust: f64,
+}
+
+#[derive(Debug, Clone)]
+struct LiveSegment {
+    seq: u64,
+    gen: u32,
+    file: Arc<SegmentFile>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next_seq: u64,
+    /// Ascending seq; later segments win on row collisions.
+    segments: Vec<LiveSegment>,
+    /// session → forget floor: segments with `seq <` floor are invisible
+    /// for that session.
+    forget: BTreeMap<u64, u64>,
+    /// Sessions a fold currently holds.
+    busy: HashSet<u64>,
+    /// Live sessions (pin counts) the compactor must skip.
+    pinned: HashMap<u64, u32>,
+    stats: TierStats,
+}
+
+/// The segment tier of the history store. See the module docs for the
+/// commit protocol; one instance guards one state directory and is shared
+/// (`Arc`) between the serve layer and the background compactor.
+#[derive(Debug)]
+pub struct TieredStore {
+    dir: PathBuf,
+    state: Mutex<State>,
+    unpinned: Condvar,
+}
+
+/// RAII pin: while alive, the compactor will not fold this session's WAL.
+/// Acquiring a pin waits out an in-flight fold of the same session.
+#[derive(Debug)]
+pub struct TieredPin {
+    store: Arc<TieredStore>,
+    session: u64,
+}
+
+impl Drop for TieredPin {
+    fn drop(&mut self) {
+        let mut st = self.store.lock_state();
+        if let Some(n) = st.pinned.get_mut(&self.session) {
+            *n -= 1;
+            if *n == 0 {
+                st.pinned.remove(&self.session);
+            }
+        }
+    }
+}
+
+/// Clears the busy mark even when a fold errors out mid-protocol.
+struct BusyGuard<'a> {
+    store: &'a TieredStore,
+    session: u64,
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.store.lock_state();
+        st.busy.remove(&self.session);
+        drop(st);
+        self.store.unpinned.notify_all();
+    }
+}
+
+impl TieredStore {
+    /// Opens (or initialises) the segment tier in `dir`.
+    ///
+    /// Recovery rules: a readable manifest is authoritative — segment files
+    /// it does not list are orphans from a crashed fold (their rounds still
+    /// live in the un-retired WAL) and are deleted. A missing or corrupt
+    /// manifest falls back to adopting every parseable `*.avseg` in the
+    /// directory; overlap with surviving WALs is idempotent by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a manifest listing a missing or corrupt
+    /// segment file is an error (that data may be nowhere else).
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut on_disk: BTreeSet<String> = BTreeSet::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".avseg-tmp") {
+                // A fold died mid-write; the rename never happened.
+                let _ = std::fs::remove_file(entry.path());
+            } else if name.ends_with(".avseg") {
+                on_disk.insert(name);
+            }
+        }
+        let mut state = State {
+            next_seq: 1,
+            ..State::default()
+        };
+        match std::fs::read_to_string(dir.join("MANIFEST")) {
+            Ok(text) if parse_manifest(&text, &mut state, &dir).is_ok() => {
+                let listed: BTreeSet<String> = state
+                    .segments
+                    .iter()
+                    .map(|s| segment_file_name(s.seq, s.gen))
+                    .collect();
+                for name in on_disk.difference(&listed) {
+                    let _ = std::fs::remove_file(dir.join(name));
+                }
+            }
+            _ => {
+                // No (or unreadable) manifest: adopt what parses, drop what
+                // does not, and re-establish the manifest.
+                state.segments.clear();
+                state.forget.clear();
+                for name in &on_disk {
+                    let Some((seq, gen)) = parse_segment_name(name) else {
+                        continue;
+                    };
+                    match SegmentFile::open(dir.join(name)) {
+                        Ok(file) => {
+                            state.segments.push(LiveSegment {
+                                seq,
+                                gen,
+                                file: Arc::new(file),
+                            });
+                            state.next_seq = state.next_seq.max(seq + 1);
+                        }
+                        Err(_) => {
+                            let _ = std::fs::remove_file(dir.join(name));
+                        }
+                    }
+                }
+                state.segments.sort_by_key(|s| s.seq);
+                write_manifest(&dir, &state)?;
+            }
+        }
+        Ok(TieredStore {
+            dir,
+            state: Mutex::new(state),
+            unpinned: Condvar::new(),
+        })
+    }
+
+    /// The directory this tier lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pins `session` against folding; waits out an in-flight fold first.
+    pub fn pin(self: &Arc<Self>, session: u64) -> TieredPin {
+        let mut st = self.lock_state();
+        while st.busy.contains(&session) {
+            st = self.unpinned.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        *st.pinned.entry(session).or_insert(0) += 1;
+        TieredPin {
+            store: Arc::clone(self),
+            session,
+        }
+    }
+
+    /// Number of live segment files.
+    pub fn segment_count(&self) -> usize {
+        self.lock_state().segments.len()
+    }
+
+    /// Lifetime tier counters.
+    pub fn stats(&self) -> TierStats {
+        self.lock_state().stats
+    }
+
+    /// Makes all currently folded rows for `session` invisible (and
+    /// reclaimable at the next merge). Called when a session id is re-created
+    /// from scratch so ancient rows cannot bleed into the new life.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest write errors.
+    pub fn forget_session(&self, session: u64) -> io::Result<()> {
+        let mut st = self.lock_state();
+        let floor = st.next_seq;
+        let covers_any = st
+            .segments
+            .iter()
+            .any(|s| s.file.blocks_for(session).next().is_some());
+        if !covers_any {
+            return Ok(());
+        }
+        st.forget.insert(session, floor);
+        write_manifest(&self.dir, &st)
+    }
+
+    /// Visible `(seq, Arc<SegmentFile>)` pairs for `session`, ascending seq.
+    fn visible_segments(&self, session: u64) -> Vec<(u64, Arc<SegmentFile>)> {
+        let st = self.lock_state();
+        let floor = st.forget.get(&session).copied().unwrap_or(0);
+        st.segments
+            .iter()
+            .filter(|s| s.seq >= floor)
+            .map(|s| (s.seq, Arc::clone(&s.file)))
+            .collect()
+    }
+
+    /// What the segment tier holds for `session`; `Ok(None)` when nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates block read/decode errors.
+    pub fn session_summary(&self, session: u64) -> io::Result<Option<SessionSummary>> {
+        let segments = self.visible_segments(session);
+        let mut summary = SessionSummary::default();
+        let mut latest: BTreeMap<ModuleId, f64> = BTreeMap::new();
+        for (_seq, file) in &segments {
+            let entries: Vec<BlockEntry> = file.blocks_for(session).copied().collect();
+            for e in &entries {
+                let block = file.read_block(e)?;
+                summary.blocks += 1;
+                for row in &block.history {
+                    summary.folded_through = summary.folded_through.max(Some(row.round));
+                    match row.dir {
+                        Direction::Removed => {
+                            latest.remove(&ModuleId::new(row.module));
+                        }
+                        _ => {
+                            latest.insert(ModuleId::new(row.module), row.trust);
+                        }
+                    }
+                }
+                for v in &block.verdicts {
+                    summary.max_verdict_round = summary.max_verdict_round.max(Some(v.round));
+                }
+            }
+        }
+        if summary.blocks == 0 {
+            return Ok(None);
+        }
+        summary.latest = latest.into_iter().collect();
+        Ok(Some(summary))
+    }
+
+    /// Reconstructs the exact [`DenseHistory`] of `session` as of `round` —
+    /// segment rows first, then WAL batches whose `commit` stamp is within
+    /// range. `Ok(None)` when neither tier knows the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and decode errors.
+    pub fn history_at(&self, session: u64, round: u64) -> io::Result<Option<DenseHistory>> {
+        let segments = self.visible_segments(session);
+        let mut latest: BTreeMap<ModuleId, f64> = BTreeMap::new();
+        let mut any = false;
+        for (_seq, file) in &segments {
+            let entries: Vec<BlockEntry> = file
+                .blocks_for(session)
+                .filter(|e| e.first_round <= round)
+                .copied()
+                .collect();
+            for e in &entries {
+                let block = file.read_block(e)?;
+                any = true;
+                for row in block.history.iter().filter(|r| r.round <= round) {
+                    match row.dir {
+                        Direction::Removed => {
+                            latest.remove(&ModuleId::new(row.module));
+                        }
+                        _ => {
+                            latest.insert(ModuleId::new(row.module), row.trust);
+                        }
+                    }
+                }
+            }
+        }
+        // WAL overlay: committed batches stamped at or before `round`.
+        if let Some(scan) = scan_wal(&session_wal_path(&self.dir, session))? {
+            for batch in committed_batches(&scan.entries) {
+                if batch.round > round {
+                    break;
+                }
+                any = true;
+                for op in &batch.ops {
+                    match *op {
+                        Op::Set { module, value } => {
+                            latest.insert(ModuleId::new(module), value);
+                        }
+                        Op::Clear => latest.clear(),
+                    }
+                }
+            }
+        }
+        if !any {
+            return Ok(None);
+        }
+        Ok(Some(DenseHistory::with_records(latest)))
+    }
+
+    /// Verdict rows of `session` within `rounds`, merged across both tiers
+    /// and deduplicated by round (latest tier wins).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and decode errors.
+    pub fn verdicts_in(
+        &self,
+        session: u64,
+        rounds: std::ops::RangeInclusive<u64>,
+    ) -> io::Result<Vec<VerdictRecord>> {
+        let (lo, hi) = (*rounds.start(), *rounds.end());
+        let mut out: BTreeMap<u64, VerdictRecord> = BTreeMap::new();
+        for (_seq, file) in &self.visible_segments(session) {
+            let entries: Vec<BlockEntry> = file
+                .blocks_for(session)
+                .filter(|e| e.first_round <= hi && e.last_round >= lo)
+                .copied()
+                .collect();
+            for e in &entries {
+                for v in file.read_block(e)?.verdicts {
+                    if v.round >= lo && v.round <= hi {
+                        out.insert(v.round, v);
+                    }
+                }
+            }
+        }
+        if let Some(scan) = scan_wal(&session_wal_path(&self.dir, session))? {
+            for batch in committed_batches(&scan.entries) {
+                for v in batch.verdicts {
+                    if v.round >= lo && v.round <= hi {
+                        out.insert(v.round, v);
+                    }
+                }
+            }
+        }
+        Ok(out.into_values().collect())
+    }
+
+    /// Fleet-level scan: every `(session, round, module)` whose trust moved
+    /// *down* in `rounds` — the modules that were outvoted. Reads only
+    /// blocks overlapping the range, plus committed WAL tails.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and decode errors.
+    pub fn outvoted_in(
+        &self,
+        rounds: std::ops::RangeInclusive<u64>,
+    ) -> io::Result<Vec<OutvotedRow>> {
+        let (lo, hi) = (*rounds.start(), *rounds.end());
+        let mut hits: BTreeMap<(u64, u64, u32), f64> = BTreeMap::new();
+        let (segments, forget) = {
+            let st = self.lock_state();
+            (
+                st.segments
+                    .iter()
+                    .map(|s| (s.seq, Arc::clone(&s.file)))
+                    .collect::<Vec<_>>(),
+                st.forget.clone(),
+            )
+        };
+        for (seq, file) in &segments {
+            let entries: Vec<BlockEntry> = file
+                .entries()
+                .iter()
+                .filter(|e| e.first_round <= hi && e.last_round >= lo)
+                .filter(|e| forget.get(&e.session).copied().unwrap_or(0) <= *seq)
+                .copied()
+                .collect();
+            for e in &entries {
+                let block = file.read_block(e)?;
+                for row in &block.history {
+                    if row.dir == Direction::Down && row.round >= lo && row.round <= hi {
+                        hits.insert((block.session, row.round, row.module), row.trust);
+                    }
+                }
+            }
+        }
+        // Committed WAL tails: replay each session's batches from its
+        // segment base so trust direction is computable.
+        for session in list_session_wals(&self.dir)? {
+            let base = self
+                .session_summary(session)?
+                .map(|s| (s.latest, s.folded_through))
+                .unwrap_or_default();
+            let (latest, folded_through) = base;
+            let mut state: BTreeMap<u32, f64> =
+                latest.into_iter().map(|(m, v)| (m.index(), v)).collect();
+            let Some(scan) = scan_wal(&session_wal_path(&self.dir, session))? else {
+                continue;
+            };
+            for batch in committed_batches(&scan.entries) {
+                let fresh = folded_through.is_none_or(|f| batch.round > f);
+                for op in &batch.ops {
+                    match *op {
+                        Op::Set { module, value } => {
+                            let prior = state.insert(module, value);
+                            let down = prior.is_some_and(|p| value < p);
+                            if fresh && down && batch.round >= lo && batch.round <= hi {
+                                hits.insert((session, batch.round, module), value);
+                            }
+                        }
+                        Op::Clear => state.clear(),
+                    }
+                }
+            }
+        }
+        Ok(hits
+            .into_iter()
+            .map(|((session, round, module), trust)| OutvotedRow {
+                session,
+                round,
+                module,
+                trust,
+            })
+            .collect())
+    }
+
+    /// Folds every cold (unpinned) session WAL, then merges generations.
+    /// The background compactor's unit of work; also callable on demand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from any step (the protocol leaves every
+    /// intermediate state recoverable).
+    pub fn compact(&self) -> io::Result<CompactionReport> {
+        let mut report = CompactionReport::default();
+        for session in list_session_wals(&self.dir)? {
+            if let Some(fold) = self.fold_session_with(session, CrashPoint::None)? {
+                report.folded_sessions += fold.folded_sessions;
+                report.history_rows += fold.history_rows;
+                report.verdict_rows += fold.verdict_rows;
+                report.bytes_written += fold.bytes_written;
+                report.segments_written += fold.segments_written;
+                report.wals_retired += fold.wals_retired;
+            }
+        }
+        loop {
+            let merged = self.merge_generation()?;
+            if merged == 0 {
+                break;
+            }
+            report.merges += 1;
+        }
+        Ok(report)
+    }
+
+    /// Folds one session's WAL into a fresh generation-0 segment, with an
+    /// optional injected crash. `Ok(None)` when the session is pinned, busy,
+    /// or has nothing committed to fold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an injected crash surfaces as
+    /// [`io::ErrorKind::Interrupted`].
+    pub fn fold_session_with(
+        &self,
+        session: u64,
+        crash: CrashPoint,
+    ) -> io::Result<Option<CompactionReport>> {
+        let (seq, base_segments) = {
+            let mut st = self.lock_state();
+            if st.pinned.contains_key(&session) || st.busy.contains(&session) {
+                return Ok(None);
+            }
+            st.busy.insert(session);
+            let floor = st.forget.get(&session).copied().unwrap_or(0);
+            let segs: Vec<Arc<SegmentFile>> = st
+                .segments
+                .iter()
+                .filter(|s| s.seq >= floor)
+                .map(|s| Arc::clone(&s.file))
+                .collect();
+            // Reserve the sequence number now so concurrent folds can never
+            // collide on a file name; a fold that ends up writing nothing
+            // simply burns it.
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            (seq, segs)
+        };
+        let _busy = BusyGuard {
+            store: self,
+            session,
+        };
+
+        let wal_path = session_wal_path(&self.dir, session);
+        let Some(scan) = scan_wal(&wal_path)? else {
+            return Ok(None);
+        };
+        // Base state + floors from the visible segments.
+        let mut state: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut hist_floor: Option<u64> = None;
+        let mut verd_floor: Option<u64> = None;
+        for file in &base_segments {
+            let entries: Vec<BlockEntry> = file.blocks_for(session).copied().collect();
+            for e in &entries {
+                let block = file.read_block(e)?;
+                for row in &block.history {
+                    hist_floor = hist_floor.max(Some(row.round));
+                    match row.dir {
+                        Direction::Removed => {
+                            state.remove(&row.module);
+                        }
+                        _ => {
+                            state.insert(row.module, row.trust);
+                        }
+                    }
+                }
+                for v in &block.verdicts {
+                    verd_floor = verd_floor.max(Some(v.round));
+                }
+            }
+        }
+
+        let batches = committed_batches(&scan.entries);
+        let fully_committed = !scan.torn_tail && batches_cover_all_entries(&scan.entries);
+        let mut rows = SessionRows {
+            session,
+            ..Default::default()
+        };
+        for batch in &batches {
+            let fresh = hist_floor.is_none_or(|f| batch.round > f);
+            for op in &batch.ops {
+                match *op {
+                    Op::Set { module, value } => {
+                        let prior = state.insert(module, value);
+                        if fresh {
+                            let dir = match prior {
+                                None => Direction::New,
+                                Some(p) if value < p => Direction::Down,
+                                Some(_) => Direction::Up,
+                            };
+                            rows.history.push(HistoryRow {
+                                round: batch.round,
+                                module,
+                                trust: value,
+                                dir,
+                            });
+                        }
+                    }
+                    Op::Clear => {
+                        if fresh {
+                            for (&module, _) in state.iter() {
+                                rows.history.push(HistoryRow {
+                                    round: batch.round,
+                                    module,
+                                    trust: 0.0,
+                                    dir: Direction::Removed,
+                                });
+                            }
+                        }
+                        state.clear();
+                    }
+                }
+            }
+            for v in &batch.verdicts {
+                if verd_floor.is_none_or(|f| v.round > f) {
+                    rows.verdicts.push(*v);
+                }
+            }
+        }
+
+        let mut report = CompactionReport::default();
+        if rows.history.is_empty() && rows.verdicts.is_empty() {
+            // Everything already folded. Retire the WAL if it holds nothing
+            // beyond its last commit.
+            if fully_committed && !batches.is_empty() {
+                std::fs::remove_file(&wal_path)?;
+                report.wals_retired = 1;
+                let mut st = self.lock_state();
+                st.stats.wals_retired += 1;
+                return Ok(Some(report));
+            }
+            return Ok(None);
+        }
+
+        // Step 1: durable segment file.
+        let path = self.dir.join(segment_file_name(seq, 0));
+        let meta = write_segment(&path, &[rows])?;
+        if crash == CrashPoint::AfterSegmentWrite {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected crash after segment write",
+            ));
+        }
+
+        // Step 2: manifest commit (the publish point).
+        {
+            let mut st = self.lock_state();
+            st.next_seq = st.next_seq.max(seq + 1);
+            st.segments.push(LiveSegment {
+                seq,
+                gen: 0,
+                file: Arc::new(SegmentFile::open(&path)?),
+            });
+            st.segments.sort_by_key(|s| s.seq);
+            st.stats.compactions += 1;
+            st.stats.history_rows += meta.history_rows;
+            st.stats.verdict_rows += meta.verdict_rows;
+            st.stats.bytes_written += meta.bytes;
+            write_manifest(&self.dir, &st)?;
+        }
+        report.folded_sessions = 1;
+        report.history_rows = meta.history_rows;
+        report.verdict_rows = meta.verdict_rows;
+        report.bytes_written = meta.bytes;
+        report.segments_written = 1;
+        if crash == CrashPoint::AfterManifest {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected crash after manifest commit",
+            ));
+        }
+
+        // Step 3: retire the WAL — only when every entry is stamped and
+        // folded; an uncommitted tail keeps the WAL (the overlap with the
+        // new segment is idempotent).
+        if fully_committed {
+            std::fs::remove_file(&wal_path)?;
+            report.wals_retired = 1;
+            self.lock_state().stats.wals_retired += 1;
+        }
+        Ok(Some(report))
+    }
+
+    /// Merges [`MERGE_FANIN`] same-generation segments into one of the next
+    /// generation, physically dropping forgotten rows. Returns how many
+    /// source segments were merged (0 = nothing to do).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; sources are deleted only after the manifest
+    /// lists the replacement.
+    pub fn merge_generation(&self) -> io::Result<usize> {
+        let (seq, sources, forget) = {
+            let mut st = self.lock_state();
+            let mut by_gen: BTreeMap<u32, Vec<LiveSegment>> = BTreeMap::new();
+            for s in &st.segments {
+                by_gen.entry(s.gen).or_default().push(s.clone());
+            }
+            let Some((_, mut group)) = by_gen
+                .into_iter()
+                .find(|(_, group)| group.len() >= MERGE_FANIN)
+            else {
+                return Ok(0);
+            };
+            group.sort_by_key(|s| s.seq);
+            group.truncate(MERGE_FANIN);
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            (seq, group, st.forget.clone())
+        };
+        let gen = sources[0].gen + 1;
+        // Gather rows, later seq winning on (round, module)/(round) keys;
+        // forgotten rows are dropped here for good.
+        let mut hist: BTreeMap<(u64, u64, u32), HistoryRow> = BTreeMap::new();
+        let mut verd: BTreeMap<(u64, u64), VerdictRecord> = BTreeMap::new();
+        for src in &sources {
+            for e in src.file.entries().to_vec() {
+                if forget.get(&e.session).copied().unwrap_or(0) > src.seq {
+                    continue;
+                }
+                let block = src.file.read_block(&e)?;
+                for row in block.history {
+                    hist.insert((block.session, row.round, row.module), row);
+                }
+                for v in block.verdicts {
+                    verd.insert((block.session, v.round), v);
+                }
+            }
+        }
+        let mut sessions: BTreeMap<u64, SessionRows> = BTreeMap::new();
+        for ((session, ..), row) in hist {
+            sessions
+                .entry(session)
+                .or_insert_with(|| SessionRows {
+                    session,
+                    ..Default::default()
+                })
+                .history
+                .push(row);
+        }
+        for ((session, _), v) in verd {
+            sessions
+                .entry(session)
+                .or_insert_with(|| SessionRows {
+                    session,
+                    ..Default::default()
+                })
+                .verdicts
+                .push(v);
+        }
+        let rows: Vec<SessionRows> = sessions.into_values().collect();
+        let path = self.dir.join(segment_file_name(seq, gen));
+        let meta = write_segment(&path, &rows)?;
+        let old_paths: Vec<PathBuf> = sources
+            .iter()
+            .map(|s| self.dir.join(segment_file_name(s.seq, s.gen)))
+            .collect();
+        {
+            let mut st = self.lock_state();
+            let drop_seqs: BTreeSet<u64> = sources.iter().map(|s| s.seq).collect();
+            st.segments.retain(|s| !drop_seqs.contains(&s.seq));
+            st.segments.push(LiveSegment {
+                seq,
+                gen,
+                file: Arc::new(SegmentFile::open(&path)?),
+            });
+            st.segments.sort_by_key(|s| s.seq);
+            // A forget floor matters only while some live segment predates
+            // it.
+            let min_live = st.segments.iter().map(|s| s.seq).min().unwrap_or(u64::MAX);
+            st.forget.retain(|_, &mut floor| floor > min_live);
+            st.stats.merges += 1;
+            st.stats.bytes_written += meta.bytes;
+            write_manifest(&self.dir, &st)?;
+        }
+        for p in old_paths {
+            let _ = std::fs::remove_file(p);
+        }
+        Ok(sources.len())
+    }
+
+    /// JSON view of the tier for the `/segments` admin route.
+    pub fn segments_json(&self) -> String {
+        let st = self.lock_state();
+        let mut out = String::from("{\"segments\":[");
+        for (i, s) in st.segments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let sessions: BTreeSet<u64> = s.file.entries().iter().map(|e| e.session).collect();
+            let rows: u64 = s.file.entries().iter().map(|e| e.n_hist).sum();
+            let verdicts: u64 = s.file.entries().iter().map(|e| e.n_verd).sum();
+            out.push_str(&format!(
+                "{{\"seq\":{},\"gen\":{},\"bytes\":{},\"blocks\":{},\"sessions\":{},\"history_rows\":{},\"verdict_rows\":{}}}",
+                s.seq,
+                s.gen,
+                s.file.len_bytes(),
+                s.file.entries().len(),
+                sessions.len(),
+                rows,
+                verdicts,
+            ));
+        }
+        out.push_str(&format!(
+            "],\"stats\":{{\"compactions\":{},\"merges\":{},\"history_rows\":{},\"verdict_rows\":{},\"bytes_written\":{},\"wals_retired\":{}}},\"pinned_sessions\":{},\"forgotten_sessions\":{}}}",
+            st.stats.compactions,
+            st.stats.merges,
+            st.stats.history_rows,
+            st.stats.verdict_rows,
+            st.stats.bytes_written,
+            st.stats.wals_retired,
+            st.pinned.len(),
+            st.forget.len(),
+        ));
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    Set { module: u32, value: f64 },
+    Clear,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Batch {
+    /// The `commit` round stamping this batch.
+    round: u64,
+    ops: Vec<Op>,
+    verdicts: Vec<VerdictRecord>,
+}
+
+/// Groups WAL entries into round-stamped batches: everything between two
+/// `commit` markers belongs to the later one. Entries after the final
+/// `commit` are an in-flight checkpoint and are not returned.
+fn committed_batches(entries: &[WalEntry]) -> Vec<Batch> {
+    let mut batches = Vec::new();
+    let mut cur = Batch::default();
+    for e in entries {
+        match e {
+            WalEntry::Set { module, value } => cur.ops.push(Op::Set {
+                module: *module,
+                value: *value,
+            }),
+            WalEntry::Clear => cur.ops.push(Op::Clear),
+            WalEntry::Verdict {
+                round,
+                value,
+                voted,
+            } => cur.verdicts.push(VerdictRecord {
+                round: *round,
+                value: *value,
+                voted: *voted,
+            }),
+            WalEntry::Commit { round } => {
+                cur.round = *round;
+                batches.push(std::mem::take(&mut cur));
+            }
+        }
+    }
+    batches
+}
+
+/// Whether the WAL ends exactly at a `commit` (no in-flight tail).
+fn batches_cover_all_entries(entries: &[WalEntry]) -> bool {
+    matches!(entries.last(), Some(WalEntry::Commit { .. }))
+}
+
+fn list_session_wals(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(hex) = name
+            .strip_prefix("session-")
+            .and_then(|n| n.strip_suffix(".wal"))
+        {
+            if let Ok(session) = u64::from_str_radix(hex, 16) {
+                out.push(session);
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+fn write_manifest(dir: &Path, state: &State) -> io::Result<()> {
+    use std::io::Write;
+    let mut text = String::from("avoc-manifest v1\n");
+    text.push_str(&format!("seq={}\n", state.next_seq));
+    for (&session, &floor) in &state.forget {
+        text.push_str(&format!("forget {session:016x} {floor}\n"));
+    }
+    for s in &state.segments {
+        text.push_str(&format!(
+            "segment {} {} {}\n",
+            s.seq,
+            s.gen,
+            segment_file_name(s.seq, s.gen)
+        ));
+    }
+    let tmp = dir.join("MANIFEST.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join("MANIFEST"))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+fn parse_manifest(text: &str, state: &mut State, dir: &Path) -> io::Result<()> {
+    let mut lines = text.lines();
+    if lines.next() != Some("avoc-manifest v1") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad manifest header",
+        ));
+    }
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("manifest: {what}"));
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(seq) = line.strip_prefix("seq=") {
+            state.next_seq = seq.parse().map_err(|_| bad("seq"))?;
+        } else if let Some(rest) = line.strip_prefix("forget ") {
+            let (session, floor) = rest.split_once(' ').ok_or_else(|| bad("forget"))?;
+            let session = u64::from_str_radix(session, 16).map_err(|_| bad("forget session"))?;
+            let floor = floor.parse().map_err(|_| bad("forget floor"))?;
+            state.forget.insert(session, floor);
+        } else if let Some(rest) = line.strip_prefix("segment ") {
+            let mut parts = rest.split_whitespace();
+            let seq: u64 = parts
+                .next()
+                .ok_or_else(|| bad("segment seq"))?
+                .parse()
+                .map_err(|_| bad("segment seq"))?;
+            let gen: u32 = parts
+                .next()
+                .ok_or_else(|| bad("segment gen"))?
+                .parse()
+                .map_err(|_| bad("segment gen"))?;
+            let name = parts.next().ok_or_else(|| bad("segment name"))?;
+            let file = SegmentFile::open(dir.join(name))?;
+            state.segments.push(LiveSegment {
+                seq,
+                gen,
+                file: Arc::new(file),
+            });
+        }
+        // Unknown lines are tolerated for forward compatibility.
+    }
+    state.segments.sort_by_key(|s| s.seq);
+    if let Some(max) = state.segments.iter().map(|s| s.seq).max() {
+        state.next_seq = state.next_seq.max(max + 1);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::{Durability, FileHistory};
+    use avoc_core::history::HistoryStore;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("avoc-tiered-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Writes a session WAL of `rounds` committed rounds, each touching
+    /// `modules` modules, returning the final in-memory state.
+    fn drive_session(dir: &Path, session: u64, rounds: u64, modules: u32) -> Vec<(ModuleId, f64)> {
+        let mut wal =
+            FileHistory::open_with(session_wal_path(dir, session), Durability::Flush).unwrap();
+        for r in 0..rounds {
+            let mut batch = Vec::new();
+            for m in 0..modules {
+                // Deterministic drift, different per module, down for the
+                // last module so the outvoted scan has hits.
+                let v = if m + 1 == modules {
+                    1.0 - (r as f64 + 1.0) * 0.01
+                } else {
+                    (0.5 + (r as f64 * 0.07 + m as f64).sin() * 0.4).clamp(0.0, 1.0)
+                };
+                batch.push((ModuleId::new(m), v));
+            }
+            wal.set_batch(&batch);
+            wal.append_markers(
+                &[VerdictRecord {
+                    round: r,
+                    value: Some(18.0 + r as f64 * 0.125),
+                    voted: true,
+                }],
+                Some(r),
+            );
+        }
+        wal.snapshot()
+    }
+
+    #[test]
+    fn fold_then_history_at_matches_wal_replay() {
+        let dir = tmp_dir("fold-roundtrip");
+        let expect = drive_session(&dir, 7, 40, 4);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        let report = store.compact().unwrap();
+        assert_eq!(report.folded_sessions, 1);
+        assert_eq!(report.wals_retired, 1);
+        assert!(!session_wal_path(&dir, 7).exists());
+        // Latest state from segments alone is bit-identical to what the WAL
+        // held.
+        let summary = store.session_summary(7).unwrap().unwrap();
+        assert_eq!(summary.folded_through, Some(39));
+        assert_eq!(summary.latest.len(), expect.len());
+        for (a, b) in summary.latest.iter().zip(&expect) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // And history_at the final round agrees.
+        let h = store.history_at(7, 39).unwrap().unwrap();
+        let snap = h.snapshot();
+        for (a, b) in snap.iter().zip(&expect) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // Verdicts are all present.
+        let v = store.verdicts_in(7, 0..=39).unwrap();
+        assert_eq!(v.len(), 40);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_at_sees_intermediate_rounds() {
+        let dir = tmp_dir("time-travel");
+        drive_session(&dir, 1, 20, 3);
+        // Capture expected state at round 5 by replaying the WAL prefix.
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        let before = store.history_at(1, 5).unwrap().unwrap().snapshot();
+        store.compact().unwrap();
+        let after = store.history_at(1, 5).unwrap().unwrap().snapshot();
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_after_segment_write_recovers_without_duplication() {
+        let dir = tmp_dir("crash-seg");
+        drive_session(&dir, 3, 12, 3);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        let err = store
+            .fold_session_with(3, CrashPoint::AfterSegmentWrite)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        // WAL intact, orphan segment on disk, manifest unaware.
+        assert!(session_wal_path(&dir, 3).exists());
+        drop(store);
+        // "Restart": the orphan is swept, then a clean fold succeeds.
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        assert_eq!(store.segment_count(), 0);
+        let report = store.compact().unwrap();
+        assert_eq!(report.folded_sessions, 1);
+        let v = store.verdicts_in(3, 0..=11).unwrap();
+        assert_eq!(v.len(), 12, "no round lost, none duplicated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_after_manifest_keeps_overlap_idempotent() {
+        let dir = tmp_dir("crash-manifest");
+        let expect = drive_session(&dir, 9, 15, 3);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        let err = store
+            .fold_session_with(9, CrashPoint::AfterManifest)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        // Both tiers overlap now.
+        assert!(session_wal_path(&dir, 9).exists());
+        drop(store);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        assert_eq!(store.segment_count(), 1);
+        // Re-compaction retires the WAL without writing a second segment.
+        let report = store.compact().unwrap();
+        assert_eq!(report.segments_written, 0);
+        assert_eq!(report.wals_retired, 1);
+        let summary = store.session_summary(9).unwrap().unwrap();
+        for (a, b) in summary.latest.iter().zip(&expect) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        let v = store.verdicts_in(9, 0..=14).unwrap();
+        assert_eq!(v.len(), 15);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_collapses_a_generation() {
+        let dir = tmp_dir("merge");
+        for s in 0..MERGE_FANIN as u64 {
+            drive_session(&dir, s, 10, 3);
+        }
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        // Fold each session separately → MERGE_FANIN gen-0 segments.
+        for s in 0..MERGE_FANIN as u64 {
+            store.fold_session_with(s, CrashPoint::None).unwrap();
+        }
+        assert_eq!(store.segment_count(), MERGE_FANIN);
+        assert_eq!(store.merge_generation().unwrap(), MERGE_FANIN);
+        assert_eq!(store.segment_count(), 1);
+        // Data survives the merge for every session.
+        for s in 0..MERGE_FANIN as u64 {
+            let summary = store.session_summary(s).unwrap().unwrap();
+            assert_eq!(summary.folded_through, Some(9));
+            assert_eq!(store.verdicts_in(s, 0..=9).unwrap().len(), 10);
+        }
+        // Reopen parses the merged manifest.
+        drop(store);
+        let store = TieredStore::open(&dir).unwrap();
+        assert_eq!(store.segment_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forget_hides_previous_life_and_merge_drops_it() {
+        let dir = tmp_dir("forget");
+        drive_session(&dir, 5, 10, 3);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        store.compact().unwrap();
+        assert!(store.session_summary(5).unwrap().is_some());
+        store.forget_session(5).unwrap();
+        assert!(store.session_summary(5).unwrap().is_none());
+        assert!(store.history_at(5, 9).unwrap().is_none());
+        // Survives reopen via the manifest.
+        drop(store);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        assert!(store.session_summary(5).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_sessions_are_skipped() {
+        let dir = tmp_dir("pin");
+        drive_session(&dir, 2, 8, 3);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        let pin = store.pin(2);
+        assert!(store
+            .fold_session_with(2, CrashPoint::None)
+            .unwrap()
+            .is_none());
+        drop(pin);
+        assert!(store
+            .fold_session_with(2, CrashPoint::None)
+            .unwrap()
+            .is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_tail_keeps_the_wal() {
+        let dir = tmp_dir("tail");
+        drive_session(&dir, 4, 6, 3);
+        // Append an unstamped set — an in-flight checkpoint.
+        {
+            let mut wal =
+                FileHistory::open_with(session_wal_path(&dir, 4), Durability::Flush).unwrap();
+            wal.set(ModuleId::new(0), 0.123);
+        }
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        let report = store.compact().unwrap();
+        assert_eq!(report.folded_sessions, 1);
+        assert_eq!(report.wals_retired, 0);
+        assert!(session_wal_path(&dir, 4).exists());
+        // The folded tier stops at the committed rounds.
+        let summary = store.session_summary(4).unwrap().unwrap();
+        assert_eq!(summary.folded_through, Some(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outvoted_scan_spans_tiers() {
+        let dir = tmp_dir("outvoted");
+        // Session 11 folded; session 12 stays WAL-only.
+        drive_session(&dir, 11, 10, 3);
+        drive_session(&dir, 12, 10, 3);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        store.fold_session_with(11, CrashPoint::None).unwrap();
+        let rows = store.outvoted_in(2..=4).unwrap();
+        // Module 2 of each session trends monotonically down every round.
+        for s in [11u64, 12] {
+            for r in 2..=4u64 {
+                assert!(
+                    rows.iter()
+                        .any(|o| o.session == s && o.round == r && o.module == 2),
+                    "missing outvoted hit session {s} round {r}"
+                );
+            }
+        }
+        // No hits outside the range.
+        assert!(rows.iter().all(|o| (2..=4).contains(&o.round)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,127 @@
+//! Time travel over the tiered history store: a persistent daemon fuses a
+//! session with one intermittently faulty sensor, stops hard (the kill -9
+//! moment — its WAL stays behind exactly as checkpointed), and then the
+//! store is opened *offline*: the cold WAL folds into an immutable columnar
+//! segment, and the segment answers questions about the past —
+//!
+//! * `history_at(session, round)` — the exact per-module trust state as of
+//!   any round, bit-identical to what the live engine held back then;
+//! * `verdicts_in` — the fused result stream the client received;
+//! * `outvoted_in` — the fleet-level scan: which modules had their trust
+//!   pushed down by the vote, straight off the direction column.
+//!
+//! ```text
+//! cargo run --release --example time_travel [rounds]
+//! ```
+
+use avoc::core::history::HistoryStore;
+use avoc::net::{Message, SpecSource};
+use avoc::prelude::*;
+use std::sync::Arc;
+
+const SESSION: u64 = 0xA7;
+const MODULES: u32 = 5;
+/// The flaky sensor: agrees on even rounds, reads far off on odd ones —
+/// so its trust oscillates and the vote keeps pushing it back down.
+const DEVIANT: u32 = MODULES - 1;
+
+fn reading(module: u32, round: u64) -> f64 {
+    if module == DEVIANT && round % 2 == 1 {
+        30.0 + (round % 3) as f64
+    } else {
+        18.0 + f64::from(module) * 0.1 + (round % 5) as f64 * 0.05
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let rounds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(48);
+    let dir = std::env::temp_dir().join(format!("avoc-time-travel-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A persistent daemon: sessions checkpoint to per-session WALs.
+    let mut registry = SpecRegistry::new();
+    registry.insert("avoc", VdxSpec::avoc());
+    let service = Arc::new(VoterService::start(
+        ServeConfig {
+            persistence: Persistence {
+                state_dir: Some(dir.clone()),
+                ..Persistence::default()
+            },
+            ..ServeConfig::default()
+        },
+        Arc::new(registry),
+    ));
+    let server = TcpServer::start("127.0.0.1:0", service)?;
+    let mut client = ResilientClient::new(
+        server.local_addr(),
+        ClientConfig::default(),
+        RetryPolicy::default(),
+    );
+    client.open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), 0xC0FFEE)?;
+    for r in 0..rounds {
+        for m in 0..MODULES {
+            client.send_reading(SESSION, ModuleId::new(m), r, reading(m, r))?;
+        }
+        match client.recv()? {
+            Message::SessionResult { .. } => {}
+            other => eprintln!("unexpected frame: {other:?}"),
+        }
+    }
+    server.abort(); // hard stop: the WAL stays exactly as checkpointed
+    println!(
+        "daemon gone; {rounds} rounds of session {SESSION:#x} live on in {}",
+        dir.display()
+    );
+
+    // Offline now. Fold the cold WAL into a columnar segment...
+    let store = TieredStore::open(&dir)?;
+    let report = store.compact()?;
+    println!(
+        "\ncompacted: {} session(s), {} history + {} verdict rows -> {} segment(s), \
+         {} bytes, {} WAL(s) retired",
+        report.folded_sessions,
+        report.history_rows,
+        report.verdict_rows,
+        report.segments_written,
+        report.bytes_written,
+        report.wals_retired,
+    );
+
+    // ...and replay trust as of any past round. Watch the deviant's record
+    // dip every odd round (outvoted) and recover on the even ones, while
+    // the honest sensors sit at full trust throughout.
+    println!("\nround  per-module trust (module {DEVIANT} is the flaky one)");
+    for r in [0, 1, rounds / 2, rounds / 2 + 1, rounds - 2, rounds - 1] {
+        let history = store.history_at(SESSION, r)?.expect("round is on record");
+        let trust: Vec<String> = history
+            .snapshot()
+            .iter()
+            .map(|(m, v)| format!("{}:{v:.2}", m.index()))
+            .collect();
+        println!("{r:>5}  {}", trust.join("  "));
+    }
+
+    // The fleet-level question: who was outvoted, and how often?
+    let outvoted = store.outvoted_in(0..=rounds - 1)?;
+    println!("\ntimes outvoted (trust pushed down) in rounds 0..{rounds}:");
+    for m in 0..MODULES {
+        let n = outvoted.iter().filter(|row| row.module == m).count();
+        println!("  module {m}: {n:>3}  {}", "#".repeat(n));
+    }
+
+    // And the verdict column still carries the stream the client saw.
+    let verdicts = store.verdicts_in(SESSION, rounds.saturating_sub(3)..=rounds - 1)?;
+    println!("\nlast fused verdicts, replayed from the segment:");
+    for v in &verdicts {
+        match v.value {
+            Some(value) if v.voted => println!("  round {:>3}: {value:.3}", v.round),
+            _ => println!("  round {:>3}: abstained", v.round),
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

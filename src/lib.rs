@@ -72,6 +72,7 @@ pub mod prelude {
         SpecRegistry, TcpServer, VoterService,
     };
     pub use avoc_sim::{BleScenario, FaultInjector, FaultKind, LightScenario, RecordedTrace};
+    pub use avoc_store::{CompactionReport, TieredStore};
     pub use avoc_vdx::{build_engine, build_voter, VdxSpec};
 }
 

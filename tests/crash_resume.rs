@@ -225,6 +225,84 @@ fn eager_recovery_rebuilds_sessions_at_boot() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Hard kill *during compaction*, at both commit-protocol crash points: a
+/// fold that dies after writing its segment (but before the manifest) and
+/// one that dies after the manifest (but before retiring the WAL) must both
+/// leave a state from which the restarted daemon resumes a stream
+/// bit-identical to an uninterrupted run — no round lost to the orphan
+/// segment, none duplicated by the WAL/segment overlap.
+#[test]
+fn kill_mid_compaction_resumes_bit_identical() {
+    use avoc::store::{CrashPoint, TieredStore};
+
+    let baseline_server = start_daemon(None);
+    let mut baseline = client_for(&baseline_server);
+    baseline
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    let expected = run_rounds(&mut baseline, 0..12);
+    baseline.close_session(SESSION).expect("close");
+    baseline_server.shutdown();
+
+    let dir = state_dir("midcompact");
+    let server_a = start_daemon(Some(&dir));
+    let mut client = client_for(&server_a);
+    client
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    let mut got = run_rounds(&mut client, 0..5);
+    server_a.abort();
+
+    // Compaction crashes after the segment file lands but before the
+    // manifest commits — the segment is an orphan the next open must sweep.
+    {
+        let tier = TieredStore::open(&dir).expect("open tier");
+        let err = tier
+            .fold_session_with(SESSION, CrashPoint::AfterSegmentWrite)
+            .expect_err("the injected crash point must fire");
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+    }
+    let server_b = start_daemon(Some(&dir));
+    client.redirect(server_b.local_addr());
+    got.extend(run_rounds(&mut client, 5..9));
+    server_b.abort();
+
+    // Second crash flavour: the manifest commits but the WAL survives, so
+    // the two tiers overlap and the resume must deduplicate by round.
+    {
+        let tier = TieredStore::open(&dir).expect("open tier");
+        let err = tier
+            .fold_session_with(SESSION, CrashPoint::AfterManifest)
+            .expect_err("the injected crash point must fire");
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+    }
+    let server_c = start_daemon(Some(&dir));
+    // Let the recovered tier finish the interrupted job before resuming.
+    let report = server_c.service().compact_now().expect("tier is on");
+    assert_eq!(
+        report.segments_written, 0,
+        "the committed segment already holds every folded round"
+    );
+    assert_eq!(report.wals_retired, 1, "re-compaction just retires the WAL");
+    client.redirect(server_c.local_addr());
+    got.extend(run_rounds(&mut client, 9..12));
+
+    assert_eq!(
+        got, expected,
+        "streams across two mid-compaction crashes must be bit-identical"
+    );
+    let counters = server_c.service().counters();
+    assert_eq!(counters.recoveries, 1);
+    assert!(
+        counters.segment_load_ms > 0.0,
+        "the final resume is served from segments"
+    );
+
+    client.close_session(SESSION).expect("close");
+    server_c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A corrupt checkpoint is not an outage: resume falls back to a fresh
 /// session (the paper's AVOC bootstrap), reported as `warm: false`, with no
 /// error frames and no recovery counted.
