@@ -1,7 +1,7 @@
 //! The wire-path benchmark behind `BENCH_serve.json`: drives the voter
-//! daemon over loopback TCP with 1, 4 and 16 concurrent sessions and
-//! measures the three numbers the zero-allocation wire path is accountable
-//! for:
+//! daemon over loopback TCP with 1 to 1 024 concurrent sessions and
+//! measures the numbers the zero-allocation wire path and the readiness
+//! reactor are accountable for:
 //!
 //! * **readings/sec** — end-to-end throughput, feed to verdict;
 //! * **allocations per reading on the client feed path** — through a
@@ -10,7 +10,12 @@
 //!   Must be zero in steady state; the binary exits non-zero otherwise;
 //! * **syscalls per 1 000 readings** — client `write(2)` calls plus server
 //!   writer flushes, against the analytic per-frame baseline (one write per
-//!   reading frame, one per result frame) the coalescing replaced.
+//!   reading frame, one per result frame) the coalescing replaced;
+//! * **data-plane threads and peak FDs** — sampled from `/proc/self`
+//!   mid-replay. The daemon's thread census must be identical across every
+//!   row (the reactor owns all sockets from one thread; connections only
+//!   cost FDs), and 256 sessions must not fuse slower than 16 — the binary
+//!   exits non-zero if either scaling property regresses.
 //!
 //! The daemon runs with its full observability surface on: the admin HTTP
 //! endpoint is bound and pipeline tracing samples one round in 64, so the
@@ -189,6 +194,13 @@ struct RunNumbers {
     client_writes: u64,
     client_frames: u64,
     client_bytes: u64,
+    /// Daemon threads (`avoc-`-named) seen mid-replay — the number that
+    /// must not move with the session count.
+    data_plane_threads: u64,
+    /// Open FDs of the whole process mid-replay, with every client
+    /// connected: roughly two sockets per session (client + accepted end)
+    /// over the baseline. The column that *does* scale with sessions.
+    peak_fds: u64,
     snapshot: CountersSnapshot,
     /// Tenants seen on the end-of-run scrape (one
     /// `avoc_session_fuse_latency_ns` series each).
@@ -198,6 +210,28 @@ struct RunNumbers {
     /// The global `avoc_fuse_latency_ns` histogram exactly as the live
     /// scrape rendered it (the schema shared with `BENCH_fusion.json`).
     fuse_latency_json: String,
+}
+
+/// Daemon threads alive right now, recognised by the `avoc-` name prefix
+/// every worker this workspace spawns carries (shards, reactor, admin,
+/// compactor). The bench's own client threads are unnamed and don't match.
+fn data_plane_threads() -> u64 {
+    std::fs::read_dir("/proc/self/task")
+        .expect("/proc/self/task readable")
+        .filter(|entry| {
+            let Ok(entry) = entry else { return false };
+            std::fs::read_to_string(entry.path().join("comm"))
+                .map(|comm| comm.starts_with("avoc-"))
+                .unwrap_or(false)
+        })
+        .count() as u64
+}
+
+/// Open FDs of this process right now.
+fn open_fds() -> u64 {
+    std::fs::read_dir("/proc/self/fd")
+        .expect("/proc/self/fd readable")
+        .count() as u64
 }
 
 /// What the live `/metrics?format=json` scrape reported about fuse latency.
@@ -236,6 +270,13 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
             idle_ticks: u64::MAX,
             admin_addr: Some("127.0.0.1:0".into()),
             trace_sample: 64,
+            // The wide rows run up to 1 024 client *threads* against however
+            // few cores the host has; a client can legitimately go seconds
+            // without being scheduled to read its socket. The default 5 s
+            // wedge deadline is tuned for interactive tenants, not for an
+            // oversubscribed load harness — raise it so the reactor doesn't
+            // cut off clients the OS scheduler starved.
+            write_deadline: std::time::Duration::from_secs(60),
             ..ServeConfig::default()
         },
         Arc::new(registry),
@@ -245,13 +286,17 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
     let admin = server.admin_addr().expect("admin endpoint is configured");
 
     let start = Barrier::new(sessions as usize + 1);
-    let (clients, elapsed) = std::thread::scope(|scope| {
+    let (clients, elapsed, data_plane_threads, peak_fds) = std::thread::scope(|scope| {
         let start = &start;
         let handles: Vec<_> = (0..sessions)
             .map(|id| scope.spawn(move || client_thread(addr, id, chunks, start)))
             .collect();
         start.wait();
         let t = Instant::now();
+        // Mid-replay resource census: every client connected before the
+        // barrier, so this snapshot sees the daemon at full fan-in.
+        let data_plane_threads = data_plane_threads();
+        let peak_fds = open_fds();
         // Live mid-replay scrape: the endpoint must answer while every
         // session is under load, and the fuse counter must already move.
         let (status, _) = avoc_obs::http::get(&admin.to_string(), "/healthz").expect("healthz");
@@ -267,7 +312,7 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
             .into_iter()
             .map(|h| h.join().expect("client thread"))
             .collect();
-        (clients, t.elapsed())
+        (clients, t.elapsed(), data_plane_threads, peak_fds)
     });
     // All verdicts are in, so every tenant's histogram holds its final
     // count; scrape before shutdown while the endpoint is still live.
@@ -281,6 +326,8 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
         client_writes: clients.iter().map(|c| c.writes).sum(),
         client_frames: clients.iter().map(|c| c.frames_sent).sum(),
         client_bytes: clients.iter().map(|c| c.bytes_sent).sum(),
+        data_plane_threads,
+        peak_fds,
         snapshot,
         scrape_sessions,
         scrape_fuse_count,
@@ -313,12 +360,23 @@ fn main() {
         }
         i += 1;
     }
-    let chunks: u64 = if quick { 12 } else { 64 };
+    let base_chunks: u64 = if quick { 12 } else { 64 };
     let baseline = baseline_syscalls_per_1k();
 
     let mut runs = Vec::new();
     let mut regressed = false;
-    for sessions in [1u64, 4, 16] {
+    // (sessions, measured readings/s) — for the cross-row scaling gates.
+    let mut rps_by_sessions: Vec<(u64, f64)> = Vec::new();
+    let mut threads_by_sessions: Vec<(u64, u64)> = Vec::new();
+    for sessions in [1u64, 4, 16, 64, 256, 1024] {
+        // Wide rows shrink per-session depth so total work stays bounded:
+        // above 16 sessions the product `sessions * chunks` is held near
+        // the 16-session row's (floored at two measured chunks each).
+        let chunks = if sessions <= 16 {
+            base_chunks
+        } else {
+            (base_chunks * 16 / sessions).max(2)
+        };
         eprintln!(
             "driving {sessions} session(s) x {} rounds ...",
             chunks * CHUNK_ROUNDS
@@ -331,8 +389,13 @@ fn main() {
         let coalescing = baseline / syscalls_per_1k;
         eprintln!(
             "  {rps:.0} readings/s, {allocs_per_reading} alloc/reading on the feed path, \
-             {syscalls_per_1k:.1} syscalls/1k readings ({coalescing:.1}x under baseline)"
+             {syscalls_per_1k:.1} syscalls/1k readings ({coalescing:.1}x under baseline), \
+             {threads} data-plane threads, {fds} peak fds",
+            threads = run.data_plane_threads,
+            fds = run.peak_fds,
         );
+        rps_by_sessions.push((sessions, rps));
+        threads_by_sessions.push((sessions, run.data_plane_threads));
         if allocs_per_reading > 0.0 {
             eprintln!("REGRESSION: client feed path allocated in steady state");
             regressed = true;
@@ -354,6 +417,7 @@ fn main() {
              \"server_result_batches\": {rb},\n      \"server_bytes_sent\": {sb},\n      \
              \"results_dropped\": {rd},\n      \"syscalls_per_1k_readings\": {spk:.1},\n      \
              \"coalescing_vs_baseline\": {coal:.1},\n      \
+             \"data_plane_threads\": {dpt},\n      \"peak_fds\": {pfd},\n      \
              \"scrape_sessions\": {ss},\n      \"scrape_fuse_count\": {sfc},\n      \
              \"fuse_latency_ns\": {flj}\n    }}",
             readings = run.readings,
@@ -369,19 +433,52 @@ fn main() {
             rd = run.snapshot.results_dropped,
             spk = syscalls_per_1k,
             coal = coalescing,
+            dpt = run.data_plane_threads,
+            pfd = run.peak_fds,
             ss = run.scrape_sessions,
             sfc = run.scrape_fuse_count,
             flj = run.fuse_latency_json,
         ));
     }
 
+    // Scaling gates, machine-independent by construction. Under the old
+    // thread-per-connection front-end 256 tenants meant 512 daemon threads
+    // thrashing the scheduler; the reactor must hold 256-session throughput
+    // at or above the 16-session row, and its thread census must not move
+    // between any two rows.
+    let rps_at = |n: u64| {
+        rps_by_sessions
+            .iter()
+            .find(|(s, _)| *s == n)
+            .map(|(_, r)| *r)
+            .expect("row was measured")
+    };
+    // Both rows sit at the same saturation point, so a strict comparison
+    // would flap on measurement noise — run-to-run spread between rows on
+    // an oversubscribed CI core is ±15%. A thread-per-connection collapse
+    // (512 threads thrashing one scheduler) loses integer factors, which
+    // a 25% margin still catches while staying quiet on noise.
+    if rps_at(256) < rps_at(16) * 0.75 {
+        eprintln!(
+            "REGRESSION: 256 sessions fused {:.0} readings/s, more than 25% below the \
+             16-session {:.0} — throughput must not degrade with fan-in",
+            rps_at(256),
+            rps_at(16)
+        );
+        regressed = true;
+    }
+    let census: Vec<u64> = threads_by_sessions.iter().map(|&(_, t)| t).collect();
+    if census.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("REGRESSION: data-plane thread count moved with the session count: {census:?}");
+        regressed = true;
+    }
+
     let json = format!(
-        "{{\n  \"config\": {{\"rounds_per_session\": {rounds}, \"modules\": {MODULES}, \
+        "{{\n  \"config\": {{\"base_chunks\": {base_chunks}, \"modules\": {MODULES}, \
          \"chunk_rounds\": {CHUNK_ROUNDS}, \"quick\": {quick}}},\n  \
          \"baseline\": {{\n    \"syscalls_per_1k_readings\": {baseline:.1},\n    \
          \"note\": \"analytic per-frame wire path: one write(2) per reading frame plus one \
          per result frame at {MODULES} modules/round\"\n  }},\n  \"runs\": [\n{runs}\n  ]\n}}\n",
-        rounds = chunks * CHUNK_ROUNDS,
         runs = runs.join(",\n"),
     );
     std::fs::write(&out, &json).expect("write BENCH_serve.json");

@@ -54,6 +54,18 @@ pub struct CorkMetrics {
 }
 
 impl CorkMetrics {
+    /// Builds the handle set from existing counter cells — for callers (the
+    /// serve daemon) that already own registered counters under their own
+    /// names and want writers to feed those cells directly.
+    pub fn from_parts(frames: Counter, flushes: Counter, writes: Counter, bytes: Counter) -> Self {
+        CorkMetrics {
+            frames,
+            flushes,
+            writes,
+            bytes,
+        }
+    }
+
     /// Registers (or finds) the four writer counters under the standard
     /// `avoc_net_*` names with `labels` (idempotent, so every connection of
     /// one daemon shares the same cells).
@@ -206,6 +218,62 @@ impl<W: Write> CorkedWriter<W> {
         }
         Ok(())
     }
+
+    /// [`CorkedWriter::flush`] for non-blocking sockets: drains as much as
+    /// the socket accepts *right now* and reports [`FlushOutcome::Blocked`]
+    /// instead of an error when the kernel pushes back (`EWOULDBLOCK`). The
+    /// unwritten suffix stays buffered for the next readiness event, exactly
+    /// like a failed blocking flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real write errors (peer reset, `Ok(0)` as `WriteZero`);
+    /// `WouldBlock` is *not* an error in this mode.
+    pub fn flush_nonblocking(&mut self) -> io::Result<FlushOutcome> {
+        if self.buf.is_empty() {
+            return Ok(FlushOutcome::Drained);
+        }
+        while !self.buf.is_empty() {
+            match self.inner.write(&self.buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.stats.writes += 1;
+                    self.stats.bytes += n as u64;
+                    if let Some(m) = &self.metrics {
+                        m.writes.inc();
+                        m.bytes.add(n as u64);
+                    }
+                    self.buf.advance(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(FlushOutcome::Blocked);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.stats.flushes += 1;
+        if let Some(m) = &self.metrics {
+            m.flushes.inc();
+        }
+        Ok(FlushOutcome::Drained)
+    }
+}
+
+/// What [`CorkedWriter::flush_nonblocking`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Every pending byte reached the socket.
+    Drained,
+    /// The socket stopped accepting bytes; the suffix stays buffered and
+    /// the caller should re-arm write interest.
+    Blocked,
 }
 
 #[cfg(test)]
@@ -368,6 +436,35 @@ mod tests {
         w.flush().unwrap();
         assert_eq!(w.get_ref().out, expected);
         assert_eq!(w.stats().flushes, 1, "only the completed flush counts");
+    }
+
+    #[test]
+    fn nonblocking_flush_parks_on_wouldblock_and_resumes() {
+        let mut w = CorkedWriter::new(Choppy {
+            out: Vec::new(),
+            cap: 5,
+            calls: 0,
+            fail_on: vec![2],
+        });
+        let mut expected = Vec::new();
+        for msg in sample_frames() {
+            w.push(&msg);
+            expected.extend_from_slice(&msg.encode());
+        }
+        // Third write reports WouldBlock: not an error in this mode, the
+        // suffix stays corked for the next readiness event.
+        assert_eq!(w.flush_nonblocking().unwrap(), FlushOutcome::Blocked);
+        assert!(w.has_pending());
+        assert_eq!(w.get_ref().out, expected[..10].to_vec());
+        assert_eq!(w.stats().flushes, 0, "a parked flush is not complete");
+        // Readiness: the retry resumes at byte 10 and drains.
+        assert_eq!(w.flush_nonblocking().unwrap(), FlushOutcome::Drained);
+        assert_eq!(w.get_ref().out, expected);
+        assert_eq!(w.stats().flushes, 1);
+        // Empty buffer: drained without a syscall.
+        let calls = w.get_ref().calls;
+        assert_eq!(w.flush_nonblocking().unwrap(), FlushOutcome::Drained);
+        assert_eq!(w.get_ref().calls, calls);
     }
 
     #[test]

@@ -42,14 +42,19 @@ pub mod cork;
 pub mod edge;
 pub mod hub;
 pub mod message;
+pub mod reactor;
 pub mod sink;
 pub mod tcp;
 
-pub use cork::{CorkedWriter, WriterStats};
+pub use cork::{CorkMetrics, CorkedWriter, FlushOutcome, WriterStats};
 pub use edge::EdgeVoter;
 pub use hub::{Liveness, SensorHub};
 pub use message::{
     BatchReading, BatchResult, Message, SpecSource, MAX_BATCH_READINGS, MAX_BATCH_RESULTS,
+};
+pub use reactor::{
+    ConnWaker, DecodeStep, FrameVerdict, Handler, ReactorConfig, ReactorHandle, ReactorMetrics,
+    StreamDecoder,
 };
 pub use sink::SinkNode;
 pub use tcp::{SensorClient, TcpHub};

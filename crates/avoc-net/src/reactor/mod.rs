@@ -1,0 +1,944 @@
+//! The readiness-based I/O core: a hand-rolled epoll reactor.
+//!
+//! One reactor thread owns every data-plane socket — the listener, a
+//! self-wake pipe, and all accepted connections — and multiplexes them
+//! through level-triggered readiness (epoll on Linux, `poll(2)` fallback;
+//! see [`poller`]). This retires the daemon's thread-per-connection
+//! model: connection counts no longer add threads, wakeups batch many
+//! sockets per syscall, and an idle daemon makes *zero* syscalls (the
+//! loop parks in `epoll_wait` with no timeout unless a deadline is
+//! armed).
+//!
+//! The division of labour:
+//!
+//! * the **reactor** (this module) does transport: non-blocking accept,
+//!   reads into the re-entrant [`StreamDecoder`], per-connection
+//!   [`CorkedWriter`] flushing with `EWOULDBLOCK` parking and
+//!   `EPOLLOUT` re-arming, and wedged-peer deadlines on a
+//!   [timer wheel](timer);
+//! * the [`Handler`] does protocol: it is handed each decoded
+//!   [`Message`] and decides what to open, feed, and close;
+//! * result producers (shard workers) stay on their own threads and
+//!   enqueue outbound frames on a per-connection channel, then call
+//!   [`ConnWaker::wake`] — the reactor drains the channel into the cork
+//!   buffer and flushes on its next dispatch.
+//!
+//! Backpressure composes with the shard mailboxes unchanged: inbound
+//! readings are routed synchronously from the dispatch loop, so a full
+//! `Block`-mode mailbox pushes back on the reactor, which stops reading
+//! sockets, which fills TCP windows — the kernel applies backpressure to
+//! every peer at once. Outbound, a slow tenant fills its bounded channel
+//! and its overflow is dropped and counted, exactly as before.
+
+pub mod decoder;
+mod metrics;
+mod poller;
+mod timer;
+
+pub use decoder::{DecodeStep, StreamDecoder};
+pub use metrics::ReactorMetrics;
+
+use crate::cork::{CorkMetrics, CorkedWriter, FlushOutcome, DEFAULT_CORK_LIMIT};
+use crate::message::Message;
+use avoc_obs::Counter;
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use poller::Poller;
+use std::io::{self, Read as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use sysio::{Interest, WakePipe};
+use timer::{TimerEntry, TimerWheel};
+
+/// Registration token of the accept socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Registration token of the wake pipe's read end.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// Read chunk size per `read(2)`.
+const READ_CHUNK: usize = 16 * 1024;
+/// Reads per readiness event before yielding to other connections. A
+/// firehose peer gets at most this much attention per dispatch; level
+/// triggering re-reports it immediately if more is pending.
+const MAX_READS_PER_EVENT: usize = 16;
+
+/// Default wedged-peer deadline: how long a connection may stay
+/// unwritable with output pending before the reactor closes it.
+pub const DEFAULT_WRITE_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Accept-queue depth the reactor re-arms on its listener (clamped by the
+/// kernel to `net.core.somaxconn`).
+pub const DEFAULT_ACCEPT_BACKLOG: i32 = 1024;
+
+/// What [`Handler::on_frame`] wants done with the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameVerdict {
+    /// Keep serving.
+    Continue,
+    /// Drop the connection (protocol error, shutdown frame, …).
+    Close,
+}
+
+/// The protocol half of a reactor: one instance serves every connection,
+/// called only from the reactor thread (no locking needed inside).
+pub trait Handler: Send + 'static {
+    /// Per-connection protocol state (open session lists, reply sink, …).
+    type Conn: Send;
+
+    /// A connection was accepted. Returns its state and the outbound
+    /// frame channel the reactor will drain; producers must call
+    /// [`ConnWaker::wake`] after sending on it.
+    fn on_open(&mut self, waker: ConnWaker) -> (Self::Conn, Receiver<Message>);
+
+    /// One decoded inbound frame.
+    fn on_frame(&mut self, conn: &mut Self::Conn, msg: Message) -> FrameVerdict;
+
+    /// The connection is going away (EOF, error, hostile frame, wedged
+    /// write deadline, or reactor shutdown). Called exactly once per
+    /// connection, before its socket closes; outbound frames already
+    /// queued are still flushed on a best-effort basis afterwards.
+    fn on_close(&mut self, conn: Self::Conn);
+}
+
+/// Cross-thread wake-up list shared by every [`ConnWaker`] of a reactor.
+#[derive(Debug)]
+struct WakeShared {
+    /// Tokens with pending outbound work, deduplicated by each waker's
+    /// dirty flag.
+    pending: Mutex<Vec<u64>>,
+    /// Whether a wake byte is already in flight — collapses any number of
+    /// producer wakes into one pipe write per dispatch cycle.
+    armed: AtomicBool,
+    pipe: WakePipe,
+}
+
+impl WakeShared {
+    /// Disarm-then-take: a producer that pushes after the take must have
+    /// swapped `armed` after our disarm, so it notifies the pipe and the
+    /// next dispatch sees it.
+    fn take_pending(&self) -> Vec<u64> {
+        self.armed.store(false, Ordering::SeqCst);
+        std::mem::take(&mut *self.pending.lock())
+    }
+}
+
+/// Wakes the reactor for one connection's outbound queue. Cloneable and
+/// cheap: a wake is one atomic swap when already pending, one list push
+/// plus at most one pipe write otherwise.
+#[derive(Debug, Clone)]
+pub struct ConnWaker {
+    token: u64,
+    dirty: Arc<AtomicBool>,
+    shared: Arc<WakeShared>,
+}
+
+impl ConnWaker {
+    /// Tells the reactor this connection's outbound channel has work (or
+    /// that a sender dropped — disconnection is also an event worth
+    /// dispatching). Safe from any thread, never blocks.
+    pub fn wake(&self) {
+        if !self.dirty.swap(true, Ordering::AcqRel) {
+            self.shared.pending.lock().push(self.token);
+            if !self.shared.armed.swap(true, Ordering::AcqRel) {
+                let _ = self.shared.pipe.notify();
+            }
+        }
+    }
+
+    /// Reactor-side: re-enable wakes before draining, so a send racing
+    /// the drain re-marks the connection.
+    fn clear_dirty(&self) {
+        self.dirty.store(false, Ordering::Release);
+    }
+}
+
+/// Tuning and instrumentation for [`spawn`].
+#[derive(Debug, Default)]
+pub struct ReactorConfig {
+    /// Wedged-peer deadline ([`DEFAULT_WRITE_DEADLINE`] when `None`).
+    pub write_deadline: Option<Duration>,
+    /// Cork threshold per connection ([`DEFAULT_CORK_LIMIT`] when `None`).
+    pub cork_limit: Option<usize>,
+    /// Accept-queue depth re-armed on the listener at spawn
+    /// ([`DEFAULT_ACCEPT_BACKLOG`] when `None`; the kernel clamps to
+    /// `net.core.somaxconn`). `std`'s bind hardwires 128, which a
+    /// many-hundred-connection storm overflows — the kernel then resets
+    /// handshakes the clients believe completed.
+    pub accept_backlog: Option<i32>,
+    /// Pin the `poll(2)` backend even where epoll exists (the
+    /// `AVOC_FORCE_POLL` environment variable does the same).
+    pub force_poll: bool,
+    /// Reactor health metrics.
+    pub metrics: Option<ReactorMetrics>,
+    /// Cells fed by every connection's corked writer.
+    pub cork_metrics: Option<CorkMetrics>,
+    /// Counts every byte read off data-plane sockets.
+    pub bytes_received: Option<Counter>,
+}
+
+/// A running reactor. Dropping the handle without calling
+/// [`ReactorHandle::shutdown`] leaves the thread running (detached).
+#[derive(Debug)]
+pub struct ReactorHandle {
+    stop: Arc<AtomicBool>,
+    shared: Arc<WakeShared>,
+    join: JoinHandle<()>,
+    backend: &'static str,
+    local_addr: SocketAddr,
+}
+
+impl ReactorHandle {
+    /// The listener's bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Which readiness backend the reactor selected (`"epoll"` or
+    /// `"poll"`).
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Stops the loop and joins the thread. Every live connection gets
+    /// [`Handler::on_close`] and a best-effort bounded flush of its
+    /// queued results (sockets are flipped back to blocking with the
+    /// write deadline as timeout).
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.shared.pipe.notify();
+        let _ = self.join.join();
+    }
+}
+
+/// Binds nothing itself: takes an already-bound listener, moves it onto a
+/// new `avoc-net-reactor` thread, and serves until
+/// [`ReactorHandle::shutdown`].
+///
+/// # Errors
+///
+/// Propagates wake-pipe creation, non-blocking mode, and registration
+/// failures.
+pub fn spawn<H: Handler>(
+    listener: TcpListener,
+    handler: H,
+    config: ReactorConfig,
+) -> io::Result<ReactorHandle> {
+    listener.set_nonblocking(true)?;
+    // Best-effort: a listener the caller already tuned (or a platform
+    // where re-listen fails) keeps its existing backlog.
+    let _ = sysio::widen_backlog(
+        listener.as_raw_fd(),
+        config.accept_backlog.unwrap_or(DEFAULT_ACCEPT_BACKLOG),
+    );
+    let local_addr = listener.local_addr()?;
+    let mut poller = Poller::new(config.force_poll);
+    let backend = poller.backend();
+    let pipe = WakePipe::new()?;
+    poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+    poller.add(pipe.read_fd(), TOKEN_WAKE, Interest::READ)?;
+    let shared = Arc::new(WakeShared {
+        pending: Mutex::new(Vec::new()),
+        armed: AtomicBool::new(false),
+        pipe,
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let core = Core {
+        handler,
+        poller,
+        listener,
+        shared: Arc::clone(&shared),
+        stop: Arc::clone(&stop),
+        slots: Vec::new(),
+        free: Vec::new(),
+        timers: TimerWheel::new(Instant::now()),
+        expired: Vec::new(),
+        write_deadline: config.write_deadline.unwrap_or(DEFAULT_WRITE_DEADLINE),
+        cork_limit: config.cork_limit.unwrap_or(DEFAULT_CORK_LIMIT),
+        metrics: config.metrics,
+        cork_metrics: config.cork_metrics,
+        bytes_received: config.bytes_received,
+    };
+    let join = std::thread::Builder::new()
+        .name("avoc-net-reactor".into())
+        .spawn(move || core.run())?;
+    Ok(ReactorHandle {
+        stop,
+        shared,
+        join,
+        backend,
+        local_addr,
+    })
+}
+
+/// One live connection: transport state owned by the reactor thread.
+struct Conn<C> {
+    /// Owns the socket; reads go through [`CorkedWriter::get_mut`].
+    writer: CorkedWriter<TcpStream>,
+    decoder: StreamDecoder,
+    out_rx: Receiver<Message>,
+    state: C,
+    waker: ConnWaker,
+    /// Whether `EPOLLOUT` is currently armed (flush parked on a full
+    /// socket).
+    write_armed: bool,
+    /// Live deadline generation; wheel entries with an older generation
+    /// are cancelled timers.
+    deadline_gen: u64,
+}
+
+enum SlotState<C> {
+    Free,
+    Live(Conn<C>),
+    /// Socket closed, but shard-side senders may still hold the channel:
+    /// keep draining (and discarding) until every sender drops, then
+    /// free the slot. Holds no fd — FD hygiene does not wait on tenants.
+    Draining {
+        out_rx: Receiver<Message>,
+        waker: ConnWaker,
+    },
+}
+
+struct Slot<C> {
+    /// Bumped on every reuse so stale events and timers can't touch a
+    /// successor connection.
+    gen: u32,
+    state: SlotState<C>,
+}
+
+fn make_token(gen: u32, idx: usize) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+fn token_parts(token: u64) -> (u32, usize) {
+    ((token >> 32) as u32, (token & 0xffff_ffff) as usize)
+}
+
+struct Core<H: Handler> {
+    handler: H,
+    poller: Poller,
+    listener: TcpListener,
+    shared: Arc<WakeShared>,
+    stop: Arc<AtomicBool>,
+    slots: Vec<Slot<H::Conn>>,
+    free: Vec<usize>,
+    timers: TimerWheel,
+    expired: Vec<TimerEntry>,
+    write_deadline: Duration,
+    cork_limit: usize,
+    metrics: Option<ReactorMetrics>,
+    cork_metrics: Option<CorkMetrics>,
+    bytes_received: Option<Counter>,
+}
+
+impl<H: Handler> Core<H> {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        loop {
+            let timeout = if self.stop.load(Ordering::SeqCst) {
+                0
+            } else {
+                self.timers.next_timeout_ms(Instant::now()).unwrap_or(-1)
+            };
+            let n = match self.poller.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(_) => break, // poller broke: nothing sane left to do
+            };
+            if let Some(m) = &self.metrics {
+                m.epoll_wakeups.inc();
+                m.events.add(n as u64);
+            }
+            let t0 = Instant::now();
+            for ev in &events {
+                match ev.token {
+                    TOKEN_WAKE => self.shared.pipe.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_event(
+                        token,
+                        ev.readable || ev.is_hangup || ev.is_error,
+                        ev.writable,
+                    ),
+                }
+            }
+            self.process_dirty();
+            self.expire_deadlines(Instant::now());
+            if n > 0 {
+                if let Some(m) = &self.metrics {
+                    m.readiness_dispatch_ns
+                        .record(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        self.teardown();
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (EMFILE, aborted handshake):
+                // skip this readiness event; level triggering retries.
+                Err(_) => break,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let idx = match self.free.pop() {
+                Some(idx) => idx,
+                None => {
+                    self.slots.push(Slot {
+                        gen: 0,
+                        state: SlotState::Free,
+                    });
+                    self.slots.len() - 1
+                }
+            };
+            let slot = &mut self.slots[idx];
+            slot.gen = slot.gen.wrapping_add(1);
+            let token = make_token(slot.gen, idx);
+            let waker = ConnWaker {
+                token,
+                dirty: Arc::new(AtomicBool::new(false)),
+                shared: Arc::clone(&self.shared),
+            };
+            let (state, out_rx) = self.handler.on_open(waker.clone());
+            let mut writer = CorkedWriter::with_cork_limit(stream, self.cork_limit);
+            if let Some(cm) = &self.cork_metrics {
+                writer.set_metrics(cm.clone());
+            }
+            if self
+                .poller
+                .add(writer.get_ref().as_raw_fd(), token, Interest::READ)
+                .is_err()
+            {
+                // Registration failed: give the handler its close and drop
+                // the socket; the slot stays free for the next accept.
+                self.handler.on_close(state);
+                self.free.push(idx);
+                continue;
+            }
+            self.slots[idx].state = SlotState::Live(Conn {
+                writer,
+                decoder: StreamDecoder::new(),
+                out_rx,
+                state,
+                waker,
+                write_armed: false,
+                deadline_gen: 0,
+            });
+            if let Some(m) = &self.metrics {
+                m.accepted.inc();
+                m.connections_open.add(1);
+            }
+        }
+    }
+
+    /// Dispatches one readiness event for a connection token. Stale
+    /// tokens (slot since reused or freed) are ignored.
+    fn conn_event(&mut self, token: u64, readable: bool, writable: bool) {
+        let (gen, idx) = token_parts(token);
+        let Some(slot) = self.slots.get(idx) else {
+            return;
+        };
+        if slot.gen != gen || !matches!(slot.state, SlotState::Live(_)) {
+            return;
+        }
+        if readable && !self.read_ready(idx) {
+            return; // connection closed while reading
+        }
+        if writable {
+            self.pump(idx);
+        }
+    }
+
+    /// Reads until the socket runs dry (or the burst cap), feeding the
+    /// streaming decoder and the handler. Returns `false` when the
+    /// connection was closed.
+    fn read_ready(&mut self, idx: usize) -> bool {
+        let mut close = false;
+        {
+            let Core {
+                handler,
+                slots,
+                bytes_received,
+                ..
+            } = &mut *self;
+            let SlotState::Live(conn) = &mut slots[idx].state else {
+                return false;
+            };
+            let mut chunk = [0u8; READ_CHUNK];
+            'read: for _ in 0..MAX_READS_PER_EVENT {
+                let n = match conn.writer.get_mut().read(&mut chunk) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                };
+                if let Some(c) = bytes_received {
+                    c.add(n as u64);
+                }
+                conn.decoder.extend(&chunk[..n]);
+                loop {
+                    match conn.decoder.next_frame() {
+                        DecodeStep::Frame(msg) => match handler.on_frame(&mut conn.state, msg) {
+                            FrameVerdict::Continue => {}
+                            FrameVerdict::Close => {
+                                close = true;
+                                break 'read;
+                            }
+                        },
+                        DecodeStep::Skipped(_) => {}
+                        DecodeStep::Incomplete => break,
+                        // Hostile length prefix: the decoder has already
+                        // shed its buffer; drop the connection.
+                        DecodeStep::Dead(_) => {
+                            close = true;
+                            break 'read;
+                        }
+                    }
+                }
+                if n < chunk.len() {
+                    break; // short read: the socket is drained
+                }
+            }
+        }
+        if close {
+            self.close_live(idx);
+            return false;
+        }
+        true
+    }
+
+    /// Drains a connection's outbound channel into its cork buffer and
+    /// flushes what the socket accepts, managing `EPOLLOUT` interest and
+    /// the wedged-peer deadline.
+    fn pump(&mut self, idx: usize) {
+        let mut dead = false;
+        {
+            let Core {
+                slots,
+                poller,
+                timers,
+                write_deadline,
+                ..
+            } = &mut *self;
+            let Some(slot) = slots.get_mut(idx) else {
+                return;
+            };
+            let token = make_token(slot.gen, idx);
+            let SlotState::Live(conn) = &mut slot.state else {
+                return;
+            };
+            conn.waker.clear_dirty();
+            let before = conn.writer.stats().bytes;
+            let mut blocked = false;
+            loop {
+                let mut pulled = false;
+                while !conn.writer.is_corked_full() {
+                    match conn.out_rx.try_recv() {
+                        Ok(msg) => {
+                            conn.writer.push(&msg);
+                            pulled = true;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if !conn.writer.has_pending() {
+                    break;
+                }
+                match conn.writer.flush_nonblocking() {
+                    Ok(FlushOutcome::Drained) => {
+                        if !pulled {
+                            break;
+                        }
+                    }
+                    Ok(FlushOutcome::Blocked) => {
+                        blocked = true;
+                        break;
+                    }
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                let fd = conn.writer.get_ref().as_raw_fd();
+                if blocked {
+                    let progressed = conn.writer.stats().bytes > before;
+                    let newly_armed = !conn.write_armed;
+                    if newly_armed {
+                        conn.write_armed = true;
+                        let _ = poller.modify(fd, token, Interest::READ_WRITE);
+                    }
+                    if newly_armed || progressed {
+                        // Arm (or push back) the wedged-peer deadline: any
+                        // byte of progress restarts the clock, mirroring
+                        // the old per-write socket deadline.
+                        conn.deadline_gen += 1;
+                        timers.schedule(
+                            Instant::now(),
+                            *write_deadline,
+                            TimerEntry {
+                                token,
+                                generation: conn.deadline_gen,
+                            },
+                        );
+                    }
+                } else if conn.write_armed {
+                    conn.write_armed = false;
+                    conn.deadline_gen += 1; // lazy-cancel the armed deadline
+                    let _ = poller.modify(fd, token, Interest::READ);
+                }
+            }
+        }
+        if dead {
+            self.close_live(idx);
+        }
+    }
+
+    /// Services every token producers marked dirty since the last
+    /// dispatch: live connections get a pump, draining slots shed
+    /// residual frames and free once their last sender drops.
+    fn process_dirty(&mut self) {
+        let pending = self.shared.take_pending();
+        for token in pending {
+            let (gen, idx) = token_parts(token);
+            let is_live = match self.slots.get(idx) {
+                Some(slot) if slot.gen == gen => matches!(slot.state, SlotState::Live(_)),
+                _ => continue,
+            };
+            if is_live {
+                self.pump(idx);
+            } else {
+                self.drain_slot(idx);
+            }
+        }
+    }
+
+    /// Sheds residual frames on a draining slot; frees it once the last
+    /// shard-side sender has dropped its sink clone.
+    fn drain_slot(&mut self, idx: usize) {
+        let slot = &mut self.slots[idx];
+        let SlotState::Draining { out_rx, waker } = &mut slot.state else {
+            return;
+        };
+        waker.clear_dirty();
+        let freed = loop {
+            match out_rx.try_recv() {
+                Ok(_) => {} // tenant is gone; discard
+                Err(crossbeam::channel::TryRecvError::Empty) => break false,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => break true,
+            }
+        };
+        if freed {
+            slot.state = SlotState::Free;
+            self.free.push(idx);
+        }
+    }
+
+    fn expire_deadlines(&mut self, now: Instant) {
+        let mut expired = std::mem::take(&mut self.expired);
+        self.timers.advance(now, &mut expired);
+        for entry in expired.drain(..) {
+            let (gen, idx) = token_parts(entry.token);
+            let Some(slot) = self.slots.get(idx) else {
+                continue;
+            };
+            if slot.gen != gen {
+                continue;
+            }
+            let SlotState::Live(conn) = &slot.state else {
+                continue;
+            };
+            // Only the *latest* armed deadline counts; anything older was
+            // cancelled by progress or a completed drain.
+            if !conn.write_armed || conn.deadline_gen != entry.generation {
+                continue;
+            }
+            if let Some(m) = &self.metrics {
+                m.wedged_closed.inc();
+            }
+            self.close_live(idx);
+        }
+        self.expired = expired;
+    }
+
+    /// Tears one live connection down: deregisters and closes the socket
+    /// *now* (FD hygiene never waits on tenants), gives the handler its
+    /// `on_close`, then parks the slot in `Draining` until shard-side
+    /// senders finish dropping their sink clones.
+    fn close_live(&mut self, idx: usize) {
+        let slot = &mut self.slots[idx];
+        let conn = match std::mem::replace(&mut slot.state, SlotState::Free) {
+            SlotState::Live(conn) => conn,
+            other => {
+                slot.state = other;
+                return;
+            }
+        };
+        let Conn {
+            writer,
+            out_rx,
+            state,
+            waker,
+            ..
+        } = conn;
+        let _ = self.poller.remove(writer.get_ref().as_raw_fd());
+        drop(writer); // closes the fd
+        if let Some(m) = &self.metrics {
+            m.connections_open.add(-1);
+        }
+        self.handler.on_close(state);
+        // `on_close` sends Close/Detach to shards asynchronously — their
+        // sink clones drop once processed. Drain whatever is already
+        // queued; if every sender is gone, free the slot immediately.
+        let freed = loop {
+            match out_rx.try_recv() {
+                Ok(_) => {}
+                Err(crossbeam::channel::TryRecvError::Empty) => break false,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => break true,
+            }
+        };
+        if freed {
+            self.free.push(idx);
+        } else {
+            self.slots[idx].state = SlotState::Draining { out_rx, waker };
+        }
+    }
+
+    /// Graceful exit: every live connection gets `on_close` (closing or
+    /// detaching its sessions flushes their in-flight rounds), its socket
+    /// flips back to blocking with the write deadline as timeout, and the
+    /// outbound channel is drained through the cork until every producer
+    /// is done — so results of rounds already fed still reach tenants, as
+    /// they did with per-connection writer threads.
+    fn teardown(mut self) {
+        for idx in 0..self.slots.len() {
+            let state = std::mem::replace(&mut self.slots[idx].state, SlotState::Free);
+            match state {
+                SlotState::Free => {}
+                SlotState::Draining { out_rx, .. } => {
+                    while out_rx.recv_timeout(self.write_deadline).is_ok() {}
+                }
+                SlotState::Live(conn) => {
+                    let Conn {
+                        mut writer,
+                        out_rx,
+                        state,
+                        ..
+                    } = conn;
+                    let _ = self.poller.remove(writer.get_ref().as_raw_fd());
+                    if let Some(m) = &self.metrics {
+                        m.connections_open.add(-1);
+                    }
+                    self.handler.on_close(state);
+                    let _ = writer.get_ref().set_nonblocking(false);
+                    let _ = writer
+                        .get_ref()
+                        .set_write_timeout(Some(self.write_deadline));
+                    let mut sock_ok = true;
+                    // Loop ends when all senders are done (or stuck past
+                    // the deadline).
+                    while let Ok(msg) = out_rx.recv_timeout(self.write_deadline) {
+                        if sock_ok {
+                            writer.push(&msg);
+                            if writer.is_corked_full() {
+                                sock_ok = writer.flush().is_ok();
+                            }
+                        }
+                    }
+                    if sock_ok {
+                        let _ = writer.flush();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avoc_core::ModuleId;
+    use crossbeam::channel::{bounded, Sender};
+    use std::io::Write as _;
+    use std::sync::atomic::AtomicU64;
+
+    /// A protocol stub: echoes every `SessionReading` back as a
+    /// `SessionResult` and counts closes.
+    struct Echo {
+        closes: Arc<AtomicU64>,
+    }
+
+    struct EchoConn {
+        tx: Sender<Message>,
+        waker: ConnWaker,
+    }
+
+    impl Handler for Echo {
+        type Conn = EchoConn;
+
+        fn on_open(&mut self, waker: ConnWaker) -> (EchoConn, Receiver<Message>) {
+            let (tx, rx) = bounded(256);
+            (EchoConn { tx, waker }, rx)
+        }
+
+        fn on_frame(&mut self, conn: &mut EchoConn, msg: Message) -> FrameVerdict {
+            match msg {
+                Message::SessionReading {
+                    session,
+                    round,
+                    value,
+                    ..
+                } => {
+                    let _ = conn.tx.try_send(Message::SessionResult {
+                        session,
+                        round,
+                        value: Some(value),
+                        voted: true,
+                    });
+                    conn.waker.wake();
+                    FrameVerdict::Continue
+                }
+                Message::Shutdown => FrameVerdict::Close,
+                _ => FrameVerdict::Continue,
+            }
+        }
+
+        fn on_close(&mut self, _conn: EchoConn) {
+            self.closes.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn run_echo_roundtrip(force_poll: bool) {
+        let closes = Arc::new(AtomicU64::new(0));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = spawn(
+            listener,
+            Echo {
+                closes: Arc::clone(&closes),
+            },
+            ReactorConfig {
+                force_poll,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            handle.backend(),
+            if force_poll { "poll" } else { "epoll" },
+            "backend selection"
+        );
+
+        let mut client = TcpStream::connect(handle.local_addr()).unwrap();
+        // Send 100 readings, some split across arbitrary write boundaries.
+        let mut wire = Vec::new();
+        for round in 0..100u64 {
+            wire.extend_from_slice(
+                &Message::SessionReading {
+                    session: 1,
+                    module: ModuleId::new(0),
+                    round,
+                    value: round as f64,
+                }
+                .encode(),
+            );
+        }
+        for chunk in wire.chunks(7) {
+            client.write_all(chunk).unwrap();
+        }
+        // Collect the 100 echoes with the blocking one-shot decoder.
+        let mut buf = bytes::BytesMut::new();
+        let mut got = 0u64;
+        let mut chunk = [0u8; 4096];
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        while got < 100 {
+            let n = client.read(&mut chunk).expect("echoes arrive");
+            assert!(n > 0, "server hung up early");
+            buf.extend_from_slice(&chunk[..n]);
+            loop {
+                match Message::decode(&mut buf) {
+                    Ok(Message::SessionResult { round, value, .. }) => {
+                        assert_eq!(value, Some(round as f64));
+                        got += 1;
+                    }
+                    Ok(other) => panic!("unexpected echo {other:?}"),
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // A hostile length prefix drops the connection.
+        let mut hostile = TcpStream::connect(handle.local_addr()).unwrap();
+        hostile
+            .write_all(&(crate::message::MAX_FRAME_LEN as u32 + 1).to_be_bytes())
+            .unwrap();
+        hostile
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(
+            hostile.read(&mut chunk).unwrap_or(0),
+            0,
+            "hostile peer gets closed"
+        );
+
+        drop(client);
+        handle.shutdown();
+        assert_eq!(
+            closes.load(Ordering::SeqCst),
+            2,
+            "every accepted connection got exactly one on_close"
+        );
+    }
+
+    #[test]
+    fn echo_roundtrip_on_epoll() {
+        run_echo_roundtrip(false);
+    }
+
+    #[test]
+    fn echo_roundtrip_on_poll_fallback() {
+        run_echo_roundtrip(true);
+    }
+
+    #[test]
+    fn shutdown_is_immediate_without_spurious_ticks() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = spawn(
+            listener,
+            Echo {
+                closes: Arc::new(AtomicU64::new(0)),
+            },
+            ReactorConfig::default(),
+        )
+        .unwrap();
+        // No connections, no timers: the loop is parked in epoll_wait with
+        // an infinite timeout; shutdown must return promptly via the wake
+        // pipe (the old accept loop needed a throwaway TCP connection).
+        let t0 = Instant::now();
+        handle.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "wake pipe unparks the loop immediately"
+        );
+    }
+}

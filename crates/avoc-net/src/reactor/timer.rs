@@ -1,0 +1,205 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The reactor replaces per-socket `SO_SNDTIMEO` deadlines (which only
+//! work when a thread is parked inside `write(2)`) with wheel-scheduled
+//! timers: when a flush parks on `EWOULDBLOCK` the connection arms a
+//! deadline, and if the wheel fires it before the socket drains, the peer
+//! is wedged and the connection is closed.
+//!
+//! Cancellation is lazy: entries carry a generation number and the owner
+//! bumps its live generation instead of searching the wheel — a fired
+//! entry whose generation is stale is simply ignored. This keeps
+//! `schedule`/cancel O(1) with no per-timer allocation beyond the slot
+//! vectors, which matters when every blocked flush under load arms one.
+
+use std::time::{Duration, Instant};
+
+/// Wheel granularity. Deadlines round *up* to the next tick, so a timer
+/// never fires early; with 5 s write deadlines a 50 ms coarseness is
+/// noise.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Slot count: `TICK * SLOTS` (12.8 s) is the horizon one revolution
+/// covers; farther deadlines park in their slot with a revolution count.
+const SLOTS: usize = 256;
+
+/// One scheduled deadline, returned on expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerEntry {
+    /// The connection token that armed the deadline.
+    pub token: u64,
+    /// The arming generation — stale generations are cancelled timers.
+    pub generation: u64,
+}
+
+#[derive(Debug)]
+struct SlotEntry {
+    entry: TimerEntry,
+    /// Full wheel revolutions left before this entry fires.
+    rounds: u32,
+}
+
+/// The wheel itself. Single-threaded: owned and driven by the reactor
+/// loop, which asks [`TimerWheel::next_timeout_ms`] how long `epoll_wait`
+/// may sleep and calls [`TimerWheel::advance`] after every wakeup.
+#[derive(Debug)]
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<SlotEntry>>,
+    start: Instant,
+    /// Last tick index processed by [`TimerWheel::advance`].
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub(crate) fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            start: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        let elapsed = t.saturating_duration_since(self.start);
+        (elapsed.as_nanos() / TICK.as_nanos()) as u64
+    }
+
+    /// Arms a deadline `after` from `now`.
+    pub(crate) fn schedule(&mut self, now: Instant, after: Duration, entry: TimerEntry) {
+        // +1: round up so the entry can never fire before its deadline.
+        let target = self.tick_of(now + after) + 1;
+        let delta = target.saturating_sub(self.cursor).max(1);
+        let slot = (target % SLOTS as u64) as usize;
+        let rounds = ((delta - 1) / SLOTS as u64) as u32;
+        self.slots[slot].push(SlotEntry { entry, rounds });
+        self.len += 1;
+    }
+
+    /// How long the event loop may sleep: milliseconds until the nearest
+    /// armed slot, or `None` when the wheel is empty (sleep forever —
+    /// an idle daemon makes zero timer wakeups).
+    pub(crate) fn next_timeout_ms(&self, now: Instant) -> Option<i32> {
+        if self.len == 0 {
+            return None;
+        }
+        // Scan at most one revolution for the nearest non-empty slot. A
+        // slot holding only multi-revolution entries causes one early
+        // wakeup per revolution — harmless and rare at a 12.8 s horizon.
+        let now_tick = self.tick_of(now).max(self.cursor);
+        for ahead in 0..=SLOTS as u64 {
+            let tick = now_tick + ahead;
+            if !self.slots[(tick % SLOTS as u64) as usize].is_empty() {
+                let fire_at = self.start + TICK.mul_add(tick);
+                let ms = fire_at.saturating_duration_since(now).as_millis() as i64;
+                // Never return 0 for a future tick: round up to the tick
+                // edge so we don't spin while waiting for it.
+                return Some(ms.clamp(1, i32::MAX as i64) as i32);
+            }
+        }
+        Some(TICK.as_millis() as i32 * SLOTS as i32)
+    }
+
+    /// Fires every entry whose tick has passed, pushing them into
+    /// `expired`. Multi-revolution entries are decremented and kept.
+    pub(crate) fn advance(&mut self, now: Instant, expired: &mut Vec<TimerEntry>) {
+        let now_tick = self.tick_of(now);
+        while self.cursor < now_tick {
+            self.cursor += 1;
+            if self.len == 0 {
+                // Fast-forward an idle wheel instead of walking every tick.
+                self.cursor = now_tick;
+                break;
+            }
+            let slot = (self.cursor % SLOTS as u64) as usize;
+            let mut i = 0;
+            while i < self.slots[slot].len() {
+                if self.slots[slot][i].rounds == 0 {
+                    let e = self.slots[slot].swap_remove(i);
+                    expired.push(e.entry);
+                    self.len -= 1;
+                } else {
+                    self.slots[slot][i].rounds -= 1;
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// `Duration * u64` without the unstable `Mul<u64>`: used to locate a tick
+/// edge on the time line.
+trait MulAdd {
+    fn mul_add(&self, ticks: u64) -> Duration;
+}
+
+impl MulAdd for Duration {
+    fn mul_add(&self, ticks: u64) -> Duration {
+        Duration::from_nanos((self.as_nanos() as u64).saturating_mul(ticks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(token: u64, generation: u64) -> TimerEntry {
+        TimerEntry { token, generation }
+    }
+
+    #[test]
+    fn fires_after_the_deadline_never_before() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.schedule(t0, Duration::from_millis(120), entry(1, 1));
+
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(100), &mut expired);
+        assert!(expired.is_empty(), "not yet due");
+        // One tick of slack past the deadline guarantees firing.
+        wheel.advance(t0 + Duration::from_millis(120) + TICK * 2, &mut expired);
+        assert_eq!(expired, vec![entry(1, 1)]);
+
+        expired.clear();
+        wheel.advance(t0 + Duration::from_secs(60), &mut expired);
+        assert!(expired.is_empty(), "fired once only");
+    }
+
+    #[test]
+    fn far_deadlines_survive_full_revolutions() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        let horizon = TICK * SLOTS as u32;
+        wheel.schedule(t0, horizon * 2 + Duration::from_millis(70), entry(9, 3));
+
+        let mut expired = Vec::new();
+        wheel.advance(t0 + horizon, &mut expired);
+        wheel.advance(t0 + horizon * 2, &mut expired);
+        assert!(expired.is_empty(), "parked across revolutions");
+        wheel.advance(
+            t0 + horizon * 2 + Duration::from_millis(70) + TICK * 2,
+            &mut expired,
+        );
+        assert_eq!(expired, vec![entry(9, 3)]);
+    }
+
+    #[test]
+    fn timeout_hint_tracks_the_nearest_entry_and_empties() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        assert_eq!(wheel.next_timeout_ms(t0), None, "idle wheel: sleep forever");
+
+        wheel.schedule(t0, Duration::from_secs(5), entry(2, 1));
+        let ms = wheel.next_timeout_ms(t0).expect("armed");
+        assert!(
+            (5000..=5200).contains(&ms),
+            "hint {ms} should land just past the 5 s deadline"
+        );
+
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_secs(6), &mut expired);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(wheel.next_timeout_ms(t0 + Duration::from_secs(6)), None);
+    }
+}

@@ -11,7 +11,9 @@
 //!
 //! ```text
 //!                 ┌─────────────────────────────────────────────┐
-//!  TCP clients ──▶│ TcpServer: decode control frames (tags 5–9) │
+//!  TCP clients ──▶│ avoc-net reactor: ONE event-loop thread     │
+//!                 │ owns listener + every socket; streaming     │
+//!                 │ decode of control frames (tags 5–10, 14)    │
 //!                 └──────────────┬──────────────────────────────┘
 //!                                │ route by hash(session id)
 //!                 ┌──────────────▼──────────────┐
@@ -20,9 +22,10 @@
 //!                 │  Session = SensorHub        │  + a data lane (Block |
 //!                 │          + VotingEngine     │  DropOldest | Reject)
 //!                 └──────────────┬──────────────┘
-//!                                │ SessionResult / Error frames
+//!                                │ ResultSink: bounded channel + ConnWaker
 //!                 ┌──────────────▼──────────────┐
-//!                 │ per-connection writer       │──▶ back to the client
+//!                 │ reactor drains each conn's  │──▶ back to the client
+//!                 │ corked writer on wakeup     │
 //!                 └─────────────────────────────┘
 //! ```
 //!
@@ -83,6 +86,7 @@ mod server;
 mod service;
 mod session;
 mod shard;
+mod sink;
 
 pub use admin::AdminServer;
 pub use client::{
@@ -94,3 +98,4 @@ pub use registry::SpecRegistry;
 pub use server::TcpServer;
 pub use service::{AdmissionPolicy, ServeConfig, ServeError, VoterService};
 pub use shard::Backpressure;
+pub use sink::ResultSink;

@@ -9,6 +9,7 @@
 //! atomics — and only the legacy latency reservoir takes a lock, for a push
 //! into a fixed ring.
 
+use avoc_net::{CorkMetrics, ReactorMetrics};
 use avoc_obs::{Counter, Gauge, Histogram, Registry, TraceRing};
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -40,6 +41,12 @@ pub struct ServiceCounters {
     bytes_received: Counter,
     frames_sent: Counter,
     writer_flushes: Counter,
+    writer_writes: Counter,
+    /// The reactor's health cells (connections open, wakeups, events,
+    /// dispatch latency). Registered here so they surface on the same
+    /// scrape and in the drain-time snapshot; the reactor thread records
+    /// into clones of these handles.
+    reactor: ReactorMetrics,
     recoveries: Counter,
     resumed_sessions: Counter,
     retries: Counter,
@@ -150,6 +157,11 @@ impl ServiceCounters {
                 "Frames encoded into outbound writer buffers.",
             ),
             writer_flushes: c("avoc_writer_flushes_total", "Coalesced writer flushes."),
+            writer_writes: c(
+                "avoc_writer_writes_total",
+                "write(2) calls issued by connection writers.",
+            ),
+            reactor: ReactorMetrics::register(&registry, &[]),
             recoveries: c(
                 "avoc_recoveries_total",
                 "Sessions rebuilt from a WAL checkpoint.",
@@ -332,20 +344,30 @@ impl ServiceCounters {
         self.result_batches.inc();
     }
 
-    pub(crate) fn bytes_sent_add(&self, n: u64) {
-        self.bytes_sent.add(n);
+    /// The reactor's health cells — handed to [`avoc_net::reactor::spawn`]
+    /// so the event loop records into the same registry this snapshot
+    /// reads.
+    pub(crate) fn reactor_metrics(&self) -> ReactorMetrics {
+        self.reactor.clone()
     }
 
-    pub(crate) fn bytes_received_add(&self, n: u64) {
-        self.bytes_received.add(n);
+    /// The wire-egress cells as a [`CorkMetrics`] handle set: every
+    /// reactor-owned connection's corked writer feeds the service's own
+    /// `avoc_frames_sent_total` / `avoc_writer_flushes_total` /
+    /// `avoc_writer_writes_total` / `avoc_bytes_sent_total` directly,
+    /// with no per-flush delta bookkeeping.
+    pub(crate) fn cork_metrics(&self) -> CorkMetrics {
+        CorkMetrics::from_parts(
+            self.frames_sent.clone(),
+            self.writer_flushes.clone(),
+            self.writer_writes.clone(),
+            self.bytes_sent.clone(),
+        )
     }
 
-    pub(crate) fn frames_sent_add(&self, n: u64) {
-        self.frames_sent.add(n);
-    }
-
-    pub(crate) fn writer_flushes_add(&self, n: u64) {
-        self.writer_flushes.add(n);
+    /// The ingress byte counter cell, recorded by the reactor per read.
+    pub(crate) fn bytes_received_counter(&self) -> Counter {
+        self.bytes_received.clone()
     }
 
     pub(crate) fn recovery(&self) {
@@ -463,6 +485,12 @@ impl ServiceCounters {
             bytes_received: self.bytes_received.get(),
             frames_sent: self.frames_sent.get(),
             writer_flushes: self.writer_flushes.get(),
+            writer_writes: self.writer_writes.get(),
+            connections_accepted: self.reactor.accepted.get(),
+            connections_open: self.reactor.connections_open.get(),
+            epoll_wakeups: self.reactor.epoll_wakeups.get(),
+            reactor_events: self.reactor.events.get(),
+            wedged_closed: self.reactor.wedged_closed.get(),
             recoveries: self.recoveries.get(),
             resumed_sessions: self.resumed_sessions.get(),
             retries: self.retries.get(),
@@ -527,6 +555,20 @@ pub struct CountersSnapshot {
     /// Coalesced writer flushes; `frames_sent / writer_flushes` is the
     /// realized egress batching factor.
     pub writer_flushes: u64,
+    /// `write(2)` calls those flushes issued (short writes retry, so this
+    /// can exceed `writer_flushes`).
+    pub writer_writes: u64,
+    /// Connections the reactor accepted over the daemon's lifetime.
+    pub connections_accepted: u64,
+    /// Sockets the reactor owned at snapshot time (0 after a drain).
+    pub connections_open: i64,
+    /// Event-loop wakeups (`epoll_wait`/`poll` returns); with
+    /// `reactor_events` this gives the events-per-wakeup batching factor.
+    pub epoll_wakeups: u64,
+    /// Readiness events the reactor dispatched.
+    pub reactor_events: u64,
+    /// Connections closed for staying unwritable past the write deadline.
+    pub wedged_closed: u64,
     /// Sessions rebuilt from a WAL checkpoint (eager recovery at daemon
     /// start, or lazily when a resume found no live session).
     pub recoveries: u64,
@@ -611,20 +653,27 @@ mod tests {
         c.result_batch();
         c.results_dropped_add(7);
         c.result_dropped();
-        c.bytes_sent_add(4096);
-        c.bytes_received_add(1024);
-        c.frames_sent_add(64);
-        c.writer_flushes_add(2);
+        c.bytes_received_counter().add(1024);
+        // The egress cells are fed directly by corked writers holding the
+        // service's handle set — the reactor wires every connection this
+        // way via `cork_metrics()`.
+        let mut w = avoc_net::CorkedWriter::new(Vec::new());
+        w.set_metrics(c.cork_metrics());
+        w.push(&avoc_net::Message::Shutdown);
+        w.flush().unwrap();
         let snap = c.snapshot();
         assert_eq!(snap.result_batches, 2);
         assert_eq!(snap.results_dropped, 8);
-        assert_eq!(snap.bytes_sent, 4096);
         assert_eq!(snap.bytes_received, 1024);
-        assert_eq!(snap.frames_sent, 64);
-        assert_eq!(snap.writer_flushes, 2);
+        assert_eq!(snap.frames_sent, 1);
+        assert_eq!(snap.writer_flushes, 1);
+        assert_eq!(snap.writer_writes, 1);
+        assert!(snap.bytes_sent > 0, "flush counted the frame's bytes");
         let json = snap.to_json();
         assert!(json.contains("\"result_batches\": 2"));
-        assert!(json.contains("\"writer_flushes\": 2"));
+        assert!(json.contains("\"writer_flushes\": 1"));
+        assert!(json.contains("\"epoll_wakeups\""));
+        assert!(json.contains("\"connections_open\""));
     }
 
     #[test]

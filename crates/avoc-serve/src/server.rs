@@ -1,35 +1,31 @@
 //! TCP front-end: control frames in, session results out.
+//!
+//! Served by the `avoc-net` reactor: one event-loop thread owns the
+//! listener and every tenant socket, so the daemon's data-plane thread
+//! count is `shards + 1` regardless of how many connections are open —
+//! the thread-per-connection model (a reader loop plus a writer thread
+//! per tenant) is gone. Inbound bytes stream through the re-entrant
+//! [`avoc_net::StreamDecoder`]; outbound results ride each connection's
+//! bounded channel, which the reactor drains into a corked writer when
+//! the shard-side [`ResultSink`] wakes it.
 
-use avoc_net::message::DecodeError;
-use avoc_net::{CorkedWriter, Message, WriterStats};
-use bytes::BytesMut;
-use crossbeam::channel::{self, Sender};
-use std::io::{self, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use avoc_net::reactor::{self, ConnWaker, FrameVerdict, Handler, ReactorConfig, ReactorHandle};
+use avoc_net::Message;
+use crossbeam::channel::{self, Receiver};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 use crate::admin::AdminServer;
-use crate::metrics::CountersSnapshot;
+use crate::metrics::{CountersSnapshot, ServiceCounters};
 use crate::service::{ServeError, VoterService};
+use crate::sink::ResultSink;
 
 /// Capacity of each connection's outbound result channel. Bounded so a
 /// tenant reading results slowly cannot grow daemon memory; shards never
 /// block on it — once it fills, the tenant's overflow is dropped and
 /// counted (`results_dropped`), so its slowness stays its own problem.
 const OUT_CHANNEL_CAPACITY: usize = 256;
-
-/// How often a blocked connection reader wakes to check for shutdown.
-const READ_POLL_INTERVAL: Duration = Duration::from_millis(250);
-
-/// Per-write deadline on a connection's result stream. A tenant that stops
-/// reading but keeps its socket open would otherwise pin its writer thread
-/// in `write_all` forever (hanging graceful shutdown's thread joins); on
-/// expiry the writer exits, the out channel disconnects, and shard-side
-/// sends to this tenant fail fast.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The daemon's socket front-end: accepts tenant connections and speaks the
 /// session control frames (tags 5–9, plus the tag-11 resume handshake) of
@@ -45,8 +41,7 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 pub struct TcpServer {
     local_addr: SocketAddr,
     service: Arc<VoterService>,
-    running: Arc<AtomicBool>,
-    accept_join: JoinHandle<()>,
+    reactor: ReactorHandle,
     /// The observability endpoint, when the service was configured with an
     /// admin address.
     admin: Option<AdminServer>,
@@ -62,7 +57,6 @@ impl TcpServer {
     pub fn start(addr: &str, service: Arc<VoterService>) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let running = Arc::new(AtomicBool::new(true));
         // The observability plane rides along when configured: a bind
         // failure there fails the whole start rather than silently serving
         // without metrics.
@@ -70,19 +64,26 @@ impl TcpServer {
             Some(admin_addr) => Some(AdminServer::start(admin_addr, Arc::clone(&service))?),
             None => None,
         };
-        let accept_join = {
-            let service = Arc::clone(&service);
-            let running = Arc::clone(&running);
-            std::thread::Builder::new()
-                .name("avoc-serve-accept".into())
-                .spawn(move || accept_loop(listener, service, running))
-                .expect("spawn accept loop")
+        let counters = service.counters_arc();
+        let handler = ServeHandler {
+            service: Arc::clone(&service),
+            counters: Arc::clone(&counters),
         };
+        let reactor = reactor::spawn(
+            listener,
+            handler,
+            ReactorConfig {
+                write_deadline: Some(service.write_deadline_config()),
+                metrics: Some(counters.reactor_metrics()),
+                cork_metrics: Some(counters.cork_metrics()),
+                bytes_received: Some(counters.bytes_received_counter()),
+                ..ReactorConfig::default()
+            },
+        )?;
         Ok(TcpServer {
             local_addr,
             service,
-            running,
-            accept_join,
+            reactor,
             admin,
         })
     }
@@ -98,20 +99,24 @@ impl TcpServer {
         self.admin.as_ref().map(AdminServer::local_addr)
     }
 
+    /// Which readiness backend the reactor selected (`"epoll"` on Linux,
+    /// `"poll"` under `AVOC_FORCE_POLL` or where epoll is unavailable).
+    pub fn reactor_backend(&self) -> &'static str {
+        self.reactor.backend()
+    }
+
     /// The service this front-end drives (for live [`VoterService::counters`]
     /// snapshots while serving).
     pub fn service(&self) -> &VoterService {
         &self.service
     }
 
-    /// Graceful shutdown: stops accepting, waits for connection threads,
-    /// drains every session (flushing in-flight rounds to whichever sinks
-    /// still listen) and returns the final counters.
+    /// Graceful shutdown: stops the reactor (closing every connection
+    /// after a best-effort flush of its queued results), drains every
+    /// session (flushing in-flight rounds to whichever sinks still listen)
+    /// and returns the final counters.
     pub fn shutdown(self) -> CountersSnapshot {
-        self.running.store(false, Ordering::SeqCst);
-        // Unblock the accept() call with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        let _ = self.accept_join.join();
+        self.reactor.shutdown();
         if let Some(admin) = self.admin {
             admin.stop();
         }
@@ -119,13 +124,11 @@ impl TcpServer {
     }
 
     /// Hard kill — the crash-simulation counterpart of
-    /// [`TcpServer::shutdown`]: stops accepting and aborts the service
+    /// [`TcpServer::shutdown`]: stops the reactor and aborts the service
     /// ([`VoterService::kill`]) without flushing sessions, leaving durable
     /// state at the last completed checkpoint.
     pub fn abort(self) -> CountersSnapshot {
-        self.running.store(false, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.local_addr);
-        let _ = self.accept_join.join();
+        self.reactor.shutdown();
         if let Some(admin) = self.admin {
             admin.stop();
         }
@@ -133,233 +136,171 @@ impl TcpServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, service: Arc<VoterService>, running: Arc<AtomicBool>) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    while running.load(Ordering::SeqCst) {
-        let Ok((stream, _)) = listener.accept() else {
-            break;
+/// The protocol half of the daemon's reactor: frame dispatch against the
+/// [`VoterService`], with per-connection session bookkeeping.
+struct ServeHandler {
+    service: Arc<VoterService>,
+    counters: Arc<ServiceCounters>,
+}
+
+/// What the handler tracks per connection.
+struct ConnState {
+    /// The connection's result channel, bundled with its reactor waker —
+    /// the sink every session this connection opens emits through.
+    sink: ResultSink,
+    /// Sessions opened with the legacy `OpenSession`: closed (flushing
+    /// in-flight rounds) when the connection goes away.
+    opened: Vec<u64>,
+    /// Sessions attached via `ResumeSession`: detached (left lingering for
+    /// a re-attach) when the connection goes away.
+    resumed: Vec<u64>,
+}
+
+impl ServeHandler {
+    /// Tells the tenant about a service error, without ever blocking the
+    /// reactor on the tenant's own result channel: a full channel sheds
+    /// the notice (counted), exactly like shard-side emissions.
+    fn send_error(&self, sink: &ResultSink, session: u64, e: &ServeError) {
+        let notice = Message::Error {
+            session,
+            message: e.to_string(),
         };
-        if !running.load(Ordering::SeqCst) {
-            break; // the shutdown wake-up connection
+        if sink.try_send(notice).is_err() {
+            self.counters.result_dropped();
         }
-        let service = Arc::clone(&service);
-        let running = Arc::clone(&running);
-        conns.push(std::thread::spawn(move || {
-            serve_connection(stream, service, running);
-        }));
-    }
-    for c in conns {
-        let _ = c.join();
     }
 }
 
-/// One tenant connection: a reader loop (this thread) feeding the service,
-/// and a writer thread streaming the connection's result channel back out.
-fn serve_connection(stream: TcpStream, service: Arc<VoterService>, running: Arc<AtomicBool>) {
-    let _ = stream.set_nodelay(true);
-    // Periodic timeouts let the reader notice shutdown between frames.
-    let _ = stream.set_read_timeout(Some(READ_POLL_INTERVAL));
-    let (out_tx, out_rx) = channel::bounded::<Message>(OUT_CHANNEL_CAPACITY);
-    let writer = {
-        let stream = stream.try_clone();
-        let counters = service.counters_arc();
-        std::thread::spawn(move || {
-            let Ok(stream) = stream else { return };
-            let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-            // Exits when every sender is gone: the reader's handle drops at
-            // connection end and the shards' sink clones drop as their
-            // sessions close.
-            //
-            // Adaptive corking: each wakeup drains whatever is already
-            // queued into the cork buffer and ships it with one flush — a
-            // lone frame still leaves immediately (no added latency), while
-            // a backlog coalesces into a single `write`. The socket's
-            // per-write deadline applies to the coalesced flush exactly as
-            // it did to per-frame writes: a wedged tenant stalls the flush,
-            // the deadline expires, and the writer exits.
-            let mut writer = CorkedWriter::new(stream);
-            let mut last = WriterStats::default();
-            for msg in out_rx.iter() {
-                writer.push(&msg);
-                while !writer.is_corked_full() {
-                    match out_rx.try_recv() {
-                        Ok(msg) => writer.push(&msg),
-                        Err(_) => break,
-                    }
-                }
-                let flushed = writer.flush();
-                let now = writer.stats();
-                counters.frames_sent_add(now.frames - last.frames);
-                counters.bytes_sent_add(now.bytes - last.bytes);
-                counters.writer_flushes_add(now.flushes - last.flushes);
-                last = now;
-                if flushed.is_err() {
-                    break; // tenant gone or stalled past the write deadline
-                }
-            }
-        })
-    };
+impl Handler for ServeHandler {
+    type Conn = ConnState;
 
-    let (opened, resumed) = read_frames(stream, &service, &running, &out_tx);
-
-    // Close sessions the tenant left open so their in-flight rounds flush
-    // and the shards drop their sink clones (releasing the writer).
-    for session in opened {
-        let _ = service.close_session(session);
-    }
-    // Resumed sessions linger for a re-attach instead — but they must stop
-    // holding this connection's result channel, or the writer below (and
-    // shutdown's thread joins behind it) would block for as long as the
-    // session lives.
-    for session in resumed {
-        let _ = service.detach_session(session, &out_tx);
-    }
-    drop(out_tx);
-    let _ = writer.join();
-}
-
-/// Decodes frames until the tenant disconnects, shutdown begins, or a
-/// `Shutdown` frame arrives. Returns the ids of sessions still open:
-/// legacy-opened ones (to close) and resumed ones (to detach).
-fn read_frames(
-    mut stream: TcpStream,
-    service: &VoterService,
-    running: &AtomicBool,
-    out_tx: &Sender<Message>,
-) -> (Vec<u64>, Vec<u64>) {
-    let counters = service.counters_arc();
-    let mut buf = BytesMut::with_capacity(4096);
-    let mut chunk = [0u8; 4096];
-    let mut opened: Vec<u64> = Vec::new();
-    let mut resumed: Vec<u64> = Vec::new();
-    'conn: while running.load(Ordering::SeqCst) {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                counters.bytes_received_add(n as u64);
-                n
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue; // poll tick: re-check `running`
-            }
-            Err(_) => break,
+    fn on_open(&mut self, waker: ConnWaker) -> (ConnState, Receiver<Message>) {
+        let (out_tx, out_rx) = channel::bounded::<Message>(OUT_CHANNEL_CAPACITY);
+        let conn = ConnState {
+            sink: ResultSink::with_waker(out_tx, waker),
+            opened: Vec::new(),
+            resumed: Vec::new(),
         };
-        buf.extend_from_slice(&chunk[..n]);
-        loop {
-            let msg = match Message::decode(&mut buf) {
-                Ok(msg) => msg,
-                Err(DecodeError::Incomplete) => break,
-                // A hostile length prefix is never consumed and would have
-                // this daemon buffer toward a multi-GiB frame: drop the
-                // connection instead.
-                Err(DecodeError::FrameTooLarge { .. }) => break 'conn,
-                Err(_) => continue, // undecodable frame already consumed
-            };
-            match msg {
-                Message::OpenSession {
+        (conn, out_rx)
+    }
+
+    fn on_frame(&mut self, conn: &mut ConnState, msg: Message) -> FrameVerdict {
+        match msg {
+            Message::OpenSession {
+                session,
+                modules,
+                spec,
+            } => match self
+                .service
+                .open_session(session, modules, &spec, conn.sink.clone())
+            {
+                Ok(()) => conn.opened.push(session),
+                Err(e) => self.send_error(&conn.sink, session, &e),
+            },
+            Message::ResumeSession {
+                session,
+                modules,
+                spec,
+                token,
+                last_acked,
+            } => {
+                // Deliberately NOT added to `opened`: a resumed session
+                // lingers across disconnects so its client can come back
+                // and re-attach (the idle sweep reaps abandoned ones).
+                // It is only *detached* from this connection at teardown.
+                match self.service.resume_session(
                     session,
                     modules,
-                    spec,
-                } => match service.open_session(session, modules, &spec, out_tx.clone()) {
-                    Ok(()) => opened.push(session),
-                    Err(e) => send_error(out_tx, session, &e),
-                },
-                Message::ResumeSession {
-                    session,
-                    modules,
-                    spec,
+                    &spec,
                     token,
                     last_acked,
-                } => {
-                    // Deliberately NOT added to `opened`: a resumed session
-                    // lingers across disconnects so its client can come back
-                    // and re-attach (the idle sweep reaps abandoned ones).
-                    // It is only *detached* from this connection at teardown.
-                    match service.resume_session(
-                        session,
-                        modules,
-                        &spec,
-                        token,
-                        last_acked,
-                        out_tx.clone(),
-                    ) {
-                        Ok(()) => {
-                            if !resumed.contains(&session) {
-                                resumed.push(session);
-                            }
+                    conn.sink.clone(),
+                ) {
+                    Ok(()) => {
+                        if !conn.resumed.contains(&session) {
+                            conn.resumed.push(session);
                         }
-                        Err(e) => send_error(out_tx, session, &e),
                     }
+                    Err(e) => self.send_error(&conn.sink, session, &e),
                 }
-                Message::SessionReading {
-                    session,
-                    module,
-                    round,
-                    value,
-                } => match service.feed(session, module, round, value) {
+            }
+            Message::SessionReading {
+                session,
+                module,
+                round,
+                value,
+            } => match self.service.feed(session, module, round, value) {
+                Ok(()) | Err(ServeError::MailboxFull) => {
+                    // `Reject` drops are counted by the service; the
+                    // tenant learns about systematic loss from the
+                    // counters, not per-reading error frames.
+                }
+                Err(e) => {
+                    self.send_error(&conn.sink, session, &e);
+                    return FrameVerdict::Close;
+                }
+            },
+            Message::FeedBatch { session, readings } => {
+                match self.service.feed_batch(session, &readings) {
                     Ok(()) | Err(ServeError::MailboxFull) => {
-                        // `Reject` drops are counted by the service; the
-                        // tenant learns about systematic loss from the
-                        // counters, not per-reading error frames.
+                        // As with single readings: `Reject` drops are
+                        // counted per reading by the service, not
+                        // reported per frame.
                     }
                     Err(e) => {
-                        send_error(out_tx, session, &e);
-                        break 'conn;
-                    }
-                },
-                Message::FeedBatch { session, readings } => {
-                    match service.feed_batch(session, &readings) {
-                        Ok(()) | Err(ServeError::MailboxFull) => {
-                            // As with single readings: `Reject` drops are
-                            // counted per reading by the service, not
-                            // reported per frame.
-                        }
-                        Err(e) => {
-                            send_error(out_tx, session, &e);
-                            break 'conn;
-                        }
+                        self.send_error(&conn.sink, session, &e);
+                        return FrameVerdict::Close;
                     }
                 }
-                Message::CloseSession { session } => {
-                    opened.retain(|&s| s != session);
-                    resumed.retain(|&s| s != session);
-                    if service.close_session(session).is_err() {
-                        break 'conn;
-                    }
-                }
-                Message::StatsRequest => {
-                    // On-demand counters: the same JSON a drain dumps and
-                    // the admin `/stats` route serves, answered on this
-                    // connection's result stream.
-                    let reply = Message::StatsReply {
-                        json: service.counters().to_json(),
-                    };
-                    if out_tx.send(reply).is_err() {
-                        break 'conn;
-                    }
-                }
-                Message::Shutdown => break 'conn,
-                // Legacy single-tenant frames and server-to-client frames
-                // carry no session routing; a daemon connection ignores them.
-                Message::Reading { .. }
-                | Message::Missing { .. }
-                | Message::Heartbeat { .. }
-                | Message::SessionResult { .. }
-                | Message::ResultBatch { .. }
-                | Message::Resumed { .. }
-                | Message::StatsReply { .. }
-                | Message::Error { .. } => {}
             }
+            Message::CloseSession { session } => {
+                conn.opened.retain(|&s| s != session);
+                conn.resumed.retain(|&s| s != session);
+                if self.service.close_session(session).is_err() {
+                    return FrameVerdict::Close;
+                }
+            }
+            Message::StatsRequest => {
+                // On-demand counters: the same JSON a drain dumps and
+                // the admin `/stats` route serves, answered on this
+                // connection's result stream (shed, like any result, if
+                // the tenant's channel is full).
+                let reply = Message::StatsReply {
+                    json: self.service.counters().to_json(),
+                };
+                if conn.sink.try_send(reply).is_err() {
+                    self.counters.result_dropped();
+                }
+            }
+            Message::Shutdown => return FrameVerdict::Close,
+            // Legacy single-tenant frames and server-to-client frames
+            // carry no session routing; a daemon connection ignores them.
+            Message::Reading { .. }
+            | Message::Missing { .. }
+            | Message::Heartbeat { .. }
+            | Message::SessionResult { .. }
+            | Message::ResultBatch { .. }
+            | Message::Resumed { .. }
+            | Message::StatsReply { .. }
+            | Message::Error { .. } => {}
         }
+        FrameVerdict::Continue
     }
-    (opened, resumed)
-}
 
-fn send_error(out_tx: &Sender<Message>, session: u64, e: &ServeError) {
-    let _ = out_tx.send(Message::Error {
-        session,
-        message: e.to_string(),
-    });
+    fn on_close(&mut self, conn: ConnState) {
+        // Close sessions the tenant left open so their in-flight rounds
+        // flush and the shards drop their sink clones.
+        for session in conn.opened {
+            let _ = self.service.close_session(session);
+        }
+        // Resumed sessions linger for a re-attach instead — but they must
+        // stop holding this connection's result channel, or the reactor's
+        // slot (and the channel's memory) would stay pinned for as long as
+        // the session lives.
+        for session in conn.resumed {
+            let _ = self.service.detach_session(session, &conn.sink);
+        }
+        // `conn.sink` drops here; when the shards release their clones the
+        // channel disconnects and the reactor frees the connection slot.
+    }
 }

@@ -1,7 +1,7 @@
 //! The sharded voter service: session routing, admission, backpressure.
 
 use avoc_core::ModuleId;
-use avoc_net::{Message, SpecSource};
+use avoc_net::SpecSource;
 use avoc_store::{CompactionReport, TieredStore};
 use avoc_vdx::VdxError;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
@@ -16,6 +16,7 @@ use crate::metrics::{CountersSnapshot, ServiceCounters};
 use crate::persist::{self, Persistence};
 use crate::registry::SpecRegistry;
 use crate::shard::{Backpressure, OpenReq, ShardCommand, ShardWorker};
+use crate::sink::ResultSink;
 
 /// What the service does when a session open arrives at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +58,12 @@ pub struct ServeConfig {
     /// `/healthz`, `/stats`, `/sessions`, `/trace`) — e.g.
     /// `"127.0.0.1:0"`. `None` (the default) serves no admin socket.
     pub admin_addr: Option<String>,
+    /// How long a connection's corked writer may sit parked on a full
+    /// socket before the reactor declares the peer wedged and closes it.
+    /// The default (5 s) suits interactive tenants; raise it for peers
+    /// that legitimately go long between reads — e.g. batch clients on a
+    /// heavily oversubscribed host.
+    pub write_deadline: std::time::Duration,
     /// Per-round trace sampling cadence: one round in `trace_sample` leaves
     /// spans in the trace ring. `0` (the default) disables tracing.
     pub trace_sample: u64,
@@ -76,6 +83,7 @@ impl Default for ServeConfig {
             lag_tolerance: 8,
             persistence: Persistence::default(),
             admin_addr: None,
+            write_deadline: avoc_net::reactor::DEFAULT_WRITE_DEADLINE,
             trace_sample: 0,
             trace_capacity: 4096,
         }
@@ -142,6 +150,7 @@ pub struct VoterService {
     admission: AdmissionPolicy,
     persistence: Persistence,
     admin_addr: Option<String>,
+    write_deadline: std::time::Duration,
     /// The segment tier behind the state directory (shared with every shard
     /// and the compactor thread). `None` when persistence is off or the
     /// tier failed to open — sessions then run WAL-only, exactly as before.
@@ -255,6 +264,7 @@ impl VoterService {
             admission: config.admission,
             persistence: config.persistence,
             admin_addr: config.admin_addr,
+            write_deadline: config.write_deadline,
             tiered,
             compactor_stop,
             compactor: Mutex::new(compactor),
@@ -287,7 +297,8 @@ impl VoterService {
 
     /// Opens a session: resolves the spec (named or inline), then installs
     /// it on the session's shard. Results and session-scoped errors flow to
-    /// `sink`.
+    /// `sink` — a bare `Sender<Message>` or a reactor-backed
+    /// [`ResultSink`].
     ///
     /// # Errors
     ///
@@ -299,7 +310,7 @@ impl VoterService {
         session: u64,
         modules: u32,
         spec: &SpecSource,
-        sink: Sender<Message>,
+        sink: impl Into<ResultSink>,
     ) -> Result<(), ServeError> {
         let resolved = self.registry.resolve(spec)?;
         let shard = self.shard_for(session);
@@ -310,7 +321,7 @@ impl VoterService {
             spec_source: spec.clone(),
             token: 0,
             resumable: false,
-            sink,
+            sink: sink.into(),
             evict_if_full: self.admission == AdmissionPolicy::EvictIdle,
         });
         // Control frames always block: admission must not be load-shed, and
@@ -345,7 +356,7 @@ impl VoterService {
         spec: &SpecSource,
         token: u64,
         last_acked: Option<u64>,
-        sink: Sender<Message>,
+        sink: impl Into<ResultSink>,
     ) -> Result<(), ServeError> {
         let resolved = self.registry.resolve(spec)?;
         let shard = self.shard_for(session);
@@ -357,7 +368,7 @@ impl VoterService {
                 spec_source: spec.clone(),
                 token,
                 resumable: true,
-                sink,
+                sink: sink.into(),
                 evict_if_full: self.admission == AdmissionPolicy::EvictIdle,
             },
             last_acked,
@@ -379,7 +390,7 @@ impl VoterService {
     /// # Errors
     ///
     /// [`ServeError::ShuttingDown`] after [`VoterService::drain`].
-    pub fn detach_session(&self, session: u64, sink: &Sender<Message>) -> Result<(), ServeError> {
+    pub fn detach_session(&self, session: u64, sink: &ResultSink) -> Result<(), ServeError> {
         let shard = self.shard_for(session);
         self.links[shard]
             .ctrl
@@ -399,7 +410,8 @@ impl VoterService {
     ///
     /// Returns how many recovery commands were dispatched. Until a client
     /// re-attaches, recovered sessions emit to `sink`.
-    pub fn recover_sessions(&self, sink: Sender<Message>) -> usize {
+    pub fn recover_sessions(&self, sink: impl Into<ResultSink>) -> usize {
+        let sink = sink.into();
         let Some(dir) = self.persistence.state_dir.clone() else {
             return 0;
         };
@@ -656,6 +668,12 @@ impl VoterService {
         self.admin_addr.as_deref()
     }
 
+    /// The wedged-peer write deadline configured at start, handed to the
+    /// reactor by the TCP front-end.
+    pub(crate) fn write_deadline_config(&self) -> std::time::Duration {
+        self.write_deadline
+    }
+
     /// The live counter registry itself — connection I/O threads record
     /// wire-level counters (bytes, frames, flushes) directly against it.
     pub(crate) fn counters_arc(&self) -> Arc<ServiceCounters> {
@@ -741,6 +759,7 @@ impl Drop for VoterService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use avoc_net::Message;
     use avoc_vdx::VdxSpec;
     use crossbeam::channel;
 

@@ -4,13 +4,13 @@
 use avoc_core::{ModuleId, Round, RoundResult, VotingEngine};
 use avoc_net::{BatchResult, Message, SensorHub, MAX_BATCH_RESULTS};
 use avoc_vdx::{build_engine, VdxSpec};
-use crossbeam::channel::Sender;
 use std::collections::VecDeque;
 use std::time::Instant;
 
 use crate::metrics::ServiceCounters;
 use crate::persist::{MetaState, SessionStore, StoredResult, RESULT_RING};
 use crate::service::ServeError;
+use crate::sink::ResultSink;
 
 /// The per-session knobs a shard hands to `open`/`restore` (bundled so the
 /// constructors stay readable as resume grows the parameter list).
@@ -33,7 +33,7 @@ pub(crate) struct Session {
     id: u64,
     hub: SensorHub,
     engine: VotingEngine,
-    sink: Sender<Message>,
+    sink: ResultSink,
     /// Shard tick of the last reading; drives idle eviction.
     pub(crate) last_active_tick: u64,
     token: u64,
@@ -65,9 +65,10 @@ impl Session {
     pub(crate) fn open(
         cfg: &SessionConfig,
         spec: &VdxSpec,
-        sink: Sender<Message>,
+        sink: impl Into<ResultSink>,
         persist: Option<SessionStore>,
     ) -> Result<Self, ServeError> {
+        let sink = sink.into();
         let expected: Vec<ModuleId> = (0..cfg.modules).map(ModuleId::new).collect();
         let engine = build_engine(spec).map_err(ServeError::Vdx)?;
         Ok(Session {
@@ -105,7 +106,7 @@ impl Session {
     pub(crate) fn restore(
         cfg: &SessionConfig,
         spec: &VdxSpec,
-        sink: Sender<Message>,
+        sink: impl Into<ResultSink>,
         store: SessionStore,
         meta: &MetaState,
     ) -> Result<Self, ServeError> {
@@ -261,7 +262,7 @@ impl Session {
     }
 
     /// Whether `sink` is the channel this session currently emits to.
-    pub(crate) fn sink_is(&self, sink: &Sender<Message>) -> bool {
+    pub(crate) fn sink_is(&self, sink: &ResultSink) -> bool {
         self.sink.same_channel(sink)
     }
 
@@ -275,15 +276,14 @@ impl Session {
         // Complete the dying connection's stream first: pending results
         // belong to the old sink (shed-and-counted if it is already gone).
         self.flush_results(counters);
-        let (dead, _) = crossbeam::channel::bounded(1);
-        self.sink = dead;
+        self.sink = ResultSink::dead();
     }
 
     /// Re-attaches a resuming client: swap in its sink, acknowledge with
     /// [`Message::Resumed`], then re-emit every result past its ack floor.
     pub(crate) fn reattach(
         &mut self,
-        sink: Sender<Message>,
+        sink: impl Into<ResultSink>,
         last_acked: Option<u64>,
         tick: u64,
         counters: &ServiceCounters,
@@ -292,7 +292,7 @@ impl Session {
         // holds them, so the replay below re-covers the new sink and the
         // client's ack-floor dedup absorbs any overlap.
         self.flush_results(counters);
-        self.sink = sink;
+        self.sink = sink.into();
         self.last_active_tick = tick;
         self.announce_resumed(true, counters);
         self.replay_results(last_acked, counters);

@@ -3,7 +3,7 @@
 use avoc_core::ModuleId;
 use avoc_net::{Message, SpecSource};
 use avoc_vdx::VdxSpec;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -14,6 +14,7 @@ use avoc_store::TieredStore;
 use crate::metrics::ServiceCounters;
 use crate::persist::{Persistence, SessionStore};
 use crate::session::{Session, SessionConfig};
+use crate::sink::ResultSink;
 
 /// What a shard does when its bounded data mailbox is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,7 +48,7 @@ pub(crate) struct OpenReq {
     /// Whether a live `ResumeSession` may later re-attach.
     pub(crate) resumable: bool,
     /// Where the session's results go.
-    pub(crate) sink: Sender<Message>,
+    pub(crate) sink: ResultSink,
     /// Evict this shard's idlest session if the service is at capacity.
     pub(crate) evict_if_full: bool,
 }
@@ -105,7 +106,7 @@ pub(crate) enum ShardCommand {
         /// The lingering session.
         session: u64,
         /// The dead connection's outbound channel.
-        sink: Sender<Message>,
+        sink: ResultSink,
     },
     /// Flush every session (final checkpoints included) and exit the worker
     /// loop.
@@ -609,7 +610,7 @@ impl ShardWorker {
     }
 
     /// Refuses an open, telling the tenant (without blocking on its sink).
-    fn refuse(&self, sink: &Sender<Message>, session: u64, message: &str) {
+    fn refuse(&self, sink: &ResultSink, session: u64, message: &str) {
         let notice = Message::Error {
             session,
             message: message.into(),

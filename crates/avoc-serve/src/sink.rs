@@ -1,0 +1,114 @@
+//! The connection-aware result sender shards emit through.
+//!
+//! Under the thread-per-connection server a shard could simply `try_send`
+//! on a connection's result channel: the writer thread was parked in a
+//! blocking `recv` and woke by itself. The reactor front-end has no such
+//! thread — one event loop owns every socket and sleeps in `epoll_wait` —
+//! so every enqueue must also *tell the reactor which connection became
+//! ready*. [`ResultSink`] bundles the channel sender with that
+//! connection's [`ConnWaker`]; in-process callers (benchmarks, tests, the
+//! drain path) convert a bare `Sender` into a wakerless sink and nothing
+//! else changes for them.
+
+use avoc_net::{ConnWaker, Message};
+use crossbeam::channel::{Sender, TrySendError};
+
+/// Where a session's results, errors and resume acknowledgements go: a
+/// bounded channel, plus (for reactor-owned connections) the waker that
+/// tells the event loop to drain it.
+#[derive(Debug, Clone)]
+pub struct ResultSink {
+    tx: Sender<Message>,
+    waker: Option<ConnWaker>,
+}
+
+impl ResultSink {
+    /// A sink the reactor drains: sends wake the event loop, and dropping
+    /// the last clone wakes it once more so it notices the disconnect.
+    pub(crate) fn with_waker(tx: Sender<Message>, waker: ConnWaker) -> Self {
+        ResultSink {
+            tx,
+            waker: Some(waker),
+        }
+    }
+
+    /// A sink nobody will ever read — what a lingering session holds after
+    /// its connection died (see `Session::detach`).
+    pub(crate) fn dead() -> Self {
+        let (tx, _) = crossbeam::channel::bounded(1);
+        ResultSink { tx, waker: None }
+    }
+
+    /// Enqueues without blocking, then wakes the reactor. A full or
+    /// disconnected channel reports the failure exactly like the bare
+    /// sender did — shards shed and count, never wait on a tenant.
+    pub(crate) fn try_send(&self, msg: Message) -> Result<(), TrySendError<Message>> {
+        self.tx.try_send(msg)?;
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Whether this sink feeds the same channel as `other` — the detach
+    /// path's identity check, so an old connection's teardown cannot tear
+    /// a re-attached session off its *new* sink.
+    pub(crate) fn same_channel(&self, other: &ResultSink) -> bool {
+        self.tx.same_channel(&other.tx)
+    }
+}
+
+impl From<Sender<Message>> for ResultSink {
+    fn from(tx: Sender<Message>) -> Self {
+        ResultSink { tx, waker: None }
+    }
+}
+
+impl Drop for ResultSink {
+    /// Disconnection is an event too: when a shard drops its last sink
+    /// clone (session closed, drained or detached), the reactor must
+    /// notice the channel died to free the connection's slot. Waking on
+    /// every clone's drop over-notifies, but a spurious wake is one
+    /// atomic swap and the reactor re-checks state anyway.
+    fn drop(&mut self) {
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+
+    #[test]
+    fn bare_senders_convert_and_deliver() {
+        let (tx, rx) = channel::unbounded();
+        let sink: ResultSink = tx.into();
+        sink.try_send(Message::Shutdown).unwrap();
+        assert!(matches!(rx.try_recv(), Ok(Message::Shutdown)));
+    }
+
+    #[test]
+    fn same_channel_tracks_the_inner_sender() {
+        let (tx, _rx) = channel::unbounded::<Message>();
+        let a: ResultSink = tx.clone().into();
+        let b: ResultSink = tx.into();
+        let (other, _rx2) = channel::unbounded::<Message>();
+        let c: ResultSink = other.into();
+        assert!(a.same_channel(&b));
+        assert!(a.same_channel(&a.clone()));
+        assert!(!a.same_channel(&c));
+    }
+
+    #[test]
+    fn dead_sinks_refuse_without_blocking() {
+        // The receiver is dropped at construction, so every send fails
+        // fast — emissions to a detached session are shed and counted,
+        // never queued or waited on.
+        let sink = ResultSink::dead();
+        assert!(sink.try_send(Message::Shutdown).is_err());
+        assert!(sink.try_send(Message::Shutdown).is_err());
+    }
+}

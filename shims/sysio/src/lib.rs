@@ -1,0 +1,929 @@
+//! Offline raw-syscall shim for readiness-based I/O.
+//!
+//! The workspace builds fully offline, so the usual `libc`/`mio` stack is
+//! unavailable; this crate declares the handful of symbols the
+//! `avoc-net` reactor needs — `epoll_create1`/`epoll_ctl`/`epoll_wait` on
+//! Linux, portable `poll(2)` as the fallback, and a self-wake `pipe(2)` —
+//! against the C library `std` already links, and wraps them in a safe
+//! API. All `unsafe` in the workspace lives here; `avoc-net` itself stays
+//! `#![forbid(unsafe_code)]`.
+//!
+//! The surface mirrors the sliver of `mio`/`polling` the reactor uses:
+//!
+//! * [`Epoll`] — level-triggered epoll instance ([`Epoll::new`] fails
+//!   with `Unsupported` off Linux, letting callers fall back);
+//! * [`PollSet`] — the same add/modify/remove/wait contract over
+//!   `poll(2)`, for non-Linux unix and for forcing the fallback in tests;
+//! * [`WakePipe`] — a non-blocking self-pipe: any thread calls
+//!   [`WakePipe::notify`], the event loop observes readability on
+//!   [`WakePipe::read_fd`] and [`WakePipe::drain`]s it.
+
+#![warn(missing_docs)]
+
+use std::io;
+
+#[cfg(unix)]
+use std::os::unix::io::RawFd;
+#[cfg(not(unix))]
+/// Stand-in fd type so the API compiles on non-unix targets.
+pub type RawFd = i32;
+
+/// What a registered fd should be watched for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd accepts writes again.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest — while flushes are backed up.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification out of [`Epoll::wait`] / [`PollSet::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The fd accepts writes again.
+    pub writable: bool,
+    /// The fd is in an error state (`EPOLLERR`/`POLLERR`).
+    pub is_error: bool,
+    /// The peer hung up (`EPOLLHUP`/`EPOLLRDHUP`/`POLLHUP`).
+    pub is_hangup: bool,
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_void};
+    use std::os::unix::io::RawFd;
+
+    // ---- C library declarations -----------------------------------------
+    //
+    // `std` links the platform C library, so these resolve without any
+    // crate dependency. Only what the reactor needs is declared.
+
+    #[cfg(target_os = "linux")]
+    type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = std::os::raw::c_uint;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub(super) struct Pollfd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    // The kernel packs `epoll_event` on x86-64 only; mirror that exactly
+    // or `epoll_wait` scribbles over misaligned memory.
+    #[cfg(target_os = "linux")]
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut Pollfd, nfds: NfdsT, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+
+        #[cfg(target_os = "linux")]
+        fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        #[cfg(target_os = "linux")]
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    const F_GETFD: c_int = 1;
+    const F_SETFD: c_int = 2;
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    const FD_CLOEXEC: c_int = 1;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: c_int = 0x4;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    #[cfg(target_os = "linux")]
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    #[cfg(target_os = "linux")]
+    const EPOLL_CTL_ADD: c_int = 1;
+    #[cfg(target_os = "linux")]
+    const EPOLL_CTL_DEL: c_int = 2;
+    #[cfg(target_os = "linux")]
+    const EPOLL_CTL_MOD: c_int = 3;
+    #[cfg(target_os = "linux")]
+    const EPOLLIN: u32 = 0x001;
+    #[cfg(target_os = "linux")]
+    const EPOLLOUT: u32 = 0x004;
+    #[cfg(target_os = "linux")]
+    const EPOLLERR: u32 = 0x008;
+    #[cfg(target_os = "linux")]
+    const EPOLLHUP: u32 = 0x010;
+    #[cfg(target_os = "linux")]
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub(super) fn close_fd(fd: RawFd) {
+        unsafe {
+            let _ = close(fd);
+        }
+    }
+
+    /// Puts `fd` in non-blocking, close-on-exec mode.
+    pub(super) fn prepare_fd(fd: RawFd) -> io::Result<()> {
+        unsafe {
+            let flags = cvt(fcntl(fd, F_GETFL))?;
+            cvt(fcntl(fd, F_SETFL, flags | O_NONBLOCK))?;
+            let fdflags = cvt(fcntl(fd, F_GETFD))?;
+            cvt(fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC))?;
+        }
+        Ok(())
+    }
+
+    pub(super) fn make_pipe() -> io::Result<(RawFd, RawFd)> {
+        let mut fds = [0 as c_int; 2];
+        unsafe {
+            cvt(pipe(fds.as_mut_ptr()))?;
+        }
+        let (r, w) = (fds[0], fds[1]);
+        if let Err(e) = prepare_fd(r).and_then(|()| prepare_fd(w)) {
+            close_fd(r);
+            close_fd(w);
+            return Err(e);
+        }
+        Ok((r, w))
+    }
+
+    pub(super) fn write_byte(fd: RawFd) -> io::Result<()> {
+        let byte = [1u8];
+        let n = unsafe { write(fd, byte.as_ptr() as *const c_void, 1) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            // A full pipe means a wake-up is already pending — good enough.
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Re-issues `listen(2)` with a larger backlog. POSIX allows calling
+    /// `listen` again on an already-listening socket to resize its accept
+    /// queue; the kernel clamps to `net.core.somaxconn`.
+    pub(super) fn relisten(fd: RawFd, backlog: i32) -> io::Result<()> {
+        unsafe {
+            cvt(listen(fd, backlog))?;
+        }
+        Ok(())
+    }
+
+    pub(super) fn drain_fd(fd: RawFd) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+
+    // ---- epoll backend ---------------------------------------------------
+
+    #[cfg(target_os = "linux")]
+    pub(super) struct EpollImp {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    #[cfg(target_os = "linux")]
+    impl EpollImp {
+        pub fn new() -> io::Result<Self> {
+            let epfd = unsafe { cvt(epoll_create1(EPOLL_CLOEXEC))? };
+            Ok(EpollImp {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut m = 0;
+            if interest.readable {
+                m |= EPOLLIN | EPOLLRDHUP;
+            }
+            if interest.writable {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            };
+            unsafe {
+                cvt(epoll_ctl(self.epfd, op, fd, &mut ev))?;
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            unsafe {
+                cvt(epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev))?;
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            out.clear();
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for ev in &self.buf[..n as usize] {
+                // Copy out of the (possibly packed) struct before reading.
+                let bits = ev.events;
+                let token = ev.data;
+                out.push(Event {
+                    token,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    is_error: bits & EPOLLERR != 0,
+                    is_hangup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    impl Drop for EpollImp {
+        fn drop(&mut self) {
+            close_fd(self.epfd);
+        }
+    }
+
+    // ---- poll(2) backend -------------------------------------------------
+
+    pub(super) struct PollImp {
+        fds: Vec<Pollfd>,
+        tokens: Vec<u64>,
+    }
+
+    impl PollImp {
+        pub fn new() -> Self {
+            PollImp {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+            }
+        }
+
+        fn mask(interest: Interest) -> c_short {
+            let mut m = 0;
+            if interest.readable {
+                m |= POLLIN;
+            }
+            if interest.writable {
+                m |= POLLOUT;
+            }
+            m
+        }
+
+        fn position(&self, fd: RawFd) -> Option<usize> {
+            self.fds.iter().position(|p| p.fd == fd)
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.position(fd).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.fds.push(Pollfd {
+                fd,
+                events: Self::mask(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let i = self
+                .position(fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds[i].events = Self::mask(interest);
+            self.tokens[i] = token;
+            Ok(())
+        }
+
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            let i = self
+                .position(fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds.swap_remove(i);
+            self.tokens.swap_remove(i);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            out.clear();
+            let n = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as NfdsT, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for (p, &token) in self.fds.iter().zip(&self.tokens) {
+                let r = p.revents;
+                if r == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: r & (POLLIN | POLLHUP) != 0,
+                    writable: r & POLLOUT != 0,
+                    is_error: r & (POLLERR | POLLNVAL) != 0,
+                    is_hangup: r & POLLHUP != 0,
+                });
+            }
+            Ok(out.len())
+        }
+    }
+}
+
+// ---- public wrappers -----------------------------------------------------
+
+/// Widens the accept queue of an already-listening socket by re-issuing
+/// `listen(2)` with `backlog`. `std::net::TcpListener::bind` hardwires a
+/// backlog of 128, which a connection storm (hundreds of simultaneous
+/// connects against a busy accept loop) overflows — completed handshakes
+/// then get reset once the kernel's SYN-ACK retries exhaust. The kernel
+/// clamps `backlog` to `net.core.somaxconn`.
+///
+/// # Errors
+///
+/// Propagates `listen` failures (e.g. the fd is not a listening socket).
+#[cfg(unix)]
+pub fn widen_backlog(fd: RawFd, backlog: i32) -> io::Result<()> {
+    sys::relisten(fd, backlog)
+}
+
+/// Unsupported off unix.
+///
+/// # Errors
+///
+/// Always `Unsupported`.
+#[cfg(not(unix))]
+pub fn widen_backlog(_fd: RawFd, _backlog: i32) -> io::Result<()> {
+    Err(io::Error::from(io::ErrorKind::Unsupported))
+}
+
+/// A level-triggered `epoll(7)` instance.
+///
+/// [`Epoll::new`] returns `Unsupported` on every platform but Linux, so
+/// callers can fall back to [`PollSet`] without conditional compilation.
+pub struct Epoll {
+    #[cfg(all(unix, target_os = "linux"))]
+    imp: sys::EpollImp,
+}
+
+impl std::fmt::Debug for Epoll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Epoll").finish_non_exhaustive()
+    }
+}
+
+#[cfg(all(unix, target_os = "linux"))]
+impl Epoll {
+    /// Creates an epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failures.
+    pub fn new() -> io::Result<Epoll> {
+        Ok(Epoll {
+            imp: sys::EpollImp::new()?,
+        })
+    }
+
+    /// Registers `fd` under `token` with `interest`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures.
+    pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.add(fd, token, interest)
+    }
+
+    /// Re-arms `fd` with a new `token`/`interest`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.modify(fd, token, interest)
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failures.
+    pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+        self.imp.remove(fd)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) and fills `out` with
+    /// ready events. `EINTR` surfaces as `Ok(0)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failures.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        self.imp.wait(out, timeout_ms)
+    }
+}
+
+#[cfg(not(all(unix, target_os = "linux")))]
+impl Epoll {
+    /// Unavailable off Linux.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn new() -> io::Result<Epoll> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is Linux-only; use PollSet",
+        ))
+    }
+
+    /// Unreachable off Linux ([`Epoll::new`] never succeeds there).
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn add(&mut self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    /// Unreachable off Linux.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn modify(&mut self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    /// Unreachable off Linux.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn remove(&mut self, _fd: RawFd) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    /// Unreachable off Linux.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn wait(&mut self, _out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<usize> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+}
+
+/// The portable `poll(2)` fallback with the same contract as [`Epoll`].
+pub struct PollSet {
+    #[cfg(unix)]
+    imp: sys::PollImp,
+}
+
+impl std::fmt::Debug for PollSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PollSet").finish_non_exhaustive()
+    }
+}
+
+impl Default for PollSet {
+    fn default() -> Self {
+        PollSet::new()
+    }
+}
+
+#[cfg(unix)]
+impl PollSet {
+    /// An empty poll set.
+    pub fn new() -> PollSet {
+        PollSet {
+            imp: sys::PollImp::new(),
+        }
+    }
+
+    /// Registers `fd` under `token` with `interest`.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` if `fd` is registered.
+    pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.add(fd, token, interest)
+    }
+
+    /// Re-arms `fd` with a new `token`/`interest`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if `fd` is not registered.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.modify(fd, token, interest)
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if `fd` is not registered.
+    pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+        self.imp.remove(fd)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) and fills `out` with
+    /// ready events. `EINTR` surfaces as `Ok(0)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll` failures.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        self.imp.wait(out, timeout_ms)
+    }
+}
+
+#[cfg(not(unix))]
+impl PollSet {
+    /// An empty poll set (inert off unix).
+    pub fn new() -> PollSet {
+        PollSet {}
+    }
+
+    /// Unsupported off unix.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn add(&mut self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    /// Unsupported off unix.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn modify(&mut self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    /// Unsupported off unix.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn remove(&mut self, _fd: RawFd) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    /// Unsupported off unix.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn wait(&mut self, _out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<usize> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+}
+
+/// A non-blocking self-pipe for waking a blocked `wait` from other threads.
+///
+/// Register [`WakePipe::read_fd`] in the poller; any thread calls
+/// [`WakePipe::notify`]; the event loop calls [`WakePipe::drain`] when the
+/// read end turns readable. Writes to a full pipe are treated as success —
+/// a wake-up is already pending.
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl std::fmt::Debug for WakePipe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WakePipe")
+            .field("read_fd", &self.read_fd)
+            .field("write_fd", &self.write_fd)
+            .finish()
+    }
+}
+
+#[cfg(unix)]
+impl WakePipe {
+    /// Creates the pipe pair, both ends non-blocking and close-on-exec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `pipe`/`fcntl` failures.
+    pub fn new() -> io::Result<WakePipe> {
+        let (read_fd, write_fd) = sys::make_pipe()?;
+        Ok(WakePipe { read_fd, write_fd })
+    }
+
+    /// The fd to register for read interest in the poller.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Wakes the event loop (thread-safe; coalesces when the pipe is full).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures other than a full pipe.
+    pub fn notify(&self) -> io::Result<()> {
+        sys::write_byte(self.write_fd)
+    }
+
+    /// Consumes every pending wake-up byte.
+    pub fn drain(&self) {
+        sys::drain_fd(self.read_fd);
+    }
+}
+
+#[cfg(unix)]
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        sys::close_fd(self.read_fd);
+        sys::close_fd(self.write_fd);
+    }
+}
+
+#[cfg(not(unix))]
+impl WakePipe {
+    /// Unsupported off unix.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    pub fn new() -> io::Result<WakePipe> {
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
+
+    /// Stand-in fd accessor.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// No-op off unix.
+    ///
+    /// # Errors
+    ///
+    /// Never fails.
+    pub fn notify(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// No-op off unix.
+    pub fn drain(&self) {}
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn wake_pipe_wakes_and_drains() {
+        let wp = WakePipe::new().unwrap();
+        let mut ps = PollSet::new();
+        ps.add(wp.read_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: times out with no events.
+        assert_eq!(ps.wait(&mut events, 0).unwrap(), 0);
+
+        wp.notify().unwrap();
+        wp.notify().unwrap(); // coalesces
+        let n = ps.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        wp.drain();
+        assert_eq!(ps.wait(&mut events, 0).unwrap(), 0, "drained");
+    }
+
+    #[test]
+    fn wake_pipe_notify_survives_a_full_pipe() {
+        let wp = WakePipe::new().unwrap();
+        // A pipe holds 64 KiB by default; far overshoot it.
+        for _ in 0..100_000 {
+            wp.notify().unwrap();
+        }
+        wp.drain();
+        let mut ps = PollSet::new();
+        ps.add(wp.read_fd(), 1, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(ps.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    fn exercise_backend<A, M, R, W>(mut add: A, mut modify: M, mut remove: R, mut wait: W)
+    where
+        A: FnMut(RawFd, u64, Interest) -> io::Result<()>,
+        M: FnMut(RawFd, u64, Interest) -> io::Result<()>,
+        R: FnMut(RawFd) -> io::Result<()>,
+        W: FnMut(&mut Vec<Event>, i32) -> io::Result<usize>,
+    {
+        use std::os::unix::io::AsRawFd;
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let fd = b.as_raw_fd();
+        add(fd, 42, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        assert_eq!(wait(&mut events, 0).unwrap(), 0, "idle socket");
+
+        a.write_all(b"hi").unwrap();
+        let start = Instant::now();
+        let n = wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1, "readable after peer write");
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+        assert!(
+            start.elapsed().as_millis() < 1900,
+            "level-triggered, no wait"
+        );
+
+        // Level-triggered: stays readable until drained.
+        assert_eq!(wait(&mut events, 0).unwrap(), 1);
+        let mut buf = [0u8; 8];
+        let mut sock = &b;
+        let _ = std::io::Read::read(&mut sock, &mut buf);
+
+        // Write interest: a fresh socket is immediately writable.
+        modify(fd, 43, Interest::READ_WRITE).unwrap();
+        assert_eq!(wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(events[0].token, 43);
+        assert!(events[0].writable);
+
+        // Peer hangup surfaces as readable (read returns 0) or hangup.
+        drop(a);
+        let n = wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable || events[0].is_hangup);
+        let mut sock = &b;
+        assert_eq!(std::io::Read::read(&mut sock, &mut buf).unwrap(), 0, "EOF");
+
+        remove(fd).unwrap();
+        assert_eq!(wait(&mut events, 0).unwrap(), 0, "deregistered");
+    }
+
+    #[test]
+    fn poll_backend_readiness_contract() {
+        let ps = std::cell::RefCell::new(PollSet::new());
+        exercise_backend(
+            |fd, t, i| ps.borrow_mut().add(fd, t, i),
+            |fd, t, i| ps.borrow_mut().modify(fd, t, i),
+            |fd| ps.borrow_mut().remove(fd),
+            |out, ms| ps.borrow_mut().wait(out, ms),
+        );
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn epoll_backend_readiness_contract() {
+        let ep = std::cell::RefCell::new(Epoll::new().expect("linux has epoll"));
+        exercise_backend(
+            |fd, t, i| ep.borrow_mut().add(fd, t, i),
+            |fd, t, i| ep.borrow_mut().modify(fd, t, i),
+            |fd| ep.borrow_mut().remove(fd),
+            |out, ms| ep.borrow_mut().wait(out, ms),
+        );
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn epoll_reports_write_unblocking() {
+        use std::os::unix::io::AsRawFd;
+        let (a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let fd = b.as_raw_fd();
+
+        // Fill the send buffer until the kernel pushes back.
+        let junk = [0u8; 65536];
+        loop {
+            let mut sock = &b;
+            match std::io::Write::write(&mut sock, &junk) {
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+
+        let mut ep = Epoll::new().unwrap();
+        ep.add(fd, 9, Interest::READ_WRITE).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "send buffer full");
+
+        // Reader drains; EPOLLOUT must fire.
+        let mut a = a;
+        let mut sink = [0u8; 65536];
+        let drainer = std::thread::spawn(move || {
+            let deadline = Instant::now() + std::time::Duration::from_secs(5);
+            while Instant::now() < deadline {
+                if a.read(&mut sink).unwrap_or(0) == 0 {
+                    break;
+                }
+            }
+        });
+        let n = ep.wait(&mut events, 5000).unwrap();
+        assert!(n >= 1, "EPOLLOUT after peer drains");
+        assert!(events.iter().any(|e| e.token == 9 && e.writable));
+        drop(b);
+        drainer.join().unwrap();
+    }
+}

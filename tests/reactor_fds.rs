@@ -1,0 +1,252 @@
+//! FD and thread hygiene of the readiness-based daemon front-end.
+//!
+//! The reactor owns every tenant socket in one event-loop thread, so two
+//! resource invariants must hold no matter how many tenants come and go:
+//! the process's open-FD count returns to its baseline once connections
+//! close (no leaked sockets, no leaked connection slots holding them), and
+//! the daemon's data-plane thread count never moves with the connection
+//! count. Both are measured against `/proc/self`, which makes these tests
+//! Linux-only in the same way the epoll backend is — the poll fallback
+//! still runs them, the inspection path does not change.
+//!
+//! The churn below deliberately mixes clean teardowns with the rude ones a
+//! public port sees: clients that vanish mid-frame, and clients that open
+//! with a hostile length prefix and get cut off by the decoder.
+
+use avoc::core::ModuleId;
+use avoc::net::{Message, SpecSource};
+use avoc::serve::{ServeClient, ServeConfig, SpecRegistry, TcpServer, VoterService};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// `/proc/self` is process-global: a test counting this process's FDs or
+/// threads would see the other test's server too. Serialise them.
+static PROC_SELF: Mutex<()> = Mutex::new(());
+
+fn proc_lock() -> MutexGuard<'static, ()> {
+    PROC_SELF.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Open file descriptors of this process right now. Counts the directory
+/// fd `read_dir` itself holds too, but that bias is identical on both
+/// sides of a before/after comparison.
+fn open_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .expect("/proc/self/fd readable")
+        .count()
+}
+
+/// Live daemon threads, recognised by the `avoc-` prefix every worker
+/// spawned by this workspace carries in its name (reactor, shards,
+/// compactor, admin). Test-harness threads don't match and can't skew it.
+fn avoc_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("/proc/self/task readable")
+        .filter(|entry| {
+            let Ok(entry) = entry else { return false };
+            std::fs::read_to_string(entry.path().join("comm"))
+                .map(|comm| comm.starts_with("avoc-"))
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+/// Polls until `probe` succeeds or the deadline passes; returns the last
+/// observation either way. Teardown is asynchronous (the reactor frees a
+/// slot when it sees the EOF, shards drop sink clones when the close
+/// command lands), so every "back to baseline" assertion needs a grace
+/// window rather than an instant.
+fn settle<T: Copy>(deadline: Duration, mut probe: impl FnMut() -> (bool, T)) -> (bool, T) {
+    let until = Instant::now() + deadline;
+    loop {
+        let (ok, seen) = probe();
+        if ok || Instant::now() >= until {
+            return (ok, seen);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn avoc_registry() -> Arc<SpecRegistry> {
+    let mut reg = SpecRegistry::new();
+    reg.insert("avoc", avoc::vdx::VdxSpec::avoc());
+    Arc::new(reg)
+}
+
+/// A thousand tenants churned through the daemon — each connects, opens a
+/// single-module session, fuses one round, reads its result and closes —
+/// must leave the process exactly where it started: FD count at baseline,
+/// zero open connections, zero live sessions, and the same data-plane
+/// thread census as before the first tenant arrived.
+#[test]
+fn thousand_session_churn_leaks_no_fds_or_threads() {
+    let _guard = proc_lock();
+    let service = Arc::new(VoterService::start(
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+        avoc_registry(),
+    ));
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+    let addr = server.local_addr();
+
+    // Warm up one full round-trip first: lazily-created process resources
+    // (the reactor's first slot growth, proc handles, DNS-free connect
+    // paths) must not masquerade as a leak in the measured loop.
+    run_tenant(addr, 0);
+    let (clean, _) = settle(Duration::from_secs(5), || {
+        let open = service.counters().connections_open;
+        (open == 0, open)
+    });
+    assert!(clean, "warmup connection must fully close");
+    let fd_baseline = open_fds();
+    let thread_baseline = avoc_threads();
+
+    const SESSIONS: u64 = 1000;
+    for session in 1..=SESSIONS {
+        run_tenant(addr, session);
+        // Interleave rude teardowns through the churn so slot reuse is
+        // exercised against them, not just after them.
+        match session % 250 {
+            100 => abrupt_reset_mid_frame(addr),
+            200 => hostile_length_prefix(addr),
+            _ => {}
+        }
+    }
+
+    // Every socket the churn opened must be gone again — server side via
+    // the reactor freeing slots, client side via the drops above.
+    let (ok, fds) = settle(Duration::from_secs(10), || {
+        let now = open_fds();
+        (now <= fd_baseline, now)
+    });
+    assert!(
+        ok,
+        "fd count must return to baseline after churn: {fds} > {fd_baseline}"
+    );
+    assert_eq!(
+        avoc_threads(),
+        thread_baseline,
+        "data-plane thread count must not scale with tenant churn"
+    );
+    let (ok, open) = settle(Duration::from_secs(5), || {
+        let open = service.counters().connections_open;
+        (open == 0, open)
+    });
+    assert!(ok, "connections_open gauge must drain to zero, saw {open}");
+    // Session close is processed by the shard after the socket drops, so
+    // give the final Close a moment to drain on a loaded box.
+    let (ok, live) = settle(Duration::from_secs(5), || {
+        let live = service.active_sessions();
+        (live == 0, live)
+    });
+    assert!(ok, "no session may linger, saw {live}");
+
+    let snap = server.shutdown();
+    // +1 for the warmup tenant; the rude connections never open sessions.
+    assert_eq!(snap.sessions_opened, SESSIONS + 1);
+    assert_eq!(snap.rounds_fused, SESSIONS + 1);
+    assert!(snap.connections_accepted > SESSIONS);
+    assert_eq!(snap.connections_open, 0);
+}
+
+/// One tenant's full lifecycle over TCP.
+fn run_tenant(addr: std::net::SocketAddr, session: u64) {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .open_session(session, 1, SpecSource::Named("avoc".into()))
+        .expect("open");
+    client
+        .send_reading(session, ModuleId::new(0), 0, 20.0)
+        .expect("feed");
+    match client.recv().expect("result") {
+        Message::SessionResult {
+            session: s, round, ..
+        } => {
+            assert_eq!((s, round), (session, 0));
+        }
+        other => panic!("unexpected frame {other:?}"),
+    }
+    client.close_session(session).expect("close");
+    // Dropping the client closes the socket; the server sees EOF.
+}
+
+/// A client that dies mid-frame: the length prefix promises a payload that
+/// never arrives. The reactor must treat the EOF as a normal teardown and
+/// free the slot even though the decoder holds a partial frame.
+fn abrupt_reset_mid_frame(addr: std::net::SocketAddr) {
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(&64u32.to_be_bytes()).expect("prefix");
+    raw.write_all(&[9u8; 10]).expect("partial payload");
+    drop(raw);
+}
+
+/// A hostile length prefix (4 GiB frame) must get the connection cut off
+/// by the server — observed as EOF on our side — without the daemon
+/// buffering toward the advertised length.
+fn hostile_length_prefix(addr: std::net::SocketAddr) {
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(&u32::MAX.to_be_bytes()).expect("prefix");
+    let mut buf = [0u8; 16];
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let n = std::io::Read::read(&mut raw, &mut buf).expect("server must answer with a close");
+    assert_eq!(n, 0, "hostile prefix must be met with EOF, not data");
+}
+
+/// The census itself, pinned: the daemon's data-plane threads are the
+/// shard workers, the store compactor and exactly one reactor thread —
+/// whether zero or fifty connections are open. Fifty concurrently-open
+/// sockets raise the FD count but not the thread count; that is the whole
+/// point of retiring thread-per-connection.
+#[test]
+fn thread_census_is_independent_of_open_connections() {
+    let _guard = proc_lock();
+    let service = Arc::new(VoterService::start(
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+        avoc_registry(),
+    ));
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+    let addr = server.local_addr();
+    // A thread's name is set from inside the thread itself, so the census
+    // only stabilises once every just-spawned worker has run.
+    let (ok, idle_threads) = settle(Duration::from_secs(5), || {
+        let n = avoc_threads();
+        (n >= 3, n)
+    });
+    assert!(ok, "expected at least shards + reactor, saw {idle_threads}");
+
+    let mut clients = Vec::new();
+    for session in 0..50u64 {
+        let mut client = ServeClient::connect(addr).expect("connect");
+        client
+            .open_session(session, 1, SpecSource::Named("avoc".into()))
+            .expect("open");
+        clients.push(client);
+    }
+    let (ok, open) = settle(Duration::from_secs(5), || {
+        let open = service.counters().connections_open;
+        (open == 50, open)
+    });
+    assert!(ok, "expected 50 open connections, saw {open}");
+    assert_eq!(
+        avoc_threads(),
+        idle_threads,
+        "open connections must not spawn threads"
+    );
+
+    drop(clients);
+    let (ok, open) = settle(Duration::from_secs(10), || {
+        let open = service.counters().connections_open;
+        (open == 0, open)
+    });
+    assert!(ok, "disconnects must drain the gauge, saw {open}");
+    assert_eq!(avoc_threads(), idle_threads);
+    let snap = server.shutdown();
+    assert_eq!(snap.connections_accepted, 50);
+}
