@@ -26,6 +26,10 @@ pub struct ReactorMetrics {
     /// Connections closed because a peer stayed unwritable past the
     /// write deadline (the timer-wheel replacement for `SO_SNDTIMEO`).
     pub wedged_closed: Counter,
+    /// Times the reactor paused accepting because the process ran out of
+    /// file descriptors (`EMFILE`/`ENFILE`); each pause resumes on a
+    /// timer once the emergency reserve re-arms.
+    pub accept_pauses: Counter,
 }
 
 impl ReactorMetrics {
@@ -62,6 +66,11 @@ impl ReactorMetrics {
             wedged_closed: registry.counter_with(
                 "avoc_net_wedged_closed_total",
                 "Connections closed for staying unwritable past the write deadline.",
+                labels,
+            ),
+            accept_pauses: registry.counter_with(
+                "avoc_net_accept_pauses_total",
+                "Times the reactor paused accepting on fd exhaustion.",
                 labels,
             ),
         }

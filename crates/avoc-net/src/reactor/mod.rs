@@ -58,6 +58,11 @@ use timer::{TimerEntry, TimerWheel};
 const TOKEN_LISTENER: u64 = u64::MAX;
 /// Registration token of the wake pipe's read end.
 const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Timer token that re-probes a paused accept loop after fd exhaustion.
+const TOKEN_ACCEPT_RESUME: u64 = u64::MAX - 2;
+
+/// How long a paused accept loop waits before probing for free fds.
+const ACCEPT_RESUME_PROBE: Duration = Duration::from_millis(50);
 
 /// Read chunk size per `read(2)`.
 const READ_CHUNK: usize = 16 * 1024;
@@ -178,6 +183,10 @@ pub struct ReactorConfig {
     pub cork_metrics: Option<CorkMetrics>,
     /// Counts every byte read off data-plane sockets.
     pub bytes_received: Option<Counter>,
+    /// Health plane the reactor reports its `accept` domain into: the
+    /// domain goes `degraded` while accepting is paused on fd exhaustion
+    /// and returns to `ok` once the emergency reserve re-arms.
+    pub health: Option<avoc_obs::Health>,
 }
 
 /// A running reactor. Dropping the handle without calling
@@ -261,6 +270,11 @@ pub fn spawn<H: Handler>(
         metrics: config.metrics,
         cork_metrics: config.cork_metrics,
         bytes_received: config.bytes_received,
+        health: config.health,
+        // One fd held in reserve: dropped on EMFILE so teardown paths can
+        // still open sockets/files, re-armed before accepting resumes.
+        fd_reserve: std::fs::File::open("/dev/null").ok(),
+        accept_paused: false,
     };
     let join = std::thread::Builder::new()
         .name("avoc-net-reactor".into())
@@ -332,6 +346,14 @@ struct Core<H: Handler> {
     metrics: Option<ReactorMetrics>,
     cork_metrics: Option<CorkMetrics>,
     bytes_received: Option<Counter>,
+    health: Option<avoc_obs::Health>,
+    /// Emergency fd kept open so that hitting `EMFILE` never leaves the
+    /// reactor unable to make progress; surrendered while accept is
+    /// paused, reopened before resuming.
+    fd_reserve: Option<std::fs::File>,
+    /// Whether the listener is currently deregistered because the process
+    /// ran out of file descriptors.
+    accept_paused: bool,
 }
 
 impl<H: Handler> Core<H> {
@@ -380,11 +402,29 @@ impl<H: Handler> Core<H> {
 
     fn accept_ready(&mut self) {
         loop {
+            match sysio::fault::check(sysio::fault::Site::Accept) {
+                None => {}
+                Some(sysio::fault::Kind::Eintr) => continue,
+                Some(sysio::fault::Kind::Eagain) => break,
+                Some(sysio::fault::Kind::Emfile) => {
+                    self.pause_accept();
+                    return;
+                }
+                Some(_) => break,
+            }
             let stream = match self.listener.accept() {
                 Ok((stream, _)) => stream,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                // Transient accept failures (EMFILE, aborted handshake):
+                // Out of fds (EMFILE/ENFILE): accepting again would spin —
+                // level triggering re-reports the pending handshake every
+                // wakeup while the accept can never succeed. Deregister
+                // the listener and come back on a timer instead.
+                Err(e) if matches!(e.raw_os_error(), Some(23) | Some(24)) => {
+                    self.pause_accept();
+                    return;
+                }
+                // Other transient accept failures (aborted handshake):
                 // skip this readiness event; level triggering retries.
                 Err(_) => break,
             };
@@ -442,6 +482,71 @@ impl<H: Handler> Core<H> {
         }
     }
 
+    /// Stops accepting: deregisters the listener (so the pending
+    /// handshake stops re-waking the loop), surrenders the emergency fd
+    /// reserve to give close/teardown paths headroom, flags the health
+    /// plane, and schedules a resume probe. Existing connections keep
+    /// being served — fd exhaustion degrades admission, not service.
+    fn pause_accept(&mut self) {
+        if self.accept_paused {
+            return;
+        }
+        self.accept_paused = true;
+        let _ = self.poller.remove(self.listener.as_raw_fd());
+        self.fd_reserve = None;
+        if let Some(m) = &self.metrics {
+            m.accept_pauses.inc();
+        }
+        if let Some(h) = &self.health {
+            h.set(
+                "accept",
+                avoc_obs::HealthLevel::Degraded,
+                "out of file descriptors; accept paused, serving existing connections",
+            );
+        }
+        self.schedule_accept_probe();
+    }
+
+    fn schedule_accept_probe(&mut self) {
+        self.timers.schedule(
+            Instant::now(),
+            ACCEPT_RESUME_PROBE,
+            TimerEntry {
+                token: TOKEN_ACCEPT_RESUME,
+                generation: 0,
+            },
+        );
+    }
+
+    /// Probes whether fds are available again: re-arms the emergency
+    /// reserve and re-registers the listener. Either step failing means
+    /// the process is still exhausted — stay paused and re-probe.
+    fn resume_accept(&mut self) {
+        if !self.accept_paused {
+            return;
+        }
+        let Ok(reserve) = std::fs::File::open("/dev/null") else {
+            self.schedule_accept_probe();
+            return;
+        };
+        if self
+            .poller
+            .add(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .is_err()
+        {
+            self.schedule_accept_probe();
+            return;
+        }
+        self.fd_reserve = Some(reserve);
+        self.accept_paused = false;
+        if let Some(h) = &self.health {
+            h.set("accept", avoc_obs::HealthLevel::Ok, "");
+        }
+        // Catch up on handshakes that queued while paused; the listener's
+        // readiness edge may have been consumed before the pause.
+        self.accept_ready();
+    }
+
     /// Dispatches one readiness event for a connection token. Stale
     /// tokens (slot since reused or freed) are ignored.
     fn conn_event(&mut self, token: u64, readable: bool, writable: bool) {
@@ -477,6 +582,15 @@ impl<H: Handler> Core<H> {
             };
             let mut chunk = [0u8; READ_CHUNK];
             'read: for _ in 0..MAX_READS_PER_EVENT {
+                match sysio::fault::check(sysio::fault::Site::SockRead) {
+                    None => {}
+                    Some(sysio::fault::Kind::Eintr) => continue,
+                    Some(sysio::fault::Kind::Eagain) => break,
+                    Some(_) => {
+                        close = true;
+                        break;
+                    }
+                }
                 let n = match conn.writer.get_mut().read(&mut chunk) {
                     Ok(0) => {
                         close = true;
@@ -562,7 +676,15 @@ impl<H: Handler> Core<H> {
                 if !conn.writer.has_pending() {
                     break;
                 }
-                match conn.writer.flush_nonblocking() {
+                // An injected EINTR is transparent here — the corked
+                // writer's inner `write` already retries it; only EAGAIN
+                // (park on EPOLLOUT) and hard errors change the outcome.
+                let flushed = match sysio::fault::check(sysio::fault::Site::SockWrite) {
+                    None | Some(sysio::fault::Kind::Eintr) => conn.writer.flush_nonblocking(),
+                    Some(sysio::fault::Kind::Eagain) => Ok(FlushOutcome::Blocked),
+                    Some(k) => Err(k.to_error()),
+                };
+                match flushed {
                     Ok(FlushOutcome::Drained) => {
                         if !pulled {
                             break;
@@ -657,6 +779,10 @@ impl<H: Handler> Core<H> {
         let mut expired = std::mem::take(&mut self.expired);
         self.timers.advance(now, &mut expired);
         for entry in expired.drain(..) {
+            if entry.token == TOKEN_ACCEPT_RESUME {
+                self.resume_accept();
+                continue;
+            }
             let (gen, idx) = token_parts(entry.token);
             let Some(slot) = self.slots.get(idx) else {
                 continue;
@@ -781,6 +907,14 @@ mod tests {
     use std::io::Write as _;
     use std::sync::atomic::AtomicU64;
 
+    /// Serializes tests that accept connections: fault plans target the
+    /// whole process, so a concurrently-running reactor would otherwise
+    /// steal (or trip over) an injected accept fault.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// A protocol stub: echoes every `SessionReading` back as a
     /// `SessionResult` and counts closes.
     struct Echo {
@@ -828,6 +962,7 @@ mod tests {
     }
 
     fn run_echo_roundtrip(force_poll: bool) {
+        let _gate = serial();
         let closes = Arc::new(AtomicU64::new(0));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let handle = spawn(
@@ -918,6 +1053,165 @@ mod tests {
     #[test]
     fn echo_roundtrip_on_poll_fallback() {
         run_echo_roundtrip(true);
+    }
+
+    #[test]
+    fn emfile_pauses_accept_then_resumes_with_health_recovery() {
+        let _gate = serial();
+        let registry = avoc_obs::Registry::new();
+        let metrics = ReactorMetrics::register(&registry, &[]);
+        let health = avoc_obs::Health::new();
+        let closes = Arc::new(AtomicU64::new(0));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = spawn(
+            listener,
+            Echo {
+                closes: Arc::clone(&closes),
+            },
+            ReactorConfig {
+                metrics: Some(metrics.clone()),
+                health: Some(health.clone()),
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+
+        // The first accept readiness hits an injected EMFILE: the reactor
+        // must pause (listener deregistered, health degraded) instead of
+        // spinning, then resume on the probe timer and accept the
+        // handshake that waited in the backlog.
+        sysio::fault::install(sysio::fault::Plan::new(7).rule(
+            sysio::fault::Site::Accept,
+            sysio::fault::Kind::Emfile,
+            1,
+            1,
+        ));
+        let mut client = TcpStream::connect(handle.local_addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.accept_pauses.get() == 0 {
+            assert!(Instant::now() < deadline, "accept never paused");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sysio::fault::clear();
+
+        // The connection completes after the resume probe and serves
+        // traffic normally.
+        client
+            .write_all(
+                &Message::SessionReading {
+                    session: 9,
+                    module: ModuleId::new(0),
+                    round: 1,
+                    value: 4.5,
+                }
+                .encode(),
+            )
+            .unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = bytes::BytesMut::new();
+        let mut chunk = [0u8; 4096];
+        let echoed = loop {
+            let n = client.read(&mut chunk).expect("echo arrives after resume");
+            assert!(n > 0, "server hung up");
+            buf.extend_from_slice(&chunk[..n]);
+            if let Ok(msg) = Message::decode(&mut buf) {
+                break msg;
+            }
+        };
+        assert!(
+            matches!(
+                echoed,
+                Message::SessionResult {
+                    round: 1,
+                    value: Some(v),
+                    ..
+                } if v == 4.5
+            ),
+            "unexpected echo {echoed:?}"
+        );
+        assert_eq!(metrics.accept_pauses.get(), 1, "exactly one pause");
+        assert!(health.is_ok(), "health recovered after resume");
+
+        drop(client);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn injected_eintr_on_every_socket_site_is_invisible() {
+        let _gate = serial();
+        // EINTR on accept, reads and writes must be retried/absorbed with
+        // no observable effect: the full echo roundtrip still passes.
+        sysio::fault::install(
+            sysio::fault::Plan::new(11)
+                .rule(sysio::fault::Site::Accept, sysio::fault::Kind::Eintr, 1, 4)
+                .rule(
+                    sysio::fault::Site::SockRead,
+                    sysio::fault::Kind::Eintr,
+                    1,
+                    4,
+                )
+                .rule(
+                    sysio::fault::Site::SockWrite,
+                    sysio::fault::Kind::Eintr,
+                    1,
+                    4,
+                ),
+        );
+        let injected_before = sysio::fault::injected_total();
+        let closes = Arc::new(AtomicU64::new(0));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = spawn(
+            listener,
+            Echo {
+                closes: Arc::clone(&closes),
+            },
+            ReactorConfig::default(),
+        )
+        .unwrap();
+        let mut client = TcpStream::connect(handle.local_addr()).unwrap();
+        for round in 0..10u64 {
+            client
+                .write_all(
+                    &Message::SessionReading {
+                        session: 3,
+                        module: ModuleId::new(0),
+                        round,
+                        value: round as f64,
+                    }
+                    .encode(),
+                )
+                .unwrap();
+        }
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = bytes::BytesMut::new();
+        let mut chunk = [0u8; 4096];
+        let mut got = 0u64;
+        while got < 10 {
+            let n = client.read(&mut chunk).expect("echoes survive EINTR");
+            assert!(n > 0, "server hung up under EINTR");
+            buf.extend_from_slice(&chunk[..n]);
+            while let Ok(msg) = Message::decode(&mut buf) {
+                match msg {
+                    Message::SessionResult { round, value, .. } => {
+                        assert_eq!(value, Some(round as f64));
+                        got += 1;
+                    }
+                    other => panic!("unexpected echo {other:?}"),
+                }
+            }
+        }
+        assert!(
+            sysio::fault::injected_total() > injected_before,
+            "the EINTR rules actually fired"
+        );
+        sysio::fault::clear();
+        drop(client);
+        handle.shutdown();
+        assert_eq!(closes.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   queue delay, fuse time and flush time are separable per tenant while
 //!   the hot path pays one relaxed atomic per sampling decision and zero
 //!   allocations per recorded span.
+//! * [`Health`] — the graceful-degradation plane: named domains
+//!   (persistence, segments, accept) each carry an `ok`/`degraded`/
+//!   `critical` level with a reason; the worst domain decides what
+//!   `/healthz` answers (`200` vs `503` + JSON reasons).
 //! * [`http`] — a minimal, hostile-input-hardened HTTP/1.1 request parser
 //!   and response writer, the substrate for the daemon's admin endpoint
 //!   (`/metrics`, `/healthz`, `/sessions`, `/trace`), plus a tiny blocking
@@ -29,11 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod histogram;
 pub mod http;
 pub mod registry;
 pub mod trace;
 
+pub use health::{Health, HealthLevel};
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use http::{reason, write_response};
 pub use registry::{Counter, Gauge, Registry};
 pub use trace::{now_ns, Span, Stage, TraceRing};

@@ -8,7 +8,9 @@
 //!
 //! Routes:
 //!
-//! * `/healthz` — liveness (`200 ok`).
+//! * `/healthz` — health: `200 ok` when every domain is healthy, `503`
+//!   with a JSON body naming the degraded domains and reasons otherwise
+//!   (memory-only persistence, paused accept, …).
 //! * `/metrics` — the full registry in Prometheus text exposition;
 //!   `?format=json` renders the same cells as one JSON object.
 //! * `/stats` — the legacy [`crate::CountersSnapshot`] JSON dump (same
@@ -154,7 +156,18 @@ fn route(req: &avoc_obs::http::Request<'_>, service: &VoterService) -> (u16, &'s
     const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
     const JSON: &str = "application/json";
     match req.path() {
-        "/healthz" => (200, TEXT, "ok\n".to_string()),
+        // Healthy daemons answer the legacy `200 ok` byte-for-byte; a
+        // degraded one fails the check with `503` and machine-readable
+        // per-domain reasons, so load balancers and operators read the
+        // same signal.
+        "/healthz" => {
+            let health = service.health();
+            if health.is_ok() {
+                (200, TEXT, "ok\n".to_string())
+            } else {
+                (health.status_code(), JSON, health.render_json())
+            }
+        }
         "/metrics" => {
             if req.query_param("format") == Some("json") {
                 (200, JSON, service.obs_registry().render_json())

@@ -10,10 +10,10 @@
 //! into a fixed ring.
 
 use avoc_net::{CorkMetrics, ReactorMetrics};
-use avoc_obs::{Counter, Gauge, Histogram, Registry, TraceRing};
+use avoc_obs::{Counter, Gauge, Health, HealthLevel, Histogram, Registry, TraceRing};
 use parking_lot::Mutex;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// How many fuse-latency samples the reservoir keeps. Old samples are
 /// overwritten ring-style, so the p99 reflects recent behaviour rather than
@@ -77,6 +77,24 @@ pub struct ServiceCounters {
     /// Live sessions, for the admin `/sessions` view. Touched only at
     /// session open/resume/close — never per reading.
     directory: Mutex<HashMap<u64, SessionEntry>>,
+    /// The daemon's health plane: per-domain degradation state the admin
+    /// `/healthz` route renders. Subsystems (session persistence, the
+    /// reactor's accept path) set and clear their domains on transitions.
+    health: Health,
+    /// Sessions currently in degraded (memory-only) persistence; the
+    /// `persistence` health domain is degraded while this is non-empty.
+    degraded_ids: Mutex<HashSet<u64>>,
+    /// Checkpoint attempts that failed (WAL or meta write error).
+    checkpoint_failures: Counter,
+    /// Times any session entered degraded (memory-only) persistence.
+    degraded_entered: Counter,
+    /// Sessions currently running memory-only.
+    degraded_sessions: Gauge,
+    /// Segments the tier quarantined on CRC/decode failure.
+    segments_quarantined: Counter,
+    /// Faults the `sysio` injector delivered (0 in production; the fault
+    /// matrix asserts it moved).
+    fault_injected: Counter,
 }
 
 /// What the directory remembers about one live session.
@@ -240,8 +258,90 @@ impl ServiceCounters {
             ),
             latency: Mutex::new(LatencyReservoir::default()),
             directory: Mutex::new(HashMap::new()),
+            health: Health::new(),
+            degraded_ids: Mutex::new(HashSet::new()),
+            checkpoint_failures: c(
+                "avoc_checkpoint_failures_total",
+                "Checkpoint attempts that failed (WAL or meta write error).",
+            ),
+            degraded_entered: c(
+                "avoc_degraded_entered_total",
+                "Times a session entered degraded (memory-only) persistence.",
+            ),
+            degraded_sessions: registry.gauge_with(
+                "avoc_degraded_sessions",
+                "Sessions currently running memory-only persistence.",
+                &[],
+            ),
+            segments_quarantined: c(
+                "avoc_segments_quarantined_total",
+                "Segments quarantined by the tier on CRC/decode failure.",
+            ),
+            fault_injected: c(
+                "avoc_fault_injected_total",
+                "Faults delivered by the sysio injector (test/chaos runs only).",
+            ),
             trace: TraceRing::new(trace_capacity, trace_every),
             registry,
+        }
+    }
+
+    /// The daemon's health plane handle (cheap clone; shared with the
+    /// reactor and rendered by `/healthz`).
+    pub fn health(&self) -> Health {
+        self.health.clone()
+    }
+
+    /// Counts one failed checkpoint attempt.
+    pub(crate) fn checkpoint_failure(&self) {
+        self.checkpoint_failures.inc();
+    }
+
+    /// A session entered degraded (memory-only) persistence: count the
+    /// transition and flag the `persistence` health domain.
+    pub(crate) fn session_degraded(&self, id: u64) {
+        let mut ids = self.degraded_ids.lock();
+        if ids.insert(id) {
+            self.degraded_entered.inc();
+            self.degraded_sessions.set(ids.len() as i64);
+            self.health.set(
+                "persistence",
+                HealthLevel::Degraded,
+                &format!(
+                    "{} session(s) running memory-only after repeated checkpoint failures",
+                    ids.len()
+                ),
+            );
+        }
+    }
+
+    /// A degraded session healed (or went away): update the gauge and
+    /// clear the `persistence` domain once no degraded sessions remain.
+    pub(crate) fn session_persistence_recovered(&self, id: u64) {
+        let mut ids = self.degraded_ids.lock();
+        if ids.remove(&id) {
+            self.degraded_sessions.set(ids.len() as i64);
+            if ids.is_empty() {
+                self.health.set("persistence", HealthLevel::Ok, "");
+            } else {
+                self.health.set(
+                    "persistence",
+                    HealthLevel::Degraded,
+                    &format!(
+                        "{} session(s) running memory-only after repeated checkpoint failures",
+                        ids.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Syncs the quarantine counter to the tier's lifetime total (the
+    /// tier counts internally; the service mirrors it monotonically).
+    pub(crate) fn quarantined_sync(&self, total: u64) {
+        let cur = self.segments_quarantined.get();
+        if total > cur {
+            self.segments_quarantined.add(total - cur);
         }
     }
 
@@ -282,9 +382,12 @@ impl ServiceCounters {
     }
 
     /// Removes a session from the admin directory (its registered series
-    /// stay — see [`ServiceCounters::register_session`]).
+    /// stay — see [`ServiceCounters::register_session`]). Every
+    /// session-drop path funnels through here, so a session that dies
+    /// while degraded also stops pinning the `persistence` health domain.
     pub(crate) fn deregister_session(&self, id: u64) {
         self.directory.lock().remove(&id);
+        self.session_persistence_recovered(id);
     }
 
     /// The admin `/sessions` view: one JSON object per live session, sorted
@@ -455,6 +558,13 @@ impl ServiceCounters {
     /// A consistent-enough copy of every counter (individual loads are
     /// relaxed; the snapshot is for operators, not invariants).
     pub fn snapshot(&self) -> CountersSnapshot {
+        // The injector counts process-globally; mirror its lifetime total
+        // into the registry cell so scrapes and dumps agree.
+        let injected = sysio::fault::injected_total();
+        let cur = self.fault_injected.get();
+        if injected > cur {
+            self.fault_injected.add(injected - cur);
+        }
         let latency = {
             let res = self.latency.lock();
             if res.count == 0 {
@@ -491,6 +601,7 @@ impl ServiceCounters {
             epoll_wakeups: self.reactor.epoll_wakeups.get(),
             reactor_events: self.reactor.events.get(),
             wedged_closed: self.reactor.wedged_closed.get(),
+            accept_pauses: self.reactor.accept_pauses.get(),
             recoveries: self.recoveries.get(),
             resumed_sessions: self.resumed_sessions.get(),
             retries: self.retries.get(),
@@ -501,6 +612,11 @@ impl ServiceCounters {
             compactions: self.compactions.get(),
             segment_rounds_folded: self.segment_rounds_folded.get(),
             segment_bytes_written: self.segment_bytes_written.get(),
+            checkpoint_failures: self.checkpoint_failures.get(),
+            degraded_entered: self.degraded_entered.get(),
+            degraded_sessions: self.degraded_sessions.get().max(0) as u64,
+            segments_quarantined: self.segments_quarantined.get(),
+            fault_injected: self.fault_injected.get(),
             shard_queue_high_water: self
                 .shard_queue_high_water
                 .iter()
@@ -569,6 +685,8 @@ pub struct CountersSnapshot {
     pub reactor_events: u64,
     /// Connections closed for staying unwritable past the write deadline.
     pub wedged_closed: u64,
+    /// Times the reactor paused accepting on fd exhaustion.
+    pub accept_pauses: u64,
     /// Sessions rebuilt from a WAL checkpoint (eager recovery at daemon
     /// start, or lazily when a resume found no live session).
     pub recoveries: u64,
@@ -592,6 +710,16 @@ pub struct CountersSnapshot {
     pub segment_rounds_folded: u64,
     /// Bytes of segment files written by compaction.
     pub segment_bytes_written: u64,
+    /// Checkpoint attempts that failed (WAL or meta write error).
+    pub checkpoint_failures: u64,
+    /// Times any session entered degraded (memory-only) persistence.
+    pub degraded_entered: u64,
+    /// Sessions running memory-only at snapshot time (0 when healthy).
+    pub degraded_sessions: u64,
+    /// Segments quarantined by the tier on CRC/decode failure.
+    pub segments_quarantined: u64,
+    /// Faults the sysio injector delivered (0 outside chaos/test runs).
+    pub fault_injected: u64,
     /// Per-shard mailbox depth high-water marks.
     pub shard_queue_high_water: Vec<usize>,
     /// Fuse-latency summary; `None` before the first fused round.
@@ -737,6 +865,47 @@ mod tests {
         assert!(text.contains("avoc_rounds_fused_total 1"));
         assert!(text.contains("avoc_shard_queue_high_water{shard=\"0\"} 9"));
         assert!(text.contains("avoc_fuse_latency_ns_count 1"));
+    }
+
+    #[test]
+    fn degraded_sessions_drive_the_persistence_health_domain() {
+        let c = ServiceCounters::new(1);
+        assert!(c.health().is_ok());
+        c.session_degraded(7);
+        c.session_degraded(7); // idempotent: one transition counted
+        c.session_degraded(9);
+        let snap = c.snapshot();
+        assert_eq!(snap.degraded_entered, 2);
+        assert_eq!(snap.degraded_sessions, 2);
+        assert_eq!(c.health().status_code(), 503);
+        assert!(c.health().render_json().contains("\"persistence\""));
+        c.session_persistence_recovered(7);
+        assert_eq!(
+            c.health().status_code(),
+            503,
+            "one degraded session still pins the domain"
+        );
+        // A session dying while degraded funnels through deregister and
+        // releases the domain too.
+        c.deregister_session(9);
+        assert!(c.health().is_ok());
+        assert_eq!(c.snapshot().degraded_sessions, 0);
+        assert_eq!(c.snapshot().degraded_entered, 2, "transitions stay counted");
+        let json = c.snapshot().to_json();
+        assert!(json.contains("\"checkpoint_failures\": 0"));
+        assert!(json.contains("\"degraded_entered\": 2"));
+        assert!(json.contains("\"segments_quarantined\""));
+        assert!(json.contains("\"fault_injected\""));
+        assert!(json.contains("\"accept_pauses\""));
+    }
+
+    #[test]
+    fn quarantine_counter_mirrors_the_tier_total_monotonically() {
+        let c = ServiceCounters::new(1);
+        c.quarantined_sync(3);
+        c.quarantined_sync(2); // stale report: never goes backwards
+        c.quarantined_sync(5);
+        assert_eq!(c.snapshot().segments_quarantined, 5);
     }
 
     #[test]

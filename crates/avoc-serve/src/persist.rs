@@ -30,9 +30,11 @@ use avoc_store::{
     session_wal_path, CachedHistory, Durability, FileHistory, TieredPin, TieredStore, VerdictRecord,
 };
 use std::collections::VecDeque;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use sysio::fault::Site;
+use sysio::fio;
 
 /// Crash-safety configuration for [`crate::VoterService`].
 #[derive(Debug, Clone)]
@@ -403,8 +405,10 @@ impl SessionStore {
     ///
     /// # Errors
     ///
-    /// Propagates meta-file I/O errors (WAL append errors are absorbed by
-    /// the store and surface as missing history at next load).
+    /// Propagates meta-file I/O errors, and reports a sick WAL (any append
+    /// since the last healthy checkpoint failed — e.g. `ENOSPC`) as
+    /// [`io::ErrorKind::Other`] so the caller's degradation state machine
+    /// can react; the staged history stays cached in memory either way.
     pub(crate) fn checkpoint(
         &mut self,
         high_round: Option<u64>,
@@ -426,10 +430,18 @@ impl SessionStore {
             _ => None,
         };
         if !fresh.is_empty() || commit.is_some() {
-            if let Some(v) = fresh.last() {
-                self.verdict_floor = self.verdict_floor.max(Some(v.round));
-            }
             backing.append_markers(&fresh, commit);
+        }
+        if backing.write_failed() {
+            // The meta must not advance past a WAL that lost entries; the
+            // verdict floor stays put so the next healthy checkpoint
+            // re-logs what this one could not.
+            return Err(io::Error::other(
+                "session WAL is sick: an append failed since the last healthy checkpoint",
+            ));
+        }
+        if let Some(v) = fresh.last() {
+            self.verdict_floor = self.verdict_floor.max(Some(v.round));
         }
         let logged = self.history.backing().bytes_logged();
         let wal_delta = logged.saturating_sub(self.logged_floor);
@@ -453,12 +465,42 @@ impl SessionStore {
         );
         let tmp = self.meta_path.with_extension("meta.tmp");
         {
+            fio::check_op(Site::MetaWrite)?;
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(text.as_bytes())?;
-            f.flush()?;
+            fio::write_all(Site::MetaWrite, &mut f, text.as_bytes())?;
+            fio::flush(Site::MetaWrite, &mut f)?;
         }
+        fio::check_op(Site::MetaWrite)?;
         std::fs::rename(&tmp, &self.meta_path)?;
         Ok(text.len() as u64)
+    }
+
+    /// Rebuilds the WAL wholesale from the in-memory record cache — the
+    /// re-probe a degraded session runs against a possibly-healed disk.
+    /// Success clears the WAL's sick flag; the caller then takes a fresh
+    /// checkpoint to restore full durability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors — the disk is still sick and the session
+    /// stays degraded (the original log file remains as it was).
+    pub(crate) fn heal(&mut self) -> io::Result<()> {
+        self.history.flush();
+        let backing = self.history.backing_mut();
+        backing.compact()?;
+        self.logged_floor = backing.bytes_logged();
+        // The rewrite drops verdict rows; lower the floor to what the
+        // segment tier already folded so the next checkpoint re-logs
+        // whatever the results ring still holds above it.
+        self.verdict_floor = match &self.tiered {
+            Some(t) => t
+                .session_summary(self.session)
+                .ok()
+                .flatten()
+                .and_then(|s| s.max_verdict_round),
+            None => None,
+        };
+        Ok(())
     }
 
     /// Abandons staged-but-unflushed history — the hard-kill path. The

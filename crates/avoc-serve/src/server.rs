@@ -77,6 +77,7 @@ impl TcpServer {
                 metrics: Some(counters.reactor_metrics()),
                 cork_metrics: Some(counters.cork_metrics()),
                 bytes_received: Some(counters.bytes_received_counter()),
+                health: Some(counters.health()),
                 ..ReactorConfig::default()
             },
         )?;

@@ -615,7 +615,19 @@ impl VoterService {
 
     /// A live counters snapshot.
     pub fn counters(&self) -> CountersSnapshot {
+        // Read-path quarantines (a resume tripping on a corrupt segment)
+        // bypass the compaction bookkeeping; fold them in here so every
+        // snapshot reflects the tier's lifetime total.
+        if let Some(t) = &self.tiered {
+            self.counters.quarantined_sync(t.stats().quarantined);
+        }
         self.counters.snapshot()
+    }
+
+    /// The daemon's health plane: per-domain degradation state, rendered
+    /// by the admin `/healthz` route and shared with the reactor.
+    pub fn health(&self) -> avoc_obs::Health {
+        self.counters.health()
     }
 
     /// The metric registry behind this service's counters — the admin
@@ -735,15 +747,26 @@ impl VoterService {
 }
 
 /// One compaction pass with its metrics: fold + merge, timed, counted.
+/// A failed pass never loses data (unfolded WALs are retried next time),
+/// but it is no longer silent: the error is logged and any segments the
+/// pass quarantined still reach the service counters.
 fn compaction_pass(tier: &TieredStore, counters: &ServiceCounters) -> Option<CompactionReport> {
     let started = Instant::now();
-    let report = tier.compact().ok()?;
+    let report = match tier.compact() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("avoc-serve: compaction pass failed (data stays in WALs, will retry): {e}");
+            counters.quarantined_sync(tier.stats().quarantined);
+            return None;
+        }
+    };
     counters.compaction_recorded(
         report.history_rows + report.verdict_rows,
         report.bytes_written,
         started.elapsed().as_nanos() as u64,
         tier.segment_count() as u64,
     );
+    counters.quarantined_sync(tier.stats().quarantined);
     Some(report)
 }
 

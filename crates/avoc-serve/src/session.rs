@@ -12,6 +12,14 @@ use crate::persist::{MetaState, SessionStore, StoredResult, RESULT_RING};
 use crate::service::ServeError;
 use crate::sink::ResultSink;
 
+/// Consecutive checkpoint failures before a session gives up retrying
+/// every cadence tick and enters degraded (memory-only) mode.
+const DEGRADE_AFTER: u64 = 3;
+
+/// Cap on the degraded re-probe backoff, in checkpoint attempts skipped
+/// between heal probes.
+const PROBE_BACKOFF_CAP: u64 = 64;
+
 /// The per-session knobs a shard hands to `open`/`restore` (bundled so the
 /// constructors stay readable as resume grows the parameter list).
 pub(crate) struct SessionConfig {
@@ -58,6 +66,17 @@ pub(crate) struct Session {
     /// Whether any round fused since the last flush was trace-sampled (the
     /// flush then leaves one flush span covering the burst).
     pending_sampled: bool,
+    /// Consecutive checkpoint failures since the last success (reset on
+    /// success; at [`DEGRADE_AFTER`] the session enters degraded mode).
+    ckpt_failures: u64,
+    /// Memory-only mode: durable writes are failing, the session keeps
+    /// serving from memory and probes the disk with capped backoff.
+    degraded: bool,
+    /// Current backoff (checkpoint opportunities skipped between probes),
+    /// doubled per failed probe up to [`PROBE_BACKOFF_CAP`].
+    probe_backoff: u64,
+    /// Checkpoint opportunities left before the next heal probe.
+    probe_in: u64,
 }
 
 impl Session {
@@ -87,6 +106,10 @@ impl Session {
             rounds_since_ckpt: 0,
             fuse_hist: None,
             pending_sampled: false,
+            ckpt_failures: 0,
+            degraded: false,
+            probe_backoff: 0,
+            probe_in: 0,
         })
     }
 
@@ -232,17 +255,88 @@ impl Session {
 
     /// Writes a checkpoint now: WAL first, then the meta file. Errors leave
     /// the previous checkpoint in place — recovery degrades, never corrupts.
+    ///
+    /// Failures drive a per-session degradation state machine: after
+    /// [`DEGRADE_AFTER`] consecutive failures the session stops paying a
+    /// doomed disk write per cadence tick and goes memory-only (serving
+    /// continues from the in-memory engine and result ring, the health
+    /// plane reports `persistence: degraded`). While degraded, it probes
+    /// the disk with capped exponential backoff; the first healed probe
+    /// rewrites a fresh compacted WAL and the session silently returns to
+    /// durable operation.
     pub(crate) fn checkpoint(&mut self, counters: &ServiceCounters) {
-        let Some(store) = self.persist.as_mut() else {
+        if self.persist.is_none() {
             return;
-        };
-        let started = Instant::now();
-        store.note_history(&self.engine.histories());
-        if let Ok(bytes) = store.checkpoint(self.high_round, &self.results) {
-            counters.checkpoint_bytes_add(bytes);
-            counters.checkpoint_latency_record(started.elapsed().as_nanos() as u64);
         }
         self.rounds_since_ckpt = 0;
+        if self.degraded {
+            if self.probe_in > 1 {
+                self.probe_in -= 1;
+                return;
+            }
+            self.probe_heal(counters);
+            return;
+        }
+        match self.try_checkpoint(counters) {
+            Ok(()) => self.ckpt_failures = 0,
+            Err(e) => {
+                counters.checkpoint_failure();
+                self.ckpt_failures += 1;
+                if self.ckpt_failures >= DEGRADE_AFTER {
+                    self.degraded = true;
+                    self.probe_backoff = 1;
+                    self.probe_in = 1;
+                    counters.session_degraded(self.id);
+                    eprintln!(
+                        "avoc-serve: session {} entering degraded (memory-only) \
+                         persistence after {} checkpoint failures: {e}",
+                        self.id, self.ckpt_failures
+                    );
+                }
+            }
+        }
+    }
+
+    /// One checkpoint attempt against the store (history staging + WAL +
+    /// meta), recording size/latency on success.
+    fn try_checkpoint(&mut self, counters: &ServiceCounters) -> std::io::Result<()> {
+        let store = self.persist.as_mut().expect("caller checked persist");
+        let started = Instant::now();
+        store.note_history(&self.engine.histories());
+        let bytes = store.checkpoint(self.high_round, &self.results)?;
+        counters.checkpoint_bytes_add(bytes);
+        counters.checkpoint_latency_record(started.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// A degraded session's heal probe: rewrite the WAL from live state
+    /// (`SessionStore::heal`), then take a full checkpoint. Success exits
+    /// degraded mode; failure doubles the backoff (capped).
+    fn probe_heal(&mut self, counters: &ServiceCounters) {
+        let healed = {
+            let store = self.persist.as_mut().expect("caller checked persist");
+            store.heal()
+        };
+        let outcome = healed.and_then(|()| self.try_checkpoint(counters));
+        match outcome {
+            Ok(()) => {
+                self.degraded = false;
+                self.ckpt_failures = 0;
+                self.probe_backoff = 0;
+                self.probe_in = 0;
+                counters.session_persistence_recovered(self.id);
+                eprintln!(
+                    "avoc-serve: session {} persistence healed; durable \
+                     checkpoints resumed from a fresh WAL",
+                    self.id
+                );
+            }
+            Err(_) => {
+                counters.checkpoint_failure();
+                self.probe_backoff = (self.probe_backoff * 2).min(PROBE_BACKOFF_CAP);
+                self.probe_in = self.probe_backoff;
+            }
+        }
     }
 
     /// The hard-kill path: abandon staged-but-unflushed durable writes and

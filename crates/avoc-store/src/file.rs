@@ -7,6 +7,8 @@ use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use sysio::fault::Site;
+use sysio::fio;
 
 /// How hard [`FileHistory`] pushes each append toward the platter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -182,6 +184,11 @@ pub struct FileHistory {
     max_commit_round: Option<u64>,
     /// Highest `verdict` round seen or appended.
     max_verdict_round: Option<u64>,
+    /// An append/flush/fsync since open (or the last successful
+    /// [`FileHistory::compact`]) failed: the on-disk log may be missing
+    /// entries, so checkpoints built on it must not be trusted until a
+    /// rewrite succeeds. In-memory records stay correct throughout.
+    write_failed: bool,
 }
 
 impl FileHistory {
@@ -268,7 +275,37 @@ impl FileHistory {
             saw_clear,
             max_commit_round,
             max_verdict_round,
+            write_failed: false,
         })
+    }
+
+    /// Whether any append since open (or the last successful
+    /// [`FileHistory::compact`]) failed to reach the log. A sick log is the
+    /// persistence layer's degradation signal: the in-memory store keeps
+    /// serving, but the WAL has gaps and must be rebuilt before checkpoints
+    /// count again.
+    pub fn write_failed(&self) -> bool {
+        self.write_failed
+    }
+
+    /// One WAL transaction — buffered write, flush, and (under
+    /// [`Durability::Fsync`]) fsync — each leg through the injectable
+    /// `sysio` facade, which retries real and injected `EINTR` and resumes
+    /// short writes. Terminal failures mark the handle sick.
+    fn log_write(&mut self, batch: &[u8]) -> io::Result<()> {
+        let result = (|| {
+            fio::write_all(Site::WalAppend, &mut self.writer, batch)?;
+            fio::flush(Site::WalFlush, &mut self.writer)?;
+            if self.durability == Durability::Fsync {
+                fio::check_op(Site::WalSync)?;
+                self.writer.get_ref().sync_data()?;
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            self.write_failed = true;
+        }
+        result
     }
 
     /// Whether `open` truncated a torn final line left by a crash
@@ -325,11 +362,7 @@ impl FileHistory {
         if batch.is_empty() {
             return;
         }
-        if self.writer.write_all(batch.as_bytes()).is_ok() {
-            let _ = self.writer.flush();
-            if self.durability == Durability::Fsync {
-                let _ = self.writer.get_ref().sync_data();
-            }
+        if self.log_write(batch.as_bytes()).is_ok() {
             self.dirty_entries += entries;
             self.bytes_logged += batch.len() as u64;
         }
@@ -364,21 +397,24 @@ impl FileHistory {
         let tmp = self.path.with_extension("compact-tmp");
         let mut lines = self.records.len();
         {
+            fio::check_op(Site::WalAppend)?;
             let mut w = BufWriter::new(File::create(&tmp)?);
             for (&m, &v) in &self.records {
                 let entry = WalEntry::Set {
                     module: m.index(),
                     value: v,
                 };
-                serde_json::to_writer(&mut w, &entry)?;
-                w.write_all(b"\n")?;
+                let line = serde_json::to_string(&entry)?;
+                fio::write_all(Site::WalAppend, &mut w, line.as_bytes())?;
+                fio::write_all(Site::WalAppend, &mut w, b"\n")?;
             }
             if let Some(round) = self.max_commit_round {
-                serde_json::to_writer(&mut w, &WalEntry::Commit { round })?;
-                w.write_all(b"\n")?;
+                let line = serde_json::to_string(&WalEntry::Commit { round })?;
+                fio::write_all(Site::WalAppend, &mut w, line.as_bytes())?;
+                fio::write_all(Site::WalAppend, &mut w, b"\n")?;
                 lines += 1;
             }
-            w.flush()?;
+            fio::flush(Site::WalFlush, &mut w)?;
         }
         std::fs::rename(&tmp, &self.path)?;
         self.writer = BufWriter::new(
@@ -392,25 +428,24 @@ impl FileHistory {
         // physically gone from the log.
         self.saw_clear = false;
         self.max_verdict_round = None;
+        // The log is whole again — a full rewrite from in-memory state is
+        // exactly the repair a sick WAL needs.
+        self.write_failed = false;
         Ok(())
     }
 
     fn append(&mut self, entry: &WalEntry) {
         // A failed append must not corrupt in-memory state; the paper's
         // scenario tolerates best-effort persistence, so log write errors
-        // are deferred to the next explicit `compact`/`flush` call site.
-        let line = match serde_json::to_string(entry) {
+        // raise `write_failed` for the next explicit call site to act on.
+        let mut line = match serde_json::to_string(entry) {
             Ok(line) => line,
             Err(_) => return,
         };
-        if self.writer.write_all(line.as_bytes()).is_ok() {
-            let _ = self.writer.write_all(b"\n");
-            let _ = self.writer.flush();
-            if self.durability == Durability::Fsync {
-                let _ = self.writer.get_ref().sync_data();
-            }
+        line.push('\n');
+        if self.log_write(line.as_bytes()).is_ok() {
             self.dirty_entries += 1;
-            self.bytes_logged += line.len() as u64 + 1;
+            self.bytes_logged += line.len() as u64;
         }
     }
 }
@@ -452,11 +487,7 @@ impl HistoryStore for FileHistory {
         if batch.is_empty() {
             return;
         }
-        if self.writer.write_all(batch.as_bytes()).is_ok() {
-            let _ = self.writer.flush();
-            if self.durability == Durability::Fsync {
-                let _ = self.writer.get_ref().sync_data();
-            }
+        if self.log_write(batch.as_bytes()).is_ok() {
             self.dirty_entries += entries;
             self.bytes_logged += batch.len() as u64;
         }
@@ -777,6 +808,93 @@ mod tests {
         drop(s);
         let s = FileHistory::open(&path).unwrap();
         assert_eq!(s.snapshot().len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn enospc_marks_the_log_sick_and_compact_heals_it() {
+        use sysio::fault::{self, Kind, Plan};
+
+        let _g = crate::fault_gate();
+        let path = tmp_path("sick-heal");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileHistory::open(&path).unwrap();
+        s.set(m(0), 0.5);
+        assert!(!s.write_failed());
+
+        // The disk fills: the append is lost but in-memory state survives.
+        fault::install(
+            Plan::new(21)
+                .rule(Site::WalAppend, Kind::Enospc, 1, 1)
+                .thread_only(),
+        );
+        s.set(m(1), 0.75);
+        fault::clear();
+        assert!(s.write_failed(), "the lost append marks the handle sick");
+        assert_eq!(s.get(m(1)), Some(0.75), "memory keeps serving");
+
+        // Heal: a compact rewrites the whole log from memory and clears
+        // the flag...
+        s.compact().unwrap();
+        assert!(!s.write_failed());
+        drop(s);
+        // ...so a reopen sees the entry the failed append dropped.
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(0)), Some(0.5));
+        assert_eq!(s.get(m(1)), Some(0.75));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_fails_while_the_disk_is_still_sick() {
+        use sysio::fault::{self, Kind, Plan};
+
+        let _g = crate::fault_gate();
+        let path = tmp_path("sick-probe");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileHistory::open(&path).unwrap();
+        s.set(m(0), 0.5);
+        // A re-probe against a still-full disk must fail (and leave the
+        // original log untouched behind the tmp+rename protocol)...
+        fault::install(
+            Plan::new(23)
+                .rule(Site::WalAppend, Kind::Enospc, 1, 1)
+                .thread_only(),
+        );
+        assert!(s.compact().is_err());
+        fault::clear();
+        // ...and a later probe against a healed disk succeeds.
+        s.compact().unwrap();
+        drop(s);
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(0)), Some(0.5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn eintr_and_short_writes_on_the_wal_are_invisible() {
+        use sysio::fault::{self, Kind, Plan};
+
+        let _g = crate::fault_gate();
+        let path = tmp_path("wal-eintr");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileHistory::open(&path).unwrap();
+        fault::install(
+            Plan::new(25)
+                .rule(Site::WalAppend, Kind::Eintr, 1, 3)
+                .rule(Site::WalAppend, Kind::ShortWrite, 5, 3)
+                .rule(Site::WalFlush, Kind::Eintr, 1, 2)
+                .thread_only(),
+        );
+        s.set(m(0), 0.25);
+        s.set_batch(&[(m(1), 0.5), (m(2), 0.75)]);
+        fault::clear();
+        assert!(!s.write_failed(), "retryable faults never mark sickness");
+        drop(s);
+        let s = FileHistory::open(&path).unwrap();
+        assert_eq!(s.get(m(0)), Some(0.25));
+        assert_eq!(s.get(m(1)), Some(0.5));
+        assert_eq!(s.get(m(2)), Some(0.75));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -39,3 +39,13 @@ pub use tiered::{
     session_wal_path, CompactionReport, CrashPoint, OutvotedRow, SessionSummary, TierStats,
     TieredPin, TieredStore,
 };
+
+/// Serializes unit tests that arm the process-global `sysio` fault
+/// injector against every other test in this binary (plans installed on
+/// one thread would otherwise fire on another's I/O).
+#[cfg(test)]
+pub(crate) fn fault_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -33,8 +33,10 @@
 use crate::codec::{crc32, put_u32_le, put_varint, DecodeError, Reader};
 use crate::file::VerdictRecord;
 use std::fs::File;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use sysio::fault::Site;
+use sysio::fio;
 
 /// Leading file magic (8 bytes).
 pub const HEADER_MAGIC: &[u8; 8] = b"AVSEG1\n\0";
@@ -589,10 +591,12 @@ pub fn write_segment(path: &Path, sessions: &[SessionRows]) -> io::Result<Segmen
     let (bytes, meta, _) = encode_segment(sessions);
     let tmp = path.with_extension("avseg-tmp");
     {
+        fio::check_op(Site::SegmentWrite)?;
         let mut f = File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
+        fio::write_all(Site::SegmentWrite, &mut f, &bytes)?;
+        fio::sync_all(Site::SegmentWrite, &f)?;
     }
+    fio::check_op(Site::SegmentWrite)?;
     std::fs::rename(&tmp, path)?;
     if let Some(parent) = path.parent() {
         // Make the rename itself durable; best-effort on filesystems that

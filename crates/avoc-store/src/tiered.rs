@@ -29,13 +29,17 @@
 //! invisible for that session and are physically dropped at the next merge.
 
 use crate::file::{scan_wal, VerdictRecord, WalEntry};
-use crate::segment::{write_segment, BlockEntry, Direction, HistoryRow, SegmentFile, SessionRows};
+use crate::segment::{
+    write_segment, BlockEntry, DecodedBlock, Direction, HistoryRow, SegmentFile, SessionRows,
+};
 use avoc_core::{DenseHistory, ModuleId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
+use sysio::fault::Site;
+use sysio::fio;
 
 /// How many same-generation segments trigger a merge into the next
 /// generation.
@@ -112,6 +116,8 @@ pub struct TierStats {
     pub bytes_written: u64,
     /// WALs retired after a complete fold.
     pub wals_retired: u64,
+    /// Segments moved to `quarantine/` after a CRC or decode failure.
+    pub quarantined: u64,
 }
 
 /// What the segment tier knows about one session.
@@ -349,6 +355,46 @@ impl TieredStore {
             .collect()
     }
 
+    /// Moves the segment with `seq` out of the live set and into the
+    /// `quarantine/` subdirectory, republishing the manifest without it.
+    /// Idempotent: a racing reader that already quarantined it is a no-op.
+    /// The rounds a quarantined segment held stay servable from whichever
+    /// WAL or later segment also covers them.
+    fn quarantine_segment(&self, seq: u64) -> io::Result<()> {
+        let mut st = self.lock_state();
+        let Some(pos) = st.segments.iter().position(|s| s.seq == seq) else {
+            return Ok(());
+        };
+        let seg = st.segments.remove(pos);
+        let name = segment_file_name(seg.seq, seg.gen);
+        let qdir = self.dir.join("quarantine");
+        std::fs::create_dir_all(&qdir)?;
+        // Best-effort rename: even if it fails the manifest no longer lists
+        // the segment, so it is an orphan the next open sweeps.
+        let _ = std::fs::rename(self.dir.join(&name), qdir.join(&name));
+        st.stats.quarantined += 1;
+        write_manifest(&self.dir, &st)
+    }
+
+    /// Reads one block; a CRC/decode failure quarantines the whole segment
+    /// and returns `Ok(None)` so callers keep serving from the surviving
+    /// tiers. Genuine I/O errors still propagate.
+    fn read_block_checked(
+        &self,
+        seq: u64,
+        file: &SegmentFile,
+        entry: &BlockEntry,
+    ) -> io::Result<Option<DecodedBlock>> {
+        match file.read_block(entry) {
+            Ok(block) => Ok(Some(block)),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                self.quarantine_segment(seq)?;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// What the segment tier holds for `session`; `Ok(None)` when nothing.
     ///
     /// # Errors
@@ -358,10 +404,12 @@ impl TieredStore {
         let segments = self.visible_segments(session);
         let mut summary = SessionSummary::default();
         let mut latest: BTreeMap<ModuleId, f64> = BTreeMap::new();
-        for (_seq, file) in &segments {
+        for (seq, file) in &segments {
             let entries: Vec<BlockEntry> = file.blocks_for(session).copied().collect();
             for e in &entries {
-                let block = file.read_block(e)?;
+                let Some(block) = self.read_block_checked(*seq, file, e)? else {
+                    break;
+                };
                 summary.blocks += 1;
                 for row in &block.history {
                     summary.folded_through = summary.folded_through.max(Some(row.round));
@@ -397,14 +445,16 @@ impl TieredStore {
         let segments = self.visible_segments(session);
         let mut latest: BTreeMap<ModuleId, f64> = BTreeMap::new();
         let mut any = false;
-        for (_seq, file) in &segments {
+        for (seq, file) in &segments {
             let entries: Vec<BlockEntry> = file
                 .blocks_for(session)
                 .filter(|e| e.first_round <= round)
                 .copied()
                 .collect();
             for e in &entries {
-                let block = file.read_block(e)?;
+                let Some(block) = self.read_block_checked(*seq, file, e)? else {
+                    break;
+                };
                 any = true;
                 for row in block.history.iter().filter(|r| r.round <= round) {
                     match row.dir {
@@ -454,14 +504,17 @@ impl TieredStore {
     ) -> io::Result<Vec<VerdictRecord>> {
         let (lo, hi) = (*rounds.start(), *rounds.end());
         let mut out: BTreeMap<u64, VerdictRecord> = BTreeMap::new();
-        for (_seq, file) in &self.visible_segments(session) {
+        for (seq, file) in &self.visible_segments(session) {
             let entries: Vec<BlockEntry> = file
                 .blocks_for(session)
                 .filter(|e| e.first_round <= hi && e.last_round >= lo)
                 .copied()
                 .collect();
             for e in &entries {
-                for v in file.read_block(e)?.verdicts {
+                let Some(block) = self.read_block_checked(*seq, file, e)? else {
+                    break;
+                };
+                for v in block.verdicts {
                     if v.round >= lo && v.round <= hi {
                         out.insert(v.round, v);
                     }
@@ -512,7 +565,9 @@ impl TieredStore {
                 .copied()
                 .collect();
             for e in &entries {
-                let block = file.read_block(e)?;
+                let Some(block) = self.read_block_checked(*seq, file, e)? else {
+                    break;
+                };
                 for row in &block.history {
                     if row.dir == Direction::Down && row.round >= lo && row.round <= hi {
                         hits.insert((block.session, row.round, row.module), row.trust);
@@ -609,11 +664,11 @@ impl TieredStore {
             }
             st.busy.insert(session);
             let floor = st.forget.get(&session).copied().unwrap_or(0);
-            let segs: Vec<Arc<SegmentFile>> = st
+            let segs: Vec<(u64, Arc<SegmentFile>)> = st
                 .segments
                 .iter()
                 .filter(|s| s.seq >= floor)
-                .map(|s| Arc::clone(&s.file))
+                .map(|s| (s.seq, Arc::clone(&s.file)))
                 .collect();
             // Reserve the sequence number now so concurrent folds can never
             // collide on a file name; a fold that ends up writing nothing
@@ -635,10 +690,16 @@ impl TieredStore {
         let mut state: BTreeMap<u32, f64> = BTreeMap::new();
         let mut hist_floor: Option<u64> = None;
         let mut verd_floor: Option<u64> = None;
-        for file in &base_segments {
+        for (seq, file) in &base_segments {
             let entries: Vec<BlockEntry> = file.blocks_for(session).copied().collect();
             for e in &entries {
-                let block = file.read_block(e)?;
+                // A rotten base segment is quarantined and skipped: the WAL
+                // replay below still carries absolute values, so the fold
+                // keeps serving — only trust directions for already-folded
+                // rounds are lost with the bad segment.
+                let Some(block) = self.read_block_checked(*seq, file, e)? else {
+                    break;
+                };
                 for row in &block.history {
                     hist_floor = hist_floor.max(Some(row.round));
                     match row.dir {
@@ -804,7 +865,12 @@ impl TieredStore {
                 if forget.get(&e.session).copied().unwrap_or(0) > src.seq {
                     continue;
                 }
-                let block = src.file.read_block(&e)?;
+                // A rotten source aborts this merge pass (nothing written
+                // yet); the bad segment leaves the live set so the next
+                // pass merges only healthy sources.
+                let Some(block) = self.read_block_checked(src.seq, &src.file, &e)? else {
+                    return Ok(0);
+                };
                 for row in block.history {
                     hist.insert((block.session, row.round, row.module), row);
                 }
@@ -888,13 +954,14 @@ impl TieredStore {
             ));
         }
         out.push_str(&format!(
-            "],\"stats\":{{\"compactions\":{},\"merges\":{},\"history_rows\":{},\"verdict_rows\":{},\"bytes_written\":{},\"wals_retired\":{}}},\"pinned_sessions\":{},\"forgotten_sessions\":{}}}",
+            "],\"stats\":{{\"compactions\":{},\"merges\":{},\"history_rows\":{},\"verdict_rows\":{},\"bytes_written\":{},\"wals_retired\":{},\"quarantined\":{}}},\"pinned_sessions\":{},\"forgotten_sessions\":{}}}",
             st.stats.compactions,
             st.stats.merges,
             st.stats.history_rows,
             st.stats.verdict_rows,
             st.stats.bytes_written,
             st.stats.wals_retired,
+            st.stats.quarantined,
             st.pinned.len(),
             st.forget.len(),
         ));
@@ -971,7 +1038,6 @@ fn list_session_wals(dir: &Path) -> io::Result<Vec<u64>> {
 }
 
 fn write_manifest(dir: &Path, state: &State) -> io::Result<()> {
-    use std::io::Write;
     let mut text = String::from("avoc-manifest v1\n");
     text.push_str(&format!("seq={}\n", state.next_seq));
     for (&session, &floor) in &state.forget {
@@ -987,10 +1053,12 @@ fn write_manifest(dir: &Path, state: &State) -> io::Result<()> {
     }
     let tmp = dir.join("MANIFEST.tmp");
     {
+        fio::check_op(Site::ManifestWrite)?;
         let mut f = File::create(&tmp)?;
-        f.write_all(text.as_bytes())?;
-        f.sync_all()?;
+        fio::write_all(Site::ManifestWrite, &mut f, text.as_bytes())?;
+        fio::sync_all(Site::ManifestWrite, &f)?;
     }
+    fio::check_op(Site::ManifestWrite)?;
     std::fs::rename(&tmp, dir.join("MANIFEST"))?;
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_all();
@@ -1267,6 +1335,89 @@ mod tests {
         // The folded tier stops at the committed rounds.
         let summary = store.session_summary(4).unwrap().unwrap();
         assert_eq!(summary.folded_through, Some(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_segment_is_quarantined_and_reads_survive() {
+        let dir = tmp_dir("quarantine");
+        drive_session(&dir, 21, 10, 3);
+        let expect22 = drive_session(&dir, 22, 10, 3);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        store.fold_session_with(21, CrashPoint::None).unwrap();
+        store.fold_session_with(22, CrashPoint::None).unwrap();
+        assert_eq!(store.segment_count(), 2);
+        // Rot a byte inside the first block body of session 21's segment:
+        // the footer still parses, the block CRC does not.
+        let seg_path = dir.join("seg-00000001-g0.avseg");
+        let mut bytes = std::fs::read(&seg_path).unwrap();
+        bytes[crate::segment::HEADER_MAGIC.len() + 4] ^= 0xff;
+        std::fs::write(&seg_path, &bytes).unwrap();
+        // The read does not abort — the segment is quarantined and the
+        // query answers from what survives (nothing for 21, its WAL was
+        // retired at fold time).
+        assert!(store.session_summary(21).unwrap().is_none());
+        assert_eq!(store.segment_count(), 1);
+        assert_eq!(store.stats().quarantined, 1);
+        assert!(dir
+            .join("quarantine")
+            .join("seg-00000001-g0.avseg")
+            .exists());
+        // The sibling session is untouched.
+        let summary = store.session_summary(22).unwrap().unwrap();
+        for (a, b) in summary.latest.iter().zip(&expect22) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // The manifest no longer lists the quarantined segment.
+        drop(store);
+        let store = TieredStore::open(&dir).unwrap();
+        assert_eq!(store.segment_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_enospc_fails_the_fold_and_the_wal_survives() {
+        let _g = crate::fault_gate();
+        let dir = tmp_dir("fold-enospc");
+        let expect = drive_session(&dir, 31, 8, 3);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        sysio::fault::install(
+            sysio::fault::Plan::new(1)
+                .rule(Site::SegmentWrite, sysio::fault::Kind::Enospc, 1, u64::MAX)
+                .thread_only(),
+        );
+        let err = store.fold_session_with(31, CrashPoint::None).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        sysio::fault::clear();
+        // The WAL is intact, so a fold on the healed disk is complete.
+        assert!(session_wal_path(&dir, 31).exists());
+        let report = store.compact().unwrap();
+        assert_eq!(report.folded_sessions, 1);
+        let summary = store.session_summary(31).unwrap().unwrap();
+        for (a, b) in summary.latest.iter().zip(&expect) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_manifest_failure_leaves_both_tiers_consistent() {
+        let _g = crate::fault_gate();
+        let dir = tmp_dir("manifest-enospc");
+        drive_session(&dir, 41, 8, 3);
+        let store = Arc::new(TieredStore::open(&dir).unwrap());
+        sysio::fault::install(
+            sysio::fault::Plan::new(1)
+                .rule(Site::ManifestWrite, sysio::fault::Kind::Enospc, 1, u64::MAX)
+                .thread_only(),
+        );
+        assert!(store.fold_session_with(41, CrashPoint::None).is_err());
+        sysio::fault::clear();
+        // The WAL was not retired; recompaction converges without losing
+        // or duplicating a round.
+        assert!(session_wal_path(&dir, 41).exists());
+        store.compact().unwrap();
+        assert_eq!(store.verdicts_in(41, 0..=7).unwrap().len(), 8);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

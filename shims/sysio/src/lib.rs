@@ -65,6 +65,351 @@ pub struct Event {
     pub is_hangup: bool,
 }
 
+pub mod fault {
+    //! Deterministic, plan-driven syscall fault injection.
+    //!
+    //! Every I/O chokepoint in the workspace consults [`check`] with its
+    //! [`Site`] before touching the kernel; an installed [`Plan`] can make
+    //! the Nth call at a site observe EINTR/EAGAIN/EMFILE/ENOSPC or a short
+    //! write. Off by default and **zero-cost when disabled**: the fast path
+    //! is a single relaxed atomic load, no locks, no allocations — the hot
+    //! paths gated by the counting-allocator benches stay clean with
+    //! injection compiled in.
+    //!
+    //! Plans are seeded and ordinal-based (fire on call *N* at a site), so
+    //! a failing run replays exactly: same plan, same faults, same order.
+    //! The injector is process-global — tests that install plans must
+    //! serialize (each integration-test binary is its own process, so the
+    //! matrix in `tests/fault_injection.rs` guards with a mutex only
+    //! against its sibling `#[test]`s).
+
+    use std::io;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// A syscall site the injector can intercept. Sites are coarse on
+    /// purpose: one per I/O chokepoint, not one per call expression, so a
+    /// plan written against the matrix survives refactors.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Site {
+        /// WAL line append (`write` into the session's JSON-lines log).
+        WalAppend,
+        /// WAL `BufWriter` flush.
+        WalFlush,
+        /// WAL `fsync` under `Durability::Fsync`.
+        WalSync,
+        /// Checkpoint meta sidecar write/rename.
+        MetaWrite,
+        /// Segment file write during compaction.
+        SegmentWrite,
+        /// Segment-tier manifest write/rename.
+        ManifestWrite,
+        /// `accept(2)` on the reactor's listener.
+        Accept,
+        /// `epoll_wait(2)` in [`crate::Epoll::wait`].
+        EpollWait,
+        /// `poll(2)` in [`crate::PollSet::wait`].
+        PollWait,
+        /// Self-pipe wake write in [`crate::WakePipe::notify`].
+        WakeNotify,
+        /// Self-pipe drain read in [`crate::WakePipe::drain`].
+        WakeDrain,
+        /// Data-plane socket read in the reactor.
+        SockRead,
+        /// Data-plane socket write/flush in the reactor.
+        SockWrite,
+    }
+
+    /// Number of distinct [`Site`]s (size of the per-site call counters).
+    const SITE_COUNT: usize = 13;
+
+    impl Site {
+        fn index(self) -> usize {
+            self as usize
+        }
+    }
+
+    /// What the intercepted call should observe.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Kind {
+        /// `EINTR` — a signal interrupted the call; always retryable.
+        Eintr,
+        /// `EAGAIN`/`EWOULDBLOCK` — try again later.
+        Eagain,
+        /// `EMFILE` — the process fd table is full.
+        Emfile,
+        /// `ENOSPC` — the filesystem is full.
+        Enospc,
+        /// The write consumed only part of the buffer (no errno).
+        ShortWrite,
+    }
+
+    impl Kind {
+        /// The `io::Error` a real syscall failing this way would produce.
+        /// [`Kind::ShortWrite`] has no errno — callers that cannot model a
+        /// partial transfer see it as `WriteZero`.
+        pub fn to_error(self) -> io::Error {
+            match self {
+                Kind::Eintr => io::Error::from_raw_os_error(4),
+                Kind::Eagain => io::Error::from_raw_os_error(11),
+                Kind::Emfile => io::Error::from_raw_os_error(24),
+                Kind::Enospc => io::Error::from_raw_os_error(28),
+                Kind::ShortWrite => {
+                    io::Error::new(io::ErrorKind::WriteZero, "injected short write")
+                }
+            }
+        }
+    }
+
+    /// One injection: fire `kind` at `site` on calls `nth..nth + times`
+    /// (1-based ordinals, counted per site since [`install`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rule {
+        /// Intercepted site.
+        pub site: Site,
+        /// Fault the call observes.
+        pub kind: Kind,
+        /// First call ordinal (1-based) the rule fires on.
+        pub nth: u64,
+        /// How many consecutive calls fire (`0` rules never fire).
+        pub times: u64,
+    }
+
+    /// A seeded set of [`Rule`]s. The seed both labels the plan (failure
+    /// reports name it, reruns replay it) and drives [`Plan::scattered`].
+    #[derive(Debug, Clone, Default)]
+    pub struct Plan {
+        /// Replay label and ordinal-scatter seed.
+        pub seed: u64,
+        /// Rules checked in order; the first match wins.
+        pub rules: Vec<Rule>,
+        /// Fire only on the installing thread (see [`Plan::thread_only`]).
+        pub thread_only: bool,
+    }
+
+    impl Plan {
+        /// An empty plan with a replay seed.
+        pub fn new(seed: u64) -> Plan {
+            Plan {
+                seed,
+                rules: Vec::new(),
+                thread_only: false,
+            }
+        }
+
+        /// Restricts the plan to the thread that calls [`install`]: calls
+        /// from other threads neither count nor fault. Unit tests inside a
+        /// shared test binary use this so a parallel sibling doing real
+        /// I/O can never steal (or suffer) an injection; integration tests
+        /// driving a multi-threaded daemon keep the process-wide default.
+        #[must_use]
+        pub fn thread_only(mut self) -> Plan {
+            self.thread_only = true;
+            self
+        }
+
+        /// Adds a rule: `kind` at `site`, calls `nth..nth + times`.
+        #[must_use]
+        pub fn rule(mut self, site: Site, kind: Kind, nth: u64, times: u64) -> Plan {
+            self.rules.push(Rule {
+                site,
+                kind,
+                nth,
+                times,
+            });
+            self
+        }
+
+        /// `count` single-shot rules at seed-derived ordinals in
+        /// `1..=window` — deterministic scatter for soak-style matrices.
+        #[must_use]
+        pub fn scattered(seed: u64, site: Site, kind: Kind, count: u64, window: u64) -> Plan {
+            let mut plan = Plan::new(seed);
+            let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+            for _ in 0..count {
+                x = splitmix64(x);
+                plan = plan.rule(site, kind, 1 + x % window.max(1), 1);
+            }
+            plan
+        }
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    struct PlanState {
+        rules: Vec<Rule>,
+        counts: [u64; SITE_COUNT],
+        /// `Some(tid)` when the plan is [`Plan::thread_only`].
+        thread: Option<std::thread::ThreadId>,
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static INJECTED: AtomicU64 = AtomicU64::new(0);
+    static PLAN: Mutex<Option<PlanState>> = Mutex::new(None);
+
+    fn plan_lock() -> std::sync::MutexGuard<'static, Option<PlanState>> {
+        PLAN.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Installs `plan` and arms the injector (per-site call counters reset
+    /// to zero). Replaces any previous plan.
+    pub fn install(plan: Plan) {
+        *plan_lock() = Some(PlanState {
+            rules: plan.rules,
+            counts: [0; SITE_COUNT],
+            thread: plan.thread_only.then(|| std::thread::current().id()),
+        });
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms the injector and drops the plan. Call counters die with it;
+    /// the lifetime [`injected_total`] survives.
+    pub fn clear() {
+        ENABLED.store(false, Ordering::SeqCst);
+        *plan_lock() = None;
+    }
+
+    /// Faults injected since process start (feeds the
+    /// `avoc_fault_injected_total` metric).
+    pub fn injected_total() -> u64 {
+        INJECTED.load(Ordering::Relaxed)
+    }
+
+    /// Consults the plan for `site`. `None` (the overwhelmingly common
+    /// answer) costs one relaxed atomic load; the slow path runs only
+    /// while a plan is armed.
+    #[inline]
+    pub fn check(site: Site) -> Option<Kind> {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return None;
+        }
+        check_armed(site)
+    }
+
+    #[cold]
+    fn check_armed(site: Site) -> Option<Kind> {
+        let mut guard = plan_lock();
+        let state = guard.as_mut()?;
+        if state
+            .thread
+            .is_some_and(|t| t != std::thread::current().id())
+        {
+            return None;
+        }
+        state.counts[site.index()] += 1;
+        let count = state.counts[site.index()];
+        let hit = state
+            .rules
+            .iter()
+            .find(|r| r.site == site && count >= r.nth && count - r.nth < r.times)
+            .map(|r| r.kind);
+        if hit.is_some() {
+            INJECTED.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+}
+
+pub mod fio {
+    //! Injectable file-I/O facade: the same `write_all`/`flush`/`sync_all`
+    //! shapes `std::io` offers, but every operation (a) consults
+    //! [`fault::check`] first, and (b) retries real *and* injected `EINTR`
+    //! itself, so adopters get the audit-clean retry behaviour for free.
+    //! Injected short writes resume exactly like kernel short writes.
+
+    use super::fault::{self, Kind, Site};
+    use std::fs::File;
+    use std::io::{self, Write};
+
+    /// Writes all of `buf`, retrying `EINTR` and resuming short writes.
+    ///
+    /// # Errors
+    ///
+    /// Injected faults surface as their real errno; a `write` returning
+    /// `Ok(0)` becomes `WriteZero`, as in `std`.
+    pub fn write_all(site: Site, w: &mut impl Write, mut buf: &[u8]) -> io::Result<()> {
+        while !buf.is_empty() {
+            match write_step(site, w, buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "failed to write whole buffer",
+                    ))
+                }
+                Ok(n) => buf = &buf[n.min(buf.len())..],
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// One write attempt: an injected [`Kind::ShortWrite`] truncates the
+    /// attempt to half the buffer (at least one byte) and lets the real
+    /// kernel write land it — the caller's resume logic does the rest.
+    fn write_step(site: Site, w: &mut impl Write, buf: &[u8]) -> io::Result<usize> {
+        match fault::check(site) {
+            Some(Kind::ShortWrite) => w.write(&buf[..(buf.len() / 2).max(1)]),
+            Some(k) => Err(k.to_error()),
+            None => w.write(buf),
+        }
+    }
+
+    /// Flushes `w`, retrying real and injected `EINTR`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures and injected faults.
+    pub fn flush(site: Site, w: &mut impl Write) -> io::Result<()> {
+        check_op(site)?;
+        loop {
+            match w.flush() {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+
+    /// `fsync`s `f`, retrying real and injected `EINTR`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `sync_all` failures and injected faults.
+    pub fn sync_all(site: Site, f: &File) -> io::Result<()> {
+        check_op(site)?;
+        loop {
+            match f.sync_all() {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+
+    /// Pure injection gate for operations without a byte stream (create,
+    /// rename, directory sync). Injected `EINTR` is absorbed here — the
+    /// caller would simply retry — so only terminal faults surface.
+    ///
+    /// # Errors
+    ///
+    /// The injected fault's errno, when a non-`EINTR` rule fires.
+    pub fn check_op(site: Site) -> io::Result<()> {
+        loop {
+            match fault::check(site) {
+                Some(Kind::Eintr) => continue,
+                Some(k) => return Err(k.to_error()),
+                None => return Ok(()),
+            }
+        }
+    }
+}
+
 #[cfg(unix)]
 mod sys {
     use super::{Event, Interest};
@@ -199,16 +544,23 @@ mod sys {
 
     pub(super) fn write_byte(fd: RawFd) -> io::Result<()> {
         let byte = [1u8];
-        let n = unsafe { write(fd, byte.as_ptr() as *const c_void, 1) };
-        if n < 0 {
-            let e = io::Error::last_os_error();
-            // A full pipe means a wake-up is already pending — good enough.
-            if e.kind() == io::ErrorKind::WouldBlock {
+        loop {
+            let n = unsafe { write(fd, byte.as_ptr() as *const c_void, 1) };
+            if n >= 0 {
                 return Ok(());
             }
-            return Err(e);
+            let e = io::Error::last_os_error();
+            match e.kind() {
+                // A full pipe means a wake-up is already pending — good
+                // enough.
+                io::ErrorKind::WouldBlock => return Ok(()),
+                // A signal between cross-thread notify and the write must
+                // not lose the wake-up: retry until the byte (or a full
+                // pipe) confirms one is pending.
+                io::ErrorKind::Interrupted => continue,
+                _ => return Err(e),
+            }
         }
-        Ok(())
     }
 
     /// Re-issues `listen(2)` with a larger backlog. POSIX allows calling
@@ -225,9 +577,15 @@ mod sys {
         let mut buf = [0u8; 64];
         loop {
             let n = unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
-            if n <= 0 {
-                return;
+            if n > 0 {
+                continue;
             }
+            // EINTR mid-drain would leave wake bytes behind and the
+            // level-triggered poller spinning on a readable pipe: retry.
+            if n < 0 && io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return;
         }
     }
 
@@ -508,6 +866,14 @@ impl Epoll {
     ///
     /// Propagates `epoll_wait` failures.
     pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        if let Some(k) = fault::check(fault::Site::EpollWait) {
+            out.clear();
+            return match k {
+                // The real contract maps EINTR to a spurious empty wakeup.
+                fault::Kind::Eintr | fault::Kind::Eagain => Ok(0),
+                other => Err(other.to_error()),
+            };
+        }
         self.imp.wait(out, timeout_ms)
     }
 }
@@ -624,6 +990,13 @@ impl PollSet {
     ///
     /// Propagates `poll` failures.
     pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        if let Some(k) = fault::check(fault::Site::PollWait) {
+            out.clear();
+            return match k {
+                fault::Kind::Eintr | fault::Kind::Eagain => Ok(0),
+                other => Err(other.to_error()),
+            };
+        }
         self.imp.wait(out, timeout_ms)
     }
 }
@@ -715,11 +1088,27 @@ impl WakePipe {
     ///
     /// Propagates write failures other than a full pipe.
     pub fn notify(&self) -> io::Result<()> {
+        loop {
+            match fault::check(fault::Site::WakeNotify) {
+                // Injected EINTR: retry, exactly as the real write would.
+                Some(fault::Kind::Eintr) => continue,
+                // Injected full pipe: a wake-up is already pending.
+                Some(fault::Kind::Eagain) => return Ok(()),
+                Some(other) => return Err(other.to_error()),
+                None => break,
+            }
+        }
         sys::write_byte(self.write_fd)
     }
 
-    /// Consumes every pending wake-up byte.
+    /// Consumes every pending wake-up byte (real and injected `EINTR` are
+    /// retried — a partial drain would leave the level-triggered poller
+    /// spinning).
     pub fn drain(&self) {
+        while matches!(
+            fault::check(fault::Site::WakeDrain),
+            Some(fault::Kind::Eintr)
+        ) {}
         sys::drain_fd(self.read_fd);
     }
 }
@@ -778,6 +1167,7 @@ mod tests {
 
     #[test]
     fn wake_pipe_wakes_and_drains() {
+        let _g = fault_gate();
         let wp = WakePipe::new().unwrap();
         let mut ps = PollSet::new();
         ps.add(wp.read_fd(), 7, Interest::READ).unwrap();
@@ -799,6 +1189,7 @@ mod tests {
 
     #[test]
     fn wake_pipe_notify_survives_a_full_pipe() {
+        let _g = fault_gate();
         let wp = WakePipe::new().unwrap();
         // A pipe holds 64 KiB by default; far overshoot it.
         for _ in 0..100_000 {
@@ -864,6 +1255,7 @@ mod tests {
 
     #[test]
     fn poll_backend_readiness_contract() {
+        let _g = fault_gate();
         let ps = std::cell::RefCell::new(PollSet::new());
         exercise_backend(
             |fd, t, i| ps.borrow_mut().add(fd, t, i),
@@ -876,6 +1268,7 @@ mod tests {
     #[test]
     #[cfg(target_os = "linux")]
     fn epoll_backend_readiness_contract() {
+        let _g = fault_gate();
         let ep = std::cell::RefCell::new(Epoll::new().expect("linux has epoll"));
         exercise_backend(
             |fd, t, i| ep.borrow_mut().add(fd, t, i),
@@ -885,9 +1278,127 @@ mod tests {
         );
     }
 
+    /// The injector is process-global: tests that install plans hold this
+    /// lock so the default multi-threaded test runner cannot interleave
+    /// them (or the plan-free tests above, which all run with the injector
+    /// disarmed).
+    static FAULT_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fault_gate() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn injector_disabled_is_silent() {
+        let _g = fault_gate();
+        fault::clear();
+        assert_eq!(fault::check(fault::Site::WalAppend), None);
+        assert_eq!(fault::check(fault::Site::Accept), None);
+    }
+
+    #[test]
+    fn plan_fires_on_the_nth_call_for_times_calls() {
+        let _g = fault_gate();
+        fault::install(fault::Plan::new(1).rule(fault::Site::WalAppend, fault::Kind::Enospc, 3, 2));
+        let hits: Vec<bool> = (0..6)
+            .map(|_| fault::check(fault::Site::WalAppend).is_some())
+            .collect();
+        assert_eq!(hits, [false, false, true, true, false, false]);
+        // A different site never trips the rule.
+        assert_eq!(fault::check(fault::Site::MetaWrite), None);
+        fault::clear();
+    }
+
+    #[test]
+    fn scattered_plans_are_deterministic() {
+        let _g = fault_gate();
+        let a = fault::Plan::scattered(42, fault::Site::WalAppend, fault::Kind::Eintr, 5, 100);
+        let b = fault::Plan::scattered(42, fault::Site::WalAppend, fault::Kind::Eintr, 5, 100);
+        let ordinals = |p: &fault::Plan| p.rules.iter().map(|r| r.nth).collect::<Vec<_>>();
+        assert_eq!(ordinals(&a), ordinals(&b));
+        assert!(a.rules.iter().all(|r| (1..=100).contains(&r.nth)));
+    }
+
+    #[test]
+    fn fio_write_all_survives_eintr_and_short_writes() {
+        let _g = fault_gate();
+        let before = fault::injected_total();
+        fault::install(
+            fault::Plan::new(7)
+                .rule(fault::Site::WalAppend, fault::Kind::Eintr, 1, 2)
+                .rule(fault::Site::WalAppend, fault::Kind::ShortWrite, 3, 3),
+        );
+        let mut out = Vec::new();
+        fio::write_all(fault::Site::WalAppend, &mut out, b"hello world").unwrap();
+        assert_eq!(out, b"hello world", "faults were absorbed byte-exactly");
+        assert!(fault::injected_total() >= before + 5);
+        fault::clear();
+    }
+
+    #[test]
+    fn fio_surfaces_terminal_errnos() {
+        let _g = fault_gate();
+        fault::install(fault::Plan::new(9).rule(
+            fault::Site::SegmentWrite,
+            fault::Kind::Enospc,
+            1,
+            1,
+        ));
+        let mut out = Vec::new();
+        let err = fio::write_all(fault::Site::SegmentWrite, &mut out, b"x").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28), "ENOSPC reaches the caller");
+        assert!(out.is_empty());
+        // The rule is spent: the next write goes through.
+        fio::write_all(fault::Site::SegmentWrite, &mut out, b"x").unwrap();
+        assert_eq!(out, b"x");
+        fault::clear();
+    }
+
+    #[test]
+    fn wake_pipe_absorbs_injected_eintr() {
+        let _g = fault_gate();
+        let wp = WakePipe::new().unwrap();
+        let mut ps = PollSet::new();
+        ps.add(wp.read_fd(), 3, Interest::READ).unwrap();
+        fault::install(
+            fault::Plan::new(11)
+                .rule(fault::Site::WakeNotify, fault::Kind::Eintr, 1, 4)
+                .rule(fault::Site::WakeDrain, fault::Kind::Eintr, 1, 4),
+        );
+        wp.notify().unwrap();
+        let mut events = Vec::new();
+        // The poller sees the wake despite EINTR on the notify path...
+        assert_eq!(ps.wait(&mut events, 1000).unwrap(), 1);
+        // ...and the drain empties the pipe despite EINTR on its path.
+        wp.drain();
+        assert_eq!(ps.wait(&mut events, 0).unwrap(), 0, "drained");
+        fault::clear();
+    }
+
+    #[test]
+    fn pollers_map_injected_eintr_to_empty_wakeups() {
+        let _g = fault_gate();
+        let wp = WakePipe::new().unwrap();
+        let mut ps = PollSet::new();
+        ps.add(wp.read_fd(), 5, Interest::READ).unwrap();
+        wp.notify().unwrap();
+        fault::install(fault::Plan::new(13).rule(fault::Site::PollWait, fault::Kind::Eintr, 1, 1));
+        let mut events = Vec::new();
+        assert_eq!(ps.wait(&mut events, 0).unwrap(), 0, "EINTR wakeup is empty");
+        assert_eq!(
+            ps.wait(&mut events, 1000).unwrap(),
+            1,
+            "retry sees the byte"
+        );
+        fault::clear();
+    }
+
     #[test]
     #[cfg(target_os = "linux")]
     fn epoll_reports_write_unblocking() {
+        let _g = fault_gate();
         use std::os::unix::io::AsRawFd;
         let (a, b) = pair();
         b.set_nonblocking(true).unwrap();

@@ -18,6 +18,14 @@ const SESSION: u64 = 7;
 const MODULES: u32 = 3;
 const TOKEN: u64 = 0xC0FFEE;
 
+/// Serializes the tests in this binary: the disk-full scenario arms a
+/// process-wide fault plan, which a concurrently-running daemon in a
+/// sibling test would otherwise trip over.
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn registry() -> Arc<SpecRegistry> {
     let mut registry = SpecRegistry::new();
     registry.insert("avoc", VdxSpec::avoc());
@@ -115,6 +123,7 @@ fn expect_result(client: &mut ResilientClient) -> (u64, Option<u64>, bool) {
 /// produces exactly the outputs of an uninterrupted run.
 #[test]
 fn restart_mid_scenario_is_bit_identical_to_an_uninterrupted_run() {
+    let _g = gate();
     // Uninterrupted reference run, persistence off.
     let baseline_server = start_daemon(None);
     let mut baseline = client_for(&baseline_server);
@@ -181,6 +190,7 @@ fn restart_mid_scenario_is_bit_identical_to_an_uninterrupted_run() {
 /// the live (already warm) session.
 #[test]
 fn eager_recovery_rebuilds_sessions_at_boot() {
+    let _g = gate();
     let dir = state_dir("eager");
     let server_a = start_daemon(Some(&dir));
     let mut client = client_for(&server_a);
@@ -233,6 +243,7 @@ fn eager_recovery_rebuilds_sessions_at_boot() {
 /// segment, none duplicated by the WAL/segment overlap.
 #[test]
 fn kill_mid_compaction_resumes_bit_identical() {
+    let _g = gate();
     use avoc::store::{CrashPoint, TieredStore};
 
     let baseline_server = start_daemon(None);
@@ -308,6 +319,7 @@ fn kill_mid_compaction_resumes_bit_identical() {
 /// error frames and no recovery counted.
 #[test]
 fn corrupt_checkpoint_falls_back_to_fresh_bootstrap() {
+    let _g = gate();
     let dir = state_dir("corrupt");
     let server_a = start_daemon(Some(&dir));
     let mut client = client_for(&server_a);
@@ -337,6 +349,85 @@ fn corrupt_checkpoint_falls_back_to_fresh_bootstrap() {
         "a corrupt checkpoint must yield a fresh (cold) session"
     );
     assert_eq!(server_b.service().counters().recoveries, 0);
+
+    client.close_session(SESSION).expect("close");
+    server_b.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Disk full mid-run is an outage for durability, not for service: the
+/// session rides out ENOSPC in degraded (memory-only) mode, heals itself
+/// once space returns (fresh compacted WAL + checkpoint), and a hard kill
+/// after the heal restarts warm from that checkpoint — with the whole
+/// stream, across degradation, recovery and restart, bit-identical to an
+/// uninterrupted run.
+#[test]
+fn disk_full_heals_and_resumes_warm() {
+    let _g = gate();
+    use sysio::fault::{self, Kind, Plan, Site};
+
+    // Uninterrupted reference, persistence off.
+    let baseline_server = start_daemon(None);
+    let mut baseline = client_for(&baseline_server);
+    baseline
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    let expected = run_rounds(&mut baseline, 0..18);
+    baseline.close_session(SESSION).expect("close");
+    baseline_server.shutdown();
+
+    let dir = state_dir("diskfull");
+    let server_a = start_daemon(Some(&dir));
+    let service = server_a.service();
+    let mut client = client_for(&server_a);
+    client
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    let mut got = run_rounds(&mut client, 0..4);
+    assert!(service.health().is_ok(), "healthy while checkpoints land");
+
+    // The disk fills: every WAL append fails from here on.
+    fault::install(Plan::new(0xD15C).rule(Site::WalAppend, Kind::Enospc, 1, u64::MAX));
+    got.extend(run_rounds(&mut client, 4..8));
+    let mid = service.counters();
+    assert!(
+        mid.checkpoint_failures >= 3,
+        "repeated failures were counted (got {})",
+        mid.checkpoint_failures
+    );
+    assert_eq!(mid.degraded_entered, 1, "the session went memory-only once");
+    assert_eq!(
+        service.health().status_code(),
+        503,
+        "/healthz must fail while persistence is degraded"
+    );
+
+    // The disk heals: the next probe rewrites a fresh WAL and the session
+    // silently returns to durable operation.
+    fault::clear();
+    got.extend(run_rounds(&mut client, 8..16));
+    wait_until("the degraded session heals", || {
+        service.counters().degraded_sessions == 0
+    });
+    assert!(service.health().is_ok(), "health recovered with the disk");
+    let healed = service.counters();
+    assert_eq!(healed.degraded_entered, 1, "no flapping");
+
+    // Hard kill after the heal: the post-recovery checkpoint must be warm.
+    server_a.abort();
+    let server_b = start_daemon(Some(&dir));
+    client.redirect(server_b.local_addr());
+    got.extend(run_rounds(&mut client, 16..18));
+    assert_eq!(
+        got, expected,
+        "stream across degradation, heal and restart must be bit-identical"
+    );
+    assert_eq!(
+        client.last_resume(SESSION),
+        Some((Some(15), true)),
+        "the resume is warm from the healed checkpoint"
+    );
+    assert_eq!(server_b.service().counters().recoveries, 1);
 
     client.close_session(SESSION).expect("close");
     server_b.shutdown();

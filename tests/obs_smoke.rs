@@ -166,6 +166,44 @@ fn admin_endpoint_serves_metrics_sessions_and_traces() {
     assert_eq!(snapshot.rounds_fused, fused);
 }
 
+#[test]
+fn healthz_reports_degradation_and_recovery() {
+    let (server, _wire, admin) = start_daemon();
+    let admin_str = admin.to_string();
+
+    // Healthy daemon: the plain-text fast path.
+    let (status, body) = http::get(&admin_str, "/healthz").expect("healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // A domain degrades (here driven directly through the shared health
+    // handle — the same one the persistence and accept planes feed): the
+    // endpoint flips to 503 with machine-readable reasons.
+    let health = server.service().health();
+    health.set(
+        "persistence",
+        avoc::obs::HealthLevel::Degraded,
+        "2 session(s) running memory-only after repeated checkpoint failures",
+    );
+    let (status, body) = http::get(&admin_str, "/healthz").expect("degraded healthz");
+    assert_eq!(status, 503, "degraded daemon must fail health probes");
+    let doc: serde_json::Value = serde_json::from_str(&body).expect("healthz JSON");
+    assert_eq!(doc["status"].as_str(), Some("degraded"));
+    let domains = doc["domains"].as_array().expect("domains array");
+    assert_eq!(domains.len(), 1);
+    assert_eq!(domains[0]["domain"].as_str(), Some("persistence"));
+    assert_eq!(domains[0]["level"].as_str(), Some("degraded"));
+    assert!(domains[0]["reason"]
+        .as_str()
+        .expect("reason string")
+        .contains("memory-only"));
+
+    // Recovery clears the domain and the endpoint goes back to 200.
+    health.set("persistence", avoc::obs::HealthLevel::Ok, "");
+    let (status, body) = http::get(&admin_str, "/healthz").expect("healed healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    server.shutdown();
+}
+
 /// Sends raw bytes to the admin socket and returns the status line.
 fn raw_status(admin: SocketAddr, payload: &[u8]) -> String {
     let mut stream = TcpStream::connect(admin).expect("connect admin");
