@@ -25,8 +25,19 @@
 //! `avoc_session_fuse_latency_ns` histogram counts must sum to the rounds
 //! the drain snapshot says were fused, or the binary exits non-zero.
 //!
+//! The main sweep runs with the default reactor pool (`min(cores, 4)`
+//! event-loop threads); two variant row sets at 256/1024 sessions pin the
+//! pool to R=1 and R=4 so the multi-reactor speedup is recorded in the
+//! same file, and the binary fails if the R=4 row at 256 sessions falls
+//! more than 10% below R=1 (skipped with a notice on 1-core hosts, where
+//! extra reactors have no core to run on). Channel sends into the shard
+//! mailboxes are metered per row: with the burst handoff a whole
+//! `FeedBatch` frame costs one send, so sends per 1k readings must stay
+//! at or below `2 x shards` or the binary exits non-zero.
+//!
 //! ```text
-//! cargo run -p avoc-bench --release --bin bench_serve -- [--quick] [--out PATH]
+//! cargo run -p avoc-bench --release --bin bench_serve -- \
+//!     [--quick] [--out PATH] [--reactors N]
 //! ```
 
 use avoc_core::ModuleId;
@@ -210,6 +221,18 @@ struct RunNumbers {
     /// The global `avoc_fuse_latency_ns` histogram exactly as the live
     /// scrape rendered it (the schema shared with `BENCH_fusion.json`).
     fuse_latency_json: String,
+    /// Event-loop threads this run's daemon actually spawned.
+    reactors: u64,
+    /// Shard workers this run's daemon spawned.
+    shards: u64,
+    /// Every reading fed, warm-up included — the denominator for the
+    /// handoff-sends rate, whose counter also saw the warm-up bursts.
+    total_fed: u64,
+    /// Readiness backend the pool selected (`"epoll"` / `"poll"`).
+    backend: &'static str,
+    /// How the pool distributed accepts
+    /// (`"reuseport"` / `"handoff"` / `"single"`).
+    accept_mode: &'static str,
 }
 
 /// Daemon threads alive right now, recognised by the `avoc-` name prefix
@@ -257,7 +280,10 @@ fn scrape_fuse_histograms(admin: std::net::SocketAddr) -> (u64, u64, String) {
     (tenants, count_sum, global)
 }
 
-fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
+/// Drives `sessions` client threads for `chunks` measured chunks each,
+/// with `reactors` event-loop threads (`0` = the daemon default,
+/// `min(cores, 4)`).
+fn run_sessions(sessions: u64, chunks: u64, reactors: usize) -> RunNumbers {
     let mut registry = SpecRegistry::new();
     registry.insert("avoc", VdxSpec::avoc());
     // Idle eviction is off: with 16 ping-pong clients on a few shards a
@@ -268,6 +294,7 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
     let service = Arc::new(VoterService::start(
         ServeConfig {
             idle_ticks: u64::MAX,
+            reactors,
             admin_addr: Some("127.0.0.1:0".into()),
             trace_sample: 64,
             // The wide rows run up to 1 024 client *threads* against however
@@ -317,6 +344,10 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
     // All verdicts are in, so every tenant's histogram holds its final
     // count; scrape before shutdown while the endpoint is still live.
     let (scrape_sessions, scrape_fuse_count, fuse_latency_json) = scrape_fuse_histograms(admin);
+    let run_reactors = server.reactor_count() as u64;
+    let run_shards = service.shards() as u64;
+    let backend = server.reactor_backend();
+    let accept_mode = server.accept_mode();
     let snapshot = server.shutdown();
 
     RunNumbers {
@@ -332,6 +363,11 @@ fn run_sessions(sessions: u64, chunks: u64) -> RunNumbers {
         scrape_sessions,
         scrape_fuse_count,
         fuse_latency_json,
+        reactors: run_reactors,
+        shards: run_shards,
+        total_fed: sessions * (WARMUP_CHUNKS + chunks) * CHUNK_ROUNDS * u64::from(MODULES),
+        backend,
+        accept_mode,
     }
 }
 
@@ -345,6 +381,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out = String::from("BENCH_serve.json");
+    let mut reactors_override: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -352,6 +389,15 @@ fn main() {
             "--out" => {
                 i += 1;
                 out = args.get(i).expect("--out takes a path").clone();
+            }
+            "--reactors" => {
+                i += 1;
+                reactors_override = Some(
+                    args.get(i)
+                        .expect("--reactors takes a count")
+                        .parse()
+                        .expect("--reactors takes a number"),
+                );
             }
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -362,13 +408,39 @@ fn main() {
     }
     let base_chunks: u64 = if quick { 12 } else { 64 };
     let baseline = baseline_syscalls_per_1k();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // The main sweep runs at the default (or overridden) reactor count;
+    // with no override, variant rows at 256/1024 sessions pin R=1 and R=4
+    // so the file records the multi-reactor speedup on this host.
+    let sweep_r = reactors_override.unwrap_or(0);
+    let mut plan: Vec<(u64, usize)> = [1u64, 4, 16, 64, 256, 1024]
+        .iter()
+        .map(|&s| (s, sweep_r))
+        .collect();
+    if reactors_override.is_none() {
+        for r in [1usize, 4] {
+            for s in [256u64, 1024] {
+                plan.push((s, r));
+            }
+        }
+    }
 
     let mut runs = Vec::new();
     let mut regressed = false;
-    // (sessions, measured readings/s) — for the cross-row scaling gates.
-    let mut rps_by_sessions: Vec<(u64, f64)> = Vec::new();
-    let mut threads_by_sessions: Vec<(u64, u64)> = Vec::new();
-    for sessions in [1u64, 4, 16, 64, 256, 1024] {
+    // (sessions, requested R, actual R, readings/s, census) per row — for
+    // the cross-row scaling, census and reactor-speedup gates.
+    struct RowStats {
+        sessions: u64,
+        requested_r: usize,
+        reactors: u64,
+        rps: f64,
+        threads: u64,
+    }
+    let mut stats: Vec<RowStats> = Vec::new();
+    let mut pool_backend = "";
+    let mut pool_accept_mode = "";
+    for (sessions, row_r) in plan {
         // Wide rows shrink per-session depth so total work stays bounded:
         // above 16 sessions the product `sessions * chunks` is held near
         // the 16-session row's (floored at two measured chunks each).
@@ -378,26 +450,54 @@ fn main() {
             (base_chunks * 16 / sessions).max(2)
         };
         eprintln!(
-            "driving {sessions} session(s) x {} rounds ...",
-            chunks * CHUNK_ROUNDS
+            "driving {sessions} session(s) x {} rounds (reactors={row_r}{}) ...",
+            chunks * CHUNK_ROUNDS,
+            if row_r == 0 { " = default" } else { "" },
         );
-        let run = run_sessions(sessions, chunks);
+        let run = run_sessions(sessions, chunks, row_r);
         let rps = run.readings as f64 / run.elapsed_secs;
         let allocs_per_reading = run.feed_allocations as f64 / run.readings as f64;
         let syscalls = run.client_writes + run.snapshot.writer_flushes;
         let syscalls_per_1k = syscalls as f64 * 1000.0 / run.readings as f64;
         let coalescing = baseline / syscalls_per_1k;
+        // Burst handoff: a whole FeedBatch is one channel send, so the rate
+        // is bounded by frames, not readings — at 512-reading chunks it sits
+        // near 2 sends per 1k readings regardless of shard count.
+        let hs_per_1k = run.snapshot.shard_handoff_sends as f64 * 1000.0 / run.total_fed as f64;
         eprintln!(
             "  {rps:.0} readings/s, {allocs_per_reading} alloc/reading on the feed path, \
              {syscalls_per_1k:.1} syscalls/1k readings ({coalescing:.1}x under baseline), \
-             {threads} data-plane threads, {fds} peak fds",
+             {hs_per_1k:.2} shard handoff sends/1k readings, \
+             {threads} data-plane threads ({reactors} reactor(s), {mode}), {fds} peak fds",
             threads = run.data_plane_threads,
+            reactors = run.reactors,
+            mode = run.accept_mode,
             fds = run.peak_fds,
         );
-        rps_by_sessions.push((sessions, rps));
-        threads_by_sessions.push((sessions, run.data_plane_threads));
+        // The config block describes the default-configuration pool: the
+        // main sweep runs first, so keep the first row's mode and ignore
+        // the pinned R=1/R=4 variant rows that follow.
+        if pool_backend.is_empty() {
+            pool_backend = run.backend;
+            pool_accept_mode = run.accept_mode;
+        }
+        stats.push(RowStats {
+            sessions,
+            requested_r: row_r,
+            reactors: run.reactors,
+            rps,
+            threads: run.data_plane_threads,
+        });
         if allocs_per_reading > 0.0 {
             eprintln!("REGRESSION: client feed path allocated in steady state");
+            regressed = true;
+        }
+        if hs_per_1k > 2.0 * run.shards as f64 {
+            eprintln!(
+                "REGRESSION: {hs_per_1k:.2} shard handoff sends per 1k readings exceeds \
+                 2x the shard count ({}) — batched handoff has degraded toward per-reading sends",
+                run.shards
+            );
             regressed = true;
         }
         if run.scrape_sessions != sessions || run.scrape_fuse_count != run.snapshot.rounds_fused {
@@ -409,7 +509,8 @@ fn main() {
             regressed = true;
         }
         runs.push(format!(
-            "    {{\n      \"sessions\": {sessions},\n      \"readings\": {readings},\n      \
+            "    {{\n      \"sessions\": {sessions},\n      \"reactors\": {reactors},\n      \
+             \"readings\": {readings},\n      \
              \"readings_per_sec\": {rps:.1},\n      \"feed_allocations\": {fa},\n      \
              \"allocs_per_reading\": {apr},\n      \"client_writes\": {cw},\n      \
              \"client_frames_sent\": {cf},\n      \"client_bytes_sent\": {cb},\n      \
@@ -417,9 +518,11 @@ fn main() {
              \"server_result_batches\": {rb},\n      \"server_bytes_sent\": {sb},\n      \
              \"results_dropped\": {rd},\n      \"syscalls_per_1k_readings\": {spk:.1},\n      \
              \"coalescing_vs_baseline\": {coal:.1},\n      \
+             \"handoff_sends_per_1k_readings\": {hspk:.2},\n      \
              \"data_plane_threads\": {dpt},\n      \"peak_fds\": {pfd},\n      \
              \"scrape_sessions\": {ss},\n      \"scrape_fuse_count\": {sfc},\n      \
              \"fuse_latency_ns\": {flj}\n    }}",
+            reactors = run.reactors,
             readings = run.readings,
             fa = run.feed_allocations,
             apr = allocs_per_reading,
@@ -433,6 +536,7 @@ fn main() {
             rd = run.snapshot.results_dropped,
             spk = syscalls_per_1k,
             coal = coalescing,
+            hspk = hs_per_1k,
             dpt = run.data_plane_threads,
             pfd = run.peak_fds,
             ss = run.scrape_sessions,
@@ -445,12 +549,12 @@ fn main() {
     // thread-per-connection front-end 256 tenants meant 512 daemon threads
     // thrashing the scheduler; the reactor must hold 256-session throughput
     // at or above the 16-session row, and its thread census must not move
-    // between any two rows.
-    let rps_at = |n: u64| {
-        rps_by_sessions
+    // between any two rows at the same reactor count.
+    let sweep_rps_at = |n: u64| {
+        stats
             .iter()
-            .find(|(s, _)| *s == n)
-            .map(|(_, r)| *r)
+            .find(|r| r.sessions == n && r.requested_r == sweep_r)
+            .map(|r| r.rps)
             .expect("row was measured")
     };
     // Both rows sit at the same saturation point, so a strict comparison
@@ -458,24 +562,80 @@ fn main() {
     // an oversubscribed CI core is ±15%. A thread-per-connection collapse
     // (512 threads thrashing one scheduler) loses integer factors, which
     // a 25% margin still catches while staying quiet on noise.
-    if rps_at(256) < rps_at(16) * 0.75 {
+    if sweep_rps_at(256) < sweep_rps_at(16) * 0.75 {
         eprintln!(
             "REGRESSION: 256 sessions fused {:.0} readings/s, more than 25% below the \
              16-session {:.0} — throughput must not degrade with fan-in",
-            rps_at(256),
-            rps_at(16)
+            sweep_rps_at(256),
+            sweep_rps_at(16)
         );
         regressed = true;
     }
-    let census: Vec<u64> = threads_by_sessions.iter().map(|&(_, t)| t).collect();
-    if census.windows(2).any(|w| w[0] != w[1]) {
-        eprintln!("REGRESSION: data-plane thread count moved with the session count: {census:?}");
-        regressed = true;
+    // Census: shards + R exactly, so rows differing only in session count
+    // must agree thread-for-thread, and an extra reactor must cost exactly
+    // one extra thread.
+    let mut reactor_counts: Vec<u64> = stats.iter().map(|r| r.reactors).collect();
+    reactor_counts.sort_unstable();
+    reactor_counts.dedup();
+    for rc in &reactor_counts {
+        let census: Vec<u64> = stats
+            .iter()
+            .filter(|r| r.reactors == *rc)
+            .map(|r| r.threads)
+            .collect();
+        if census.windows(2).any(|w| w[0] != w[1]) {
+            eprintln!(
+                "REGRESSION: data-plane thread count moved with the session count \
+                 at {rc} reactor(s): {census:?}"
+            );
+            regressed = true;
+        }
+    }
+    if let [r_lo, r_hi] = reactor_counts[..] {
+        let threads_at = |rc: u64| stats.iter().find(|r| r.reactors == rc).map(|r| r.threads);
+        if let (Some(t_lo), Some(t_hi)) = (threads_at(r_lo), threads_at(r_hi)) {
+            if t_hi != t_lo + (r_hi - r_lo) {
+                eprintln!(
+                    "REGRESSION: going from {r_lo} to {r_hi} reactor(s) moved the census \
+                     from {t_lo} to {t_hi} threads — each reactor must cost exactly one"
+                );
+                regressed = true;
+            }
+        }
+    }
+    // Multi-reactor speedup gate: with both R=1 and R=4 rows measured, the
+    // pool must not make fan-in *worse*. On a multicore host R=4 should win
+    // outright (the BENCH file records by how much); the hard gate only
+    // demands it stays within 10% of R=1, so scheduler noise on a busy
+    // 2-core runner doesn't flap the build. One core can't host parallel
+    // reactors at all — skip with a notice rather than fail.
+    let variant_rps = |sessions: u64, r: usize| {
+        stats
+            .iter()
+            .find(|row| row.sessions == sessions && row.requested_r == r)
+            .map(|row| row.rps)
+    };
+    if let (Some(r1), Some(r4)) = (variant_rps(256, 1), variant_rps(256, 4)) {
+        if cores == 1 {
+            eprintln!(
+                "notice: single-core host — skipping the R=4 >= 0.9x R=1 throughput gate \
+                 (measured R=1 {r1:.0} vs R=4 {r4:.0} readings/s at 256 sessions)"
+            );
+        } else if r4 < r1 * 0.9 {
+            eprintln!(
+                "REGRESSION: 4 reactors fused {r4:.0} readings/s at 256 sessions, more than \
+                 10% below the single-reactor {r1:.0} on a {cores}-core host"
+            );
+            regressed = true;
+        }
     }
 
+    let config_reactors = stats.first().map_or(0, |r| r.reactors);
     let json = format!(
         "{{\n  \"config\": {{\"base_chunks\": {base_chunks}, \"modules\": {MODULES}, \
-         \"chunk_rounds\": {CHUNK_ROUNDS}, \"quick\": {quick}}},\n  \
+         \"chunk_rounds\": {CHUNK_ROUNDS}, \"quick\": {quick}, \"cores\": {cores}, \
+         \"reactors\": {config_reactors}, \"backend\": \"{pool_backend}\", \
+         \"accept_mode\": \"{pool_accept_mode}\"}},\n  \
          \"baseline\": {{\n    \"syscalls_per_1k_readings\": {baseline:.1},\n    \
          \"note\": \"analytic per-frame wire path: one write(2) per reading frame plus one \
          per result frame at {MODULES} modules/round\"\n  }},\n  \"runs\": [\n{runs}\n  ]\n}}\n",

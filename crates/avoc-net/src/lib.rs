@@ -53,8 +53,8 @@ pub use message::{
     BatchReading, BatchResult, Message, SpecSource, MAX_BATCH_READINGS, MAX_BATCH_RESULTS,
 };
 pub use reactor::{
-    ConnWaker, DecodeStep, FrameVerdict, Handler, ReactorConfig, ReactorHandle, ReactorMetrics,
-    StreamDecoder,
+    spawn_pool, ConnWaker, DecodeStep, FrameVerdict, Handler, ReactorConfig, ReactorHandle,
+    ReactorMetrics, ReactorPool, StreamDecoder,
 };
 pub use sink::SinkNode;
 pub use tcp::{SensorClient, TcpHub};

@@ -30,6 +30,11 @@ pub struct ReactorMetrics {
     /// file descriptors (`EMFILE`/`ENFILE`); each pause resumes on a
     /// timer once the emergency reserve re-arms.
     pub accept_pauses: Counter,
+    /// Nanoseconds one full event-loop iteration spends working (from
+    /// `epoll_wait` returning to the loop parking again — dispatch, dirty
+    /// pumping, and timer expiry). Compared across `{reactor}` labels this
+    /// exposes a hot or imbalanced reactor in a multi-reactor pool.
+    pub loop_iter_ns: Histogram,
 }
 
 impl ReactorMetrics {
@@ -71,6 +76,11 @@ impl ReactorMetrics {
             accept_pauses: registry.counter_with(
                 "avoc_net_accept_pauses_total",
                 "Times the reactor paused accepting on fd exhaustion.",
+                labels,
+            ),
+            loop_iter_ns: registry.latency_histogram_with(
+                "avoc_net_loop_iter_ns",
+                "Nanoseconds of work per event-loop iteration (wakeup to park).",
                 labels,
             ),
         }

@@ -1,13 +1,27 @@
-//! The readiness-based I/O core: a hand-rolled epoll reactor.
+//! The readiness-based I/O core: a hand-rolled epoll reactor, sharded
+//! across cores.
 //!
-//! One reactor thread owns every data-plane socket — the listener, a
-//! self-wake pipe, and all accepted connections — and multiplexes them
-//! through level-triggered readiness (epoll on Linux, `poll(2)` fallback;
-//! see [`poller`]). This retires the daemon's thread-per-connection
-//! model: connection counts no longer add threads, wakeups batch many
-//! sockets per syscall, and an idle daemon makes *zero* syscalls (the
-//! loop parks in `epoll_wait` with no timeout unless a deadline is
-//! armed).
+//! Each reactor thread owns a share of the data-plane sockets — its own
+//! listener (or a handoff inbox), a self-wake pipe, and every connection
+//! pinned to it — and multiplexes them through level-triggered readiness
+//! (epoll on Linux, `poll(2)` fallback; see [`poller`]). This retires the
+//! daemon's thread-per-connection model: connection counts no longer add
+//! threads, wakeups batch many sockets per syscall, and an idle daemon
+//! makes *zero* syscalls (each loop parks in `epoll_wait` with no timeout
+//! unless a deadline is armed).
+//!
+//! [`spawn`] runs the classic single reactor. [`spawn_pool`] runs R of
+//! them ([`ReactorPool`]), each with its own epoll instance, slab, timer
+//! wheel, and wake pipe; nothing readiness-related is shared between
+//! them. Listener distribution prefers `SO_REUSEPORT` (one listener per
+//! reactor, the kernel load-balances handshakes); where that is
+//! unavailable — non-Linux, `AVOC_FORCE_POLL` poll mode, or a failed
+//! reuseport bind — reactor 0 owns the single listener and hands accepted
+//! sockets round-robin to its peers through their wake pipes. Either way
+//! a connection is **pinned to its reactor for life**: all of its
+//! transport state stays thread-local and its [`ConnWaker`] routes to the
+//! owning reactor's pipe, so producers never need to know the pool
+//! exists.
 //!
 //! The division of labour:
 //!
@@ -47,7 +61,7 @@ use poller::Poller;
 use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -118,10 +132,23 @@ struct WakeShared {
     /// Whether a wake byte is already in flight — collapses any number of
     /// producer wakes into one pipe write per dispatch cycle.
     armed: AtomicBool,
+    /// Accepted sockets handed off by the pool's distributor reactor
+    /// (single-listener fallback mode only); the owning reactor adopts
+    /// them under the same disarm-then-take protocol as `pending`.
+    inbox: Mutex<Vec<TcpStream>>,
     pipe: WakePipe,
 }
 
 impl WakeShared {
+    fn new() -> io::Result<Arc<WakeShared>> {
+        Ok(Arc::new(WakeShared {
+            pending: Mutex::new(Vec::new()),
+            armed: AtomicBool::new(false),
+            inbox: Mutex::new(Vec::new()),
+            pipe: WakePipe::new()?,
+        }))
+    }
+
     /// Disarm-then-take: a producer that pushes after the take must have
     /// swapped `armed` after our disarm, so it notifies the pipe and the
     /// next dispatch sees it.
@@ -236,30 +263,64 @@ pub fn spawn<H: Handler>(
     handler: H,
     config: ReactorConfig,
 ) -> io::Result<ReactorHandle> {
-    listener.set_nonblocking(true)?;
-    // Best-effort: a listener the caller already tuned (or a platform
-    // where re-listen fails) keeps its existing backlog.
-    let _ = sysio::widen_backlog(
-        listener.as_raw_fd(),
-        config.accept_backlog.unwrap_or(DEFAULT_ACCEPT_BACKLOG),
-    );
     let local_addr = listener.local_addr()?;
+    spawn_core(
+        handler,
+        config,
+        CoreSetup {
+            listener: Some(listener),
+            shared: WakeShared::new()?,
+            peers: Vec::new(),
+            paused_listeners: Arc::new(AtomicUsize::new(0)),
+            local_addr,
+        },
+    )
+}
+
+/// Everything one reactor thread needs beyond handler + config: its
+/// listener (when it owns one), its wake-shared block, and — for the
+/// handoff distributor — its peers' wake-shared blocks.
+struct CoreSetup {
+    listener: Option<TcpListener>,
+    shared: Arc<WakeShared>,
+    peers: Vec<Arc<WakeShared>>,
+    paused_listeners: Arc<AtomicUsize>,
+    local_addr: SocketAddr,
+}
+
+fn spawn_core<H: Handler>(
+    handler: H,
+    config: ReactorConfig,
+    setup: CoreSetup,
+) -> io::Result<ReactorHandle> {
+    let CoreSetup {
+        listener,
+        shared,
+        peers,
+        paused_listeners,
+        local_addr,
+    } = setup;
     let mut poller = Poller::new(config.force_poll);
     let backend = poller.backend();
-    let pipe = WakePipe::new()?;
-    poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
-    poller.add(pipe.read_fd(), TOKEN_WAKE, Interest::READ)?;
-    let shared = Arc::new(WakeShared {
-        pending: Mutex::new(Vec::new()),
-        armed: AtomicBool::new(false),
-        pipe,
-    });
+    if let Some(listener) = &listener {
+        listener.set_nonblocking(true)?;
+        // Best-effort: a listener the caller already tuned (or a platform
+        // where re-listen fails) keeps its existing backlog.
+        let _ = sysio::widen_backlog(
+            listener.as_raw_fd(),
+            config.accept_backlog.unwrap_or(DEFAULT_ACCEPT_BACKLOG),
+        );
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+    }
+    poller.add(shared.pipe.read_fd(), TOKEN_WAKE, Interest::READ)?;
     let stop = Arc::new(AtomicBool::new(false));
     let core = Core {
         handler,
         poller,
         listener,
         shared: Arc::clone(&shared),
+        peers,
+        next_peer: 0,
         stop: Arc::clone(&stop),
         slots: Vec::new(),
         free: Vec::new(),
@@ -275,6 +336,7 @@ pub fn spawn<H: Handler>(
         // still open sockets/files, re-armed before accepting resumes.
         fd_reserve: std::fs::File::open("/dev/null").ok(),
         accept_paused: false,
+        paused_listeners,
     };
     let join = std::thread::Builder::new()
         .name("avoc-net-reactor".into())
@@ -285,6 +347,166 @@ pub fn spawn<H: Handler>(
         join,
         backend,
         local_addr,
+    })
+}
+
+/// A sharded data plane: R reactors behind one address. See the module
+/// docs for the accept-distribution modes.
+#[derive(Debug)]
+pub struct ReactorPool {
+    reactors: Vec<ReactorHandle>,
+    local_addr: SocketAddr,
+    backend: &'static str,
+    accept_mode: &'static str,
+}
+
+impl ReactorPool {
+    /// The address tenants connect to (every reactor serves it).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The readiness backend the reactors selected (`"epoll"`/`"poll"`).
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// How accepted connections reach their reactor: `"reuseport"` (one
+    /// `SO_REUSEPORT` listener per reactor), `"handoff"` (reactor 0 owns
+    /// the only listener and round-robins accepted sockets to peers), or
+    /// `"single"` (one reactor, one listener).
+    pub fn accept_mode(&self) -> &'static str {
+        self.accept_mode
+    }
+
+    /// How many reactor threads the pool runs.
+    pub fn reactor_count(&self) -> usize {
+        self.reactors.len()
+    }
+
+    /// Stops every reactor and joins its thread; per-reactor shutdown
+    /// semantics are exactly [`ReactorHandle::shutdown`].
+    pub fn shutdown(self) {
+        for handle in self.reactors {
+            handle.shutdown();
+        }
+    }
+}
+
+/// Whether the poll backend is pinned — by config or the `AVOC_FORCE_POLL`
+/// environment variable — mirroring [`poller::Poller::new`]'s selection.
+fn poll_forced(config_force_poll: bool) -> bool {
+    config_force_poll || std::env::var("AVOC_FORCE_POLL").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Binds `addr` and spawns `reactors` event-loop threads serving it
+/// (clamped to at least 1).
+///
+/// On Linux with epoll, every reactor gets its own `SO_REUSEPORT`
+/// listener and the kernel spreads handshakes across them. In poll mode,
+/// off Linux, or when the reuseport bind fails, the pool falls back to a
+/// single listener on reactor 0 that hands accepted sockets round-robin
+/// to its peers. `handler_for(i)`/`config_for(i)` build each reactor's
+/// protocol handler and tuning — handlers typically share state through
+/// `Arc`s, configs typically differ only in per-reactor metric labels.
+///
+/// # Errors
+///
+/// Propagates bind, wake-pipe, and registration failures (any reactors
+/// already spawned are shut down first).
+pub fn spawn_pool<H, MkH, MkC>(
+    addr: &str,
+    reactors: usize,
+    mut handler_for: MkH,
+    mut config_for: MkC,
+) -> io::Result<ReactorPool>
+where
+    H: Handler,
+    MkH: FnMut(usize) -> H,
+    MkC: FnMut(usize) -> ReactorConfig,
+{
+    use std::net::ToSocketAddrs;
+    let r = reactors.max(1);
+    let configs: Vec<ReactorConfig> = (0..r).map(&mut config_for).collect();
+    let backlog = configs[0].accept_backlog.unwrap_or(DEFAULT_ACCEPT_BACKLOG);
+    let bind_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+    })?;
+
+    // Listener strategy. `poll(2)` has no per-fd ownership advantage and
+    // is the portability fallback, so poll mode keeps the conservative
+    // single-listener path — exactly as `AVOC_FORCE_POLL` pins the
+    // backend itself.
+    let mut accept_mode = "single";
+    let mut listeners: Vec<Option<TcpListener>> = Vec::with_capacity(r);
+    if r > 1 && !poll_forced(configs[0].force_poll) {
+        if let Ok(first) = sysio::reuseport_listener(bind_addr, backlog) {
+            // Port 0 resolved to a concrete port on the first bind; the
+            // siblings must join that exact port's reuseport group.
+            let concrete = first.local_addr()?;
+            let mut group = vec![Some(first)];
+            while group.len() < r {
+                match sysio::reuseport_listener(concrete, backlog) {
+                    Ok(l) => group.push(Some(l)),
+                    Err(_) => break,
+                }
+            }
+            if group.len() == r {
+                accept_mode = "reuseport";
+                listeners = group;
+            }
+            // A partial group is dropped whole (closing its fds) and the
+            // pool falls back to handoff below.
+        }
+    }
+    if listeners.is_empty() {
+        listeners.push(Some(TcpListener::bind(bind_addr)?));
+        listeners.resize_with(r, || None);
+        if r > 1 {
+            accept_mode = "handoff";
+        }
+    }
+    let local_addr = listeners[0]
+        .as_ref()
+        .expect("reactor 0 listens")
+        .local_addr()?;
+
+    let shareds: Vec<Arc<WakeShared>> = (0..r)
+        .map(|_| WakeShared::new())
+        .collect::<io::Result<_>>()?;
+    let paused_listeners = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::with_capacity(r);
+    for (i, (listener, config)) in listeners.into_iter().zip(configs).enumerate() {
+        // Only the handoff distributor fans out; reuseport reactors (and
+        // every non-distributor) keep their accepted sockets local.
+        let peers = if accept_mode == "handoff" && i == 0 {
+            shareds[1..].to_vec()
+        } else {
+            Vec::new()
+        };
+        let setup = CoreSetup {
+            listener,
+            shared: Arc::clone(&shareds[i]),
+            peers,
+            paused_listeners: Arc::clone(&paused_listeners),
+            local_addr,
+        };
+        match spawn_core(handler_for(i), config, setup) {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                for h in handles {
+                    h.shutdown();
+                }
+                return Err(e);
+            }
+        }
+    }
+    let backend = handles[0].backend();
+    Ok(ReactorPool {
+        reactors: handles,
+        local_addr,
+        backend,
+        accept_mode,
     })
 }
 
@@ -334,8 +556,16 @@ fn token_parts(token: u64) -> (u32, usize) {
 struct Core<H: Handler> {
     handler: H,
     poller: Poller,
-    listener: TcpListener,
+    /// This reactor's accept socket. `None` for pool peers in handoff
+    /// mode — they receive accepted sockets through their wake inbox.
+    listener: Option<TcpListener>,
     shared: Arc<WakeShared>,
+    /// Handoff-mode distributor only: the other reactors' wake-shared
+    /// blocks, fed round-robin with accepted sockets. Empty everywhere
+    /// else.
+    peers: Vec<Arc<WakeShared>>,
+    /// Round-robin cursor over `self` + `peers` for accept distribution.
+    next_peer: usize,
     stop: Arc<AtomicBool>,
     slots: Vec<Slot<H::Conn>>,
     free: Vec<usize>,
@@ -354,6 +584,10 @@ struct Core<H: Handler> {
     /// Whether the listener is currently deregistered because the process
     /// ran out of file descriptors.
     accept_paused: bool,
+    /// Pool-wide count of paused listeners: the shared health plane's
+    /// `accept` domain stays degraded while *any* reactor is paused and
+    /// recovers only when the last one resumes.
+    paused_listeners: Arc<AtomicUsize>,
 }
 
 impl<H: Handler> Core<H> {
@@ -385,13 +619,16 @@ impl<H: Handler> Core<H> {
                     ),
                 }
             }
-            self.process_dirty();
-            self.expire_deadlines(Instant::now());
             if n > 0 {
                 if let Some(m) = &self.metrics {
                     m.readiness_dispatch_ns
                         .record(t0.elapsed().as_nanos() as u64);
                 }
+            }
+            self.process_dirty();
+            self.expire_deadlines(Instant::now());
+            if let Some(m) = &self.metrics {
+                m.loop_iter_ns.record(t0.elapsed().as_nanos() as u64);
             }
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -412,7 +649,10 @@ impl<H: Handler> Core<H> {
                 }
                 Some(_) => break,
             }
-            let stream = match self.listener.accept() {
+            let Some(listener) = &self.listener else {
+                return; // handoff peer: nothing to accept on
+            };
+            let stream = match listener.accept() {
                 Ok((stream, _)) => stream,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -432,53 +672,82 @@ impl<H: Handler> Core<H> {
                 continue;
             }
             let _ = stream.set_nodelay(true);
-            let idx = match self.free.pop() {
-                Some(idx) => idx,
-                None => {
-                    self.slots.push(Slot {
-                        gen: 0,
-                        state: SlotState::Free,
-                    });
-                    self.slots.len() - 1
-                }
-            };
-            let slot = &mut self.slots[idx];
-            slot.gen = slot.gen.wrapping_add(1);
-            let token = make_token(slot.gen, idx);
-            let waker = ConnWaker {
-                token,
-                dirty: Arc::new(AtomicBool::new(false)),
-                shared: Arc::clone(&self.shared),
-            };
-            let (state, out_rx) = self.handler.on_open(waker.clone());
-            let mut writer = CorkedWriter::with_cork_limit(stream, self.cork_limit);
-            if let Some(cm) = &self.cork_metrics {
-                writer.set_metrics(cm.clone());
+            self.dispatch_accepted(stream);
+        }
+    }
+
+    /// Routes one accepted socket to its reactor-for-life. With no peers
+    /// (reuseport or single mode) that is always this reactor; the
+    /// handoff distributor round-robins across itself and its peers,
+    /// notifying the peer's wake pipe exactly like a producer does.
+    fn dispatch_accepted(&mut self, stream: TcpStream) {
+        if self.peers.is_empty() {
+            self.register_stream(stream);
+            return;
+        }
+        let slot = self.next_peer % (self.peers.len() + 1);
+        self.next_peer = self.next_peer.wrapping_add(1);
+        if slot == 0 {
+            self.register_stream(stream);
+            return;
+        }
+        let peer = &self.peers[slot - 1];
+        peer.inbox.lock().push(stream);
+        if !peer.armed.swap(true, Ordering::AcqRel) {
+            let _ = peer.pipe.notify();
+        }
+    }
+
+    /// Installs one prepared (non-blocking, nodelay) socket into a slot:
+    /// the point where a connection becomes this reactor's, whether it
+    /// came off the local listener or a handoff inbox.
+    fn register_stream(&mut self, stream: TcpStream) {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(Slot {
+                    gen: 0,
+                    state: SlotState::Free,
+                });
+                self.slots.len() - 1
             }
-            if self
-                .poller
-                .add(writer.get_ref().as_raw_fd(), token, Interest::READ)
-                .is_err()
-            {
-                // Registration failed: give the handler its close and drop
-                // the socket; the slot stays free for the next accept.
-                self.handler.on_close(state);
-                self.free.push(idx);
-                continue;
-            }
-            self.slots[idx].state = SlotState::Live(Conn {
-                writer,
-                decoder: StreamDecoder::new(),
-                out_rx,
-                state,
-                waker,
-                write_armed: false,
-                deadline_gen: 0,
-            });
-            if let Some(m) = &self.metrics {
-                m.accepted.inc();
-                m.connections_open.add(1);
-            }
+        };
+        let slot = &mut self.slots[idx];
+        slot.gen = slot.gen.wrapping_add(1);
+        let token = make_token(slot.gen, idx);
+        let waker = ConnWaker {
+            token,
+            dirty: Arc::new(AtomicBool::new(false)),
+            shared: Arc::clone(&self.shared),
+        };
+        let (state, out_rx) = self.handler.on_open(waker.clone());
+        let mut writer = CorkedWriter::with_cork_limit(stream, self.cork_limit);
+        if let Some(cm) = &self.cork_metrics {
+            writer.set_metrics(cm.clone());
+        }
+        if self
+            .poller
+            .add(writer.get_ref().as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            // Registration failed: give the handler its close and drop
+            // the socket; the slot stays free for the next accept.
+            self.handler.on_close(state);
+            self.free.push(idx);
+            return;
+        }
+        self.slots[idx].state = SlotState::Live(Conn {
+            writer,
+            decoder: StreamDecoder::new(),
+            out_rx,
+            state,
+            waker,
+            write_armed: false,
+            deadline_gen: 0,
+        });
+        if let Some(m) = &self.metrics {
+            m.accepted.inc();
+            m.connections_open.add(1);
         }
     }
 
@@ -491,9 +760,13 @@ impl<H: Handler> Core<H> {
         if self.accept_paused {
             return;
         }
+        let Some(listener) = &self.listener else {
+            return; // handoff peer: no listener to pause
+        };
         self.accept_paused = true;
-        let _ = self.poller.remove(self.listener.as_raw_fd());
+        let _ = self.poller.remove(listener.as_raw_fd());
         self.fd_reserve = None;
+        self.paused_listeners.fetch_add(1, Ordering::SeqCst);
         if let Some(m) = &self.metrics {
             m.accept_pauses.inc();
         }
@@ -525,13 +798,16 @@ impl<H: Handler> Core<H> {
         if !self.accept_paused {
             return;
         }
+        let Some(listener) = &self.listener else {
+            return;
+        };
         let Ok(reserve) = std::fs::File::open("/dev/null") else {
             self.schedule_accept_probe();
             return;
         };
         if self
             .poller
-            .add(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
             .is_err()
         {
             self.schedule_accept_probe();
@@ -539,8 +815,13 @@ impl<H: Handler> Core<H> {
         }
         self.fd_reserve = Some(reserve);
         self.accept_paused = false;
-        if let Some(h) = &self.health {
-            h.set("accept", avoc_obs::HealthLevel::Ok, "");
+        // The shared `accept` domain recovers only when the *last* paused
+        // listener in the pool resumes; a sibling still out of fds keeps
+        // /healthz degraded.
+        if self.paused_listeners.fetch_sub(1, Ordering::SeqCst) == 1 {
+            if let Some(h) = &self.health {
+                h.set("accept", avoc_obs::HealthLevel::Ok, "");
+            }
         }
         // Catch up on handshakes that queued while paused; the listener's
         // readiness edge may have been consumed before the pause.
@@ -737,9 +1018,16 @@ impl<H: Handler> Core<H> {
 
     /// Services every token producers marked dirty since the last
     /// dispatch: live connections get a pump, draining slots shed
-    /// residual frames and free once their last sender drops.
+    /// residual frames and free once their last sender drops. Handoff
+    /// inbox sockets are adopted here too — after the disarm in
+    /// `take_pending`, so a distributor pushing concurrently re-arms the
+    /// pipe and the next iteration picks its socket up.
     fn process_dirty(&mut self) {
         let pending = self.shared.take_pending();
+        let adopted = std::mem::take(&mut *self.shared.inbox.lock());
+        for stream in adopted {
+            self.register_stream(stream);
+        }
         for token in pending {
             let (gen, idx) = token_parts(token);
             let is_live = match self.slots.get(idx) {
@@ -1212,6 +1500,159 @@ mod tests {
         drop(client);
         handle.shutdown();
         assert_eq!(closes.load(Ordering::SeqCst), 1);
+    }
+
+    /// Drives `clients` concurrent echo roundtrips through a pool and
+    /// asserts every connection got served and closed exactly once.
+    fn run_pool_echo(pool: ReactorPool, clients: usize, closes: &Arc<AtomicU64>) {
+        let addr = pool.local_addr();
+        let joins: Vec<_> = (0..clients)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut sock = TcpStream::connect(addr).unwrap();
+                    sock.set_read_timeout(Some(Duration::from_secs(10)))
+                        .unwrap();
+                    for round in 0..25u64 {
+                        sock.write_all(
+                            &Message::SessionReading {
+                                session: c as u64,
+                                module: ModuleId::new(0),
+                                round,
+                                value: round as f64 + c as f64,
+                            }
+                            .encode(),
+                        )
+                        .unwrap();
+                    }
+                    let mut buf = bytes::BytesMut::new();
+                    let mut chunk = [0u8; 4096];
+                    let mut got = 0u64;
+                    while got < 25 {
+                        let n = sock.read(&mut chunk).expect("pool echoes arrive");
+                        assert!(n > 0, "pool reactor hung up early");
+                        buf.extend_from_slice(&chunk[..n]);
+                        while let Ok(msg) = Message::decode(&mut buf) {
+                            match msg {
+                                Message::SessionResult {
+                                    session,
+                                    round,
+                                    value,
+                                    ..
+                                } => {
+                                    assert_eq!(
+                                        session, c as u64,
+                                        "pinned: replies come back on the opening connection"
+                                    );
+                                    assert_eq!(value, Some(round as f64 + c as f64));
+                                    got += 1;
+                                }
+                                other => panic!("unexpected echo {other:?}"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(
+            closes.load(Ordering::SeqCst),
+            clients as u64,
+            "every pooled connection got exactly one on_close"
+        );
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn pool_serves_on_reuseport_listeners() {
+        let _gate = serial();
+        let closes = Arc::new(AtomicU64::new(0));
+        let mk_closes = Arc::clone(&closes);
+        let pool = spawn_pool(
+            "127.0.0.1:0",
+            4,
+            move |_| Echo {
+                closes: Arc::clone(&mk_closes),
+            },
+            |_| ReactorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(pool.reactor_count(), 4);
+        assert_eq!(pool.accept_mode(), "reuseport");
+        assert_eq!(pool.backend(), "epoll");
+        run_pool_echo(pool, 8, &closes);
+    }
+
+    #[test]
+    fn pool_falls_back_to_accept_handoff_in_poll_mode() {
+        let _gate = serial();
+        let closes = Arc::new(AtomicU64::new(0));
+        let mk_closes = Arc::clone(&closes);
+        let pool = spawn_pool(
+            "127.0.0.1:0",
+            3,
+            move |_| Echo {
+                closes: Arc::clone(&mk_closes),
+            },
+            |_| ReactorConfig {
+                force_poll: true,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pool.reactor_count(), 3);
+        assert_eq!(pool.accept_mode(), "handoff");
+        assert_eq!(pool.backend(), "poll");
+        run_pool_echo(pool, 9, &closes);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn pool_falls_back_to_handoff_when_reuseport_bind_faults() {
+        let _gate = serial();
+        // The injected fault kills the very first reuseport bind; the pool
+        // must degrade to the single-listener handoff path, not fail.
+        sysio::fault::install(sysio::fault::Plan::new(31).rule(
+            sysio::fault::Site::ListenerSetup,
+            sysio::fault::Kind::Emfile,
+            1,
+            1,
+        ));
+        let closes = Arc::new(AtomicU64::new(0));
+        let mk_closes = Arc::clone(&closes);
+        let pool = spawn_pool(
+            "127.0.0.1:0",
+            2,
+            move |_| Echo {
+                closes: Arc::clone(&mk_closes),
+            },
+            |_| ReactorConfig::default(),
+        )
+        .unwrap();
+        sysio::fault::clear();
+        assert_eq!(pool.accept_mode(), "handoff");
+        run_pool_echo(pool, 4, &closes);
+    }
+
+    #[test]
+    fn single_reactor_pool_reports_single_mode() {
+        let _gate = serial();
+        let closes = Arc::new(AtomicU64::new(0));
+        let mk_closes = Arc::clone(&closes);
+        let pool = spawn_pool(
+            "127.0.0.1:0",
+            1,
+            move |_| Echo {
+                closes: Arc::clone(&mk_closes),
+            },
+            |_| ReactorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(pool.reactor_count(), 1);
+        assert_eq!(pool.accept_mode(), "single");
+        run_pool_echo(pool, 3, &closes);
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //!
 //! ```text
 //!                 ┌─────────────────────────────────────────────┐
-//!  TCP clients ──▶│ avoc-net reactor: ONE event-loop thread     │
-//!                 │ owns listener + every socket; streaming     │
-//!                 │ decode of control frames (tags 5–10, 14)    │
+//!  TCP clients ──▶│ avoc-net reactor pool: R event-loop threads │
+//!                 │ (SO_REUSEPORT listeners, or accept handoff) │
+//!                 │ each owns its accepted sockets for life;    │
+//!                 │ streaming decode of frames (tags 5–11, 14)  │
 //!                 └──────────────┬──────────────────────────────┘
-//!                                │ route by hash(session id)
+//!                                │ route by hash(session id); a FeedBatch
+//!                                │ travels as ONE ReadingBurst command
 //!                 ┌──────────────▼──────────────┐
 //!                 │ shard 0 .. shard N-1        │  bounded mailboxes: a
 //!                 │  each: HashMap<id, Session> │  control lane (never shed)
@@ -24,8 +26,8 @@
 //!                 └──────────────┬──────────────┘
 //!                                │ ResultSink: bounded channel + ConnWaker
 //!                 ┌──────────────▼──────────────┐
-//!                 │ reactor drains each conn's  │──▶ back to the client
-//!                 │ corked writer on wakeup     │
+//!                 │ owning reactor drains each  │──▶ back to the client
+//!                 │ conn's corked writer on wake│
 //!                 └─────────────────────────────┘
 //! ```
 //!

@@ -42,11 +42,17 @@ pub struct ServiceCounters {
     frames_sent: Counter,
     writer_flushes: Counter,
     writer_writes: Counter,
-    /// The reactor's health cells (connections open, wakeups, events,
-    /// dispatch latency). Registered here so they surface on the same
-    /// scrape and in the drain-time snapshot; the reactor thread records
-    /// into clones of these handles.
-    reactor: ReactorMetrics,
+    /// Each reactor's health cells (connections open, wakeups, events,
+    /// dispatch latency), one entry per event-loop thread, labelled
+    /// `{reactor="i"}`. Registered here so they surface on the same
+    /// scrape and in the drain-time snapshot (which sums across reactors);
+    /// each reactor thread records into clones of its own handles.
+    reactors: Vec<ReactorMetrics>,
+    /// Channel sends into shard data mailboxes. A `ReadingBurst` counts
+    /// once however many readings it carries, so
+    /// `shard_handoff_sends / readings` is the handoff amortisation factor
+    /// the burst path exists to improve.
+    shard_handoff_sends: Counter,
     recoveries: Counter,
     resumed_sessions: Counter,
     retries: Counter,
@@ -122,14 +128,21 @@ struct LatencyReservoir {
 }
 
 impl ServiceCounters {
-    /// Counters for a daemon with `shards` workers (tracing disabled).
+    /// Counters for a daemon with `shards` workers and one reactor
+    /// (tracing disabled).
     pub fn new(shards: usize) -> Self {
-        ServiceCounters::with_observability(shards, 0, 0)
+        ServiceCounters::with_observability(shards, 1, 0, 0)
     }
 
-    /// Counters plus a trace ring holding `trace_capacity` spans, sampling
-    /// one round in `trace_every` (`0` disables tracing).
-    pub fn with_observability(shards: usize, trace_capacity: usize, trace_every: u64) -> Self {
+    /// Counters for `shards` workers and `reactors` event-loop threads,
+    /// plus a trace ring holding `trace_capacity` spans, sampling one
+    /// round in `trace_every` (`0` disables tracing).
+    pub fn with_observability(
+        shards: usize,
+        reactors: usize,
+        trace_capacity: usize,
+        trace_every: u64,
+    ) -> Self {
         let registry = Registry::new();
         let c = |name: &str, help: &str| registry.counter(name, help);
         ServiceCounters {
@@ -179,7 +192,13 @@ impl ServiceCounters {
                 "avoc_writer_writes_total",
                 "write(2) calls issued by connection writers.",
             ),
-            reactor: ReactorMetrics::register(&registry, &[]),
+            reactors: (0..reactors.max(1))
+                .map(|i| ReactorMetrics::register(&registry, &[("reactor", &i.to_string())]))
+                .collect(),
+            shard_handoff_sends: c(
+                "avoc_shard_handoff_sends_total",
+                "Channel sends into shard data mailboxes (a burst counts once).",
+            ),
             recoveries: c(
                 "avoc_recoveries_total",
                 "Sessions rebuilt from a WAL checkpoint.",
@@ -433,6 +452,12 @@ impl ServiceCounters {
         self.readings_dropped.inc();
     }
 
+    /// Counts every reading a refused or shed burst carried, so
+    /// `readings_dropped` keeps counting readings, not commands.
+    pub(crate) fn readings_dropped_add(&self, n: u64) {
+        self.readings_dropped.add(n);
+    }
+
     pub(crate) fn result_dropped(&self) {
         self.results_dropped.inc();
     }
@@ -447,11 +472,20 @@ impl ServiceCounters {
         self.result_batches.inc();
     }
 
-    /// The reactor's health cells — handed to [`avoc_net::reactor::spawn`]
-    /// so the event loop records into the same registry this snapshot
-    /// reads.
-    pub(crate) fn reactor_metrics(&self) -> ReactorMetrics {
-        self.reactor.clone()
+    /// Reactor `index`'s health cells — handed to
+    /// [`avoc_net::reactor::spawn_pool`]'s per-reactor config so each
+    /// event loop records into its own `{reactor="i"}` series on the same
+    /// registry this snapshot reads. Out-of-range indices clamp to the
+    /// last registered set rather than panic (a config race is not worth
+    /// crashing the daemon over).
+    pub(crate) fn reactor_metrics(&self, index: usize) -> ReactorMetrics {
+        let i = index.min(self.reactors.len() - 1);
+        self.reactors[i].clone()
+    }
+
+    /// Counts one channel send into a shard's data mailbox.
+    pub(crate) fn handoff_send(&self) {
+        self.shard_handoff_sends.inc();
     }
 
     /// The wire-egress cells as a [`CorkMetrics`] handle set: every
@@ -596,12 +630,16 @@ impl ServiceCounters {
             frames_sent: self.frames_sent.get(),
             writer_flushes: self.writer_flushes.get(),
             writer_writes: self.writer_writes.get(),
-            connections_accepted: self.reactor.accepted.get(),
-            connections_open: self.reactor.connections_open.get(),
-            epoll_wakeups: self.reactor.epoll_wakeups.get(),
-            reactor_events: self.reactor.events.get(),
-            wedged_closed: self.reactor.wedged_closed.get(),
-            accept_pauses: self.reactor.accept_pauses.get(),
+            // Snapshot fields predate the multi-reactor pool; summing the
+            // per-reactor cells keeps the JSON shape (and meaning: totals
+            // for the whole data plane) unchanged.
+            connections_accepted: self.reactors.iter().map(|r| r.accepted.get()).sum(),
+            connections_open: self.reactors.iter().map(|r| r.connections_open.get()).sum(),
+            epoll_wakeups: self.reactors.iter().map(|r| r.epoll_wakeups.get()).sum(),
+            reactor_events: self.reactors.iter().map(|r| r.events.get()).sum(),
+            wedged_closed: self.reactors.iter().map(|r| r.wedged_closed.get()).sum(),
+            accept_pauses: self.reactors.iter().map(|r| r.accept_pauses.get()).sum(),
+            shard_handoff_sends: self.shard_handoff_sends.get(),
             recoveries: self.recoveries.get(),
             resumed_sessions: self.resumed_sessions.get(),
             retries: self.retries.get(),
@@ -687,6 +725,10 @@ pub struct CountersSnapshot {
     pub wedged_closed: u64,
     /// Times the reactor paused accepting on fd exhaustion.
     pub accept_pauses: u64,
+    /// Channel sends into shard data mailboxes; with the burst handoff a
+    /// `FeedBatch` frame costs one send, so `shard_handoff_sends` per 1k
+    /// readings is the number `bench_serve` gates on.
+    pub shard_handoff_sends: u64,
     /// Sessions rebuilt from a WAL checkpoint (eager recovery at daemon
     /// start, or lazily when a resume found no live session).
     pub recoveries: u64,

@@ -1,19 +1,21 @@
 //! TCP front-end: control frames in, session results out.
 //!
-//! Served by the `avoc-net` reactor: one event-loop thread owns the
-//! listener and every tenant socket, so the daemon's data-plane thread
-//! count is `shards + 1` regardless of how many connections are open —
-//! the thread-per-connection model (a reader loop plus a writer thread
-//! per tenant) is gone. Inbound bytes stream through the re-entrant
+//! Served by the `avoc-net` reactor pool: R event-loop threads
+//! ([`crate::ServeConfig::reactors`], default `min(cores, 4)`) share the
+//! accept load — via per-reactor `SO_REUSEPORT` listeners where the
+//! kernel supports them, or a round-robin accept handoff from reactor 0
+//! otherwise — and each connection is pinned to one reactor for life, so
+//! the daemon's data-plane thread count is `shards + R` regardless of how
+//! many connections are open. Inbound bytes stream through the re-entrant
 //! [`avoc_net::StreamDecoder`]; outbound results ride each connection's
-//! bounded channel, which the reactor drains into a corked writer when
-//! the shard-side [`ResultSink`] wakes it.
+//! bounded channel, which the owning reactor drains into a corked writer
+//! when the shard-side [`ResultSink`] wakes it.
 
-use avoc_net::reactor::{self, ConnWaker, FrameVerdict, Handler, ReactorConfig, ReactorHandle};
+use avoc_net::reactor::{self, ConnWaker, FrameVerdict, Handler, ReactorConfig, ReactorPool};
 use avoc_net::Message;
 use crossbeam::channel::{self, Receiver};
 use std::io;
-use std::net::{SocketAddr, TcpListener};
+use std::net::SocketAddr;
 use std::sync::Arc;
 
 use crate::admin::AdminServer;
@@ -41,7 +43,7 @@ const OUT_CHANNEL_CAPACITY: usize = 256;
 pub struct TcpServer {
     local_addr: SocketAddr,
     service: Arc<VoterService>,
-    reactor: ReactorHandle,
+    pool: ReactorPool,
     /// The observability endpoint, when the service was configured with an
     /// admin address.
     admin: Option<AdminServer>,
@@ -49,14 +51,13 @@ pub struct TcpServer {
 
 impl TcpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting tenants
-    /// against `service`.
+    /// against `service`, spawning [`VoterService::reactors`] event-loop
+    /// threads over the address.
     ///
     /// # Errors
     ///
     /// Propagates bind errors.
     pub fn start(addr: &str, service: Arc<VoterService>) -> io::Result<TcpServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
         // The observability plane rides along when configured: a bind
         // failure there fails the whole start rather than silently serving
         // without metrics.
@@ -65,16 +66,20 @@ impl TcpServer {
             None => None,
         };
         let counters = service.counters_arc();
-        let handler = ServeHandler {
-            service: Arc::clone(&service),
-            counters: Arc::clone(&counters),
-        };
-        let reactor = reactor::spawn(
-            listener,
-            handler,
-            ReactorConfig {
+        let pool = reactor::spawn_pool(
+            addr,
+            service.reactors(),
+            |_| ServeHandler {
+                // Handler state is all shared Arcs, so each reactor's
+                // handler is a cheap clone of the same service view.
+                service: Arc::clone(&service),
+                counters: Arc::clone(&counters),
+            },
+            |i| ReactorConfig {
                 write_deadline: Some(service.write_deadline_config()),
-                metrics: Some(counters.reactor_metrics()),
+                // Per-reactor metric cells ({reactor="i"}); the snapshot
+                // sums them back into data-plane totals.
+                metrics: Some(counters.reactor_metrics(i)),
                 cork_metrics: Some(counters.cork_metrics()),
                 bytes_received: Some(counters.bytes_received_counter()),
                 health: Some(counters.health()),
@@ -82,9 +87,9 @@ impl TcpServer {
             },
         )?;
         Ok(TcpServer {
-            local_addr,
+            local_addr: pool.local_addr(),
             service,
-            reactor,
+            pool,
             admin,
         })
     }
@@ -100,10 +105,22 @@ impl TcpServer {
         self.admin.as_ref().map(AdminServer::local_addr)
     }
 
-    /// Which readiness backend the reactor selected (`"epoll"` on Linux,
+    /// Which readiness backend the reactors selected (`"epoll"` on Linux,
     /// `"poll"` under `AVOC_FORCE_POLL` or where epoll is unavailable).
     pub fn reactor_backend(&self) -> &'static str {
-        self.reactor.backend()
+        self.pool.backend()
+    }
+
+    /// How the pool distributes accepted connections: `"reuseport"`
+    /// (per-reactor listeners), `"handoff"` (reactor 0 round-robins
+    /// accepted sockets to its peers), or `"single"` (one reactor).
+    pub fn accept_mode(&self) -> &'static str {
+        self.pool.accept_mode()
+    }
+
+    /// Event-loop threads in the pool.
+    pub fn reactor_count(&self) -> usize {
+        self.pool.reactor_count()
     }
 
     /// The service this front-end drives (for live [`VoterService::counters`]
@@ -117,7 +134,7 @@ impl TcpServer {
     /// session (flushing in-flight rounds to whichever sinks still listen)
     /// and returns the final counters.
     pub fn shutdown(self) -> CountersSnapshot {
-        self.reactor.shutdown();
+        self.pool.shutdown();
         if let Some(admin) = self.admin {
             admin.stop();
         }
@@ -129,7 +146,7 @@ impl TcpServer {
     /// ([`VoterService::kill`]) without flushing sessions, leaving durable
     /// state at the last completed checkpoint.
     pub fn abort(self) -> CountersSnapshot {
-        self.reactor.shutdown();
+        self.pool.shutdown();
         if let Some(admin) = self.admin {
             admin.stop();
         }

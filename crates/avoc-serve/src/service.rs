@@ -36,6 +36,12 @@ pub enum AdmissionPolicy {
 pub struct ServeConfig {
     /// Worker threads. `0` means `std::thread::available_parallelism()`.
     pub shards: usize,
+    /// Reactor (event-loop) threads in the TCP front-end's data plane.
+    /// `0` (the default) means `min(available_parallelism, 4)` — I/O
+    /// saturates well before fusion does, so the reactor pool is capped
+    /// lower than the shard count. Ignored by in-process callers that
+    /// never start a [`crate::TcpServer`].
+    pub reactors: usize,
     /// Bounded capacity of each shard's mailboxes (the data mailbox
     /// carrying readings, and the control mailbox carrying session
     /// lifecycle commands).
@@ -75,6 +81,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             shards: 0,
+            reactors: 0,
             mailbox_capacity: 1024,
             backpressure: Backpressure::Block,
             max_sessions: 1024,
@@ -123,6 +130,12 @@ impl std::error::Error for ServeError {
     }
 }
 
+/// How many drained burst buffers the free-list retains. In-flight bursts
+/// are bounded by the shard mailboxes, so a modest pool covers the steady
+/// state; a miss just allocates a fresh buffer that joins the pool when it
+/// drains.
+const BURST_POOL_CAPACITY: usize = 1024;
+
 /// One shard's producer endpoints. Lifecycle commands and readings travel
 /// on separate bounded channels so a full data mailbox can never displace,
 /// reorder, or shed an `Open`/`Close`/`Drain`.
@@ -146,6 +159,16 @@ pub struct VoterService {
     counters: Arc<ServiceCounters>,
     active: Arc<AtomicUsize>,
     registry: Arc<SpecRegistry>,
+    /// Resolved reactor-thread count for the TCP front-end (the
+    /// `ServeConfig::reactors` knob with `0` already expanded).
+    reactors: usize,
+    /// Free-list of recycled burst buffers: `feed_batch` pops one (or
+    /// allocates on a miss), the shard clears and returns it via the
+    /// command's `recycle` sender. Bounded, so the pool can never grow
+    /// past its cap and sends into it never allocate.
+    burst_pool: Receiver<Vec<avoc_net::BatchReading>>,
+    /// The producer side shards return drained buffers through.
+    burst_return: Sender<Vec<avoc_net::BatchReading>>,
     backpressure: Backpressure,
     admission: AdmissionPolicy,
     persistence: Persistence,
@@ -179,8 +202,16 @@ impl VoterService {
         } else {
             config.shards
         };
+        let reactors = if config.reactors == 0 {
+            std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(4)
+        } else {
+            config.reactors
+        };
         let counters = Arc::new(ServiceCounters::with_observability(
             shards,
+            reactors,
             config.trace_capacity,
             config.trace_sample,
         ));
@@ -253,6 +284,7 @@ impl VoterService {
             }
             _ => None,
         };
+        let (burst_return, burst_pool) = channel::bounded(BURST_POOL_CAPACITY);
         VoterService {
             links,
             sheds: Mutex::new(sheds),
@@ -260,6 +292,9 @@ impl VoterService {
             counters,
             active,
             registry,
+            reactors,
+            burst_pool,
+            burst_return,
             backpressure: config.backpressure,
             admission: config.admission,
             persistence: config.persistence,
@@ -274,6 +309,13 @@ impl VoterService {
     /// Number of shard workers.
     pub fn shards(&self) -> usize {
         self.links.len()
+    }
+
+    /// Number of reactor (event-loop) threads the TCP front-end will run
+    /// ([`ServeConfig::reactors`] with `0` resolved to
+    /// `min(available_parallelism, 4)`).
+    pub fn reactors(&self) -> usize {
+        self.reactors
     }
 
     /// Sessions currently open.
@@ -480,80 +522,95 @@ impl VoterService {
         outcome
     }
 
-    /// Routes a batch of readings to one session's shard, amortising the
-    /// shard lookup and depth sampling across the batch while every reading
-    /// still counts *individually* against the backpressure budget: each one
-    /// occupies its own mailbox slot, and each shed or refused reading is
-    /// counted on its own.
+    /// Routes a whole batch of readings to one session's shard as a single
+    /// [`ShardCommand::ReadingBurst`]: one mailbox slot and one channel
+    /// send however many readings the frame carried, with the buffer drawn
+    /// from (and returned to) a bounded free-list so the steady state
+    /// allocates nothing. The worker feeds the burst in submission order,
+    /// so the fused stream is bit-identical to per-reading feeding.
     ///
-    /// Under `Reject`, later readings are still attempted after an earlier
-    /// one is refused (the worker drains concurrently, so space may open up
-    /// mid-batch); the first refusal is reported after the batch finishes.
+    /// The backpressure budget is spent in bursts: under `Reject` a full
+    /// mailbox refuses the whole burst (every reading counted dropped);
+    /// under `DropOldest` each shed mailbox entry counts the readings it
+    /// carried; under `Block` the producer waits for one slot.
     ///
     /// # Errors
     ///
-    /// [`ServeError::MailboxFull`] under `Reject` when at least one reading
-    /// was refused; [`ServeError::ShuttingDown`] (immediately) after
-    /// [`VoterService::drain`].
+    /// [`ServeError::MailboxFull`] under `Reject` when the burst was
+    /// refused; [`ServeError::ShuttingDown`] after [`VoterService::drain`].
     pub fn feed_batch(
         &self,
         session: u64,
         readings: &[avoc_net::BatchReading],
     ) -> Result<(), ServeError> {
+        if readings.is_empty() {
+            return Ok(());
+        }
         let shard = self.shard_for(session);
-        let mut outcome = Ok(());
-        for r in readings {
-            let queued_ns = self.trace_stamp();
-            let cmd = ShardCommand::Reading {
-                session,
-                module: r.module,
-                round: r.round,
-                value: r.value,
-                queued_ns,
-            };
-            let routed = self.route_reading(shard, cmd);
-            if queued_ns != 0 {
-                self.record_ingest(session, r.round, queued_ns);
-            }
-            match routed {
-                Ok(()) => {}
-                Err(ServeError::MailboxFull) => {
-                    // Per-reading refusal, already counted; keep going.
-                    if outcome.is_ok() {
-                        outcome = Err(ServeError::MailboxFull);
-                    }
-                }
-                Err(e) => {
-                    self.note_depth(shard);
-                    return Err(e);
-                }
-            }
+        let queued_ns = self.trace_stamp();
+        let mut buf = self.burst_pool.try_recv().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(readings);
+        let cmd = ShardCommand::ReadingBurst {
+            session,
+            readings: buf,
+            queued_ns,
+            recycle: self.burst_return.clone(),
+        };
+        let routed = self.route_reading(shard, cmd);
+        if queued_ns != 0 {
+            self.record_ingest(session, readings[0].round, queued_ns);
         }
         self.note_depth(shard);
-        outcome
+        routed
     }
 
-    /// One reading → one shard mailbox slot under the backpressure policy.
+    /// One command (reading or burst) → one shard mailbox slot under the
+    /// backpressure policy. Successful sends are counted
+    /// (`shard_handoff_sends`), so the handoff amortisation the burst path
+    /// buys is observable.
     fn route_reading(&self, shard: usize, cmd: ShardCommand) -> Result<(), ServeError> {
         let tx = &self.links[shard].data;
-        match self.backpressure {
+        let routed = match self.backpressure {
             Backpressure::Block => tx.send(cmd).map_err(|_| ServeError::ShuttingDown),
             Backpressure::DropOldest => self.feed_drop_oldest(shard, cmd),
             Backpressure::Reject => match tx.try_send(cmd) {
                 Ok(()) => Ok(()),
-                Err(TrySendError::Full(_)) => {
-                    self.counters.reading_dropped();
+                Err(TrySendError::Full(cmd)) => {
+                    self.count_shed(cmd);
                     Err(ServeError::MailboxFull)
                 }
                 Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
             },
+        };
+        if routed.is_ok() {
+            self.counters.handoff_send();
+        }
+        routed
+    }
+
+    /// Counts a refused or shed data command against `readings_dropped` —
+    /// per *reading*, so a burst counts its whole payload — and recycles a
+    /// burst's buffer back into the pool.
+    fn count_shed(&self, cmd: ShardCommand) {
+        match cmd {
+            ShardCommand::ReadingBurst {
+                mut readings,
+                recycle,
+                ..
+            } => {
+                self.counters.readings_dropped_add(readings.len() as u64);
+                readings.clear();
+                let _ = recycle.try_send(readings);
+            }
+            _ => self.counters.reading_dropped(),
         }
     }
 
     /// `DropOldest` with stock channel primitives: on `Full`, pop the
-    /// oldest queued reading from the shed-side receiver clone and retry.
-    /// The data mailbox carries only readings, so shedding can never
-    /// displace a control command.
+    /// oldest queued entry from the shed-side receiver clone and retry.
+    /// The data mailbox carries only readings and bursts, so shedding can
+    /// never displace a control command.
     fn feed_drop_oldest(&self, shard: usize, mut cmd: ShardCommand) -> Result<(), ServeError> {
         loop {
             match self.links[shard].data.try_send(cmd) {
@@ -561,15 +618,18 @@ impl VoterService {
                 Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
                 Err(TrySendError::Full(back)) => {
                     cmd = back;
-                    let sheds = self.sheds.lock();
-                    let Some(rx) = sheds.get(shard) else {
-                        return Err(ServeError::ShuttingDown); // drained
+                    let shed = {
+                        let sheds = self.sheds.lock();
+                        let Some(rx) = sheds.get(shard) else {
+                            return Err(ServeError::ShuttingDown); // drained
+                        };
+                        // The worker may empty the queue between the failed
+                        // send and this pop; an empty pop just means space
+                        // opened up, so only an actual eviction is counted.
+                        rx.try_recv().ok()
                     };
-                    // The worker may empty the queue between the failed
-                    // send and this pop; an empty pop just means space
-                    // opened up, so only an actual eviction is counted.
-                    if rx.try_recv().is_ok() {
-                        self.counters.reading_dropped();
+                    if let Some(old) = shed {
+                        self.count_shed(old);
                     }
                 }
             }

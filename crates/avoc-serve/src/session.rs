@@ -185,10 +185,12 @@ impl Session {
     }
 
     /// Ships everything fused since the last flush. The shard worker calls
-    /// this once per wakeup, so a burst's verdicts leave as one
-    /// [`Message::ResultBatch`] frame; a lone result goes as a plain
-    /// [`Message::SessionResult`] (interactive traffic keeps its shape and
-    /// latency).
+    /// this after every `DATA_BURST` readings it feeds — between queued
+    /// commands and at the same cadence *inside* a `ReadingBurst` — so a
+    /// burst's verdicts leave as bounded [`Message::ResultBatch`] frames
+    /// regardless of how the readings were framed on the wire; a lone
+    /// result goes as a plain [`Message::SessionResult`] (interactive
+    /// traffic keeps its shape and latency).
     pub(crate) fn flush_results(&mut self, counters: &ServiceCounters) {
         if self.pending.is_empty() {
             return;

@@ -58,9 +58,9 @@ pub(crate) struct OpenReq {
 ///
 /// Commands travel on two channels per shard: lifecycle commands (`Open`,
 /// `Resume`, `Close`, `Drain`, `Abort`) on a control mailbox the worker
-/// always drains first, and `Reading`s on the backpressured data mailbox —
-/// so a flood of data can never displace, reorder, or shed a control
-/// command.
+/// always drains first, and `Reading`s / `ReadingBurst`s on the
+/// backpressured data mailbox — so a flood of data can never displace,
+/// reorder, or shed a control command.
 pub(crate) enum ShardCommand {
     /// Install a session (spec already resolved and validated).
     Open(OpenReq),
@@ -90,6 +90,26 @@ pub(crate) enum ShardCommand {
         /// was sampled for tracing, `0` (the overwhelmingly common case)
         /// when not. The worker turns a non-zero stamp into a queue span.
         queued_ns: u64,
+    },
+    /// A whole `FeedBatch` frame's readings for one session in a single
+    /// command: one mailbox slot and one channel send however many
+    /// readings it carries, so a 52k-reading frame costs O(1) handoffs
+    /// instead of O(readings). The worker feeds the readings in order —
+    /// exactly as the per-reading path would — then clears the buffer and
+    /// returns it through `recycle` so the steady state allocates nothing.
+    ReadingBurst {
+        /// Target session (a `FeedBatch` frame is single-session, so a
+        /// burst never needs re-splitting by shard).
+        session: u64,
+        /// The readings, in submission order (never empty).
+        readings: Vec<avoc_net::BatchReading>,
+        /// Trace stamp for the burst as a whole (`0` when unsampled);
+        /// one queue span covers every reading it carried.
+        queued_ns: u64,
+        /// Where the drained buffer goes back to. The pool channel is
+        /// bounded; a full (or disconnected, at shutdown) pool just drops
+        /// the buffer.
+        recycle: crossbeam::channel::Sender<Vec<avoc_net::BatchReading>>,
     },
     /// Flush and remove a session (its durable state is deleted: an
     /// explicit close means the tenant is done for good).
@@ -300,9 +320,11 @@ impl ShardWorker {
                 }
                 st.stop = true;
             }
-            // Readings are routed to the data mailbox; tolerate a stray one
-            // here rather than crash the worker.
-            cmd @ ShardCommand::Reading { .. } => self.reading(cmd, st),
+            // Readings (and bursts) are routed to the data mailbox;
+            // tolerate a stray one here rather than crash the worker.
+            cmd @ (ShardCommand::Reading { .. } | ShardCommand::ReadingBurst { .. }) => {
+                self.reading(cmd, st);
+            }
         }
     }
 
@@ -329,28 +351,79 @@ impl ShardWorker {
         }
     }
 
+    /// Dispatches one data-mailbox command: a single reading, or a burst
+    /// fed reading-by-reading in submission order (so the fused stream is
+    /// bit-identical to the per-reading path).
     fn reading(&self, cmd: ShardCommand, st: &mut ShardState) {
-        let ShardCommand::Reading {
-            session,
-            module,
-            round,
-            value,
-            queued_ns,
-        } = cmd
-        else {
-            // Control commands never reach the data mailbox.
-            return;
-        };
-        if queued_ns != 0 {
-            // Sampled reading: its mailbox wait becomes a queue span.
-            self.counters.trace().record(avoc_obs::Span {
+        match cmd {
+            ShardCommand::Reading {
                 session,
+                module,
                 round,
-                stage: avoc_obs::Stage::Queue,
-                start_ns: queued_ns,
-                dur_ns: avoc_obs::now_ns().saturating_sub(queued_ns),
-            });
+                value,
+                queued_ns,
+            } => {
+                if queued_ns != 0 {
+                    // Sampled reading: its mailbox wait becomes a queue span.
+                    self.queue_span(session, round, queued_ns);
+                }
+                self.feed_one(st, session, module, round, value, queued_ns != 0);
+            }
+            ShardCommand::ReadingBurst {
+                session,
+                mut readings,
+                queued_ns,
+                recycle,
+            } => {
+                if queued_ns != 0 {
+                    // One queue span covers the whole burst (it waited as
+                    // one mailbox entry).
+                    let round = readings.first().map_or(0, |r| r.round);
+                    self.queue_span(session, round, queued_ns);
+                }
+                for (i, r) in readings.iter().enumerate() {
+                    self.feed_one(st, session, r.module, r.round, r.value, queued_ns != 0);
+                    // Keep the egress cadence of the per-reading path: a
+                    // wakeup used to fuse at most DATA_BURST readings
+                    // before shipping results, so a giant burst must not
+                    // coalesce its whole verdict stream into a handful of
+                    // maximum-size frames (the trailing partial chunk
+                    // flushes at end of wakeup, exactly as before).
+                    if (i + 1) % DATA_BURST == 0 {
+                        self.flush_touched(st);
+                    }
+                }
+                readings.clear();
+                let _ = recycle.try_send(readings);
+            }
+            // Control commands never reach the data mailbox.
+            _ => {}
         }
+    }
+
+    /// Records the mailbox wait of a sampled reading (or burst).
+    fn queue_span(&self, session: u64, round: u64, queued_ns: u64) {
+        self.counters.trace().record(avoc_obs::Span {
+            session,
+            round,
+            stage: avoc_obs::Stage::Queue,
+            start_ns: queued_ns,
+            dur_ns: avoc_obs::now_ns().saturating_sub(queued_ns),
+        });
+    }
+
+    /// Feeds one reading into its session: the shard tick, the Open hunt,
+    /// the engine feed and the idle sweep all happen per reading, whether
+    /// it arrived alone or inside a burst.
+    fn feed_one(
+        &self,
+        st: &mut ShardState,
+        session: u64,
+        module: ModuleId,
+        round: u64,
+        value: f64,
+        traced: bool,
+    ) {
         st.tick += 1;
         if !st.sessions.contains_key(&session) {
             // The session's Open/Resume is always enqueued before its
@@ -386,14 +459,7 @@ impl ShardWorker {
             }
         }
         if let Some(s) = st.sessions.get_mut(&session) {
-            s.feed(
-                module,
-                round,
-                value,
-                st.tick,
-                queued_ns != 0,
-                &self.counters,
-            );
+            s.feed(module, round, value, st.tick, traced, &self.counters);
             if !st.touched.contains(&session) {
                 st.touched.push(session);
             }

@@ -3,10 +3,13 @@
 //! Under the thread-per-connection server a shard could simply `try_send`
 //! on a connection's result channel: the writer thread was parked in a
 //! blocking `recv` and woke by itself. The reactor front-end has no such
-//! thread — one event loop owns every socket and sleeps in `epoll_wait` —
-//! so every enqueue must also *tell the reactor which connection became
-//! ready*. [`ResultSink`] bundles the channel sender with that
-//! connection's [`ConnWaker`]; in-process callers (benchmarks, tests, the
+//! thread — each event loop in the pool owns its accepted sockets and
+//! sleeps in `epoll_wait` — so every enqueue must also *tell the owning
+//! reactor which connection became ready*. [`ResultSink`] bundles the
+//! channel sender with that connection's [`ConnWaker`], which carries the
+//! wake pipe of the specific reactor the connection is pinned to, so a
+//! shard's emission lands on the right event loop without the sink ever
+//! knowing the pool exists. In-process callers (benchmarks, tests, the
 //! drain path) convert a bare `Sender` into a wakerless sink and nothing
 //! else changes for them.
 

@@ -118,10 +118,15 @@ pub mod fault {
         SockRead,
         /// Data-plane socket write/flush in the reactor.
         SockWrite,
+        /// `socket(2)`/`setsockopt(2)`/`bind(2)` while building a
+        /// `SO_REUSEPORT` listener in [`crate::reuseport_listener`]. A
+        /// fault here makes the multi-reactor pool fall back to
+        /// single-listener accept handoff.
+        ListenerSetup,
     }
 
     /// Number of distinct [`Site`]s (size of the per-site call counters).
-    const SITE_COUNT: usize = 13;
+    const SITE_COUNT: usize = 14;
 
     impl Site {
         fn index(self) -> usize {
@@ -456,6 +461,19 @@ mod sys {
         fn listen(fd: c_int, backlog: c_int) -> c_int;
 
         #[cfg(target_os = "linux")]
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+        #[cfg(target_os = "linux")]
+        fn bind(fd: c_int, addr: *const c_void, addrlen: u32) -> c_int;
+
+        #[cfg(target_os = "linux")]
         fn epoll_create1(flags: c_int) -> c_int;
         #[cfg(target_os = "linux")]
         fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -483,6 +501,120 @@ mod sys {
     const POLLERR: c_short = 0x008;
     const POLLHUP: c_short = 0x010;
     const POLLNVAL: c_short = 0x020;
+
+    #[cfg(target_os = "linux")]
+    const AF_INET: c_int = 2;
+    #[cfg(target_os = "linux")]
+    const AF_INET6: c_int = 10;
+    #[cfg(target_os = "linux")]
+    const SOCK_STREAM: c_int = 1;
+    #[cfg(target_os = "linux")]
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    #[cfg(target_os = "linux")]
+    const SOL_SOCKET: c_int = 1;
+    #[cfg(target_os = "linux")]
+    const SO_REUSEADDR: c_int = 2;
+    #[cfg(target_os = "linux")]
+    const SO_REUSEPORT: c_int = 15;
+    #[cfg(target_os = "linux")]
+    const IPV6_V6ONLY_LEVEL: c_int = 41; // IPPROTO_IPV6
+    #[cfg(target_os = "linux")]
+    const IPV6_V6ONLY: c_int = 26;
+
+    /// `struct sockaddr_in` as Linux lays it out (16 bytes).
+    #[cfg(target_os = "linux")]
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: u16,     // network byte order
+        addr: [u8; 4], // network byte order
+        zero: [u8; 8],
+    }
+
+    /// `struct sockaddr_in6` as Linux lays it out (28 bytes).
+    #[cfg(target_os = "linux")]
+    #[repr(C)]
+    struct SockaddrIn6 {
+        family: u16,
+        port: u16, // network byte order
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
+    /// Builds a listening TCP socket with `SO_REUSEPORT` set *before*
+    /// `bind(2)` — the ordering `std::net::TcpListener::bind` cannot
+    /// express — and returns the raw fd (close-on-exec, still blocking;
+    /// the caller flips non-blocking mode via std once wrapped).
+    #[cfg(target_os = "linux")]
+    pub(super) fn reuseport_bind(addr: std::net::SocketAddr, backlog: c_int) -> io::Result<RawFd> {
+        let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+        let fd = unsafe { cvt(socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0))? };
+        let one: c_int = 1;
+        let setup = |fd: RawFd| -> io::Result<()> {
+            unsafe {
+                cvt(setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    SO_REUSEADDR,
+                    (&one as *const c_int).cast(),
+                    std::mem::size_of::<c_int>() as u32,
+                ))?;
+                cvt(setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    SO_REUSEPORT,
+                    (&one as *const c_int).cast(),
+                    std::mem::size_of::<c_int>() as u32,
+                ))?;
+                match addr {
+                    std::net::SocketAddr::V4(v4) => {
+                        let sa = SockaddrIn {
+                            family: AF_INET as u16,
+                            port: v4.port().to_be(),
+                            addr: v4.ip().octets(),
+                            zero: [0; 8],
+                        };
+                        cvt(bind(
+                            fd,
+                            (&sa as *const SockaddrIn).cast(),
+                            std::mem::size_of::<SockaddrIn>() as u32,
+                        ))?;
+                    }
+                    std::net::SocketAddr::V6(v6) => {
+                        // Match std's dual-stack default (v6-only on) so a
+                        // reuseport listener behaves like a bound one.
+                        cvt(setsockopt(
+                            fd,
+                            IPV6_V6ONLY_LEVEL,
+                            IPV6_V6ONLY,
+                            (&one as *const c_int).cast(),
+                            std::mem::size_of::<c_int>() as u32,
+                        ))?;
+                        let sa = SockaddrIn6 {
+                            family: AF_INET6 as u16,
+                            port: v6.port().to_be(),
+                            flowinfo: v6.flowinfo(),
+                            addr: v6.ip().octets(),
+                            scope_id: v6.scope_id(),
+                        };
+                        cvt(bind(
+                            fd,
+                            (&sa as *const SockaddrIn6).cast(),
+                            std::mem::size_of::<SockaddrIn6>() as u32,
+                        ))?;
+                    }
+                }
+                cvt(listen(fd, backlog))?;
+            }
+            Ok(())
+        };
+        if let Err(e) = setup(fd) {
+            close_fd(fd);
+            return Err(e);
+        }
+        Ok(fd)
+    }
 
     #[cfg(target_os = "linux")]
     const EPOLL_CLOEXEC: c_int = 0o2000000;
@@ -801,6 +933,48 @@ pub fn widen_backlog(fd: RawFd, backlog: i32) -> io::Result<()> {
 /// Always `Unsupported`.
 #[cfg(not(unix))]
 pub fn widen_backlog(_fd: RawFd, _backlog: i32) -> io::Result<()> {
+    Err(io::Error::from(io::ErrorKind::Unsupported))
+}
+
+/// Binds a listening `TcpListener` with `SO_REUSEPORT` set before
+/// `bind(2)`, so several listeners can share one address and the kernel
+/// load-balances incoming connections across them (the multi-reactor
+/// accept path). `std::net::TcpListener::bind` offers no pre-bind
+/// setsockopt hook, hence the raw construction here; the returned
+/// listener is a plain `std` listener (close-on-exec, blocking — callers
+/// flip non-blocking mode as usual).
+///
+/// Consults [`fault::Site::ListenerSetup`] so tests can force the
+/// reuseport path to fail and exercise the accept-handoff fallback.
+///
+/// # Errors
+///
+/// Propagates `socket`/`setsockopt`/`bind`/`listen` failures; injected
+/// `EINTR` is retried.
+#[cfg(target_os = "linux")]
+pub fn reuseport_listener(
+    addr: std::net::SocketAddr,
+    backlog: i32,
+) -> io::Result<std::net::TcpListener> {
+    use std::os::unix::io::FromRawFd;
+    fio::check_op(fault::Site::ListenerSetup)?;
+    let fd = sys::reuseport_bind(addr, backlog)?;
+    // SAFETY: `fd` is a freshly created listening socket we exclusively
+    // own; wrapping transfers that ownership to the listener.
+    Ok(unsafe { std::net::TcpListener::from_raw_fd(fd) })
+}
+
+/// Unsupported off Linux — callers fall back to a single bound listener
+/// with round-robin accept handoff.
+///
+/// # Errors
+///
+/// Always `Unsupported`.
+#[cfg(not(target_os = "linux"))]
+pub fn reuseport_listener(
+    _addr: std::net::SocketAddr,
+    _backlog: i32,
+) -> io::Result<std::net::TcpListener> {
     Err(io::Error::from(io::ErrorKind::Unsupported))
 }
 
@@ -1276,6 +1450,58 @@ mod tests {
             |fd| ep.borrow_mut().remove(fd),
             |out, ms| ep.borrow_mut().wait(out, ms),
         );
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reuseport_listeners_share_one_address() {
+        let _g = fault_gate();
+        let first = reuseport_listener("127.0.0.1:0".parse().unwrap(), 128).unwrap();
+        let addr = first.local_addr().unwrap();
+        assert_ne!(addr.port(), 0, "kernel assigned a concrete port");
+        // A second listener binds the *same* concrete port — impossible
+        // without SO_REUSEPORT set before bind on both sockets.
+        let second = reuseport_listener(addr, 128).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+
+        // Connections land on one of the two accept queues; drain both
+        // (non-blocking) until each connect is served.
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+        let mut served = 0;
+        let mut conns = Vec::new();
+        for _ in 0..8 {
+            conns.push(TcpStream::connect(addr).unwrap());
+        }
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while served < 8 && Instant::now() < deadline {
+            for l in [&first, &second] {
+                while let Ok((s, _)) = l.accept() {
+                    drop(s);
+                    served += 1;
+                }
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(served, 8, "every connection reached a reuseport queue");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reuseport_listener_honours_injected_setup_faults() {
+        let _g = fault_gate();
+        let plan = fault::Plan::new(23)
+            .rule(fault::Site::ListenerSetup, fault::Kind::Emfile, 1, 1)
+            .rule(fault::Site::ListenerSetup, fault::Kind::Eintr, 2, 1);
+        fault::install(plan);
+        // First call observes EMFILE (the caller would fall back to the
+        // single-listener handoff path)...
+        let err = reuseport_listener("127.0.0.1:0".parse().unwrap(), 64).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(24));
+        // ...and EINTR is invisible: retried inside, bind succeeds.
+        let l = reuseport_listener("127.0.0.1:0".parse().unwrap(), 64).unwrap();
+        assert_ne!(l.local_addr().unwrap().port(), 0);
+        fault::clear();
     }
 
     /// The injector is process-global: tests that install plans hold this

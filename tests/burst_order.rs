@@ -1,0 +1,174 @@
+//! Property tests for the batched shard handoff: a `FeedBatch` travelling
+//! as one `ReadingBurst` command must be observationally identical to the
+//! same readings fed one command at a time. "Identical" means identical —
+//! per-session result streams are compared bit-for-bit (`f64::to_bits`),
+//! because the burst path feeds the very same fusion engines and any
+//! reordering or dropped reading would move a fused value or a verdict.
+
+use avoc::core::ModuleId;
+use avoc::net::{BatchReading, Message, SpecSource};
+use avoc::serve::{Backpressure, ServeConfig, SpecRegistry, VoterService};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One fused verdict, reduced to comparable bits.
+type Verdict = (u64, Option<u64>, bool);
+
+fn registry() -> Arc<SpecRegistry> {
+    let mut reg = SpecRegistry::new();
+    reg.insert("avoc", avoc::vdx::VdxSpec::avoc());
+    Arc::new(reg)
+}
+
+/// Runs `rosters` (one ordered reading list per session) through a fresh
+/// in-process service and returns each session's result stream in emission
+/// order. `deliver` decides how a session's roster becomes service calls —
+/// per-reading `feed` or chunked `feed_batch` — and sessions are
+/// interleaved reading-by-reading either way, so shards see concurrent
+/// tenants, not one tenant at a time.
+fn fuse_rosters(
+    rosters: &[Vec<BatchReading>],
+    mut deliver: impl FnMut(&VoterService, u64, &[BatchReading]),
+) -> BTreeMap<u64, Vec<Verdict>> {
+    let service = VoterService::start(
+        ServeConfig {
+            shards: 2,
+            backpressure: Backpressure::Block,
+            ..ServeConfig::default()
+        },
+        registry(),
+    );
+    let (sink, results) = crossbeam::channel::unbounded();
+    let modules = rosters
+        .iter()
+        .flat_map(|r| r.iter().map(|b| b.module.index() + 1))
+        .max()
+        .unwrap_or(1);
+    for (i, _) in rosters.iter().enumerate() {
+        service
+            .open_session(
+                i as u64,
+                modules,
+                &SpecSource::Named("avoc".into()),
+                sink.clone(),
+            )
+            .expect("open session");
+    }
+    // Round-robin across sessions so their commands interleave in the
+    // shard mailboxes; within a session the roster order is preserved,
+    // which is the order the property is about.
+    let mut cursors = vec![0usize; rosters.len()];
+    loop {
+        let mut any = false;
+        for (i, roster) in rosters.iter().enumerate() {
+            if cursors[i] < roster.len() {
+                deliver(&service, i as u64, &roster[cursors[i]..]);
+                cursors[i] = roster.len();
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    for (i, _) in rosters.iter().enumerate() {
+        service.close_session(i as u64).expect("close session");
+    }
+    service.drain();
+    drop(sink);
+
+    let mut streams: BTreeMap<u64, Vec<Verdict>> = BTreeMap::new();
+    while let Ok(msg) = results.try_recv() {
+        match msg {
+            Message::SessionResult {
+                session,
+                round,
+                value,
+                voted,
+            } => streams
+                .entry(session)
+                .or_default()
+                .push((round, value.map(f64::to_bits), voted)),
+            Message::ResultBatch { session, results } => {
+                let stream = streams.entry(session).or_default();
+                for r in results {
+                    stream.push((r.round, r.value.map(f64::to_bits), r.voted));
+                }
+            }
+            other => panic!("unexpected sink frame {other:?}"),
+        }
+    }
+    streams
+}
+
+proptest! {
+    /// However a session's readings are grouped into bursts — any chunk
+    /// sizes, any number of frames — the fused streams are bit-identical
+    /// to feeding the same readings one command at a time, and every
+    /// session's rounds come out in strictly increasing order.
+    #[test]
+    fn burst_grouping_is_bit_identical_to_per_reading_feed(
+        sessions in 1usize..4,
+        modules in 2u32..5,
+        rounds in 2u64..8,
+        rot in 0u32..4,
+        jitter in prop::collection::vec(-5.0f64..5.0, 64..=64),
+        chunk_sizes in prop::collection::vec(1usize..7, 1..12),
+    ) {
+        // Deterministic rosters: every module reports every round, with the
+        // intra-round module order rotated per round so burst boundaries
+        // land on varied shapes, and values derived from generated jitter.
+        let jitter = &jitter;
+        let rosters: Vec<Vec<BatchReading>> = (0..sessions)
+            .map(|s| {
+                (0..rounds)
+                    .flat_map(|r| {
+                        (0..modules).map(move |k| {
+                            let m = (k + r as u32 + rot) % modules;
+                            BatchReading {
+                                module: ModuleId::new(m),
+                                round: r,
+                                value: 18.0
+                                    + jitter[(s * 7 + m as usize * 3 + r as usize) % 64] * 0.01,
+                            }
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Reference: one `feed` call (one shard command) per reading.
+        let per_reading = fuse_rosters(&rosters, |service, session, tail| {
+            for b in tail {
+                service.feed(session, b.module, b.round, b.value).expect("feed");
+            }
+        });
+
+        // Burst path: the same roster sliced into arbitrary chunks, each
+        // travelling as one `feed_batch` → one `ReadingBurst` command.
+        let mut cycle = 0usize;
+        let bursts = fuse_rosters(&rosters, |service, session, tail| {
+            let mut rest = tail;
+            while !rest.is_empty() {
+                let take = chunk_sizes[cycle % chunk_sizes.len()].min(rest.len());
+                cycle += 1;
+                let (chunk, remaining) = rest.split_at(take);
+                service.feed_batch(session, chunk).expect("feed_batch");
+                rest = remaining;
+            }
+        });
+
+        for (session, stream) in &per_reading {
+            prop_assert!(
+                !stream.is_empty(),
+                "session {session} must fuse at least one round"
+            );
+            prop_assert!(
+                stream.windows(2).all(|w| w[0].0 < w[1].0),
+                "session {session} rounds must be strictly increasing: {stream:?}"
+            );
+        }
+        prop_assert_eq!(per_reading, bursts);
+    }
+}

@@ -1,13 +1,14 @@
 //! FD and thread hygiene of the readiness-based daemon front-end.
 //!
-//! The reactor owns every tenant socket in one event-loop thread, so two
+//! Each tenant socket is owned for life by one reactor in the pool, so two
 //! resource invariants must hold no matter how many tenants come and go:
 //! the process's open-FD count returns to its baseline once connections
 //! close (no leaked sockets, no leaked connection slots holding them), and
-//! the daemon's data-plane thread count never moves with the connection
-//! count. Both are measured against `/proc/self`, which makes these tests
-//! Linux-only in the same way the epoll backend is — the poll fallback
-//! still runs them, the inspection path does not change.
+//! the daemon's data-plane thread count is exactly `shards + reactors`,
+//! never moving with the connection count. Both are measured against
+//! `/proc/self`, which makes these tests Linux-only in the same way the
+//! epoll backend is — the poll fallback still runs them, the inspection
+//! path does not change.
 //!
 //! The churn below deliberately mixes clean teardowns with the rude ones a
 //! public port sees: clients that vanish mid-frame, and clients that open
@@ -20,6 +21,7 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+use sysio::fault::{self, Kind, Plan, Site};
 
 /// `/proc/self` is process-global: a test counting this process's FDs or
 /// threads would see the other test's server too. Serialise them.
@@ -75,26 +77,31 @@ fn avoc_registry() -> Arc<SpecRegistry> {
     Arc::new(reg)
 }
 
-/// A thousand tenants churned through the daemon — each connects, opens a
-/// single-module session, fuses one round, reads its result and closes —
-/// must leave the process exactly where it started: FD count at baseline,
-/// zero open connections, zero live sessions, and the same data-plane
-/// thread census as before the first tenant arrived.
+/// A thousand tenants churned through a four-reactor daemon — each
+/// connects, opens a single-module session, fuses one round, reads its
+/// result and closes — must leave the process exactly where it started:
+/// FD count at baseline, zero open connections, zero live sessions, and a
+/// data-plane census of exactly `shards + reactors` threads before, during
+/// and after. The churn lands on all four reactors (`SO_REUSEPORT`
+/// hashing, or the round-robin handoff under poll mode), so slot reuse and
+/// teardown are exercised per reactor, not just on one.
 #[test]
 fn thousand_session_churn_leaks_no_fds_or_threads() {
     let _guard = proc_lock();
     let service = Arc::new(VoterService::start(
         ServeConfig {
             shards: 2,
+            reactors: 4,
             ..ServeConfig::default()
         },
         avoc_registry(),
     ));
     let server = TcpServer::start("127.0.0.1:0", Arc::clone(&service)).expect("bind");
     let addr = server.local_addr();
+    assert_eq!(server.reactor_count(), 4);
 
     // Warm up one full round-trip first: lazily-created process resources
-    // (the reactor's first slot growth, proc handles, DNS-free connect
+    // (the reactors' first slot growth, proc handles, DNS-free connect
     // paths) must not masquerade as a leak in the measured loop.
     run_tenant(addr, 0);
     let (clean, _) = settle(Duration::from_secs(5), || {
@@ -103,7 +110,17 @@ fn thousand_session_churn_leaks_no_fds_or_threads() {
     });
     assert!(clean, "warmup connection must fully close");
     let fd_baseline = open_fds();
-    let thread_baseline = avoc_threads();
+    // A thread's name is set from inside the thread, so wait for every
+    // just-spawned worker to have run before pinning the census.
+    let expected_census = 2 + server.reactor_count();
+    let (ok, thread_baseline) = settle(Duration::from_secs(5), || {
+        let n = avoc_threads();
+        (n == expected_census, n)
+    });
+    assert!(
+        ok,
+        "census must be exactly shards + reactors = {expected_census}, saw {thread_baseline}"
+    );
 
     const SESSIONS: u64 = 1000;
     for session in 1..=SESSIONS {
@@ -197,10 +214,11 @@ fn hostile_length_prefix(addr: std::net::SocketAddr) {
 }
 
 /// The census itself, pinned: the daemon's data-plane threads are the
-/// shard workers, the store compactor and exactly one reactor thread —
-/// whether zero or fifty connections are open. Fifty concurrently-open
-/// sockets raise the FD count but not the thread count; that is the whole
-/// point of retiring thread-per-connection.
+/// shard workers plus the reactor pool (one thread per reactor; default
+/// config here, so `min(cores, 4)` of them) — whether zero or fifty
+/// connections are open. Fifty concurrently-open sockets raise the FD
+/// count but not the thread count; that is the whole point of retiring
+/// thread-per-connection.
 #[test]
 fn thread_census_is_independent_of_open_connections() {
     let _guard = proc_lock();
@@ -249,4 +267,59 @@ fn thread_census_is_independent_of_open_connections() {
     assert_eq!(avoc_threads(), idle_threads);
     let snap = server.shutdown();
     assert_eq!(snap.connections_accepted, 50);
+}
+
+/// FD exhaustion on accept pauses a *listener*, not the pool: with four
+/// reactors sharing the port, one injected EMFILE pauses exactly the
+/// reactor that hit it (counted once, pool-wide), every tenant in flight
+/// still completes — those queued behind the paused listener just ride out
+/// its 50 ms resume probe — and the health plane is back to `ok` once the
+/// probe re-arms. The fault injector is process-global, so the test can't
+/// *choose* which reactor trips; a single-shot rule guarantees exactly one
+/// does, and the availability assertion covers the other three.
+#[test]
+fn emfile_pauses_one_reactor_not_the_pool() {
+    let _guard = proc_lock();
+    let service = Arc::new(VoterService::start(
+        ServeConfig {
+            shards: 2,
+            reactors: 4,
+            ..ServeConfig::default()
+        },
+        avoc_registry(),
+    ));
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&service)).expect("bind");
+    let addr = server.local_addr();
+    assert_eq!(server.reactor_count(), 4);
+
+    // One EMFILE on the next accept(2), wherever it lands.
+    fault::install(Plan::new(0xFD5).rule(Site::Accept, Kind::Emfile, 1, 1));
+    const TENANTS: u64 = 8;
+    for session in 0..TENANTS {
+        run_tenant(addr, session);
+    }
+    fault::clear();
+
+    let (ok, pauses) = settle(Duration::from_secs(5), || {
+        let pauses = service.counters().accept_pauses;
+        (pauses == 1, pauses)
+    });
+    assert!(
+        ok,
+        "exactly one listener pause must be counted, saw {pauses}"
+    );
+    let (ok, healthy) = settle(Duration::from_secs(5), || {
+        let healthy = service.health().is_ok();
+        (healthy, healthy)
+    });
+    assert!(
+        ok,
+        "health must return to ok once accept resumes, saw ok={healthy}"
+    );
+
+    let snap = server.shutdown();
+    assert_eq!(snap.sessions_opened, TENANTS);
+    assert_eq!(snap.rounds_fused, TENANTS);
+    assert_eq!(snap.connections_accepted, TENANTS);
+    assert_eq!(snap.accept_pauses, 1);
 }
