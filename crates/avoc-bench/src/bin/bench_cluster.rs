@@ -1,0 +1,383 @@
+//! The cluster-tier benchmark and smoke gate behind `BENCH_cluster.json`:
+//! two persistent daemons and a gateway on loopback, 64 sessions placed
+//! by consistent hashing through real `Redirect` frames, one forced
+//! drain-migration mid-run, and two hard gates the binary exits non-zero
+//! on:
+//!
+//! * **zero lost rounds** — every session receives every round exactly
+//!   once, in order, across the drain; and because every session is fed
+//!   the same readings, every session's fused stream must be
+//!   **bit-identical** to every other's — a migrated session that
+//!   diverged from an unmigrated one by a single mantissa bit fails the
+//!   run;
+//! * **roll-up correctness** — the gateway's `/metrics` roll-up must
+//!   equal the sum of the member daemons' own scrapes for every shared
+//!   counter sampled (rounds fused, sessions resumed, export/import
+//!   counts), proving the cluster surface is an honest aggregate and not
+//!   a cache.
+//!
+//! Rows record placement balance, migration count and latency, redirect
+//! traffic, and end-to-end throughput, so the scale-out tier's overhead
+//! is a tracked number rather than folklore.
+//!
+//! ```text
+//! cargo run -p avoc-bench --release --bin bench_cluster -- \
+//!     [--quick] [--out PATH] [--sessions N] [--rounds N]
+//! ```
+
+use avoc_core::ModuleId;
+use avoc_gateway::{Gateway, GatewayConfig, Member};
+use avoc_net::{Message, SpecSource};
+use avoc_obs::{http, rollup};
+use avoc_serve::{
+    ClientConfig, Persistence, ResilientClient, RetryPolicy, ServeConfig, SpecRegistry, TcpServer,
+    VoterService,
+};
+use avoc_vdx::VdxSpec;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MODULES: u32 = 3;
+const TOKEN: u64 = 0x5EED;
+
+fn registry() -> Arc<SpecRegistry> {
+    let mut reg = SpecRegistry::new();
+    reg.insert("avoc", VdxSpec::avoc());
+    Arc::new(reg)
+}
+
+fn start_daemon(node_id: u64, state_dir: &Path) -> TcpServer {
+    let config = ServeConfig {
+        persistence: Persistence {
+            state_dir: Some(state_dir.to_path_buf()),
+            node_id,
+            ..Persistence::default()
+        },
+        admin_addr: Some("127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(VoterService::start(config, registry()));
+    TcpServer::start("127.0.0.1:0", service).expect("bind daemon")
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("avoc-bench-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic triads: identical across sessions, so every session's
+/// fused stream is comparable bit-for-bit.
+fn reading(module: u32, round: u64) -> f64 {
+    18.0 + f64::from(module) * 0.1 + (round % 5) as f64 * 0.05
+}
+
+/// Feeds rounds `[from, to)` in lockstep and appends `(round, bits,
+/// voted)` to `out`. Returns `false` (after printing why) on any protocol
+/// surprise instead of panicking, so the gate reports it.
+fn run_rounds(
+    client: &mut ResilientClient,
+    session: u64,
+    from: u64,
+    to: u64,
+    out: &mut Vec<(u64, Option<u64>, bool)>,
+) -> bool {
+    for round in from..to {
+        for m in 0..MODULES {
+            if let Err(e) = client.send_reading(session, ModuleId::new(m), round, reading(m, round))
+            {
+                eprintln!("session {session}: send failed at round {round}: {e}");
+                return false;
+            }
+        }
+        loop {
+            match client.recv() {
+                Ok(Message::SessionResult {
+                    round: r,
+                    value,
+                    voted,
+                    ..
+                }) => {
+                    out.push((r, value.map(f64::to_bits), voted));
+                    break;
+                }
+                Ok(Message::ResultBatch { results, .. }) => {
+                    for r in results {
+                        out.push((r.round, r.value.map(f64::to_bits), r.voted));
+                    }
+                    break;
+                }
+                Ok(Message::Error { message, .. }) => {
+                    eprintln!("session {session}: daemon error at round {round}: {message}");
+                    return false;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("session {session}: recv failed at round {round}: {e}");
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn scrape(addr: &str) -> String {
+    match http::get(addr, "/metrics") {
+        Ok((200, body)) => body,
+        Ok((status, _)) => {
+            eprintln!("scrape of {addr} answered {status}");
+            String::new()
+        }
+        Err(e) => {
+            eprintln!("scrape of {addr} failed: {e}");
+            String::new()
+        }
+    }
+}
+
+/// Sums `key` across exposition texts (absent samples count 0).
+fn summed(texts: &[&str], key: &str) -> f64 {
+    texts
+        .iter()
+        .map(|t| rollup::sample_value(t, key).unwrap_or(0.0))
+        .sum()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH_cluster.json");
+    let mut sessions: u64 = 64;
+    let mut rounds: u64 = 20;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out takes a path").clone();
+            }
+            "--sessions" => {
+                i += 1;
+                sessions = args
+                    .get(i)
+                    .expect("--sessions takes a count")
+                    .parse()
+                    .unwrap();
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = args
+                    .get(i)
+                    .expect("--rounds takes a count")
+                    .parse()
+                    .unwrap();
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if quick {
+        rounds = rounds.min(8);
+    }
+    let half = rounds / 2;
+
+    let dir1 = state_dir("n1");
+    let dir2 = state_dir("n2");
+    let node1 = start_daemon(1, &dir1);
+    let node2 = start_daemon(2, &dir2);
+    let members = vec![
+        Member {
+            node: 1,
+            addr: node1.local_addr().to_string(),
+            admin: node1.admin_addr().map(|a| a.to_string()),
+        },
+        Member {
+            node: 2,
+            addr: node2.local_addr().to_string(),
+            admin: node2.admin_addr().map(|a| a.to_string()),
+        },
+    ];
+    let gateway = Gateway::start(
+        "127.0.0.1:0",
+        GatewayConfig {
+            members,
+            admin_addr: Some("127.0.0.1:0".to_string()),
+            health_interval: Duration::from_millis(200),
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("start gateway");
+
+    // ---- Phase 1: open every session THROUGH the gateway (real
+    // Redirect frames, real following) and feed the first half.
+    let started = Instant::now();
+    let mut clients: Vec<ResilientClient> = Vec::new();
+    let mut streams: Vec<Vec<(u64, Option<u64>, bool)>> = Vec::new();
+    let mut ok = true;
+    for s in 0..sessions {
+        let mut client = ResilientClient::new(
+            gateway.local_addr(),
+            ClientConfig {
+                read_timeout: Duration::from_secs(5),
+                ..ClientConfig::default()
+            },
+            RetryPolicy {
+                jitter_seed: s + 1,
+                ..RetryPolicy::default()
+            },
+        );
+        client
+            .open_session(s, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+            .expect("open via gateway");
+        let mut stream = Vec::new();
+        ok &= run_rounds(&mut client, s, 0, half, &mut stream);
+        clients.push(client);
+        streams.push(stream);
+    }
+    let placed_before: Vec<u64> = (0..sessions)
+        .map(|s| gateway.place(s).expect("placed").0)
+        .collect();
+    let on_node1_before = placed_before.iter().filter(|&&n| n == 1).count();
+
+    // ---- Phase 2: the forced drain-migration. Every session on the
+    // drained node checkpoint-ships to the survivor.
+    let drained_node = placed_before[0];
+    let migrate_started = Instant::now();
+    let moved = gateway.drain_node(drained_node).expect("drain node");
+    let migrate_elapsed = migrate_started.elapsed();
+    let expected_moves = placed_before.iter().filter(|&&n| n == drained_node).count();
+    if moved != expected_moves {
+        eprintln!("GATE: drain moved {moved} sessions, expected {expected_moves}");
+        ok = false;
+    }
+
+    // ---- Phase 3: feed the second half. Migrated sessions re-home via
+    // the in-band Redirect (or gateway fallback) and must not lose a
+    // round.
+    for s in 0..sessions {
+        ok &= run_rounds(
+            &mut clients[s as usize],
+            s,
+            half,
+            rounds,
+            &mut streams[s as usize],
+        );
+    }
+    let elapsed = started.elapsed();
+    let redirects_followed: u64 = clients
+        .iter()
+        .map(|c| c.io_stats().redirects_followed)
+        .sum();
+
+    // ---- Gate 1: zero lost rounds, bit-identical streams.
+    for (s, stream) in streams.iter().enumerate() {
+        let rounds_seen: Vec<u64> = stream.iter().map(|r| r.0).collect();
+        let expected_rounds: Vec<u64> = (0..rounds).collect();
+        if rounds_seen != expected_rounds {
+            eprintln!("GATE: session {s} lost or reordered rounds: {rounds_seen:?}");
+            ok = false;
+        }
+        if *stream != streams[0] {
+            eprintln!("GATE: session {s}'s fused stream diverged from session 0's");
+            ok = false;
+        }
+    }
+
+    // ---- Quiesce, then Gate 2: the roll-up is an honest sum.
+    for (s, client) in clients.iter_mut().enumerate() {
+        let _ = client.close_session(s as u64);
+    }
+    // Closes are async on the shards; give them a beat to settle.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let admin1 = node1.admin_addr().expect("node1 admin").to_string();
+    let admin2 = node2.admin_addr().expect("node2 admin").to_string();
+    let gateway_admin = gateway.admin_addr().expect("gateway admin").to_string();
+    let scrape1 = scrape(&admin1);
+    let scrape2 = scrape(&admin2);
+    let rolled = scrape(&gateway_admin);
+    let gate_keys = [
+        "avoc_rounds_fused_total",
+        "avoc_sessions_opened_total",
+        "avoc_sessions_exported_total",
+        "avoc_sessions_imported_total",
+    ];
+    for key in gate_keys {
+        let member_sum = summed(&[&scrape1, &scrape2], key);
+        let rolled_value = rollup::sample_value(&rolled, key).unwrap_or(0.0);
+        if member_sum != rolled_value {
+            eprintln!("GATE: roll-up {key} = {rolled_value}, member scrapes sum to {member_sum}");
+            ok = false;
+        }
+    }
+    let exported = summed(&[&scrape1, &scrape2], "avoc_sessions_exported_total");
+    let imported = summed(&[&scrape1, &scrape2], "avoc_sessions_imported_total");
+    if exported != moved as f64 || imported != moved as f64 {
+        eprintln!("GATE: {moved} drains but exported={exported} imported={imported}");
+        ok = false;
+    }
+    let gw_local = gateway.registry().render_prometheus();
+    let migrations =
+        rollup::sample_value(&gw_local, "avoc_gateway_migrations_total").unwrap_or(0.0);
+    if migrations != moved as f64 {
+        eprintln!("GATE: gateway counted {migrations} migrations for {moved} moves");
+        ok = false;
+    }
+
+    let total_readings = sessions * rounds * u64::from(MODULES);
+    let throughput = total_readings as f64 / elapsed.as_secs_f64();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"avoc-bench-cluster-v1\",\n",
+            "  \"sessions\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"nodes\": 2,\n",
+            "  \"placement_before\": {{\"node1\": {}, \"node2\": {}}},\n",
+            "  \"drained_node\": {},\n",
+            "  \"sessions_migrated\": {},\n",
+            "  \"drain_migration_secs\": {:.6},\n",
+            "  \"redirects_followed\": {},\n",
+            "  \"readings\": {},\n",
+            "  \"elapsed_secs\": {:.6},\n",
+            "  \"readings_per_sec\": {:.1},\n",
+            "  \"rollup_gate_keys\": {},\n",
+            "  \"gates_passed\": {}\n",
+            "}}\n"
+        ),
+        sessions,
+        rounds,
+        on_node1_before,
+        sessions as usize - on_node1_before,
+        drained_node,
+        moved,
+        migrate_elapsed.as_secs_f64(),
+        redirects_followed,
+        total_readings,
+        elapsed.as_secs_f64(),
+        throughput,
+        gate_keys.len(),
+        ok,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_cluster.json");
+    print!("{json}");
+
+    gateway.shutdown();
+    node1.shutdown();
+    node2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir2);
+    if !ok {
+        eprintln!("bench_cluster: GATES FAILED");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_cluster: ok — {sessions} sessions, {moved} migrated, zero lost rounds, roll-up sums"
+    );
+}

@@ -98,6 +98,39 @@
 //! tag: u8          15 = StatsReply
 //! json: u32 BE length + UTF-8 bytes
 //! ```
+//!
+//! Tags 16–18 are the cluster tier. [`Message::Redirect`] is how a gateway
+//! (or a daemon that just migrated a session away) tells a client which
+//! node owns a session now; [`Message::ExportSession`] asks a daemon to
+//! quiesce a session at a round boundary and ship it; [`Message::SessionState`]
+//! carries the shipped state — the meta sidecar and compacted WAL, as raw
+//! byte blobs — from source to gateway and gateway to target. An import is
+//! acknowledged by the existing tag-12 `Resumed { warm: true }`:
+//!
+//! ```text
+//! tag: u8          16 = Redirect
+//! session: u64 BE
+//! epoch: u64 BE    ownership epoch, bumped on every placement change
+//! addr: u32 BE length + UTF-8 bytes (host:port of the owning node)
+//!
+//! tag: u8          17 = ExportSession
+//! session: u64 BE
+//! target_node: u64 BE
+//! epoch: u64 BE    the ownership epoch this placement change installs
+//! target_addr: u32 BE length + UTF-8 bytes
+//!
+//! tag: u8          18 = SessionState
+//! session: u64 BE
+//! epoch: u64 BE
+//! meta: u32 BE length + bytes (avoc-session-meta v1 sidecar)
+//! wal: u32 BE length + bytes (compacted history log)
+//! ```
+//!
+//! Both blob lengths must exactly consume the payload (lying lengths,
+//! truncation and trailing bytes reject the frame), and the whole frame is
+//! still bounded by [`MAX_FRAME_LEN`] — exports compact the WAL first so
+//! shipped state stays small, and oversize sessions refuse to export rather
+//! than emit an undecodable frame.
 
 use avoc_core::ModuleId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -271,6 +304,54 @@ pub enum Message {
         /// The rendered snapshot JSON.
         json: String,
     },
+    /// "That session lives elsewhere" (tag 16). A gateway answers
+    /// `OpenSession`/`ResumeSession` with this instead of running the
+    /// session itself, and a daemon that just migrated a session away sends
+    /// it in-band so a connected client re-homes without waiting for a
+    /// failure.
+    Redirect {
+        /// The session being re-homed.
+        session: u64,
+        /// Ownership epoch — strictly increasing per session, so a client
+        /// can discard a stale redirect that raced a newer placement.
+        epoch: u64,
+        /// `host:port` of the owning daemon.
+        addr: String,
+    },
+    /// Asks a daemon to quiesce `session` at a round boundary and ship its
+    /// checkpoint + WAL tail (tag 17). Answered with a
+    /// [`Message::SessionState`] on success or [`Message::Error`] on
+    /// failure; idempotent — re-asking after the session already moved to
+    /// `target_node` re-ships the same state.
+    ExportSession {
+        /// The session to export.
+        session: u64,
+        /// Node id the session is moving to (stamped into the shipped meta
+        /// sidecar so the source's boot recovery skips it).
+        target_node: u64,
+        /// The ownership epoch this placement change installs, echoed in
+        /// the [`Message::SessionState`] reply and the in-band
+        /// [`Message::Redirect`] the source sends its tenant.
+        epoch: u64,
+        /// `host:port` of the target daemon, forwarded to the client in the
+        /// migration [`Message::Redirect`].
+        target_addr: String,
+    },
+    /// A migrating session's durable state in flight (tag 18): the meta
+    /// sidecar and compacted WAL as raw byte blobs. Sent source → gateway
+    /// as the [`Message::ExportSession`] reply, then gateway → target as
+    /// the import request; the target restores warm and acknowledges with
+    /// [`Message::Resumed`]`{ warm: true }`.
+    SessionState {
+        /// The session being shipped.
+        session: u64,
+        /// Ownership epoch after the move.
+        epoch: u64,
+        /// `avoc-session-meta v1` sidecar bytes.
+        meta: Vec<u8>,
+        /// Compacted history-log bytes.
+        wal: Vec<u8>,
+    },
 }
 
 /// Hard cap on a frame's payload length (1 MiB). Only [`Message::OpenSession`]
@@ -361,6 +442,9 @@ const TAG_RESUMED: u8 = 12;
 const TAG_RESULT_BATCH: u8 = 13;
 const TAG_STATS_REQUEST: u8 = 14;
 const TAG_STATS_REPLY: u8 = 15;
+const TAG_REDIRECT: u8 = 16;
+const TAG_EXPORT_SESSION: u8 = 17;
+const TAG_SESSION_STATE: u8 = 18;
 
 /// Spec-source discriminants inside an `OpenSession` payload.
 const SPEC_NAMED: u8 = 0;
@@ -381,6 +465,24 @@ fn get_string(payload: &mut BytesMut, tag: u8, len: usize) -> Result<String, Dec
     }
     let raw = payload.split_to(n);
     String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::BadLength { tag, len })
+}
+
+fn put_bytes(payload: &mut BytesMut, b: &[u8]) {
+    payload.put_u32(b.len() as u32);
+    payload.extend_from_slice(b);
+}
+
+/// `get_string` without the UTF-8 requirement — the SessionState blobs are
+/// raw file bytes. Lying lengths reject the frame the same way.
+fn get_bytes(payload: &mut BytesMut, tag: u8, len: usize) -> Result<Vec<u8>, DecodeError> {
+    if payload.len() < 4 {
+        return Err(DecodeError::BadLength { tag, len });
+    }
+    let n = payload.get_u32() as usize;
+    if payload.len() < n {
+        return Err(DecodeError::BadLength { tag, len });
+    }
+    Ok(payload.split_to(n).to_vec())
 }
 
 impl Message {
@@ -558,6 +660,40 @@ impl Message {
             Message::StatsReply { json } => {
                 frame.put_u8(TAG_STATS_REPLY);
                 put_string(frame, json);
+            }
+            Message::Redirect {
+                session,
+                epoch,
+                addr,
+            } => {
+                frame.put_u8(TAG_REDIRECT);
+                frame.put_u64(*session);
+                frame.put_u64(*epoch);
+                put_string(frame, addr);
+            }
+            Message::ExportSession {
+                session,
+                target_node,
+                epoch,
+                target_addr,
+            } => {
+                frame.put_u8(TAG_EXPORT_SESSION);
+                frame.put_u64(*session);
+                frame.put_u64(*target_node);
+                frame.put_u64(*epoch);
+                put_string(frame, target_addr);
+            }
+            Message::SessionState {
+                session,
+                epoch,
+                meta,
+                wal,
+            } => {
+                frame.put_u8(TAG_SESSION_STATE);
+                frame.put_u64(*session);
+                frame.put_u64(*epoch);
+                put_bytes(frame, meta);
+                put_bytes(frame, wal);
             }
         }
         Message::patch_len(frame, pos);
@@ -880,6 +1016,64 @@ impl Message {
                     return Err(DecodeError::BadLength { tag, len });
                 }
                 Ok(Message::StatsReply { json })
+            }
+            TAG_REDIRECT => {
+                // Variable length: session + epoch + addr string.
+                if len < 1 + 8 + 8 + 4 {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let session = payload.get_u64();
+                let epoch = payload.get_u64();
+                let addr = get_string(&mut payload, tag, len)?;
+                if !payload.is_empty() {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                Ok(Message::Redirect {
+                    session,
+                    epoch,
+                    addr,
+                })
+            }
+            TAG_EXPORT_SESSION => {
+                // Variable length: session + target_node + epoch + addr.
+                if len < 1 + 8 + 8 + 8 + 4 {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let session = payload.get_u64();
+                let target_node = payload.get_u64();
+                let epoch = payload.get_u64();
+                let target_addr = get_string(&mut payload, tag, len)?;
+                if !payload.is_empty() {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                Ok(Message::ExportSession {
+                    session,
+                    target_node,
+                    epoch,
+                    target_addr,
+                })
+            }
+            TAG_SESSION_STATE => {
+                // Variable length: session + epoch + two length-prefixed
+                // blobs, which must together consume the payload exactly —
+                // a lying blob length (truncation, or a count fishing past
+                // the frame) or trailing bytes reject the frame.
+                if len < 1 + 8 + 8 + 4 + 4 {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                let session = payload.get_u64();
+                let epoch = payload.get_u64();
+                let meta = get_bytes(&mut payload, tag, len)?;
+                let wal = get_bytes(&mut payload, tag, len)?;
+                if !payload.is_empty() {
+                    return Err(DecodeError::BadLength { tag, len });
+                }
+                Ok(Message::SessionState {
+                    session,
+                    epoch,
+                    meta,
+                    wal,
+                })
             }
             other => Err(DecodeError::UnknownTag(other)),
         }
@@ -1598,5 +1792,188 @@ mod tests {
             Message::Reading { value, .. } => assert!(value.is_nan()),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn cluster_frames_round_trip() {
+        round_trip(Message::Redirect {
+            session: 7,
+            epoch: 3,
+            addr: "127.0.0.1:4100".into(),
+        });
+        round_trip(Message::Redirect {
+            session: u64::MAX,
+            epoch: 0,
+            addr: String::new(),
+        });
+        round_trip(Message::ExportSession {
+            session: 9,
+            target_node: 2,
+            epoch: 5,
+            target_addr: "10.0.0.2:4000".into(),
+        });
+        round_trip(Message::SessionState {
+            session: 9,
+            epoch: 4,
+            meta: b"avoc-session-meta v1\n".to_vec(),
+            wal: vec![0u8, 0xFF, 0x13, 0x37],
+        });
+        round_trip(Message::SessionState {
+            session: 0,
+            epoch: 0,
+            meta: Vec::new(),
+            wal: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn redirect_rejects_truncation_and_trailing_bytes() {
+        let frame = Message::Redirect {
+            session: 1,
+            epoch: 2,
+            addr: "127.0.0.1:4100".into(),
+        }
+        .encode();
+        // Length cut mid-address.
+        let cut = frame.len() - 3;
+        let mut buf = BytesMut::from(&frame[..cut]);
+        buf[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_REDIRECT,
+                ..
+            })
+        ));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
+
+        // Stray bytes after the address inside the declared length.
+        let mut buf = BytesMut::new();
+        buf.put_u32((frame.len() - 4 + 1) as u32);
+        buf.extend_from_slice(&frame[4..]);
+        buf.put_u8(0xCC);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_REDIRECT,
+                ..
+            })
+        ));
+        assert!(buf.is_empty());
+
+        // Non-UTF-8 address bytes.
+        let mut buf = BytesMut::new();
+        buf.put_u32(1 + 8 + 8 + 4 + 2);
+        buf.put_u8(TAG_REDIRECT);
+        buf.put_u64(1);
+        buf.put_u64(2);
+        buf.put_u32(2);
+        buf.put_u8(0xFF);
+        buf.put_u8(0xFE);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_REDIRECT,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn session_state_rejects_lying_blob_lengths() {
+        let good = Message::SessionState {
+            session: 5,
+            epoch: 1,
+            meta: vec![1, 2, 3],
+            wal: vec![4, 5],
+        }
+        .encode();
+
+        // Meta blob length claiming past the end of the frame.
+        let mut buf = BytesMut::from(&good[..]);
+        // meta length field sits after len(4) + tag(1) + session(8) + epoch(8).
+        buf[21..25].copy_from_slice(&1000u32.to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_SESSION_STATE,
+                ..
+            })
+        ));
+        assert!(buf.is_empty(), "bad frame must be consumed for resync");
+
+        // Meta blob length lying *short*: the leftover bytes shift into the
+        // wal length and leave trailing garbage — rejected either way.
+        let mut buf = BytesMut::from(&good[..]);
+        buf[21..25].copy_from_slice(&1u32.to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_SESSION_STATE,
+                ..
+            })
+        ));
+
+        // Frame chopped mid-wal with the outer length rewritten to match.
+        let cut = good.len() - 1;
+        let mut buf = BytesMut::from(&good[..cut]);
+        buf[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_SESSION_STATE,
+                ..
+            })
+        ));
+
+        // Trailing bytes after both blobs inside the declared length.
+        let mut buf = BytesMut::new();
+        buf.put_u32((good.len() - 4 + 1) as u32);
+        buf.extend_from_slice(&good[4..]);
+        buf.put_u8(0xAB);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_SESSION_STATE,
+                ..
+            })
+        ));
+
+        // Too short to hold even the fixed header + two length fields.
+        let mut buf = BytesMut::new();
+        buf.put_u32(1 + 8 + 8 + 4);
+        buf.put_u8(TAG_SESSION_STATE);
+        buf.put_u64(5);
+        buf.put_u64(1);
+        buf.put_u32(0);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_SESSION_STATE,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn export_session_rejects_truncation() {
+        let frame = Message::ExportSession {
+            session: 3,
+            target_node: 1,
+            epoch: 2,
+            target_addr: "127.0.0.1:4200".into(),
+        }
+        .encode();
+        let cut = frame.len() - 5;
+        let mut buf = BytesMut::from(&frame[..cut]);
+        buf[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(DecodeError::BadLength {
+                tag: TAG_EXPORT_SESSION,
+                ..
+            })
+        ));
+        assert!(buf.is_empty());
     }
 }

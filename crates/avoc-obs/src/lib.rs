@@ -37,6 +37,7 @@ pub mod health;
 pub mod histogram;
 pub mod http;
 pub mod registry;
+pub mod rollup;
 pub mod trace;
 
 pub use health::{Health, HealthLevel};

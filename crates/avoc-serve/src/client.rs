@@ -115,6 +115,11 @@ pub struct ClientIoStats {
     pub writes: u64,
     /// Bytes written to the socket.
     pub bytes_sent: u64,
+    /// Gateway/daemon [`Message::Redirect`] frames this client followed to
+    /// a different node. Always `0` on a bare [`ServeClient`] (it is a
+    /// dumb pipe); a [`ResilientClient`] counts its lifetime total here
+    /// via [`ResilientClient::io_stats`].
+    pub redirects_followed: u64,
 }
 
 impl ServeClient {
@@ -433,7 +438,13 @@ pub struct ClientStats {
 /// ```
 #[derive(Debug)]
 pub struct ResilientClient {
+    /// Where the next dial goes — the home address until a
+    /// [`Message::Redirect`] points somewhere else.
     addr: SocketAddr,
+    /// The address this client was created with (in a cluster, the
+    /// gateway). A failed dial of a redirected-to node falls back here, so
+    /// a migration target dying never strands the client on a dead addr.
+    home: SocketAddr,
     config: ClientConfig,
     retry: RetryPolicy,
     conn: Option<ServeClient>,
@@ -445,7 +456,15 @@ pub struct ResilientClient {
     rng: u64,
     ever_connected: bool,
     stats: ClientStats,
+    /// Lifetime count of redirect frames followed to a different node.
+    redirects_followed: u64,
 }
+
+/// How many [`Message::Redirect`] hops one connection attempt may follow
+/// before the client declares a routing loop and gives up the attempt. A
+/// healthy cluster resolves in one hop (gateway → owner), two during a
+/// migration race; anything deeper is misconfiguration.
+pub const MAX_REDIRECT_HOPS: u32 = 4;
 
 impl ResilientClient {
     /// Creates a client; the connection is established lazily on first use.
@@ -453,6 +472,7 @@ impl ResilientClient {
         let rng = retry.jitter_seed;
         ResilientClient {
             addr,
+            home: addr,
             config,
             retry,
             conn: None,
@@ -462,19 +482,39 @@ impl ResilientClient {
             rng,
             ever_connected: false,
             stats: ClientStats::default(),
+            redirects_followed: 0,
         }
     }
 
-    /// Points the client at a new daemon address (e.g. a restarted daemon
-    /// on a fresh port); the next operation reconnects and resumes there.
+    /// Re-homes the client on a new daemon address (e.g. a restarted
+    /// daemon on a fresh port, or a different gateway); the next operation
+    /// reconnects and resumes there. This moves the *home* address too —
+    /// in-band [`Message::Redirect`] frames, by contrast, move only the
+    /// current target and are followed automatically (and counted in
+    /// [`ClientIoStats::redirects_followed`]).
     pub fn redirect(&mut self, addr: SocketAddr) {
         self.addr = addr;
+        self.home = addr;
         self.conn = None;
     }
 
     /// Client-side resilience counters.
     pub fn stats(&self) -> ClientStats {
         self.stats
+    }
+
+    /// Wire-level I/O counters: the live connection's (zeroed after a
+    /// reconnect, like the connection itself), with
+    /// [`ClientIoStats::redirects_followed`] carrying this client's
+    /// lifetime total across every reconnect and redirect.
+    pub fn io_stats(&self) -> ClientIoStats {
+        let mut s = self
+            .conn
+            .as_ref()
+            .map(ServeClient::io_stats)
+            .unwrap_or_default();
+        s.redirects_followed = self.redirects_followed;
+        s
     }
 
     /// The latest [`Message::Resumed`] seen for `session`, as
@@ -582,6 +622,20 @@ impl ResilientClient {
                 } => {
                     self.resume_info.insert(session, (high_round, warm));
                 }
+                Message::Redirect { addr, .. } => {
+                    // A node announcing mid-stream that a session moved
+                    // (migration): flip to the new owner and let the next
+                    // I/O reconnect-and-resume there. An unparseable or
+                    // self-referential address is ignored — the home
+                    // fallback recovers routing either way.
+                    if let Ok(target) = addr.parse::<SocketAddr>() {
+                        if target != self.addr {
+                            self.addr = target;
+                            self.redirects_followed += 1;
+                            self.conn = None;
+                        }
+                    }
+                }
                 Message::SessionResult { session, round, .. } => {
                     if let Some(s) = self.sessions.get_mut(&session) {
                         if s.last_acked.is_some_and(|a| round <= a) {
@@ -624,6 +678,10 @@ impl ResilientClient {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     self.conn = None;
+                    // A redirected-to node that fails falls back to home
+                    // (in a cluster: the gateway, which re-routes around
+                    // the dead node); failing at home just retries home.
+                    self.addr = self.home;
                     attempt += 1;
                     if attempt >= self.retry.max_attempts.max(1) {
                         return Err(e);
@@ -638,52 +696,102 @@ impl ResilientClient {
     /// `ResumeSession` per registered session, one `Resumed` (or `Error`)
     /// awaited per session, then a replay of every unacknowledged reading.
     /// Frames that interleave with the handshake are queued for `recv`.
+    ///
+    /// A [`Message::Redirect`] answering the handshake (a gateway naming
+    /// the owning node, or a node naming a session's migration target)
+    /// re-dials the named address and re-runs the handshake there, up to
+    /// [`MAX_REDIRECT_HOPS`] — an address already dialed in this attempt
+    /// is a routing loop and fails the attempt instead.
     fn ensure_conn(&mut self) -> io::Result<()> {
         if self.conn.is_some() {
             return Ok(());
         }
-        let mut client = ServeClient::connect_with(self.addr, &self.config)?;
-        if self.ever_connected {
-            self.stats.reconnects += 1;
-        }
-        self.ever_connected = true;
-        for (&id, s) in &self.sessions {
-            client.resume_session(id, s.modules, s.spec.clone(), s.token, s.last_acked)?;
-        }
-        let mut awaiting: Vec<u64> = self.sessions.keys().copied().collect();
-        while !awaiting.is_empty() {
-            match client.recv()? {
-                Message::Resumed {
-                    session,
-                    high_round,
-                    warm,
-                } => {
-                    awaiting.retain(|&s| s != session);
-                    self.resume_info.insert(session, (high_round, warm));
-                }
-                Message::Error { session, .. } if awaiting.contains(&session) => {
-                    // Resume refused (token mismatch / capacity): surface
-                    // the error frame to the caller rather than retrying a
-                    // handshake that will keep failing.
-                    awaiting.retain(|&s| s != session);
-                    self.pending.push_back(Message::Error {
+        let mut visited: Vec<SocketAddr> = vec![self.addr];
+        'dial: loop {
+            let mut client = ServeClient::connect_with(self.addr, &self.config)?;
+            if self.ever_connected {
+                self.stats.reconnects += 1;
+            }
+            self.ever_connected = true;
+            for (&id, s) in &self.sessions {
+                client.resume_session(id, s.modules, s.spec.clone(), s.token, s.last_acked)?;
+            }
+            let mut awaiting: Vec<u64> = self.sessions.keys().copied().collect();
+            while !awaiting.is_empty() {
+                match client.recv()? {
+                    Message::Resumed {
                         session,
-                        message: "resume refused".into(),
-                    });
+                        high_round,
+                        warm,
+                    } => {
+                        awaiting.retain(|&s| s != session);
+                        self.resume_info.insert(session, (high_round, warm));
+                    }
+                    Message::Redirect { addr, .. } => {
+                        let target: SocketAddr = addr.parse().map_err(|_| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("undialable redirect address `{addr}`"),
+                            )
+                        })?;
+                        if visited.contains(&target) {
+                            return Err(io::Error::other(format!(
+                                "redirect loop: {target} already dialed this attempt"
+                            )));
+                        }
+                        if visited.len() as u32 > MAX_REDIRECT_HOPS {
+                            return Err(io::Error::other(format!(
+                                "redirect chain exceeded {MAX_REDIRECT_HOPS} hops"
+                            )));
+                        }
+                        visited.push(target);
+                        self.addr = target;
+                        self.redirects_followed += 1;
+                        continue 'dial;
+                    }
+                    Message::Error { session, .. }
+                        if awaiting.contains(&session) && self.addr != self.home =>
+                    {
+                        // A redirected-to node refusing the resume (e.g.
+                        // "session migrated to another node" after we
+                        // raced a re-placement): go back to home — the
+                        // gateway re-routes — instead of surfacing an
+                        // error the cluster can still resolve. Home
+                        // refusing is final, handled below.
+                        if visited.contains(&self.home) {
+                            return Err(io::Error::other(
+                                "resume refused on every node this attempt dialed",
+                            ));
+                        }
+                        visited.push(self.home);
+                        self.addr = self.home;
+                        continue 'dial;
+                    }
+                    Message::Error { session, .. } if awaiting.contains(&session) => {
+                        // Resume refused (token mismatch / capacity):
+                        // surface the error frame to the caller rather
+                        // than retrying a handshake that will keep
+                        // failing.
+                        awaiting.retain(|&s| s != session);
+                        self.pending.push_back(Message::Error {
+                            session,
+                            message: "resume refused".into(),
+                        });
+                    }
+                    other => self.pending.push_back(other),
                 }
-                other => self.pending.push_back(other),
             }
-        }
-        for (&id, s) in &self.sessions {
-            if s.unacked.is_empty() {
-                continue;
+            for (&id, s) in &self.sessions {
+                if s.unacked.is_empty() {
+                    continue;
+                }
+                let readings: Vec<BatchReading> = s.unacked.iter().copied().collect();
+                client.send_batch(id, &readings)?;
+                self.stats.replayed_readings += readings.len() as u64;
             }
-            let readings: Vec<BatchReading> = s.unacked.iter().copied().collect();
-            client.send_batch(id, &readings)?;
-            self.stats.replayed_readings += readings.len() as u64;
+            self.conn = Some(client);
+            return Ok(());
         }
-        self.conn = Some(client);
-        Ok(())
     }
 }
 

@@ -93,6 +93,7 @@ mod sink;
 pub use admin::AdminServer;
 pub use client::{
     ClientConfig, ClientIoStats, ClientStats, ResilientClient, RetryPolicy, ServeClient,
+    MAX_REDIRECT_HOPS,
 };
 pub use metrics::{CountersSnapshot, LatencySummary, ServiceCounters};
 pub use persist::Persistence;

@@ -101,6 +101,13 @@ pub struct ServiceCounters {
     /// Faults the `sysio` injector delivered (0 in production; the fault
     /// matrix asserts it moved).
     fault_injected: Counter,
+    /// Sessions exported (checkpoint-shipped) to another node.
+    sessions_exported: Counter,
+    /// Sessions imported from another node's checkpoint shipment.
+    sessions_imported: Counter,
+    /// Checkpoints skipped at recovery because their meta named another
+    /// node (the session migrated away; its files are the target's now).
+    sessions_skipped_foreign: Counter,
 }
 
 /// What the directory remembers about one live session.
@@ -299,6 +306,18 @@ impl ServiceCounters {
             fault_injected: c(
                 "avoc_fault_injected_total",
                 "Faults delivered by the sysio injector (test/chaos runs only).",
+            ),
+            sessions_exported: c(
+                "avoc_sessions_exported_total",
+                "Sessions checkpoint-shipped to another node.",
+            ),
+            sessions_imported: c(
+                "avoc_sessions_imported_total",
+                "Sessions restored from another node's checkpoint shipment.",
+            ),
+            sessions_skipped_foreign: c(
+                "avoc_sessions_skipped_foreign_total",
+                "Recovery checkpoints skipped because their meta named another node.",
             ),
             trace: TraceRing::new(trace_capacity, trace_every),
             registry,
@@ -582,6 +601,21 @@ impl ServiceCounters {
         };
     }
 
+    /// Counts one session exported (checkpoint-shipped) to another node.
+    pub(crate) fn session_exported(&self) {
+        self.sessions_exported.inc();
+    }
+
+    /// Counts one session imported from another node's shipment.
+    pub(crate) fn session_imported(&self) {
+        self.sessions_imported.inc();
+    }
+
+    /// Counts one recovery checkpoint skipped for naming another node.
+    pub(crate) fn session_skipped_foreign(&self) {
+        self.sessions_skipped_foreign.inc();
+    }
+
     /// Raises a shard's queue-depth high-water mark to `depth` if higher.
     pub(crate) fn note_queue_depth(&self, shard: usize, depth: usize) {
         if let Some(hw) = self.shard_queue_high_water.get(shard) {
@@ -655,6 +689,9 @@ impl ServiceCounters {
             degraded_sessions: self.degraded_sessions.get().max(0) as u64,
             segments_quarantined: self.segments_quarantined.get(),
             fault_injected: self.fault_injected.get(),
+            sessions_exported: self.sessions_exported.get(),
+            sessions_imported: self.sessions_imported.get(),
+            sessions_skipped_foreign: self.sessions_skipped_foreign.get(),
             shard_queue_high_water: self
                 .shard_queue_high_water
                 .iter()
@@ -762,6 +799,12 @@ pub struct CountersSnapshot {
     pub segments_quarantined: u64,
     /// Faults the sysio injector delivered (0 outside chaos/test runs).
     pub fault_injected: u64,
+    /// Sessions checkpoint-shipped to another node (drain/rebalance).
+    pub sessions_exported: u64,
+    /// Sessions restored from another node's checkpoint shipment.
+    pub sessions_imported: u64,
+    /// Recovery checkpoints skipped because their meta named another node.
+    pub sessions_skipped_foreign: u64,
     /// Per-shard mailbox depth high-water marks.
     pub shard_queue_high_water: Vec<usize>,
     /// Fuse-latency summary; `None` before the first fused round.

@@ -58,6 +58,13 @@ pub struct Persistence {
     /// previously folded segments remain readable and
     /// `VoterService::compact_now` works on demand.
     pub compact_interval_ms: u64,
+    /// This daemon's cluster node id, stamped into every meta sidecar it
+    /// writes. After a migration the source's leftover sidecar names the
+    /// *target* node, so boot recovery skips it instead of double-owning
+    /// the session. `0` (the default) is a valid id for single-node
+    /// deployments; sidecars written before this field existed carry no
+    /// `node=` line and are owned by whoever finds them.
+    pub node_id: u64,
 }
 
 impl Default for Persistence {
@@ -67,6 +74,7 @@ impl Default for Persistence {
             fsync: false,
             checkpoint_every: 1,
             compact_interval_ms: 0,
+            node_id: 0,
         }
     }
 }
@@ -97,7 +105,18 @@ pub(crate) struct MetaState {
     pub(crate) resumable: bool,
     pub(crate) spec: SpecSource,
     pub(crate) high_round: Option<u64>,
+    /// Owning cluster node, when the sidecar was written by a node-aware
+    /// daemon. `None` for pre-cluster sidecars, which any node may own.
+    pub(crate) node: Option<u64>,
     pub(crate) results: Vec<StoredResult>,
+}
+
+impl MetaState {
+    /// Whether a daemon with id `node_id` owns this sidecar. Legacy
+    /// sidecars (no `node=` line) are owned by whoever finds them.
+    pub(crate) fn owned_by(&self, node_id: u64) -> bool {
+        self.node.is_none_or(|n| n == node_id)
+    }
 }
 
 /// What a [`SessionStore::load`] had to do — the resume-cost attribution
@@ -122,6 +141,9 @@ pub(crate) struct SessionStore {
     modules: u32,
     resumable: bool,
     spec: SpecSource,
+    /// The node id stamped into every meta rewrite — the owning daemon's,
+    /// until an export flips it to the migration target's.
+    node: u64,
     /// `bytes_logged()` at the previous checkpoint, for the delta counter.
     logged_floor: u64,
     /// Highest verdict round already durable (WAL or segment) — verdicts at
@@ -176,8 +198,50 @@ pub(crate) fn read_meta(dir: &Path, session: u64) -> Option<MetaState> {
     parse_meta(&text)
 }
 
+/// Re-reads a migrated-away session's shipped state from disk — the
+/// idempotent transfer-retry path. A completed export leaves the sidecar
+/// naming `target_node` even if the shipped bytes were lost in flight, so
+/// re-asking re-ships the same state. `None` when the sidecar is missing,
+/// corrupt, or names any other owner (nothing to re-ship).
+pub(crate) fn read_exported_blobs(
+    dir: &Path,
+    session: u64,
+    target_node: u64,
+) -> Option<(Vec<u8>, Vec<u8>)> {
+    let meta = read_meta(dir, session)?;
+    if meta.node != Some(target_node) {
+        return None;
+    }
+    let meta_bytes = std::fs::read(meta_path(dir, session)).ok()?;
+    let wal_bytes = std::fs::read(wal_path(dir, session)).ok()?;
+    Some((meta_bytes, wal_bytes))
+}
+
+/// Decodes a shipped meta blob and re-stamps it with the importing node's
+/// id, returning the parsed state plus the exact bytes to land on disk.
+/// Everything but the `node=` line re-renders byte-identically (floats use
+/// the shortest round-trip form on both sides), so the imported sidecar is
+/// the exported one with ownership adopted. `None` when the blob is not
+/// UTF-8 or fails to parse.
+pub(crate) fn adopt_meta(meta: &[u8], node_id: u64) -> Option<(MetaState, Vec<u8>)> {
+    let text = std::str::from_utf8(meta).ok()?;
+    let mut state = parse_meta(text)?;
+    state.node = Some(node_id);
+    let ring: VecDeque<StoredResult> = state.results.iter().copied().collect();
+    let rendered = render_meta(
+        state.token,
+        state.modules,
+        state.resumable,
+        &state.spec,
+        state.high_round,
+        node_id,
+        &ring,
+    );
+    Some((state, rendered.into_bytes()))
+}
+
 fn parse_meta(text: &str) -> Option<MetaState> {
-    let mut lines = text.lines();
+    let mut lines = text.lines().peekable();
     if lines.next()? != "avoc-session-meta v1" {
         return None;
     }
@@ -191,6 +255,16 @@ fn parse_meta(text: &str) -> Option<MetaState> {
     let high_round = match lines.next()?.strip_prefix("high_round=")? {
         "none" => None,
         n => Some(n.parse().ok()?),
+    };
+    // Still "v1": the optional `node=` line slots in before `results=`, so
+    // sidecars written before the cluster tier (no such line) keep parsing.
+    let node = match lines.peek()?.strip_prefix("node=") {
+        Some(n) => {
+            let id = n.parse().ok()?;
+            lines.next();
+            Some(id)
+        }
+        None => None,
     };
     let count: usize = lines.next()?.strip_prefix("results=")?.parse().ok()?;
     let mut results = Vec::with_capacity(count.min(RESULT_RING));
@@ -223,16 +297,19 @@ fn parse_meta(text: &str) -> Option<MetaState> {
         resumable,
         spec,
         high_round,
+        node,
         results,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_meta(
     token: u64,
     modules: u32,
     resumable: bool,
     spec: &SpecSource,
     high_round: Option<u64>,
+    node: u64,
     results: &VecDeque<StoredResult>,
 ) -> String {
     let mut out = String::from("avoc-session-meta v1\n");
@@ -243,6 +320,7 @@ fn render_meta(
         Some(r) => out.push_str(&format!("high_round={r}\n")),
         None => out.push_str("high_round=none\n"),
     }
+    out.push_str(&format!("node={node}\n"));
     out.push_str(&format!("results={}\n", results.len()));
     for &(round, value, voted) in results {
         match value {
@@ -281,6 +359,7 @@ impl SessionStore {
         spec: SpecSource,
         durability: Durability,
         tiered: Option<&Arc<TieredStore>>,
+        node_id: u64,
     ) -> io::Result<SessionStore> {
         std::fs::create_dir_all(dir)?;
         // Pin first: a fold in flight for this id finishes before we touch
@@ -303,6 +382,7 @@ impl SessionStore {
             modules,
             resumable,
             spec,
+            node: node_id,
             logged_floor: 0,
             verdict_floor: None,
             tiered: tiered.map(Arc::clone),
@@ -328,6 +408,7 @@ impl SessionStore {
         session: u64,
         durability: Durability,
         tiered: Option<&Arc<TieredStore>>,
+        node_id: u64,
     ) -> Option<(SessionStore, MetaState, LoadInfo)> {
         // Pin before reading anything: an in-flight fold of this session
         // completes (or is skipped) before we open its files.
@@ -371,6 +452,9 @@ impl SessionStore {
             modules: meta.modules,
             resumable: meta.resumable,
             spec: meta.spec.clone(),
+            // Loading adopts the session: subsequent meta rewrites stamp
+            // the loader's id (legacy sidecars gain one at first rewrite).
+            node: node_id,
             logged_floor,
             verdict_floor,
             tiered: tiered.map(Arc::clone),
@@ -461,6 +545,7 @@ impl SessionStore {
             self.resumable,
             &self.spec,
             high_round,
+            self.node,
             results,
         );
         let tmp = self.meta_path.with_extension("meta.tmp");
@@ -500,6 +585,84 @@ impl SessionStore {
                 .and_then(|s| s.max_verdict_round),
             None => None,
         };
+        Ok(())
+    }
+
+    /// Quiesces this session's durable state for shipping to `target_node`:
+    /// takes a final checkpoint with ownership flipped to the target,
+    /// compacts the WAL so the shipped blob carries only live state, and
+    /// returns `(meta_bytes, wal_bytes)` read back from disk.
+    ///
+    /// Ordering is the migration protocol's crash story: the meta names the
+    /// target *before* any bytes leave this node, so if the transfer dies
+    /// mid-flight this node's boot recovery skips the session (it is the
+    /// gateway's job to retry or re-place) rather than resurrecting a copy
+    /// that may also be running elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors, and refuses (`InvalidData`) when the state
+    /// would not fit a single transfer frame under
+    /// [`avoc_net::message::MAX_FRAME_LEN`] — better an explicit failure
+    /// than an undecodable frame on the wire.
+    pub(crate) fn export_blobs(
+        &mut self,
+        target_node: u64,
+        high_round: Option<u64>,
+        results: &VecDeque<StoredResult>,
+    ) -> io::Result<(Vec<u8>, Vec<u8>)> {
+        self.history.flush();
+        let backing = self.history.backing_mut();
+        // Compact first: the rewrite folds the full record cache plus every
+        // retained verdict into a minimal log, so the shipped WAL does not
+        // carry the session's whole append history.
+        backing.compact()?;
+        self.logged_floor = backing.bytes_logged();
+        self.verdict_floor = None;
+        self.node = target_node;
+        self.checkpoint(high_round, results)?;
+        let meta = std::fs::read(&self.meta_path)?;
+        let wal = std::fs::read(&self.wal_path)?;
+        // Frame budget: session + epoch + two length prefixes + header.
+        const TRANSFER_OVERHEAD: usize = 1 + 8 + 8 + 4 + 4;
+        if meta.len() + wal.len() + TRANSFER_OVERHEAD > avoc_net::message::MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "session state exceeds the transfer frame cap even after compaction",
+            ));
+        }
+        Ok((meta, wal))
+    }
+
+    /// Lands a shipped session's blobs in `dir` — WAL first, then the meta
+    /// via tmp + rename, mirroring the checkpoint ordering so a crash
+    /// between the two leaves no meta pointing at a missing WAL. Any prior
+    /// occupant of the id (files and folded segment rows) is cleared first.
+    pub(crate) fn write_imported(
+        dir: &Path,
+        session: u64,
+        meta: &[u8],
+        wal: &[u8],
+        tiered: Option<&Arc<TieredStore>>,
+    ) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let _pin = tiered.map(|t| t.pin(session));
+        if let Some(t) = tiered {
+            t.forget_session(session)?;
+        }
+        let wal_dst = wal_path(dir, session);
+        let meta_dst = meta_path(dir, session);
+        let _ = std::fs::remove_file(&meta_dst);
+        std::fs::write(&wal_dst, wal)?;
+        let tmp = meta_dst.with_extension("meta.tmp");
+        {
+            fio::check_op(Site::MetaWrite)?;
+            let mut f = std::fs::File::create(&tmp)?;
+            fio::write_all(Site::MetaWrite, &mut f, meta)?;
+            fio::flush(Site::MetaWrite, &mut f)?;
+        }
+        fio::check_op(Site::MetaWrite)?;
+        std::fs::rename(&tmp, &meta_dst)?;
         Ok(())
     }
 
@@ -545,6 +708,7 @@ mod tests {
             spec.clone(),
             Durability::Flush,
             None,
+            0,
         )
         .unwrap();
         store.note_history(&[(ModuleId::new(0), 0.75), (ModuleId::new(1), 1.0)]);
@@ -555,7 +719,7 @@ mod tests {
         assert!(bytes > 0);
         drop(store);
 
-        let (loaded, meta, _) = SessionStore::load(&dir, 0x2a, Durability::Flush, None).unwrap();
+        let (loaded, meta, _) = SessionStore::load(&dir, 0x2a, Durability::Flush, None, 0).unwrap();
         assert_eq!(meta.token, u64::MAX, "token must survive byte-exact");
         assert_eq!(meta.modules, 3);
         assert!(meta.resumable);
@@ -579,16 +743,16 @@ mod tests {
         let dir = tmpdir("corrupt");
         let spec = SpecSource::Named("avoc".into());
         let mut store =
-            SessionStore::create(&dir, 7, 1, 2, true, spec, Durability::Flush, None).unwrap();
+            SessionStore::create(&dir, 7, 1, 2, true, spec, Durability::Flush, None, 0).unwrap();
         store.note_history(&[(ModuleId::new(0), 0.5)]);
         store.checkpoint(Some(0), &VecDeque::new()).unwrap();
         drop(store);
 
         // Scribble over the meta: the load must degrade to None, not error.
         std::fs::write(dir.join("session-0000000000000007.meta"), "garbage").unwrap();
-        assert!(SessionStore::load(&dir, 7, Durability::Flush, None).is_none());
+        assert!(SessionStore::load(&dir, 7, Durability::Flush, None, 0).is_none());
         // Missing entirely behaves the same.
-        assert!(SessionStore::load(&dir, 99, Durability::Flush, None).is_none());
+        assert!(SessionStore::load(&dir, 99, Durability::Flush, None, 0).is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -597,18 +761,100 @@ mod tests {
         let dir = tmpdir("discard");
         let spec = SpecSource::Named("avoc".into());
         let mut store =
-            SessionStore::create(&dir, 3, 9, 1, false, spec, Durability::Fsync, None).unwrap();
+            SessionStore::create(&dir, 3, 9, 1, false, spec, Durability::Fsync, None, 0).unwrap();
         store.note_history(&[(ModuleId::new(0), 0.4)]);
         store.checkpoint(Some(0), &VecDeque::new()).unwrap();
         store.note_history(&[(ModuleId::new(0), 0.9)]);
         store.discard(); // hard kill: the 0.9 write never lands
         drop(store);
-        let (loaded, meta, _) = SessionStore::load(&dir, 3, Durability::Flush, None).unwrap();
+        let (loaded, meta, _) = SessionStore::load(&dir, 3, Durability::Flush, None, 0).unwrap();
         assert!(!meta.resumable);
         assert_eq!(loaded.seed_records(), vec![(ModuleId::new(0), 0.4)]);
         loaded.remove();
         assert!(list_sessions(&dir).is_empty());
-        assert!(SessionStore::load(&dir, 3, Durability::Flush, None).is_none());
+        assert!(SessionStore::load(&dir, 3, Durability::Flush, None, 0).is_none());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn node_line_round_trips_and_legacy_metas_stay_parseable() {
+        let dir = tmpdir("node");
+        let spec = SpecSource::Named("avoc".into());
+        let store = SessionStore::create(
+            &dir,
+            11,
+            5,
+            2,
+            true,
+            spec.clone(),
+            Durability::Flush,
+            None,
+            7,
+        )
+        .unwrap();
+        drop(store);
+        let meta = read_meta(&dir, 11).unwrap();
+        assert_eq!(meta.node, Some(7));
+        assert!(meta.owned_by(7));
+        assert!(!meta.owned_by(3));
+
+        // A sidecar written before the cluster tier carries no node= line
+        // and must parse with node: None — owned by whoever finds it.
+        let legacy = "avoc-session-meta v1\ntoken=5\nmodules=2\nresumable=1\n\
+                      high_round=4\nresults=1\nr 4 19.5 1\nspec=named\navoc";
+        let meta = parse_meta(legacy).unwrap();
+        assert_eq!(meta.node, None);
+        assert!(meta.owned_by(0));
+        assert!(meta.owned_by(42));
+        assert_eq!(meta.high_round, Some(4));
+        assert_eq!(meta.results, vec![(4, Some(19.5), true)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_blobs_flip_ownership_and_restore_elsewhere() {
+        let src = tmpdir("export-src");
+        let dst = tmpdir("export-dst");
+        let spec = SpecSource::Named("avoc".into());
+        let mut store = SessionStore::create(
+            &src,
+            0x5e,
+            77,
+            3,
+            true,
+            spec.clone(),
+            Durability::Flush,
+            None,
+            1,
+        )
+        .unwrap();
+        store.note_history(&[(ModuleId::new(0), 0.75), (ModuleId::new(2), 0.25)]);
+        let mut ring = VecDeque::new();
+        ring.push_back((9u64, Some(18.150000000000002f64), true));
+        store.checkpoint(Some(9), &ring).unwrap();
+
+        let (meta_bytes, wal_bytes) = store.export_blobs(2, Some(9), &ring).unwrap();
+        drop(store);
+
+        // The source's leftover sidecar now names the target: node 1 no
+        // longer owns it, node 2 does.
+        let leftover = read_meta(&src, 0x5e).unwrap();
+        assert_eq!(leftover.node, Some(2));
+        assert!(!leftover.owned_by(1));
+
+        // Landing the blobs on the target restores byte-exact state.
+        SessionStore::write_imported(&dst, 0x5e, &meta_bytes, &wal_bytes, None).unwrap();
+        let (loaded, meta, _) = SessionStore::load(&dst, 0x5e, Durability::Flush, None, 2).unwrap();
+        assert_eq!(meta.token, 77);
+        assert_eq!(meta.node, Some(2));
+        assert_eq!(meta.high_round, Some(9));
+        assert_eq!(meta.spec, spec);
+        assert_eq!(meta.results, vec![(9, Some(18.150000000000002), true)]);
+        assert_eq!(
+            loaded.seed_records(),
+            vec![(ModuleId::new(0), 0.75), (ModuleId::new(2), 0.25)]
+        );
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
     }
 }

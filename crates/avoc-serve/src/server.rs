@@ -291,6 +291,48 @@ impl Handler for ServeHandler {
                 }
             }
             Message::Shutdown => return FrameVerdict::Close,
+            // Inter-node verbs, spoken by the gateway (or an operator tool)
+            // over an ordinary tenant connection. Export quiesces the
+            // session and answers with its `SessionState` blobs; an inbound
+            // `SessionState` *is* an import, acked by the shard's
+            // `Resumed { warm: true }`.
+            Message::ExportSession {
+                session,
+                target_node,
+                epoch,
+                target_addr,
+            } => {
+                if let Err(e) = self.service.export_session(
+                    session,
+                    target_node,
+                    epoch,
+                    &target_addr,
+                    conn.sink.clone(),
+                ) {
+                    self.send_error(&conn.sink, session, &e);
+                }
+            }
+            Message::SessionState {
+                session,
+                epoch: _,
+                meta,
+                wal,
+            } => {
+                match self
+                    .service
+                    .import_session(session, &meta, &wal, conn.sink.clone())
+                {
+                    Ok(()) => {
+                        // The import resumes the session eagerly on the
+                        // gateway's connection; detach it at teardown like
+                        // any client-resumed session.
+                        if !conn.resumed.contains(&session) {
+                            conn.resumed.push(session);
+                        }
+                    }
+                    Err(e) => self.send_error(&conn.sink, session, &e),
+                }
+            }
             // Legacy single-tenant frames and server-to-client frames
             // carry no session routing; a daemon connection ignores them.
             Message::Reading { .. }
@@ -300,6 +342,7 @@ impl Handler for ServeHandler {
             | Message::ResultBatch { .. }
             | Message::Resumed { .. }
             | Message::StatsReply { .. }
+            | Message::Redirect { .. }
             | Message::Error { .. } => {}
         }
         FrameVerdict::Continue

@@ -448,7 +448,10 @@ impl VoterService {
     /// session's persisted spec and the shards restore warm history from
     /// the WALs. Sessions whose spec no longer resolves (or whose meta is
     /// corrupt) are skipped; a later client resume gets the fresh-fallback
-    /// bootstrap for those instead of an error.
+    /// bootstrap for those instead of an error. Checkpoints whose meta
+    /// names a *different* node are skipped too — those sessions migrated
+    /// away and their durable state belongs to the target now; recovering
+    /// them here would fork the fused stream.
     ///
     /// Returns how many recovery commands were dispatched. Until a client
     /// re-attaches, recovered sessions emit to `sink`.
@@ -458,10 +461,16 @@ impl VoterService {
             return 0;
         };
         let mut dispatched = 0;
+        let mut foreign = 0u64;
         for id in persist::list_sessions(&dir) {
             let Some(meta) = persist::read_meta(&dir, id) else {
                 continue;
             };
+            if !meta.owned_by(self.persistence.node_id) {
+                self.counters.session_skipped_foreign();
+                foreign += 1;
+                continue;
+            }
             let Ok(resolved) = self.registry.resolve(&meta.spec) else {
                 continue;
             };
@@ -486,7 +495,111 @@ impl VoterService {
                 dispatched += 1;
             }
         }
+        if foreign > 0 {
+            eprintln!(
+                "avoc-serve: skipped {foreign} checkpoint(s) owned by other \
+                 nodes (sessions migrated away; this node is {})",
+                self.persistence.node_id
+            );
+        }
         dispatched
+    }
+
+    /// This daemon's cluster node id ([`Persistence::node_id`]; `0` for
+    /// single-node deployments).
+    pub fn node_id(&self) -> u64 {
+        self.persistence.node_id
+    }
+
+    /// Exports a session for migration: the owning shard quiesces it at a
+    /// round boundary (pending partial rounds are *not* force-fused — the
+    /// client's unacked replay reconstructs them bit-identically at the
+    /// target), compacts and checkpoints its durable state stamped with
+    /// `target_node`, and answers on `sink` with a
+    /// [`avoc_net::Message::SessionState`] carrying the meta + WAL blobs
+    /// (or an [`avoc_net::Message::Error`] if the session is unknown).
+    /// The session's live state is dropped here; its files stay on disk —
+    /// stamped foreign, so this node's own recovery skips them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after [`VoterService::drain`].
+    pub fn export_session(
+        &self,
+        session: u64,
+        target_node: u64,
+        epoch: u64,
+        target_addr: &str,
+        sink: impl Into<ResultSink>,
+    ) -> Result<(), ServeError> {
+        let shard = self.shard_for(session);
+        self.links[shard]
+            .ctrl
+            .send(ShardCommand::Export {
+                session,
+                target_node,
+                epoch,
+                target_addr: target_addr.to_string(),
+                sink: sink.into(),
+            })
+            .map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Imports a migrated session from its shipped meta + WAL blobs: the
+    /// files are written into this node's state directory (re-stamped with
+    /// this node's id), then the session is eagerly resumed warm so the
+    /// client's next reconnect re-attaches to live state. The shard
+    /// answers on `sink` with a [`avoc_net::Message::Resumed`] frame
+    /// (`warm: true`) confirming the import.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSpec`]/[`ServeError::Vdx`] when the shipped
+    /// meta's spec does not resolve here; an I/O or parse failure surfaces
+    /// as [`ServeError::UnknownSpec`] naming the problem;
+    /// [`ServeError::ShuttingDown`] after [`VoterService::drain`].
+    pub fn import_session(
+        &self,
+        session: u64,
+        meta: &[u8],
+        wal: &[u8],
+        sink: impl Into<ResultSink>,
+    ) -> Result<(), ServeError> {
+        let Some(dir) = self.persistence.state_dir.clone() else {
+            return Err(ServeError::UnknownSpec(
+                "import refused: this node has no state directory".into(),
+            ));
+        };
+        let (parsed, rendered) =
+            persist::adopt_meta(meta, self.persistence.node_id).ok_or_else(|| {
+                ServeError::UnknownSpec("import refused: shipped meta is corrupt".into())
+            })?;
+        let resolved = self.registry.resolve(&parsed.spec)?;
+        persist::SessionStore::write_imported(&dir, session, &rendered, wal, self.tiered.as_ref())
+            .map_err(|e| ServeError::UnknownSpec(format!("import failed writing state: {e}")))?;
+        let shard = self.shard_for(session);
+        let cmd = ShardCommand::Resume {
+            req: OpenReq {
+                session,
+                modules: parsed.modules,
+                spec: Box::new(resolved),
+                spec_source: parsed.spec.clone(),
+                token: parsed.token,
+                resumable: parsed.resumable,
+                sink: sink.into(),
+                evict_if_full: self.admission == AdmissionPolicy::EvictIdle,
+            },
+            // The importing daemon has nothing to re-emit; the client's own
+            // resume replays against its real ack floor.
+            last_acked: parsed.high_round,
+            eager: true,
+        };
+        self.links[shard]
+            .ctrl
+            .send(cmd)
+            .map_err(|_| ServeError::ShuttingDown)?;
+        self.counters.session_imported();
+        Ok(())
     }
 
     /// Routes one reading to its session's shard under the configured

@@ -341,6 +341,50 @@ impl Session {
         }
     }
 
+    /// Quiesces this session at its current round boundary and returns its
+    /// shippable state: `(meta_bytes, wal_bytes)` for a
+    /// [`Message::SessionState`] transfer frame. Pending results flush to
+    /// the tenant first (the stream up to the boundary completes on this
+    /// node); partially assembled rounds are deliberately *not* force-fused
+    /// — the client replays its unacked readings at the target, so the
+    /// migrated stream fuses them exactly as an uninterrupted run would.
+    /// After this returns the on-disk sidecar names `target_node`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the session has no durable store (memory-only sessions
+    /// cannot ship), or on any export I/O failure — the session stays live
+    /// here and the caller reports the migration as failed.
+    pub(crate) fn export(
+        &mut self,
+        target_node: u64,
+        counters: &ServiceCounters,
+    ) -> std::io::Result<(Vec<u8>, Vec<u8>)> {
+        self.flush_results(counters);
+        let Some(store) = self.persist.as_mut() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "session has no durable state to export",
+            ));
+        };
+        store.note_history(&self.engine.histories());
+        store.export_blobs(target_node, self.high_round, &self.results)
+    }
+
+    /// Tells the tenant its session now lives at `addr` (sent in-band on
+    /// the session's own sink right before a migrated session leaves this
+    /// node, so a connected client re-homes without waiting for a failure).
+    pub(crate) fn announce_redirect(&self, epoch: u64, addr: &str, counters: &ServiceCounters) {
+        let msg = Message::Redirect {
+            session: self.id,
+            epoch,
+            addr: addr.to_string(),
+        };
+        if self.sink.try_send(msg).is_err() {
+            counters.result_dropped();
+        }
+    }
+
     /// The hard-kill path: abandon staged-but-unflushed durable writes and
     /// drop the session without flushing, so on-disk state is exactly what
     /// the last completed checkpoint wrote — as a crash would leave it.

@@ -128,6 +128,24 @@ pub(crate) enum ShardCommand {
         /// The dead connection's outbound channel.
         sink: ResultSink,
     },
+    /// Quiesce a session at its round boundary and ship its durable state
+    /// to a migration target: reply with [`Message::SessionState`] on
+    /// `sink` (or [`Message::Error`] on failure), tell the tenant where it
+    /// moved via an in-band [`Message::Redirect`], and release the session
+    /// here. Its files stay behind, re-stamped with the target's ownership,
+    /// so a transfer lost in flight can be re-asked for idempotently.
+    Export {
+        /// The session to ship.
+        session: u64,
+        /// Node id the session is moving to.
+        target_node: u64,
+        /// Ownership epoch the gateway is installing with this move.
+        epoch: u64,
+        /// `host:port` of the target daemon, for the tenant's redirect.
+        target_addr: String,
+        /// The requester's (gateway's) connection, for the reply.
+        sink: ResultSink,
+    },
     /// Flush every session (final checkpoints included) and exit the worker
     /// loop.
     Drain,
@@ -306,6 +324,19 @@ impl ShardWorker {
                     }
                 }
             }
+            ShardCommand::Export {
+                session,
+                target_node,
+                epoch,
+                target_addr,
+                sink,
+            } => {
+                // Readings queued before the export are part of the stream
+                // this node owes; feed them so the shipped checkpoint sits
+                // at the latest round boundary.
+                self.drain_data_backlog(st);
+                self.export(st, session, target_node, epoch, &target_addr, &sink);
+            }
             ShardCommand::Drain => {
                 self.drain_data_backlog(st);
                 st.stop = true;
@@ -336,6 +367,82 @@ impl ShardWorker {
             if let Some(s) = st.sessions.get_mut(&id) {
                 s.flush_results(&self.counters);
             }
+        }
+    }
+
+    /// Ships a session to a migration target (see [`ShardCommand::Export`]).
+    /// Live sessions quiesce and leave; a session that already migrated to
+    /// this exact target re-ships its on-disk state (idempotent retry); an
+    /// unknown session answers with an error frame.
+    fn export(
+        &self,
+        st: &mut ShardState,
+        session: u64,
+        target_node: u64,
+        epoch: u64,
+        target_addr: &str,
+        sink: &ResultSink,
+    ) {
+        if let Some(s) = st.sessions.get_mut(&session) {
+            match s.export(target_node, &self.counters) {
+                Ok((meta, wal)) => {
+                    let reply = Message::SessionState {
+                        session,
+                        epoch,
+                        meta,
+                        wal,
+                    };
+                    if sink.try_send(reply).is_err() {
+                        self.counters.result_dropped();
+                    }
+                    // The tenant re-homes without waiting for a failure.
+                    s.announce_redirect(epoch, target_addr, &self.counters);
+                    // Release the session: it no longer runs here. Its
+                    // files stay behind (stamped with the target's id) so a
+                    // lost transfer can be re-asked for; the target's
+                    // import — not this node — now owns the live state.
+                    st.sessions.remove(&session);
+                    self.counters.deregister_session(session);
+                    self.active.fetch_sub(1, Ordering::Relaxed);
+                    self.counters.session_exported();
+                }
+                Err(e) => {
+                    let notice = Message::Error {
+                        session,
+                        message: format!("export failed: {e}"),
+                    };
+                    if sink.try_send(notice).is_err() {
+                        self.counters.result_dropped();
+                    }
+                }
+            }
+            return;
+        }
+        // Not live here. If a prior export to this same target completed,
+        // its state is still on disk under the target's name — re-ship it.
+        if let Some(dir) = self.persistence.state_dir.as_deref() {
+            if let Some((meta, wal)) =
+                crate::persist::read_exported_blobs(dir, session, target_node)
+            {
+                let reply = Message::SessionState {
+                    session,
+                    epoch,
+                    meta,
+                    wal,
+                };
+                if sink.try_send(reply).is_err() {
+                    self.counters.result_dropped();
+                }
+                self.counters.session_exported();
+                return;
+            }
+        }
+        let notice = Message::Error {
+            session,
+            message: "export failed: session not found on this node".into(),
+        };
+        if sink.try_send(notice).is_err() {
+            self.counters.result_dropped();
         }
     }
 
@@ -546,8 +653,17 @@ impl ShardWorker {
                 req.session,
                 self.persistence.durability(),
                 self.tiered.as_ref(),
+                self.persistence.node_id,
             );
             if let Some((store, meta, info)) = loaded {
+                if !meta.owned_by(self.persistence.node_id) {
+                    // The sidecar names another node: this session migrated
+                    // away. Refuse rather than resurrect a second copy —
+                    // the client falls back to the gateway, which knows the
+                    // owner.
+                    self.refuse(&req.sink, req.session, "session migrated to another node");
+                    return;
+                }
                 // Attribute the resume cost to the tier that served it: a
                 // WAL replay and a pure segment load are the two sides of
                 // the bench this store exists to win.
@@ -633,6 +749,7 @@ impl ShardWorker {
             req.spec_source.clone(),
             self.persistence.durability(),
             self.tiered.as_ref(),
+            self.persistence.node_id,
         )
         .ok()
     }

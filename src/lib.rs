@@ -19,6 +19,7 @@
 //! | [`store`] | `avoc-store` | durable/shared/cached history datastores |
 //! | [`net`] | `avoc-net` | wire protocol, sensor hub, sink node, edge voter service |
 //! | [`serve`] | `avoc-serve` | sharded multi-tenant voter daemon, TCP server + client |
+//! | [`gateway`] | `avoc-gateway` | multi-node routing tier: hash-ring placement, migration |
 //! | [`obs`] | `avoc-obs` | metric registry, latency histograms, trace ring, scrape HTTP |
 //! | [`metrics`] | `avoc-metrics` | convergence, ambiguity, series ops, reports |
 //!
@@ -46,6 +47,7 @@
 
 pub use avoc_cluster as cluster;
 pub use avoc_core as core;
+pub use avoc_gateway as gateway;
 pub use avoc_metrics as metrics;
 pub use avoc_net as net;
 pub use avoc_obs as obs;

@@ -1,0 +1,337 @@
+//! The cluster tier end to end, under chaos: a gateway consistent-hashes
+//! sessions over two persistent daemons, a [`ResilientClient`] pointed at
+//! the *gateway* follows its `Redirect` to the owning node, a forced
+//! checkpoint-shipping migration moves the session mid-round, the source
+//! node is hard-killed, and the client's resumed stream must be
+//! bit-identical to an unmigrated single-node run — with every data-plane
+//! byte (client traffic *and* the migration relay itself) squeezed
+//! through seeded [`ChaosProxy`] instances that fragment and stall it.
+
+use avoc::gateway::{Gateway, GatewayConfig, Member};
+use avoc::net::chaos::{ChaosConfig, ChaosProxy, Fault};
+use avoc::net::{Message, SpecSource};
+use avoc::prelude::*;
+use avoc::serve::{ClientConfig, ResilientClient, RetryPolicy, SpecRegistry, TcpServer};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SESSION: u64 = 42;
+const MODULES: u32 = 3;
+const TOKEN: u64 = 0xBEEF;
+
+fn registry() -> Arc<SpecRegistry> {
+    let mut registry = SpecRegistry::new();
+    registry.insert("avoc", VdxSpec::avoc());
+    Arc::new(registry)
+}
+
+fn start_daemon(node_id: u64, state_dir: Option<&Path>) -> TcpServer {
+    let config = ServeConfig {
+        persistence: Persistence {
+            state_dir: state_dir.map(Path::to_path_buf),
+            node_id,
+            ..Persistence::default()
+        },
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(VoterService::start(config, registry()));
+    TcpServer::start("127.0.0.1:0", service).expect("bind daemon")
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("avoc-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Non-lethal chaos: fragment writes down to dribbles and stall streams.
+/// Connections survive (the migration relay must eventually complete);
+/// framing and timing assumptions do not.
+fn chaos_in_front_of(server: &TcpServer, seed: u64) -> ChaosProxy {
+    ChaosProxy::start(
+        server.local_addr(),
+        ChaosConfig {
+            seed,
+            faults: vec![
+                Fault::Chop { max_chunk: 3 },
+                Fault::Stall {
+                    after_bytes: 64,
+                    millis: 50,
+                },
+                Fault::Chop { max_chunk: 7 },
+            ],
+        },
+    )
+    .expect("start chaos proxy")
+}
+
+/// Short read deadline so a connection pointed at a killed node fails
+/// over in test time, not the 30 s default.
+fn client_for(addr: std::net::SocketAddr) -> ResilientClient {
+    ResilientClient::new(
+        addr,
+        ClientConfig {
+            read_timeout: Duration::from_secs(2),
+            ..ClientConfig::default()
+        },
+        RetryPolicy {
+            jitter_seed: 17,
+            ..RetryPolicy::default()
+        },
+    )
+}
+
+fn reading(module: u32, round: u64) -> f64 {
+    18.0 + f64::from(module) * 0.1 + (round % 5) as f64 * 0.05
+}
+
+fn feed_round(client: &mut ResilientClient, round: u64) {
+    for m in 0..MODULES {
+        client
+            .send_reading(SESSION, ModuleId::new(m), round, reading(m, round))
+            .expect("send reading");
+    }
+}
+
+fn expect_result(client: &mut ResilientClient) -> (u64, Option<u64>, bool) {
+    loop {
+        match client.recv().expect("recv result") {
+            Message::SessionResult {
+                session,
+                round,
+                value,
+                voted,
+            } => {
+                assert_eq!(session, SESSION);
+                return (round, value.map(f64::to_bits), voted);
+            }
+            Message::ResultBatch { session, results } => {
+                assert_eq!(session, SESSION);
+                assert_eq!(results.len(), 1, "lockstep feeding emits single results");
+                let r = &results[0];
+                return (r.round, r.value.map(f64::to_bits), r.voted);
+            }
+            // In-band redirects are absorbed inside the client; a resume
+            // ack may still surface mid-failover and is benign.
+            Message::Resumed { .. } => {}
+            other => panic!("expected a result frame, got {other:?}"),
+        }
+    }
+}
+
+fn run_rounds(
+    client: &mut ResilientClient,
+    rounds: std::ops::Range<u64>,
+) -> Vec<(u64, Option<u64>, bool)> {
+    let mut out = Vec::new();
+    for r in rounds {
+        feed_round(client, r);
+        out.push(expect_result(client));
+    }
+    out
+}
+
+/// The acceptance story: gateway placement + redirect following + forced
+/// drain-migration + source kill, under chaos, bit-identical to one node.
+#[test]
+fn migrated_session_is_bit_identical_to_an_unmigrated_run_under_chaos() {
+    // ---- Reference: one daemon, no gateway, no chaos, no migration.
+    let baseline_server = start_daemon(0, None);
+    let mut baseline = client_for(baseline_server.local_addr());
+    baseline
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open baseline");
+    let expected = run_rounds(&mut baseline, 0..12);
+    baseline.close_session(SESSION).expect("close baseline");
+    baseline_server.shutdown();
+
+    // ---- Cluster: two persistent daemons behind chaos proxies, fronted
+    // by a gateway whose member addresses are the *proxied* ones — every
+    // client byte and every migration byte takes the hostile path.
+    let dir1 = state_dir("node1");
+    let dir2 = state_dir("node2");
+    let node1 = start_daemon(1, Some(&dir1));
+    let node2 = start_daemon(2, Some(&dir2));
+    let proxy1 = chaos_in_front_of(&node1, 101);
+    let proxy2 = chaos_in_front_of(&node2, 202);
+    let gateway = Gateway::start(
+        "127.0.0.1:0",
+        GatewayConfig {
+            members: vec![
+                Member {
+                    node: 1,
+                    addr: proxy1.local_addr().to_string(),
+                    admin: None,
+                },
+                Member {
+                    node: 2,
+                    addr: proxy2.local_addr().to_string(),
+                    admin: None,
+                },
+            ],
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("start gateway");
+
+    // The client dials the GATEWAY; satellite redirect-following takes it
+    // to the owning daemon through that node's proxy.
+    let mut client = client_for(gateway.local_addr());
+    client
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open via gateway");
+    let mut got = run_rounds(&mut client, 0..5);
+    assert!(
+        client.io_stats().redirects_followed >= 1,
+        "the open must have been redirected by the gateway"
+    );
+    let (source_node, _) = gateway.place(SESSION).expect("placed");
+
+    // Mid-round 5: two of three readings are in flight when the operator
+    // forces a drain-migration off the owning node...
+    for m in 0..2 {
+        client
+            .send_reading(SESSION, ModuleId::new(m), 5, reading(m, 5))
+            .expect("send reading");
+    }
+    let moved = gateway.drain_node(source_node).expect("drain source node");
+    assert_eq!(moved, 1, "exactly our session lived on the source");
+    let (target_node, _) = gateway.place(SESSION).expect("placed after drain");
+    assert_ne!(target_node, source_node, "placement must have flipped");
+
+    // ...and the drained source is then hard-killed. The partial round
+    // was NOT force-fused at export: the client's unacked replay must
+    // reconstruct it on the target for bit-identity.
+    let (survivor, casualty) = if source_node == 1 {
+        (&node2, node1)
+    } else {
+        (&node1, node2)
+    };
+    casualty.abort();
+
+    // The client's next exchange rides whichever signal arrives first —
+    // the in-band Redirect the source announced, or a dead-connection
+    // fallback to its home (the gateway) which now redirects to the
+    // target. Either way: warm resume, replayed round 5, identical tail.
+    client
+        .send_reading(SESSION, ModuleId::new(2), 5, reading(2, 5))
+        .expect("send reading");
+    got.push(expect_result(&mut client));
+    got.extend(run_rounds(&mut client, 6..12));
+
+    assert_eq!(got, expected, "migrated stream must be bit-identical");
+    assert_eq!(
+        client.last_resume(SESSION),
+        Some((Some(4), true)),
+        "the target must have restored warm at the shipped frontier"
+    );
+    assert!(
+        client.io_stats().redirects_followed >= 2,
+        "initial placement and post-migration re-home both redirect"
+    );
+
+    // The survivor really is the one serving: it fused the replayed
+    // rounds 5..12.
+    let counters = survivor.service().counters();
+    assert!(
+        counters.rounds_fused >= 7,
+        "target fused the post-migration tail, got {}",
+        counters.rounds_fused
+    );
+    assert_eq!(counters.sessions_imported, 1);
+
+    client.close_session(SESSION).expect("close");
+    gateway.shutdown();
+    survivor.service().drain();
+    proxy1.stop();
+    proxy2.stop();
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+/// Chaos on the relay path alone: drive a migration whose every byte is
+/// chopped and stalled, and verify the shipped state round-trips — the
+/// target's warm frontier equals the source's at export time.
+#[test]
+fn migration_relay_survives_chopped_and_stalled_transport() {
+    let dir1 = state_dir("relay1");
+    let dir2 = state_dir("relay2");
+    let node1 = start_daemon(1, Some(&dir1));
+    let node2 = start_daemon(2, Some(&dir2));
+    let proxy1 = chaos_in_front_of(&node1, 7);
+    let proxy2 = chaos_in_front_of(&node2, 9);
+    let gateway = Gateway::start(
+        "127.0.0.1:0",
+        GatewayConfig {
+            members: vec![
+                Member {
+                    node: 1,
+                    addr: proxy1.local_addr().to_string(),
+                    admin: None,
+                },
+                Member {
+                    node: 2,
+                    addr: proxy2.local_addr().to_string(),
+                    admin: None,
+                },
+            ],
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("start gateway");
+
+    let (_, addr) = gateway.place(SESSION).expect("placed");
+    let mut client = client_for(addr.parse().unwrap());
+    client
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    let fed = run_rounds(&mut client, 0..8);
+    assert_eq!(fed.len(), 8);
+
+    let target = gateway
+        .migrate_session(SESSION)
+        .expect("migrate under chaos");
+    let (node_after, addr_after) = gateway.place(SESSION).expect("placed after");
+    assert_eq!(node_after, target);
+
+    // Reconnect at the target: warm, frontier intact.
+    let mut resumed = client_for(addr_after.parse().unwrap());
+    resumed
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("resume at target");
+    // Force the lazy dial + handshake now.
+    resumed
+        .send_reading(SESSION, ModuleId::new(0), 8, reading(0, 8))
+        .expect("poke");
+    for m in 1..MODULES {
+        resumed
+            .send_reading(SESSION, ModuleId::new(m), 8, reading(m, 8))
+            .expect("feed");
+    }
+    // A fresh client resumes with `last_acked: None`, so the target first
+    // replays the shipped result ring — which must be bit-identical to
+    // what the source emitted — before round 8's fresh fusion arrives.
+    let mut replayed = Vec::new();
+    let new_round = loop {
+        let r = expect_result(&mut resumed);
+        if r.0 == 8 {
+            break r;
+        }
+        replayed.push(r);
+    };
+    assert_eq!(replayed, fed, "replayed results must match the source's");
+    assert_eq!(
+        new_round.0, 8,
+        "the target continued at the shipped frontier"
+    );
+    assert_eq!(resumed.last_resume(SESSION), Some((Some(7), true)));
+
+    gateway.shutdown();
+    node1.shutdown();
+    node2.shutdown();
+    proxy1.stop();
+    proxy2.stop();
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir2);
+}

@@ -354,7 +354,7 @@ proptest! {
     }
 
     /// The allocation-free encoder is byte-identical to the allocating one
-    /// for EVERY frame tag (1–15), including when frames append to a buffer
+    /// for EVERY frame tag (1–18), including when frames append to a buffer
     /// already holding unrelated bytes — the per-connection scratch-reuse
     /// contract the whole wire path now leans on.
     #[test]
@@ -410,6 +410,23 @@ proptest! {
             },
             Message::StatsRequest,
             Message::StatsReply { json: format!("{{\"rounds_fused\": {round}}}") },
+            Message::Redirect {
+                session,
+                epoch: round,
+                addr: "127.0.0.1:4100".into(),
+            },
+            Message::ExportSession {
+                session,
+                target_node: round,
+                epoch: round,
+                target_addr: "127.0.0.1:4200".into(),
+            },
+            Message::SessionState {
+                session,
+                epoch: round,
+                meta: prefix.clone(),
+                wal: prefix.clone(),
+            },
         ];
         let mut frame = BytesMut::new();
         frame.extend_from_slice(&prefix);
@@ -496,6 +513,157 @@ proptest! {
             Err(avoc::net::message::DecodeError::BadLength { tag: 13, .. })
         ));
         prop_assert!(truncated.is_empty(), "bad frames are consumed for resync");
+    }
+
+    /// The cluster-tier frames (tags 16–18) round-trip byte-exactly for
+    /// arbitrary addresses, epochs and raw (non-UTF-8) state blobs.
+    #[test]
+    fn cluster_frames_round_trip(
+        session in any::<u64>(),
+        epoch in any::<u64>(),
+        addr in "[a-zA-Z0-9 _/.:-]{0,40}",
+        meta in prop::collection::vec(any::<u8>(), 0..300),
+        wal in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let msgs = [
+            Message::Redirect { session, epoch, addr: addr.clone() },
+            Message::ExportSession {
+                session,
+                target_node: epoch,
+                epoch,
+                target_addr: addr,
+            },
+            Message::SessionState { session, epoch, meta, wal },
+        ];
+        for msg in msgs {
+            let mut buf = BytesMut::from(&msg.encode()[..]);
+            let decoded = Message::decode(&mut buf);
+            prop_assert_eq!(decoded.ok(), Some(msg));
+            prop_assert!(buf.is_empty(), "a frame decodes to exactly one message");
+        }
+    }
+
+    /// Hostile mutations of a SessionState frame — blob lengths lying high
+    /// (fishing past the frame) or low (leaving trailing bytes), or a
+    /// truncation anywhere inside the payload with the length prefix
+    /// rewritten to match — are rejected with the frame consumed; anything
+    /// accepted must re-encode to exactly the bytes read (canonical
+    /// acceptance), the same bar as FeedBatch/ResultBatch.
+    #[test]
+    fn hostile_session_state_frames_are_rejected_or_canonical(
+        session in any::<u64>(),
+        epoch in any::<u64>(),
+        meta in prop::collection::vec(any::<u8>(), 1..60),
+        wal in prop::collection::vec(any::<u8>(), 1..60),
+        lie in 0u32..200_000,
+        cut_back in 1usize..40,
+    ) {
+        let frame = Message::SessionState {
+            session,
+            epoch,
+            meta: meta.clone(),
+            wal: wal.clone(),
+        }
+        .encode();
+
+        // Poison the meta blob length (sits after len + tag + session +
+        // epoch). Dodge the honest value — the shim has no prop_assume.
+        let lie = if lie as usize == meta.len() { lie + 1 } else { lie };
+        let mut poisoned = BytesMut::from(&frame[..]);
+        poisoned[21..25].copy_from_slice(&lie.to_be_bytes());
+        let before = poisoned.clone();
+        match Message::decode(&mut poisoned) {
+            Ok(m) => prop_assert_eq!(
+                &m.encode()[..],
+                &before[..],
+                "accepted frames must be canonical"
+            ),
+            Err(avoc::net::message::DecodeError::BadLength { tag: 18, .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected decode error {e}"),
+        }
+        prop_assert!(poisoned.is_empty(), "the frame is consumed either way");
+
+        // Truncate anywhere inside the payload, rewriting the prefix so the
+        // decoder sees a "complete" (but short) frame.
+        let cut = (frame.len() - cut_back % (frame.len() - 4)).max(5);
+        let mut truncated = BytesMut::from(&frame[..cut]);
+        truncated[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+        let before = truncated.clone();
+        match Message::decode(&mut truncated) {
+            Ok(m) => prop_assert_eq!(
+                &m.encode()[..],
+                &before[..],
+                "accepted frames must be canonical"
+            ),
+            Err(avoc::net::message::DecodeError::Incomplete
+                | avoc::net::message::DecodeError::FrameTooLarge { .. }) => {
+                prop_assert!(false, "rewritten prefix cannot be incomplete or oversized")
+            }
+            Err(_) => {}
+        }
+        prop_assert!(truncated.is_empty(), "the frame is consumed either way");
+    }
+
+    /// Hostile mutations of the redirect/export frames: truncation with a
+    /// rewritten prefix is rejected-or-canonical, and a non-UTF-8 address
+    /// always rejects.
+    #[test]
+    fn hostile_redirect_frames_are_rejected_or_canonical(
+        session in any::<u64>(),
+        epoch in any::<u64>(),
+        addr in "[a-zA-Z0-9.:-]{1,30}",
+        cut_back in 1usize..20,
+        junk in prop::collection::vec(0x80u8..0xC0, 1..8),
+    ) {
+        let frames = [
+            Message::Redirect { session, epoch, addr: addr.clone() }.encode(),
+            Message::ExportSession {
+                session,
+                target_node: epoch,
+                epoch,
+                target_addr: addr,
+            }
+            .encode(),
+        ];
+        for frame in frames {
+            let tag = frame[4];
+            let cut = (frame.len() - cut_back % (frame.len() - 4)).max(5);
+            let mut truncated = BytesMut::from(&frame[..cut]);
+            truncated[0..4].copy_from_slice(&((cut - 4) as u32).to_be_bytes());
+            let before = truncated.clone();
+            match Message::decode(&mut truncated) {
+                Ok(m) => prop_assert_eq!(
+                    &m.encode()[..],
+                    &before[..],
+                    "accepted frames must be canonical"
+                ),
+                Err(avoc::net::message::DecodeError::Incomplete
+                    | avoc::net::message::DecodeError::FrameTooLarge { .. }) => {
+                    prop_assert!(false, "rewritten prefix cannot be incomplete or oversized")
+                }
+                Err(_) => {}
+            }
+            prop_assert!(truncated.is_empty(), "the frame is consumed either way");
+
+            // Replace the address with continuation bytes (invalid UTF-8
+            // at every position): must reject, consuming the frame.
+            let extra = if tag == 17 { 8 } else { 0 }; // export carries epoch too
+            let mut bad = BytesMut::new();
+            bad.put_u32((1 + 8 + 8 + extra + 4 + junk.len()) as u32);
+            bad.put_u8(tag);
+            bad.put_u64(session);
+            bad.put_u64(epoch);
+            if extra > 0 {
+                bad.put_u64(epoch);
+            }
+            bad.put_u32(junk.len() as u32);
+            bad.extend_from_slice(&junk);
+            prop_assert!(matches!(
+                Message::decode(&mut bad),
+                Err(avoc::net::message::DecodeError::BadLength { .. })
+            ));
+            prop_assert!(bad.is_empty(), "bad frames are consumed for resync");
+        }
     }
 
     /// A full-pipeline run over randomly gappy traces produces exactly one
