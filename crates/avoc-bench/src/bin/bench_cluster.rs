@@ -40,6 +40,8 @@ use std::time::{Duration, Instant};
 
 const MODULES: u32 = 3;
 const TOKEN: u64 = 0x5EED;
+/// Shared inter-node secret the bench cluster migrates under.
+const CLUSTER_SECRET: u64 = 0xC1A57E6;
 
 fn registry() -> Arc<SpecRegistry> {
     let mut reg = SpecRegistry::new();
@@ -52,6 +54,7 @@ fn start_daemon(node_id: u64, state_dir: &Path) -> TcpServer {
         persistence: Persistence {
             state_dir: Some(state_dir.to_path_buf()),
             node_id,
+            cluster_secret: Some(CLUSTER_SECRET),
             ..Persistence::default()
         },
         admin_addr: Some("127.0.0.1:0".to_string()),
@@ -209,6 +212,7 @@ fn main() {
             members,
             admin_addr: Some("127.0.0.1:0".to_string()),
             health_interval: Duration::from_millis(200),
+            cluster_secret: Some(CLUSTER_SECRET),
             ..GatewayConfig::default()
         },
     )

@@ -19,11 +19,17 @@
 //! Migration is a two-hop shipping relay driven from here (see
 //! [`Gateway::migrate_session_to`]): `ExportSession` to the source, which
 //! quiesces the session at a round boundary and answers with a
-//! [`Message::SessionState`] blob pair; the gateway forwards that frame
-//! verbatim to the target, which restores warm and acknowledges with
-//! `Resumed { warm: true }`. Only then does the gateway flip its pinned
-//! placement — a crash anywhere earlier leaves ownership where the meta
-//! sidecars say it is, and re-driving the migration is idempotent.
+//! [`Message::SessionState`] blob pair; the gateway re-frames those blobs
+//! into its own `SessionState` to the target, which restores warm and
+//! acknowledges with `Resumed { warm: true }`. Only then does the gateway
+//! flip its pinned placement — a crash anywhere earlier leaves ownership
+//! where the meta sidecars say it is, and re-driving the migration is
+//! idempotent.
+//!
+//! Both cluster verbs carry the shared **cluster secret**
+//! ([`GatewayConfig::cluster_secret`]): exports ship a session's resume
+//! token, so daemons refuse an `ExportSession`/`SessionState` whose `auth`
+//! field does not match their configured inter-node secret.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Read};
@@ -89,6 +95,13 @@ pub struct GatewayConfig {
     /// Event-loop threads answering redirects (default 1 — redirect
     /// answering is trivially cheap).
     pub reactors: usize,
+    /// Shared inter-node secret stamped into the cluster verbs
+    /// (`ExportSession` / `SessionState`) this gateway drives. Must match
+    /// every member's [`avoc_serve::Persistence::cluster_secret`]; a
+    /// member with no secret configured refuses migration entirely.
+    /// `None` (the default) sends `0`, which no secret-configured daemon
+    /// accepts — set it for any cluster that migrates sessions.
+    pub cluster_secret: Option<u64>,
 }
 
 impl Default for GatewayConfig {
@@ -99,6 +112,7 @@ impl Default for GatewayConfig {
             health_interval: Duration::from_millis(500),
             admin_addr: None,
             reactors: 1,
+            cluster_secret: None,
         }
     }
 }
@@ -191,6 +205,9 @@ struct ClusterState {
     placements: Mutex<HashMap<u64, Placement>>,
     /// Ownership epoch, bumped on every placement-affecting change.
     epoch: AtomicU64,
+    /// The shared inter-node secret stamped into driven cluster verbs
+    /// (`0` when unconfigured — refused by any secret-configured member).
+    cluster_secret: u64,
     metrics: GatewayMetrics,
 }
 
@@ -440,6 +457,7 @@ impl Gateway {
             draining: Mutex::new(HashSet::new()),
             placements: Mutex::new(HashMap::new()),
             epoch: AtomicU64::new(0),
+            cluster_secret: config.cluster_secret.unwrap_or(0),
             metrics,
         });
 
@@ -556,6 +574,15 @@ impl Gateway {
     /// "no healthy node to receive" when the rest of the cluster is down.
     pub fn migrate_session(&self, session: u64) -> io::Result<u64> {
         let source = self.current_node(session)?;
+        self.migrate_off(session, source)
+    }
+
+    /// Migrates `session` off `source` — a *known* resident node, which
+    /// may differ from what the placement table or ring would answer (a
+    /// drain enumerates sessions the drained member actually holds, which
+    /// a restarted gateway's table knows nothing about) — to the next
+    /// healthy ring owner, returning the receiving node id.
+    fn migrate_off(&self, session: u64, source: u64) -> io::Result<u64> {
         let mut excluded = self.state.unhealthy.lock().clone();
         excluded.insert(source);
         let target = self
@@ -563,7 +590,7 @@ impl Gateway {
             .ring
             .owner_excluding(session, &excluded)
             .ok_or_else(|| io::Error::other("no healthy node to receive the session"))?;
-        self.migrate_session_to(session, target)?;
+        self.ship_and_record(session, source, target)?;
         Ok(target)
     }
 
@@ -579,6 +606,11 @@ impl Gateway {
     /// Source refusal, a cold restore on the target, RPC timeouts.
     pub fn migrate_session_to(&self, session: u64, target_node: u64) -> io::Result<()> {
         let source_node = self.current_node(session)?;
+        self.ship_and_record(session, source_node, target_node)
+    }
+
+    /// The shipping half of a migration, with the source given explicitly.
+    fn ship_and_record(&self, session: u64, source_node: u64, target_node: u64) -> io::Result<()> {
         if source_node == target_node {
             return Ok(());
         }
@@ -588,7 +620,14 @@ impl Gateway {
         // the in-band Redirect the source sends its tenant already carries
         // it.
         let epoch = self.state.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        match ship_session(session, &source, &target, target_node, epoch) {
+        match ship_session(
+            session,
+            &source,
+            &target,
+            target_node,
+            epoch,
+            self.state.cluster_secret,
+        ) {
             Ok(()) => {
                 self.state.record_migration(session, target_node);
                 Ok(())
@@ -601,8 +640,18 @@ impl Gateway {
     }
 
     /// Drains `node`: marks it unhealthy (so new placements avoid it) and
-    /// migrates every session this gateway has placed there to its next
-    /// healthy ring owner. Returns how many sessions moved.
+    /// migrates every session it holds to its next healthy ring owner.
+    /// Returns how many sessions moved.
+    ///
+    /// The migrated set is the *union* of this gateway's placement table
+    /// and what the member itself reports over its admin plane (live
+    /// sessions via `/sessions`, durable ones via `/sessions?scope=durable`)
+    /// — a restarted gateway's table is empty, and sessions recovered at
+    /// daemon boot never hit it, yet their fused history must still ship
+    /// rather than strand on the drained node. A member without an admin
+    /// endpoint (or whose scrape fails, counted in
+    /// `avoc_gateway_rollup_scrape_failures_total`) degrades to the
+    /// placement table alone.
     ///
     /// # Errors
     ///
@@ -610,7 +659,7 @@ impl Gateway {
     /// sessions stay moved (re-draining skips them).
     pub fn drain_node(&self, node: u64) -> io::Result<usize> {
         self.mark_draining(node);
-        let sessions: Vec<u64> = {
+        let mut sessions: Vec<u64> = {
             let placements = self.state.placements.lock();
             placements
                 .iter()
@@ -618,9 +667,25 @@ impl Gateway {
                 .map(|(&s, _)| s)
                 .collect()
         };
+        if let Some(admin) = self.state.member(node)?.admin.clone() {
+            match http::get(&admin, "/sessions") {
+                Ok((200, body)) => sessions.extend(parse_session_rows(&body)),
+                Ok(_) | Err(_) => self.state.metrics.rollup_scrape_failures.inc(),
+            }
+            match http::get(&admin, "/sessions?scope=durable") {
+                Ok((200, body)) => sessions.extend(parse_id_array(&body)),
+                Ok(_) | Err(_) => self.state.metrics.rollup_scrape_failures.inc(),
+            }
+        }
+        sessions.sort_unstable();
+        sessions.dedup();
         let mut moved = 0;
         for session in sessions {
-            self.migrate_session(session)?;
+            // The source is the drained node itself, not whatever the
+            // placement table or ring would answer: for scraped sessions
+            // this gateway never placed, `current_node` would name the
+            // ring owner and export from the wrong member.
+            self.migrate_off(session, node)?;
             moved += 1;
         }
         Ok(moved)
@@ -665,14 +730,43 @@ fn resolve(addr: &str) -> io::Result<SocketAddr> {
     })
 }
 
+/// Pulls the session ids out of the daemon admin plane's live-session
+/// listing — rows shaped `{"session": 7, "shard": 0, ...}`.
+fn parse_session_rows(body: &str) -> Vec<u64> {
+    body.split("\"session\":")
+        .skip(1)
+        .filter_map(|rest| {
+            let digits: String = rest
+                .trim_start()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().ok()
+        })
+        .collect()
+}
+
+/// Parses a flat JSON id array (`[7,21]`) — the
+/// `/sessions?scope=durable` shape.
+fn parse_id_array(body: &str) -> Vec<u64> {
+    body.trim()
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(',')
+        .filter_map(|id| id.trim().parse().ok())
+        .collect()
+}
+
 /// The two-hop shipping relay: export from the source, import into the
-/// target, both over short-deadline data-plane connections.
+/// target, both over short-deadline data-plane connections, both stamped
+/// with the cluster secret the members require.
 fn ship_session(
     session: u64,
     source_addr: &str,
     target_addr: &str,
     target_node: u64,
     epoch: u64,
+    secret: u64,
 ) -> io::Result<()> {
     let config = ClientConfig {
         connect_timeout: MIGRATION_CONNECT_TIMEOUT,
@@ -683,6 +777,7 @@ fn ship_session(
         session,
         target_node,
         epoch,
+        auth: secret,
         target_addr: target_addr.to_string(),
     })?;
     let (meta, wal) = loop {
@@ -711,6 +806,7 @@ fn ship_session(
     target.send(&Message::SessionState {
         session,
         epoch,
+        auth: secret,
         meta,
         wal,
     })?;
@@ -857,6 +953,8 @@ mod tests {
 
     const TOKEN: u64 = 0xFEED;
     const MODULES: u32 = 3;
+    /// Shared inter-node secret for every test daemon and gateway.
+    const CLUSTER_SECRET: u64 = 0x5EC2E7;
 
     fn registry() -> Arc<SpecRegistry> {
         let mut registry = SpecRegistry::new();
@@ -875,6 +973,7 @@ mod tests {
             persistence: Persistence {
                 state_dir: state_dir.map(Path::to_path_buf),
                 node_id,
+                cluster_secret: Some(CLUSTER_SECRET),
                 ..Persistence::default()
             },
             admin_addr: admin.then(|| "127.0.0.1:0".to_string()),
@@ -897,6 +996,7 @@ mod tests {
             members,
             health_interval: Duration::from_millis(50),
             admin_addr: admin.then(|| "127.0.0.1:0".to_string()),
+            cluster_secret: Some(CLUSTER_SECRET),
             ..GatewayConfig::default()
         };
         Gateway::start("127.0.0.1:0", config).expect("bind gateway")
@@ -1096,6 +1196,45 @@ mod tests {
         // New sessions avoid the drained node too.
         for s in 100..110u64 {
             assert_ne!(gateway.place(s).unwrap().0, drained_node);
+        }
+
+        gateway.shutdown();
+        a.shutdown();
+        b.shutdown();
+        let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn drain_discovers_resident_sessions_without_placement_entries() {
+        let dir1 = state_dir("drain-scrape-1");
+        let dir2 = state_dir("drain-scrape-2");
+        let a = start_daemon(1, Some(&dir1), true);
+        let b = start_daemon(2, Some(&dir2), true);
+
+        // A session fed *directly* into node 1 — it exists on the daemon
+        // (live and durable) but no gateway ever placed it.
+        let session = 4242u64;
+        let fed = feed_rounds(a.local_addr(), session, 3);
+        assert_eq!(fed.len(), 3);
+
+        // A gateway started *after* the fact: its placement table is
+        // empty, exactly like one restarted mid-flight. Draining node 1
+        // must still discover the resident session over the admin plane
+        // and ship its history.
+        let gateway = gateway_for(vec![member_of(1, &a), member_of(2, &b)], false);
+        let moved = gateway.drain_node(1).expect("drain");
+        assert_eq!(moved, 1, "the scraped session must have shipped");
+
+        // The history landed warm on node 2, at the fused frontier.
+        match resume_at(b.local_addr(), session, Some(2)) {
+            Message::Resumed {
+                high_round, warm, ..
+            } => {
+                assert!(warm, "scraped session restored cold");
+                assert_eq!(high_round, Some(2));
+            }
+            other => panic!("expected Resumed, got {other:?}"),
         }
 
         gateway.shutdown();

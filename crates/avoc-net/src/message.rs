@@ -105,7 +105,14 @@
 //! quiesce a session at a round boundary and ship it; [`Message::SessionState`]
 //! carries the shipped state — the meta sidecar and compacted WAL, as raw
 //! byte blobs — from source to gateway and gateway to target. An import is
-//! acknowledged by the existing tag-12 `Resumed { warm: true }`:
+//! acknowledged by the existing tag-12 `Resumed { warm: true }`.
+//!
+//! Tags 17 and 18 are *cluster verbs*, not tenant verbs: they move whole
+//! sessions — including the resume token inside the meta sidecar — so they
+//! carry a cluster credential (`auth`) that a daemon checks against its
+//! configured inter-node secret before acting. A daemon with no secret
+//! configured refuses them outright, so a standalone deployment exposes no
+//! migration surface at all:
 //!
 //! ```text
 //! tag: u8          16 = Redirect
@@ -117,11 +124,13 @@
 //! session: u64 BE
 //! target_node: u64 BE
 //! epoch: u64 BE    the ownership epoch this placement change installs
+//! auth: u64 BE     cluster credential (the shared inter-node secret)
 //! target_addr: u32 BE length + UTF-8 bytes
 //!
 //! tag: u8          18 = SessionState
 //! session: u64 BE
 //! epoch: u64 BE
+//! auth: u64 BE     cluster credential (the shared inter-node secret)
 //! meta: u32 BE length + bytes (avoc-session-meta v1 sidecar)
 //! wal: u32 BE length + bytes (compacted history log)
 //! ```
@@ -333,6 +342,10 @@ pub enum Message {
         /// the [`Message::SessionState`] reply and the in-band
         /// [`Message::Redirect`] the source sends its tenant.
         epoch: u64,
+        /// Cluster credential: must equal the daemon's configured
+        /// inter-node secret or the export is refused. Exports ship the
+        /// session's resume token, so this verb is never tenant-reachable.
+        auth: u64,
         /// `host:port` of the target daemon, forwarded to the client in the
         /// migration [`Message::Redirect`].
         target_addr: String,
@@ -347,6 +360,10 @@ pub enum Message {
         session: u64,
         /// Ownership epoch after the move.
         epoch: u64,
+        /// Cluster credential: must equal the importing daemon's configured
+        /// inter-node secret or the import is refused — a forged import
+        /// would overwrite durable state with an attacker-chosen token.
+        auth: u64,
         /// `avoc-session-meta v1` sidecar bytes.
         meta: Vec<u8>,
         /// Compacted history-log bytes.
@@ -675,23 +692,27 @@ impl Message {
                 session,
                 target_node,
                 epoch,
+                auth,
                 target_addr,
             } => {
                 frame.put_u8(TAG_EXPORT_SESSION);
                 frame.put_u64(*session);
                 frame.put_u64(*target_node);
                 frame.put_u64(*epoch);
+                frame.put_u64(*auth);
                 put_string(frame, target_addr);
             }
             Message::SessionState {
                 session,
                 epoch,
+                auth,
                 meta,
                 wal,
             } => {
                 frame.put_u8(TAG_SESSION_STATE);
                 frame.put_u64(*session);
                 frame.put_u64(*epoch);
+                frame.put_u64(*auth);
                 put_bytes(frame, meta);
                 put_bytes(frame, wal);
             }
@@ -1035,13 +1056,15 @@ impl Message {
                 })
             }
             TAG_EXPORT_SESSION => {
-                // Variable length: session + target_node + epoch + addr.
-                if len < 1 + 8 + 8 + 8 + 4 {
+                // Variable length: session + target_node + epoch + auth +
+                // addr.
+                if len < 1 + 8 + 8 + 8 + 8 + 4 {
                     return Err(DecodeError::BadLength { tag, len });
                 }
                 let session = payload.get_u64();
                 let target_node = payload.get_u64();
                 let epoch = payload.get_u64();
+                let auth = payload.get_u64();
                 let target_addr = get_string(&mut payload, tag, len)?;
                 if !payload.is_empty() {
                     return Err(DecodeError::BadLength { tag, len });
@@ -1050,19 +1073,22 @@ impl Message {
                     session,
                     target_node,
                     epoch,
+                    auth,
                     target_addr,
                 })
             }
             TAG_SESSION_STATE => {
-                // Variable length: session + epoch + two length-prefixed
-                // blobs, which must together consume the payload exactly —
-                // a lying blob length (truncation, or a count fishing past
-                // the frame) or trailing bytes reject the frame.
-                if len < 1 + 8 + 8 + 4 + 4 {
+                // Variable length: session + epoch + auth + two
+                // length-prefixed blobs, which must together consume the
+                // payload exactly — a lying blob length (truncation, or a
+                // count fishing past the frame) or trailing bytes reject
+                // the frame.
+                if len < 1 + 8 + 8 + 8 + 4 + 4 {
                     return Err(DecodeError::BadLength { tag, len });
                 }
                 let session = payload.get_u64();
                 let epoch = payload.get_u64();
+                let auth = payload.get_u64();
                 let meta = get_bytes(&mut payload, tag, len)?;
                 let wal = get_bytes(&mut payload, tag, len)?;
                 if !payload.is_empty() {
@@ -1071,6 +1097,7 @@ impl Message {
                 Ok(Message::SessionState {
                     session,
                     epoch,
+                    auth,
                     meta,
                     wal,
                 })
@@ -1810,17 +1837,20 @@ mod tests {
             session: 9,
             target_node: 2,
             epoch: 5,
+            auth: 0xC0FFEE,
             target_addr: "10.0.0.2:4000".into(),
         });
         round_trip(Message::SessionState {
             session: 9,
             epoch: 4,
+            auth: u64::MAX,
             meta: b"avoc-session-meta v1\n".to_vec(),
             wal: vec![0u8, 0xFF, 0x13, 0x37],
         });
         round_trip(Message::SessionState {
             session: 0,
             epoch: 0,
+            auth: 0,
             meta: Vec::new(),
             wal: Vec::new(),
         });
@@ -1884,6 +1914,7 @@ mod tests {
         let good = Message::SessionState {
             session: 5,
             epoch: 1,
+            auth: 7,
             meta: vec![1, 2, 3],
             wal: vec![4, 5],
         }
@@ -1891,8 +1922,9 @@ mod tests {
 
         // Meta blob length claiming past the end of the frame.
         let mut buf = BytesMut::from(&good[..]);
-        // meta length field sits after len(4) + tag(1) + session(8) + epoch(8).
-        buf[21..25].copy_from_slice(&1000u32.to_be_bytes());
+        // meta length field sits after len(4) + tag(1) + session(8) +
+        // epoch(8) + auth(8).
+        buf[29..33].copy_from_slice(&1000u32.to_be_bytes());
         assert!(matches!(
             Message::decode(&mut buf),
             Err(DecodeError::BadLength {
@@ -1905,7 +1937,7 @@ mod tests {
         // Meta blob length lying *short*: the leftover bytes shift into the
         // wal length and leave trailing garbage — rejected either way.
         let mut buf = BytesMut::from(&good[..]);
-        buf[21..25].copy_from_slice(&1u32.to_be_bytes());
+        buf[29..33].copy_from_slice(&1u32.to_be_bytes());
         assert!(matches!(
             Message::decode(&mut buf),
             Err(DecodeError::BadLength {
@@ -1941,10 +1973,11 @@ mod tests {
 
         // Too short to hold even the fixed header + two length fields.
         let mut buf = BytesMut::new();
-        buf.put_u32(1 + 8 + 8 + 4);
+        buf.put_u32(1 + 8 + 8 + 8 + 4);
         buf.put_u8(TAG_SESSION_STATE);
         buf.put_u64(5);
         buf.put_u64(1);
+        buf.put_u64(7);
         buf.put_u32(0);
         assert!(matches!(
             Message::decode(&mut buf),
@@ -1961,6 +1994,7 @@ mod tests {
             session: 3,
             target_node: 1,
             epoch: 2,
+            auth: 9,
             target_addr: "127.0.0.1:4200".into(),
         }
         .encode();

@@ -176,7 +176,16 @@ fn route(req: &avoc_obs::http::Request<'_>, service: &VoterService) -> (u16, &'s
             }
         }
         "/stats" => (200, JSON, service.counters().to_json()),
-        "/sessions" => (200, JSON, service.sessions_json()),
+        // `?scope=durable` lists the ids with durable state this node owns
+        // (a flat id array) — what a draining gateway unions with its
+        // placement table; the default is the live in-memory view.
+        "/sessions" => {
+            if req.query_param("scope") == Some("durable") {
+                (200, JSON, service.durable_sessions_json())
+            } else {
+                (200, JSON, service.sessions_json())
+            }
+        }
         "/segments" => (200, JSON, service.segments_json()),
         "/trace" => {
             let session = req

@@ -420,6 +420,18 @@ pub struct ClientStats {
 /// client already saw — so the stream of results the caller observes has
 /// no duplicated and no lost rounds, whatever the connection did.
 ///
+/// # One session per cluster-homed client
+///
+/// A client pointed at a gateway follows [`Message::Redirect`] frames to
+/// whichever node owns its session — and a redirect re-homes the *whole
+/// connection*. Two sessions that hash to different owners cannot share
+/// one redirect-following client: the handshake at one owner would
+/// fresh-bootstrap the other session there, silently forking its stream.
+/// The client therefore refuses to follow a redirect while more than one
+/// session is registered; run one `ResilientClient` per session when
+/// dialing a cluster. (Multiple sessions against a single standalone
+/// daemon, which never redirects, remain fine.)
+///
 /// # Example
 ///
 /// ```no_run
@@ -458,6 +470,10 @@ pub struct ResilientClient {
     stats: ClientStats,
     /// Lifetime count of redirect frames followed to a different node.
     redirects_followed: u64,
+    /// Highest ownership epoch seen per session, from [`Message::Redirect`]
+    /// frames. A redirect carrying a *lower* epoch raced a newer placement
+    /// and is discarded instead of flipping the client to a stale owner.
+    epochs: HashMap<u64, u64>,
 }
 
 /// How many [`Message::Redirect`] hops one connection attempt may follow
@@ -483,6 +499,7 @@ impl ResilientClient {
             ever_connected: false,
             stats: ClientStats::default(),
             redirects_followed: 0,
+            epochs: HashMap::new(),
         }
     }
 
@@ -622,12 +639,29 @@ impl ResilientClient {
                 } => {
                     self.resume_info.insert(session, (high_round, warm));
                 }
-                Message::Redirect { addr, .. } => {
+                Message::Redirect {
+                    session,
+                    epoch,
+                    addr,
+                } => {
                     // A node announcing mid-stream that a session moved
                     // (migration): flip to the new owner and let the next
-                    // I/O reconnect-and-resume there. An unparseable or
-                    // self-referential address is ignored — the home
-                    // fallback recovers routing either way.
+                    // I/O reconnect-and-resume there. A redirect carrying
+                    // an epoch below the highest this client has seen for
+                    // the session raced a newer placement and is discarded;
+                    // an unparseable or self-referential address is ignored
+                    // — the home fallback recovers routing either way. With
+                    // more than one session registered the redirect is also
+                    // ignored (see the type docs: a redirect re-homes the
+                    // whole connection, which would fork the other
+                    // sessions' streams).
+                    if epoch < self.epochs.get(&session).copied().unwrap_or(0) {
+                        continue;
+                    }
+                    if self.sessions.len() > 1 {
+                        continue;
+                    }
+                    self.epochs.insert(session, epoch);
                     if let Ok(target) = addr.parse::<SocketAddr>() {
                         if target != self.addr {
                             self.addr = target;
@@ -727,7 +761,33 @@ impl ResilientClient {
                         awaiting.retain(|&s| s != session);
                         self.resume_info.insert(session, (high_round, warm));
                     }
-                    Message::Redirect { addr, .. } => {
+                    Message::Redirect {
+                        session,
+                        epoch,
+                        addr,
+                    } => {
+                        if self.sessions.len() > 1 {
+                            // A redirect re-homes the whole connection;
+                            // following it would fresh-bootstrap every
+                            // other registered session at a non-owner node,
+                            // silently forking their streams. Refuse loudly
+                            // instead (see the type docs).
+                            return Err(io::Error::other(
+                                "redirect refused: a cluster-homed client must manage \
+                                 exactly one session (one ResilientClient per session)",
+                            ));
+                        }
+                        if epoch < self.epochs.get(&session).copied().unwrap_or(0) {
+                            // Stale placement: this node's routing raced a
+                            // newer migration. Fail the attempt so the
+                            // retry falls back to home (the gateway), which
+                            // knows the current owner.
+                            return Err(io::Error::other(format!(
+                                "stale redirect for session {session}: epoch {epoch} \
+                                 below highest seen"
+                            )));
+                        }
+                        self.epochs.insert(session, epoch);
                         let target: SocketAddr = addr.parse().map_err(|_| {
                             io::Error::new(
                                 io::ErrorKind::InvalidData,

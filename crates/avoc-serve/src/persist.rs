@@ -65,6 +65,12 @@ pub struct Persistence {
     /// deployments; sidecars written before this field existed carry no
     /// `node=` line and are owned by whoever finds them.
     pub node_id: u64,
+    /// Shared inter-node secret gating the cluster verbs (`ExportSession` /
+    /// `SessionState` import). Exports ship the session's resume token, so
+    /// a frame whose `auth` field does not match this secret is refused.
+    /// `None` (the default) disables the cluster verbs entirely — a
+    /// standalone daemon exposes no migration surface.
+    pub cluster_secret: Option<u64>,
 }
 
 impl Default for Persistence {
@@ -75,6 +81,7 @@ impl Default for Persistence {
             checkpoint_every: 1,
             compact_interval_ms: 0,
             node_id: 0,
+            cluster_secret: None,
         }
     }
 }
@@ -623,8 +630,8 @@ impl SessionStore {
         self.checkpoint(high_round, results)?;
         let meta = std::fs::read(&self.meta_path)?;
         let wal = std::fs::read(&self.wal_path)?;
-        // Frame budget: session + epoch + two length prefixes + header.
-        const TRANSFER_OVERHEAD: usize = 1 + 8 + 8 + 4 + 4;
+        // Frame budget: session + epoch + auth + two length prefixes + header.
+        const TRANSFER_OVERHEAD: usize = 1 + 8 + 8 + 8 + 4 + 4;
         if meta.len() + wal.len() + TRANSFER_OVERHEAD > avoc_net::message::MAX_FRAME_LEN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,

@@ -292,16 +292,25 @@ impl Handler for ServeHandler {
             }
             Message::Shutdown => return FrameVerdict::Close,
             // Inter-node verbs, spoken by the gateway (or an operator tool)
-            // over an ordinary tenant connection. Export quiesces the
-            // session and answers with its `SessionState` blobs; an inbound
-            // `SessionState` *is* an import, acked by the shard's
-            // `Resumed { warm: true }`.
+            // over an ordinary tenant connection, gated by the cluster
+            // credential: an export ships the session's resume token, and a
+            // forged import would overwrite durable state, so a frame whose
+            // `auth` does not match this daemon's configured secret (or any
+            // such frame at a secretless daemon) is refused and the
+            // connection closed. Export quiesces the session and answers
+            // with its `SessionState` blobs; an inbound `SessionState` *is*
+            // an import, acked by the shard's `Resumed { warm: true }`.
             Message::ExportSession {
                 session,
                 target_node,
                 epoch,
+                auth,
                 target_addr,
             } => {
+                if let Err(e) = self.service.check_cluster_auth(auth) {
+                    self.send_error(&conn.sink, session, &e);
+                    return FrameVerdict::Close;
+                }
                 if let Err(e) = self.service.export_session(
                     session,
                     target_node,
@@ -315,9 +324,14 @@ impl Handler for ServeHandler {
             Message::SessionState {
                 session,
                 epoch: _,
+                auth,
                 meta,
                 wal,
             } => {
+                if let Err(e) = self.service.check_cluster_auth(auth) {
+                    self.send_error(&conn.sink, session, &e);
+                    return FrameVerdict::Close;
+                }
                 match self
                     .service
                     .import_session(session, &meta, &wal, conn.sink.clone())

@@ -106,6 +106,10 @@ pub enum ServeError {
     Vdx(VdxError),
     /// `Reject` backpressure refused a reading (mailbox full).
     MailboxFull,
+    /// A cluster verb (`ExportSession` / `SessionState` import) arrived
+    /// without the configured inter-node secret — or on a daemon with none
+    /// configured, where the cluster verbs are disabled outright.
+    Unauthorized,
     /// The service has drained; no further work is accepted.
     ShuttingDown,
 }
@@ -116,6 +120,12 @@ impl fmt::Display for ServeError {
             ServeError::UnknownSpec(name) => write!(f, "unknown spec `{name}`"),
             ServeError::Vdx(e) => write!(f, "invalid VDX document: {e}"),
             ServeError::MailboxFull => write!(f, "shard mailbox full: reading rejected"),
+            ServeError::Unauthorized => {
+                write!(
+                    f,
+                    "cluster verb refused: missing or invalid cluster credential"
+                )
+            }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -545,18 +555,20 @@ impl VoterService {
             .map_err(|_| ServeError::ShuttingDown)
     }
 
-    /// Imports a migrated session from its shipped meta + WAL blobs: the
-    /// files are written into this node's state directory (re-stamped with
-    /// this node's id), then the session is eagerly resumed warm so the
-    /// client's next reconnect re-attaches to live state. The shard
-    /// answers on `sink` with a [`avoc_net::Message::Resumed`] frame
-    /// (`warm: true`) confirming the import.
+    /// Imports a migrated session from its shipped meta + WAL blobs. The
+    /// owning shard lands the files (re-stamped with this node's id) and
+    /// eagerly resumes the session warm so the client's next reconnect
+    /// re-attaches to live state; it answers on `sink` with a
+    /// [`avoc_net::Message::Resumed`] frame (`warm: true`). When the
+    /// session is *already live* on this node with the same token — an
+    /// idempotent re-drive of a completed migration — the shard answers
+    /// `Resumed { warm: true }` without touching the durable files, which
+    /// the live session holds open.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownSpec`]/[`ServeError::Vdx`] when the shipped
-    /// meta's spec does not resolve here; an I/O or parse failure surfaces
-    /// as [`ServeError::UnknownSpec`] naming the problem;
+    /// meta's spec does not resolve here or the meta is corrupt;
     /// [`ServeError::ShuttingDown`] after [`VoterService::drain`].
     pub fn import_session(
         &self,
@@ -565,20 +577,22 @@ impl VoterService {
         wal: &[u8],
         sink: impl Into<ResultSink>,
     ) -> Result<(), ServeError> {
-        let Some(dir) = self.persistence.state_dir.clone() else {
+        if self.persistence.state_dir.is_none() {
             return Err(ServeError::UnknownSpec(
                 "import refused: this node has no state directory".into(),
             ));
-        };
+        }
         let (parsed, rendered) =
             persist::adopt_meta(meta, self.persistence.node_id).ok_or_else(|| {
                 ServeError::UnknownSpec("import refused: shipped meta is corrupt".into())
             })?;
         let resolved = self.registry.resolve(&parsed.spec)?;
-        persist::SessionStore::write_imported(&dir, session, &rendered, wal, self.tiered.as_ref())
-            .map_err(|e| ServeError::UnknownSpec(format!("import failed writing state: {e}")))?;
         let shard = self.shard_for(session);
-        let cmd = ShardCommand::Resume {
+        // The file writes happen *inside the shard thread* so they are
+        // serialized with any live instance of the same session: an
+        // idempotent re-drive must not truncate the WAL the live
+        // SessionStore holds open.
+        let cmd = ShardCommand::Import {
             req: OpenReq {
                 session,
                 modules: parsed.modules,
@@ -591,15 +605,51 @@ impl VoterService {
             },
             // The importing daemon has nothing to re-emit; the client's own
             // resume replays against its real ack floor.
-            last_acked: parsed.high_round,
-            eager: true,
+            high_round: parsed.high_round,
+            rendered,
+            wal: wal.to_vec(),
         };
         self.links[shard]
             .ctrl
             .send(cmd)
-            .map_err(|_| ServeError::ShuttingDown)?;
-        self.counters.session_imported();
-        Ok(())
+            .map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Checks a cluster verb's credential against this daemon's configured
+    /// inter-node secret. A daemon with no secret configured refuses the
+    /// cluster verbs outright: a standalone deployment exposes no
+    /// migration surface.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Unauthorized`] when the credential does not match (or
+    /// none is configured).
+    pub fn check_cluster_auth(&self, auth: u64) -> Result<(), ServeError> {
+        if self.persistence.cluster_secret == Some(auth) {
+            Ok(())
+        } else {
+            Err(ServeError::Unauthorized)
+        }
+    }
+
+    /// Lists the session ids with durable state in this node's state
+    /// directory that are stamped as owned by (or unclaimed for) this
+    /// node, as a flat JSON array (`[7,21]`). This is the drain-time
+    /// complement to the live view: a gateway enumerating a member's
+    /// migratable sessions must also see sessions recovered at daemon boot
+    /// or idled out of memory, which never appear in its placement table.
+    pub fn durable_sessions_json(&self) -> String {
+        let Some(dir) = self.persistence.state_dir.as_deref() else {
+            return "[]".to_string();
+        };
+        let ids: Vec<String> = persist::list_sessions(dir)
+            .into_iter()
+            .filter(|&id| {
+                persist::read_meta(dir, id).is_some_and(|m| m.owned_by(self.persistence.node_id))
+            })
+            .map(|id| id.to_string())
+            .collect();
+        format!("[{}]", ids.join(","))
     }
 
     /// Routes one reading to its session's shard under the configured

@@ -150,6 +150,11 @@ impl Session {
         self.resumable
     }
 
+    /// Highest fully-fused round, if any round has completed yet.
+    pub(crate) fn high_round(&self) -> Option<u64> {
+        self.high_round
+    }
+
     /// Feeds one reading; fuses and emits any rounds that became complete.
     /// `sampled` marks a trace-sampled reading: rounds it completes leave
     /// fuse (and later flush) spans in the service trace ring.

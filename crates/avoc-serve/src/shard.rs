@@ -146,6 +146,24 @@ pub(crate) enum ShardCommand {
         /// The requester's (gateway's) connection, for the reply.
         sink: ResultSink,
     },
+    /// Land a migrated session's shipped blobs and eagerly resume it warm.
+    /// The file writes happen here — on the shard that owns the session id —
+    /// so they are serialized with any live instance of the same session: an
+    /// idempotent re-drive of a completed migration (gateway crash after the
+    /// target acked, operator retry) must answer `Resumed { warm: true }`
+    /// without truncating the WAL the live session holds open.
+    Import {
+        /// The session to install (spec already resolved; `req.sink` gets
+        /// the `Resumed`/`Error` answer).
+        req: OpenReq,
+        /// The shipped meta's high round — the replay floor for the eager
+        /// resume (the importing daemon has nothing to re-emit).
+        high_round: Option<u64>,
+        /// The meta sidecar, already re-stamped with this node's id.
+        rendered: Vec<u8>,
+        /// The shipped WAL bytes.
+        wal: Vec<u8>,
+    },
     /// Flush every session (final checkpoints included) and exit the worker
     /// loop.
     Drain,
@@ -337,6 +355,12 @@ impl ShardWorker {
                 self.drain_data_backlog(st);
                 self.export(st, session, target_node, epoch, &target_addr, &sink);
             }
+            ShardCommand::Import {
+                req,
+                high_round,
+                rendered,
+                wal,
+            } => self.import(st, req, high_round, &rendered, &wal),
             ShardCommand::Drain => {
                 self.drain_data_backlog(st);
                 st.stop = true;
@@ -389,6 +413,7 @@ impl ShardWorker {
                     let reply = Message::SessionState {
                         session,
                         epoch,
+                        auth: self.persistence.cluster_secret.unwrap_or(0),
                         meta,
                         wal,
                     };
@@ -427,6 +452,7 @@ impl ShardWorker {
                 let reply = Message::SessionState {
                     session,
                     epoch,
+                    auth: self.persistence.cluster_secret.unwrap_or(0),
                     meta,
                     wal,
                 };
@@ -436,6 +462,48 @@ impl ShardWorker {
                 self.counters.session_exported();
                 return;
             }
+            // Cold export: the session has durable state this node owns but
+            // is not resident (recovered at a boot this gateway never saw,
+            // or idled out of memory). A drain must still be able to ship
+            // it — migrating only live sessions strands fused history on
+            // the drained node.
+            let loaded = SessionStore::load(
+                dir,
+                session,
+                self.persistence.durability(),
+                self.tiered.as_ref(),
+                self.persistence.node_id,
+            );
+            if let Some((mut store, meta, _info)) = loaded {
+                if meta.owned_by(self.persistence.node_id) {
+                    let ring: VecDeque<_> = meta.results.iter().copied().collect();
+                    match store.export_blobs(target_node, meta.high_round, &ring) {
+                        Ok((meta, wal)) => {
+                            let reply = Message::SessionState {
+                                session,
+                                epoch,
+                                auth: self.persistence.cluster_secret.unwrap_or(0),
+                                meta,
+                                wal,
+                            };
+                            if sink.try_send(reply).is_err() {
+                                self.counters.result_dropped();
+                            }
+                            self.counters.session_exported();
+                        }
+                        Err(e) => {
+                            let notice = Message::Error {
+                                session,
+                                message: format!("export failed: {e}"),
+                            };
+                            if sink.try_send(notice).is_err() {
+                                self.counters.result_dropped();
+                            }
+                        }
+                    }
+                    return;
+                }
+            }
         }
         let notice = Message::Error {
             session,
@@ -444,6 +512,64 @@ impl ShardWorker {
         if sink.try_send(notice).is_err() {
             self.counters.result_dropped();
         }
+    }
+
+    /// Lands a shipped session (see [`ShardCommand::Import`]). A session
+    /// already live here with the same token is the idempotent re-drive of
+    /// a completed migration: acknowledge `Resumed { warm: true }` without
+    /// touching the durable files the live session holds open. Only when
+    /// the session is not resident are the blobs written and the session
+    /// eagerly resumed from them.
+    fn import(
+        &self,
+        st: &mut ShardState,
+        req: OpenReq,
+        high_round: Option<u64>,
+        rendered: &[u8],
+        wal: &[u8],
+    ) {
+        if let Some(s) = st.sessions.get(&req.session) {
+            if s.resumable() && s.token() == req.token {
+                // Re-drive of a migration that already landed: confirm on
+                // the requester's (gateway's) sink without stealing the
+                // tenant's attachment or rewriting the live session's files.
+                let ack = Message::Resumed {
+                    session: req.session,
+                    high_round: s.high_round(),
+                    warm: true,
+                };
+                if req.sink.try_send(ack).is_err() {
+                    self.counters.result_dropped();
+                }
+            } else {
+                self.refuse(
+                    &req.sink,
+                    req.session,
+                    "import token mismatch with live session",
+                );
+            }
+            return;
+        }
+        let Some(dir) = self.persistence.state_dir.clone() else {
+            self.refuse(
+                &req.sink,
+                req.session,
+                "import refused: this node has no state directory",
+            );
+            return;
+        };
+        if let Err(e) =
+            SessionStore::write_imported(&dir, req.session, rendered, wal, self.tiered.as_ref())
+        {
+            self.refuse(
+                &req.sink,
+                req.session,
+                &format!("import failed writing state: {e}"),
+            );
+            return;
+        }
+        self.counters.session_imported();
+        self.resume(st, req, high_round, true);
     }
 
     /// Processes the readings already queued when a `Close`/`Drain`

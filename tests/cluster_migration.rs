@@ -11,7 +11,9 @@ use avoc::gateway::{Gateway, GatewayConfig, Member};
 use avoc::net::chaos::{ChaosConfig, ChaosProxy, Fault};
 use avoc::net::{Message, SpecSource};
 use avoc::prelude::*;
-use avoc::serve::{ClientConfig, ResilientClient, RetryPolicy, SpecRegistry, TcpServer};
+use avoc::serve::{
+    ClientConfig, ResilientClient, RetryPolicy, ServeClient, SpecRegistry, TcpServer,
+};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,6 +21,8 @@ use std::time::Duration;
 const SESSION: u64 = 42;
 const MODULES: u32 = 3;
 const TOKEN: u64 = 0xBEEF;
+/// Shared inter-node secret: daemons refuse the migration verbs without it.
+const CLUSTER_SECRET: u64 = 0x5EC2E7;
 
 fn registry() -> Arc<SpecRegistry> {
     let mut registry = SpecRegistry::new();
@@ -31,6 +35,7 @@ fn start_daemon(node_id: u64, state_dir: Option<&Path>) -> TcpServer {
         persistence: Persistence {
             state_dir: state_dir.map(Path::to_path_buf),
             node_id,
+            cluster_secret: Some(CLUSTER_SECRET),
             ..Persistence::default()
         },
         ..ServeConfig::default()
@@ -170,6 +175,7 @@ fn migrated_session_is_bit_identical_to_an_unmigrated_run_under_chaos() {
                     admin: None,
                 },
             ],
+            cluster_secret: Some(CLUSTER_SECRET),
             ..GatewayConfig::default()
         },
     )
@@ -276,6 +282,7 @@ fn migration_relay_survives_chopped_and_stalled_transport() {
                     admin: None,
                 },
             ],
+            cluster_secret: Some(CLUSTER_SECRET),
             ..GatewayConfig::default()
         },
     )
@@ -334,4 +341,224 @@ fn migration_relay_survives_chopped_and_stalled_transport() {
     proxy2.stop();
     let _ = std::fs::remove_dir_all(&dir1);
     let _ = std::fs::remove_dir_all(&dir2);
+}
+
+/// Re-driving a migration that already completed (gateway crash after the
+/// target acked, operator retry) must be idempotent: the source re-ships
+/// its on-disk export, and the target — where the session is already
+/// *live* — acknowledges `Resumed { warm: true }` without rewriting the
+/// files the live session holds open or dropping its folded history.
+#[test]
+fn redriven_import_is_idempotent_against_the_live_session() {
+    let dir1 = state_dir("redrive1");
+    let dir2 = state_dir("redrive2");
+    let node1 = start_daemon(1, Some(&dir1));
+    let node2 = start_daemon(2, Some(&dir2));
+    let gateway = Gateway::start(
+        "127.0.0.1:0",
+        GatewayConfig {
+            members: vec![
+                Member {
+                    node: 1,
+                    addr: node1.local_addr().to_string(),
+                    admin: None,
+                },
+                Member {
+                    node: 2,
+                    addr: node2.local_addr().to_string(),
+                    admin: None,
+                },
+            ],
+            cluster_secret: Some(CLUSTER_SECRET),
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("start gateway");
+
+    let (source_node, addr) = gateway.place(SESSION).expect("placed");
+    let mut client = client_for(addr.parse().unwrap());
+    client
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    let fed = run_rounds(&mut client, 0..6);
+
+    let target_node = gateway.migrate_session(SESSION).expect("migrate");
+    let (source_srv, target_srv) = if source_node == 1 {
+        (&node1, &node2)
+    } else {
+        (&node2, &node1)
+    };
+    assert_ne!(target_node, source_node);
+
+    // Re-drive the relay by hand, as a crashed-and-restarted gateway
+    // would: the source re-ships its on-disk export for the same target...
+    let config = ClientConfig {
+        read_timeout: Duration::from_secs(2),
+        ..ClientConfig::default()
+    };
+    let mut src = ServeClient::connect_with(source_srv.local_addr(), &config).expect("dial source");
+    src.send(&Message::ExportSession {
+        session: SESSION,
+        target_node,
+        epoch: 99,
+        auth: CLUSTER_SECRET,
+        target_addr: target_srv.local_addr().to_string(),
+    })
+    .expect("re-ask export");
+    let (meta, wal) = loop {
+        match src.recv().expect("recv re-shipped state") {
+            Message::SessionState { meta, wal, .. } => break (meta, wal),
+            Message::Error { message, .. } => panic!("re-export refused: {message}"),
+            _ => {}
+        }
+    };
+    // ...and the import lands on a target whose copy is already live.
+    let mut tgt = ServeClient::connect_with(target_srv.local_addr(), &config).expect("dial target");
+    tgt.send(&Message::SessionState {
+        session: SESSION,
+        epoch: 99,
+        auth: CLUSTER_SECRET,
+        meta,
+        wal,
+    })
+    .expect("re-drive import");
+    loop {
+        match tgt.recv().expect("recv re-drive ack") {
+            Message::Resumed {
+                high_round, warm, ..
+            } => {
+                assert!(warm, "re-drive must confirm warm");
+                assert_eq!(high_round, Some(5), "live frontier, not a rewind");
+                break;
+            }
+            Message::Error { message, .. } => panic!("re-drive refused: {message}"),
+            _ => {}
+        }
+    }
+    // The re-drive confirmed without landing files a second time.
+    assert_eq!(target_srv.service().counters().sessions_imported, 1);
+
+    // The live session's durable state is intact: a fresh resume replays
+    // the identical result ring and continues at the frontier.
+    let mut resumed = client_for(target_srv.local_addr());
+    resumed
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("resume at target");
+    feed_round(&mut resumed, 6);
+    let mut replayed = Vec::new();
+    loop {
+        let r = expect_result(&mut resumed);
+        if r.0 == 6 {
+            break;
+        }
+        replayed.push(r);
+    }
+    assert_eq!(replayed, fed, "replayed ring must survive the re-drive");
+
+    gateway.shutdown();
+    node1.shutdown();
+    node2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+/// The cluster verbs are credential-gated: an `ExportSession` (which would
+/// ship the session's resume token) or a forged `SessionState` import with
+/// the wrong secret is refused with an error frame — and a daemon with
+/// *no* secret configured refuses them regardless of the value sent.
+#[test]
+fn cluster_verbs_require_the_shared_secret() {
+    // An unauthorized cluster verb closes the connection; the refusal
+    // surfaces as the error frame when it wins the race with the close,
+    // or as a bare EOF when it does not. Either way, no state frame and
+    // no import ack may ever arrive.
+    let expect_refusal = |conn: &mut ServeClient, what: &str| loop {
+        match conn.recv() {
+            Ok(Message::Error { session, message }) => {
+                assert_eq!(session, SESSION);
+                assert!(
+                    message.contains("cluster verb refused"),
+                    "{what}: unexpected refusal text `{message}`"
+                );
+                return;
+            }
+            Ok(Message::SessionState { .. }) => panic!("{what}: state shipped to a forger"),
+            Ok(Message::Resumed { .. }) => panic!("{what}: forged import landed"),
+            Ok(_) => {}
+            Err(_) => return, // connection dropped: refused
+        }
+    };
+
+    // A secret-configured daemon with a live session.
+    let dir = state_dir("auth");
+    let daemon = start_daemon(1, Some(&dir));
+    let mut tenant = client_for(daemon.local_addr());
+    tenant
+        .open_session(SESSION, MODULES, SpecSource::Named("avoc".into()), TOKEN)
+        .expect("open");
+    feed_round(&mut tenant, 0);
+    expect_result(&mut tenant);
+
+    // Wrong secret: export refused, nothing shipped, session stays live.
+    let config = ClientConfig {
+        read_timeout: Duration::from_secs(2),
+        ..ClientConfig::default()
+    };
+    let mut forger = ServeClient::connect_with(daemon.local_addr(), &config).expect("dial");
+    forger
+        .send(&Message::ExportSession {
+            session: SESSION,
+            target_node: 9,
+            epoch: 1,
+            auth: CLUSTER_SECRET ^ 1,
+            target_addr: "127.0.0.1:1".into(),
+        })
+        .expect("send forged export");
+    expect_refusal(&mut forger, "forged export");
+
+    // Wrong secret on an import: refused before any file is touched.
+    let mut forger = ServeClient::connect_with(daemon.local_addr(), &config).expect("dial");
+    forger
+        .send(&Message::SessionState {
+            session: SESSION,
+            epoch: 1,
+            auth: 0,
+            meta: b"avoc-session-meta v1\n".to_vec(),
+            wal: Vec::new(),
+        })
+        .expect("send forged import");
+    expect_refusal(&mut forger, "forged import");
+
+    // The session is still serving after both refusals.
+    feed_round(&mut tenant, 1);
+    expect_result(&mut tenant);
+    tenant.close_session(SESSION).expect("close");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A secretless daemon refuses the cluster verbs outright — even a
+    // guessed-right `auth` of zero.
+    let plain = {
+        let config = ServeConfig {
+            persistence: Persistence {
+                node_id: 7,
+                ..Persistence::default()
+            },
+            ..ServeConfig::default()
+        };
+        let service = Arc::new(VoterService::start(config, registry()));
+        TcpServer::start("127.0.0.1:0", service).expect("bind daemon")
+    };
+    let mut forger = ServeClient::connect_with(plain.local_addr(), &config).expect("dial");
+    forger
+        .send(&Message::ExportSession {
+            session: SESSION,
+            target_node: 9,
+            epoch: 1,
+            auth: 0,
+            target_addr: "127.0.0.1:1".into(),
+        })
+        .expect("send export to secretless daemon");
+    expect_refusal(&mut forger, "secretless export");
+    plain.shutdown();
 }

@@ -419,11 +419,13 @@ proptest! {
                 session,
                 target_node: round,
                 epoch: round,
+                auth: round,
                 target_addr: "127.0.0.1:4200".into(),
             },
             Message::SessionState {
                 session,
                 epoch: round,
+                auth: round,
                 meta: prefix.clone(),
                 wal: prefix.clone(),
             },
@@ -531,9 +533,10 @@ proptest! {
                 session,
                 target_node: epoch,
                 epoch,
+                auth: epoch,
                 target_addr: addr,
             },
-            Message::SessionState { session, epoch, meta, wal },
+            Message::SessionState { session, epoch, auth: epoch, meta, wal },
         ];
         for msg in msgs {
             let mut buf = BytesMut::from(&msg.encode()[..]);
@@ -561,16 +564,18 @@ proptest! {
         let frame = Message::SessionState {
             session,
             epoch,
+            auth: epoch,
             meta: meta.clone(),
             wal: wal.clone(),
         }
         .encode();
 
         // Poison the meta blob length (sits after len + tag + session +
-        // epoch). Dodge the honest value — the shim has no prop_assume.
+        // epoch + auth). Dodge the honest value — the shim has no
+        // prop_assume.
         let lie = if lie as usize == meta.len() { lie + 1 } else { lie };
         let mut poisoned = BytesMut::from(&frame[..]);
-        poisoned[21..25].copy_from_slice(&lie.to_be_bytes());
+        poisoned[29..33].copy_from_slice(&lie.to_be_bytes());
         let before = poisoned.clone();
         match Message::decode(&mut poisoned) {
             Ok(m) => prop_assert_eq!(
@@ -621,6 +626,7 @@ proptest! {
                 session,
                 target_node: epoch,
                 epoch,
+                auth: epoch,
                 target_addr: addr,
             }
             .encode(),
@@ -647,13 +653,16 @@ proptest! {
 
             // Replace the address with continuation bytes (invalid UTF-8
             // at every position): must reject, consuming the frame.
-            let extra = if tag == 17 { 8 } else { 0 }; // export carries epoch too
+            // Export carries target_node + epoch + auth where Redirect
+            // carries only its epoch.
+            let extra = if tag == 17 { 16 } else { 0 };
             let mut bad = BytesMut::new();
             bad.put_u32((1 + 8 + 8 + extra + 4 + junk.len()) as u32);
             bad.put_u8(tag);
             bad.put_u64(session);
             bad.put_u64(epoch);
             if extra > 0 {
+                bad.put_u64(epoch);
                 bad.put_u64(epoch);
             }
             bad.put_u32(junk.len() as u32);
